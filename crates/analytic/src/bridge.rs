@@ -1,0 +1,258 @@
+use crate::error::AnalyticError;
+use crate::model::MM1Sleep;
+use serde::{Deserialize, Serialize};
+use sleepscale_power::{
+    FrequencyGrid, FrequencyScaling, Policy, SystemPowerModel, Watts,
+};
+
+/// The analytic characterization of one policy: what the idealized model
+/// of Section 4 predicts without running a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticOutcome {
+    /// Average power `E[P]` in watts.
+    pub avg_power: f64,
+    /// Mean response time `E[R]` in seconds.
+    pub mean_response: f64,
+    /// Normalized mean response `µ·E[R]`.
+    pub normalized_mean_response: f64,
+    /// Renewal cycle length `L` in seconds.
+    pub cycle_length: f64,
+    /// Mean setup delay `E[D]` in seconds.
+    pub setup_mean: f64,
+}
+
+/// Bridges workspace types to the appendix formulas: fixes a machine,
+/// scaling law, full-speed service rate `µ`, and arrival rate `λ`, then
+/// characterizes [`Policy`] values analytically.
+///
+/// This is the "idealized model" of Figure 6's solid curves: same
+/// candidate set as the simulation-driven manager, but scored by closed
+/// form instead of by replaying logs.
+#[derive(Debug, Clone)]
+pub struct PolicyAnalyzer<'a> {
+    power: &'a SystemPowerModel,
+    scaling: FrequencyScaling,
+    mu: f64,
+    lambda: f64,
+}
+
+impl<'a> PolicyAnalyzer<'a> {
+    /// Builds an analyzer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyticError::InvalidParameter`] for non-positive `mu`
+    /// or `lambda`.
+    pub fn new(
+        power: &'a SystemPowerModel,
+        scaling: FrequencyScaling,
+        mu: f64,
+        lambda: f64,
+    ) -> Result<PolicyAnalyzer<'a>, AnalyticError> {
+        if !mu.is_finite() || mu <= 0.0 {
+            return Err(AnalyticError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                requirement: "finite and > 0",
+            });
+        }
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(AnalyticError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                requirement: "finite and > 0",
+            });
+        }
+        Ok(PolicyAnalyzer { power, scaling, mu, lambda })
+    }
+
+    /// Convenience constructor from utilization: `λ = ρµ`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PolicyAnalyzer::new`].
+    pub fn from_utilization(
+        power: &'a SystemPowerModel,
+        scaling: FrequencyScaling,
+        mu: f64,
+        rho: f64,
+    ) -> Result<PolicyAnalyzer<'a>, AnalyticError> {
+        PolicyAnalyzer::new(power, scaling, mu, rho * mu)
+    }
+
+    /// Builds the appendix model for one policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyticError::Unstable`] if the policy's frequency
+    /// cannot keep up with `λ`.
+    pub fn model(&self, policy: &Policy) -> Result<MM1Sleep, AnalyticError> {
+        let f = policy.frequency();
+        let mu_eff = self.scaling.effective_rate(self.mu, f);
+        let active: Watts = self.power.active_power(f);
+        let stages = policy
+            .program()
+            .stages()
+            .iter()
+            .map(|s| {
+                (self.power.power(s.state(), f).as_watts(), s.enter_after(), s.wake_latency())
+            })
+            .collect();
+        MM1Sleep::new(self.lambda, mu_eff, active.as_watts(), stages)
+    }
+
+    /// Characterizes one policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PolicyAnalyzer::model`].
+    pub fn analyze(&self, policy: &Policy) -> Result<AnalyticOutcome, AnalyticError> {
+        let m = self.model(policy)?;
+        let mean_response = m.mean_response();
+        Ok(AnalyticOutcome {
+            avg_power: m.avg_power(),
+            mean_response,
+            normalized_mean_response: mean_response * self.mu,
+            cycle_length: m.cycle_length(),
+            setup_mean: m.setup_moment(1.0),
+        })
+    }
+
+    /// The idealized policy optimizer: over `programs × grid`, the
+    /// minimum-power policy whose normalized mean response stays within
+    /// `max_normalized_response`. Unstable grid points are skipped.
+    /// Returns `None` if nothing is feasible.
+    pub fn min_power_policy(
+        &self,
+        programs: &[sleepscale_power::SleepProgram],
+        grid: &FrequencyGrid,
+        max_normalized_response: f64,
+    ) -> Option<(Policy, AnalyticOutcome)> {
+        let mut best: Option<(Policy, AnalyticOutcome)> = None;
+        for program in programs {
+            for f in grid.iter() {
+                let policy = Policy::new(f, program.clone());
+                let Ok(out) = self.analyze(&policy) else { continue };
+                if out.normalized_mean_response > max_normalized_response {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(_, b)| out.avg_power < b.avg_power) {
+                    best = Some((policy, out));
+                }
+            }
+        }
+        best
+    }
+
+    /// The arrival rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The full-speed service rate `µ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepscale_power::{presets, Frequency, SleepProgram};
+
+    fn analyzer(power: &SystemPowerModel, rho: f64) -> PolicyAnalyzer<'_> {
+        PolicyAnalyzer::from_utilization(power, FrequencyScaling::CpuBound, 1.0 / 0.194, rho)
+            .unwrap()
+    }
+
+    #[test]
+    fn model_uses_frequency_dependent_powers() {
+        let power = presets::xeon();
+        let a = analyzer(&power, 0.1);
+        let f = Frequency::new(0.5).unwrap();
+        let policy = Policy::new(f, SleepProgram::immediate(presets::C0I_S0I));
+        let m = a.model(&policy).unwrap();
+        // C0(i)S0(i) at f=0.5: 75·0.125 + 60.5.
+        assert!((m.stages()[0].0 - (75.0 * 0.125 + 60.5)).abs() < 1e-9);
+        assert!((m.mu_eff() - 0.5 / 0.194).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_frequency_rejected() {
+        let power = presets::xeon();
+        let a = analyzer(&power, 0.5);
+        let policy = Policy::new(
+            Frequency::new(0.4).unwrap(),
+            SleepProgram::immediate(presets::C0I_S0I),
+        );
+        assert!(matches!(a.model(&policy), Err(AnalyticError::Unstable { .. })));
+    }
+
+    #[test]
+    fn optimizer_meets_constraint_and_prefers_lower_power() {
+        let power = presets::xeon();
+        let a = analyzer(&power, 0.2);
+        let grid = FrequencyGrid::new(0.25, 1.0, 0.01).unwrap();
+        let programs = presets::standard_programs();
+        let budget = 5.0; // ρb = 0.8
+        let (policy, out) = a.min_power_policy(&programs, &grid, budget).unwrap();
+        assert!(out.normalized_mean_response <= budget);
+        // Must beat running flat out and never sleeping.
+        let flat = a.analyze(&Policy::full_speed_no_sleep()).unwrap();
+        assert!(out.avg_power < flat.avg_power);
+        assert!(policy.frequency().get() < 1.0);
+    }
+
+    #[test]
+    fn optimizer_none_when_budget_impossible() {
+        let power = presets::xeon();
+        let a = analyzer(&power, 0.2);
+        let grid = FrequencyGrid::new(0.25, 1.0, 0.05).unwrap();
+        let programs = presets::standard_programs();
+        // µE[R] can never be below 1 (service alone).
+        assert!(a.min_power_policy(&programs, &grid, 0.5).is_none());
+    }
+
+    #[test]
+    fn figure5_frequency_for_qos_at_rho_04() {
+        // Paper Figure 5: Google-like, C0(i)S0(i), ρ = 0.4, ρb = 0.8
+        // (budget µE[R] = 5) → f ≈ 0.6 under the idealized model
+        // (1/(f−ρ) = 5).
+        let power = presets::xeon();
+        let mu = 1.0 / 0.0042;
+        let a = PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, 0.4)
+            .unwrap();
+        let grid = FrequencyGrid::new(0.45, 1.0, 0.01).unwrap();
+        let programs = vec![SleepProgram::immediate(presets::C0I_S0I)];
+        let (policy, out) = a.min_power_policy(&programs, &grid, 5.0).unwrap();
+        assert!((policy.frequency().get() - 0.6).abs() < 0.02, "f = {}", policy.frequency());
+        assert!(out.normalized_mean_response <= 5.0);
+    }
+
+    #[test]
+    fn figure5_low_utilization_exceeds_qos_at_optimum() {
+        // At ρ = 0.1 the unconstrained optimum sits well inside the QoS
+        // budget (paper: µE[R] ≈ 3 with f ≈ 0.41).
+        let power = presets::xeon();
+        let mu = 1.0 / 0.0042;
+        let a = PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, 0.1)
+            .unwrap();
+        let grid = FrequencyGrid::new(0.15, 1.0, 0.01).unwrap();
+        let programs = vec![SleepProgram::immediate(presets::C0I_S0I)];
+        let (policy, out) = a.min_power_policy(&programs, &grid, 5.0).unwrap();
+        assert!(
+            (policy.frequency().get() - 0.40).abs() < 0.04,
+            "f = {} (paper ≈ 0.41)",
+            policy.frequency()
+        );
+        assert!(out.normalized_mean_response < 5.0, "optimum exceeds the QoS requirement");
+        assert!((out.normalized_mean_response - 3.0).abs() < 0.6, "paper: ≈ 3");
+    }
+
+    #[test]
+    fn validation() {
+        let power = presets::xeon();
+        assert!(PolicyAnalyzer::new(&power, FrequencyScaling::CpuBound, 0.0, 1.0).is_err());
+        assert!(PolicyAnalyzer::new(&power, FrequencyScaling::CpuBound, 1.0, -1.0).is_err());
+    }
+}

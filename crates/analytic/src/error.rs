@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing analytic models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalyticError {
+    /// The queue is unstable: `λ >= µf`.
+    Unstable {
+        /// Arrival rate.
+        lambda: f64,
+        /// Effective service rate.
+        mu_eff: f64,
+    },
+    /// A parameter is out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What was required.
+        requirement: &'static str,
+    },
+    /// The requested quantity has no closed form for this configuration
+    /// (e.g. the response-time tail with multiple or delayed stages).
+    NoClosedForm {
+        /// What was requested.
+        quantity: &'static str,
+        /// Why it is unavailable.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for AnalyticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticError::Unstable { lambda, mu_eff } => {
+                write!(f, "unstable queue: lambda {lambda} >= effective service rate {mu_eff}")
+            }
+            AnalyticError::InvalidParameter { name, value, requirement } => {
+                write!(f, "parameter {name} = {value} violates requirement: {requirement}")
+            }
+            AnalyticError::NoClosedForm { quantity, reason } => {
+                write!(f, "no closed form for {quantity}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AnalyticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AnalyticError::Unstable { lambda: 2.0, mu_eff: 1.0 }
+            .to_string()
+            .contains("unstable"));
+        assert!(AnalyticError::NoClosedForm { quantity: "tail", reason: "multi-stage" }
+            .to_string()
+            .contains("tail"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Closed-form M/M/1-with-sleep-states results — the paper's appendix.
+//!
+//! Under Poisson arrivals (rate `λ`) and exponential service (effective
+//! rate `µf`), the appendix gives exact expressions for the renewal-cycle
+//! length `L`, the average power `E[P]`, the setup-delay moments `E[D^α]`,
+//! the mean response time `E[R]`, and (for a single zero-delay sleep
+//! state) the response-time tail `Pr(R ≥ d)`. Section 4.3 notes the
+//! closed forms match the simulated Figure 1; this crate carries that
+//! cross-check as property tests against `sleepscale-sim`.
+//!
+//! * [`MM1Sleep`] — the raw formulas over `(P_i, τ_i, w_i)` stage tuples.
+//! * [`PolicyAnalyzer`] — a bridge from workspace types
+//!   ([`sleepscale_power::Policy`], [`sleepscale_power::SystemPowerModel`])
+//!   to [`MM1Sleep`], plus the idealized-model policy optimizer that
+//!   draws Figure 6's solid curves.
+//!
+//! # Example
+//!
+//! ```
+//! use sleepscale_analytic::MM1Sleep;
+//! // M/M/1 at λ=1, µf=4 with a single immediate sleep state drawing
+//! // 28.1 W, wake 1 s; active power 250 W.
+//! let m = MM1Sleep::new(1.0, 4.0, 250.0, vec![(28.1, 0.0, 1.0)])?;
+//! assert!(m.mean_response() > 1.0 / 3.0); // setup inflates response
+//! assert!(m.avg_power() < 250.0);
+//! # Ok::<(), sleepscale_analytic::AnalyticError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bridge;
+mod error;
+mod mg1;
+mod model;
+
+pub use bridge::{AnalyticOutcome, PolicyAnalyzer};
+pub use error::AnalyticError;
+pub use mg1::MG1Sleep;
+pub use model::MM1Sleep;

@@ -1,0 +1,132 @@
+//! Section 4.3's claim, as tests: the appendix closed forms match the
+//! Algorithm-1 simulator under Poisson arrivals and exponential service.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sleepscale_analytic::PolicyAnalyzer;
+use sleepscale_power::{presets, Frequency, FrequencyScaling, Policy, SleepProgram, SleepStage, SystemState};
+use sleepscale_sim::{generator, simulate, SimEnv};
+
+const N_JOBS: usize = 60_000;
+
+/// Compares analytic and simulated E[P] and E[R] for one configuration.
+fn compare(rho: f64, f: f64, program: SleepProgram, seed: u64, tol_power: f64, tol_resp: f64) {
+    let mean_service = 0.194; // DNS-like
+    let mu = 1.0 / mean_service;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = generator::generate_poisson_exp(N_JOBS, rho, mean_service, &mut rng).unwrap();
+    let env = SimEnv::xeon_cpu_bound();
+    let policy = Policy::new(Frequency::new(f).unwrap(), program);
+
+    let sim = simulate(&jobs, &policy, &env);
+    let power = presets::xeon();
+    let analyzer =
+        PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, rho).unwrap();
+    let ana = analyzer.analyze(&policy).unwrap();
+
+    let sim_power = sim.avg_power().as_watts();
+    let rel_p = (sim_power - ana.avg_power).abs() / ana.avg_power;
+    assert!(
+        rel_p < tol_power,
+        "E[P]: sim {sim_power:.2} W vs analytic {:.2} W (rho={rho}, f={f}, {})",
+        ana.avg_power,
+        policy.program().label(),
+    );
+
+    let sim_resp = sim.mean_response();
+    let rel_r = (sim_resp - ana.mean_response).abs() / ana.mean_response;
+    assert!(
+        rel_r < tol_resp,
+        "E[R]: sim {sim_resp:.4} s vs analytic {:.4} s (rho={rho}, f={f}, {})",
+        ana.mean_response,
+        policy.program().label(),
+    );
+}
+
+#[test]
+fn matches_for_all_standard_states_at_low_utilization() {
+    for (i, program) in presets::standard_programs().into_iter().enumerate() {
+        compare(0.1, 0.42, program, 100 + i as u64, 0.03, 0.06);
+    }
+}
+
+#[test]
+fn matches_for_all_standard_states_at_high_utilization() {
+    for (i, program) in presets::standard_programs().into_iter().enumerate() {
+        compare(0.7, 0.9, program, 200 + i as u64, 0.03, 0.06);
+    }
+}
+
+#[test]
+fn matches_with_delayed_second_stage() {
+    // Figure 3's program: C0(i)S0(i) immediately, C6S3 after τ2 = 30/µ.
+    let tau2 = 30.0 * 0.194;
+    let program = SleepProgram::new(vec![
+        SleepStage::new(SystemState::C0I_S0I, 0.0, 0.0).unwrap(),
+        SleepStage::new(SystemState::C6_S3, tau2, 1.0).unwrap(),
+    ])
+    .unwrap();
+    compare(0.1, 0.5, program, 300, 0.03, 0.08);
+}
+
+#[test]
+fn matches_with_never_sleep() {
+    compare(0.3, 0.8, SleepProgram::never_sleep(), 400, 0.03, 0.06);
+}
+
+#[test]
+fn matches_with_five_stage_cascade() {
+    compare(0.2, 0.6, presets::sequential_cascade(0.05), 500, 0.03, 0.08);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random (ρ, f, state): analytic and simulated E[P]/E[R] agree
+    /// within Monte-Carlo tolerance.
+    #[test]
+    fn analytic_matches_simulation(
+        rho in 0.05_f64..0.6,
+        f_margin in 0.08_f64..0.5,
+        state_idx in 0_usize..5,
+        seed in 0_u64..1_000,
+    ) {
+        let f = (rho + f_margin).min(1.0);
+        let state = SystemState::LOW_POWER_LADDER[state_idx];
+        let program = SleepProgram::immediate(presets::immediate_stage(state));
+        compare(rho, f, program, seed, 0.05, 0.12);
+    }
+
+    /// The analytic tail formula matches the empirical exceedance
+    /// probability for single immediate states.
+    #[test]
+    fn tail_formula_matches_empirical(
+        rho in 0.1_f64..0.5,
+        state_idx in 0_usize..4, // exclude C6S3: its 1 s wake makes d huge
+        seed in 0_u64..1_000,
+    ) {
+        let mean_service = 0.194;
+        let mu = 1.0 / mean_service;
+        let f = Frequency::new((rho + 0.3).min(1.0)).unwrap();
+        let state = SystemState::LOW_POWER_LADDER[state_idx];
+        let policy = Policy::new(f, SleepProgram::immediate(presets::immediate_stage(state)));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = generator::generate_poisson_exp(N_JOBS, rho, mean_service, &mut rng).unwrap();
+        let sim = simulate(&jobs, &policy, &SimEnv::xeon_cpu_bound());
+
+        let power = presets::xeon();
+        let analyzer =
+            PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, rho).unwrap();
+        let model = analyzer.model(&policy).unwrap();
+        // Evaluate at d = twice the analytic mean response.
+        let d = 2.0 * model.mean_response();
+        let analytic = model.prob_response_exceeds(d).unwrap();
+        let empirical = sim.fraction_exceeding(d);
+        prop_assert!(
+            (analytic - empirical).abs() < 0.02 + 0.25 * analytic,
+            "Pr(R>=d): analytic {analytic:.4} vs empirical {empirical:.4}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The appendix's "extends to general service time" claim: the M/G/1
+//! closed forms against the simulator under gamma and hyper-exponential
+//! service.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sleepscale_analytic::MG1Sleep;
+use sleepscale_dist::{fit, Exponential};
+use sleepscale_power::{presets, Frequency, Policy, SleepProgram, SystemState};
+use sleepscale_sim::{generator, simulate, SimEnv};
+
+const N_JOBS: usize = 80_000;
+
+fn compare(rho: f64, cv: f64, state: SystemState, seed: u64) {
+    let mean_service = 0.194;
+    let lambda = rho / mean_service;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ia = Exponential::new(lambda).unwrap();
+    let sv = fit::by_moments(mean_service, cv).unwrap();
+    let jobs = generator::generate(N_JOBS, &ia, &*sv, &mut rng).unwrap();
+
+    let env = SimEnv::xeon_cpu_bound();
+    // Evaluate at f = 1 so the measured service law matches the stream.
+    let policy = Policy::new(
+        Frequency::MAX,
+        SleepProgram::immediate(presets::immediate_stage(state)),
+    );
+    let sim = simulate(&jobs, &policy, &env);
+
+    let power = presets::xeon();
+    let stages: Vec<(f64, f64, f64)> = policy
+        .program()
+        .stages()
+        .iter()
+        .map(|s| (power.power(s.state(), Frequency::MAX).as_watts(), s.enter_after(), s.wake_latency()))
+        .collect();
+    let model = MG1Sleep::new(
+        lambda,
+        mean_service,
+        cv * cv,
+        power.active_power(Frequency::MAX).as_watts(),
+        stages,
+    )
+    .unwrap();
+
+    let rel_p = (sim.avg_power().as_watts() - model.avg_power()).abs() / model.avg_power();
+    assert!(
+        rel_p < 0.04,
+        "E[P]: sim {:.2} vs analytic {:.2} (rho={rho}, cv={cv}, {})",
+        sim.avg_power().as_watts(),
+        model.avg_power(),
+        state.label()
+    );
+    let rel_r = (sim.mean_response() - model.mean_response()).abs() / model.mean_response();
+    assert!(
+        rel_r < 0.1,
+        "E[R]: sim {:.4} vs analytic {:.4} (rho={rho}, cv={cv}, {})",
+        sim.mean_response(),
+        model.mean_response(),
+        state.label()
+    );
+}
+
+#[test]
+fn gamma_service_low_cv() {
+    compare(0.3, 0.5, SystemState::C6_S0I, 1);
+    compare(0.6, 0.5, SystemState::C0I_S0I, 2);
+}
+
+#[test]
+fn hyperexp_service_mail_like_cv() {
+    compare(0.3, 3.6, SystemState::C6_S0I, 3);
+    compare(0.5, 2.0, SystemState::C3_S0I, 4);
+}
+
+#[test]
+fn deterministic_service() {
+    compare(0.4, 0.0, SystemState::C1_S0I, 5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mg1_matches_simulation(
+        rho in 0.1_f64..0.6,
+        cv in 0.2_f64..3.0,
+        state_idx in 0_usize..5,
+        seed in 0_u64..1_000,
+    ) {
+        let state = SystemState::LOW_POWER_LADDER[state_idx];
+        compare(rho, cv, state, seed);
+    }
+}

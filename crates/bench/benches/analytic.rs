@@ -1,0 +1,37 @@
+//! Closed-form evaluation cost: the idealized model scores a policy in
+//! nanoseconds, which is why the paper suggests (future work, Section
+//! 5.1.2 observation 3) using it instead of re-simulation when it is
+//! accurate enough. Compare against `policy_eval`'s simulation numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepscale_analytic::PolicyAnalyzer;
+use sleepscale_power::{presets, Frequency, FrequencyScaling, Policy, SleepProgram};
+
+fn closed_form_single_policy(c: &mut Criterion) {
+    let power = presets::xeon();
+    let analyzer =
+        PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, 1.0 / 0.194, 0.3)
+            .expect("valid");
+    let policy = Policy::new(
+        Frequency::new(0.6).expect("valid"),
+        SleepProgram::immediate(presets::C6_S0I),
+    );
+    c.bench_function("analytic_analyze_one_policy", |b| {
+        b.iter(|| analyzer.analyze(std::hint::black_box(&policy)).expect("stable"))
+    });
+}
+
+fn closed_form_full_grid(c: &mut Criterion) {
+    let power = presets::xeon();
+    let analyzer =
+        PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, 1.0 / 0.194, 0.3)
+            .expect("valid");
+    let programs = presets::standard_programs();
+    let grid = sleepscale_power::FrequencyGrid::new(0.35, 1.0, 0.01).expect("valid");
+    c.bench_function("analytic_min_power_policy_full_grid", |b| {
+        b.iter(|| analyzer.min_power_policy(std::hint::black_box(&programs), &grid, 5.0))
+    });
+}
+
+criterion_group!(benches, closed_form_single_policy, closed_form_full_grid);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Simulator-core throughput: jobs per second through the FCFS + sleep
+//! engine, and job-stream generation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+use sleepscale_bench::ideal_stream;
+use sleepscale_power::{presets, Frequency, Policy, SleepProgram};
+use sleepscale_sim::{generator, simulate, SimEnv};
+use sleepscale_workloads::WorkloadSpec;
+
+fn engine_throughput(c: &mut Criterion) {
+    let spec = WorkloadSpec::dns();
+    let env = SimEnv::xeon_cpu_bound();
+    let policy = Policy::new(
+        Frequency::new(0.7).expect("valid"),
+        SleepProgram::immediate(presets::C6_S3),
+    );
+    let mut group = c.benchmark_group("engine_throughput");
+    for n in [1_000usize, 10_000, 100_000] {
+        let jobs = ideal_stream(&spec, 0.4, n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("{n}_jobs"), |b| {
+            b.iter(|| simulate(std::hint::black_box(&jobs), &policy, &env))
+        });
+    }
+    group.finish();
+}
+
+fn stream_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_generation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("poisson_exp_10k", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        b.iter(|| generator::generate_poisson_exp(10_000, 0.3, 0.194, &mut rng).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, stream_generation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! The paper's overhead claim (Section 5.1.1): evaluating one candidate
+//! policy over a 10 000-job log took 6.3 ms in Matlab on an i5; the
+//! policy manager's per-epoch cost is (candidates × that). These benches
+//! measure the same quantities for this implementation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sleepscale_bench::ideal_stream;
+use sleepscale_power::{presets, Frequency, Policy, SleepProgram};
+use sleepscale_sim::{simulate, sweep, SimEnv};
+use sleepscale_workloads::WorkloadSpec;
+
+fn single_policy_10k_jobs(c: &mut Criterion) {
+    let spec = WorkloadSpec::dns();
+    let jobs = ideal_stream(&spec, 0.3, 10_000, 1);
+    let env = SimEnv::xeon_cpu_bound();
+    let policy = Policy::new(
+        Frequency::new(0.6).expect("valid"),
+        SleepProgram::immediate(presets::C6_S0I),
+    );
+    c.bench_function("simulate_one_policy_10k_jobs", |b| {
+        b.iter(|| simulate(std::hint::black_box(&jobs), &policy, &env))
+    });
+}
+
+fn full_candidate_grid(c: &mut Criterion) {
+    // 5 programs × ~14 frequencies over a 2000-job log: one epoch's
+    // policy-manager characterization.
+    let spec = WorkloadSpec::dns();
+    let jobs = ideal_stream(&spec, 0.3, 2_000, 2);
+    let env = SimEnv::xeon_cpu_bound();
+    let programs = presets::standard_programs();
+    let grid = sleepscale_power::FrequencyGrid::new(0.35, 1.0, 0.05).expect("valid");
+    c.bench_function("grid_sweep_epoch_characterization", |b| {
+        b.iter_batched(
+            || (),
+            |()| sweep::grid_sweep(std::hint::black_box(&jobs), &programs, &grid, &env),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn two_stage_ladder(c: &mut Criterion) {
+    let spec = WorkloadSpec::google();
+    let jobs = ideal_stream(&spec, 0.1, 10_000, 3);
+    let env = SimEnv::xeon_cpu_bound();
+    let program = SleepProgram::new(vec![
+        presets::C0I_S0I,
+        sleepscale_power::SleepStage::new(
+            sleepscale_power::SystemState::C6_S3,
+            0.126,
+            presets::WAKE_C6_S3,
+        )
+        .expect("valid"),
+    ])
+    .expect("valid");
+    let policy = Policy::new(Frequency::new(0.5).expect("valid"), program);
+    c.bench_function("simulate_two_stage_ladder_10k_jobs", |b| {
+        b.iter(|| simulate(std::hint::black_box(&jobs), &policy, &env))
+    });
+}
+
+criterion_group!(benches, single_policy_10k_jobs, full_candidate_grid, two_stage_ladder);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Predictor update throughput: the runtime observes one sample per
+//! minute, so anything above ~kHz is free; these benches document the
+//! actual costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sleepscale_predict::{Lms, LmsCusum, NaivePrevious, Predictor};
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (0.4 + 0.3 * ((i as f64) / 120.0).sin()).clamp(0.0, 1.0))
+        .collect()
+}
+
+fn predictor_throughput(c: &mut Criterion) {
+    let data = series(10_000);
+    let mut group = c.benchmark_group("predictor_observe_predict");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("lms_cusum_p10", |b| {
+        b.iter(|| {
+            let mut p = LmsCusum::new(10);
+            let mut acc = 0.0;
+            for &x in &data {
+                acc += p.predict();
+                p.observe(x);
+            }
+            acc
+        })
+    });
+    group.bench_function("lms_p10", |b| {
+        b.iter(|| {
+            let mut p = Lms::new(10);
+            let mut acc = 0.0;
+            for &x in &data {
+                acc += p.predict();
+                p.observe(x);
+            }
+            acc
+        })
+    });
+    group.bench_function("naive_previous", |b| {
+        b.iter(|| {
+            let mut p = NaivePrevious::new();
+            let mut acc = 0.0;
+            for &x in &data {
+                acc += p.predict();
+                p.observe(x);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, predictor_throughput);
+criterion_main!(benches);

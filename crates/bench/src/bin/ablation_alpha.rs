@@ -1,0 +1,27 @@
+//! Ablation: the over-provisioning factor α (Section 5.2.3).
+//!
+//! Sweeps α over the Figure-9 scenario and prints the response/power
+//! trade-off: α = 0 reproduces Figure 8's budget overshoot, the paper's
+//! α = 0.35 buys responses back "at the cost of a slight increase in
+//! power", and larger α keeps paying power for diminishing response
+//! gains.
+
+use sleepscale_bench::figures::fig8::{dns_day, run_cell};
+use sleepscale_bench::Quality;
+use sleepscale_predict::LmsCusum;
+
+fn main() {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        Quality::Quick
+    } else {
+        Quality::Full
+    };
+    let (trace, jobs, spec) = dns_day(q, 7100);
+    println!("== Ablation: over-provisioning factor (DNS on email-store day, T=5) ==");
+    println!("{:>8} {:>14} {:>12}", "alpha", "mu*E[R]", "E[P] (W)");
+    for alpha in [0.0, 0.1, 0.2, 0.35, 0.5, 0.75] {
+        let bar = run_cell(&trace, &jobs, &spec, Box::new(LmsCusum::new(10)), 5, alpha, q);
+        println!("{:>8.2} {:>14.2} {:>12.1}", alpha, bar.norm_response, bar.power_w);
+    }
+    println!("(budget: mu*E[R] <= 5)");
+}

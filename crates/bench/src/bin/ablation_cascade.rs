@@ -1,0 +1,66 @@
+//! Ablation: sequential power throttle-back (engineering lesson 5).
+//!
+//! Sweeps the dwell time of the five-state cascade
+//! `C0(i)S0(i) → C1S0(i) → C3S0(i) → C6S0(i) → C6S3` against the best
+//! single state, at low and high utilization. The paper's conclusion:
+//! the cascade is conservative — at high utilization the deep states are
+//! never reached; at low utilization waiting to reach the right state
+//! wastes power versus entering it immediately.
+
+use sleepscale_bench::{bowl, ideal_stream, Quality};
+use sleepscale_power::{presets, SleepProgram, SystemState};
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::WorkloadSpec;
+
+fn main() {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        Quality::Quick
+    } else {
+        Quality::Full
+    };
+    let spec = WorkloadSpec::dns();
+    let env = SimEnv::xeon_cpu_bound();
+    println!("== Ablation: sequential cascade dwell (DNS-like) ==");
+    for rho in [0.1, 0.7] {
+        let jobs = ideal_stream(&spec, rho, q.jobs(), 7300 + (rho * 10.0) as u64);
+        // Best single state as the reference.
+        let single_best = SystemState::LOW_POWER_LADDER
+            .iter()
+            .filter_map(|s| {
+                bowl(
+                    &jobs,
+                    s.label(),
+                    &SleepProgram::immediate(presets::immediate_stage(*s)),
+                    rho,
+                    q.freq_step(),
+                    spec.service_mean(),
+                    &env,
+                )
+                .min_power_point()
+            })
+            .map(|p| p.power)
+            .fold(f64::INFINITY, f64::min);
+        println!("rho = {rho}: best single state {single_best:.1} W");
+        println!("{:>12} {:>12} {:>10}", "dwell (s)", "E[P] (W)", "vs single");
+        for dwell in [0.01, 0.05, 0.2, 1.0, 5.0] {
+            let cascade = presets::sequential_cascade(dwell);
+            let best = bowl(
+                &jobs,
+                format!("cascade {dwell}"),
+                &cascade,
+                rho,
+                q.freq_step(),
+                spec.service_mean(),
+                &env,
+            )
+            .min_power_point()
+            .expect("non-empty sweep");
+            println!(
+                "{:>12} {:>12.1} {:>9.1}%",
+                dwell,
+                best.power,
+                100.0 * (best.power - single_best) / single_best
+            );
+        }
+    }
+}

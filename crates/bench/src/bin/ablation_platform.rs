@@ -1,0 +1,50 @@
+//! Ablation: the paper's Table-2 platform (60.5 W idle) vs the platform
+//! its prose implies (52.7 W idle — Table 2 minus the chipset; see
+//! DESIGN.md §4). Shows how much of the absolute-watts gap between this
+//! reproduction and the paper's figures the discrepancy explains.
+
+use sleepscale_bench::{bowl, ideal_stream, Quality};
+use sleepscale_power::{presets, FrequencyScaling, SleepProgram, SystemState};
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::WorkloadSpec;
+
+fn main() {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        Quality::Quick
+    } else {
+        Quality::Full
+    };
+    let spec = WorkloadSpec::dns();
+    let rho = 0.1;
+    let jobs = ideal_stream(&spec, rho, q.jobs(), 7400);
+    println!("== Ablation: platform constants (DNS-like, rho = {rho}) ==");
+    println!(
+        "{:>16} {:<12} {:>8} {:>12}",
+        "platform", "state", "best f", "E[P] (W)"
+    );
+    for (name, model) in [
+        ("Table 2 (60.5W)", presets::xeon()),
+        ("prose (52.7W)", presets::xeon_prose_variant()),
+    ] {
+        let env = SimEnv::new(model, FrequencyScaling::CpuBound);
+        for state in [SystemState::C0I_S0I, SystemState::C6_S0I, SystemState::C6_S3] {
+            let c = bowl(
+                &jobs,
+                state.label(),
+                &SleepProgram::immediate(presets::immediate_stage(state)),
+                rho,
+                q.freq_step(),
+                spec.service_mean(),
+                &env,
+            );
+            let best = c.min_power_point().expect("non-empty sweep");
+            println!(
+                "{:>16} {:<12} {:>8.2} {:>12.2}",
+                name,
+                state.label(),
+                best.f,
+                best.power
+            );
+        }
+    }
+}

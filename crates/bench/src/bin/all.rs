@@ -1,0 +1,24 @@
+//! Regenerates every table and figure in sequence.
+
+fn main() -> std::io::Result<()> {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        sleepscale_bench::Quality::Quick
+    } else {
+        sleepscale_bench::Quality::Full
+    };
+    let t0 = std::time::Instant::now();
+    sleepscale_bench::tables::table2()?;
+    sleepscale_bench::tables::table5(q)?;
+    sleepscale_bench::figures::fig1::run(q)?;
+    sleepscale_bench::figures::fig2::run(q)?;
+    sleepscale_bench::figures::fig3::run(q)?;
+    sleepscale_bench::figures::fig4::run(q)?;
+    sleepscale_bench::figures::fig5::run(q)?;
+    sleepscale_bench::figures::fig6::run(q)?;
+    sleepscale_bench::figures::fig7::run(q)?;
+    sleepscale_bench::figures::fig8::run_figure(q)?;
+    sleepscale_bench::figures::fig9::run_figure(q)?;
+    sleepscale_bench::figures::fig10::run_figure(q)?;
+    println!("\nall tables and figures regenerated in {:.1?}", t0.elapsed());
+    Ok(())
+}

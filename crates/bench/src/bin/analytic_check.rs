@@ -1,0 +1,62 @@
+//! Section 4.3's verification: the appendix closed forms against the
+//! Algorithm-1 simulator on the Figure 1 configurations.
+
+use sleepscale_analytic::PolicyAnalyzer;
+use sleepscale_bench::{ideal_stream, Quality};
+use sleepscale_power::{presets, Frequency, FrequencyScaling, Policy, SleepProgram, SystemState};
+use sleepscale_sim::{simulate, SimEnv};
+use sleepscale_workloads::WorkloadSpec;
+
+fn main() {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        Quality::Quick
+    } else {
+        Quality::Full
+    };
+    let env = SimEnv::xeon_cpu_bound();
+    let power = presets::xeon();
+    println!("== Section 4.3: closed form vs simulation ==");
+    println!(
+        "{:<8} {:<12} {:>5} {:>5} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "work", "state", "rho", "f", "sim E[P]", "ana E[P]", "sim muR", "ana muR", "max rel"
+    );
+    let mut worst: f64 = 0.0;
+    for spec in [WorkloadSpec::dns(), WorkloadSpec::google()] {
+        for rho in [0.1, 0.4, 0.7] {
+            let jobs = ideal_stream(&spec, rho, q.jobs().max(30_000), 4242);
+            let analyzer = PolicyAnalyzer::from_utilization(
+                &power,
+                FrequencyScaling::CpuBound,
+                spec.mu(),
+                rho,
+            )
+            .expect("valid analyzer");
+            for state in SystemState::LOW_POWER_LADDER {
+                let f = Frequency::new((rho + 0.25).min(1.0)).expect("valid");
+                let policy =
+                    Policy::new(f, SleepProgram::immediate(presets::immediate_stage(state)));
+                let sim = simulate(&jobs, &policy, &env);
+                let ana = analyzer.analyze(&policy).expect("stable");
+                let sim_p = sim.avg_power().as_watts();
+                let sim_r = sim.normalized_mean_response(spec.service_mean());
+                let rel_p = (sim_p - ana.avg_power).abs() / ana.avg_power;
+                let rel_r = (sim_r - ana.normalized_mean_response).abs()
+                    / ana.normalized_mean_response;
+                worst = worst.max(rel_p).max(rel_r);
+                println!(
+                    "{:<8} {:<12} {:>5.2} {:>5.2} {:>10.2} {:>10.2} {:>9.3} {:>9.3} {:>7.1}%",
+                    spec.name(),
+                    state.label(),
+                    rho,
+                    f.get(),
+                    sim_p,
+                    ana.avg_power,
+                    sim_r,
+                    ana.normalized_mean_response,
+                    100.0 * rel_p.max(rel_r)
+                );
+            }
+        }
+    }
+    println!("worst relative deviation: {:.2}%", worst * 100.0);
+}

@@ -1,0 +1,72 @@
+//! Scale-out ablation (the paper's Section 7 future work): fleet power
+//! and response under different dispatch disciplines, at low and
+//! moderate cluster utilization.
+
+use rand::SeedableRng;
+use sleepscale::{CandidateSet, QosConstraint, RuntimeConfig};
+use sleepscale_bench::Quality;
+use sleepscale_cluster::{
+    Cluster, ClusterConfig, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform,
+    RoundRobin,
+};
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::{
+    replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
+};
+
+fn main() {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        Quality::Quick
+    } else {
+        Quality::Full
+    };
+    let n = 8;
+    let minutes = q.day_minutes().min(240);
+    let spec = WorkloadSpec::dns();
+    let runtime = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).expect("valid"))
+        .epoch_minutes(5)
+        .eval_jobs(q.eval_jobs())
+        .over_provisioning(0.0)
+        .build()
+        .expect("valid config");
+    let config = ClusterConfig::new(n, runtime);
+
+    println!("== Cluster dispatch ablation: {n} servers, DNS-like ==");
+    for rho in [0.15, 0.45] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7600 + (rho * 100.0) as u64);
+        let dists =
+            WorkloadDistributions::empirical(&spec, 8_000, &mut rng).expect("spec fits");
+        let trace = UtilizationTrace::constant(rho, minutes).expect("valid trace");
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng)
+            .expect("valid replay");
+        println!(
+            "\ncluster load {:.0}% ({} jobs over {} min):",
+            rho * 100.0,
+            jobs.len(),
+            minutes
+        );
+        println!(
+            "{:>24} {:>12} {:>12} {:>10}",
+            "dispatcher", "mu*E[R]", "fleet W", "balance"
+        );
+        let mut dispatchers: Vec<Box<dyn Dispatcher>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(RandomUniform::new(5)),
+            Box::new(JoinShortestBacklog::new()),
+            Box::new(PackFirstFit::new(1.0)),
+        ];
+        for d in dispatchers.iter_mut() {
+            let mut cluster =
+                Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+            let r = cluster.run(&trace, &jobs, d.as_mut()).expect("cluster run completes");
+            println!(
+                "{:>24} {:>12.2} {:>12.0} {:>10.2}",
+                r.dispatcher(),
+                r.normalized_mean_response(),
+                r.total_power_watts(),
+                r.load_balance_index()
+            );
+        }
+    }
+}

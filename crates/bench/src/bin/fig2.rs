@@ -1,0 +1,9 @@
+//! Regenerates Figure 2. `--quick` shrinks grids for a fast pass.
+fn main() -> std::io::Result<()> {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        sleepscale_bench::Quality::Quick
+    } else {
+        sleepscale_bench::Quality::Full
+    };
+    sleepscale_bench::figures::fig2::run(q)
+}

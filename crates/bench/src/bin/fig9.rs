@@ -1,0 +1,9 @@
+//! Regenerates Figure 9. `--quick` shrinks the evaluation window.
+fn main() -> std::io::Result<()> {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        sleepscale_bench::Quality::Quick
+    } else {
+        sleepscale_bench::Quality::Full
+    };
+    sleepscale_bench::figures::fig9::run_figure(q)
+}

@@ -1,0 +1,4 @@
+//! Regenerates Tables 1-4 (states, powers, associations, latencies).
+fn main() -> std::io::Result<()> {
+    sleepscale_bench::tables::table2()
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 5 and verifies the generators' moments.
+fn main() -> std::io::Result<()> {
+    let q = if std::env::args().any(|a| a == "--quick") {
+        sleepscale_bench::Quality::Quick
+    } else {
+        sleepscale_bench::Quality::Full
+    };
+    sleepscale_bench::tables::table5(q)
+}

@@ -1,0 +1,163 @@
+//! Figure 1: power vs normalized mean response bowls at ρ = 0.1 for
+//! DNS-like and Google-like workloads, sleep states C0(i)S0(i),
+//! C6S0(i), C6S3.
+//!
+//! Paper shape to reproduce: each (state, f) sweep traces a bowl; there
+//! is a joint (f, state) optimum; for DNS-like the C6S3 bowl bottoms out
+//! lowest (≈70 W at f ≈ 0.42 in the paper); race-to-halt (f = 1 tip of
+//! a curve) costs ~50% more power than the joint optimum.
+
+use crate::{bowl, curves_to_rows, ideal_stream, print_curves, write_csv, Curve, Quality};
+use sleepscale_power::{presets, SleepProgram};
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::WorkloadSpec;
+
+/// One workload's panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Workload name (`"DNS"`, `"Google"`).
+    pub workload: String,
+    /// The three bowls.
+    pub curves: Vec<Curve>,
+}
+
+/// Generates both panels.
+pub fn generate(q: Quality) -> Vec<Panel> {
+    let env = SimEnv::xeon_cpu_bound();
+    let rho = 0.1;
+    let programs = [
+        ("C0(i)S0(i)", SleepProgram::immediate(presets::C0I_S0I)),
+        ("C6S0(i)", SleepProgram::immediate(presets::C6_S0I)),
+        ("C6S3", SleepProgram::immediate(presets::C6_S3)),
+    ];
+    [WorkloadSpec::dns(), WorkloadSpec::google()]
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let jobs = ideal_stream(&spec, rho, q.jobs(), 100 + i as u64);
+            let curves = programs
+                .iter()
+                .map(|(label, program)| {
+                    bowl(&jobs, *label, program, rho, q.freq_step(), spec.service_mean(), &env)
+                })
+                .collect();
+            Panel { workload: spec.name().to_string(), curves }
+        })
+        .collect()
+}
+
+/// Prints the figure and writes `results/fig1.csv`.
+pub fn run(q: Quality) -> std::io::Result<()> {
+    let panels = generate(q);
+    let mut rows = Vec::new();
+    for p in &panels {
+        print_curves(&format!("Figure 1: {} (rho = 0.1)", p.workload), &p.curves);
+        // Headline observations.
+        let global = p
+            .curves
+            .iter()
+            .filter_map(|c| c.min_power_point().map(|pt| (c.label.clone(), pt)))
+            .min_by(|a, b| a.1.power.partial_cmp(&b.1.power).expect("finite"));
+        if let Some((label, pt)) = global {
+            println!(
+                ">> {}: joint optimum {} at f={:.2}: {:.1} W",
+                p.workload, label, pt.f, pt.power
+            );
+            // Race-to-halt = f = 1 tip of the best race state.
+            let r2h = p
+                .curves
+                .iter()
+                .filter_map(|c| c.points.last())
+                .min_by(|a, b| a.power.partial_cmp(&b.power).expect("finite"))
+                .expect("curves are non-empty");
+            println!(
+                ">> {}: best race-to-halt {:.1} W = {:.0}% of joint optimum",
+                p.workload,
+                r2h.power,
+                100.0 * r2h.power / pt.power
+            );
+        }
+        for row in curves_to_rows(&p.curves) {
+            let mut r = vec![p.workload.clone()];
+            r.extend(row);
+            rows.push(r);
+        }
+    }
+    let path = write_csv("fig1", &["workload", "state", "f", "norm_response", "power_w"], &rows)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dns_joint_optimum_is_deep_sleep_near_f_042() {
+        let panels = generate(Quality::Quick);
+        let dns = &panels[0];
+        assert_eq!(dns.workload, "DNS");
+        let (best_label, best) = dns
+            .curves
+            .iter()
+            .filter_map(|c| c.min_power_point().map(|p| (c.label.clone(), p)))
+            .min_by(|a, b| a.1.power.partial_cmp(&b.1.power).unwrap())
+            .unwrap();
+        // Paper: C6S3 optimal for DNS at ρ=0.1, f ≈ 0.42, ≈70 W.
+        assert_eq!(best_label, "C6S3");
+        assert!(best.f > 0.25 && best.f < 0.6, "f = {}", best.f);
+        assert!(best.power < 90.0, "P = {}", best.power);
+    }
+
+    #[test]
+    fn race_to_halt_costs_much_more_than_joint_optimum() {
+        let panels = generate(Quality::Quick);
+        let dns = &panels[0];
+        let best = dns
+            .curves
+            .iter()
+            .filter_map(Curve::min_power_point)
+            .map(|p| p.power)
+            .fold(f64::INFINITY, f64::min);
+        // Race-to-halt is the f = 1 tip of a curve (the paper's
+        // "leftmost tip"). Racing into the shallow state costs ≈50% more
+        // than the joint optimum; even the best-case race tip pays a
+        // clear premium.
+        let tip = |label: &str| {
+            dns.curves
+                .iter()
+                .find(|c| c.label == label)
+                .and_then(|c| c.points.last())
+                .map(|p| p.power)
+                .expect("curve exists")
+        };
+        assert!(
+            tip("C0(i)S0(i)") > 1.4 * best,
+            "R2H(C0i) {:.1} vs optimum {best:.1}",
+            tip("C0(i)S0(i)")
+        );
+        let r2h_best = dns
+            .curves
+            .iter()
+            .filter_map(|c| c.points.last())
+            .map(|p| p.power)
+            .fold(f64::INFINITY, f64::min);
+        assert!(r2h_best > 1.1 * best, "best R2H {r2h_best:.1} vs optimum {best:.1}");
+    }
+
+    #[test]
+    fn google_deep_sleep_is_penalized_by_wake_latency() {
+        let panels = generate(Quality::Quick);
+        let google = &panels[1];
+        // For Google's 4.2 ms jobs, C6S3's 1 s wake makes it worse than
+        // C6S0(i) everywhere in the sweep.
+        let c6s3 = google.curves.iter().find(|c| c.label == "C6S3").unwrap();
+        let c6s0i = google.curves.iter().find(|c| c.label == "C6S0(i)").unwrap();
+        assert!(
+            c6s3.min_power_point().unwrap().power > c6s0i.min_power_point().unwrap().power,
+            "C6S3 should lose for Google at ρ=0.1"
+        );
+        // And its response times are dominated by the wake latency.
+        assert!(c6s3.points.iter().all(|p| p.norm_response > 20.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 10: the distribution of low-power states SleepScale selects —
+//! file-server (fs) and email-store (es) traces × DNS and Google
+//! services × ρ_b ∈ {0.6, 0.8}, with LC (p = 10), T = 5, α = 0.35.
+//!
+//! Paper shape: on the low-variation file server a single state
+//! dominates; on the bursty email store multiple states are used
+//! (C0(i)S0(i) and C6S0(i)); tighter budgets (ρ_b = 0.6) push toward
+//! deeper states (faster processing creates sleep opportunities).
+
+use crate::{write_csv, Quality};
+use rand::SeedableRng;
+use sleepscale::{run, CandidateSet, QosConstraint, RuntimeConfig, SleepScaleStrategy};
+use sleepscale_predict::LmsCusum;
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::{
+    replay_trace, traces, ReplayConfig, WorkloadDistributions, WorkloadSpec,
+};
+
+/// One (trace, workload, ρ_b) cell's selected-state distribution.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Trace short name (`"fs"`, `"es"`).
+    pub trace: String,
+    /// Workload name.
+    pub workload: String,
+    /// Peak design utilization.
+    pub rho_b: f64,
+    /// `(program label, fraction of epochs)` sorted by descending
+    /// fraction.
+    pub fractions: Vec<(String, f64)>,
+}
+
+/// Runs one cell.
+pub fn run_cell(trace_name: &str, spec: &WorkloadSpec, rho_b: f64, q: Quality) -> Cell {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + rho_b.to_bits() % 97);
+    let dists =
+        WorkloadDistributions::empirical(spec, 10_000, &mut rng).expect("table-5 spec fits");
+    let full = match trace_name {
+        "fs" => traces::file_server(1, super::fig7::TRACE_SEED),
+        _ => traces::email_store(1, super::fig7::TRACE_SEED),
+    };
+    let start = q.day_start_minute();
+    let trace = full.window(start, start + q.day_minutes());
+    let jobs =
+        replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).expect("valid replay");
+    let config = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(rho_b).expect("valid rho_b"))
+        .epoch_minutes(5)
+        .eval_jobs(q.eval_jobs())
+        .over_provisioning(0.35)
+        .build()
+        .expect("valid runtime config");
+    let mut strategy = SleepScaleStrategy::new(&config, CandidateSet::standard())
+        .with_predictor(Box::new(LmsCusum::new(10)));
+    let report = run(&trace, &jobs, &mut strategy, &SimEnv::xeon_cpu_bound(), &config)
+        .expect("runtime completes");
+    Cell {
+        trace: trace_name.to_string(),
+        workload: spec.name().to_string(),
+        rho_b,
+        fractions: report.program_fractions(),
+    }
+}
+
+/// Generates all eight cells.
+pub fn generate(q: Quality) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for trace in ["fs", "es"] {
+        for spec in [WorkloadSpec::dns(), WorkloadSpec::google()] {
+            for rho_b in [0.6, 0.8] {
+                cells.push(run_cell(trace, &spec, rho_b, q));
+            }
+        }
+    }
+    cells
+}
+
+/// Prints the figure and writes `results/fig10.csv`.
+pub fn run_figure(q: Quality) -> std::io::Result<()> {
+    let cells = generate(q);
+    println!("== Figure 10: distribution of selected low-power states ==");
+    let mut rows = Vec::new();
+    for c in &cells {
+        let summary: Vec<String> = c
+            .fractions
+            .iter()
+            .map(|(label, frac)| format!("{label}: {:.0}%", frac * 100.0))
+            .collect();
+        println!("{}/{} rho_b={}: {}", c.trace, c.workload, c.rho_b, summary.join(", "));
+        for (label, frac) in &c.fractions {
+            rows.push(vec![
+                c.trace.clone(),
+                c.workload.clone(),
+                format!("{}", c.rho_b),
+                label.clone(),
+                format!("{:.4}", frac),
+            ]);
+        }
+    }
+    let path = write_csv("fig10", &["trace", "workload", "rho_b", "state", "fraction"], &rows)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_server_is_dominated_by_one_state() {
+        // Low, stable utilization: a single state should take most
+        // epochs (paper: "a single low-power state often suffices").
+        let cell = run_cell("fs", &WorkloadSpec::dns(), 0.8, Quality::Quick);
+        assert!(!cell.fractions.is_empty());
+        assert!(
+            cell.fractions[0].1 > 0.5,
+            "dominant state only {:.0}%: {:?}",
+            cell.fractions[0].1 * 100.0,
+            cell.fractions
+        );
+    }
+
+    #[test]
+    fn email_store_uses_multiple_states() {
+        let cell = run_cell("es", &WorkloadSpec::dns(), 0.8, Quality::Quick);
+        assert!(
+            cell.fractions.len() >= 2,
+            "bursty trace should mix states: {:?}",
+            cell.fractions
+        );
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let cell = run_cell("fs", &WorkloadSpec::dns(), 0.6, Quality::Quick);
+        let total: f64 = cell.fractions.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

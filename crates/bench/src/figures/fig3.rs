@@ -1,0 +1,156 @@
+//! Figure 3: delaying entry into C6S3 (two-stage program
+//! `C0(i)S0(i) → C6S3` after τ2) interpolates between the immediate
+//! C0(i)S0(i) and immediate C6S3 curves for the Google-like workload at
+//! ρ = 0.1, and beats both at mid-range response budgets.
+
+use crate::{bowl, curves_to_rows, ideal_stream, print_curves, write_csv, Curve, Quality};
+use sleepscale_power::{presets, SleepProgram, SleepStage, SystemState};
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::WorkloadSpec;
+
+/// Generates the four curves (immediate C0(i)S0(i), immediate C6S3,
+/// delayed τ2 = 30/µ, delayed τ2 = 50/µ).
+pub fn generate(q: Quality) -> Vec<Curve> {
+    let spec = WorkloadSpec::google();
+    let rho = 0.1;
+    let env = SimEnv::xeon_cpu_bound();
+    let jobs = ideal_stream(&spec, rho, q.jobs(), 300);
+    let mu_inv = spec.service_mean();
+
+    let delayed = |tau_mult: f64| {
+        SleepProgram::new(vec![
+            presets::C0I_S0I,
+            SleepStage::new(SystemState::C6_S3, tau_mult * mu_inv, presets::WAKE_C6_S3)
+                .expect("valid delayed stage"),
+        ])
+        .expect("valid two-stage program")
+    };
+
+    vec![
+        bowl(
+            &jobs,
+            "C0(i)S0(i)",
+            &SleepProgram::immediate(presets::C0I_S0I),
+            rho,
+            q.freq_step(),
+            mu_inv,
+            &env,
+        ),
+        bowl(
+            &jobs,
+            "C6S3",
+            &SleepProgram::immediate(presets::C6_S3),
+            rho,
+            q.freq_step(),
+            mu_inv,
+            &env,
+        ),
+        bowl(&jobs, "C0(i)S0(i)->C6S3 tau2=30/mu", &delayed(30.0), rho, q.freq_step(), mu_inv, &env),
+        bowl(&jobs, "C0(i)S0(i)->C6S3 tau2=50/mu", &delayed(50.0), rho, q.freq_step(), mu_inv, &env),
+    ]
+}
+
+/// Prints the figure and writes `results/fig3.csv`.
+pub fn run(q: Quality) -> std::io::Result<()> {
+    let curves = generate(q);
+    print_curves("Figure 3: delayed C6S3 entry, Google-like, rho = 0.1", &curves);
+    let path = write_csv("fig3", &["program", "f", "norm_response", "power_w"], &curves_to_rows(&curves))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power_at_budget(c: &Curve, budget: f64) -> Option<f64> {
+        c.min_power_within(budget).map(|p| p.power)
+    }
+
+    #[test]
+    fn delayed_entry_beats_immediate_extremes_at_mid_budget() {
+        // Paper: "by delaying C6S3, more power savings can be made at
+        // mild mean response time budget (e.g. µE[R] = 20)". With the
+        // appendix's own formulas at λ = 23.8/s and w = 1 s, that win
+        // appears on the τ2 = 50/µ curve: its setup penalty is small
+        // enough to reach µE[R] ≈ 20 while running a slower clock than
+        // immediate C0(i)S0(i) can afford at that budget.
+        // The figure's lesson is a pointwise curve comparison: *at the
+        // same achieved response level* (a mild µE[R] ≈ 25–30, i.e. the
+        // right-hand side of the plot), the delayed-C6S3 curve draws
+        // less power than immediate C0(i)S0(i) — the shallow curve is
+        // there only by running a barely-stable clock, which inflates
+        // its 1/f idle term. The delayed curve's rare 1 s wakes make a
+        // Monte-Carlo version of this check noisy, so it uses the
+        // paper's own closed forms (already cross-validated against the
+        // simulator in `sleepscale-analytic`).
+        use sleepscale_analytic::PolicyAnalyzer;
+        use sleepscale_power::{Frequency, FrequencyScaling, Policy};
+        let spec = WorkloadSpec::google();
+        let power = presets::xeon();
+        let analyzer = PolicyAnalyzer::from_utilization(
+            &power,
+            FrequencyScaling::CpuBound,
+            spec.mu(),
+            0.1,
+        )
+        .unwrap();
+        let delayed50 = SleepProgram::new(vec![
+            presets::C0I_S0I,
+            SleepStage::new(SystemState::C6_S3, 50.0 * spec.service_mean(), presets::WAKE_C6_S3)
+                .unwrap(),
+        ])
+        .unwrap();
+        let shallow = SleepProgram::immediate(presets::C0I_S0I);
+        let target = 27.0;
+        // Power at the frequency whose analytic µE[R] is closest to the
+        // target level, per program.
+        let at_level = |program: &SleepProgram| -> f64 {
+            let mut best: Option<(f64, f64)> = None; // (|µE[R]−target|, power)
+            for i in 12..=100 {
+                let f = Frequency::new(i as f64 / 100.0).unwrap();
+                let policy = Policy::new(f, program.clone());
+                let Ok(out) = analyzer.analyze(&policy) else { continue };
+                let gap = (out.normalized_mean_response - target).abs();
+                if best.is_none_or(|(g, _)| gap < g) {
+                    best = Some((gap, out.avg_power));
+                }
+            }
+            best.expect("some stable frequency exists").1
+        };
+        let p_delayed = at_level(&delayed50);
+        let p_shallow = at_level(&shallow);
+        assert!(
+            p_delayed < p_shallow,
+            "delayed C6S3 ({p_delayed:.1} W) should beat immediate C0(i)S0(i) \
+             ({p_shallow:.1} W) at µE[R] ≈ {target}"
+        );
+        // And the simulated curves confirm immediate C6S3 cannot even
+        // reach this response level (its 1 s wake alone is ≈ 238
+        // normalized units).
+        let curves = generate(Quality::Quick);
+        assert!(power_at_budget(&curves[1], target).is_none());
+    }
+
+    #[test]
+    fn tau2_interpolates_between_the_extremes() {
+        // τ2 = 0 is immediate C6S3, τ2 = ∞ is immediate C0(i)S0(i); a
+        // larger delay moves the curve toward the shallow extreme.
+        let curves = generate(Quality::Quick);
+        let p30 = curves[2].min_power_point().unwrap().power;
+        let p50 = curves[3].min_power_point().unwrap().power;
+        let shallow = curves[0].min_power_point().unwrap().power;
+        let deep = curves[1].min_power_point().unwrap().power;
+        assert!(p50 <= p30 + 1.0, "tau2=50/µ ({p50:.1}) sits closer to shallow than 30/µ ({p30:.1})");
+        assert!(p50 >= shallow - 1.0, "delayed curves do not beat the shallow *unconstrained* optimum");
+        assert!(p30 <= deep + 1.0, "delayed curves improve on immediate C6S3");
+        // Response floors also interpolate: min achievable µE[R] shrinks
+        // as the delay grows.
+        let floor = |c: &Curve| {
+            c.points.iter().map(|p| p.norm_response).fold(f64::INFINITY, f64::min)
+        };
+        assert!(floor(&curves[1]) > floor(&curves[2]));
+        assert!(floor(&curves[2]) > floor(&curves[3]));
+        assert!(floor(&curves[3]) > floor(&curves[0]));
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 4: the service-time/frequency scaling law changes the optimal
+//! frequency — DNS-like workload at ρ = 0.1 under `µf`, `µf^0.5`,
+//! `µf^0.2` and memory-bound `µ`.
+
+use crate::{bowl, curves_to_rows, ideal_stream, print_curves, write_csv, Curve, Quality};
+use sleepscale_power::{presets, FrequencyScaling, SleepProgram};
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::WorkloadSpec;
+
+/// Generates the four scaling-law curves (C6S3 program, the DNS-optimal
+/// state at this operating point).
+pub fn generate(q: Quality) -> Vec<Curve> {
+    let spec = WorkloadSpec::dns();
+    let rho = 0.1;
+    let jobs = ideal_stream(&spec, rho, q.jobs(), 400);
+    let program = SleepProgram::immediate(presets::C6_S3);
+    let laws = [
+        FrequencyScaling::CpuBound,
+        FrequencyScaling::sublinear(0.5).expect("valid"),
+        FrequencyScaling::sublinear(0.2).expect("valid"),
+        FrequencyScaling::MemoryBound,
+    ];
+    laws.iter()
+        .map(|law| {
+            let env = SimEnv::xeon_cpu_bound().with_scaling(*law);
+            bowl(&jobs, law.to_string(), &program, rho, q.freq_step(), spec.service_mean(), &env)
+        })
+        .collect()
+}
+
+/// Prints the figure and writes `results/fig4.csv`.
+pub fn run(q: Quality) -> std::io::Result<()> {
+    let curves = generate(q);
+    print_curves("Figure 4: CPU-boundness, DNS-like, rho = 0.1", &curves);
+    for c in &curves {
+        let best = c.min_power_point().expect("non-empty");
+        println!(">> {}: optimal f = {:.2} ({:.1} W)", c.label, best.f, best.power);
+    }
+    let path =
+        write_csv("fig4", &["scaling", "f", "norm_response", "power_w"], &curves_to_rows(&curves))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_optimum_is_the_lowest_frequency() {
+        let curves = generate(Quality::Quick);
+        let mem = curves.last().unwrap();
+        let best = mem.min_power_point().unwrap();
+        let min_f = mem.points.first().unwrap().f;
+        assert!((best.f - min_f).abs() < 1e-9, "memory-bound best f = {}", best.f);
+        // Response is frequency-insensitive.
+        let r0 = mem.points.first().unwrap().norm_response;
+        let r1 = mem.points.last().unwrap().norm_response;
+        assert!((r0 - r1).abs() / r0 < 0.05);
+    }
+
+    #[test]
+    fn weaker_coupling_pushes_the_optimum_frequency_down() {
+        let curves = generate(Quality::Quick);
+        let optima: Vec<f64> =
+            curves.iter().map(|c| c.min_power_point().unwrap().f).collect();
+        // µf, µf^0.5, µf^0.2, µ: each weaker coupling wants an equal or
+        // lower clock.
+        for pair in optima.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 0.051,
+                "optimal f should not increase as coupling weakens: {optima:?}"
+            );
+        }
+        assert!(optima[0] > optima[3], "CPU-bound vs memory-bound must differ: {optima:?}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Figure 6: the policy maps — optimal (frequency, low-power state) as a
+//! function of utilization, for DNS-like and Google-like workloads,
+//! QoS ∈ {normalized mean response, 95th percentile}, ρ_b ∈ {0.6, 0.8},
+//! computed by both the idealized closed-form model (solid curves) and
+//! the BigHouse-substitute empirical statistics (dashed curves).
+
+use crate::{write_csv, Quality};
+use sleepscale_analytic::PolicyAnalyzer;
+use sleepscale_power::{presets, FrequencyGrid, FrequencyScaling, Policy, SleepProgram};
+use sleepscale_sim::{generator, sweep, SimEnv};
+use sleepscale_workloads::{WorkloadDistributions, WorkloadSpec};
+
+/// Which QoS family a map uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Qos {
+    /// `µE[R] ≤ 1/(1−ρ_b)`.
+    Mean,
+    /// `Pr(R ≥ d) ≤ 0.05` with `µd = ln(20)/(1−ρ_b)`.
+    Tail,
+}
+
+impl Qos {
+    fn label(self) -> &'static str {
+        match self {
+            Qos::Mean => "E[R]",
+            Qos::Tail => "p95",
+        }
+    }
+}
+
+/// Which workload model scores the candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Poisson/exponential closed forms (solid curves).
+    Idealized,
+    /// BigHouse-substitute empirical statistics via simulation (dashed).
+    Empirical,
+}
+
+impl Model {
+    fn label(self) -> &'static str {
+        match self {
+            Model::Idealized => "idealized",
+            Model::Empirical => "empirical",
+        }
+    }
+}
+
+/// One utilization's optimal policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapPoint {
+    /// Offered utilization.
+    pub rho: f64,
+    /// Optimal frequency.
+    pub f: f64,
+    /// Optimal low-power state label.
+    pub state: String,
+}
+
+/// One curve of Figure 6.
+#[derive(Debug, Clone)]
+pub struct PolicyMap {
+    /// Workload name.
+    pub workload: String,
+    /// QoS family.
+    pub qos: Qos,
+    /// Peak design utilization.
+    pub rho_b: f64,
+    /// Scoring model.
+    pub model: Model,
+    /// Per-utilization optima.
+    pub points: Vec<MapPoint>,
+}
+
+fn rho_grid(rho_b: f64, step: f64) -> Vec<f64> {
+    let mut rhos = Vec::new();
+    let mut rho = 0.05;
+    while rho < rho_b - 1e-9 {
+        rhos.push(rho);
+        rho += step;
+    }
+    rhos
+}
+
+/// Computes one map (one curve of one panel).
+pub fn generate_one(
+    spec: &WorkloadSpec,
+    qos: Qos,
+    rho_b: f64,
+    model: Model,
+    q: Quality,
+) -> PolicyMap {
+    let mean_service = spec.service_mean();
+    let mu = spec.mu();
+    let budget = 1.0 / (1.0 - rho_b);
+    let deadline = 20.0_f64.ln() / (1.0 - rho_b) * mean_service;
+    let programs = presets::standard_programs();
+    let env = SimEnv::xeon_cpu_bound();
+    let power = presets::xeon();
+
+    let mut points = Vec::new();
+    for (i, rho) in rho_grid(rho_b, q.rho_step()).into_iter().enumerate() {
+        let grid = FrequencyGrid::new((rho + 0.02).min(1.0), 1.0, q.freq_step())
+            .expect("valid policy-map grid");
+        let best: Option<(Policy, f64)> = match model {
+            Model::Idealized => {
+                let analyzer =
+                    PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, rho)
+                        .expect("valid analyzer");
+                match qos {
+                    Qos::Mean => analyzer
+                        .min_power_policy(&programs, &grid, budget)
+                        .map(|(p, o)| (p, o.avg_power)),
+                    Qos::Tail => idealized_tail_optimum(&analyzer, &programs, &grid, deadline),
+                }
+            }
+            Model::Empirical => {
+                let jobs = empirical_stream(spec, rho, q.jobs(), 600 + i as u64);
+                let evals = sweep::grid_sweep(&jobs, &programs, &grid, &env);
+                evals
+                    .into_iter()
+                    .filter(|e| match qos {
+                        Qos::Mean => e.outcome.normalized_mean_response(mean_service) <= budget,
+                        Qos::Tail => e.outcome.fraction_exceeding(deadline) <= 0.05,
+                    })
+                    .map(|e| {
+                        let w = e.outcome.avg_power().as_watts();
+                        (e.policy, w)
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            }
+        };
+        if let Some((policy, _)) = best {
+            points.push(MapPoint {
+                rho,
+                f: policy.frequency().get(),
+                state: policy.program().label(),
+            });
+        }
+    }
+    PolicyMap { workload: spec.name().to_string(), qos, rho_b, model, points }
+}
+
+/// Min-power policy under the tail constraint using the closed-form
+/// `Pr(R ≥ d)` (single immediate states have exact tails).
+fn idealized_tail_optimum(
+    analyzer: &PolicyAnalyzer<'_>,
+    programs: &[SleepProgram],
+    grid: &FrequencyGrid,
+    deadline: f64,
+) -> Option<(Policy, f64)> {
+    let mut best: Option<(Policy, f64)> = None;
+    for program in programs {
+        for f in grid.iter() {
+            let policy = Policy::new(f, program.clone());
+            let Ok(model) = analyzer.model(&policy) else { continue };
+            let Ok(tail) = model.prob_response_exceeds(deadline) else { continue };
+            if tail > 0.05 {
+                continue;
+            }
+            let p = model.avg_power();
+            if best.as_ref().is_none_or(|(_, b)| p < *b) {
+                best = Some((policy, p));
+            }
+        }
+    }
+    best
+}
+
+/// A BigHouse-substitute stream rescaled to offered utilization `rho`.
+fn empirical_stream(
+    spec: &WorkloadSpec,
+    rho: f64,
+    n: usize,
+    seed: u64,
+) -> sleepscale_sim::JobStream {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dists = WorkloadDistributions::empirical(spec, 10_000, &mut rng)
+        .expect("table-5 specs always fit");
+    let raw = generator::generate(n, &**dists.interarrival(), &**dists.service(), &mut rng)
+        .expect("empirical samples are valid");
+    // Rescale measured inter-arrivals so offered utilization hits rho.
+    let target_ia = raw.mean_size() / rho;
+    let factor = target_ia / raw.mean_interarrival();
+    raw.with_interarrivals_scaled(factor).expect("positive factor")
+}
+
+/// Generates all 16 curves (2 workloads × 2 QoS × 2 ρ_b × 2 models).
+pub fn generate(q: Quality) -> Vec<PolicyMap> {
+    let mut maps = Vec::new();
+    for spec in [WorkloadSpec::dns(), WorkloadSpec::google()] {
+        for qos in [Qos::Mean, Qos::Tail] {
+            for rho_b in [0.6, 0.8] {
+                for model in [Model::Idealized, Model::Empirical] {
+                    maps.push(generate_one(&spec, qos, rho_b, model, q));
+                }
+            }
+        }
+    }
+    maps
+}
+
+/// Prints the figure and writes `results/fig6.csv`.
+pub fn run(q: Quality) -> std::io::Result<()> {
+    let maps = generate(q);
+    let mut rows = Vec::new();
+    for m in &maps {
+        println!(
+            "== Figure 6: {} {} rho_b={} ({}) ==",
+            m.workload,
+            m.qos.label(),
+            m.rho_b,
+            m.model.label()
+        );
+        println!("{:>6} {:>8} {:>12}", "rho", "f", "state");
+        for p in &m.points {
+            println!("{:>6.2} {:>8.2} {:>12}", p.rho, p.f, p.state);
+            rows.push(vec![
+                m.workload.clone(),
+                m.qos.label().to_string(),
+                format!("{}", m.rho_b),
+                m.model.label().to_string(),
+                format!("{:.2}", p.rho),
+                format!("{:.3}", p.f),
+                p.state.clone(),
+            ]);
+        }
+    }
+    let path = write_csv(
+        "fig6",
+        &["workload", "qos", "rho_b", "model", "rho", "f", "state"],
+        &rows,
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dns_map_uses_shallow_then_deep_states() {
+        // Paper Figure 6(a): C0(i)S0(i) at low utilization, C6S0(i) at
+        // high utilization, ρ_b = 0.8, idealized model.
+        let m = generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Idealized, Quality::Quick);
+        assert!(!m.points.is_empty());
+        let first = &m.points[0];
+        let last = m.points.last().unwrap();
+        assert!(first.state == "C0(i)S0(i)" || first.state == "C6S3", "low-rho: {}", first.state);
+        assert_eq!(last.state, "C6S0(i)", "high-rho state");
+    }
+
+    #[test]
+    fn frequency_grows_with_utilization_in_the_linear_regime() {
+        let m = generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.6, Model::Idealized, Quality::Quick);
+        let fs: Vec<f64> = m.points.iter().map(|p| p.f).collect();
+        assert!(fs.len() >= 3);
+        assert!(
+            fs.last().unwrap() > fs.first().unwrap(),
+            "f must rise across the map: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn idealized_and_empirical_agree_on_state_for_dns() {
+        // Paper: "Often the idealized model computes the best choice of
+        // low-power state" — DNS has Cv ≈ 1 so the two models agree
+        // closely.
+        let ideal =
+            generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Idealized, Quality::Quick);
+        let emp =
+            generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Empirical, Quality::Quick);
+        let matches = ideal
+            .points
+            .iter()
+            .zip(&emp.points)
+            .filter(|(a, b)| a.state == b.state)
+            .count();
+        assert!(
+            matches * 2 >= ideal.points.len().min(emp.points.len()),
+            "states should mostly agree: {matches}/{}",
+            ideal.points.len()
+        );
+    }
+
+    #[test]
+    fn tighter_rho_b_never_picks_lower_frequency() {
+        let loose =
+            generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Idealized, Quality::Quick);
+        let tight =
+            generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.6, Model::Idealized, Quality::Quick);
+        for (t, l) in tight.points.iter().zip(&loose.points) {
+            assert!(
+                t.f >= l.f - 1e-9,
+                "rho={}: tight {} < loose {}",
+                t.rho,
+                t.f,
+                l.f
+            );
+        }
+    }
+}

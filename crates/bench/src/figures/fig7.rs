@@ -1,0 +1,62 @@
+//! Figure 7: the 3-day minute-granularity utilization traces (file
+//! server and email store) — synthesized substitutes, see DESIGN.md.
+
+use crate::{write_csv, Quality};
+use sleepscale_workloads::traces;
+
+/// Trace seed used across the evaluation figures.
+pub const TRACE_SEED: u64 = 7;
+
+/// Generates the two 3-day traces.
+pub fn generate(_q: Quality) -> (traces::UtilizationTrace, traces::UtilizationTrace) {
+    (traces::file_server(3, TRACE_SEED), traces::email_store(3, TRACE_SEED))
+}
+
+/// Prints summary statistics and writes `results/fig7.csv`.
+pub fn run(q: Quality) -> std::io::Result<()> {
+    let (fs, es) = generate(q);
+    println!("== Figure 7: utilization traces (3 days, minute granularity) ==");
+    for t in [&fs, &es] {
+        println!(
+            "{}: mean {:.3}, min {:.3}, max {:.3}, {} minutes",
+            t.name(),
+            t.mean(),
+            t.min(),
+            t.max(),
+            t.len()
+        );
+    }
+    // Hourly summary to stdout (full minute data goes to the CSV).
+    println!("{:>6} {:>12} {:>12}", "hour", "file_server", "email_store");
+    for h in 0..72 {
+        let avg = |t: &traces::UtilizationTrace| {
+            (h * 60..(h + 1) * 60).map(|m| t.at(m)).sum::<f64>() / 60.0
+        };
+        println!("{:>6} {:>12.3} {:>12.3}", h, avg(&fs), avg(&es));
+    }
+    let rows: Vec<Vec<String>> = (0..fs.len())
+        .map(|m| {
+            vec![m.to_string(), format!("{:.4}", fs.at(m)), format!("{:.4}", es.at(m))]
+        })
+        .collect();
+    let path = write_csv("fig7", &["minute", "file_server", "email_store"], &rows)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_have_figure7_features() {
+        let (fs, es) = generate(Quality::Quick);
+        assert_eq!(fs.len(), 3 * 24 * 60);
+        assert_eq!(es.len(), 3 * 24 * 60);
+        // File server: low range (paper y-axis tops at ~0.2).
+        assert!(fs.max() < 0.3);
+        // Email store: wide range 0.1–0.9 with surges.
+        assert!(es.max() > 0.8);
+        assert!(es.min() < 0.25);
+    }
+}

@@ -1,0 +1,164 @@
+//! Figure 8: average response time under different utilization
+//! predictors (LMS+CUSUM, LMS, naive-previous, offline genie) and policy
+//! update intervals T, with no over-provisioning (α = 0).
+//!
+//! Paper shape: every causal predictor overshoots the µE\[R\] = 5 budget
+//! (mispredicted surges back the queue up); smaller T mitigates
+//! prediction error; LC ≈ NP ≤ LMS; offline does best.
+
+use crate::{write_csv, Quality};
+use rand::SeedableRng;
+use sleepscale::{run, CandidateSet, QosConstraint, RuntimeConfig, SleepScaleStrategy};
+use sleepscale_predict::{Lms, LmsCusum, NaivePrevious, Offline, Predictor};
+use sleepscale_sim::{JobStream, SimEnv};
+use sleepscale_workloads::{
+    replay_trace, traces, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
+};
+
+/// One bar of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Predictor name (`"LC"`, `"LMS"`, `"NP"`, `"Offline"`).
+    pub predictor: String,
+    /// Policy update interval T in minutes.
+    pub t_minutes: usize,
+    /// Realized normalized mean response `µE\[R\]`.
+    pub norm_response: f64,
+    /// Realized average power (W), for reference.
+    pub power_w: f64,
+}
+
+/// The evaluation scenario shared by Figures 8–10: a DNS-like server
+/// following the email-store trace over the paper's 2 AM–8 PM window.
+pub fn dns_day(q: Quality, seed: u64) -> (UtilizationTrace, JobStream, WorkloadSpec) {
+    let spec = WorkloadSpec::dns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dists =
+        WorkloadDistributions::empirical(&spec, 10_000, &mut rng).expect("table-5 spec fits");
+    let start = q.day_start_minute();
+    let trace =
+        traces::email_store(1, super::fig7::TRACE_SEED).window(start, start + q.day_minutes());
+    let jobs =
+        replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).expect("valid replay");
+    (trace, jobs, spec)
+}
+
+/// The update intervals swept.
+pub fn intervals(q: Quality) -> Vec<usize> {
+    match q {
+        Quality::Quick => vec![5, 15],
+        Quality::Full => vec![1, 5, 10, 15],
+    }
+}
+
+/// Runs one (predictor, T) cell.
+pub fn run_cell(
+    trace: &UtilizationTrace,
+    jobs: &JobStream,
+    spec: &WorkloadSpec,
+    predictor: Box<dyn Predictor>,
+    t_minutes: usize,
+    alpha: f64,
+    q: Quality,
+) -> Bar {
+    let name = predictor.name().to_string();
+    let config = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).expect("valid rho_b"))
+        .epoch_minutes(t_minutes)
+        .eval_jobs(q.eval_jobs())
+        .over_provisioning(alpha)
+        .build()
+        .expect("valid runtime config");
+    let mut strategy =
+        SleepScaleStrategy::new(&config, CandidateSet::standard()).with_predictor(predictor);
+    let report = run(trace, jobs, &mut strategy, &SimEnv::xeon_cpu_bound(), &config)
+        .expect("runtime completes");
+    Bar {
+        predictor: name,
+        t_minutes,
+        norm_response: report.normalized_mean_response(),
+        power_w: report.avg_power_watts(),
+    }
+}
+
+/// Generates all bars.
+pub fn generate(q: Quality) -> Vec<Bar> {
+    let (trace, jobs, spec) = dns_day(q, 800);
+    let mut bars = Vec::new();
+    for t in intervals(q) {
+        let predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(LmsCusum::new(10)),
+            Box::new(Lms::new(10)),
+            Box::new(NaivePrevious::new()),
+            Box::new(Offline::new(trace.values().to_vec())),
+        ];
+        for p in predictors {
+            bars.push(run_cell(&trace, &jobs, &spec, p, t, 0.0, q));
+        }
+    }
+    bars
+}
+
+/// Prints the figure and writes `results/fig8.csv`.
+pub fn run_figure(q: Quality) -> std::io::Result<()> {
+    let bars = generate(q);
+    println!("== Figure 8: response time vs predictor and update interval (alpha = 0) ==");
+    println!("{:>10} {:>6} {:>14} {:>10}", "predictor", "T", "mu*E[R]", "E[P] (W)");
+    let mut rows = Vec::new();
+    for b in &bars {
+        println!(
+            "{:>10} {:>6} {:>14.2} {:>10.1}",
+            b.predictor, b.t_minutes, b.norm_response, b.power_w
+        );
+        rows.push(vec![
+            b.predictor.clone(),
+            b.t_minutes.to_string(),
+            format!("{:.4}", b.norm_response),
+            format!("{:.2}", b.power_w),
+        ]);
+    }
+    let path = write_csv("fig8", &["predictor", "T_minutes", "norm_response", "power_w"], &rows)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_predictor_gives_lowest_response() {
+        let q = Quality::Quick;
+        let (trace, jobs, spec) = dns_day(q, 801);
+        let lc = run_cell(&trace, &jobs, &spec, Box::new(LmsCusum::new(10)), 5, 0.0, q);
+        let offline = run_cell(
+            &trace,
+            &jobs,
+            &spec,
+            Box::new(Offline::new(trace.values().to_vec())),
+            5,
+            0.0,
+            q,
+        );
+        assert!(
+            offline.norm_response <= lc.norm_response * 1.1,
+            "offline {} vs LC {}",
+            offline.norm_response,
+            lc.norm_response
+        );
+    }
+
+    #[test]
+    fn faster_updates_do_not_hurt_response() {
+        let q = Quality::Quick;
+        let (trace, jobs, spec) = dns_day(q, 802);
+        let t5 = run_cell(&trace, &jobs, &spec, Box::new(LmsCusum::new(10)), 5, 0.0, q);
+        let t15 = run_cell(&trace, &jobs, &spec, Box::new(LmsCusum::new(10)), 15, 0.0, q);
+        assert!(
+            t5.norm_response <= t15.norm_response * 1.25,
+            "T=5 {} should not be much worse than T=15 {}",
+            t5.norm_response,
+            t15.norm_response
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per paper figure. Each exposes `generate(Quality)`
+//! returning the figure's data, and `run(Quality)` that prints the
+//! series and writes `results/<id>.csv`.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

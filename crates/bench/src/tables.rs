@@ -1,0 +1,193 @@
+//! Tables 1–5: the state taxonomy, component power table, platform
+//! associations, wake-latency ranges, and workload statistics.
+
+use crate::{write_csv, Quality};
+use rand::SeedableRng;
+use sleepscale_dist::{Distribution, Moments};
+use sleepscale_power::{presets, CpuState, Frequency, PlatformState, SystemState};
+use sleepscale_workloads::{WorkloadDistributions, WorkloadSpec};
+
+/// Prints Tables 1–4 (states, powers, associations, latencies) and
+/// writes `results/table2.csv`.
+pub fn table2() -> std::io::Result<()> {
+    let model = presets::xeon();
+
+    println!("== Table 1: CPU power states ==");
+    for s in CpuState::ALL {
+        println!("{:>6}  depth {}", s.name(), s.depth());
+    }
+
+    println!("\n== Table 2: power consumption (Xeon) ==");
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>10} {:>12}",
+        "Component", "Operating", "Idle", "Sleep", "DeepSleep", "DeeperSleep"
+    );
+    let cols = |state: CpuState| model.cpu().power(state, Frequency::MAX).as_watts();
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>10} {:>12}",
+        "CPU x1",
+        format!("{}V^2f", cols(CpuState::C0Active)),
+        format!("{}V^2f", cols(CpuState::C0Idle)),
+        format!("{}V^2", cols(CpuState::C1)),
+        cols(CpuState::C3),
+        cols(CpuState::C6),
+    );
+    let mut rows = Vec::new();
+    for c in model.platform().components() {
+        let cells: Vec<f64> = (0..5).map(|i| c.column_watts(i).expect("5 columns")).collect();
+        println!(
+            "{:<10} {:>10} {:>8} {:>8} {:>10} {:>12}",
+            c.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4]
+        );
+        let mut row = vec![c.name().to_string()];
+        row.extend(cells.iter().map(|v| format!("{v}")));
+        rows.push(row);
+    }
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>10} {:>12}",
+        "Platform",
+        model.platform().power(PlatformState::S0Active).as_watts(),
+        model.platform().power(PlatformState::S0Idle).as_watts(),
+        model.platform().power(PlatformState::S0Idle).as_watts(),
+        model.platform().power(PlatformState::S0Idle).as_watts(),
+        model.platform().power(PlatformState::S3).as_watts(),
+    );
+
+    println!("\n== Table 3/4: combined states and wake-up latencies ==");
+    println!("{:<12} {:>14} {:>16}", "State", "Power@f=1 (W)", "Wake-up (s)");
+    for s in SystemState::LOW_POWER_LADDER {
+        println!(
+            "{:<12} {:>14.1} {:>16.6}",
+            s.label(),
+            model.power(s, Frequency::MAX).as_watts(),
+            presets::default_wake_latency(s)
+        );
+    }
+
+    let path = write_csv(
+        "table2",
+        &["component", "operating", "idle", "sleep", "deep_sleep", "deeper_sleep"],
+        &rows,
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// One row of the Table-5 verification: spec vs measured generator
+/// moments.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Workload name.
+    pub workload: String,
+    /// Spec vs measured (inter-arrival mean, Cv, service mean, Cv).
+    pub spec: (f64, f64, f64, f64),
+    /// Measured from the frozen empirical tables.
+    pub measured: (f64, f64, f64, f64),
+}
+
+/// Measures the BigHouse-substitute generators against Table 5.
+pub fn table5_rows(q: Quality) -> Vec<Table5Row> {
+    let n = q.jobs().max(20_000);
+    WorkloadSpec::table5()
+        .into_iter()
+        .map(|spec| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+            let d = WorkloadDistributions::empirical(&spec, 20_000, &mut rng)
+                .expect("table-5 spec fits");
+            let mut measure = |dist: &dyn Distribution| {
+                let mut m = Moments::new();
+                for _ in 0..n {
+                    m.push(dist.sample(&mut rng));
+                }
+                (m.mean(), m.cv())
+            };
+            let (ia_mean, ia_cv) = measure(&**d.interarrival());
+            let (sv_mean, sv_cv) = measure(&**d.service());
+            Table5Row {
+                workload: spec.name().to_string(),
+                spec: (
+                    spec.interarrival_mean(),
+                    spec.interarrival_cv(),
+                    spec.service_mean(),
+                    spec.service_cv(),
+                ),
+                measured: (ia_mean, ia_cv, sv_mean, sv_cv),
+            }
+        })
+        .collect()
+}
+
+/// Prints Table 5 (spec and measured) and writes `results/table5.csv`.
+pub fn table5(q: Quality) -> std::io::Result<()> {
+    let rows = table5_rows(q);
+    println!("== Table 5: workload statistics (spec vs measured generator) ==");
+    println!(
+        "{:<8} {:>12} {:>8} {:>12} {:>8}   {:>12} {:>8} {:>12} {:>8}",
+        "name", "ia_mean", "ia_cv", "sv_mean", "sv_cv", "m_ia_mean", "m_ia_cv", "m_sv_mean",
+        "m_sv_cv"
+    );
+    let mut csv = Vec::new();
+    for r in &rows {
+        println!(
+            "{:<8} {:>12.6} {:>8.2} {:>12.6} {:>8.2}   {:>12.6} {:>8.2} {:>12.6} {:>8.2}",
+            r.workload,
+            r.spec.0,
+            r.spec.1,
+            r.spec.2,
+            r.spec.3,
+            r.measured.0,
+            r.measured.1,
+            r.measured.2,
+            r.measured.3
+        );
+        csv.push(vec![
+            r.workload.clone(),
+            format!("{:.6}", r.spec.0),
+            format!("{:.3}", r.spec.1),
+            format!("{:.6}", r.spec.2),
+            format!("{:.3}", r.spec.3),
+            format!("{:.6}", r.measured.0),
+            format!("{:.3}", r.measured.1),
+            format!("{:.6}", r.measured.2),
+            format!("{:.3}", r.measured.3),
+        ]);
+    }
+    let path = write_csv(
+        "table5",
+        &[
+            "workload",
+            "spec_ia_mean",
+            "spec_ia_cv",
+            "spec_sv_mean",
+            "spec_sv_cv",
+            "meas_ia_mean",
+            "meas_ia_cv",
+            "meas_sv_mean",
+            "meas_sv_cv",
+        ],
+        &csv,
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_generators_match_published_moments() {
+        for r in table5_rows(Quality::Quick) {
+            let rel = |a: f64, b: f64| (a - b).abs() / b;
+            assert!(rel(r.measured.0, r.spec.0) < 0.1, "{}: ia mean", r.workload);
+            assert!(rel(r.measured.2, r.spec.2) < 0.1, "{}: sv mean", r.workload);
+            assert!(rel(r.measured.1, r.spec.1) < 0.3, "{}: ia cv", r.workload);
+            assert!(rel(r.measured.3, r.spec.3) < 0.3, "{}: sv cv", r.workload);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+use crate::dispatch::{Dispatcher, ServerView};
+use crate::report::{ClusterReport, ServerSummary};
+use sleepscale::{CandidateSet, CoreError, RuntimeConfig, SleepScaleStrategy, Strategy};
+use sleepscale_dist::SummaryStats;
+use sleepscale_sim::{Job, JobRecord, JobStream, OnlineSim, SimEnv};
+use sleepscale_workloads::UtilizationTrace;
+
+/// Cluster-level configuration: fleet size plus the per-server runtime
+/// configuration every controller is instantiated from.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    n_servers: usize,
+    runtime: RuntimeConfig,
+}
+
+impl ClusterConfig {
+    /// A fleet of `n_servers` (clamped to ≥ 1), each running its own
+    /// SleepScale controller configured by `runtime`.
+    pub fn new(n_servers: usize, runtime: RuntimeConfig) -> ClusterConfig {
+        ClusterConfig { n_servers: n_servers.max(1), runtime }
+    }
+
+    /// Fleet size.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// The per-server runtime configuration.
+    pub fn runtime(&self) -> &RuntimeConfig {
+        &self.runtime
+    }
+}
+
+struct ServerSlot {
+    sim: OnlineSim,
+    strategy: SleepScaleStrategy,
+    policy: Option<sleepscale_power::Policy>,
+    epoch_records: Vec<JobRecord>,
+    epoch_work: f64,
+    all_jobs: usize,
+    response_sum: f64,
+}
+
+/// A fleet of servers, each with its own queue, power state, and
+/// SleepScale controller; a [`Dispatcher`] splits the cluster-wide
+/// arrival stream across them.
+///
+/// The utilization trace is interpreted cluster-wide: `ρ(t)` is the
+/// offered load as a fraction of *total* fleet capacity, so the job
+/// stream should be generated for arrival rate `ρ(t)·N·µ` (see
+/// [`Cluster::scale_trace_for_fleet`]).
+pub struct Cluster {
+    servers: Vec<ServerSlot>,
+    epoch_seconds: f64,
+    mean_service: f64,
+    epoch_minutes: usize,
+}
+
+impl Cluster {
+    /// Builds the fleet; every server gets an independent SleepScale
+    /// strategy over `candidates` and its own energy ledger in `env`.
+    pub fn new(config: &ClusterConfig, candidates: CandidateSet, env: SimEnv) -> Cluster {
+        let epoch_seconds = config.runtime().epoch_minutes() as f64 * 60.0;
+        let servers = (0..config.n_servers())
+            .map(|_| ServerSlot {
+                sim: OnlineSim::new(env.clone(), epoch_seconds),
+                strategy: SleepScaleStrategy::new(config.runtime(), candidates.clone()),
+                policy: None,
+                epoch_records: Vec::new(),
+                epoch_work: 0.0,
+                all_jobs: 0,
+                response_sum: 0.0,
+            })
+            .collect();
+        Cluster {
+            servers,
+            epoch_seconds,
+            mean_service: config.runtime().mean_service(),
+            epoch_minutes: config.runtime().epoch_minutes(),
+        }
+    }
+
+    /// Runs the fleet over a trace and cluster-wide job stream.
+    ///
+    /// Generate the stream with
+    /// [`sleepscale_workloads::ReplayConfig::for_fleet`] so the arrival
+    /// *rate* carries the fleet factor while the timeline still follows
+    /// the trace (compressing inter-arrivals after the fact would
+    /// time-compress the whole day into the first `1/N` of the run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-server strategy errors.
+    pub fn run(
+        &mut self,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+        dispatcher: &mut dyn Dispatcher,
+    ) -> Result<ClusterReport, CoreError> {
+        let total_minutes = trace.len();
+        let n_epochs = total_minutes.div_ceil(self.epoch_minutes);
+        let mut responses: Vec<f64> = Vec::with_capacity(jobs.len());
+        let mut job_iter = jobs.jobs().iter().peekable();
+
+        for k in 0..n_epochs {
+            let epoch_start = k as f64 * self.epoch_seconds;
+            let epoch_end = epoch_start + self.epoch_seconds;
+
+            // Every server's controller picks its epoch policy.
+            for slot in &mut self.servers {
+                slot.policy = Some(slot.strategy.begin_epoch(k)?);
+                slot.epoch_records.clear();
+                slot.epoch_work = 0.0;
+            }
+
+            // Dispatch this epoch's arrivals one at a time; the view the
+            // dispatcher sees reflects each server's live backlog.
+            while let Some(job) = job_iter.peek() {
+                if job.arrival >= epoch_end {
+                    break;
+                }
+                let job: Job = **job;
+                job_iter.next();
+                let views: Vec<ServerView> = self
+                    .servers
+                    .iter()
+                    .enumerate()
+                    .map(|(index, s)| ServerView {
+                        index,
+                        backlog_seconds: (s.sim.state().free_time() - job.arrival).max(0.0),
+                    })
+                    .collect();
+                let target = dispatcher.route(&job, &views).min(self.servers.len() - 1);
+                let slot = &mut self.servers[target];
+                let policy = slot.policy.as_ref().expect("policy set at epoch start");
+                let out = slot.sim.run_epoch(std::slice::from_ref(&job), policy, epoch_end);
+                let record = out.records()[0];
+                responses.push(record.response());
+                slot.response_sum += record.response();
+                slot.all_jobs += 1;
+                slot.epoch_work += record.size;
+                slot.epoch_records.push(record);
+            }
+
+            // Close the epoch: feed logs and per-server realized
+            // utilization — dispatched work plus backlog pressure (a
+            // backlogged server measures itself saturated; see
+            // `sleepscale::run` for the same feedback rule).
+            for slot in &mut self.servers {
+                let records = std::mem::take(&mut slot.epoch_records);
+                slot.strategy.end_epoch(&records);
+                let pressure =
+                    (slot.sim.state().free_time() - epoch_end).max(0.0) / self.epoch_seconds;
+                let rho_server =
+                    (slot.epoch_work / self.epoch_seconds + pressure).clamp(0.0, 0.97);
+                let minutes = self.epoch_minutes.min(total_minutes - k * self.epoch_minutes);
+                for _ in 0..minutes {
+                    slot.strategy.observe_minute(rho_server);
+                }
+            }
+        }
+
+        // Close trailing idle periods and summarize.
+        let trace_end = total_minutes as f64 * 60.0;
+        let horizon = self
+            .servers
+            .iter()
+            .map(|s| s.sim.state().free_time())
+            .fold(trace_end, f64::max);
+        let mut summaries = Vec::with_capacity(self.servers.len());
+        for (index, slot) in self.servers.drain(..).enumerate() {
+            let jobs_done = slot.all_jobs;
+            let mean_response =
+                if jobs_done == 0 { 0.0 } else { slot.response_sum / jobs_done as f64 };
+            let (ledger, ..) = slot.sim.finish(horizon);
+            summaries.push(ServerSummary {
+                index,
+                jobs: jobs_done,
+                mean_response,
+                avg_power: ledger.total_energy().as_joules() / horizon,
+                energy_joules: ledger.total_energy().as_joules(),
+            });
+        }
+        let stats = SummaryStats::from_samples(responses);
+        let (total_jobs, mean_response, p95) = match &stats {
+            Some(s) => (s.count(), s.mean(), s.p95()),
+            None => (0, 0.0, 0.0),
+        };
+        Ok(ClusterReport::new(
+            dispatcher.name(),
+            summaries,
+            total_jobs,
+            mean_response,
+            p95,
+            horizon,
+            self.mean_service,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin};
+    use rand::SeedableRng;
+    use sleepscale::QosConstraint;
+    use sleepscale_workloads::{
+        replay_trace, traces, ReplayConfig, WorkloadDistributions, WorkloadSpec,
+    };
+
+    fn setup(
+        n: usize,
+        minutes: usize,
+        seed: u64,
+    ) -> (ClusterConfig, UtilizationTrace, JobStream) {
+        let spec = WorkloadSpec::dns();
+        let runtime = RuntimeConfig::builder(spec.service_mean())
+            .qos(QosConstraint::mean_response(0.8).unwrap())
+            .epoch_minutes(5)
+            .eval_jobs(300)
+            .build()
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+        let trace = traces::email_store(1, 7).window(600, 600 + minutes);
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
+        (ClusterConfig::new(n, runtime), trace, jobs)
+    }
+
+    fn run_with(
+        dispatcher: &mut dyn Dispatcher,
+        config: &ClusterConfig,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+    ) -> ClusterReport {
+        let mut cluster =
+            Cluster::new(config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        cluster.run(trace, jobs, dispatcher).unwrap()
+    }
+
+    #[test]
+    fn fleet_completes_every_job_and_sums_energy() {
+        let (config, trace, jobs) = setup(4, 60, 41);
+        let report = run_with(&mut RoundRobin::new(), &config, &trace, &jobs);
+        assert_eq!(report.total_jobs(), jobs.len());
+        assert_eq!(report.n_servers(), 4);
+        let per_server: f64 = report.servers().iter().map(|s| s.energy_joules).sum();
+        assert!((per_server - report.total_energy_joules()).abs() < 1e-6);
+        // Fleet power within physical bounds.
+        assert!(report.total_power_watts() > 4.0 * 28.0);
+        assert!(report.total_power_watts() < 4.0 * 250.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let (config, trace, jobs) = setup(4, 60, 42);
+        let report = run_with(&mut RoundRobin::new(), &config, &trace, &jobs);
+        assert!(report.load_balance_index() > 0.99, "{}", report.load_balance_index());
+    }
+
+    fn setup_constant(
+        n: usize,
+        rho_cluster: f64,
+        minutes: usize,
+        seed: u64,
+    ) -> (ClusterConfig, UtilizationTrace, JobStream) {
+        let spec = WorkloadSpec::dns();
+        let runtime = RuntimeConfig::builder(spec.service_mean())
+            .qos(QosConstraint::mean_response(0.8).unwrap())
+            .epoch_minutes(5)
+            .eval_jobs(400)
+            .build()
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+        let trace = UtilizationTrace::constant(rho_cluster, minutes).unwrap();
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
+        (ClusterConfig::new(n, runtime), trace, jobs)
+    }
+
+    /// Consolidation pays where the paper's introduction says it does:
+    /// at the 15–30% utilizations data centers actually run at, where
+    /// idle power dominates. (At high utilization packing *loses* — it
+    /// forces high clocks whose cubic busy power outweighs the idle
+    /// savings.)
+    #[test]
+    fn packing_concentrates_load_and_saves_power_at_low_utilization() {
+        let (config, trace, jobs) = setup_constant(4, 0.15, 60, 43);
+        let spread = run_with(&mut JoinShortestBacklog::new(), &config, &trace, &jobs);
+        // Pack up to ~1 s of backlog (≈ the response budget) per server.
+        let packed = run_with(&mut PackFirstFit::new(1.0), &config, &trace, &jobs);
+        assert!(
+            packed.load_balance_index() < spread.load_balance_index(),
+            "packing {} vs spreading {}",
+            packed.load_balance_index(),
+            spread.load_balance_index()
+        );
+        assert!(
+            packed.total_power_watts() < spread.total_power_watts() - 10.0,
+            "packing {:.0} W should beat spreading {:.0} W at low load",
+            packed.total_power_watts(),
+            spread.total_power_watts()
+        );
+    }
+
+    /// At high load, queueing dominates and backlog-aware routing is
+    /// structurally better than blind random routing.
+    #[test]
+    fn shortest_backlog_beats_random_on_response_at_high_load() {
+        let (config, trace, jobs) = setup_constant(4, 0.75, 60, 44);
+        let jsb = run_with(&mut JoinShortestBacklog::new(), &config, &trace, &jobs);
+        let random = run_with(&mut RandomUniform::new(9), &config, &trace, &jobs);
+        assert!(
+            jsb.mean_response_seconds() <= random.mean_response_seconds(),
+            "JSB {} vs random {}",
+            jsb.mean_response_seconds(),
+            random.mean_response_seconds()
+        );
+    }
+
+    #[test]
+    fn single_server_cluster_matches_core_runtime_shape() {
+        let (config, trace, jobs) = setup(1, 30, 45);
+        let report = run_with(&mut RoundRobin::new(), &config, &trace, &jobs);
+        assert_eq!(report.n_servers(), 1);
+        assert_eq!(report.total_jobs(), jobs.len());
+        assert!(report.normalized_mean_response() < 10.0);
+    }
+
+    #[test]
+    fn fleet_replay_densifies_without_time_compression() {
+        // ReplayConfig::for_fleet(n) must multiply the arrival *rate*
+        // while arrivals still span the whole trace window.
+        let spec = WorkloadSpec::dns();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+        let trace = UtilizationTrace::constant(0.4, 30).unwrap();
+        let single =
+            replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+        let fleet = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(4), &mut rng).unwrap();
+        let ratio = fleet.len() as f64 / single.len() as f64;
+        assert!((ratio - 4.0).abs() < 0.4, "rate ratio {ratio}");
+        // Timeline preserved: the last arrival still lands near the end.
+        assert!(fleet.last_arrival() > 0.9 * 30.0 * 60.0);
+    }
+}

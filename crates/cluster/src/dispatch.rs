@@ -1,0 +1,195 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sleepscale_sim::Job;
+
+/// What a dispatcher may observe about a server when routing
+/// (deliberately queue-level, not power-level: front-end load balancers
+/// see backlogs, not C-states).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerView {
+    /// Server index.
+    pub index: usize,
+    /// Seconds of committed work remaining at the routing instant
+    /// (0 means the server is idle, possibly asleep).
+    pub backlog_seconds: f64,
+}
+
+/// Routes each arriving job to one of `n` servers.
+pub trait Dispatcher: std::fmt::Debug {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Picks the destination server for `job`.
+    fn route(&mut self, job: &Job, servers: &[ServerView]) -> usize;
+}
+
+/// Cycles through servers in order — the classic spreading baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin pointer.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl Dispatcher for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
+        let i = self.next % servers.len();
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+}
+
+/// Uniform random routing (seeded, reproducible).
+#[derive(Debug)]
+pub struct RandomUniform {
+    rng: StdRng,
+}
+
+impl RandomUniform {
+    /// Seeded uniform router.
+    pub fn new(seed: u64) -> RandomUniform {
+        RandomUniform { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Dispatcher for RandomUniform {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
+        self.rng.gen_range(0..servers.len())
+    }
+}
+
+/// Sends each job to the server with the least committed work — the
+/// latency-optimal spreading policy.
+#[derive(Debug, Clone, Default)]
+pub struct JoinShortestBacklog;
+
+impl JoinShortestBacklog {
+    /// The JSQ-style router.
+    pub fn new() -> JoinShortestBacklog {
+        JoinShortestBacklog
+    }
+}
+
+impl Dispatcher for JoinShortestBacklog {
+    fn name(&self) -> String {
+        "join-shortest-backlog".into()
+    }
+
+    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
+        servers
+            .iter()
+            .min_by(|a, b| {
+                a.backlog_seconds
+                    .partial_cmp(&b.backlog_seconds)
+                    .expect("backlogs are finite")
+            })
+            .map(|s| s.index)
+            .expect("clusters are non-empty")
+    }
+}
+
+/// Packing: route to the lowest-indexed server whose backlog is under
+/// `threshold_seconds`; if all are saturated, fall back to the least
+/// backlog. Concentrating load leaves the tail of the fleet idle long
+/// enough to reach deep sleep — energy proportionality through
+/// consolidation.
+#[derive(Debug, Clone)]
+pub struct PackFirstFit {
+    threshold_seconds: f64,
+}
+
+impl PackFirstFit {
+    /// Packs up to `threshold_seconds` of backlog per server.
+    pub fn new(threshold_seconds: f64) -> PackFirstFit {
+        PackFirstFit { threshold_seconds: threshold_seconds.max(0.0) }
+    }
+}
+
+impl Dispatcher for PackFirstFit {
+    fn name(&self) -> String {
+        format!("pack-first-fit({}s)", self.threshold_seconds)
+    }
+
+    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
+        servers
+            .iter()
+            .find(|s| s.backlog_seconds < self.threshold_seconds)
+            .map(|s| s.index)
+            .unwrap_or_else(|| {
+                servers
+                    .iter()
+                    .min_by(|a, b| {
+                        a.backlog_seconds
+                            .partial_cmp(&b.backlog_seconds)
+                            .expect("backlogs are finite")
+                    })
+                    .map(|s| s.index)
+                    .expect("clusters are non-empty")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(backlogs: &[f64]) -> Vec<ServerView> {
+        backlogs
+            .iter()
+            .enumerate()
+            .map(|(index, &backlog_seconds)| ServerView { index, backlog_seconds })
+            .collect()
+    }
+
+    fn job() -> Job {
+        Job { id: 0, arrival: 0.0, size: 0.1 }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut d = RoundRobin::new();
+        let v = views(&[0.0, 0.0, 0.0]);
+        let picks: Vec<usize> = (0..6).map(|_| d.route(&job(), &v)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let v = views(&[0.0; 4]);
+        let picks = |seed| {
+            let mut d = RandomUniform::new(seed);
+            (0..32).map(|_| d.route(&job(), &v)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(1), picks(1));
+        assert_ne!(picks(1), picks(2));
+        assert!(picks(1).iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn shortest_backlog_picks_minimum() {
+        let mut d = JoinShortestBacklog::new();
+        assert_eq!(d.route(&job(), &views(&[3.0, 0.5, 2.0])), 1);
+    }
+
+    #[test]
+    fn pack_first_fit_fills_then_overflows() {
+        let mut d = PackFirstFit::new(1.0);
+        assert_eq!(d.route(&job(), &views(&[0.2, 0.0, 0.0])), 0);
+        assert_eq!(d.route(&job(), &views(&[1.5, 0.4, 0.0])), 1);
+        // All saturated: least backlog wins.
+        assert_eq!(d.route(&job(), &views(&[3.0, 2.0, 2.5])), 1);
+    }
+}

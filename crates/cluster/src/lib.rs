@@ -1,0 +1,53 @@
+//! Multi-server scale-out for SleepScale — the paper's Section 7 future
+//! work, built out: "Another research direction involves studying
+//! SleepScale on multi-core, multi-server systems … SleepScale can be
+//! performed on each core or server independently."
+//!
+//! A [`Cluster`] holds `N` servers, each running its **own** SleepScale
+//! controller (its own predictor, job log, and policy manager) over its
+//! own queue, exactly as the paper prescribes. A [`Dispatcher`] routes
+//! each arriving job to a server; the choice of dispatcher governs how
+//! much sleep opportunity the fleet sees:
+//!
+//! * [`RoundRobin`] / [`RandomUniform`] — spreading: every server sees a
+//!   thinned copy of the trace and idles often but briefly.
+//! * [`JoinShortestBacklog`] — classic latency-optimal spreading.
+//! * [`PackFirstFit`] — packing: fill the first servers up to a backlog
+//!   threshold so the rest of the fleet sleeps deeply (the
+//!   energy-proportionality play the paper's Section 1 motivates).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sleepscale_cluster::{Cluster, ClusterConfig, PackFirstFit};
+//! use sleepscale::{CandidateSet, QosConstraint, RuntimeConfig};
+//! use sleepscale_sim::SimEnv;
+//! # use sleepscale_workloads::{traces, WorkloadSpec, WorkloadDistributions, ReplayConfig};
+//! # use rand::SeedableRng;
+//! let spec = WorkloadSpec::dns();
+//! let runtime = RuntimeConfig::builder(spec.service_mean())
+//!     .qos(QosConstraint::mean_response(0.8)?)
+//!     .build()?;
+//! let config = ClusterConfig::new(8, runtime);
+//! let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+//! # let trace = traces::email_store(1, 7).window(480, 600);
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! # let dists = WorkloadDistributions::empirical(&spec, 4000, &mut rng)?;
+//! # let jobs = sleepscale_workloads::replay_trace(&trace, &dists, &ReplayConfig::for_fleet(8), &mut rng)?;
+//! let report = cluster.run(&trace, &jobs, &mut PackFirstFit::new(30.0))?;
+//! println!("fleet power: {:.0} W", report.total_power_watts());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod dispatch;
+mod report;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use dispatch::{
+    Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin, ServerView,
+};
+pub use report::{ClusterReport, ServerSummary};

@@ -1,0 +1,169 @@
+use serde::{Deserialize, Serialize};
+
+/// One server's aggregate over a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSummary {
+    /// Server index.
+    pub index: usize,
+    /// Jobs this server completed.
+    pub jobs: usize,
+    /// Mean response of its jobs, seconds (0 when it served none).
+    pub mean_response: f64,
+    /// Its average power over the horizon, watts.
+    pub avg_power: f64,
+    /// Its total energy, joules.
+    pub energy_joules: f64,
+}
+
+/// Fleet-level result of a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    dispatcher: String,
+    servers: Vec<ServerSummary>,
+    total_jobs: usize,
+    mean_response: f64,
+    p95_response: f64,
+    horizon_seconds: f64,
+    mean_service: f64,
+}
+
+impl ClusterReport {
+    pub(crate) fn new(
+        dispatcher: String,
+        servers: Vec<ServerSummary>,
+        total_jobs: usize,
+        mean_response: f64,
+        p95_response: f64,
+        horizon_seconds: f64,
+        mean_service: f64,
+    ) -> ClusterReport {
+        ClusterReport {
+            dispatcher,
+            servers,
+            total_jobs,
+            mean_response,
+            p95_response,
+            horizon_seconds,
+            mean_service,
+        }
+    }
+
+    /// The dispatcher used.
+    pub fn dispatcher(&self) -> &str {
+        &self.dispatcher
+    }
+
+    /// Per-server summaries, by index.
+    pub fn servers(&self) -> &[ServerSummary] {
+        &self.servers
+    }
+
+    /// Fleet size.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Jobs completed across the fleet.
+    pub fn total_jobs(&self) -> usize {
+        self.total_jobs
+    }
+
+    /// Job-weighted mean response across the fleet, seconds.
+    pub fn mean_response_seconds(&self) -> f64 {
+        self.mean_response
+    }
+
+    /// Normalized mean response `µ·E[R]`.
+    pub fn normalized_mean_response(&self) -> f64 {
+        self.mean_response / self.mean_service
+    }
+
+    /// 95th-percentile response across the fleet, seconds.
+    pub fn p95_response_seconds(&self) -> f64 {
+        self.p95_response
+    }
+
+    /// Total fleet power (sum over servers), watts.
+    pub fn total_power_watts(&self) -> f64 {
+        self.servers.iter().map(|s| s.avg_power).sum()
+    }
+
+    /// Total fleet energy, joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.servers.iter().map(|s| s.energy_joules).sum()
+    }
+
+    /// The run's horizon, seconds.
+    pub fn horizon_seconds(&self) -> f64 {
+        self.horizon_seconds
+    }
+
+    /// Jain's fairness index of per-server job counts (1 = perfectly
+    /// even spreading; → 1/N for full packing onto one server).
+    pub fn load_balance_index(&self) -> f64 {
+        let n = self.servers.len() as f64;
+        let sum: f64 = self.servers.iter().map(|s| s.jobs as f64).sum();
+        let sum_sq: f64 = self.servers.iter().map(|s| (s.jobs as f64).powi(2)).sum();
+        if sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sum_sq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(index: usize, jobs: usize, power: f64) -> ServerSummary {
+        ServerSummary {
+            index,
+            jobs,
+            mean_response: 0.2,
+            avg_power: power,
+            energy_joules: power * 100.0,
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_servers() {
+        let r = ClusterReport::new(
+            "rr".into(),
+            vec![server(0, 10, 100.0), server(1, 10, 50.0)],
+            20,
+            0.2,
+            0.5,
+            100.0,
+            0.194,
+        );
+        assert_eq!(r.total_power_watts(), 150.0);
+        assert_eq!(r.total_energy_joules(), 15_000.0);
+        assert_eq!(r.n_servers(), 2);
+        assert!((r.normalized_mean_response() - 0.2 / 0.194).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_index() {
+        let even = ClusterReport::new(
+            "rr".into(),
+            vec![server(0, 10, 1.0), server(1, 10, 1.0)],
+            20,
+            0.1,
+            0.1,
+            1.0,
+            0.1,
+        );
+        assert!((even.load_balance_index() - 1.0).abs() < 1e-12);
+        let packed = ClusterReport::new(
+            "pack".into(),
+            vec![server(0, 20, 1.0), server(1, 0, 1.0)],
+            20,
+            0.1,
+            0.1,
+            1.0,
+            0.1,
+        );
+        assert!((packed.load_balance_index() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+use serde::{Deserialize, Serialize};
+use sleepscale_power::{FrequencyGrid, Policy, SleepProgram, SystemState};
+
+/// The search space the policy manager characterizes each epoch: a set
+/// of sleep programs crossed with a frequency grid.
+///
+/// The grid adapts to the predicted utilization — frequencies below the
+/// stability floor `ρ + margin` are pointless to simulate — and is
+/// deliberately coarse (the paper notes real parts expose roughly ten
+/// settings, and re-simulation cost scales with the candidate count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSet {
+    name: String,
+    programs: Vec<SleepProgram>,
+    freq_step: f64,
+    stability_margin: f64,
+}
+
+/// Default frequency-grid spacing (≈10–18 settings over the stable
+/// range).
+pub const DEFAULT_FREQ_STEP: f64 = 0.05;
+
+/// Default margin above the predicted utilization for the lowest
+/// candidate frequency.
+pub const DEFAULT_STABILITY_MARGIN: f64 = 0.05;
+
+impl CandidateSet {
+    /// Builds a custom set.
+    pub fn new(
+        name: impl Into<String>,
+        programs: Vec<SleepProgram>,
+        freq_step: f64,
+    ) -> CandidateSet {
+        CandidateSet {
+            name: name.into(),
+            programs,
+            freq_step: freq_step.clamp(1e-3, 0.5),
+            stability_margin: DEFAULT_STABILITY_MARGIN,
+        }
+    }
+
+    /// Full SleepScale: all five single-stage immediate programs
+    /// (`C0(i)S0(i)` … `C6S3`).
+    pub fn standard() -> CandidateSet {
+        CandidateSet::new(
+            "SS",
+            sleepscale_power::presets::standard_programs(),
+            DEFAULT_FREQ_STEP,
+        )
+    }
+
+    /// SleepScale restricted to one low-power state — the paper's
+    /// `SS(C3)` uses [`SystemState::C3_S0I`].
+    pub fn single_state(state: SystemState) -> CandidateSet {
+        let stage = sleepscale_power::presets::immediate_stage(state);
+        CandidateSet::new(
+            format!("SS({})", state.cpu().name()),
+            vec![SleepProgram::immediate(stage)],
+            DEFAULT_FREQ_STEP,
+        )
+    }
+
+    /// The DVFS-only strategy: frequency scaling with *no* low-power
+    /// state at all. The paper counts `C0(i)S0(i)` among the low-power
+    /// states its policies select, so "not allowed to enter any
+    /// low-power state when idling" means idle time stays in
+    /// `C0(a)S0(a)` at the DVFS setting's active power — which is why
+    /// Section 6.1 calls DVFS-only wasteful.
+    pub fn dvfs_only() -> CandidateSet {
+        CandidateSet::new("DVFS", vec![SleepProgram::never_sleep()], DEFAULT_FREQ_STEP)
+    }
+
+    /// Adds two-stage delayed-deep-sleep programs
+    /// (`C0(i)S0(i) → C6S3` after each delay in `delays_seconds`) to the
+    /// standard set — the extended search space suggested by Figure 3.
+    pub fn with_delayed_deep_sleep(mut self, delays_seconds: &[f64]) -> CandidateSet {
+        for &d in delays_seconds {
+            let stages = vec![
+                sleepscale_power::presets::C0I_S0I,
+                sleepscale_power::SleepStage::new(
+                    SystemState::C6_S3,
+                    d,
+                    sleepscale_power::presets::WAKE_C6_S3,
+                )
+                .expect("delayed stage parameters are valid"),
+            ];
+            if let Ok(program) = SleepProgram::new(stages) {
+                self.programs.push(program);
+            }
+        }
+        self
+    }
+
+    /// Set name (used in figures: `"SS"`, `"SS(C3)"`, `"DVFS"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sleep programs searched.
+    pub fn programs(&self) -> &[SleepProgram] {
+        &self.programs
+    }
+
+    /// The frequency grid for a predicted utilization: from
+    /// `min(1, ρ + margin)` to 1 in `freq_step` increments. Falls back
+    /// to the single point `f = 1` at extreme load.
+    pub fn grid_for(&self, rho_pred: f64) -> FrequencyGrid {
+        let min = (rho_pred + self.stability_margin).clamp(self.freq_step, 1.0);
+        FrequencyGrid::new(min, 1.0, self.freq_step)
+            .unwrap_or_else(|_| FrequencyGrid::new(1.0, 1.0, self.freq_step).expect("valid"))
+    }
+
+    /// All candidate policies for a predicted utilization.
+    pub fn policies_for(&self, rho_pred: f64) -> Vec<Policy> {
+        let grid = self.grid_for(rho_pred);
+        self.programs
+            .iter()
+            .flat_map(|prog| grid.iter().map(move |f| Policy::new(f, prog.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set_has_five_programs() {
+        let c = CandidateSet::standard();
+        assert_eq!(c.programs().len(), 5);
+        assert_eq!(c.name(), "SS");
+    }
+
+    #[test]
+    fn single_state_and_dvfs_names() {
+        assert_eq!(CandidateSet::single_state(SystemState::C3_S0I).name(), "SS(C3)");
+        let d = CandidateSet::dvfs_only();
+        assert_eq!(d.name(), "DVFS");
+        assert_eq!(d.programs().len(), 1);
+        assert!(d.programs()[0].is_never_sleep());
+    }
+
+    #[test]
+    fn grid_respects_stability_floor() {
+        let c = CandidateSet::standard();
+        let grid = c.grid_for(0.6);
+        assert!(grid.min() >= 0.6);
+        assert!((grid.max() - 1.0).abs() < 1e-12);
+        // Extreme load: degenerate single-point grid at f = 1.
+        let top = c.grid_for(0.99);
+        assert!(top.iter().count() >= 1);
+        assert!((top.iter().last().unwrap().get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policies_cover_programs_times_grid() {
+        let c = CandidateSet::standard();
+        let policies = c.policies_for(0.5);
+        let grid_len = c.grid_for(0.5).len();
+        assert_eq!(policies.len(), 5 * grid_len);
+        assert!(policies.iter().all(|p| p.frequency().get() >= 0.5));
+    }
+
+    #[test]
+    fn delayed_deep_sleep_extension() {
+        let c = CandidateSet::standard().with_delayed_deep_sleep(&[0.1, 1.0]);
+        assert_eq!(c.programs().len(), 7);
+        let two_stage = &c.programs()[5];
+        assert_eq!(two_stage.stages().len(), 2);
+        assert_eq!(two_stage.stages()[1].state(), SystemState::C6_S3);
+    }
+}

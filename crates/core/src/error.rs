@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the SleepScale policy manager and runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration field is out of range.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The policy manager had nothing to work with (empty job log and no
+    /// fallback) or no stable candidate existed.
+    NoFeasiblePolicy {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Propagated workload error.
+    Workload(sleepscale_workloads::WorkloadError),
+    /// Propagated power-model error.
+    Power(sleepscale_power::PowerError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::NoFeasiblePolicy { reason } => write!(f, "no feasible policy: {reason}"),
+            CoreError::Workload(e) => write!(f, "workload error: {e}"),
+            CoreError::Power(e) => write!(f, "power model error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Workload(e) => Some(e),
+            CoreError::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sleepscale_workloads::WorkloadError> for CoreError {
+    fn from(e: sleepscale_workloads::WorkloadError) -> CoreError {
+        CoreError::Workload(e)
+    }
+}
+
+impl From<sleepscale_power::PowerError> for CoreError {
+    fn from(e: sleepscale_power::PowerError) -> CoreError {
+        CoreError::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CoreError::InvalidConfig { reason: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+        let e: CoreError = sleepscale_power::PowerError::InvalidFrequency { value: 2.0 }.into();
+        assert!(e.source().is_some());
+        let e: CoreError =
+            sleepscale_workloads::WorkloadError::InvalidTrace { reason: "x".into() }.into();
+        assert!(e.to_string().contains("workload"));
+    }
+}

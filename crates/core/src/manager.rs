@@ -1,0 +1,257 @@
+use crate::candidates::CandidateSet;
+use crate::error::CoreError;
+use crate::qos::QosConstraint;
+use serde::{Deserialize, Serialize};
+use sleepscale_power::Policy;
+use sleepscale_sim::{sweep, JobStream, SimEnv};
+use sleepscale_workloads::JobLog;
+
+/// The policy manager (Section 5.1): characterizes every candidate
+/// policy by simulating the logged workload at the predicted utilization
+/// and picks the minimum-power policy meeting the QoS constraint.
+#[derive(Debug, Clone)]
+pub struct PolicyManager {
+    env: SimEnv,
+    qos: QosConstraint,
+    candidates: CandidateSet,
+    mean_service: f64,
+    eval_jobs: usize,
+}
+
+/// What the manager decided for an epoch, with its predicted metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// The chosen policy.
+    pub policy: Policy,
+    /// Predicted average power (W) for the epoch.
+    pub predicted_power: f64,
+    /// Predicted normalized mean response.
+    pub predicted_norm_response: f64,
+    /// Whether the prediction met the QoS constraint (false means the
+    /// manager fell back to the least-bad candidate).
+    pub feasible: bool,
+    /// How many candidate policies were simulated.
+    pub evaluated: usize,
+}
+
+impl PolicyManager {
+    /// Builds a manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive mean
+    /// service time or zero evaluation length.
+    pub fn new(
+        env: SimEnv,
+        qos: QosConstraint,
+        candidates: CandidateSet,
+        mean_service: f64,
+        eval_jobs: usize,
+    ) -> Result<PolicyManager, CoreError> {
+        if !mean_service.is_finite() || mean_service <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("mean service {mean_service} must be finite and > 0"),
+            });
+        }
+        if eval_jobs == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "eval_jobs must be at least 1".into(),
+            });
+        }
+        Ok(PolicyManager { env, qos, candidates, mean_service, eval_jobs })
+    }
+
+    /// Selects a policy from a runtime job log, rescaled to the
+    /// predicted utilization (Section 5.2.1's log replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Workload`] when the log is empty or the
+    /// prediction is degenerate.
+    pub fn select_from_log(&self, log: &JobLog, rho_pred: f64) -> Result<Selection, CoreError> {
+        let rho = rho_pred.clamp(0.01, 0.95);
+        let stream = log.replay(self.eval_jobs, rho)?;
+        Ok(self.select_from_stream(&stream, rho))
+    }
+
+    /// Selects a policy for an explicit characterization stream (used by
+    /// the figure harness and by callers that build their own replays).
+    pub fn select_from_stream(&self, stream: &JobStream, rho_pred: f64) -> Selection {
+        let policies = self.candidates.policies_for(rho_pred);
+        let evals = sweep::evaluate_policies(stream, &policies, &self.env);
+        let evaluated = evals.len();
+
+        let mut best_feasible: Option<(&sweep::PolicyEvaluation, f64)> = None;
+        let mut best_score = f64::INFINITY;
+        for e in &evals {
+            let power = e.outcome.avg_power().as_watts();
+            if self.qos.satisfied_by(&e.outcome, self.mean_service)
+                && best_feasible.as_ref().is_none_or(|(_, p)| power < *p) {
+                    best_feasible = Some((e, power));
+                }
+            best_score = best_score.min(self.qos.score(&e.outcome, self.mean_service));
+        }
+        // Fallback when nothing meets the budget: among the candidates
+        // within 5% of the best achievable score, take the cheapest.
+        // Pure score-minimization would pick C0(i)S0(i) at f = 1 (zero
+        // wake) and waste ~60 W of idle power over near-identical
+        // response.
+        let least_bad = evals
+            .iter()
+            .filter(|e| {
+                self.qos.score(&e.outcome, self.mean_service) <= best_score * 1.05 + 1e-9
+            })
+            .min_by(|a, b| {
+                a.outcome
+                    .avg_power()
+                    .partial_cmp(&b.outcome.avg_power())
+                    .expect("powers are finite")
+            });
+
+        let (chosen, feasible) = match (best_feasible, least_bad) {
+            (Some((e, _)), _) => (e, true),
+            (None, Some(e)) => (e, false),
+            (None, None) => unreachable!("candidate sets are never empty"),
+        };
+        Selection {
+            policy: chosen.policy.clone(),
+            predicted_power: chosen.outcome.avg_power().as_watts(),
+            predicted_norm_response: chosen
+                .outcome
+                .normalized_mean_response(self.mean_service),
+            feasible,
+            evaluated,
+        }
+    }
+
+    /// The QoS constraint in force.
+    pub fn qos(&self) -> QosConstraint {
+        self.qos
+    }
+
+    /// The candidate set searched.
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    /// The workload's full-speed mean service time `1/µ`.
+    pub fn mean_service(&self) -> f64 {
+        self.mean_service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sleepscale_sim::generator;
+
+    const MEAN_SERVICE: f64 = 0.194;
+
+    fn manager(candidates: CandidateSet, rho_b: f64) -> PolicyManager {
+        PolicyManager::new(
+            SimEnv::xeon_cpu_bound(),
+            QosConstraint::mean_response(rho_b).unwrap(),
+            candidates,
+            MEAN_SERVICE,
+            2000,
+        )
+        .unwrap()
+    }
+
+    fn stream(rho: f64, seed: u64) -> JobStream {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generator::generate_poisson_exp(4000, rho, MEAN_SERVICE, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn selection_meets_qos_on_its_characterization() {
+        let m = manager(CandidateSet::standard(), 0.8);
+        let s = m.select_from_stream(&stream(0.2, 1), 0.2);
+        assert!(s.feasible);
+        assert!(s.predicted_norm_response <= 5.0 + 1e-9);
+        assert!(s.evaluated > 50);
+    }
+
+    #[test]
+    fn wider_candidate_sets_never_pick_worse_power() {
+        let full = manager(CandidateSet::standard(), 0.8);
+        let restricted =
+            manager(CandidateSet::single_state(sleepscale_power::SystemState::C3_S0I), 0.8);
+        for (rho, seed) in [(0.1, 2), (0.3, 3), (0.6, 4)] {
+            let st = stream(rho, seed);
+            let s_full = full.select_from_stream(&st, rho);
+            let s_restricted = restricted.select_from_stream(&st, rho);
+            assert!(
+                s_full.predicted_power <= s_restricted.predicted_power + 1e-9,
+                "rho={rho}: SS {} W > SS(C3) {} W",
+                s_full.predicted_power,
+                s_restricted.predicted_power
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_qos_selects_higher_frequency() {
+        let loose = manager(CandidateSet::standard(), 0.8);
+        let tight = manager(CandidateSet::standard(), 0.6);
+        let st = stream(0.5, 5);
+        let f_loose = loose.select_from_stream(&st, 0.5).policy.frequency().get();
+        let f_tight = tight.select_from_stream(&st, 0.5).policy.frequency().get();
+        assert!(
+            f_tight >= f_loose,
+            "tight budget should not pick a slower clock: {f_tight} vs {f_loose}"
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_falls_back_to_least_bad() {
+        // ρ close to 1 at the grid's top: nothing meets a tight budget.
+        let m = PolicyManager::new(
+            SimEnv::xeon_cpu_bound(),
+            QosConstraint::mean_response(0.05).unwrap(), // budget ≈ 1.05
+            CandidateSet::standard(),
+            MEAN_SERVICE,
+            2000,
+        )
+        .unwrap();
+        let s = m.select_from_stream(&stream(0.7, 6), 0.7);
+        assert!(!s.feasible);
+        // The least-bad fallback runs fast.
+        assert!(s.policy.frequency().get() >= 0.9);
+    }
+
+    #[test]
+    fn select_from_log_replays_at_prediction() {
+        let mut log = JobLog::new(5000);
+        for _ in 0..500 {
+            log.push(1.0, 0.194);
+        }
+        let m = manager(CandidateSet::standard(), 0.8);
+        let s = m.select_from_log(&log, 0.15).unwrap();
+        assert!(s.feasible);
+        // Log empty → error.
+        let empty = JobLog::new(10);
+        assert!(m.select_from_log(&empty, 0.15).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PolicyManager::new(
+            SimEnv::xeon_cpu_bound(),
+            QosConstraint::mean_response(0.8).unwrap(),
+            CandidateSet::standard(),
+            0.0,
+            100,
+        )
+        .is_err());
+        assert!(PolicyManager::new(
+            SimEnv::xeon_cpu_bound(),
+            QosConstraint::mean_response(0.8).unwrap(),
+            CandidateSet::standard(),
+            0.1,
+            0,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,215 @@
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use sleepscale_sim::SimOutcome;
+use std::fmt;
+
+/// The QoS constraint derived from the paper's baseline system
+/// (Section 5.1.1).
+///
+/// The baseline is a server provisioned for a peak design utilization
+/// `ρ_b` running flat out (`f = 1`, no sleeping). Under the idealized
+/// model its normalized mean response is `µE[R] = 1/(1−ρ_b)` and its
+/// response tail is exponential, giving a 95th-percentile deadline
+/// `µd = ln(1/ε)/(1−ρ_b)`. A candidate policy is admissible when it does
+/// no worse than that baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QosConstraint {
+    /// Normalized mean response: `µ·E[R] ≤ 1/(1−ρ_b)`.
+    MeanResponse {
+        /// Peak design utilization `ρ_b ∈ (0, 1)`.
+        rho_b: f64,
+    },
+    /// Tail: `Pr(R ≥ d) ≤ epsilon` with `µ·d = ln(1/ε)/(1−ρ_b)`.
+    Tail {
+        /// Peak design utilization `ρ_b ∈ (0, 1)`.
+        rho_b: f64,
+        /// Exceedance probability (0.05 for the paper's 95th percentile).
+        epsilon: f64,
+    },
+}
+
+impl QosConstraint {
+    /// Mean-response constraint for peak design utilization `rho_b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless `0 < rho_b < 1`.
+    pub fn mean_response(rho_b: f64) -> Result<QosConstraint, CoreError> {
+        validate_rho_b(rho_b)?;
+        Ok(QosConstraint::MeanResponse { rho_b })
+    }
+
+    /// 95th-percentile constraint for peak design utilization `rho_b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless `0 < rho_b < 1`.
+    pub fn p95(rho_b: f64) -> Result<QosConstraint, CoreError> {
+        QosConstraint::tail(rho_b, 0.05)
+    }
+
+    /// General tail constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless `0 < rho_b < 1` and
+    /// `0 < epsilon < 1`.
+    pub fn tail(rho_b: f64, epsilon: f64) -> Result<QosConstraint, CoreError> {
+        validate_rho_b(rho_b)?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("epsilon {epsilon} must be in (0, 1)"),
+            });
+        }
+        Ok(QosConstraint::Tail { rho_b, epsilon })
+    }
+
+    /// The peak design utilization `ρ_b`.
+    pub fn rho_b(&self) -> f64 {
+        match self {
+            QosConstraint::MeanResponse { rho_b } | QosConstraint::Tail { rho_b, .. } => *rho_b,
+        }
+    }
+
+    /// The normalized mean-response budget `1/(1−ρ_b)` (used by the
+    /// mean constraint and by the over-provisioning guard band).
+    pub fn normalized_mean_budget(&self) -> f64 {
+        1.0 / (1.0 - self.rho_b())
+    }
+
+    /// The normalized deadline `µ·d` for tail constraints
+    /// (`ln(1/ε)/(1−ρ_b)`); for the mean constraint this is the deadline
+    /// an exponential baseline would imply, provided for reporting.
+    pub fn normalized_deadline(&self) -> f64 {
+        let eps = match self {
+            QosConstraint::Tail { epsilon, .. } => *epsilon,
+            QosConstraint::MeanResponse { .. } => 0.05,
+        };
+        (1.0 / eps).ln() / (1.0 - self.rho_b())
+    }
+
+    /// Whether a simulated outcome satisfies the constraint, given the
+    /// workload's full-speed mean service time `1/µ` in seconds.
+    pub fn satisfied_by(&self, outcome: &SimOutcome, mean_service: f64) -> bool {
+        match self {
+            QosConstraint::MeanResponse { .. } => {
+                outcome.normalized_mean_response(mean_service) <= self.normalized_mean_budget()
+            }
+            QosConstraint::Tail { epsilon, .. } => {
+                let deadline = self.normalized_deadline() * mean_service;
+                outcome.fraction_exceeding(deadline) <= *epsilon
+            }
+        }
+    }
+
+    /// The constraint's scalar score for an outcome (lower is better):
+    /// the normalized mean response or the exceedance probability. Used
+    /// to pick a least-bad fallback when nothing is feasible.
+    pub fn score(&self, outcome: &SimOutcome, mean_service: f64) -> f64 {
+        match self {
+            QosConstraint::MeanResponse { .. } => {
+                outcome.normalized_mean_response(mean_service)
+            }
+            QosConstraint::Tail { .. } => {
+                outcome.fraction_exceeding(self.normalized_deadline() * mean_service)
+            }
+        }
+    }
+}
+
+impl fmt::Display for QosConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosConstraint::MeanResponse { rho_b } => {
+                write!(f, "µE[R] ≤ {:.2} (ρb={rho_b})", self.normalized_mean_budget())
+            }
+            QosConstraint::Tail { rho_b, epsilon } => {
+                write!(f, "Pr(R ≥ {:.2}/µ) ≤ {epsilon} (ρb={rho_b})", self.normalized_deadline())
+            }
+        }
+    }
+}
+
+fn validate_rho_b(rho_b: f64) -> Result<(), CoreError> {
+    if rho_b.is_finite() && rho_b > 0.0 && rho_b < 1.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidConfig { reason: format!("rho_b {rho_b} must be in (0, 1)") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sleepscale_power::{presets, Policy, SleepProgram};
+    use sleepscale_sim::{generator, simulate, SimEnv};
+
+    #[test]
+    fn paper_budgets() {
+        let q = QosConstraint::mean_response(0.8).unwrap();
+        assert!((q.normalized_mean_budget() - 5.0).abs() < 1e-12);
+        let q6 = QosConstraint::mean_response(0.6).unwrap();
+        assert!((q6.normalized_mean_budget() - 2.5).abs() < 1e-12);
+        // Tighter ρb means tighter budget.
+        assert!(q6.normalized_mean_budget() < q.normalized_mean_budget());
+        // 95th percentile deadline: ln(20)/(1−0.8) ≈ 14.98.
+        let t = QosConstraint::p95(0.8).unwrap();
+        assert!((t.normalized_deadline() - 20.0_f64.ln() / 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(QosConstraint::mean_response(0.0).is_err());
+        assert!(QosConstraint::mean_response(1.0).is_err());
+        assert!(QosConstraint::tail(0.8, 0.0).is_err());
+        assert!(QosConstraint::tail(0.8, 1.0).is_err());
+        assert!(QosConstraint::mean_response(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn baseline_system_satisfies_its_own_constraint() {
+        // The f=1 baseline at ρ = ρb should sit at the edge of the budget.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let jobs = generator::generate_poisson_exp(40_000, 0.8, 0.194, &mut rng).unwrap();
+        let policy = Policy::new(
+            sleepscale_power::Frequency::MAX,
+            SleepProgram::immediate(presets::C0I_S0I),
+        );
+        let out = simulate(&jobs, &policy, &SimEnv::xeon_cpu_bound());
+        let q = QosConstraint::mean_response(0.8).unwrap();
+        let norm = out.normalized_mean_response(0.194);
+        assert!((norm - 5.0).abs() < 0.5, "baseline µE[R] = {norm}");
+        // And a run at lower utilization clearly satisfies it.
+        let jobs_low = generator::generate_poisson_exp(20_000, 0.3, 0.194, &mut rng).unwrap();
+        let out_low = simulate(&jobs_low, &policy, &SimEnv::xeon_cpu_bound());
+        assert!(q.satisfied_by(&out_low, 0.194));
+        assert!(q.score(&out_low, 0.194) < q.score(&out, 0.194));
+    }
+
+    #[test]
+    fn tail_constraint_uses_exceedance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let jobs = generator::generate_poisson_exp(20_000, 0.3, 0.194, &mut rng).unwrap();
+        let policy = Policy::new(
+            sleepscale_power::Frequency::MAX,
+            SleepProgram::immediate(presets::C0I_S0I),
+        );
+        let out = simulate(&jobs, &policy, &SimEnv::xeon_cpu_bound());
+        let q = QosConstraint::p95(0.8).unwrap();
+        assert!(q.satisfied_by(&out, 0.194));
+        // A tiny ρb implies a deadline of ln(20)/0.95 ≈ 3.15/µ ≈ 0.61 s;
+        // at ρ = 0.3 the exponential tail exceeds that far more than 5%
+        // of the time, so the constraint fails.
+        let tight = QosConstraint::tail(0.05, 0.05).unwrap();
+        assert!(!tight.satisfied_by(&out, 0.194));
+    }
+
+    #[test]
+    fn display() {
+        let q = QosConstraint::mean_response(0.8).unwrap();
+        assert!(q.to_string().contains("5.00"));
+        let t = QosConstraint::p95(0.6).unwrap();
+        assert!(t.to_string().contains("0.05"));
+    }
+}

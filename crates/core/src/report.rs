@@ -1,0 +1,226 @@
+use serde::{Deserialize, Serialize};
+use sleepscale_power::SystemState;
+
+/// One epoch's record in a runtime evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// First trace minute of the epoch.
+    pub start_minute: usize,
+    /// The strategy's utilization prediction for the epoch.
+    pub predicted_rho: f64,
+    /// Mean trace utilization realized over the epoch.
+    pub realized_rho: f64,
+    /// The deployed policy's display label.
+    pub policy_label: String,
+    /// The deployed frequency setting.
+    pub frequency: f64,
+    /// The sleep program's label (e.g. `"C6S0(i)"`).
+    pub program_label: String,
+    /// Whether the manager's selection met the QoS constraint on its
+    /// characterization (true for non-managed strategies).
+    pub feasible: bool,
+    /// Arrivals in the epoch.
+    pub arrivals: usize,
+    /// Mean response time of this epoch's arrivals, in seconds.
+    pub mean_response: f64,
+    /// Average power over the epoch, in watts.
+    pub power_watts: f64,
+    /// Committed work overhanging the epoch boundary, in seconds.
+    pub backlog_seconds: f64,
+}
+
+/// Aggregate result of a runtime evaluation over a trace —
+/// what Figures 8–10 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    strategy: String,
+    epochs: Vec<EpochReport>,
+    total_jobs: usize,
+    mean_response: f64,
+    p95_response: f64,
+    mean_service: f64,
+    avg_power: f64,
+    energy_joules: f64,
+    horizon_seconds: f64,
+    wakes_from: Vec<(SystemState, u64)>,
+}
+
+impl RunReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        strategy: String,
+        epochs: Vec<EpochReport>,
+        total_jobs: usize,
+        mean_response: f64,
+        p95_response: f64,
+        mean_service: f64,
+        avg_power: f64,
+        energy_joules: f64,
+        horizon_seconds: f64,
+        wakes_from: Vec<(SystemState, u64)>,
+    ) -> RunReport {
+        RunReport {
+            strategy,
+            epochs,
+            total_jobs,
+            mean_response,
+            p95_response,
+            mean_service,
+            avg_power,
+            energy_joules,
+            horizon_seconds,
+            wakes_from,
+        }
+    }
+
+    /// Strategy display name.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// Per-epoch details.
+    pub fn epochs(&self) -> &[EpochReport] {
+        &self.epochs
+    }
+
+    /// Total jobs completed.
+    pub fn total_jobs(&self) -> usize {
+        self.total_jobs
+    }
+
+    /// Job-weighted mean response time, seconds.
+    pub fn mean_response_seconds(&self) -> f64 {
+        self.mean_response
+    }
+
+    /// The paper's normalized mean response `µ·E[R]`.
+    pub fn normalized_mean_response(&self) -> f64 {
+        self.mean_response / self.mean_service
+    }
+
+    /// 95th-percentile response across all jobs, seconds.
+    pub fn p95_response_seconds(&self) -> f64 {
+        self.p95_response
+    }
+
+    /// Average power over the whole horizon, watts.
+    pub fn avg_power_watts(&self) -> f64 {
+        self.avg_power
+    }
+
+    /// Total energy, joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy_joules
+    }
+
+    /// Evaluation horizon, seconds.
+    pub fn horizon_seconds(&self) -> f64 {
+        self.horizon_seconds
+    }
+
+    /// Wake-up counts per sleep state over the whole run.
+    pub fn wakes_from(&self) -> &[(SystemState, u64)] {
+        &self.wakes_from
+    }
+
+    /// How often each sleep program was deployed, as
+    /// `(program label, epoch count)` pairs sorted by descending count —
+    /// Figure 10's distribution of selected low-power states.
+    pub fn program_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for e in &self.epochs {
+            match counts.iter_mut().find(|(label, _)| *label == e.program_label) {
+                Some(entry) => entry.1 += 1,
+                None => counts.push((e.program_label.clone(), 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts
+    }
+
+    /// Same histogram normalized to fractions of epochs.
+    pub fn program_fractions(&self) -> Vec<(String, f64)> {
+        let total = self.epochs.len().max(1) as f64;
+        self.program_histogram()
+            .into_iter()
+            .map(|(label, n)| (label, n as f64 / total))
+            .collect()
+    }
+
+    /// Mean absolute utilization prediction error across epochs.
+    pub fn mean_prediction_error(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| (e.predicted_rho - e.realized_rho).abs()).sum::<f64>()
+            / self.epochs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(i: usize, program: &str, pred: f64, real: f64) -> EpochReport {
+        EpochReport {
+            epoch: i,
+            start_minute: i * 5,
+            predicted_rho: pred,
+            realized_rho: real,
+            policy_label: format!("f=0.5 {program}"),
+            frequency: 0.5,
+            program_label: program.to_string(),
+            feasible: true,
+            arrivals: 10,
+            mean_response: 0.2,
+            power_watts: 80.0,
+            backlog_seconds: 0.0,
+        }
+    }
+
+    fn report(epochs: Vec<EpochReport>) -> RunReport {
+        RunReport::new(
+            "SS".into(),
+            epochs,
+            100,
+            0.2,
+            0.5,
+            0.194,
+            80.0,
+            1000.0,
+            3600.0,
+            vec![(SystemState::C6_S0I, 42)],
+        )
+    }
+
+    #[test]
+    fn histogram_counts_programs() {
+        let r = report(vec![
+            epoch(0, "C6S0(i)", 0.2, 0.25),
+            epoch(1, "C6S0(i)", 0.3, 0.3),
+            epoch(2, "C0(i)S0(i)", 0.1, 0.15),
+        ]);
+        let h = r.program_histogram();
+        assert_eq!(h[0], ("C6S0(i)".to_string(), 2));
+        assert_eq!(h[1], ("C0(i)S0(i)".to_string(), 1));
+        let f = r.program_fractions();
+        assert!((f[0].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_response_and_prediction_error() {
+        let r = report(vec![epoch(0, "C6S3", 0.2, 0.3), epoch(1, "C6S3", 0.4, 0.3)]);
+        assert!((r.normalized_mean_response() - 0.2 / 0.194).abs() < 1e-12);
+        assert!((r.mean_prediction_error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_degrades() {
+        let r = report(vec![]);
+        assert_eq!(r.mean_prediction_error(), 0.0);
+        assert!(r.program_histogram().is_empty());
+        assert_eq!(r.wakes_from()[0].1, 42);
+    }
+}

@@ -1,0 +1,371 @@
+use crate::candidates::CandidateSet;
+use crate::error::CoreError;
+use crate::manager::{PolicyManager, Selection};
+use crate::runtime::RuntimeConfig;
+use sleepscale_power::{Policy, SleepStage};
+use sleepscale_predict::{LmsCusum, Predictor};
+use sleepscale_sim::JobRecord;
+use sleepscale_workloads::JobLog;
+use std::fmt;
+
+/// A per-epoch policy source driven by the runtime loop (Section 6's
+/// strategy comparison slot).
+///
+/// The loop calls [`Strategy::begin_epoch`] to obtain the epoch's policy,
+/// [`Strategy::end_epoch`] with the epoch's completed jobs, and
+/// [`Strategy::observe_minute`] for every realized utilization sample.
+pub trait Strategy: fmt::Debug {
+    /// Display name (e.g. `"SS"`, `"R2H(C6)"`).
+    fn name(&self) -> String;
+
+    /// Decides the policy for epoch `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on configuration errors; the adaptive
+    /// strategies fall back to a safe full-speed policy instead of
+    /// failing when their logs are still cold.
+    fn begin_epoch(&mut self, epoch: usize) -> Result<Policy, CoreError>;
+
+    /// Ingests the epoch's completed-job records.
+    fn end_epoch(&mut self, records: &[JobRecord]);
+
+    /// Feeds one realized utilization sample (one trace minute).
+    fn observe_minute(&mut self, rho: f64);
+
+    /// The utilization prediction used for the current epoch (for
+    /// reporting; fixed strategies report 0).
+    fn last_prediction(&self) -> f64 {
+        0.0
+    }
+
+    /// The manager's selection details for the current epoch, if the
+    /// strategy runs a policy manager.
+    fn last_selection(&self) -> Option<&Selection> {
+        None
+    }
+}
+
+/// The full SleepScale strategy (Section 5): predictor + job log +
+/// policy manager + frequency over-provisioning.
+pub struct SleepScaleStrategy {
+    label: String,
+    manager: PolicyManager,
+    predictor: Box<dyn Predictor>,
+    log: JobLog,
+    alpha: f64,
+    delay_budget_seconds: f64,
+    last_epoch_mean_delay: Option<f64>,
+    last_prediction: f64,
+    last_selection: Option<Selection>,
+}
+
+impl fmt::Debug for SleepScaleStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SleepScaleStrategy")
+            .field("label", &self.label)
+            .field("alpha", &self.alpha)
+            .field("predictor", &self.predictor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SleepScaleStrategy {
+    /// Builds the strategy from a runtime configuration and candidate
+    /// set, with the paper's default LMS+CUSUM predictor (history
+    /// `p = 10`).
+    pub fn new(config: &RuntimeConfig, candidates: CandidateSet) -> SleepScaleStrategy {
+        let label = candidates.name().to_string();
+        let manager = PolicyManager::new(
+            config.env().clone(),
+            config.qos(),
+            candidates,
+            config.mean_service(),
+            config.eval_jobs(),
+        )
+        .expect("RuntimeConfig construction already validated these fields");
+        SleepScaleStrategy {
+            label,
+            manager,
+            predictor: Box::new(LmsCusum::new(config.predictor_history())),
+            log: JobLog::new(config.log_capacity()),
+            alpha: config.over_provisioning(),
+            delay_budget_seconds: config.qos().normalized_mean_budget() * config.mean_service(),
+            last_epoch_mean_delay: None,
+            last_prediction: 0.0,
+            last_selection: None,
+        }
+    }
+
+    /// Replaces the predictor (Figure 8 compares NP / LMS / LC /
+    /// Offline).
+    pub fn with_predictor(mut self, predictor: Box<dyn Predictor>) -> SleepScaleStrategy {
+        self.label = format!("{}[{}]", self.label, predictor.name());
+        self.predictor = predictor;
+        self
+    }
+
+    /// Overrides the over-provisioning factor `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> SleepScaleStrategy {
+        self.alpha = alpha.max(0.0);
+        self
+    }
+
+    /// The cold-start policy: full speed (safe for response) with the
+    /// candidate set's *deepest* program (safe for power — a server that
+    /// never receives work must not idle at operating power; in a
+    /// consolidated fleet the spare servers stay cold indefinitely).
+    fn cold_start_policy(&self) -> Policy {
+        let programs = self.manager.candidates().programs();
+        let program = programs.last().unwrap_or(&programs[0]).clone();
+        Policy::new(sleepscale_power::Frequency::MAX, program)
+    }
+}
+
+impl Strategy for SleepScaleStrategy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn begin_epoch(&mut self, _epoch: usize) -> Result<Policy, CoreError> {
+        let rho_pred = self.predictor.predict();
+        self.last_prediction = rho_pred;
+        let selection = match self.manager.select_from_log(&self.log, rho_pred) {
+            Ok(s) => s,
+            Err(_) => {
+                // Cold start: no log yet. Run safe and fast.
+                self.last_selection = None;
+                return Ok(self.cold_start_policy());
+            }
+        };
+        // Over-provisioning (Section 5.2.3): if the *past* epoch kept its
+        // average delay within the baseline budget, raise the frequency
+        // by the guard-band factor to absorb unpredicted surges.
+        let mut policy = selection.policy.clone();
+        if self.alpha > 0.0 {
+            let within_budget = self
+                .last_epoch_mean_delay
+                .is_some_and(|d| d < self.delay_budget_seconds);
+            if within_budget {
+                policy = policy
+                    .with_frequency(policy.frequency().scaled_by(1.0 + self.alpha));
+            }
+        }
+        self.last_selection = Some(selection);
+        Ok(policy)
+    }
+
+    fn end_epoch(&mut self, records: &[JobRecord]) {
+        self.log.extend_from_records(records);
+        self.last_epoch_mean_delay = if records.is_empty() {
+            Some(0.0)
+        } else {
+            Some(records.iter().map(JobRecord::response).sum::<f64>() / records.len() as f64)
+        };
+    }
+
+    fn observe_minute(&mut self, rho: f64) {
+        self.predictor.observe(rho);
+    }
+
+    fn last_prediction(&self) -> f64 {
+        self.last_prediction
+    }
+
+    fn last_selection(&self) -> Option<&Selection> {
+        self.last_selection.as_ref()
+    }
+}
+
+/// Race-to-halt (Section 6.1's R2H baselines): always run at `f = 1` and
+/// drop into one fixed sleep state the moment the queue empties.
+#[derive(Debug, Clone)]
+pub struct RaceToHaltStrategy {
+    label: String,
+    policy: Policy,
+}
+
+impl RaceToHaltStrategy {
+    /// R2H into `stage` (use [`sleepscale_power::presets::C3_S0I`] or
+    /// [`sleepscale_power::presets::C6_S0I`] for the paper's R2H(C3) and
+    /// R2H(C6)).
+    pub fn new(stage: SleepStage) -> RaceToHaltStrategy {
+        RaceToHaltStrategy {
+            label: format!("R2H({})", stage.state().cpu().name()),
+            policy: Policy::race_to_halt(stage),
+        }
+    }
+}
+
+impl Strategy for RaceToHaltStrategy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn begin_epoch(&mut self, _epoch: usize) -> Result<Policy, CoreError> {
+        Ok(self.policy.clone())
+    }
+
+    fn end_epoch(&mut self, _records: &[JobRecord]) {}
+
+    fn observe_minute(&mut self, _rho: f64) {}
+}
+
+/// A fixed policy applied every epoch — the static baselines of
+/// Section 4 and ablation studies.
+#[derive(Debug, Clone)]
+pub struct FixedPolicyStrategy {
+    label: String,
+    policy: Policy,
+}
+
+impl FixedPolicyStrategy {
+    /// Deploys `policy` unconditionally.
+    pub fn new(policy: Policy) -> FixedPolicyStrategy {
+        FixedPolicyStrategy { label: format!("Fixed[{}]", policy.label()), policy }
+    }
+}
+
+impl Strategy for FixedPolicyStrategy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn begin_epoch(&mut self, _epoch: usize) -> Result<Policy, CoreError> {
+        Ok(self.policy.clone())
+    }
+
+    fn end_epoch(&mut self, _records: &[JobRecord]) {}
+
+    fn observe_minute(&mut self, _rho: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosConstraint;
+    use sleepscale_power::{presets, SystemState};
+
+    fn config() -> RuntimeConfig {
+        RuntimeConfig::builder(0.194)
+            .qos(QosConstraint::mean_response(0.8).unwrap())
+            .eval_jobs(500)
+            .build()
+            .unwrap()
+    }
+
+    fn record(arrival: f64, response_end: f64) -> JobRecord {
+        JobRecord {
+            id: 0,
+            arrival,
+            start: arrival,
+            departure: response_end,
+            size: 0.194,
+            service: 0.194,
+            wake: 0.0,
+        }
+    }
+
+    #[test]
+    fn cold_start_runs_full_speed_with_deep_sleep() {
+        let mut s = SleepScaleStrategy::new(&config(), CandidateSet::standard());
+        let p = s.begin_epoch(0).unwrap();
+        assert_eq!(p.frequency().get(), 1.0);
+        // Deepest program of the standard set: an idle cold server must
+        // not burn operating power.
+        assert_eq!(p.program().label(), "C6S3");
+        assert!(s.last_selection().is_none());
+    }
+
+    #[test]
+    fn warm_strategy_selects_from_log() {
+        let mut s = SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(0.0);
+        // Warm the log at ρ ≈ 0.2 and the predictor at 0.2.
+        let records: Vec<JobRecord> =
+            (0..400).map(|i| record(i as f64 * 0.97, i as f64 * 0.97 + 0.2)).collect();
+        s.end_epoch(&records);
+        for _ in 0..30 {
+            s.observe_minute(0.2);
+        }
+        let p = s.begin_epoch(1).unwrap();
+        assert!(p.frequency().get() < 1.0, "should scale down at ρ=0.2, got {p}");
+        let sel = s.last_selection().unwrap();
+        assert!(sel.feasible);
+        assert!((s.last_prediction() - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn over_provisioning_raises_frequency_when_within_budget() {
+        let mk = |alpha| {
+            let mut s = SleepScaleStrategy::new(&config(), CandidateSet::standard())
+                .with_alpha(alpha);
+            let records: Vec<JobRecord> =
+                (0..400).map(|i| record(i as f64 * 0.97, i as f64 * 0.97 + 0.2)).collect();
+            s.end_epoch(&records); // mean delay 0.2 s < budget 0.97 s
+            for _ in 0..30 {
+                s.observe_minute(0.2);
+            }
+            s.begin_epoch(1).unwrap().frequency().get()
+        };
+        let base = mk(0.0);
+        let boosted = mk(0.35);
+        assert!(
+            (boosted - base * 1.35).abs() < 1e-9 || (boosted - 1.0).abs() < 1e-9,
+            "α=0.35 should scale frequency: base {base}, boosted {boosted}"
+        );
+        assert!(boosted > base);
+    }
+
+    #[test]
+    fn over_provisioning_skipped_when_over_budget() {
+        let mut s =
+            SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(0.35);
+        // Past epoch blew the budget (responses ≈ 2 s > 0.97 s).
+        let records: Vec<JobRecord> =
+            (0..400).map(|i| record(i as f64 * 0.97, i as f64 * 0.97 + 2.0)).collect();
+        s.end_epoch(&records);
+        for _ in 0..30 {
+            s.observe_minute(0.2);
+        }
+        let with_alpha = s.begin_epoch(1).unwrap().frequency().get();
+
+        let mut s0 =
+            SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(0.0);
+        let records: Vec<JobRecord> =
+            (0..400).map(|i| record(i as f64 * 0.97, i as f64 * 0.97 + 2.0)).collect();
+        s0.end_epoch(&records);
+        for _ in 0..30 {
+            s0.observe_minute(0.2);
+        }
+        let without = s0.begin_epoch(1).unwrap().frequency().get();
+        assert!((with_alpha - without).abs() < 1e-9, "no boost when over budget");
+    }
+
+    #[test]
+    fn race_to_halt_is_constant_full_speed() {
+        let mut s = RaceToHaltStrategy::new(presets::C6_S0I);
+        assert_eq!(s.name(), "R2H(C6)");
+        let p = s.begin_epoch(0).unwrap();
+        assert_eq!(p.frequency().get(), 1.0);
+        assert_eq!(p.program().stages()[0].state(), SystemState::C6_S0I);
+        s.observe_minute(0.9);
+        s.end_epoch(&[]);
+        assert_eq!(s.begin_epoch(5).unwrap(), p);
+    }
+
+    #[test]
+    fn fixed_policy_strategy() {
+        let policy = Policy::full_speed_no_sleep();
+        let mut s = FixedPolicyStrategy::new(policy.clone());
+        assert!(s.name().contains("Fixed"));
+        assert_eq!(s.begin_epoch(0).unwrap(), policy);
+        assert_eq!(s.last_prediction(), 0.0);
+    }
+
+    #[test]
+    fn predictor_swap_changes_label() {
+        let s = SleepScaleStrategy::new(&config(), CandidateSet::standard())
+            .with_predictor(Box::new(sleepscale_predict::NaivePrevious::new()));
+        assert!(s.name().contains("NP"));
+    }
+}

@@ -1,0 +1,271 @@
+use crate::dvfs::Frequency;
+use crate::error::PowerError;
+use crate::units::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// CPU power states (C-states), following Table 1 of the paper.
+///
+/// `C0(a)` is the operating active state (DVFS adjusts voltage and
+/// frequency); `C0(i)` is operating-idle (no work, voltage/frequency held at
+/// the last DVFS setting); `C1` halts the clock; `C3` flushes caches and
+/// stops the clock; `C6` saves architectural state to RAM and drops core
+/// voltage to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CpuState {
+    /// `C0(a)`: operating, actively executing.
+    C0Active,
+    /// `C0(i)`: operating but idle; clocks still running.
+    C0Idle,
+    /// `C1`: halt — clock gated, voltage held.
+    C1,
+    /// `C3`: sleep — caches flushed, clock stopped, architectural state kept.
+    C3,
+    /// `C6`: deep sleep — state saved to RAM, core voltage at zero.
+    C6,
+}
+
+impl CpuState {
+    /// All states in increasing sleep depth.
+    pub const ALL: [CpuState; 5] = [
+        CpuState::C0Active,
+        CpuState::C0Idle,
+        CpuState::C1,
+        CpuState::C3,
+        CpuState::C6,
+    ];
+
+    /// Canonical short name used in the paper (e.g. `"C0(a)"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuState::C0Active => "C0(a)",
+            CpuState::C0Idle => "C0(i)",
+            CpuState::C1 => "C1",
+            CpuState::C3 => "C3",
+            CpuState::C6 => "C6",
+        }
+    }
+
+    /// True if the CPU is in an operating (C0) state.
+    pub fn is_operating(self) -> bool {
+        matches!(self, CpuState::C0Active | CpuState::C0Idle)
+    }
+
+    /// Sleep depth used for ordering: deeper states save more power and
+    /// take longer to wake.
+    pub fn depth(self) -> u8 {
+        match self {
+            CpuState::C0Active => 0,
+            CpuState::C0Idle => 1,
+            CpuState::C1 => 2,
+            CpuState::C3 => 3,
+            CpuState::C6 => 4,
+        }
+    }
+}
+
+impl fmt::Display for CpuState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How supply voltage follows the DVFS frequency setting.
+///
+/// The paper assumes *linear* DVFS — voltage proportional to frequency — so
+/// dynamic power (`∝ V²f`) scales cubically with `f`. A constant-voltage
+/// law is provided for sensitivity studies on parts whose voltage floor
+/// dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum VoltageLaw {
+    /// `V ∝ f` (the paper's assumption; dynamic power `∝ f³`).
+    #[default]
+    LinearWithFrequency,
+    /// `V` fixed at the value used at `f = 1` (dynamic power `∝ f`).
+    Constant,
+}
+
+impl VoltageLaw {
+    /// Normalized squared voltage `V²` at scaling factor `f` (with `V = 1`
+    /// at `f = 1`).
+    pub fn voltage_squared(self, f: Frequency) -> f64 {
+        match self {
+            VoltageLaw::LinearWithFrequency => f.get() * f.get(),
+            VoltageLaw::Constant => 1.0,
+        }
+    }
+}
+
+/// Per-C-state CPU power model (Table 2, "CPU×1" row).
+///
+/// Frequency-sensitive states take coefficients multiplying the normalized
+/// voltage/frequency terms:
+///
+/// * `C0(a)` draws `active_coeff · V² · f` watts,
+/// * `C0(i)` draws `idle_coeff · V² · f` watts (clocks still toggling),
+/// * `C1` draws `halt_coeff · V²` watts (clock gated, leakage only),
+/// * `C3` and `C6` draw fixed watts.
+///
+/// ```
+/// use sleepscale_power::{CpuPowerModel, CpuState, Frequency};
+/// let cpu = CpuPowerModel::xeon();
+/// let f = Frequency::MAX;
+/// assert_eq!(cpu.power(CpuState::C0Active, f).as_watts(), 130.0);
+/// assert_eq!(cpu.power(CpuState::C6, f).as_watts(), 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuPowerModel {
+    active_coeff: f64,
+    idle_coeff: f64,
+    halt_coeff: f64,
+    sleep_watts: f64,
+    deep_sleep_watts: f64,
+    voltage_law: VoltageLaw,
+}
+
+impl CpuPowerModel {
+    /// Builds a model from the five Table-2 style parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidPower`] if any parameter is negative or
+    /// non-finite.
+    pub fn new(
+        active_coeff: f64,
+        idle_coeff: f64,
+        halt_coeff: f64,
+        sleep_watts: f64,
+        deep_sleep_watts: f64,
+        voltage_law: VoltageLaw,
+    ) -> Result<CpuPowerModel, PowerError> {
+        for v in [active_coeff, idle_coeff, halt_coeff, sleep_watts, deep_sleep_watts] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PowerError::InvalidPower { value: v });
+            }
+        }
+        Ok(CpuPowerModel {
+            active_coeff,
+            idle_coeff,
+            halt_coeff,
+            sleep_watts,
+            deep_sleep_watts,
+            voltage_law,
+        })
+    }
+
+    /// The Xeon E5 family numbers from Table 2:
+    /// `130V²f`, `75V²f`, `47V²`, `22 W`, `15 W` with linear DVFS.
+    pub fn xeon() -> CpuPowerModel {
+        CpuPowerModel::new(130.0, 75.0, 47.0, 22.0, 15.0, VoltageLaw::LinearWithFrequency)
+            .expect("xeon constants are valid")
+    }
+
+    /// An Atom-class substitute (see DESIGN.md): roughly one order of
+    /// magnitude less CPU power over the same state ladder. The paper uses
+    /// Atom numbers from Guevara et al. \[12\] only for qualitative remarks;
+    /// these values reproduce the property that matters — CPU power is
+    /// small relative to platform power.
+    pub fn atom() -> CpuPowerModel {
+        CpuPowerModel::new(10.0, 6.0, 3.5, 1.5, 0.8, VoltageLaw::LinearWithFrequency)
+            .expect("atom constants are valid")
+    }
+
+    /// Power drawn in `state` at DVFS setting `f`.
+    pub fn power(&self, state: CpuState, f: Frequency) -> Watts {
+        let v2 = self.voltage_law.voltage_squared(f);
+        let watts = match state {
+            CpuState::C0Active => self.active_coeff * v2 * f.get(),
+            CpuState::C0Idle => self.idle_coeff * v2 * f.get(),
+            CpuState::C1 => self.halt_coeff * v2,
+            CpuState::C3 => self.sleep_watts,
+            CpuState::C6 => self.deep_sleep_watts,
+        };
+        Watts::new(watts)
+    }
+
+    /// The voltage law in effect.
+    pub fn voltage_law(&self) -> VoltageLaw {
+        self.voltage_law
+    }
+
+    /// Peak (f = 1) active power.
+    pub fn peak_active(&self) -> Watts {
+        self.power(CpuState::C0Active, Frequency::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> Frequency {
+        Frequency::new(v).unwrap()
+    }
+
+    #[test]
+    fn xeon_matches_table2_at_full_frequency() {
+        let m = CpuPowerModel::xeon();
+        assert_eq!(m.power(CpuState::C0Active, Frequency::MAX).as_watts(), 130.0);
+        assert_eq!(m.power(CpuState::C0Idle, Frequency::MAX).as_watts(), 75.0);
+        assert_eq!(m.power(CpuState::C1, Frequency::MAX).as_watts(), 47.0);
+        assert_eq!(m.power(CpuState::C3, Frequency::MAX).as_watts(), 22.0);
+        assert_eq!(m.power(CpuState::C6, Frequency::MAX).as_watts(), 15.0);
+    }
+
+    #[test]
+    fn active_power_scales_cubically() {
+        let m = CpuPowerModel::xeon();
+        let p = m.power(CpuState::C0Active, f(0.5)).as_watts();
+        assert!((p - 130.0 * 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halt_power_scales_quadratically() {
+        // C1 gates the clock, so only the V^2 term remains.
+        let m = CpuPowerModel::xeon();
+        let p = m.power(CpuState::C1, f(0.5)).as_watts();
+        assert!((p - 47.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_states_are_frequency_insensitive() {
+        let m = CpuPowerModel::xeon();
+        for s in [CpuState::C3, CpuState::C6] {
+            assert_eq!(m.power(s, f(0.2)), m.power(s, Frequency::MAX));
+        }
+    }
+
+    #[test]
+    fn constant_voltage_law_gives_linear_dynamic_power() {
+        let m = CpuPowerModel::new(100.0, 50.0, 20.0, 10.0, 5.0, VoltageLaw::Constant).unwrap();
+        let p = m.power(CpuState::C0Active, f(0.5)).as_watts();
+        assert!((p - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_states_draw_less_power_at_full_frequency() {
+        let m = CpuPowerModel::xeon();
+        let powers: Vec<f64> = CpuState::ALL
+            .iter()
+            .map(|s| m.power(*s, Frequency::MAX).as_watts())
+            .collect();
+        for w in powers.windows(2) {
+            assert!(w[0] > w[1], "expected strictly decreasing power: {powers:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_negative_parameters() {
+        let e = CpuPowerModel::new(-1.0, 0.0, 0.0, 0.0, 0.0, VoltageLaw::default());
+        assert!(matches!(e, Err(PowerError::InvalidPower { .. })));
+    }
+
+    #[test]
+    fn state_metadata() {
+        assert_eq!(CpuState::C0Active.name(), "C0(a)");
+        assert!(CpuState::C0Idle.is_operating());
+        assert!(!CpuState::C3.is_operating());
+        assert!(CpuState::C6.depth() > CpuState::C1.depth());
+        assert_eq!(CpuState::C6.to_string(), "C6");
+    }
+}

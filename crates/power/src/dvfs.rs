@@ -1,0 +1,270 @@
+use crate::error::PowerError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A DVFS clock-frequency scaling factor `f ∈ (0, 1]`.
+///
+/// The paper normalizes frequency so `f = 1` is the part's maximum speed;
+/// `f = 0` would stop the server entirely, so zero is excluded. Under the
+/// linear-DVFS assumption voltage tracks `f`, which is handled by
+/// [`crate::VoltageLaw`], not here.
+///
+/// ```
+/// use sleepscale_power::Frequency;
+/// let f = Frequency::new(0.42)?;
+/// assert_eq!(f.get(), 0.42);
+/// assert!(Frequency::new(0.0).is_err());
+/// assert!(Frequency::new(1.2).is_err());
+/// # Ok::<(), sleepscale_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// The maximum setting, `f = 1`.
+    pub const MAX: Frequency = Frequency(1.0);
+
+    /// Checked construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidFrequency`] unless `0 < value <= 1`.
+    pub fn new(value: f64) -> Result<Frequency, PowerError> {
+        if value.is_finite() && value > 0.0 && value <= 1.0 {
+            Ok(Frequency(value))
+        } else {
+            Err(PowerError::InvalidFrequency { value })
+        }
+    }
+
+    /// Clamps an arbitrary value into `(0, 1]` (values `<= 0` become the
+    /// smallest representable setting `1e-6`; values above 1 become 1).
+    pub fn saturating(value: f64) -> Frequency {
+        if !value.is_finite() || value <= 0.0 {
+            Frequency(1e-6)
+        } else if value > 1.0 {
+            Frequency(1.0)
+        } else {
+            Frequency(value)
+        }
+    }
+
+    /// The raw scaling factor.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Multiplies the frequency by `factor`, clamping into `(0, 1]`. Used
+    /// by the over-provisioning guard band (`f ← f · (1 + α)`).
+    pub fn scaled_by(self, factor: f64) -> Frequency {
+        Frequency::saturating(self.0 * factor)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f={:.3}", self.0)
+    }
+}
+
+impl Eq for Frequency {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Frequency {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Frequencies are finite by construction, so the derived
+        // PartialOrd (IEEE order) and this total order agree.
+        self.0.partial_cmp(&other.0).expect("frequencies are finite")
+    }
+}
+
+/// An inclusive arithmetic grid of candidate frequencies.
+///
+/// Section 4.1 sweeps `f` from the stability limit `ρ + 0.01` up to 1 in
+/// steps of 0.01, noting that a real part exposes roughly ten discrete
+/// settings. The grid iterator always includes the upper endpoint so the
+/// `f = 1` baseline is representable.
+///
+/// ```
+/// use sleepscale_power::FrequencyGrid;
+/// let grid = FrequencyGrid::new(0.2, 1.0, 0.2)?;
+/// let fs: Vec<f64> = grid.iter().map(|f| f.get()).collect();
+/// assert_eq!(fs.len(), 5);
+/// assert_eq!(*fs.last().unwrap(), 1.0);
+/// # Ok::<(), sleepscale_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyGrid {
+    min: f64,
+    max: f64,
+    step: f64,
+}
+
+impl FrequencyGrid {
+    /// Builds a grid over `[min, max]` with spacing `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidGrid`] if the bounds are not inside
+    /// `(0, 1]`, `min > max`, or `step` is not strictly positive.
+    pub fn new(min: f64, max: f64, step: f64) -> Result<FrequencyGrid, PowerError> {
+        if !(min.is_finite() && max.is_finite() && step.is_finite()) {
+            return Err(PowerError::InvalidGrid { reason: "non-finite bounds".into() });
+        }
+        if min <= 0.0 || max > 1.0 || min > max {
+            return Err(PowerError::InvalidGrid {
+                reason: format!("bounds [{min}, {max}] must satisfy 0 < min <= max <= 1"),
+            });
+        }
+        if step <= 0.0 {
+            return Err(PowerError::InvalidGrid { reason: format!("step {step} must be > 0") });
+        }
+        Ok(FrequencyGrid { min, max, step })
+    }
+
+    /// The paper's fine sweep for a given utilization: `ρ + 0.01` up to 1
+    /// in steps of 0.01 (used to draw smooth bowls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidGrid`] when `rho >= 0.99` leaves no
+    /// stable frequency.
+    pub fn paper_sweep(rho: f64) -> Result<FrequencyGrid, PowerError> {
+        FrequencyGrid::new(rho + 0.01, 1.0, 0.01)
+    }
+
+    /// A realistic ~10-setting grid (the paper notes real systems expose
+    /// about ten distinct frequencies): `max(0.1, ρ+0.05)` to 1 in steps
+    /// of 0.05 truncated to at most the stable region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidGrid`] when no stable frequency exists.
+    pub fn realistic(rho: f64) -> Result<FrequencyGrid, PowerError> {
+        let min = (rho + 0.05).clamp(0.1, 1.0);
+        FrequencyGrid::new(min, 1.0, 0.05)
+    }
+
+    /// Lower bound.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Grid spacing.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Iterates the grid points from low to high; the final point is always
+    /// exactly `max`.
+    pub fn iter(&self) -> impl Iterator<Item = Frequency> + '_ {
+        let n = ((self.max - self.min) / self.step).floor() as usize;
+        let (min, max, step) = (self.min, self.max, self.step);
+        let eps = step * 1e-9;
+        (0..=n)
+            .map(move |i| min + i as f64 * step)
+            .filter(move |v| *v < max - eps)
+            .chain(std::iter::once(max))
+            .map(Frequency::saturating)
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when the grid is a single point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_validation() {
+        assert!(Frequency::new(0.5).is_ok());
+        assert!(Frequency::new(1.0).is_ok());
+        assert!(Frequency::new(0.0).is_err());
+        assert!(Frequency::new(-0.1).is_err());
+        assert!(Frequency::new(1.0001).is_err());
+        assert!(Frequency::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Frequency::saturating(2.0).get(), 1.0);
+        assert!(Frequency::saturating(-3.0).get() > 0.0);
+        assert_eq!(Frequency::saturating(0.7).get(), 0.7);
+        assert!(Frequency::saturating(f64::NAN).get() > 0.0);
+    }
+
+    #[test]
+    fn scaled_by_over_provisioning() {
+        let f = Frequency::new(0.8).unwrap();
+        assert!((f.scaled_by(1.35).get() - 1.0).abs() < 1e-12);
+        let f = Frequency::new(0.4).unwrap();
+        assert!((f.scaled_by(1.35).get() - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_includes_endpoints() {
+        let g = FrequencyGrid::new(0.11, 1.0, 0.01).unwrap();
+        let pts: Vec<f64> = g.iter().map(|f| f.get()).collect();
+        assert!((pts[0] - 0.11).abs() < 1e-9);
+        assert!((pts.last().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(pts.len(), 90);
+    }
+
+    #[test]
+    fn grid_no_duplicate_endpoint() {
+        let g = FrequencyGrid::new(0.5, 1.0, 0.25).unwrap();
+        let pts: Vec<f64> = g.iter().map(|f| f.get()).collect();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_single_point() {
+        let g = FrequencyGrid::new(1.0, 1.0, 0.1).unwrap();
+        let pts: Vec<f64> = g.iter().map(|f| f.get()).collect();
+        assert_eq!(pts, vec![1.0]);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn paper_sweep_respects_stability_margin() {
+        let g = FrequencyGrid::paper_sweep(0.3).unwrap();
+        assert!((g.min() - 0.31).abs() < 1e-12);
+        assert!(FrequencyGrid::paper_sweep(1.2).is_err());
+    }
+
+    #[test]
+    fn realistic_grid_is_coarse() {
+        let g = FrequencyGrid::realistic(0.3).unwrap();
+        assert!(g.len() <= 15);
+    }
+
+    #[test]
+    fn invalid_grids() {
+        assert!(FrequencyGrid::new(0.0, 1.0, 0.1).is_err());
+        assert!(FrequencyGrid::new(0.5, 0.4, 0.1).is_err());
+        assert!(FrequencyGrid::new(0.5, 1.0, 0.0).is_err());
+        assert!(FrequencyGrid::new(0.5, 1.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn frequency_ordering() {
+        let a = Frequency::new(0.3).unwrap();
+        let b = Frequency::new(0.7).unwrap();
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating power-model types.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A frequency outside the valid scaling range `(0, 1]`.
+    InvalidFrequency {
+        /// The offending value.
+        value: f64,
+    },
+    /// A CPU/platform state pair that the hardware does not support
+    /// (Table 3: e.g. `C0(a)` pairs only with `S0(a)`, `S3` only with `C6`).
+    UnsupportedStatePair {
+        /// CPU state name.
+        cpu: &'static str,
+        /// Platform state name.
+        platform: &'static str,
+    },
+    /// A sleep program whose entry delays are not strictly increasing,
+    /// or whose stage parameters are negative / non-finite.
+    InvalidSleepProgram {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A power figure that is negative or non-finite.
+    InvalidPower {
+        /// The offending value in watts.
+        value: f64,
+    },
+    /// A frequency grid whose bounds or step are inconsistent.
+    InvalidGrid {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A sub-linear scaling exponent outside `[0, 1]`.
+    InvalidScalingExponent {
+        /// The offending exponent.
+        beta: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidFrequency { value } => {
+                write!(f, "frequency {value} is outside the valid range (0, 1]")
+            }
+            PowerError::UnsupportedStatePair { cpu, platform } => {
+                write!(f, "cpu state {cpu} cannot be combined with platform state {platform}")
+            }
+            PowerError::InvalidSleepProgram { reason } => {
+                write!(f, "invalid sleep program: {reason}")
+            }
+            PowerError::InvalidPower { value } => {
+                write!(f, "power value {value} W is negative or non-finite")
+            }
+            PowerError::InvalidGrid { reason } => write!(f, "invalid frequency grid: {reason}"),
+            PowerError::InvalidScalingExponent { beta } => {
+                write!(f, "scaling exponent {beta} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            PowerError::InvalidFrequency { value: -1.0 },
+            PowerError::UnsupportedStatePair { cpu: "C0(a)", platform: "S3" },
+            PowerError::InvalidSleepProgram { reason: "x".into() },
+            PowerError::InvalidPower { value: f64::NAN },
+            PowerError::InvalidGrid { reason: "y".into() },
+            PowerError::InvalidScalingExponent { beta: 2.0 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("cpu"));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(PowerError::InvalidFrequency { value: 2.0 });
+        assert!(e.to_string().contains("2"));
+    }
+}

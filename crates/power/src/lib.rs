@@ -1,0 +1,78 @@
+//! Power and state models for the SleepScale reproduction.
+//!
+//! This crate implements the system model of the paper's Section 3.1:
+//!
+//! * [`CpuState`] — the CPU C-states of Table 1 (`C0(a)`, `C0(i)`, `C1`,
+//!   `C3`, `C6`) and [`CpuPowerModel`], which maps a C-state and DVFS
+//!   frequency to watts (dynamic power scales cubically in frequency under
+//!   linear voltage/frequency scaling).
+//! * [`PlatformState`] — the ACPI-style platform S-states of Table 3
+//!   (`S0(a)`, `S0(i)`, `S3`) and [`PlatformPowerModel`], built from
+//!   per-component power numbers (Table 2).
+//! * [`SystemState`] — a validated (C-state, S-state) pair such as
+//!   `C0(i)S0(i)` or `C6S3`, and [`SystemPowerModel`] which sums CPU and
+//!   platform power.
+//! * [`SleepStage`]/[`SleepProgram`] — the paper's low-power-state sequence
+//!   `(P_i, τ_i, w_i)`: each idle period the server walks down a ladder of
+//!   progressively deeper states, entering stage *i* at `τ_i` seconds after
+//!   the queue empties and paying `w_i` seconds of wake-up latency if a job
+//!   arrives while it is in stage *i*.
+//! * [`Policy`] — a joint DVFS + sleep choice: operating [`Frequency`] plus
+//!   a [`SleepProgram`]. SleepScale's whole premise is that these two knobs
+//!   must be optimized *together*.
+//! * [`FrequencyScaling`] — how service time reacts to frequency
+//!   (CPU-bound `µf`, sub-linear `µf^β`, memory-bound `µ`; Section 4.2
+//!   lesson 6).
+//! * [`presets`] — the Xeon numbers of Table 2, the wake-latency choices of
+//!   Section 4.2, and an Atom-class substitute configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use sleepscale_power::prelude::*;
+//!
+//! let model = presets::xeon();
+//! let f = Frequency::new(0.5)?;
+//! // Active power at half frequency: 130 * 0.5^3 + 120 W platform.
+//! let p = model.power(SystemState::C0A_S0A, f);
+//! assert!((p.as_watts() - (130.0 * 0.125 + 120.0)).abs() < 1e-9);
+//!
+//! // A policy: run at f = 0.5, drop into C6S3 as soon as the queue empties.
+//! let policy = Policy::new(f, SleepProgram::immediate(presets::C6_S3));
+//! assert_eq!(policy.program().stages().len(), 1);
+//! # Ok::<(), sleepscale_power::PowerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod dvfs;
+mod error;
+mod platform;
+mod policy;
+pub mod presets;
+mod scaling;
+mod sleep;
+mod system;
+mod units;
+
+pub use cpu::{CpuPowerModel, CpuState, VoltageLaw};
+pub use dvfs::{Frequency, FrequencyGrid};
+pub use error::PowerError;
+pub use platform::{Component, PlatformPowerModel, PlatformState};
+pub use policy::Policy;
+pub use scaling::FrequencyScaling;
+pub use sleep::{SleepProgram, SleepStage};
+pub use system::{SystemPowerModel, SystemState};
+pub use units::{Joules, Watts};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::presets;
+    pub use crate::{
+        Component, CpuPowerModel, CpuState, Frequency, FrequencyGrid, FrequencyScaling, Joules,
+        PlatformPowerModel, PlatformState, Policy, PowerError, SleepProgram, SleepStage,
+        SystemPowerModel, SystemState, VoltageLaw, Watts,
+    };
+}

@@ -1,0 +1,239 @@
+use crate::error::PowerError;
+use crate::units::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Platform power states (S-states) from Table 3 of the paper.
+///
+/// `S0(a)` is active (pairs with `C0(a)` only), `S0(i)` is idle (pairs with
+/// every non-active C-state), `S3` is platform sleep (RAM powered, pairs
+/// with `C6` only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PlatformState {
+    /// `S0(a)`: platform active.
+    S0Active,
+    /// `S0(i)`: platform idle.
+    S0Idle,
+    /// `S3`: platform sleep; only RAM stays powered.
+    S3,
+}
+
+impl PlatformState {
+    /// All platform states in increasing sleep depth.
+    pub const ALL: [PlatformState; 3] =
+        [PlatformState::S0Active, PlatformState::S0Idle, PlatformState::S3];
+
+    /// Canonical short name used in the paper (e.g. `"S0(a)"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformState::S0Active => "S0(a)",
+            PlatformState::S0Idle => "S0(i)",
+            PlatformState::S3 => "S3",
+        }
+    }
+}
+
+impl fmt::Display for PlatformState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One platform component's power draw in each platform condition
+/// (one row of Table 2, minus the CPU).
+///
+/// Table 2 distinguishes five columns (operating / idle / sleep / deep
+/// sleep / deeper sleep) but for non-CPU components the middle three all
+/// correspond to platform `S0(i)`; the paper's "Platform total" row
+/// collapses them accordingly. We keep the full five-column data so the
+/// table can be reproduced verbatim, and map S-states onto columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    name: String,
+    count: u32,
+    operating_watts: f64,
+    idle_watts: f64,
+    sleep_watts: f64,
+    deep_sleep_watts: f64,
+    deeper_sleep_watts: f64,
+}
+
+impl Component {
+    /// Builds a component row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidPower`] if any power figure is negative
+    /// or non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        count: u32,
+        operating_watts: f64,
+        idle_watts: f64,
+        sleep_watts: f64,
+        deep_sleep_watts: f64,
+        deeper_sleep_watts: f64,
+    ) -> Result<Component, PowerError> {
+        for v in [operating_watts, idle_watts, sleep_watts, deep_sleep_watts, deeper_sleep_watts] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PowerError::InvalidPower { value: v });
+            }
+        }
+        Ok(Component {
+            name: name.into(),
+            count,
+            operating_watts,
+            idle_watts,
+            sleep_watts,
+            deep_sleep_watts,
+            deeper_sleep_watts,
+        })
+    }
+
+    /// Component name (e.g. `"RAM"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many identical units are installed (Table 2 uses RAM×6).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Per-unit power for a Table-2 column index 0..5
+    /// (operating, idle, sleep, deep sleep, deeper sleep).
+    pub fn column_watts(&self, column: usize) -> Option<f64> {
+        match column {
+            0 => Some(self.operating_watts),
+            1 => Some(self.idle_watts),
+            2 => Some(self.sleep_watts),
+            3 => Some(self.deep_sleep_watts),
+            4 => Some(self.deeper_sleep_watts),
+            _ => None,
+        }
+    }
+
+    /// Total power (all units) contributed in a given platform state.
+    pub fn power(&self, state: PlatformState) -> Watts {
+        let per_unit = match state {
+            PlatformState::S0Active => self.operating_watts,
+            // The idle / sleep / deep-sleep columns of Table 2 are all
+            // S0(i); they are identical for every non-CPU component.
+            PlatformState::S0Idle => self.idle_watts,
+            PlatformState::S3 => self.deeper_sleep_watts,
+        };
+        Watts::new(per_unit * f64::from(self.count))
+    }
+}
+
+/// Aggregate platform power model: the non-CPU half of Table 2.
+///
+/// ```
+/// use sleepscale_power::{PlatformPowerModel, PlatformState};
+/// let platform = PlatformPowerModel::xeon_platform();
+/// assert!((platform.power(PlatformState::S0Active).as_watts() - 120.0).abs() < 1e-9);
+/// assert!((platform.power(PlatformState::S0Idle).as_watts() - 60.5).abs() < 1e-9);
+/// assert!((platform.power(PlatformState::S3).as_watts() - 13.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformPowerModel {
+    components: Vec<Component>,
+}
+
+impl PlatformPowerModel {
+    /// Builds a platform from its component rows.
+    pub fn from_components(components: Vec<Component>) -> PlatformPowerModel {
+        PlatformPowerModel { components }
+    }
+
+    /// The exact component stack of Table 2 (chipset, RAM×6, HDD, NIC,
+    /// fan, PSU). Totals: 120 W active, 60.5 W idle, 13.1 W in S3.
+    pub fn xeon_platform() -> PlatformPowerModel {
+        let components = vec![
+            Component::new("Chipset", 1, 7.8, 7.8, 7.8, 7.8, 7.8).expect("valid"),
+            // Table 2 lists the six-DIMM total; keep count=1 with totals so
+            // the table prints exactly as published.
+            Component::new("RAM x6", 1, 23.1, 10.4, 10.4, 10.4, 3.0).expect("valid"),
+            Component::new("HDD", 1, 6.2, 4.6, 4.6, 4.6, 0.8).expect("valid"),
+            Component::new("NIC", 1, 2.9, 1.7, 1.7, 1.7, 0.5).expect("valid"),
+            Component::new("Fan", 1, 10.0, 1.0, 1.0, 1.0, 0.0).expect("valid"),
+            Component::new("PSU", 1, 70.0, 35.0, 35.0, 35.0, 1.0).expect("valid"),
+        ];
+        PlatformPowerModel { components }
+    }
+
+    /// The platform implied by the paper's *prose* (Section 3.1 computes
+    /// `C0(i)S0(i)` as `75V²f + 52.7 W`, i.e. the Table-2 idle total minus
+    /// the 7.8 W chipset). Provided for sensitivity checks; see DESIGN.md.
+    pub fn xeon_platform_prose_variant() -> PlatformPowerModel {
+        let mut platform = PlatformPowerModel::xeon_platform();
+        platform.components.retain(|c| c.name() != "Chipset");
+        platform
+    }
+
+    /// Total platform power in `state`.
+    pub fn power(&self, state: PlatformState) -> Watts {
+        self.components.iter().map(|c| c.power(state)).sum()
+    }
+
+    /// The component rows.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals() {
+        let p = PlatformPowerModel::xeon_platform();
+        assert!((p.power(PlatformState::S0Active).as_watts() - 120.0).abs() < 1e-9);
+        assert!((p.power(PlatformState::S0Idle).as_watts() - 60.5).abs() < 1e-9);
+        assert!((p.power(PlatformState::S3).as_watts() - 13.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prose_variant_drops_chipset() {
+        let p = PlatformPowerModel::xeon_platform_prose_variant();
+        assert!((p.power(PlatformState::S0Idle).as_watts() - 52.7).abs() < 1e-9);
+        assert_eq!(p.components().len(), 5);
+    }
+
+    #[test]
+    fn component_count_multiplies_power() {
+        let c = Component::new("RAM", 6, 2.0, 1.0, 1.0, 1.0, 0.5).unwrap();
+        assert!((c.power(PlatformState::S0Active).as_watts() - 12.0).abs() < 1e-12);
+        assert!((c.power(PlatformState::S3).as_watts() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_rejects_bad_power() {
+        assert!(Component::new("x", 1, -1.0, 0.0, 0.0, 0.0, 0.0).is_err());
+        assert!(Component::new("x", 1, 0.0, f64::NAN, 0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn column_access_matches_states() {
+        let c = Component::new("PSU", 1, 70.0, 35.0, 35.0, 35.0, 1.0).unwrap();
+        assert_eq!(c.column_watts(0), Some(70.0));
+        assert_eq!(c.column_watts(4), Some(1.0));
+        assert_eq!(c.column_watts(5), None);
+    }
+
+    #[test]
+    fn platform_state_names() {
+        assert_eq!(PlatformState::S0Active.to_string(), "S0(a)");
+        assert_eq!(PlatformState::S3.name(), "S3");
+    }
+
+    #[test]
+    fn deeper_platform_states_use_less_power() {
+        let p = PlatformPowerModel::xeon_platform();
+        let a = p.power(PlatformState::S0Active).as_watts();
+        let i = p.power(PlatformState::S0Idle).as_watts();
+        let s3 = p.power(PlatformState::S3).as_watts();
+        assert!(a > i && i > s3);
+    }
+}

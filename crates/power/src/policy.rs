@@ -1,0 +1,113 @@
+use crate::dvfs::Frequency;
+use crate::sleep::SleepProgram;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A joint power-management policy: the DVFS operating [`Frequency`] plus
+/// the [`SleepProgram`] executed whenever the queue empties.
+///
+/// The paper's central claim (engineering lesson 1) is that these two
+/// choices must be optimized *jointly* — neither the best frequency nor
+/// the best sleep state is independent of the other.
+///
+/// ```
+/// use sleepscale_power::prelude::*;
+/// let policy = Policy::new(
+///     Frequency::new(0.42)?,
+///     SleepProgram::immediate(presets::C6_S3),
+/// );
+/// assert_eq!(policy.label(), "f=0.420 C6S3");
+/// # Ok::<(), sleepscale_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    frequency: Frequency,
+    program: SleepProgram,
+}
+
+impl Policy {
+    /// Pairs a frequency with a sleep program.
+    pub fn new(frequency: Frequency, program: SleepProgram) -> Policy {
+        Policy { frequency, program }
+    }
+
+    /// The paper's baseline: run flat out (`f = 1`) and never sleep.
+    pub fn full_speed_no_sleep() -> Policy {
+        Policy { frequency: Frequency::MAX, program: SleepProgram::never_sleep() }
+    }
+
+    /// The race-to-halt family: `f = 1`, drop into `stage` immediately on
+    /// queue empty (Section 6.1's R2H baselines).
+    pub fn race_to_halt(stage: crate::sleep::SleepStage) -> Policy {
+        Policy { frequency: Frequency::MAX, program: SleepProgram::immediate(stage) }
+    }
+
+    /// The operating frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// The idle-time sleep program.
+    pub fn program(&self) -> &SleepProgram {
+        &self.program
+    }
+
+    /// Returns a copy with the frequency replaced (used by the
+    /// over-provisioning guard band).
+    pub fn with_frequency(&self, frequency: Frequency) -> Policy {
+        Policy { frequency, program: self.program.clone() }
+    }
+
+    /// Short display label, e.g. `"f=0.420 C6S3"`.
+    pub fn label(&self) -> String {
+        format!("f={:.3} {}", self.frequency.get(), self.program.label())
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::sleep::SleepStage;
+    use crate::system::SystemState;
+
+    #[test]
+    fn full_speed_baseline() {
+        let p = Policy::full_speed_no_sleep();
+        assert_eq!(p.frequency(), Frequency::MAX);
+        assert!(p.program().is_never_sleep());
+    }
+
+    #[test]
+    fn race_to_halt_runs_at_max_frequency() {
+        let p = Policy::race_to_halt(presets::C6_S0I);
+        assert_eq!(p.frequency(), Frequency::MAX);
+        assert_eq!(p.program().stages().len(), 1);
+        assert_eq!(p.program().stages()[0].state(), SystemState::C6_S0I);
+        assert_eq!(p.program().stages()[0].enter_after(), 0.0);
+    }
+
+    #[test]
+    fn with_frequency_keeps_program() {
+        let p = Policy::new(
+            Frequency::new(0.5).unwrap(),
+            SleepProgram::immediate(SleepStage::new(SystemState::C3_S0I, 0.0, 1e-4).unwrap()),
+        );
+        let q = p.with_frequency(Frequency::new(0.8).unwrap());
+        assert_eq!(q.frequency().get(), 0.8);
+        assert_eq!(q.program(), p.program());
+    }
+
+    #[test]
+    fn label_format() {
+        let p = Policy::full_speed_no_sleep();
+        assert_eq!(p.label(), "f=1.000 C0(a)S0(a)");
+        assert_eq!(p.to_string(), p.label());
+    }
+}

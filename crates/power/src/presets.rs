@@ -1,0 +1,161 @@
+//! Canonical configurations: the Xeon numbers of Table 2, the wake-up
+//! latency choices of Section 4.2, the five standard single-stage sleep
+//! policies, and an Atom-class substitute.
+
+use crate::cpu::CpuPowerModel;
+use crate::platform::PlatformPowerModel;
+use crate::sleep::{SleepProgram, SleepStage};
+use crate::system::{SystemPowerModel, SystemState};
+
+/// Wake-up latency (seconds) from `C0(i)S0(i)` — zero (Table 4).
+pub const WAKE_C0I_S0I: f64 = 0.0;
+/// Wake-up latency (seconds) from `C1S0(i)` — 10 µs (Section 4.2 choice
+/// from Table 4's 1–10 µs range).
+pub const WAKE_C1_S0I: f64 = 10e-6;
+/// Wake-up latency (seconds) from `C3S0(i)` — 100 µs.
+pub const WAKE_C3_S0I: f64 = 100e-6;
+/// Wake-up latency (seconds) from `C6S0(i)` — 1 ms.
+pub const WAKE_C6_S0I: f64 = 1e-3;
+/// Wake-up latency (seconds) from `C6S3` — 1 s.
+pub const WAKE_C6_S3: f64 = 1.0;
+
+/// The standard `C0(i)S0(i)` stage (τ = 0, w = 0).
+pub const C0I_S0I: SleepStage =
+    SleepStage::from_raw_parts(SystemState::C0I_S0I, 0.0, WAKE_C0I_S0I);
+/// The standard `C1S0(i)` stage (τ = 0, w = 10 µs).
+pub const C1_S0I: SleepStage = SleepStage::from_raw_parts(SystemState::C1_S0I, 0.0, WAKE_C1_S0I);
+/// The standard `C3S0(i)` stage (τ = 0, w = 100 µs).
+pub const C3_S0I: SleepStage = SleepStage::from_raw_parts(SystemState::C3_S0I, 0.0, WAKE_C3_S0I);
+/// The standard `C6S0(i)` stage (τ = 0, w = 1 ms).
+pub const C6_S0I: SleepStage = SleepStage::from_raw_parts(SystemState::C6_S0I, 0.0, WAKE_C6_S0I);
+/// The standard `C6S3` stage (τ = 0, w = 1 s).
+pub const C6_S3: SleepStage = SleepStage::from_raw_parts(SystemState::C6_S3, 0.0, WAKE_C6_S3);
+
+/// The default wake-up latency (seconds) for each low-power state.
+pub fn default_wake_latency(state: SystemState) -> f64 {
+    match state {
+        SystemState::C0I_S0I => WAKE_C0I_S0I,
+        SystemState::C1_S0I => WAKE_C1_S0I,
+        SystemState::C3_S0I => WAKE_C3_S0I,
+        SystemState::C6_S0I => WAKE_C6_S0I,
+        SystemState::C6_S3 => WAKE_C6_S3,
+        _ => 0.0,
+    }
+}
+
+/// An immediate (`τ = 0`) stage for `state` with its default wake latency.
+pub fn immediate_stage(state: SystemState) -> SleepStage {
+    SleepStage::new(state, 0.0, default_wake_latency(state))
+        .expect("preset states form valid stages")
+}
+
+/// The five standard single-stage immediate sleep programs, shallowest to
+/// deepest — the candidate set Figures 1, 2, 6 and 10 draw from.
+pub fn standard_programs() -> Vec<SleepProgram> {
+    SystemState::LOW_POWER_LADDER
+        .iter()
+        .map(|s| SleepProgram::immediate(immediate_stage(*s)))
+        .collect()
+}
+
+/// The five-stage sequential cascade of engineering lesson 5:
+/// `C0(i)S0(i) → C1S0(i) → C3S0(i) → C6S0(i) → C6S3` entered one after
+/// another with the given inter-stage dwell (seconds).
+pub fn sequential_cascade(dwell: f64) -> SleepProgram {
+    let stages = SystemState::LOW_POWER_LADDER
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            SleepStage::new(*s, dwell * i as f64, default_wake_latency(*s))
+                .expect("cascade stages are valid")
+        })
+        .collect();
+    SleepProgram::new(stages).expect("cascade delays strictly increase")
+}
+
+/// The full Xeon-class system of Table 2.
+pub fn xeon() -> SystemPowerModel {
+    SystemPowerModel::new(CpuPowerModel::xeon(), PlatformPowerModel::xeon_platform())
+}
+
+/// The Table-2 system but with the platform the paper's *prose* implies
+/// (52.7 W idle instead of 60.5 W); see DESIGN.md.
+pub fn xeon_prose_variant() -> SystemPowerModel {
+    SystemPowerModel::new(CpuPowerModel::xeon(), PlatformPowerModel::xeon_platform_prose_variant())
+}
+
+/// An Atom-class substitute: small CPU over the same platform, reproducing
+/// the paper's qualitative Atom observations (platform power dominates).
+pub fn atom() -> SystemPowerModel {
+    SystemPowerModel::new(CpuPowerModel::atom(), PlatformPowerModel::xeon_platform())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::Frequency;
+
+    #[test]
+    fn wake_latencies_match_section_4_2() {
+        assert_eq!(default_wake_latency(SystemState::C0I_S0I), 0.0);
+        assert_eq!(default_wake_latency(SystemState::C1_S0I), 10e-6);
+        assert_eq!(default_wake_latency(SystemState::C3_S0I), 100e-6);
+        assert_eq!(default_wake_latency(SystemState::C6_S0I), 1e-3);
+        assert_eq!(default_wake_latency(SystemState::C6_S3), 1.0);
+    }
+
+    #[test]
+    fn preset_stage_constants_agree_with_immediate_stage() {
+        for (konst, state) in [
+            (C0I_S0I, SystemState::C0I_S0I),
+            (C1_S0I, SystemState::C1_S0I),
+            (C3_S0I, SystemState::C3_S0I),
+            (C6_S0I, SystemState::C6_S0I),
+            (C6_S3, SystemState::C6_S3),
+        ] {
+            assert_eq!(konst, immediate_stage(state));
+        }
+    }
+
+    #[test]
+    fn standard_programs_cover_the_ladder_in_order() {
+        let programs = standard_programs();
+        assert_eq!(programs.len(), 5);
+        for (p, s) in programs.iter().zip(SystemState::LOW_POWER_LADDER) {
+            assert_eq!(p.stages().len(), 1);
+            assert_eq!(p.stages()[0].state(), s);
+            assert_eq!(p.stages()[0].enter_after(), 0.0);
+        }
+    }
+
+    #[test]
+    fn cascade_is_ordered_and_wake_latencies_grow() {
+        let c = sequential_cascade(0.01);
+        assert_eq!(c.stages().len(), 5);
+        for pair in c.stages().windows(2) {
+            assert!(pair[0].enter_after() < pair[1].enter_after());
+            assert!(pair[0].wake_latency() <= pair[1].wake_latency());
+        }
+    }
+
+    #[test]
+    fn atom_cpu_is_small_relative_to_platform() {
+        let atom = atom();
+        let cpu_peak = atom.cpu().peak_active().as_watts();
+        let platform_active =
+            atom.platform().power(crate::platform::PlatformState::S0Active).as_watts();
+        assert!(cpu_peak * 5.0 < platform_active);
+    }
+
+    #[test]
+    fn xeon_active_is_250w_at_full_speed() {
+        assert_eq!(xeon().active_power(Frequency::MAX).as_watts(), 250.0);
+    }
+
+    #[test]
+    fn prose_variant_idle_total() {
+        let m = xeon_prose_variant();
+        let p = m.power(SystemState::C0I_S0I, Frequency::MAX).as_watts();
+        assert!((p - (75.0 + 52.7)).abs() < 1e-9);
+    }
+}

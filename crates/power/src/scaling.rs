@@ -1,0 +1,172 @@
+use crate::dvfs::Frequency;
+use crate::error::PowerError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a job's service time depends on the DVFS frequency setting
+/// (Section 3.2 and engineering lesson 6 / Figure 4).
+///
+/// For a job whose service time is `s` at `f = 1`, the time at setting `f`
+/// is `s / f^β`:
+///
+/// * CPU-bound: `β = 1` — the effective service rate is `µ·f`.
+/// * Sub-linear: `β ∈ (0, 1)` — partial sensitivity (Figure 4 uses
+///   `µ·f^0.5` and `µ·f^0.2`).
+/// * Memory-bound: `β = 0` — service time is frequency-insensitive.
+///
+/// ```
+/// use sleepscale_power::{FrequencyScaling, Frequency};
+/// let f = Frequency::new(0.5)?;
+/// assert_eq!(FrequencyScaling::CpuBound.service_multiplier(f), 2.0);
+/// assert_eq!(FrequencyScaling::MemoryBound.service_multiplier(f), 1.0);
+/// let sub = FrequencyScaling::sublinear(0.5)?;
+/// assert!((sub.service_multiplier(f) - 2.0_f64.sqrt()).abs() < 1e-12);
+/// # Ok::<(), sleepscale_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum FrequencyScaling {
+    /// Service rate `µ·f` (`β = 1`).
+    #[default]
+    CpuBound,
+    /// Service rate `µ·f^β` for `β ∈ (0, 1)`.
+    Sublinear {
+        /// The exponent `β`.
+        beta: f64,
+    },
+    /// Service rate `µ` regardless of `f` (`β = 0`).
+    MemoryBound,
+}
+
+impl FrequencyScaling {
+    /// Checked sub-linear constructor; `beta == 1` collapses to
+    /// [`FrequencyScaling::CpuBound`] and `beta == 0` to
+    /// [`FrequencyScaling::MemoryBound`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidScalingExponent`] unless `0 <= beta <= 1`.
+    pub fn sublinear(beta: f64) -> Result<FrequencyScaling, PowerError> {
+        if !beta.is_finite() || !(0.0..=1.0).contains(&beta) {
+            return Err(PowerError::InvalidScalingExponent { beta });
+        }
+        Ok(if beta == 0.0 {
+            FrequencyScaling::MemoryBound
+        } else if beta == 1.0 {
+            FrequencyScaling::CpuBound
+        } else {
+            FrequencyScaling::Sublinear { beta }
+        })
+    }
+
+    /// The exponent `β`.
+    pub fn beta(self) -> f64 {
+        match self {
+            FrequencyScaling::CpuBound => 1.0,
+            FrequencyScaling::Sublinear { beta } => beta,
+            FrequencyScaling::MemoryBound => 0.0,
+        }
+    }
+
+    /// Factor by which service time stretches at frequency `f`
+    /// (`1 / f^β >= 1`).
+    pub fn service_multiplier(self, f: Frequency) -> f64 {
+        match self {
+            FrequencyScaling::CpuBound => 1.0 / f.get(),
+            FrequencyScaling::Sublinear { beta } => f.get().powf(-beta),
+            FrequencyScaling::MemoryBound => 1.0,
+        }
+    }
+
+    /// Effective service rate `µ·f^β` given the full-speed rate `mu`.
+    pub fn effective_rate(self, mu: f64, f: Frequency) -> f64 {
+        mu / self.service_multiplier(f)
+    }
+
+    /// The smallest frequency keeping the queue stable at utilization
+    /// `rho` (i.e. `ρ / f^β < 1`), or `None` when even `f = 1` is unstable
+    /// (`rho >= 1`). Memory-bound workloads are stable at any frequency
+    /// when `rho < 1`.
+    pub fn stability_floor(self, rho: f64) -> Option<f64> {
+        if rho >= 1.0 {
+            return None;
+        }
+        match self {
+            FrequencyScaling::MemoryBound => Some(0.0),
+            _ => Some(rho.powf(1.0 / self.beta())),
+        }
+    }
+}
+
+impl fmt::Display for FrequencyScaling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrequencyScaling::CpuBound => write!(f, "µf (CPU-bound)"),
+            FrequencyScaling::Sublinear { beta } => write!(f, "µf^{beta}"),
+            FrequencyScaling::MemoryBound => write!(f, "µ (memory-bound)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> Frequency {
+        Frequency::new(v).unwrap()
+    }
+
+    #[test]
+    fn cpu_bound_multiplier_is_reciprocal() {
+        assert!((FrequencyScaling::CpuBound.service_multiplier(f(0.25)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_is_insensitive() {
+        for v in [0.1, 0.5, 1.0] {
+            assert_eq!(FrequencyScaling::MemoryBound.service_multiplier(f(v)), 1.0);
+        }
+    }
+
+    #[test]
+    fn sublinear_interpolates() {
+        let s = FrequencyScaling::sublinear(0.2).unwrap();
+        let m = s.service_multiplier(f(0.5));
+        assert!(m > 1.0 && m < 2.0);
+        assert!((m - 0.5_f64.powf(-0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sublinear_collapses_at_edges() {
+        assert_eq!(FrequencyScaling::sublinear(1.0).unwrap(), FrequencyScaling::CpuBound);
+        assert_eq!(FrequencyScaling::sublinear(0.0).unwrap(), FrequencyScaling::MemoryBound);
+        assert!(FrequencyScaling::sublinear(1.5).is_err());
+        assert!(FrequencyScaling::sublinear(-0.1).is_err());
+    }
+
+    #[test]
+    fn effective_rate_matches_figure4_labels() {
+        // DNS-like: mu = 1/0.194.
+        let mu = 1.0 / 0.194;
+        let half = f(0.5);
+        assert!((FrequencyScaling::CpuBound.effective_rate(mu, half) - mu * 0.5).abs() < 1e-12);
+        let s = FrequencyScaling::sublinear(0.5).unwrap();
+        assert!((s.effective_rate(mu, half) - mu * 0.5_f64.sqrt()).abs() < 1e-12);
+        assert!((FrequencyScaling::MemoryBound.effective_rate(mu, half) - mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_floor() {
+        assert!((FrequencyScaling::CpuBound.stability_floor(0.3).unwrap() - 0.3).abs() < 1e-12);
+        let s = FrequencyScaling::sublinear(0.5).unwrap();
+        assert!((s.stability_floor(0.25).unwrap() - 0.0625).abs() < 1e-12);
+        assert_eq!(FrequencyScaling::MemoryBound.stability_floor(0.99).unwrap(), 0.0);
+        assert!(FrequencyScaling::CpuBound.stability_floor(1.0).is_none());
+    }
+
+    #[test]
+    fn display_matches_figure4_legend() {
+        assert_eq!(FrequencyScaling::CpuBound.to_string(), "µf (CPU-bound)");
+        assert_eq!(FrequencyScaling::sublinear(0.5).unwrap().to_string(), "µf^0.5");
+        assert_eq!(FrequencyScaling::MemoryBound.to_string(), "µ (memory-bound)");
+    }
+}

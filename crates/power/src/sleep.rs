@@ -1,0 +1,272 @@
+use crate::error::PowerError;
+use crate::system::SystemState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One rung of a sleep ladder: the low-power state triple `(P_i, τ_i, w_i)`
+/// of Section 3.2.
+///
+/// `P_i` is obtained from the state and the power model at evaluation time
+/// (some states' power depends on the DVFS setting); the stage itself
+/// carries the target [`SystemState`], the entry delay `τ_i` measured from
+/// the moment the queue empties, and the wake-up latency `w_i` paid when a
+/// job arrives while the server sits in this stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepStage {
+    state: SystemState,
+    enter_after: f64,
+    wake_latency: f64,
+}
+
+impl SleepStage {
+    /// Builds a stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidSleepProgram`] if the delay or latency
+    /// is negative/non-finite, or the state is the active state.
+    pub fn new(
+        state: SystemState,
+        enter_after: f64,
+        wake_latency: f64,
+    ) -> Result<SleepStage, PowerError> {
+        if state.is_active() {
+            return Err(PowerError::InvalidSleepProgram {
+                reason: "the active state C0(a)S0(a) cannot be a sleep stage".into(),
+            });
+        }
+        if !enter_after.is_finite() || enter_after < 0.0 {
+            return Err(PowerError::InvalidSleepProgram {
+                reason: format!("entry delay {enter_after} must be finite and >= 0"),
+            });
+        }
+        if !wake_latency.is_finite() || wake_latency < 0.0 {
+            return Err(PowerError::InvalidSleepProgram {
+                reason: format!("wake latency {wake_latency} must be finite and >= 0"),
+            });
+        }
+        Ok(SleepStage { state, enter_after, wake_latency })
+    }
+
+    /// Unchecked `const` construction for crate-internal presets whose
+    /// invariants hold by inspection (non-active state, non-negative τ/w).
+    pub(crate) const fn from_raw_parts(
+        state: SystemState,
+        enter_after: f64,
+        wake_latency: f64,
+    ) -> SleepStage {
+        SleepStage { state, enter_after, wake_latency }
+    }
+
+    /// The low-power system state occupied in this stage.
+    pub fn state(&self) -> SystemState {
+        self.state
+    }
+
+    /// `τ_i`: seconds after the queue empties at which this stage begins.
+    pub fn enter_after(&self) -> f64 {
+        self.enter_after
+    }
+
+    /// `w_i`: seconds needed to return to `C0(a)S0(a)` from this stage.
+    pub fn wake_latency(&self) -> f64 {
+        self.wake_latency
+    }
+}
+
+impl fmt::Display for SleepStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (τ={}s, w={}s)", self.state, self.enter_after, self.wake_latency)
+    }
+}
+
+/// An ordered sleep ladder: the full low-power-state *sequence* a server
+/// walks down while idle (Section 3.2).
+///
+/// Stages must have strictly increasing entry delays `τ_1 < τ_2 < … < τ_n`.
+/// The paper's default policies are single-stage programs with `τ_1 = 0`
+/// ([`SleepProgram::immediate`]); Figure 3 studies two-stage programs
+/// (`C0(i)S0(i) → C6S3` after `τ_2`), and engineering lesson 5 studies the
+/// full five-stage cascade.
+///
+/// An *empty* program models a server that never leaves `C0(a)S0(a)` while
+/// idle — i.e. idle time is charged at active power. The paper's
+/// "DVFS-only" baseline idles in `C0(i)S0(i)` instead, which is the
+/// single-stage immediate program for that state.
+///
+/// ```
+/// use sleepscale_power::{SleepProgram, SleepStage, SystemState};
+/// let two_stage = SleepProgram::new(vec![
+///     SleepStage::new(SystemState::C0I_S0I, 0.0, 0.0)?,
+///     SleepStage::new(SystemState::C6_S3, 0.126, 1.0)?,
+/// ])?;
+/// assert_eq!(two_stage.stages().len(), 2);
+/// assert_eq!(two_stage.stage_at(0.05).unwrap().state(), SystemState::C0I_S0I);
+/// assert_eq!(two_stage.stage_at(0.2).unwrap().state(), SystemState::C6_S3);
+/// # Ok::<(), sleepscale_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SleepProgram {
+    stages: Vec<SleepStage>,
+}
+
+impl SleepProgram {
+    /// Builds a program from ordered stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidSleepProgram`] unless entry delays are
+    /// strictly increasing.
+    pub fn new(stages: Vec<SleepStage>) -> Result<SleepProgram, PowerError> {
+        for pair in stages.windows(2) {
+            if pair[1].enter_after() <= pair[0].enter_after() {
+                return Err(PowerError::InvalidSleepProgram {
+                    reason: format!(
+                        "entry delays must be strictly increasing, got {} then {}",
+                        pair[0].enter_after(),
+                        pair[1].enter_after()
+                    ),
+                });
+            }
+        }
+        Ok(SleepProgram { stages })
+    }
+
+    /// The program that never sleeps: idle time stays in `C0(a)S0(a)`.
+    pub fn never_sleep() -> SleepProgram {
+        SleepProgram { stages: Vec::new() }
+    }
+
+    /// A single-stage program entering `state` the moment the queue
+    /// empties (`τ_1 = 0`), with `wake_latency` from
+    /// [`crate::presets::default_wake_latency`] applied by the caller.
+    pub fn immediate(stage: SleepStage) -> SleepProgram {
+        SleepProgram { stages: vec![stage] }
+    }
+
+    /// The ordered stages.
+    pub fn stages(&self) -> &[SleepStage] {
+        &self.stages
+    }
+
+    /// True when the program has no stages (idle at active power).
+    pub fn is_never_sleep(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage occupied `elapsed_idle` seconds after the queue empties,
+    /// or `None` if no stage has been entered yet (still in active-idle).
+    pub fn stage_at(&self, elapsed_idle: f64) -> Option<&SleepStage> {
+        self.stages.iter().rev().find(|s| s.enter_after() <= elapsed_idle)
+    }
+
+    /// Index of the stage occupied at `elapsed_idle`, if any.
+    pub fn stage_index_at(&self, elapsed_idle: f64) -> Option<usize> {
+        self.stages.iter().rposition(|s| s.enter_after() <= elapsed_idle)
+    }
+
+    /// The deepest stage (largest τ), if any.
+    pub fn deepest(&self) -> Option<&SleepStage> {
+        self.stages.last()
+    }
+
+    /// A human-readable label, e.g. `"C0(i)S0(i)→C6S3"`; `"C0(a)S0(a)"`
+    /// for the never-sleep program.
+    pub fn label(&self) -> String {
+        if self.stages.is_empty() {
+            "C0(a)S0(a)".to_string()
+        } else {
+            self.stages
+                .iter()
+                .map(|s| s.state().label())
+                .collect::<Vec<_>>()
+                .join("→")
+        }
+    }
+}
+
+impl fmt::Display for SleepProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(state: SystemState, tau: f64, w: f64) -> SleepStage {
+        SleepStage::new(state, tau, w).unwrap()
+    }
+
+    #[test]
+    fn stage_rejects_active_state() {
+        assert!(SleepStage::new(SystemState::C0A_S0A, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn stage_rejects_negative_parameters() {
+        assert!(SleepStage::new(SystemState::C6_S3, -1.0, 0.0).is_err());
+        assert!(SleepStage::new(SystemState::C6_S3, 0.0, -1.0).is_err());
+        assert!(SleepStage::new(SystemState::C6_S3, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn program_requires_strictly_increasing_delays() {
+        let bad = SleepProgram::new(vec![
+            stage(SystemState::C0I_S0I, 0.0, 0.0),
+            stage(SystemState::C6_S3, 0.0, 1.0),
+        ]);
+        assert!(bad.is_err());
+        let good = SleepProgram::new(vec![
+            stage(SystemState::C0I_S0I, 0.0, 0.0),
+            stage(SystemState::C6_S3, 0.5, 1.0),
+        ]);
+        assert!(good.is_ok());
+    }
+
+    #[test]
+    fn stage_lookup_by_elapsed_idle() {
+        let p = SleepProgram::new(vec![
+            stage(SystemState::C0I_S0I, 0.0, 0.0),
+            stage(SystemState::C3_S0I, 0.1, 1e-4),
+            stage(SystemState::C6_S3, 1.0, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(p.stage_at(0.0).unwrap().state(), SystemState::C0I_S0I);
+        assert_eq!(p.stage_at(0.5).unwrap().state(), SystemState::C3_S0I);
+        assert_eq!(p.stage_at(5.0).unwrap().state(), SystemState::C6_S3);
+        assert_eq!(p.stage_index_at(5.0), Some(2));
+        assert_eq!(p.deepest().unwrap().state(), SystemState::C6_S3);
+    }
+
+    #[test]
+    fn delayed_first_stage_leaves_initial_gap() {
+        let p = SleepProgram::new(vec![stage(SystemState::C6_S3, 2.0, 1.0)]).unwrap();
+        assert!(p.stage_at(1.0).is_none());
+        assert!(p.stage_at(2.0).is_some());
+        assert_eq!(p.stage_index_at(1.0), None);
+    }
+
+    #[test]
+    fn never_sleep_program() {
+        let p = SleepProgram::never_sleep();
+        assert!(p.is_never_sleep());
+        assert!(p.stage_at(100.0).is_none());
+        assert!(p.deepest().is_none());
+        assert_eq!(p.label(), "C0(a)S0(a)");
+    }
+
+    #[test]
+    fn labels() {
+        let p = SleepProgram::new(vec![
+            stage(SystemState::C0I_S0I, 0.0, 0.0),
+            stage(SystemState::C6_S3, 0.5, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(p.label(), "C0(i)S0(i)→C6S3");
+        assert_eq!(p.to_string(), p.label());
+        let single = SleepProgram::immediate(stage(SystemState::C6_S0I, 0.0, 1e-3));
+        assert_eq!(single.label(), "C6S0(i)");
+    }
+}

@@ -1,0 +1,238 @@
+use crate::cpu::{CpuPowerModel, CpuState};
+use crate::dvfs::Frequency;
+use crate::error::PowerError;
+use crate::platform::{PlatformPowerModel, PlatformState};
+use crate::units::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated combined CPU + platform state such as `C0(i)S0(i)` or `C6S3`.
+///
+/// Table 3 restricts the legal pairs: `S0(a)` only with `C0(a)`, `S0(i)`
+/// with every other C-state, and `S3` only with `C6`. Use
+/// [`SystemState::new`] for checked construction or the provided constants
+/// for the pairs the paper studies.
+///
+/// ```
+/// use sleepscale_power::{SystemState, CpuState, PlatformState};
+/// let s = SystemState::new(CpuState::C6, PlatformState::S3)?;
+/// assert_eq!(s.to_string(), "C6S3");
+/// assert!(SystemState::new(CpuState::C0Active, PlatformState::S3).is_err());
+/// # Ok::<(), sleepscale_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemState {
+    cpu: CpuState,
+    platform: PlatformState,
+}
+
+impl SystemState {
+    /// `C0(a)S0(a)`: the active operating state.
+    pub const C0A_S0A: SystemState =
+        SystemState { cpu: CpuState::C0Active, platform: PlatformState::S0Active };
+    /// `C0(i)S0(i)`: operating-idle.
+    pub const C0I_S0I: SystemState =
+        SystemState { cpu: CpuState::C0Idle, platform: PlatformState::S0Idle };
+    /// `C1S0(i)`: halt.
+    pub const C1_S0I: SystemState =
+        SystemState { cpu: CpuState::C1, platform: PlatformState::S0Idle };
+    /// `C3S0(i)`: sleep.
+    pub const C3_S0I: SystemState =
+        SystemState { cpu: CpuState::C3, platform: PlatformState::S0Idle };
+    /// `C6S0(i)`: deep CPU sleep, platform idle.
+    pub const C6_S0I: SystemState =
+        SystemState { cpu: CpuState::C6, platform: PlatformState::S0Idle };
+    /// `C6S3`: deep CPU sleep plus platform sleep.
+    pub const C6_S3: SystemState =
+        SystemState { cpu: CpuState::C6, platform: PlatformState::S3 };
+
+    /// The five low-power states the paper's policies choose between,
+    /// ordered from shallowest to deepest.
+    pub const LOW_POWER_LADDER: [SystemState; 5] = [
+        SystemState::C0I_S0I,
+        SystemState::C1_S0I,
+        SystemState::C3_S0I,
+        SystemState::C6_S0I,
+        SystemState::C6_S3,
+    ];
+
+    /// Checked construction of a (C, S) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnsupportedStatePair`] for combinations Table 3
+    /// forbids.
+    pub fn new(cpu: CpuState, platform: PlatformState) -> Result<SystemState, PowerError> {
+        let legal = match platform {
+            PlatformState::S0Active => cpu == CpuState::C0Active,
+            PlatformState::S0Idle => cpu != CpuState::C0Active,
+            PlatformState::S3 => cpu == CpuState::C6,
+        };
+        if legal {
+            Ok(SystemState { cpu, platform })
+        } else {
+            Err(PowerError::UnsupportedStatePair { cpu: cpu.name(), platform: platform.name() })
+        }
+    }
+
+    /// The CPU half of the pair.
+    pub fn cpu(self) -> CpuState {
+        self.cpu
+    }
+
+    /// The platform half of the pair.
+    pub fn platform(self) -> PlatformState {
+        self.platform
+    }
+
+    /// True for the active operating state `C0(a)S0(a)`.
+    pub fn is_active(self) -> bool {
+        self == SystemState::C0A_S0A
+    }
+
+    /// Paper-style label, e.g. `"C6S0(i)"`.
+    pub fn label(self) -> String {
+        format!("{}{}", self.cpu.name(), self.platform.name())
+    }
+}
+
+impl fmt::Display for SystemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.cpu.name(), self.platform.name())
+    }
+}
+
+/// Whole-system power model: CPU model + platform model.
+///
+/// The power of a combined state is the sum of its halves (Section 3.1).
+///
+/// ```
+/// use sleepscale_power::prelude::*;
+/// let m = presets::xeon();
+/// let f = Frequency::MAX;
+/// // C6S3 = 15 W CPU + 13.1 W platform.
+/// assert!((m.power(SystemState::C6_S3, f).as_watts() - 28.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemPowerModel {
+    cpu: CpuPowerModel,
+    platform: PlatformPowerModel,
+}
+
+impl SystemPowerModel {
+    /// Combines a CPU and a platform model.
+    pub fn new(cpu: CpuPowerModel, platform: PlatformPowerModel) -> SystemPowerModel {
+        SystemPowerModel { cpu, platform }
+    }
+
+    /// Total power in `state` at DVFS setting `f`.
+    ///
+    /// `f` only matters for the frequency-sensitive CPU states (`C0(a)`,
+    /// `C0(i)`, `C1`); deep states and the platform are insensitive.
+    pub fn power(&self, state: SystemState, f: Frequency) -> Watts {
+        self.cpu.power(state.cpu(), f) + self.platform.power(state.platform())
+    }
+
+    /// Power in the active state `C0(a)S0(a)` at `f` — this is the paper's
+    /// `P0 f³ + platform` and also the (conservative) power charged during
+    /// wake-up transitions.
+    pub fn active_power(&self, f: Frequency) -> Watts {
+        self.power(SystemState::C0A_S0A, f)
+    }
+
+    /// The CPU half.
+    pub fn cpu(&self) -> &CpuPowerModel {
+        &self.cpu
+    }
+
+    /// The platform half.
+    pub fn platform(&self) -> &PlatformPowerModel {
+        &self.platform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SystemPowerModel {
+        SystemPowerModel::new(CpuPowerModel::xeon(), PlatformPowerModel::xeon_platform())
+    }
+
+    fn f(v: f64) -> Frequency {
+        Frequency::new(v).unwrap()
+    }
+
+    #[test]
+    fn legal_pairs_match_table3() {
+        use CpuState::*;
+        use PlatformState::*;
+        assert!(SystemState::new(C0Active, S0Active).is_ok());
+        assert!(SystemState::new(C0Idle, S0Idle).is_ok());
+        assert!(SystemState::new(C1, S0Idle).is_ok());
+        assert!(SystemState::new(C3, S0Idle).is_ok());
+        assert!(SystemState::new(C6, S0Idle).is_ok());
+        assert!(SystemState::new(C6, S3).is_ok());
+
+        assert!(SystemState::new(C0Idle, S0Active).is_err());
+        assert!(SystemState::new(C0Active, S0Idle).is_err());
+        assert!(SystemState::new(C3, S3).is_err());
+        assert!(SystemState::new(C0Active, S3).is_err());
+    }
+
+    #[test]
+    fn combined_power_is_sum_of_halves() {
+        let m = model();
+        // Paper example (with the Table-2 platform): C0(i)S0(i) = 75 V^2 f + 60.5.
+        let p = m.power(SystemState::C0I_S0I, f(1.0)).as_watts();
+        assert!((p - (75.0 + 60.5)).abs() < 1e-9);
+        let p_half = m.power(SystemState::C0I_S0I, f(0.5)).as_watts();
+        assert!((p_half - (75.0 * 0.125 + 60.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_low_power_ladder_values_at_full_frequency() {
+        let m = model();
+        let expect = [
+            (SystemState::C0I_S0I, 135.5),
+            (SystemState::C1_S0I, 107.5),
+            (SystemState::C3_S0I, 82.5),
+            (SystemState::C6_S0I, 75.5),
+            (SystemState::C6_S3, 28.1),
+        ];
+        for (s, w) in expect {
+            assert!(
+                (m.power(s, Frequency::MAX).as_watts() - w).abs() < 1e-9,
+                "state {s} expected {w} W"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_is_monotone_in_power_at_full_frequency() {
+        let m = model();
+        let powers: Vec<f64> = SystemState::LOW_POWER_LADDER
+            .iter()
+            .map(|s| m.power(*s, Frequency::MAX).as_watts())
+            .collect();
+        for w in powers.windows(2) {
+            assert!(w[0] > w[1], "ladder must strictly decrease: {powers:?}");
+        }
+    }
+
+    #[test]
+    fn active_power_helper() {
+        let m = model();
+        assert_eq!(m.active_power(f(1.0)).as_watts(), 250.0);
+        let p = m.active_power(f(0.42)).as_watts();
+        assert!((p - (130.0 * 0.42_f64.powi(3) + 120.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemState::C6_S3.label(), "C6S3");
+        assert_eq!(SystemState::C0I_S0I.label(), "C0(i)S0(i)");
+        assert!(SystemState::C0A_S0A.is_active());
+        assert!(!SystemState::C6_S3.is_active());
+    }
+}

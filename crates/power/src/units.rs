@@ -1,0 +1,199 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Instantaneous power in watts.
+///
+/// A thin newtype so that power figures cannot be confused with energies,
+/// times, or frequencies in API signatures.
+///
+/// ```
+/// use sleepscale_power::{Watts, Joules};
+/// let p = Watts::new(50.0);
+/// let e: Joules = p * 2.0; // 2 seconds at 50 W
+/// assert_eq!(e.as_joules(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero watts.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Wraps a raw watt value.
+    pub fn new(watts: f64) -> Watts {
+        Watts(watts)
+    }
+
+    /// Returns the raw value in watts.
+    pub fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// True if the value is finite and non-negative.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} W", self.0)
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Joules;
+    /// Power times seconds yields energy.
+    fn mul(self, seconds: f64) -> Joules {
+        Joules(self.0 * seconds)
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+/// Energy in joules.
+///
+/// Produced by integrating [`Watts`] over time; divide by a duration to get
+/// average power back.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero joules.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Wraps a raw joule value.
+    pub fn new(joules: f64) -> Joules {
+        Joules(joules)
+    }
+
+    /// Returns the raw value in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Average power over `seconds`.
+    ///
+    /// Returns [`Watts::ZERO`] when `seconds` is zero so that empty
+    /// measurement windows degrade gracefully.
+    pub fn average_over(self, seconds: f64) -> Watts {
+        if seconds == 0.0 {
+            Watts::ZERO
+        } else {
+            Watts(self.0 / seconds)
+        }
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} J", self.0)
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl Div<f64> for Joules {
+    type Output = Joules;
+    fn div(self, rhs: f64) -> Joules {
+        Joules(self.0 / rhs)
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        Joules(iter.map(|j| j.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_times_time_is_energy() {
+        let e = Watts::new(100.0) * 3.5;
+        assert!((e.as_joules() - 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_average_round_trip() {
+        let e = Joules::new(500.0);
+        assert!((e.average_over(10.0).as_watts() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_over_zero_window_is_zero() {
+        assert_eq!(Joules::new(123.0).average_over(0.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)]
+            .into_iter()
+            .sum();
+        assert!((total.as_watts() - 6.0).abs() < 1e-12);
+        let mut acc = Joules::ZERO;
+        acc += Joules::new(2.0);
+        acc += Joules::new(3.0);
+        assert!(((acc - Joules::new(1.0)).as_joules() - 4.0).abs() < 1e-12);
+        assert!(((acc / 2.0).as_joules() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Watts::new(0.0).is_valid());
+        assert!(!Watts::new(-1.0).is_valid());
+        assert!(!Watts::new(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Watts::new(1.5).to_string(), "1.50 W");
+        assert_eq!(Joules::new(2.0).to_string(), "2.00 J");
+    }
+}

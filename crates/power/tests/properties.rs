@@ -1,0 +1,123 @@
+//! Property tests for the power model: invariants that must hold at
+//! every frequency, not just the spot values of Table 2.
+
+use proptest::prelude::*;
+use sleepscale_power::prelude::*;
+
+fn freq() -> impl Strategy<Value = Frequency> {
+    (0.01f64..=1.0).prop_map(|v| Frequency::new(v).expect("in range"))
+}
+
+proptest! {
+    /// Power is monotone non-decreasing in frequency for every state
+    /// (the monotonicity the DVFS-only selection logic relies on).
+    #[test]
+    fn power_monotone_in_frequency(a in freq(), b in freq()) {
+        let m = presets::xeon();
+        let (lo, hi) = if a.get() <= b.get() { (a, b) } else { (b, a) };
+        for state in std::iter::once(SystemState::C0A_S0A)
+            .chain(SystemState::LOW_POWER_LADDER)
+        {
+            prop_assert!(
+                m.power(state, lo).as_watts() <= m.power(state, hi).as_watts() + 1e-12,
+                "{state}: P({lo}) > P({hi})"
+            );
+        }
+    }
+
+    /// Every state's power matches its closed form at every frequency,
+    /// and the frequency-independent orderings hold. (The
+    /// frequency-*dependent* states C0(i)/C1 cross the fixed-power
+    /// states at low f — e.g. halted leakage `47f²` undercuts C3's
+    /// 22 W below f ≈ 0.68 — so only exact forms, not a total order,
+    /// are invariant.)
+    #[test]
+    fn state_powers_match_closed_forms(f in freq()) {
+        let m = presets::xeon();
+        let p = |s: SystemState| m.power(s, f).as_watts();
+        let v = f.get();
+        prop_assert!((p(SystemState::C0A_S0A) - (130.0 * v * v * v + 120.0)).abs() < 1e-9);
+        prop_assert!((p(SystemState::C0I_S0I) - (75.0 * v * v * v + 60.5)).abs() < 1e-9);
+        prop_assert!((p(SystemState::C1_S0I) - (47.0 * v * v + 60.5)).abs() < 1e-9);
+        prop_assert!((p(SystemState::C3_S0I) - 82.5).abs() < 1e-9);
+        prop_assert!((p(SystemState::C6_S0I) - 75.5).abs() < 1e-9);
+        prop_assert!((p(SystemState::C6_S3) - 28.1).abs() < 1e-9);
+        // Frequency-independent orderings.
+        for s in SystemState::LOW_POWER_LADDER {
+            prop_assert!(p(SystemState::C0A_S0A) > p(s), "active dominates {s}");
+            prop_assert!(p(s) > p(SystemState::C6_S3) || s == SystemState::C6_S3);
+        }
+        prop_assert!(p(SystemState::C3_S0I) > p(SystemState::C6_S0I));
+    }
+
+    /// Frequency grids always include their endpoints, stay sorted, and
+    /// never emit values outside (0, 1].
+    #[test]
+    fn grids_are_sorted_and_bounded(
+        min in 0.01f64..0.9,
+        span in 0.01f64..0.99,
+        step in 0.005f64..0.3,
+    ) {
+        let max = (min + span).min(1.0);
+        let grid = FrequencyGrid::new(min, max, step).expect("valid bounds");
+        let points: Vec<f64> = grid.iter().map(|f| f.get()).collect();
+        prop_assert!(!points.is_empty());
+        prop_assert!((points[0] - min).abs() < 1e-9);
+        prop_assert!((points.last().unwrap() - max).abs() < 1e-9);
+        for w in points.windows(2) {
+            prop_assert!(w[1] > w[0]);
+            prop_assert!(w[1] - w[0] <= step + 1e-9);
+        }
+        prop_assert!(points.iter().all(|v| *v > 0.0 && *v <= 1.0));
+    }
+
+    /// Service multipliers: never below 1, ordered by coupling strength,
+    /// and exactly 1 at f = 1.
+    #[test]
+    fn scaling_multipliers_ordered(f in freq(), beta in 0.0f64..=1.0) {
+        let law = FrequencyScaling::sublinear(beta).expect("valid beta");
+        let m = law.service_multiplier(f);
+        prop_assert!(m >= 1.0 - 1e-12);
+        prop_assert!(m <= FrequencyScaling::CpuBound.service_multiplier(f) + 1e-12);
+        prop_assert!(m >= FrequencyScaling::MemoryBound.service_multiplier(f) - 1e-12);
+        let at_full = law.service_multiplier(Frequency::MAX);
+        prop_assert!((at_full - 1.0).abs() < 1e-12);
+    }
+
+    /// Over-provisioning scaling never leaves (0, 1] and never reduces
+    /// the frequency for factors >= 1.
+    #[test]
+    fn scaled_by_stays_in_range(f in freq(), factor in 1.0f64..3.0) {
+        let boosted = f.scaled_by(factor);
+        prop_assert!(boosted.get() >= f.get() - 1e-12);
+        prop_assert!(boosted.get() <= 1.0);
+    }
+
+    /// Sleep programs accept any strictly increasing delay sequence and
+    /// report the correct stage for any elapsed idle time.
+    #[test]
+    fn sleep_program_stage_lookup(delays in proptest::collection::vec(0.0f64..10.0, 1..5)) {
+        let mut taus: Vec<f64> = delays;
+        taus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        taus.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let states = SystemState::LOW_POWER_LADDER;
+        let stages: Vec<SleepStage> = taus
+            .iter()
+            .enumerate()
+            .map(|(i, tau)| {
+                SleepStage::new(states[i.min(4)], *tau, presets::default_wake_latency(states[i.min(4)]))
+                    .expect("valid stage")
+            })
+            .collect();
+        let program = SleepProgram::new(stages.clone()).expect("strictly increasing");
+        for (i, stage) in stages.iter().enumerate() {
+            // Exactly at the entry delay, the stage is occupied.
+            let found = program.stage_index_at(stage.enter_after());
+            prop_assert_eq!(found, Some(i));
+        }
+        // Before the first delay: no stage (unless tau_1 == 0).
+        if taus[0] > 0.0 {
+            prop_assert!(program.stage_at(taus[0] / 2.0).is_none() || taus[0] < 1e-9);
+        }
+    }
+}

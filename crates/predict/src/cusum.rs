@@ -1,0 +1,147 @@
+use serde::{Deserialize, Serialize};
+
+/// A two-sided CUSUM change-point detector (Page, 1954) with an adaptive
+/// reference level.
+///
+/// Feeds on a scalar stream (here: utilization samples or prediction
+/// errors); maintains exponentially weighted estimates of the stream's
+/// mean and deviation, accumulates one-sided excursions beyond a
+/// dead-band of `slack` deviations, and reports a change when either
+/// accumulator exceeds `threshold` deviations. Both accumulators reset
+/// on detection.
+///
+/// ```
+/// use sleepscale_predict::Cusum;
+/// let mut c = Cusum::new(0.25, 4.0);
+/// for _ in 0..50 {
+///     assert!(!c.update(0.3));
+/// }
+/// // An abrupt level shift trips the detector within a few samples.
+/// let mut tripped = false;
+/// for _ in 0..10 {
+///     tripped |= c.update(0.9);
+/// }
+/// assert!(tripped);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cusum {
+    slack: f64,
+    threshold: f64,
+    mean: f64,
+    dev: f64,
+    pos: f64,
+    neg: f64,
+    samples: u64,
+}
+
+impl Cusum {
+    /// `slack` is the dead-band in deviations (the classic `k`);
+    /// `threshold` is the alarm level in deviations (the classic `h`).
+    /// Typical choices: `k = 0.25–0.5`, `h = 4–8`.
+    pub fn new(slack: f64, threshold: f64) -> Cusum {
+        Cusum {
+            slack: slack.max(0.0),
+            threshold: threshold.max(1e-6),
+            mean: 0.0,
+            dev: 0.0,
+            pos: 0.0,
+            neg: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one sample; returns `true` if a change point is declared.
+    pub fn update(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        self.samples += 1;
+        if self.samples == 1 {
+            self.mean = x;
+            self.dev = 0.05; // prior scale for utilization-like streams
+            return false;
+        }
+        let alpha = 0.05; // EWMA adaptation rate for the reference level
+        let dev = self.dev.max(1e-4);
+        let z = (x - self.mean) / dev;
+        self.pos = (self.pos + z - self.slack).max(0.0);
+        self.neg = (self.neg - z - self.slack).max(0.0);
+        // Update reference level estimates after scoring.
+        self.mean += alpha * (x - self.mean);
+        self.dev += alpha * ((x - self.mean).abs() - self.dev);
+        if self.pos > self.threshold || self.neg > self.threshold {
+            self.pos = 0.0;
+            self.neg = 0.0;
+            // Snap the reference to the new level so detection re-arms.
+            self.mean = x;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current reference mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_stream_never_alarms() {
+        let mut c = Cusum::new(0.5, 5.0);
+        for i in 0..500 {
+            let x = 0.3 + 0.01 * ((i % 7) as f64 - 3.0) / 3.0;
+            assert!(!c.update(x), "false alarm at {i}");
+        }
+    }
+
+    #[test]
+    fn detects_upward_and_downward_shifts() {
+        let mut c = Cusum::new(0.25, 4.0);
+        for _ in 0..100 {
+            c.update(0.5);
+        }
+        let mut up = false;
+        for _ in 0..15 {
+            up |= c.update(0.95);
+        }
+        assert!(up, "missed upward shift");
+        for _ in 0..50 {
+            c.update(0.95);
+        }
+        let mut down = false;
+        for _ in 0..15 {
+            down |= c.update(0.3);
+        }
+        assert!(down, "missed downward shift");
+    }
+
+    #[test]
+    fn reference_tracks_level_after_detection() {
+        let mut c = Cusum::new(0.25, 4.0);
+        for _ in 0..50 {
+            c.update(0.2);
+        }
+        for _ in 0..30 {
+            c.update(0.8);
+        }
+        assert!((c.mean() - 0.8).abs() < 0.1, "mean {}", c.mean());
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut c = Cusum::new(0.25, 4.0);
+        c.update(0.5);
+        assert!(!c.update(f64::NAN));
+        assert_eq!(c.samples(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline predictor evaluation: replay a utilization series through a
+//! predictor and score one-step-ahead accuracy.
+
+use crate::Predictor;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy report for one predictor over one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorReport {
+    /// Predictor name.
+    pub name: String,
+    /// Mean absolute one-step error.
+    pub mae: f64,
+    /// Root-mean-square one-step error.
+    pub rmse: f64,
+    /// Worst absolute error.
+    pub max_error: f64,
+    /// Samples scored.
+    pub samples: usize,
+}
+
+/// Replays `series` through `predictor`: at each step the predictor
+/// first predicts, then observes the realized value. The first
+/// `warmup` steps are observed but not scored.
+pub fn evaluate(
+    predictor: &mut dyn Predictor,
+    series: &[f64],
+    warmup: usize,
+) -> PredictorReport {
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut max_error = 0.0_f64;
+    let mut scored = 0usize;
+    for (i, &rho) in series.iter().enumerate() {
+        if i >= warmup {
+            let err = (predictor.predict() - rho).abs();
+            abs_sum += err;
+            sq_sum += err * err;
+            max_error = max_error.max(err);
+            scored += 1;
+        }
+        predictor.observe(rho);
+    }
+    let n = scored.max(1) as f64;
+    PredictorReport {
+        name: predictor.name().to_string(),
+        mae: abs_sum / n,
+        rmse: (sq_sum / n).sqrt(),
+        max_error,
+        samples: scored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lms, LmsCusum, MovingAverage, NaivePrevious, Offline};
+
+    fn bursty_series() -> Vec<f64> {
+        // Diurnal-ish base plus abrupt plateaus, like the email store.
+        (0..600)
+            .map(|i| {
+                let base = 0.35 + 0.25 * ((i as f64) / 90.0).sin();
+                if (i / 60) % 4 == 3 {
+                    0.9
+                } else {
+                    base.clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn offline_is_perfect() {
+        let series = bursty_series();
+        let mut offline = Offline::new(series.clone());
+        let report = evaluate(&mut offline, &series, 0);
+        assert!(report.mae < 1e-12);
+        assert!(report.max_error < 1e-12);
+        assert_eq!(report.samples, series.len());
+    }
+
+    #[test]
+    fn ranking_matches_the_paper_qualitatively() {
+        // Figure 8: offline < {LC, NP} < LMS on bursty traces (LMS smooths
+        // over the abrupt plateaus).
+        let series = bursty_series();
+        let offline = evaluate(&mut Offline::new(series.clone()), &series, 20).mae;
+        let lc = evaluate(&mut LmsCusum::new(10), &series, 20).mae;
+        let np = evaluate(&mut NaivePrevious::new(), &series, 20).mae;
+        let lms = evaluate(&mut Lms::new(10), &series, 20).mae;
+        assert!(offline < lc && offline < np);
+        assert!(lc < lms, "LC {lc:.4} should beat LMS {lms:.4} on bursty input");
+        // NP is competitive with LC on these traces (the paper notes this).
+        assert!((np - lc).abs() < 0.05);
+    }
+
+    #[test]
+    fn warmup_excludes_cold_start() {
+        let series = vec![0.4; 50];
+        let full = evaluate(&mut MovingAverage::new(5), &series.clone(), 0);
+        let warm = evaluate(&mut MovingAverage::new(5), &series, 5);
+        assert!(warm.mae <= full.mae);
+        assert_eq!(warm.samples, 45);
+    }
+}

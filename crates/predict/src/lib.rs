@@ -1,0 +1,105 @@
+//! Utilization predictors for the SleepScale runtime (Section 5.2.2).
+//!
+//! The runtime predicts the upcoming epoch's utilization from the
+//! minute-by-minute history, then rescales its job logs to that
+//! prediction before characterizing policies. The paper implements and
+//! compares:
+//!
+//! * [`NaivePrevious`] — last observed minute; tracks sudden changes but
+//!   not stationary behaviour,
+//! * [`Lms`] — a least-mean-square adaptive filter over the past `p`
+//!   minutes; smooths well, lags abrupt changes,
+//! * [`LmsCusum`] — Algorithm 2: LMS plus a CUSUM change-point test
+//!   (Page, 1954) that collapses the look-back window to 1 on abrupt
+//!   change and regrows it afterwards,
+//! * [`Offline`] — the genie that knows the true future (Figure 8's
+//!   baseline),
+//! * [`MovingAverage`] — the fixed-weight baseline LMS is compared
+//!   against in the text.
+//!
+//! All predictors implement the object-safe [`Predictor`] trait:
+//! `observe` each realized sample, `predict` the next one.
+//!
+//! # Example
+//!
+//! ```
+//! use sleepscale_predict::{Lms, NaivePrevious, Predictor};
+//! let mut naive = NaivePrevious::new();
+//! let mut lms = Lms::new(10);
+//! for rho in [0.2, 0.25, 0.3, 0.28, 0.31] {
+//!     naive.observe(rho);
+//!     lms.observe(rho);
+//! }
+//! assert_eq!(naive.predict(), 0.31);
+//! assert!((lms.predict() - 0.3).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cusum;
+pub mod eval;
+mod lms;
+mod lms_cusum;
+mod simple;
+
+pub use cusum::Cusum;
+pub use eval::{evaluate, PredictorReport};
+pub use lms::Lms;
+pub use lms_cusum::LmsCusum;
+pub use simple::{MovingAverage, NaivePrevious, Offline};
+
+/// An online one-step-ahead predictor of utilization samples in `[0, 1]`.
+pub trait Predictor: std::fmt::Debug + Send {
+    /// Ingests the realized utilization of the sample that just ended.
+    fn observe(&mut self, rho: f64);
+
+    /// Predicts the next sample's utilization, clamped to `[0, 1]`.
+    /// With no history yet, implementations return a neutral default.
+    fn predict(&self) -> f64;
+
+    /// Short name used in figures (e.g. `"LC"`, `"LMS"`, `"NP"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::eval;
+    pub use crate::{Cusum, Lms, LmsCusum, MovingAverage, NaivePrevious, Offline, Predictor};
+}
+
+pub(crate) fn clamp_unit(x: f64) -> f64 {
+    if x.is_finite() {
+        x.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_unit_handles_edges() {
+        assert_eq!(clamp_unit(0.5), 0.5);
+        assert_eq!(clamp_unit(-0.1), 0.0);
+        assert_eq!(clamp_unit(1.7), 1.0);
+        assert_eq!(clamp_unit(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(NaivePrevious::new()),
+            Box::new(Lms::new(10)),
+            Box::new(LmsCusum::new(10)),
+            Box::new(MovingAverage::new(5)),
+        ];
+        for mut p in predictors {
+            p.observe(0.4);
+            let v = p.predict();
+            assert!((0.0..=1.0).contains(&v), "{}", p.name());
+        }
+    }
+}

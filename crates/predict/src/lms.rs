@@ -1,0 +1,156 @@
+use crate::{clamp_unit, Predictor};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A least-mean-square adaptive filter over the past `p` samples.
+///
+/// Predicts `ρ'(t) = Σ v_i ρ(t−i)` and updates the weights from the
+/// prediction error every sample (normalized LMS for step-size
+/// robustness). "The LMS adaptive filter outperforms the moving average
+/// predictor because the weight for each of the past p minutes is chosen
+/// adaptively."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lms {
+    order: usize,
+    step: f64,
+    weights: Vec<f64>,
+    history: VecDeque<f64>, // newest at the front
+}
+
+/// Default NLMS adaptation step.
+pub const DEFAULT_STEP: f64 = 0.5;
+
+impl Lms {
+    /// A filter of order `p` (clamped to ≥ 1) with the default step.
+    pub fn new(p: usize) -> Lms {
+        Lms::with_step(p, DEFAULT_STEP)
+    }
+
+    /// A filter of order `p` with NLMS step `step` (clamped to
+    /// `(0, 2)` for stability).
+    pub fn with_step(p: usize, step: f64) -> Lms {
+        let order = p.max(1);
+        Lms {
+            order,
+            step: step.clamp(1e-6, 1.999),
+            weights: vec![1.0 / order as f64; order],
+            history: VecDeque::with_capacity(order),
+        }
+    }
+
+    /// The filter order `p`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Current weight vector (index 0 = most recent sample).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Raw (unclamped) prediction from the current weights and history;
+    /// 0.5 when no history exists.
+    fn raw_predict(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.5;
+        }
+        self.weights
+            .iter()
+            .zip(self.history.iter())
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            // Missing taps implicitly read 0, matching a cold-started
+            // filter; the weights re-adapt within a few samples.
+    }
+
+    /// NLMS weight update for a realized value given the current history.
+    fn adapt(&mut self, actual: f64) {
+        if self.history.is_empty() {
+            return;
+        }
+        let error = actual - clamp_unit(self.raw_predict());
+        let energy: f64 =
+            self.history.iter().map(|x| x * x).sum::<f64>() + 1e-6;
+        for (w, x) in self.weights.iter_mut().zip(self.history.iter()) {
+            *w += self.step * error * x / energy;
+        }
+    }
+}
+
+impl Predictor for Lms {
+    fn observe(&mut self, rho: f64) {
+        let rho = clamp_unit(rho);
+        self.adapt(rho);
+        if self.history.len() == self.order {
+            self.history.pop_back();
+        }
+        self.history.push_front(rho);
+    }
+
+    fn predict(&self) -> f64 {
+        clamp_unit(self.raw_predict())
+    }
+
+    fn name(&self) -> &'static str {
+        "LMS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_constant_signal() {
+        let mut p = Lms::new(10);
+        for _ in 0..200 {
+            p.observe(0.4);
+        }
+        assert!((p.predict() - 0.4).abs() < 0.01, "predicted {}", p.predict());
+    }
+
+    #[test]
+    fn tracks_slow_ramp_with_lag() {
+        let mut p = Lms::new(5);
+        let mut last_err = 0.0;
+        for i in 0..300 {
+            let rho = 0.2 + 0.001 * i as f64;
+            last_err = (p.predict() - rho).abs();
+            p.observe(rho.min(1.0));
+        }
+        assert!(last_err < 0.05, "ramp error {last_err}");
+    }
+
+    #[test]
+    fn outperforms_moving_average_on_trend() {
+        use crate::MovingAverage;
+        let mut lms = Lms::new(8);
+        let mut ma = MovingAverage::new(8);
+        let (mut lms_err, mut ma_err) = (0.0, 0.0);
+        for i in 0..500 {
+            let rho = (0.3 + 0.3 * (i as f64 / 40.0).sin()).clamp(0.0, 1.0);
+            lms_err += (lms.predict() - rho).abs();
+            ma_err += (ma.predict() - rho).abs();
+            lms.observe(rho);
+            ma.observe(rho);
+        }
+        assert!(lms_err < ma_err, "LMS {lms_err} vs MA {ma_err}");
+    }
+
+    #[test]
+    fn predictions_stay_in_unit_interval() {
+        let mut p = Lms::new(4);
+        for i in 0..100 {
+            p.observe(if i % 2 == 0 { 0.0 } else { 1.0 });
+            let v = p.predict();
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn order_clamped_and_weights_exposed() {
+        let p = Lms::new(0);
+        assert_eq!(p.order(), 1);
+        assert_eq!(p.weights().len(), 1);
+    }
+}

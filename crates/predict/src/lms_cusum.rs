@@ -1,0 +1,178 @@
+use crate::cusum::Cusum;
+use crate::{clamp_unit, Predictor};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Algorithm 2: LMS prediction with CUSUM change-point handling.
+///
+/// Runs an adaptive-order LMS filter. Each observation:
+///
+/// 1. predict `ρ'(t)` from the past `p` samples,
+/// 2. compute the error and update the weights,
+/// 3. feed the error to a CUSUM test; on an abrupt change, *reset* the
+///    look-back to `p = 1` with `v(1) = Σv` (dropping the smoothing so
+///    the filter snaps to the new level),
+/// 4. otherwise grow `p` back toward `hist`, re-spreading the weight
+///    mass uniformly (`v(i) = Σv / p`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LmsCusum {
+    hist: usize,
+    step: f64,
+    p: usize,
+    weights: Vec<f64>,
+    history: VecDeque<f64>, // newest at the front
+    detector: Cusum,
+}
+
+impl LmsCusum {
+    /// A filter with maximum history depth `hist` (the paper's `p = 10`)
+    /// and default CUSUM parameters.
+    pub fn new(hist: usize) -> LmsCusum {
+        LmsCusum::with_params(hist, crate::lms::DEFAULT_STEP, 0.5, 3.0)
+    }
+
+    /// Full parameter control: NLMS step, CUSUM slack `k` and alarm
+    /// threshold `h` (in deviations of the error stream).
+    pub fn with_params(hist: usize, step: f64, slack: f64, threshold: f64) -> LmsCusum {
+        let hist = hist.max(1);
+        LmsCusum {
+            hist,
+            step: step.clamp(1e-6, 1.999),
+            p: 1,
+            weights: vec![1.0],
+            history: VecDeque::with_capacity(hist),
+            detector: Cusum::new(slack, threshold),
+        }
+    }
+
+    /// Current look-back order `p`.
+    pub fn order(&self) -> usize {
+        self.p
+    }
+
+    fn raw_predict(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.5;
+        }
+        self.weights
+            .iter()
+            .take(self.p)
+            .zip(self.history.iter())
+            .map(|(w, x)| w * x)
+            .sum()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.weights.iter().take(self.p).sum()
+    }
+}
+
+impl Predictor for LmsCusum {
+    fn observe(&mut self, rho: f64) {
+        let rho = clamp_unit(rho);
+        if !self.history.is_empty() {
+            let predicted = clamp_unit(self.raw_predict());
+            let error = rho - predicted;
+            // CUSUM on the absolute error stream (Algorithm 2 line 8).
+            if self.detector.update(error.abs()) {
+                // Line 10: reset p = 1, v(1) = Σv. The gradient step is
+                // skipped on the detection sample — a change point means
+                // the error is a level shift, not a gradient signal, and
+                // folding it into the weights would blow up the collapsed
+                // single tap.
+                let sum = self.total_weight();
+                self.p = 1;
+                self.weights = vec![sum];
+            } else {
+                // NLMS update on the active taps (line 7).
+                let energy: f64 =
+                    self.history.iter().take(self.p).map(|x| x * x).sum::<f64>() + 1e-6;
+                for (w, x) in self.weights.iter_mut().take(self.p).zip(self.history.iter()) {
+                    *w += self.step * error * x / energy;
+                }
+                // Line 12: grow p, re-spread weights uniformly.
+                let sum = self.total_weight();
+                self.p = (self.p + 1).min(self.hist);
+                self.weights = vec![sum / self.p as f64; self.p];
+            }
+        }
+        if self.history.len() == self.hist {
+            self.history.pop_back();
+        }
+        self.history.push_front(rho);
+    }
+
+    fn predict(&self) -> f64 {
+        clamp_unit(self.raw_predict())
+    }
+
+    fn name(&self) -> &'static str {
+        "LC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_constant_signal() {
+        let mut p = LmsCusum::new(10);
+        for _ in 0..200 {
+            p.observe(0.35);
+        }
+        assert!((p.predict() - 0.35).abs() < 0.02, "{}", p.predict());
+        assert!(p.order() > 1, "order should regrow on stationary input");
+    }
+
+    #[test]
+    fn resets_order_on_abrupt_change() {
+        let mut p = LmsCusum::new(10);
+        for _ in 0..120 {
+            p.observe(0.2);
+        }
+        let before = p.order();
+        assert_eq!(before, 10);
+        // Abrupt surge: the CUSUM should fire within a few samples and the
+        // order should momentarily collapse.
+        let mut min_order = before;
+        for _ in 0..12 {
+            p.observe(0.9);
+            min_order = min_order.min(p.order());
+        }
+        assert_eq!(min_order, 1, "order never reset after the surge");
+    }
+
+    #[test]
+    fn tracks_surges_faster_than_plain_lms() {
+        use crate::Lms;
+        let mut lc = LmsCusum::new(10);
+        let mut lms = Lms::new(10);
+        // Long stationary stretch then a step.
+        for _ in 0..200 {
+            lc.observe(0.15);
+            lms.observe(0.15);
+        }
+        let (mut lc_err, mut lms_err) = (0.0, 0.0);
+        for _ in 0..12 {
+            lc_err += (lc.predict() - 0.85_f64).abs();
+            lms_err += (lms.predict() - 0.85_f64).abs();
+            lc.observe(0.85);
+            lms.observe(0.85);
+        }
+        assert!(
+            lc_err < lms_err,
+            "LMS+CUSUM ({lc_err:.3}) should track the step faster than LMS ({lms_err:.3})"
+        );
+    }
+
+    #[test]
+    fn stays_in_unit_interval() {
+        let mut p = LmsCusum::new(6);
+        for i in 0..300 {
+            p.observe(if i % 17 == 0 { 1.0 } else { 0.05 });
+            let v = p.predict();
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

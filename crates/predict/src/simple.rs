@@ -1,0 +1,149 @@
+use crate::{clamp_unit, Predictor};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The naive-previous predictor: the next sample equals the last observed
+/// one. "Best suited to track sudden changes in utilization, however it
+/// does not effectively predict the stationary behavior."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct NaivePrevious {
+    last: Option<f64>,
+}
+
+impl NaivePrevious {
+    /// A predictor with no history.
+    pub fn new() -> NaivePrevious {
+        NaivePrevious::default()
+    }
+}
+
+impl Predictor for NaivePrevious {
+    fn observe(&mut self, rho: f64) {
+        self.last = Some(clamp_unit(rho));
+    }
+
+    fn predict(&self) -> f64 {
+        self.last.unwrap_or(0.5)
+    }
+
+    fn name(&self) -> &'static str {
+        "NP"
+    }
+}
+
+/// Fixed-weight moving average over the last `window` samples — the
+/// baseline the paper says LMS outperforms (LMS adapts its weights
+/// instead of fixing them to `1/p`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovingAverage {
+    window: usize,
+    history: VecDeque<f64>,
+}
+
+impl MovingAverage {
+    /// Averages the last `window` observations (clamped to ≥ 1).
+    pub fn new(window: usize) -> MovingAverage {
+        MovingAverage { window: window.max(1), history: VecDeque::new() }
+    }
+}
+
+impl Predictor for MovingAverage {
+    fn observe(&mut self, rho: f64) {
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(clamp_unit(rho));
+    }
+
+    fn predict(&self) -> f64 {
+        if self.history.is_empty() {
+            0.5
+        } else {
+            self.history.iter().sum::<f64>() / self.history.len() as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MA"
+    }
+}
+
+/// The genie-aided offline predictor: knows the true future utilization
+/// non-causally (Figure 8's "Offline" bars). Construct it with the whole
+/// trace; each `observe` advances its clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Offline {
+    future: Vec<f64>,
+    clock: usize,
+}
+
+impl Offline {
+    /// Wraps the full realized trace (per-sample utilizations).
+    pub fn new(future: Vec<f64>) -> Offline {
+        Offline { future, clock: 0 }
+    }
+}
+
+impl Predictor for Offline {
+    fn observe(&mut self, _rho: f64) {
+        self.clock += 1;
+    }
+
+    fn predict(&self) -> f64 {
+        // The next sample is the one at the current clock position.
+        self.future.get(self.clock).copied().map_or(0.5, clamp_unit)
+    }
+
+    fn name(&self) -> &'static str {
+        "Offline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_returns_last() {
+        let mut p = NaivePrevious::new();
+        assert_eq!(p.predict(), 0.5); // neutral default
+        p.observe(0.3);
+        p.observe(0.7);
+        assert_eq!(p.predict(), 0.7);
+        assert_eq!(p.name(), "NP");
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut p = MovingAverage::new(3);
+        for rho in [0.1, 0.2, 0.3, 0.4] {
+            p.observe(rho);
+        }
+        // Window holds [0.2, 0.3, 0.4].
+        assert!((p.predict() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offline_is_clairvoyant() {
+        let truth = vec![0.1, 0.2, 0.3];
+        let mut p = Offline::new(truth.clone());
+        // Before any observation, it predicts the first sample.
+        assert_eq!(p.predict(), 0.1);
+        p.observe(0.1);
+        assert_eq!(p.predict(), 0.2);
+        p.observe(0.2);
+        p.observe(0.3);
+        // Past the end: neutral default.
+        assert_eq!(p.predict(), 0.5);
+    }
+
+    #[test]
+    fn observations_are_clamped() {
+        let mut p = NaivePrevious::new();
+        p.observe(1.8);
+        assert_eq!(p.predict(), 1.0);
+        let mut p = MovingAverage::new(2);
+        p.observe(-0.5);
+        assert_eq!(p.predict(), 0.0);
+    }
+}

@@ -1,0 +1,475 @@
+use crate::env::SimEnv;
+use crate::job::{Job, JobRecord, JobStream};
+use crate::ledger::EnergyLedger;
+use crate::outcome::{EpochOutcome, Residency, SimOutcome};
+use sleepscale_dist::SummaryStats;
+use sleepscale_power::{Frequency, Policy, SleepProgram, SystemState};
+
+/// The server's condition carried between epochs: when its committed work
+/// finishes and which sleep program/frequency governs the idle interval
+/// that began (or will begin) at that instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarryState {
+    free_time: f64,
+    idle: Option<(SleepProgram, Frequency)>,
+}
+
+impl Default for CarryState {
+    fn default() -> CarryState {
+        CarryState::new()
+    }
+}
+
+impl CarryState {
+    /// A server idle since t = 0 whose idle behaviour defaults to the
+    /// first policy it is given.
+    pub fn new() -> CarryState {
+        CarryState { free_time: 0.0, idle: None }
+    }
+
+    /// When the server's committed work completes (equivalently, when its
+    /// current idle period began if in the past).
+    pub fn free_time(&self) -> f64 {
+        self.free_time
+    }
+}
+
+/// Incremental FCFS + sleep-states simulator (the paper's Algorithm 1,
+/// exact-event version).
+///
+/// Feed it one epoch at a time with [`OnlineSim::run_epoch`]; policies may
+/// change between epochs and energy is attributed exactly to per-epoch
+/// buckets via the internal [`EnergyLedger`]. Call [`OnlineSim::finish`]
+/// at the end of the trace to close the final idle interval.
+///
+/// # Model semantics
+///
+/// * An arrival into a non-empty system queues (FCFS).
+/// * An arrival into an idle system triggers wake-up *immediately*; it
+///   pays the wake latency of whichever sleep stage the server occupies
+///   at that instant (none, if still in pre-`τ_1` active idle).
+/// * Wake-up time is charged at active power (paper's conservative rule),
+///   as is pre-`τ_1` idle (matching the appendix's `P_0` term).
+/// * A job is served at the frequency of the epoch in which it *arrives*;
+///   an idle interval follows the sleep program of the policy under which
+///   the preceding busy period ran (re-programming a sleeping server
+///   retroactively is physically meaningless).
+pub struct OnlineSim {
+    env: SimEnv,
+    ledger: EnergyLedger,
+    state: CarryState,
+    residency: Residency,
+    wakes_from: Vec<(SystemState, u64)>,
+    wakes_without_sleep: u64,
+    jobs_done: usize,
+}
+
+impl OnlineSim {
+    /// A fresh simulator whose energy ledger buckets time every
+    /// `bucket_width` seconds (use the epoch length to get per-epoch
+    /// power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive and finite.
+    pub fn new(env: SimEnv, bucket_width: f64) -> OnlineSim {
+        OnlineSim {
+            env,
+            ledger: EnergyLedger::new(bucket_width),
+            state: CarryState::new(),
+            residency: Residency::new(),
+            wakes_from: Vec::new(),
+            wakes_without_sleep: 0,
+            jobs_done: 0,
+        }
+    }
+
+    /// Simulates one epoch's arrivals under `policy`.
+    ///
+    /// `jobs` must be sorted by arrival and arrive at or after any
+    /// previously processed job (the engine is single-pass). `epoch_end`
+    /// is used only to report how far committed work overhangs the epoch.
+    pub fn run_epoch(&mut self, jobs: &[Job], policy: &Policy, epoch_end: f64) -> EpochOutcome {
+        let mut records = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            records.push(self.process_job(job, policy));
+        }
+        let backlog = (self.state.free_time - epoch_end).max(0.0);
+        EpochOutcome::new(records, backlog)
+    }
+
+    fn process_job(&mut self, job: &Job, policy: &Policy) -> JobRecord {
+        let f = policy.frequency();
+        let active_watts = self.env.power().active_power(f);
+        let mut wake = 0.0;
+
+        let start = if job.arrival >= self.state.free_time {
+            // The queue emptied at free_time; the server has been walking
+            // the sleep ladder of the policy in effect back then.
+            let gap_start = self.state.free_time;
+            let gap = job.arrival - gap_start;
+            let (program, idle_freq) = match &self.state.idle {
+                Some((p, fr)) => (p.clone(), *fr),
+                None => (policy.program().clone(), f),
+            };
+            self.emit_idle(gap_start, gap, &program, idle_freq);
+            match program.stage_at(gap) {
+                Some(stage) => {
+                    wake = stage.wake_latency();
+                    self.count_wake(stage.state());
+                }
+                None => self.wakes_without_sleep += 1,
+            }
+            // Wake-up runs at the *new* policy's active power.
+            self.ledger.add_segment(job.arrival, job.arrival + wake, active_watts);
+            self.residency.add_waking(wake);
+            job.arrival + wake
+        } else {
+            self.state.free_time
+        };
+
+        let service = job.size * self.env.scaling().service_multiplier(f);
+        let departure = start + service;
+        self.ledger.add_segment(start, departure, active_watts);
+        self.residency.add_serving(service);
+        self.state.free_time = departure;
+        self.state.idle = Some((policy.program().clone(), f));
+        self.jobs_done += 1;
+
+        JobRecord { id: job.id, arrival: job.arrival, start, departure, size: job.size, service, wake }
+    }
+
+    /// Integrates the idle interval `[gap_start, gap_start + gap)` across
+    /// the sleep ladder: active power before `τ_1`, then each stage's
+    /// power until the next stage begins or the gap ends.
+    fn emit_idle(&mut self, gap_start: f64, gap: f64, program: &SleepProgram, idle_freq: Frequency) {
+        if gap <= 0.0 {
+            return;
+        }
+        let stages = program.stages();
+        let first_tau = stages.first().map_or(gap, |s| s.enter_after().min(gap));
+        if first_tau > 0.0 {
+            let watts = self.env.power().active_power(idle_freq);
+            self.ledger.add_segment(gap_start, gap_start + first_tau, watts);
+            self.residency.add_active_idle(first_tau);
+        }
+        for (i, stage) in stages.iter().enumerate() {
+            let begin = stage.enter_after();
+            if begin >= gap {
+                break;
+            }
+            let end = stages.get(i + 1).map_or(gap, |next| next.enter_after().min(gap));
+            let watts = self.env.power().power(stage.state(), idle_freq);
+            self.ledger.add_segment(gap_start + begin, gap_start + end, watts);
+            self.residency.add_state(stage.state(), end - begin);
+        }
+    }
+
+    fn count_wake(&mut self, state: SystemState) {
+        if let Some(entry) = self.wakes_from.iter_mut().find(|(s, _)| *s == state) {
+            entry.1 += 1;
+        } else {
+            self.wakes_from.push((state, 1));
+        }
+    }
+
+    /// Closes the trace: integrates the trailing idle interval up to
+    /// `horizon` (if the server went idle before it) and returns the
+    /// overall outcome. Response statistics are not kept by the online
+    /// engine (each epoch already returned its records); pass them in via
+    /// [`simulate`] for batch use.
+    pub fn finish(mut self, horizon: f64) -> (EnergyLedger, Residency, Vec<(SystemState, u64)>, u64)
+    {
+        let end = horizon.max(self.state.free_time);
+        if end > self.state.free_time {
+            let (program, freq) = match &self.state.idle {
+                Some((p, fr)) => (p.clone(), *fr),
+                None => (SleepProgram::never_sleep(), Frequency::MAX),
+            };
+            let gap_start = self.state.free_time;
+            self.emit_idle(gap_start, end - gap_start, &program, freq);
+        }
+        (self.ledger, self.residency, self.wakes_from, self.wakes_without_sleep)
+    }
+
+    /// The server's carry state (free time and pending idle program).
+    pub fn state(&self) -> &CarryState {
+        &self.state
+    }
+
+    /// The per-bucket energy ledger accumulated so far.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Time-in-state accounting so far.
+    pub fn residency(&self) -> &Residency {
+        &self.residency
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_done(&self) -> usize {
+        self.jobs_done
+    }
+}
+
+/// Batch policy evaluation — the paper's Algorithm 1.
+///
+/// Runs the whole `jobs` stream under one fixed `policy` and reports mean
+/// response time, average power, residency, and wake statistics. The
+/// horizon runs from the stream origin (t = 0) to the last departure,
+/// matching Algorithm 1's power accounting by the ratio of active and
+/// idle periods.
+pub fn simulate(jobs: &JobStream, policy: &Policy, env: &SimEnv) -> SimOutcome {
+    let mut sim = OnlineSim::new(env.clone(), 3600.0);
+    let epoch = sim.run_epoch(jobs.jobs(), policy, f64::INFINITY);
+    let horizon = sim.state.free_time;
+    let n = epoch.records().len();
+    let responses = SummaryStats::from_samples(epoch.records().iter().map(JobRecord::response));
+    let (ledger, residency, wakes_from, wakes_without_sleep) = sim.finish(horizon);
+    SimOutcome::new(
+        n,
+        horizon,
+        responses,
+        ledger.total_energy(),
+        residency,
+        wakes_from,
+        wakes_without_sleep,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepscale_power::{presets, FrequencyScaling, SleepStage};
+
+    fn env() -> SimEnv {
+        SimEnv::xeon_cpu_bound()
+    }
+
+    fn stream(pairs: &[(f64, f64)]) -> JobStream {
+        JobStream::from_log(pairs.iter().copied()).unwrap()
+    }
+
+    /// Two well-separated jobs under immediate C6S3: the first pays the
+    /// 1 s wake (server "asleep" since t = 0), the second arrives long
+    /// after the queue empties and pays it again.
+    #[test]
+    fn wake_latency_charged_per_cycle() {
+        let jobs = stream(&[(10.0, 1.0), (100.0, 1.0)]);
+        let policy = Policy::new(Frequency::MAX, SleepProgram::immediate(presets::C6_S3));
+        let out = simulate(&jobs, &policy, &env());
+        assert_eq!(out.n_jobs(), 2);
+        // Each response = wake 1 s + service 1 s.
+        assert!((out.mean_response() - 2.0).abs() < 1e-9);
+        assert_eq!(out.wakes_from().len(), 1);
+        assert_eq!(out.wakes_from()[0], (SystemState::C6_S3, 2));
+        assert_eq!(out.wakes_without_sleep(), 0);
+    }
+
+    /// A job arriving during a busy period queues and pays no wake.
+    #[test]
+    fn queued_job_pays_no_wake() {
+        let jobs = stream(&[(0.0, 1.0), (1.5, 1.0), (1.6, 1.0)]);
+        let policy = Policy::new(Frequency::MAX, SleepProgram::immediate(presets::C6_S3));
+        let out = simulate(&jobs, &policy, &env());
+        // Job 0: wake 1 (asleep since t=0), start 1, dep 2.
+        // Job 1 (t=1.5): queued, start 2, dep 3. Response 1.5.
+        // Job 2 (t=1.6): queued, start 3, dep 4. Response 2.4.
+        assert!((out.mean_response() - (2.0 + 1.5 + 2.4) / 3.0).abs() < 1e-9);
+        assert_eq!(out.wakes_from()[0].1, 1);
+        assert!((out.horizon() - 4.0).abs() < 1e-12);
+    }
+
+    /// Frequency stretches service times through the scaling law.
+    #[test]
+    fn frequency_scales_service_time() {
+        let jobs = stream(&[(0.0, 1.0)]);
+        let half = Frequency::new(0.5).unwrap();
+        let cpu = Policy::new(half, SleepProgram::immediate(presets::C0I_S0I));
+        let out = simulate(&jobs, &cpu, &env());
+        assert!((out.residency().serving() - 2.0).abs() < 1e-12);
+        let mem_env = env().with_scaling(FrequencyScaling::MemoryBound);
+        let out = simulate(&jobs, &cpu, &mem_env);
+        assert!((out.residency().serving() - 1.0).abs() < 1e-12);
+    }
+
+    /// Exact energy bookkeeping for a hand-computable scenario.
+    #[test]
+    fn energy_integrates_exactly() {
+        // One job arriving at t=10, size 2, f=1, immediate C6S3 (28.1 W,
+        // wake 1 s). Idle [0,10) at 28.1 W, wake [10,11) at 250 W,
+        // serve [11,13) at 250 W. Horizon 13.
+        let jobs = stream(&[(10.0, 2.0)]);
+        let policy = Policy::new(Frequency::MAX, SleepProgram::immediate(presets::C6_S3));
+        let out = simulate(&jobs, &policy, &env());
+        let expect = 10.0 * 28.1 + 3.0 * 250.0;
+        assert!((out.energy().as_joules() - expect).abs() < 1e-6);
+        assert!((out.horizon() - 13.0).abs() < 1e-12);
+        assert!((out.avg_power().as_watts() - expect / 13.0).abs() < 1e-9);
+        assert!((out.residency().state_time(SystemState::C6_S3) - 10.0).abs() < 1e-12);
+        assert!((out.residency().waking() - 1.0).abs() < 1e-12);
+        assert!((out.residency().serving() - 2.0).abs() < 1e-12);
+        assert!((out.residency().total() - 13.0).abs() < 1e-9);
+    }
+
+    /// Pre-τ1 idle is charged at active power; the stage only begins at τ1.
+    #[test]
+    fn delayed_entry_charges_active_idle_first() {
+        // Sleep program: C6S3 after τ=4 s. Job at t=10: idle [0,4) active,
+        // [4,10) C6S3, then wake 1 s.
+        let jobs = stream(&[(10.0, 1.0)]);
+        let stage = SleepStage::new(SystemState::C6_S3, 4.0, 1.0).unwrap();
+        let policy = Policy::new(Frequency::MAX, SleepProgram::new(vec![stage]).unwrap());
+        let out = simulate(&jobs, &policy, &env());
+        assert!((out.residency().active_idle() - 4.0).abs() < 1e-12);
+        assert!((out.residency().state_time(SystemState::C6_S3) - 6.0).abs() < 1e-12);
+        let expect = 4.0 * 250.0 + 6.0 * 28.1 + 2.0 * 250.0;
+        assert!((out.energy().as_joules() - expect).abs() < 1e-6);
+    }
+
+    /// An arrival inside the pre-τ1 window pays no wake latency.
+    #[test]
+    fn arrival_before_first_stage_wakes_free() {
+        let jobs = stream(&[(2.0, 1.0)]);
+        let stage = SleepStage::new(SystemState::C6_S3, 4.0, 1.0).unwrap();
+        let policy = Policy::new(Frequency::MAX, SleepProgram::new(vec![stage]).unwrap());
+        let out = simulate(&jobs, &policy, &env());
+        assert!((out.mean_response() - 1.0).abs() < 1e-12);
+        assert_eq!(out.wakes_without_sleep(), 1);
+        assert!(out.wakes_from().is_empty());
+    }
+
+    /// Two-stage ladder: the wake cost depends on which rung the arrival
+    /// catches (Figure 3's C0(i)S0(i) → C6S3 program).
+    #[test]
+    fn two_stage_ladder_wake_depends_on_gap() {
+        let program = SleepProgram::new(vec![
+            SleepStage::new(SystemState::C0I_S0I, 0.0, 0.0).unwrap(),
+            SleepStage::new(SystemState::C6_S3, 5.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let policy = Policy::new(Frequency::MAX, program);
+        // First job: gap 2 (catches C0(i), no wake). Second: gap 10
+        // (catches C6S3, 1 s wake).
+        let jobs = stream(&[(2.0, 1.0), (13.0, 1.0)]);
+        let out = simulate(&jobs, &policy, &env());
+        assert!((out.mean_response() - (1.0 + 2.0) / 2.0).abs() < 1e-9);
+        assert_eq!(out.wakes_from().len(), 2);
+        assert!(out.wakes_from().contains(&(SystemState::C0I_S0I, 1)));
+        assert!(out.wakes_from().contains(&(SystemState::C6_S3, 1)));
+        // Idle accounting: [0,2) C0(i) (gap<τ2) then [3,8) C0(i), [8,13) C6S3.
+        assert!((out.residency().state_time(SystemState::C0I_S0I) - 7.0).abs() < 1e-9);
+        assert!((out.residency().state_time(SystemState::C6_S3) - 5.0).abs() < 1e-9);
+    }
+
+    /// never_sleep idles at active power (the f³-scaled C0(a) draw).
+    #[test]
+    fn never_sleep_idles_at_active_power() {
+        let jobs = stream(&[(10.0, 1.0)]);
+        let f = Frequency::new(0.5).unwrap();
+        let policy = Policy::new(f, SleepProgram::never_sleep());
+        let out = simulate(&jobs, &policy, &env());
+        let active = 130.0 * 0.125 + 120.0;
+        // Idle [0,10) + serve [10,12): all at the same active power.
+        assert!((out.energy().as_joules() - active * 12.0).abs() < 1e-6);
+        assert_eq!(out.wakes_without_sleep(), 1);
+    }
+
+    /// Epoch-sliced online execution matches one-shot batch execution
+    /// when the policy never changes.
+    #[test]
+    fn online_epochs_match_batch() {
+        let pairs: Vec<(f64, f64)> =
+            (0..200).map(|i| (i as f64 * 0.37, 0.05 + 0.001 * (i % 7) as f64)).collect();
+        let jobs = stream(&pairs);
+        let policy = Policy::new(
+            Frequency::new(0.7).unwrap(),
+            SleepProgram::immediate(presets::C6_S0I),
+        );
+        let batch = simulate(&jobs, &policy, &env());
+
+        let mut online = OnlineSim::new(env(), 10.0);
+        let mut responses = Vec::new();
+        let epoch_len = 10.0;
+        let mut t = 0.0;
+        let mut remaining = jobs.clone();
+        while !remaining.is_empty() {
+            let (now, later) = remaining.split_at_time(t + epoch_len);
+            let out = online.run_epoch(now.jobs(), &policy, t + epoch_len);
+            responses.extend(out.records().iter().map(JobRecord::response));
+            remaining = later;
+            t += epoch_len;
+        }
+        let horizon = online.state().free_time();
+        let (ledger, residency, _, _) = online.finish(horizon);
+        assert!((ledger.total_energy().as_joules() - batch.energy().as_joules()).abs() < 1e-6);
+        assert!((residency.total() - batch.residency().total()).abs() < 1e-9);
+        let mean = responses.iter().sum::<f64>() / responses.len() as f64;
+        assert!((mean - batch.mean_response()).abs() < 1e-12);
+    }
+
+    /// Energy ledger buckets sum to the total across epoch boundaries.
+    #[test]
+    fn ledger_buckets_sum_to_total() {
+        let pairs: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 1.1, 0.4)).collect();
+        let jobs = stream(&pairs);
+        let policy = Policy::new(Frequency::MAX, SleepProgram::immediate(presets::C6_S3));
+        let mut online = OnlineSim::new(env(), 5.0);
+        online.run_epoch(jobs.jobs(), &policy, f64::INFINITY);
+        let horizon = online.state().free_time();
+        let (ledger, ..) = online.finish(horizon);
+        let sum: f64 =
+            (0..ledger.bucket_count()).map(|i| ledger.bucket_energy(i).as_joules()).sum();
+        assert!((sum - ledger.total_energy().as_joules()).abs() < 1e-6);
+    }
+
+    /// Responses are always at least the stretched service time.
+    #[test]
+    fn response_at_least_service() {
+        let pairs: Vec<(f64, f64)> = (0..500).map(|i| ((i as f64) * 0.21, 0.2)).collect();
+        let jobs = stream(&pairs);
+        let f = Frequency::new(0.8).unwrap();
+        let policy = Policy::new(f, SleepProgram::immediate(presets::C6_S0I));
+        let mut online = OnlineSim::new(env(), 60.0);
+        let out = online.run_epoch(jobs.jobs(), &policy, f64::INFINITY);
+        for r in out.records() {
+            assert!(r.response() >= r.service - 1e-12);
+            assert!(r.service >= r.size); // f < 1 stretches
+            assert!(r.departure > r.arrival);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_zeroes() {
+        let out = simulate(&JobStream::default(), &Policy::full_speed_no_sleep(), &env());
+        assert_eq!(out.n_jobs(), 0);
+        assert_eq!(out.horizon(), 0.0);
+        assert_eq!(out.energy().as_joules(), 0.0);
+    }
+
+    /// M/M/1 sanity: at f=1 with zero-latency sleep, the measured busy
+    /// fraction approaches ρ and normalized mean response 1/(1−ρ).
+    #[test]
+    fn mm1_sanity() {
+        use rand::SeedableRng;
+        use sleepscale_dist::{Distribution, Exponential};
+        let mu = 1.0 / 0.194;
+        let rho = 0.5;
+        let ia = Exponential::new(rho * mu).unwrap();
+        let sv = Exponential::new(mu).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut t = 0.0;
+        let mut jobs = Vec::new();
+        for id in 0..40_000u64 {
+            t += ia.sample(&mut rng);
+            jobs.push(Job { id, arrival: t, size: sv.sample(&mut rng) });
+        }
+        let jobs = JobStream::new(jobs).unwrap();
+        let policy = Policy::new(Frequency::MAX, SleepProgram::immediate(presets::C0I_S0I));
+        let out = simulate(&jobs, &policy, &env());
+        assert!((out.busy_fraction() - rho).abs() < 0.02, "busy {}", out.busy_fraction());
+        let norm = out.normalized_mean_response(0.194);
+        assert!((norm - 2.0).abs() < 0.15, "µE[R] {} vs 2.0", norm);
+    }
+}

@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building job streams or configuring simulations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A job stream whose arrivals are not sorted, or whose fields are
+    /// negative/non-finite.
+    InvalidJobStream {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A non-positive or non-finite epoch length / horizon.
+    InvalidHorizon {
+        /// The offending value in seconds.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidJobStream { reason } => write!(f, "invalid job stream: {reason}"),
+            SimError::InvalidHorizon { value } => {
+                write!(f, "horizon {value} must be finite and > 0")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::InvalidJobStream { reason: "unsorted".into() };
+        assert!(e.to_string().contains("unsorted"));
+        assert!(SimError::InvalidHorizon { value: -1.0 }.to_string().contains("-1"));
+    }
+}

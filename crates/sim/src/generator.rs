@@ -1,0 +1,144 @@
+//! Job-stream generation — step 1 of the paper's Algorithm 1.
+//!
+//! Streams are sampled with sizes at the `f = 1` scale; the engine applies
+//! frequency stretching at evaluation time so one stream serves a whole
+//! frequency sweep with common random numbers.
+
+use crate::error::SimError;
+use crate::job::{Job, JobStream};
+use rand::RngCore;
+use sleepscale_dist::Distribution;
+
+/// Samples `n` jobs with inter-arrival gaps from `interarrival` and sizes
+/// from `service`. The first job arrives after one inter-arrival gap
+/// (the server idles from t = 0 until then, as in Algorithm 1).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidJobStream`] if the distributions produce
+/// invalid values (negative or non-finite).
+pub fn generate(
+    n: usize,
+    interarrival: &dyn Distribution,
+    service: &dyn Distribution,
+    rng: &mut dyn RngCore,
+) -> Result<JobStream, SimError> {
+    let mut jobs = Vec::with_capacity(n);
+    let mut t = 0.0;
+    for id in 0..n as u64 {
+        t += interarrival.sample(rng);
+        jobs.push(Job { id, arrival: t, size: service.sample(rng) });
+    }
+    JobStream::new(jobs)
+}
+
+/// Samples jobs until the arrival clock passes `horizon` seconds.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidHorizon`] for a non-positive horizon, or
+/// [`SimError::InvalidJobStream`] on invalid samples.
+pub fn generate_horizon(
+    horizon: f64,
+    interarrival: &dyn Distribution,
+    service: &dyn Distribution,
+    rng: &mut dyn RngCore,
+) -> Result<JobStream, SimError> {
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err(SimError::InvalidHorizon { value: horizon });
+    }
+    let mut jobs = Vec::new();
+    let mut t = interarrival.sample(rng);
+    let mut id = 0u64;
+    while t < horizon {
+        jobs.push(Job { id, arrival: t, size: service.sample(rng) });
+        id += 1;
+        t += interarrival.sample(rng);
+    }
+    JobStream::new(jobs)
+}
+
+/// Generates an M/M/1-style stream at utilization `rho` for a full-speed
+/// mean service time `mean_service = 1/µ` — the idealized workload of
+/// Section 4 (`λ = ρµ`).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidJobStream`] for `rho` outside `(0, 1)` or a
+/// non-positive `mean_service`.
+pub fn generate_poisson_exp(
+    n: usize,
+    rho: f64,
+    mean_service: f64,
+    rng: &mut dyn RngCore,
+) -> Result<JobStream, SimError> {
+    if !rho.is_finite() || rho <= 0.0 || rho >= 1.0 {
+        return Err(SimError::InvalidJobStream {
+            reason: format!("utilization {rho} must be in (0, 1)"),
+        });
+    }
+    if !mean_service.is_finite() || mean_service <= 0.0 {
+        return Err(SimError::InvalidJobStream {
+            reason: format!("mean service {mean_service} must be > 0"),
+        });
+    }
+    let mu = 1.0 / mean_service;
+    let ia = sleepscale_dist::Exponential::new(rho * mu).map_err(|e| {
+        SimError::InvalidJobStream { reason: e.to_string() }
+    })?;
+    let sv = sleepscale_dist::Exponential::new(mu)
+        .map_err(|e| SimError::InvalidJobStream { reason: e.to_string() })?;
+    generate(n, &ia, &sv, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sleepscale_dist::Exponential;
+
+    #[test]
+    fn generate_produces_sorted_positive_stream() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ia = Exponential::from_mean(1.0).unwrap();
+        let sv = Exponential::from_mean(0.2).unwrap();
+        let s = generate(1000, &ia, &sv, &mut rng).unwrap();
+        assert_eq!(s.len(), 1000);
+        let mut prev = 0.0;
+        for j in s.jobs() {
+            assert!(j.arrival >= prev);
+            assert!(j.size >= 0.0);
+            prev = j.arrival;
+        }
+        assert!((s.mean_interarrival() - 1.0).abs() < 0.15);
+        assert!((s.mean_size() - 0.2).abs() < 0.03);
+    }
+
+    #[test]
+    fn horizon_generation_stops_in_time() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ia = Exponential::from_mean(0.1).unwrap();
+        let sv = Exponential::from_mean(0.05).unwrap();
+        let s = generate_horizon(50.0, &ia, &sv, &mut rng).unwrap();
+        assert!(s.last_arrival() < 50.0);
+        assert!(s.len() > 300); // ~500 expected
+        assert!(generate_horizon(0.0, &ia, &sv, &mut rng).is_err());
+        assert!(generate_horizon(f64::NAN, &ia, &sv, &mut rng).is_err());
+    }
+
+    #[test]
+    fn poisson_exp_hits_target_utilization() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = generate_poisson_exp(30_000, 0.3, 0.194, &mut rng).unwrap();
+        assert!((s.offered_utilization() - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn poisson_exp_validates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(generate_poisson_exp(10, 0.0, 1.0, &mut rng).is_err());
+        assert!(generate_poisson_exp(10, 1.0, 1.0, &mut rng).is_err());
+        assert!(generate_poisson_exp(10, 0.5, 0.0, &mut rng).is_err());
+    }
+}

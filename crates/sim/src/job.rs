@@ -1,0 +1,292 @@
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// One job: its arrival instant and its *size* — the service time it
+/// would need at full speed (`f = 1`).
+///
+/// Sizes are stored at the `f = 1` scale; the engine stretches them by the
+/// policy's frequency through the configured
+/// [`sleepscale_power::FrequencyScaling`] law, which keeps a single job
+/// stream reusable across the whole frequency sweep (common random
+/// numbers, as the paper's smooth bowls require).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Sequence number within the stream.
+    pub id: u64,
+    /// Arrival time in seconds from the stream origin.
+    pub arrival: f64,
+    /// Full-speed service requirement in seconds.
+    pub size: f64,
+}
+
+/// The completed-job record the engine emits: everything needed for
+/// response-time statistics and for the runtime's job logs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The originating job id.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Instant service began (after any queueing and wake-up).
+    pub start: f64,
+    /// Departure (completion) time.
+    pub departure: f64,
+    /// Full-speed size (frequency-independent).
+    pub size: f64,
+    /// Actual stretched service duration.
+    pub service: f64,
+    /// Wake-up latency this job triggered (zero unless it opened a busy
+    /// cycle from a sleep stage).
+    pub wake: f64,
+}
+
+impl JobRecord {
+    /// Response (sojourn) time: departure − arrival.
+    pub fn response(&self) -> f64 {
+        self.departure - self.arrival
+    }
+
+    /// Time spent waiting before service began.
+    pub fn waiting(&self) -> f64 {
+        self.start - self.arrival
+    }
+}
+
+/// A validated, arrival-ordered sequence of jobs.
+///
+/// ```
+/// use sleepscale_sim::{Job, JobStream};
+/// let s = JobStream::new(vec![
+///     Job { id: 0, arrival: 0.0, size: 0.1 },
+///     Job { id: 1, arrival: 0.5, size: 0.2 },
+/// ])?;
+/// assert_eq!(s.len(), 2);
+/// assert!((s.mean_size() - 0.15).abs() < 1e-12);
+/// # Ok::<(), sleepscale_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobStream {
+    jobs: Vec<Job>,
+}
+
+impl JobStream {
+    /// Validates ordering and field sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidJobStream`] if arrivals are unsorted or
+    /// any field is negative/non-finite.
+    pub fn new(jobs: Vec<Job>) -> Result<JobStream, SimError> {
+        let mut prev = 0.0_f64;
+        for (i, j) in jobs.iter().enumerate() {
+            if !j.arrival.is_finite() || j.arrival < 0.0 {
+                return Err(SimError::InvalidJobStream {
+                    reason: format!("job {i} arrival {} must be finite and >= 0", j.arrival),
+                });
+            }
+            if !j.size.is_finite() || j.size < 0.0 {
+                return Err(SimError::InvalidJobStream {
+                    reason: format!("job {i} size {} must be finite and >= 0", j.size),
+                });
+            }
+            if j.arrival < prev {
+                return Err(SimError::InvalidJobStream {
+                    reason: format!("arrivals not sorted at index {i}"),
+                });
+            }
+            prev = j.arrival;
+        }
+        Ok(JobStream { jobs })
+    }
+
+    /// Builds from `(arrival, size)` pairs — the runtime's job-log replay
+    /// path (Section 5.2.1 re-simulates logged jobs instead of sampling).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobStream::new`].
+    pub fn from_log(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<JobStream, SimError> {
+        let jobs = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (arrival, size))| Job { id: i as u64, arrival, size })
+            .collect();
+        JobStream::new(jobs)
+    }
+
+    /// The jobs in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Mean full-speed size (0 when empty).
+    pub fn mean_size(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.jobs.iter().map(|j| j.size).sum::<f64>() / self.jobs.len() as f64
+        }
+    }
+
+    /// Mean inter-arrival time over the stream (0 with fewer than 2 jobs).
+    pub fn mean_interarrival(&self) -> f64 {
+        if self.jobs.len() < 2 {
+            0.0
+        } else {
+            let span = self.jobs.last().unwrap().arrival - self.jobs[0].arrival;
+            span / (self.jobs.len() - 1) as f64
+        }
+    }
+
+    /// Offered utilization `ρ = mean_size / mean_interarrival`
+    /// (0 with fewer than 2 jobs).
+    pub fn offered_utilization(&self) -> f64 {
+        let ia = self.mean_interarrival();
+        if ia == 0.0 {
+            0.0
+        } else {
+            self.mean_size() / ia
+        }
+    }
+
+    /// Last arrival instant (0 when empty).
+    pub fn last_arrival(&self) -> f64 {
+        self.jobs.last().map_or(0.0, |j| j.arrival)
+    }
+
+    /// Returns a copy with every inter-arrival gap multiplied by `factor`
+    /// (arrival times rescale around the first arrival). This is the
+    /// paper's log-rescaling step: stretching or compressing arrivals to
+    /// match a predicted utilization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidJobStream`] if `factor` is not positive
+    /// and finite.
+    pub fn with_interarrivals_scaled(&self, factor: f64) -> Result<JobStream, SimError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(SimError::InvalidJobStream {
+                reason: format!("scale factor {factor} must be finite and > 0"),
+            });
+        }
+        if self.jobs.is_empty() {
+            return Ok(self.clone());
+        }
+        let origin = self.jobs[0].arrival;
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| Job { arrival: origin + (j.arrival - origin) * factor, ..*j })
+            .collect();
+        JobStream::new(jobs)
+    }
+
+    /// Splits the stream at `t`: jobs arriving strictly before `t` and the
+    /// rest. Used by the epoch loop to batch a day's trace.
+    pub fn split_at_time(&self, t: f64) -> (JobStream, JobStream) {
+        let idx = self.jobs.partition_point(|j| j.arrival < t);
+        let (a, b) = self.jobs.split_at(idx);
+        (JobStream { jobs: a.to_vec() }, JobStream { jobs: b.to_vec() })
+    }
+}
+
+impl IntoIterator for JobStream {
+    type Item = Job;
+    type IntoIter = std::vec::IntoIter<Job>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a JobStream {
+    type Item = &'a Job;
+    type IntoIter = std::slice::Iter<'a, Job>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(arrival: f64, size: f64) -> Job {
+        Job { id: 0, arrival, size }
+    }
+
+    #[test]
+    fn validates_ordering_and_fields() {
+        assert!(JobStream::new(vec![job(1.0, 0.1), job(0.5, 0.1)]).is_err());
+        assert!(JobStream::new(vec![job(-0.1, 0.1)]).is_err());
+        assert!(JobStream::new(vec![job(0.0, -0.1)]).is_err());
+        assert!(JobStream::new(vec![job(0.0, f64::NAN)]).is_err());
+        assert!(JobStream::new(vec![job(0.0, 0.1), job(0.0, 0.2)]).is_ok());
+    }
+
+    #[test]
+    fn from_log_assigns_ids() {
+        let s = JobStream::from_log([(0.0, 0.1), (1.0, 0.2)]).unwrap();
+        assert_eq!(s.jobs()[1].id, 1);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = JobStream::from_log([(0.0, 0.2), (1.0, 0.4), (2.0, 0.6)]).unwrap();
+        assert!((s.mean_size() - 0.4).abs() < 1e-12);
+        assert!((s.mean_interarrival() - 1.0).abs() < 1e-12);
+        assert!((s.offered_utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(s.last_arrival(), 2.0);
+    }
+
+    #[test]
+    fn empty_stream_statistics() {
+        let s = JobStream::default();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_size(), 0.0);
+        assert_eq!(s.offered_utilization(), 0.0);
+    }
+
+    #[test]
+    fn interarrival_scaling_halves_utilization() {
+        let s = JobStream::from_log([(10.0, 0.2), (11.0, 0.2), (12.0, 0.2)]).unwrap();
+        let stretched = s.with_interarrivals_scaled(2.0).unwrap();
+        assert_eq!(stretched.jobs()[0].arrival, 10.0);
+        assert_eq!(stretched.jobs()[2].arrival, 14.0);
+        assert!((stretched.offered_utilization() - s.offered_utilization() / 2.0).abs() < 1e-12);
+        assert!(s.with_interarrivals_scaled(0.0).is_err());
+    }
+
+    #[test]
+    fn split_at_time() {
+        let s = JobStream::from_log([(0.0, 0.1), (1.0, 0.1), (2.0, 0.1)]).unwrap();
+        let (a, b) = s.split_at_time(1.0);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.jobs()[0].arrival, 1.0);
+    }
+
+    #[test]
+    fn record_accessors() {
+        let r = JobRecord {
+            id: 0,
+            arrival: 1.0,
+            start: 2.0,
+            departure: 3.5,
+            size: 1.0,
+            service: 1.5,
+            wake: 0.5,
+        };
+        assert!((r.response() - 2.5).abs() < 1e-12);
+        assert!((r.waiting() - 1.0).abs() < 1e-12);
+    }
+}

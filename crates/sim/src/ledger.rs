@@ -1,0 +1,155 @@
+use serde::{Deserialize, Serialize};
+use sleepscale_power::{Joules, Watts};
+
+/// Integrates piecewise-constant power segments into fixed-width time
+/// buckets.
+///
+/// The SleepScale runtime changes policy every epoch, and service or idle
+/// intervals routinely straddle epoch boundaries. The engine emits
+/// `(start, end, watts)` segments as it discovers them (idle gaps are only
+/// known once the *next* arrival appears, possibly epochs later); the
+/// ledger splits each segment exactly across the buckets it covers, so
+/// per-epoch average power is exact regardless of emission order.
+///
+/// ```
+/// use sleepscale_sim::EnergyLedger;
+/// use sleepscale_power::Watts;
+/// let mut ledger = EnergyLedger::new(60.0);
+/// ledger.add_segment(30.0, 90.0, Watts::new(100.0)); // straddles the boundary
+/// assert!((ledger.bucket_energy(0).as_joules() - 3000.0).abs() < 1e-9);
+/// assert!((ledger.bucket_energy(1).as_joules() - 3000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    bucket_width: f64,
+    buckets: Vec<f64>,
+    total: f64,
+    end_of_time: f64,
+}
+
+impl EnergyLedger {
+    /// A ledger with buckets of `bucket_width` seconds starting at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive and finite.
+    pub fn new(bucket_width: f64) -> EnergyLedger {
+        assert!(
+            bucket_width.is_finite() && bucket_width > 0.0,
+            "bucket width must be finite and > 0"
+        );
+        EnergyLedger { bucket_width, buckets: Vec::new(), total: 0.0, end_of_time: 0.0 }
+    }
+
+    /// Adds a constant-power segment `[start, end)`.
+    ///
+    /// Zero- or negative-length segments are ignored.
+    pub fn add_segment(&mut self, start: f64, end: f64, watts: Watts) {
+        let duration = end - start;
+        if duration.is_nan() || duration <= 0.0 {
+            return;
+        }
+        let p = watts.as_watts();
+        self.total += p * (end - start);
+        self.end_of_time = self.end_of_time.max(end);
+        let first = (start / self.bucket_width).floor() as usize;
+        let last = (end / self.bucket_width).ceil() as usize;
+        if self.buckets.len() < last {
+            self.buckets.resize(last, 0.0);
+        }
+        for b in first..last {
+            let b_start = b as f64 * self.bucket_width;
+            let b_end = b_start + self.bucket_width;
+            let overlap = end.min(b_end) - start.max(b_start);
+            if overlap > 0.0 {
+                self.buckets[b] += p * overlap;
+            }
+        }
+    }
+
+    /// Energy accumulated in bucket `i` (zero for untouched buckets).
+    pub fn bucket_energy(&self, i: usize) -> Joules {
+        Joules::new(self.buckets.get(i).copied().unwrap_or(0.0))
+    }
+
+    /// Average power over bucket `i`.
+    pub fn bucket_power(&self, i: usize) -> Watts {
+        self.bucket_energy(i).average_over(self.bucket_width)
+    }
+
+    /// Total energy across all segments.
+    pub fn total_energy(&self) -> Joules {
+        Joules::new(self.total)
+    }
+
+    /// Latest segment end seen.
+    pub fn end_of_time(&self) -> f64 {
+        self.end_of_time
+    }
+
+    /// Number of buckets touched so far.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket width in seconds.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_exact() {
+        let mut l = EnergyLedger::new(10.0);
+        l.add_segment(5.0, 25.0, Watts::new(10.0));
+        assert!((l.bucket_energy(0).as_joules() - 50.0).abs() < 1e-9);
+        assert!((l.bucket_energy(1).as_joules() - 100.0).abs() < 1e-9);
+        assert!((l.bucket_energy(2).as_joules() - 50.0).abs() < 1e-9);
+        assert!((l.total_energy().as_joules() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_sum_to_total() {
+        let mut l = EnergyLedger::new(7.0);
+        l.add_segment(0.0, 3.0, Watts::new(5.0));
+        l.add_segment(3.0, 50.0, Watts::new(2.0));
+        l.add_segment(10.0, 20.0, Watts::new(1.0)); // overlapping in time is fine
+        let sum: f64 = (0..l.bucket_count()).map(|i| l.bucket_energy(i).as_joules()).sum();
+        assert!((sum - l.total_energy().as_joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_segments_ignored() {
+        let mut l = EnergyLedger::new(1.0);
+        l.add_segment(5.0, 5.0, Watts::new(100.0));
+        l.add_segment(5.0, 4.0, Watts::new(100.0));
+        assert_eq!(l.total_energy(), Joules::ZERO);
+        assert_eq!(l.bucket_count(), 0);
+    }
+
+    #[test]
+    fn bucket_power_averages() {
+        let mut l = EnergyLedger::new(2.0);
+        l.add_segment(0.0, 1.0, Watts::new(10.0));
+        assert!((l.bucket_power(0).as_watts() - 5.0).abs() < 1e-12);
+        assert_eq!(l.bucket_power(5).as_watts(), 0.0);
+    }
+
+    #[test]
+    fn end_of_time_tracks_latest() {
+        let mut l = EnergyLedger::new(1.0);
+        l.add_segment(0.0, 4.0, Watts::new(1.0));
+        l.add_segment(1.0, 2.0, Watts::new(1.0));
+        assert_eq!(l.end_of_time(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_panics() {
+        EnergyLedger::new(0.0);
+    }
+}

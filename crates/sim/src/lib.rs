@@ -1,0 +1,78 @@
+//! FCFS queueing simulator with sleep states and power integration —
+//! the paper's Algorithm 1, generalized.
+//!
+//! The paper evaluates every candidate policy by simulating a single-server
+//! first-come-first-serve queue whose server:
+//!
+//! * serves jobs at a DVFS-scaled rate (service time stretches by
+//!   `1/f^β`, see [`sleepscale_power::FrequencyScaling`]),
+//! * walks down a ladder of low-power states whenever its queue empties
+//!   (a [`sleepscale_power::SleepProgram`]), and
+//! * pays the wake-up latency of whichever rung it occupies when the next
+//!   job arrives, charging wake time at active power (the paper's
+//!   conservative assumption).
+//!
+//! Three layers are exposed:
+//!
+//! * [`JobStream`]/[`generator`] — job traces, either sampled from
+//!   distributions (Algorithm 1 step 1) or replayed from logs.
+//! * [`OnlineSim`] — an *incremental* simulator that the SleepScale
+//!   runtime feeds epoch by epoch (policies change between epochs); energy
+//!   is integrated exactly across epoch boundaries via [`EnergyLedger`].
+//! * [`simulate`]/[`sweep`] — batch evaluation of one policy or a whole
+//!   frequency×program grid (parallelized) over a fixed job stream; this
+//!   is what the policy manager runs online and what the figure harness
+//!   uses for the Section 4 studies.
+//!
+//! # Example
+//!
+//! ```
+//! use sleepscale_sim::prelude::*;
+//! use sleepscale_power::prelude::*;
+//! use sleepscale_dist::Exponential;
+//! use rand::SeedableRng;
+//!
+//! // M/M/1, DNS-like job size (1/µ = 194 ms), utilization 0.1.
+//! let mu = 1.0 / 0.194;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let jobs = generator::generate(
+//!     10_000,
+//!     &Exponential::new(0.1 * mu)?,
+//!     &Exponential::new(mu)?,
+//!     &mut rng,
+//! )?;
+//! let env = SimEnv::new(presets::xeon(), FrequencyScaling::CpuBound);
+//! let policy = Policy::new(Frequency::new(0.42)?, SleepProgram::immediate(presets::C6_S3));
+//! let out = simulate(&jobs, &policy, &env);
+//! assert!(out.avg_power().as_watts() < 130.0); // far below the 250 W peak
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod env;
+mod error;
+pub mod generator;
+mod job;
+mod ledger;
+mod outcome;
+pub mod sweep;
+
+pub use engine::{simulate, CarryState, OnlineSim};
+pub use env::SimEnv;
+pub use error::SimError;
+pub use job::{Job, JobRecord, JobStream};
+pub use ledger::EnergyLedger;
+pub use outcome::{EpochOutcome, Residency, SimOutcome};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::generator;
+    pub use crate::sweep;
+    pub use crate::{
+        simulate, CarryState, EnergyLedger, EpochOutcome, Job, JobRecord, JobStream, OnlineSim,
+        Residency, SimEnv, SimError, SimOutcome,
+    };
+}

@@ -1,0 +1,160 @@
+//! Parallel policy-grid evaluation.
+//!
+//! The policy manager characterizes *every* candidate (frequency, sleep
+//! program) pair by simulation (Section 5.1.1); Section 4's figures sweep
+//! fine frequency grids per program. Evaluations are independent, so they
+//! fan out across threads with a shared work index.
+
+use crate::engine::simulate;
+use crate::env::SimEnv;
+use crate::job::JobStream;
+use crate::outcome::SimOutcome;
+use serde::{Deserialize, Serialize};
+use sleepscale_power::{FrequencyGrid, Policy, SleepProgram};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One evaluated policy: the policy and its simulated characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyEvaluation {
+    /// The evaluated policy.
+    pub policy: Policy,
+    /// Its simulated outcome over the workload.
+    pub outcome: SimOutcome,
+}
+
+/// Evaluates every policy over the same job stream, in parallel when
+/// `policies` is large enough to amortize thread spawn.
+pub fn evaluate_policies(
+    jobs: &JobStream,
+    policies: &[Policy],
+    env: &SimEnv,
+) -> Vec<PolicyEvaluation> {
+    const SERIAL_THRESHOLD: usize = 8;
+    if policies.len() <= SERIAL_THRESHOLD {
+        return policies
+            .iter()
+            .map(|p| PolicyEvaluation { policy: p.clone(), outcome: simulate(jobs, p, env) })
+            .collect();
+    }
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(policies.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<PolicyEvaluation>>> =
+        Mutex::new(vec![None; policies.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= policies.len() {
+                    break;
+                }
+                let policy = &policies[i];
+                let outcome = simulate(jobs, policy, env);
+                let eval = PolicyEvaluation { policy: policy.clone(), outcome };
+                results.lock().expect("no panics hold the lock")[i] = Some(eval);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every index was evaluated"))
+        .collect()
+}
+
+/// Sweeps one sleep program across a frequency grid — one bowl curve of
+/// Figure 1 (power and response at every `f` hash mark).
+pub fn frequency_sweep(
+    jobs: &JobStream,
+    program: &SleepProgram,
+    grid: &FrequencyGrid,
+    env: &SimEnv,
+) -> Vec<PolicyEvaluation> {
+    let policies: Vec<Policy> =
+        grid.iter().map(|f| Policy::new(f, program.clone())).collect();
+    evaluate_policies(jobs, &policies, env)
+}
+
+/// Builds the full candidate grid (each program × each frequency) and
+/// evaluates it — the policy manager's characterization step.
+pub fn grid_sweep(
+    jobs: &JobStream,
+    programs: &[SleepProgram],
+    grid: &FrequencyGrid,
+    env: &SimEnv,
+) -> Vec<PolicyEvaluation> {
+    let policies: Vec<Policy> = programs
+        .iter()
+        .flat_map(|prog| grid.iter().map(move |f| Policy::new(f, prog.clone())))
+        .collect();
+    evaluate_policies(jobs, &policies, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sleepscale_power::presets;
+
+    fn workload() -> JobStream {
+        let mut rng = StdRng::seed_from_u64(11);
+        generator::generate_poisson_exp(3000, 0.2, 0.194, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let jobs = workload();
+        let env = SimEnv::xeon_cpu_bound();
+        let grid = FrequencyGrid::new(0.3, 1.0, 0.05).unwrap();
+        let program = SleepProgram::immediate(presets::C6_S0I);
+        let parallel = frequency_sweep(&jobs, &program, &grid, &env);
+        // Serial reference.
+        let serial: Vec<PolicyEvaluation> = grid
+            .iter()
+            .map(|f| {
+                let p = Policy::new(f, program.clone());
+                PolicyEvaluation { policy: p.clone(), outcome: simulate(&jobs, &p, &env) }
+            })
+            .collect();
+        assert_eq!(parallel.len(), serial.len());
+        for (a, b) in parallel.iter().zip(&serial) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn sweep_is_ordered_by_grid() {
+        let jobs = workload();
+        let env = SimEnv::xeon_cpu_bound();
+        let grid = FrequencyGrid::new(0.25, 1.0, 0.25).unwrap();
+        let evals = frequency_sweep(&jobs, &SleepProgram::immediate(presets::C0I_S0I), &grid, &env);
+        let fs: Vec<f64> = evals.iter().map(|e| e.policy.frequency().get()).collect();
+        assert_eq!(fs, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn higher_frequency_means_lower_response() {
+        let jobs = workload();
+        let env = SimEnv::xeon_cpu_bound();
+        let grid = FrequencyGrid::new(0.25, 1.0, 0.75).unwrap();
+        let evals = frequency_sweep(&jobs, &SleepProgram::immediate(presets::C0I_S0I), &grid, &env);
+        assert!(evals[0].outcome.mean_response() > evals.last().unwrap().outcome.mean_response());
+    }
+
+    #[test]
+    fn grid_sweep_covers_programs_times_frequencies() {
+        let jobs = workload();
+        let env = SimEnv::xeon_cpu_bound();
+        let grid = FrequencyGrid::new(0.5, 1.0, 0.5).unwrap();
+        let programs = presets::standard_programs();
+        let evals = grid_sweep(&jobs, &programs, &grid, &env);
+        assert_eq!(evals.len(), programs.len() * grid.len());
+    }
+}

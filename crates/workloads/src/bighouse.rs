@@ -1,0 +1,162 @@
+//! The BigHouse substitute: frozen empirical CDF tables moment-matched to
+//! Table 5.
+//!
+//! BigHouse \[26\] stores inter-arrival/service observations harvested from
+//! live traces and replays them by empirical-CDF sampling. We synthesize
+//! equivalent tables: fit a parametric family to each (mean, Cv) row,
+//! freeze `n` draws into an [`Empirical`] table, and sample that table
+//! from then on. The paper's idealized-vs-empirical comparison (Figure 6
+//! solid vs dashed) stays meaningful because the frozen tables are not
+//! exponential whenever `Cv ≠ 1`.
+
+use crate::error::WorkloadError;
+use crate::spec::WorkloadSpec;
+use rand::RngCore;
+use sleepscale_dist::{fit, Distribution, DynDistribution, Empirical, Exponential};
+use std::sync::Arc;
+
+/// Default number of observations frozen into each empirical table.
+pub const DEFAULT_TABLE_SIZE: usize = 20_000;
+
+/// A workload's sampling interface: paired inter-arrival and service
+/// distributions plus the spec they were built from.
+#[derive(Debug, Clone)]
+pub struct WorkloadDistributions {
+    spec: WorkloadSpec,
+    interarrival: DynDistribution,
+    service: DynDistribution,
+}
+
+impl WorkloadDistributions {
+    /// BigHouse-style *empirical* distributions: moment-fit each Table-5
+    /// row, then freeze `table_size` draws into an ECDF table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Fit`] when the spec's moments cannot be
+    /// fitted.
+    pub fn empirical(
+        spec: &WorkloadSpec,
+        table_size: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<WorkloadDistributions, WorkloadError> {
+        let ia_family = fit::by_moments(spec.interarrival_mean(), spec.interarrival_cv())?;
+        let sv_family = fit::by_moments(spec.service_mean(), spec.service_cv())?;
+        let interarrival = Arc::new(Empirical::from_distribution(&*ia_family, table_size, rng)?);
+        let service = Arc::new(Empirical::from_distribution(&*sv_family, table_size, rng)?);
+        Ok(WorkloadDistributions { spec: spec.clone(), interarrival, service })
+    }
+
+    /// The paper's *idealized* model of the same workload: Poisson
+    /// arrivals and exponential service with the same means (Cv forced
+    /// to 1). This is what Figure 6's solid curves use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Fit`] for invalid means.
+    pub fn idealized(spec: &WorkloadSpec) -> Result<WorkloadDistributions, WorkloadError> {
+        let interarrival = Arc::new(Exponential::from_mean(spec.interarrival_mean())?);
+        let service = Arc::new(Exponential::from_mean(spec.service_mean())?);
+        Ok(WorkloadDistributions { spec: spec.clone(), interarrival, service })
+    }
+
+    /// Direct parametric sampling (no frozen table): the fitted families
+    /// themselves. Useful for sensitivity studies on table size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Fit`] when the spec's moments cannot be
+    /// fitted.
+    pub fn parametric(spec: &WorkloadSpec) -> Result<WorkloadDistributions, WorkloadError> {
+        let interarrival = fit::by_moments(spec.interarrival_mean(), spec.interarrival_cv())?;
+        let service = fit::by_moments(spec.service_mean(), spec.service_cv())?;
+        Ok(WorkloadDistributions { spec: spec.clone(), interarrival, service })
+    }
+
+    /// The originating spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Inter-arrival distribution.
+    pub fn interarrival(&self) -> &DynDistribution {
+        &self.interarrival
+    }
+
+    /// Service-time distribution.
+    pub fn service(&self) -> &DynDistribution {
+        &self.service
+    }
+}
+
+/// Verifies a pair of distributions against a spec within relative
+/// tolerance — used by tests and the Table-5 harness to show the
+/// generators deliver the published moments.
+pub fn moments_match(dists: &WorkloadDistributions, rel_tol: f64) -> bool {
+    let s = dists.spec();
+    let ia = dists.interarrival();
+    let sv = dists.service();
+    let close = |a: f64, b: f64| (a - b).abs() / b.max(1e-12) < rel_tol;
+    close(ia.mean(), s.interarrival_mean()) && close(sv.mean(), s.service_mean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_tables_match_table5_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for spec in WorkloadSpec::table5() {
+            let d = WorkloadDistributions::empirical(&spec, DEFAULT_TABLE_SIZE, &mut rng).unwrap();
+            assert!(moments_match(&d, 0.08), "{}: means drifted", spec.name());
+            // Cv should also be in the neighbourhood (Mail's 3.6 needs slack).
+            let cv_tol = 0.25;
+            assert!(
+                (d.interarrival().cv() - spec.interarrival_cv()).abs()
+                    / spec.interarrival_cv()
+                    < cv_tol,
+                "{}: interarrival cv {} vs {}",
+                spec.name(),
+                d.interarrival().cv(),
+                spec.interarrival_cv()
+            );
+            assert!(
+                (d.service().cv() - spec.service_cv()).abs() / spec.service_cv() < cv_tol,
+                "{}: service cv {} vs {}",
+                spec.name(),
+                d.service().cv(),
+                spec.service_cv()
+            );
+            assert_eq!(d.interarrival().name(), "empirical");
+        }
+    }
+
+    #[test]
+    fn idealized_forces_exponential() {
+        let d = WorkloadDistributions::idealized(&WorkloadSpec::mail()).unwrap();
+        assert_eq!(d.interarrival().name(), "exp");
+        assert_eq!(d.service().name(), "exp");
+        assert!((d.service().cv() - 1.0).abs() < 1e-12);
+        assert!((d.service().mean() - 0.092).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parametric_families_follow_cv() {
+        let d = WorkloadDistributions::parametric(&WorkloadSpec::mail()).unwrap();
+        assert_eq!(d.service().name(), "hyperexp2"); // Cv 3.6 > 1
+        let dns = WorkloadDistributions::parametric(&WorkloadSpec::dns()).unwrap();
+        assert_eq!(dns.service().name(), "exp"); // Cv exactly 1
+    }
+
+    #[test]
+    fn empirical_differs_from_idealized_when_cv_not_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = WorkloadSpec::mail();
+        let emp = WorkloadDistributions::empirical(&spec, 10_000, &mut rng).unwrap();
+        // Service Cv 3.6: the frozen table must be visibly non-exponential.
+        assert!(emp.service().cv() > 2.0);
+    }
+}

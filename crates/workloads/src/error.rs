@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from workload construction and replay.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A workload specification field is out of range.
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A utilization value outside `[0, 1]` or a malformed trace.
+    InvalidTrace {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Distribution fitting failed.
+    Fit(sleepscale_dist::DistError),
+    /// Job-stream construction failed.
+    Stream(sleepscale_sim::SimError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidSpec { reason } => write!(f, "invalid workload spec: {reason}"),
+            WorkloadError::InvalidTrace { reason } => write!(f, "invalid trace: {reason}"),
+            WorkloadError::Fit(e) => write!(f, "distribution fit failed: {e}"),
+            WorkloadError::Stream(e) => write!(f, "job stream construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Fit(e) => Some(e),
+            WorkloadError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sleepscale_dist::DistError> for WorkloadError {
+    fn from(e: sleepscale_dist::DistError) -> WorkloadError {
+        WorkloadError::Fit(e)
+    }
+}
+
+impl From<sleepscale_sim::SimError> for WorkloadError {
+    fn from(e: sleepscale_sim::SimError) -> WorkloadError {
+        WorkloadError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WorkloadError::InvalidSpec { reason: "zero mean".into() };
+        assert!(e.to_string().contains("zero mean"));
+        let e: WorkloadError = sleepscale_dist::DistError::EmptySample.into();
+        assert!(e.source().is_some());
+        let e: WorkloadError =
+            sleepscale_sim::SimError::InvalidHorizon { value: -1.0 }.into();
+        assert!(e.to_string().contains("job stream"));
+    }
+}

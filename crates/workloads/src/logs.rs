@@ -1,0 +1,242 @@
+//! The runtime's job log (Section 5.2.1): a bounded window of recent
+//! arrival/service observations that the policy manager replays instead
+//! of building explicit distribution histograms.
+
+use crate::error::WorkloadError;
+use serde::{Deserialize, Serialize};
+use sleepscale_sim::{JobRecord, JobStream};
+use std::collections::VecDeque;
+
+/// A bounded log of `(inter-arrival gap, full-speed size)` observations.
+///
+/// "The logs we collect detail the arrival and service times of each job
+/// … average behavior from the past several epochs will suffice." The
+/// log keeps the newest `capacity` observations; the policy manager
+/// replays them (rescaled to the predicted utilization) through the
+/// simulator to characterize candidate policies.
+///
+/// ```
+/// use sleepscale_workloads::JobLog;
+/// let mut log = JobLog::new(4);
+/// for (gap, size) in [(1.0, 0.2), (2.0, 0.3), (0.5, 0.1)] {
+///     log.push(gap, size);
+/// }
+/// assert_eq!(log.len(), 3);
+/// assert!((log.mean_size() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobLog {
+    capacity: usize,
+    interarrivals: VecDeque<f64>,
+    sizes: VecDeque<f64>,
+    last_arrival: Option<f64>,
+}
+
+impl JobLog {
+    /// A log keeping at most `capacity` observations (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> JobLog {
+        let capacity = capacity.max(1);
+        JobLog {
+            capacity,
+            interarrivals: VecDeque::with_capacity(capacity),
+            sizes: VecDeque::with_capacity(capacity),
+            last_arrival: None,
+        }
+    }
+
+    /// Records one observation directly.
+    pub fn push(&mut self, interarrival: f64, size: f64) {
+        if !interarrival.is_finite()
+            || interarrival < 0.0
+            || !size.is_finite()
+            || size <= 0.0
+        {
+            return; // Ignore degenerate observations rather than poison the log.
+        }
+        if self.interarrivals.len() == self.capacity {
+            self.interarrivals.pop_front();
+            self.sizes.pop_front();
+        }
+        self.interarrivals.push_back(interarrival);
+        self.sizes.push_back(size);
+    }
+
+    /// Ingests an epoch's completed-job records, deriving inter-arrival
+    /// gaps from consecutive arrivals (carrying the last arrival across
+    /// epochs).
+    pub fn extend_from_records(&mut self, records: &[JobRecord]) {
+        for r in records {
+            let gap = match self.last_arrival {
+                Some(prev) => (r.arrival - prev).max(0.0),
+                None => 0.0,
+            };
+            self.last_arrival = Some(r.arrival);
+            if gap > 0.0 {
+                self.push(gap, r.size);
+            }
+        }
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when no observations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Mean logged inter-arrival gap (0 when empty).
+    pub fn mean_interarrival(&self) -> f64 {
+        if self.interarrivals.is_empty() {
+            0.0
+        } else {
+            self.interarrivals.iter().sum::<f64>() / self.interarrivals.len() as f64
+        }
+    }
+
+    /// Mean logged full-speed size (0 when empty).
+    pub fn mean_size(&self) -> f64 {
+        if self.sizes.is_empty() {
+            0.0
+        } else {
+            self.sizes.iter().sum::<f64>() / self.sizes.len() as f64
+        }
+    }
+
+    /// The utilization implied by the raw log,
+    /// `mean_size / mean_interarrival`.
+    pub fn implied_utilization(&self) -> f64 {
+        let ia = self.mean_interarrival();
+        if ia == 0.0 {
+            0.0
+        } else {
+            self.mean_size() / ia
+        }
+    }
+
+    /// Builds a replay stream of up to `n` jobs whose inter-arrival gaps
+    /// are rescaled so the stream's offered utilization equals
+    /// `target_rho` (Section 5.2.2's log adjustment). Observations are
+    /// cycled if the log holds fewer than `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidTrace`] when the log is empty or
+    /// `target_rho` is not in `(0, 1)`.
+    pub fn replay(&self, n: usize, target_rho: f64) -> Result<JobStream, WorkloadError> {
+        if self.is_empty() {
+            return Err(WorkloadError::InvalidTrace { reason: "job log is empty".into() });
+        }
+        if !(target_rho > 0.0 && target_rho < 1.0) {
+            return Err(WorkloadError::InvalidTrace {
+                reason: format!("target utilization {target_rho} must be in (0, 1)"),
+            });
+        }
+        // Scale against the means of the entries actually replayed:
+        // cycling `n` jobs over a shorter log double-weights the early
+        // entries, so whole-log means would miss the target.
+        let len = self.sizes.len();
+        let (mut ia_sum, mut size_sum) = (0.0, 0.0);
+        for i in 0..n {
+            let idx = i % len;
+            ia_sum += self.interarrivals[idx];
+            size_sum += self.sizes[idx];
+        }
+        if ia_sum == 0.0 || size_sum == 0.0 {
+            return Err(WorkloadError::InvalidTrace {
+                reason: "log has zero implied utilization".into(),
+            });
+        }
+        let replay_implied = size_sum / ia_sum;
+        let scale = replay_implied / target_rho;
+        let mut t = 0.0;
+        let pairs = (0..n).map(|i| {
+            let idx = i % len;
+            t += self.interarrivals[idx] * scale;
+            (t, self.sizes[idx])
+        });
+        JobStream::from_log(pairs).map_err(WorkloadError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(arrival: f64, size: f64) -> JobRecord {
+        JobRecord {
+            id: 0,
+            arrival,
+            start: arrival,
+            departure: arrival + size,
+            size,
+            service: size,
+            wake: 0.0,
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = JobLog::new(2);
+        log.push(1.0, 0.1);
+        log.push(2.0, 0.2);
+        log.push(3.0, 0.3);
+        assert_eq!(log.len(), 2);
+        assert!((log.mean_interarrival() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_degenerate_observations() {
+        let mut log = JobLog::new(4);
+        log.push(f64::NAN, 0.1);
+        log.push(1.0, -0.1);
+        log.push(1.0, 0.0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn extend_from_records_derives_gaps() {
+        let mut log = JobLog::new(10);
+        log.extend_from_records(&[record(1.0, 0.2), record(2.5, 0.3), record(3.0, 0.1)]);
+        // First record sets the clock; two gaps recorded.
+        assert_eq!(log.len(), 2);
+        assert!((log.mean_interarrival() - 1.0).abs() < 1e-12);
+        // Next epoch carries the last arrival.
+        log.extend_from_records(&[record(4.0, 0.2)]);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn replay_hits_target_utilization() {
+        let mut log = JobLog::new(100);
+        for i in 0..50 {
+            log.push(1.0 + 0.01 * (i % 5) as f64, 0.2);
+        }
+        let stream = log.replay(500, 0.5).unwrap();
+        assert_eq!(stream.len(), 500);
+        assert!((stream.offered_utilization() - 0.5).abs() < 0.02);
+        let stream = log.replay(500, 0.1).unwrap();
+        assert!((stream.offered_utilization() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn replay_cycles_short_logs() {
+        let mut log = JobLog::new(4);
+        log.push(1.0, 0.3);
+        let stream = log.replay(10, 0.3).unwrap();
+        assert_eq!(stream.len(), 10);
+        assert!((stream.mean_size() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_validation() {
+        let log = JobLog::new(4);
+        assert!(log.replay(10, 0.5).is_err());
+        let mut log = JobLog::new(4);
+        log.push(1.0, 0.2);
+        assert!(log.replay(10, 0.0).is_err());
+        assert!(log.replay(10, 1.0).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Trace-driven job-stream synthesis — the Section 6 evaluation input.
+//!
+//! "We first generate sequences of jobs by sampling the inter-arrival time
+//! and service time CDFs from BigHouse … we then scale the inter-arrival
+//! time between generated jobs to match the time-varying utilization."
+//! Service times are stationary; only arrival spacing follows the trace.
+
+use crate::bighouse::WorkloadDistributions;
+use crate::error::WorkloadError;
+use crate::traces::UtilizationTrace;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sleepscale_sim::{Job, JobStream};
+
+/// Controls for [`replay_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Seconds represented by one trace sample (60 for minute traces).
+    pub seconds_per_sample: f64,
+    /// Utilizations below this produce no arrivals for that sample
+    /// (avoids unbounded inter-arrival scaling).
+    pub min_utilization: f64,
+    /// Arrival-rate multiplier: a fleet of `N` servers offered
+    /// cluster-wide utilization `ρ(t)` (as a fraction of *total* fleet
+    /// capacity) receives `N·ρ(t)·µ` arrivals per second. The timeline
+    /// is untouched — only arrivals densify.
+    pub rate_multiplier: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig { seconds_per_sample: 60.0, min_utilization: 1e-4, rate_multiplier: 1.0 }
+    }
+}
+
+impl ReplayConfig {
+    /// The default configuration with the arrival rate multiplied by
+    /// `n` — the cluster-wide stream for an `n`-server fleet.
+    pub fn for_fleet(n: usize) -> ReplayConfig {
+        ReplayConfig { rate_multiplier: n.max(1) as f64, ..ReplayConfig::default() }
+    }
+}
+
+/// Builds the ground-truth job stream for a utilization trace.
+///
+/// For each trace sample with utilization `ρ(m)`, arrivals are generated
+/// by drawing from the workload's inter-arrival distribution and scaling
+/// the draw so the sample's mean inter-arrival equals
+/// `service_mean / ρ(m)` (i.e. arrival rate `ρ(m)·µ`). Sizes come from
+/// the stationary service distribution, at the full-speed scale.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Stream`] if stream assembly fails (it cannot,
+/// barring distribution bugs — samples are validated).
+pub fn replay_trace(
+    trace: &UtilizationTrace,
+    dists: &WorkloadDistributions,
+    config: &ReplayConfig,
+    rng: &mut dyn RngCore,
+) -> Result<JobStream, WorkloadError> {
+    let spec = dists.spec();
+    let ia = dists.interarrival();
+    let sv = dists.service();
+    let ia_mean = ia.mean();
+    let sv_scale = spec.service_mean() / sv.mean().max(1e-300);
+
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    let mut t = 0.0_f64;
+    for (m, &rho) in trace.values().iter().enumerate() {
+        let sample_start = m as f64 * config.seconds_per_sample;
+        let sample_end = sample_start + config.seconds_per_sample;
+        if rho < config.min_utilization {
+            // No arrivals this sample; restart the arrival clock at the
+            // next sample boundary if it fell behind.
+            t = t.max(sample_end);
+            continue;
+        }
+        let target_ia = spec.service_mean() / (rho * config.rate_multiplier.max(1e-9));
+        let scale = target_ia / ia_mean;
+        if t < sample_start {
+            t = sample_start;
+        }
+        loop {
+            let gap = ia.sample(rng) * scale;
+            let next = t + gap;
+            if next >= sample_end {
+                // The gap crosses into the next sample: carry the clock
+                // forward so bursts don't pile up at boundaries.
+                t = next;
+                break;
+            }
+            t = next;
+            jobs.push(Job { id, arrival: t, size: sv.sample(rng) * sv_scale });
+            id += 1;
+        }
+    }
+    JobStream::new(jobs).map_err(WorkloadError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use crate::traces;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dns_empirical(seed: u64) -> WorkloadDistributions {
+        let mut rng = StdRng::seed_from_u64(seed);
+        WorkloadDistributions::empirical(&WorkloadSpec::dns(), 10_000, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn constant_trace_hits_target_utilization() {
+        let trace = UtilizationTrace::constant(0.3, 240).unwrap(); // 4 hours
+        let dists = dns_empirical(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+        // Offered utilization = total work / horizon.
+        let horizon = 240.0 * 60.0;
+        let work: f64 = jobs.jobs().iter().map(|j| j.size).sum();
+        let rho = work / horizon;
+        assert!((rho - 0.3).abs() < 0.03, "measured ρ = {rho}");
+    }
+
+    #[test]
+    fn utilization_scaling_tracks_the_trace() {
+        // First hour at 0.1, second hour at 0.6: arrival counts scale ~6x.
+        let mut values = vec![0.1; 60];
+        values.extend(vec![0.6; 60]);
+        let trace = UtilizationTrace::new("step", values).unwrap();
+        let dists = dns_empirical(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+        let (lo, hi) = jobs.split_at_time(3600.0);
+        let ratio = hi.len() as f64 / lo.len().max(1) as f64;
+        assert!((ratio - 6.0).abs() < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_utilization_minutes_have_no_arrivals() {
+        let mut values = vec![0.0; 30];
+        values.extend(vec![0.4; 30]);
+        let trace = UtilizationTrace::new("quiet", values).unwrap();
+        let dists = dns_empirical(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+        assert!(jobs.jobs().iter().all(|j| j.arrival >= 30.0 * 60.0));
+        assert!(!jobs.is_empty());
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_sizes_positive() {
+        let trace = traces::email_store(1, 9).window(120, 240);
+        let dists = dns_empirical(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+        let mut prev = 0.0;
+        for j in jobs.jobs() {
+            assert!(j.arrival >= prev);
+            assert!(j.size > 0.0);
+            prev = j.arrival;
+        }
+    }
+
+    #[test]
+    fn service_sizes_are_stationary_across_utilization() {
+        let mut values = vec![0.1; 120];
+        values.extend(vec![0.8; 120]);
+        let trace = UtilizationTrace::new("ramp", values).unwrap();
+        let dists = dns_empirical(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+        let (lo, hi) = jobs.split_at_time(120.0 * 60.0);
+        assert!((lo.mean_size() - hi.mean_size()).abs() / lo.mean_size() < 0.25);
+    }
+}

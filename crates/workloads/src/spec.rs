@@ -1,0 +1,174 @@
+use crate::error::WorkloadError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A workload's summary statistics — one row of Table 5: inter-arrival
+/// and service time (mean, Cv) pairs.
+///
+/// The mean inter-arrival here describes the workload at its *reference*
+/// utilization `ρ_ref = service_mean / interarrival_mean`; replay rescales
+/// inter-arrivals to follow a time-varying utilization trace.
+///
+/// ```
+/// use sleepscale_workloads::WorkloadSpec;
+/// let dns = WorkloadSpec::dns();
+/// assert_eq!(dns.service_mean(), 0.194);
+/// assert!((dns.mu() - 1.0 / 0.194).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    name: String,
+    interarrival_mean: f64,
+    interarrival_cv: f64,
+    service_mean: f64,
+    service_cv: f64,
+}
+
+impl WorkloadSpec {
+    /// Builds a custom spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] for non-positive means or
+    /// negative Cvs.
+    pub fn new(
+        name: impl Into<String>,
+        interarrival_mean: f64,
+        interarrival_cv: f64,
+        service_mean: f64,
+        service_cv: f64,
+    ) -> Result<WorkloadSpec, WorkloadError> {
+        for (label, v) in [("interarrival mean", interarrival_mean), ("service mean", service_mean)]
+        {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(WorkloadError::InvalidSpec {
+                    reason: format!("{label} {v} must be finite and > 0"),
+                });
+            }
+        }
+        for (label, v) in [("interarrival cv", interarrival_cv), ("service cv", service_cv)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(WorkloadError::InvalidSpec {
+                    reason: format!("{label} {v} must be finite and >= 0"),
+                });
+            }
+        }
+        Ok(WorkloadSpec {
+            name: name.into(),
+            interarrival_mean,
+            interarrival_cv,
+            service_mean,
+            service_cv,
+        })
+    }
+
+    /// Table 5, DNS row: inter-arrival 1.1 s (Cv 1.1), service 194 ms
+    /// (Cv 1.0).
+    pub fn dns() -> WorkloadSpec {
+        WorkloadSpec::new("DNS", 1.1, 1.1, 0.194, 1.0).expect("table 5 row is valid")
+    }
+
+    /// Table 5, Mail row: inter-arrival 206 ms (Cv 1.9), service 92 ms
+    /// (Cv 3.6).
+    pub fn mail() -> WorkloadSpec {
+        WorkloadSpec::new("Mail", 0.206, 1.9, 0.092, 3.6).expect("table 5 row is valid")
+    }
+
+    /// Table 5, Google row: inter-arrival 319 µs (Cv 1.2), service 4.2 ms
+    /// (Cv 1.1).
+    pub fn google() -> WorkloadSpec {
+        WorkloadSpec::new("Google", 319e-6, 1.2, 4.2e-3, 1.1).expect("table 5 row is valid")
+    }
+
+    /// The three Table-5 rows this reproduction ships.
+    pub fn table5() -> Vec<WorkloadSpec> {
+        vec![WorkloadSpec::dns(), WorkloadSpec::mail(), WorkloadSpec::google()]
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mean inter-arrival time in seconds at the reference utilization.
+    pub fn interarrival_mean(&self) -> f64 {
+        self.interarrival_mean
+    }
+
+    /// Inter-arrival coefficient of variation.
+    pub fn interarrival_cv(&self) -> f64 {
+        self.interarrival_cv
+    }
+
+    /// Mean full-speed service time `1/µ` in seconds.
+    pub fn service_mean(&self) -> f64 {
+        self.service_mean
+    }
+
+    /// Service-time coefficient of variation.
+    pub fn service_cv(&self) -> f64 {
+        self.service_cv
+    }
+
+    /// Full-speed service rate `µ`.
+    pub fn mu(&self) -> f64 {
+        1.0 / self.service_mean
+    }
+
+    /// The utilization implied by the Table-5 means,
+    /// `ρ_ref = λ_ref / µ = service_mean / interarrival_mean`.
+    pub fn reference_utilization(&self) -> f64 {
+        self.service_mean / self.interarrival_mean
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: interarrival {:.6} s (Cv {:.2}), service {:.6} s (Cv {:.2})",
+            self.name, self.interarrival_mean, self.interarrival_cv, self.service_mean,
+            self.service_cv
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_rows_match_paper() {
+        let dns = WorkloadSpec::dns();
+        assert_eq!((dns.interarrival_mean(), dns.interarrival_cv()), (1.1, 1.1));
+        assert_eq!((dns.service_mean(), dns.service_cv()), (0.194, 1.0));
+        let mail = WorkloadSpec::mail();
+        assert_eq!((mail.interarrival_mean(), mail.interarrival_cv()), (0.206, 1.9));
+        assert_eq!((mail.service_mean(), mail.service_cv()), (0.092, 3.6));
+        let google = WorkloadSpec::google();
+        assert_eq!((google.interarrival_mean(), google.interarrival_cv()), (319e-6, 1.2));
+        assert_eq!((google.service_mean(), google.service_cv()), (4.2e-3, 1.1));
+        assert_eq!(WorkloadSpec::table5().len(), 3);
+    }
+
+    #[test]
+    fn reference_utilization() {
+        // Google implies a heavily loaded reference point.
+        let g = WorkloadSpec::google();
+        assert!((g.reference_utilization() - 4.2e-3 / 319e-6).abs() < 1e-9);
+        let d = WorkloadSpec::dns();
+        assert!((d.reference_utilization() - 0.194 / 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WorkloadSpec::new("x", 0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(WorkloadSpec::new("x", 1.0, -1.0, 1.0, 1.0).is_err());
+        assert!(WorkloadSpec::new("x", 1.0, 1.0, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_contains_name() {
+        assert!(WorkloadSpec::dns().to_string().starts_with("DNS"));
+    }
+}

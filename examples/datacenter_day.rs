@@ -1,0 +1,85 @@
+//! A day in the data center: drive SleepScale and the paper's baseline
+//! strategies over the synthetic email-store utilization trace with a
+//! DNS-like service, 2 AM – 8 PM (the paper's Section 6 evaluation).
+//!
+//! ```sh
+//! cargo run --release --example datacenter_day
+//! ```
+
+use rand::SeedableRng;
+use sleepscale_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = WorkloadSpec::dns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // BigHouse-substitute distributions and the day's ground-truth jobs.
+    let dists = WorkloadDistributions::empirical(&spec, 10_000, &mut rng)?;
+    let trace = traces::email_store(1, 7).window(120, 1200); // 2 AM – 8 PM
+    let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng)?;
+    println!(
+        "trace: {} minutes, utilization {:.2}–{:.2} (mean {:.2}); {} jobs",
+        trace.len(),
+        trace.min(),
+        trace.max(),
+        trace.mean(),
+        jobs.len()
+    );
+
+    let env = SimEnv::xeon_cpu_bound();
+    let config = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8)?)
+        .epoch_minutes(5)
+        .eval_jobs(2_000)
+        .over_provisioning(0.35)
+        .build()?;
+
+    // SleepScale with the paper's LMS+CUSUM predictor.
+    let mut ss = SleepScaleStrategy::new(&config, CandidateSet::standard())
+        .with_predictor(Box::new(LmsCusum::new(10)));
+    let ss_report = run(&trace, &jobs, &mut ss, &env, &config)?;
+
+    // Race-to-halt and DVFS-only baselines.
+    let mut r2h = RaceToHaltStrategy::new(presets::C6_S0I);
+    let r2h_report = run(&trace, &jobs, &mut r2h, &env, &config)?;
+    let mut dvfs = SleepScaleStrategy::new(&config, CandidateSet::dvfs_only())
+        .with_predictor(Box::new(LmsCusum::new(10)));
+    let dvfs_report = run(&trace, &jobs, &mut dvfs, &env, &config)?;
+
+    println!("\n{:>16} {:>12} {:>12} {:>12}", "strategy", "mu*E[R]", "p95 (ms)", "E[P] (W)");
+    for r in [&ss_report, &r2h_report, &dvfs_report] {
+        println!(
+            "{:>16} {:>12.2} {:>12.1} {:>12.1}",
+            r.strategy(),
+            r.normalized_mean_response(),
+            r.p95_response_seconds() * 1e3,
+            r.avg_power_watts()
+        );
+    }
+    println!(
+        "\nSleepScale saves {:.0}% power vs race-to-halt and {:.0}% vs DVFS-only",
+        100.0 * (1.0 - ss_report.avg_power_watts() / r2h_report.avg_power_watts()),
+        100.0 * (1.0 - ss_report.avg_power_watts() / dvfs_report.avg_power_watts()),
+    );
+
+    // Hourly policy timeline: what SleepScale chose as the day unfolded.
+    println!("\nSleepScale policy timeline (hourly samples):");
+    println!("{:>6} {:>8} {:>8} {:>14} {:>10} {:>12}", "hour", "rho^", "rho", "state", "f", "P (W)");
+    for e in ss_report.epochs().iter().step_by(12) {
+        println!(
+            "{:>6.1} {:>8.2} {:>8.2} {:>14} {:>10.2} {:>12.1}",
+            2.0 + e.start_minute as f64 / 60.0,
+            e.predicted_rho,
+            e.realized_rho,
+            e.program_label,
+            e.frequency,
+            e.power_watts
+        );
+    }
+
+    println!("\nselected-state distribution (Figure 10 style):");
+    for (label, frac) in ss_report.program_fractions() {
+        println!("  {label:<14} {:>5.1}%", frac * 100.0);
+    }
+    Ok(())
+}

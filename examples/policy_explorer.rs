@@ -1,0 +1,79 @@
+//! Policy explorer: sweep every (frequency, sleep-state) pair for a
+//! workload you describe on the command line and print the bowl curves
+//! plus the QoS-constrained optimum — both simulated and via the
+//! paper's closed forms.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer -- [mean_service_ms] [rho] [rho_b]
+//! cargo run --release --example policy_explorer -- 92 0.15 0.7
+//! ```
+
+use rand::SeedableRng;
+use sleepscale_repro::sleepscale_analytic::PolicyAnalyzer;
+use sleepscale_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let mean_service_ms: f64 = args.get(1).map_or(Ok(194.0), |s| s.parse())?;
+    let rho: f64 = args.get(2).map_or(Ok(0.1), |s| s.parse())?;
+    let rho_b: f64 = args.get(3).map_or(Ok(0.8), |s| s.parse())?;
+    let mean_service = mean_service_ms / 1e3;
+    let budget = 1.0 / (1.0 - rho_b);
+    println!(
+        "workload: 1/mu = {mean_service_ms} ms, rho = {rho}, QoS mu*E[R] <= {budget:.2} \
+         (rho_b = {rho_b})\n"
+    );
+
+    let env = SimEnv::xeon_cpu_bound();
+    let power = presets::xeon();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let jobs = generator::generate_poisson_exp(20_000, rho, mean_service, &mut rng)?;
+    let analyzer = PolicyAnalyzer::from_utilization(
+        &power,
+        FrequencyScaling::CpuBound,
+        1.0 / mean_service,
+        rho,
+    )?;
+
+    println!(
+        "{:<14} {:>6} | {:>10} {:>10} | {:>10} {:>10}",
+        "state", "f", "sim muE[R]", "sim E[P]", "ana muE[R]", "ana E[P]"
+    );
+    let grid = FrequencyGrid::new((rho + 0.05).min(1.0), 1.0, 0.1)?;
+    let mut best: Option<(Policy, f64)> = None;
+    for state in SystemState::LOW_POWER_LADDER {
+        for f in grid.iter() {
+            let policy =
+                Policy::new(f, SleepProgram::immediate(presets::immediate_stage(state)));
+            let out = simulate(&jobs, &policy, &env);
+            let sim_r = out.normalized_mean_response(mean_service);
+            let sim_p = out.avg_power().as_watts();
+            let ana = analyzer.analyze(&policy);
+            let (ana_r, ana_p) = ana
+                .map(|a| (a.normalized_mean_response, a.avg_power))
+                .unwrap_or((f64::NAN, f64::NAN));
+            println!(
+                "{:<14} {:>6.2} | {:>10.2} {:>10.1} | {:>10.2} {:>10.1}",
+                state.label(),
+                f.get(),
+                sim_r,
+                sim_p,
+                ana_r,
+                ana_p
+            );
+            if sim_r <= budget && best.as_ref().is_none_or(|(_, p)| sim_p < *p) {
+                best = Some((policy, sim_p));
+            }
+        }
+        println!();
+    }
+
+    match best {
+        Some((policy, watts)) => println!(
+            "QoS-constrained optimum: {} at {watts:.1} W (budget mu*E[R] <= {budget:.2})",
+            policy.label()
+        ),
+        None => println!("no policy meets the budget at this utilization"),
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: characterize a few policies for one workload and let the
+//! policy manager pick the best one.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use sleepscale_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The machine: Table 2's Xeon-class server, CPU-bound service.
+    let env = SimEnv::xeon_cpu_bound();
+
+    // 2. The workload: DNS-like jobs (Table 5), utilization 0.2.
+    let spec = WorkloadSpec::dns();
+    let rho = 0.2;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let jobs = generator::generate_poisson_exp(10_000, rho, spec.service_mean(), &mut rng)?;
+
+    // 3. Characterize a handful of joint (frequency, sleep-state)
+    //    policies by simulation — the paper's Algorithm 1.
+    println!("policy characterization (DNS-like, rho = {rho}):");
+    println!("{:>28} {:>12} {:>12}", "policy", "mu*E[R]", "E[P] (W)");
+    for state in SystemState::LOW_POWER_LADDER {
+        for f in [0.4, 0.7, 1.0] {
+            let policy = Policy::new(
+                Frequency::new(f)?,
+                SleepProgram::immediate(presets::immediate_stage(state)),
+            );
+            let out = simulate(&jobs, &policy, &env);
+            println!(
+                "{:>28} {:>12.2} {:>12.1}",
+                policy.label(),
+                out.normalized_mean_response(spec.service_mean()),
+                out.avg_power().as_watts()
+            );
+        }
+    }
+
+    // 4. Let the policy manager search the full candidate grid under the
+    //    paper's QoS constraint (peak design utilization 0.8 →
+    //    µE[R] ≤ 5).
+    let manager = PolicyManager::new(
+        env,
+        QosConstraint::mean_response(0.8)?,
+        CandidateSet::standard(),
+        spec.service_mean(),
+        5_000,
+    )?;
+    let selection = manager.select_from_stream(&jobs, rho);
+    println!(
+        "\nSleepScale selects: {}\n  predicted power {:.1} W, predicted mu*E[R] {:.2} \
+         (budget 5.0), {} candidates evaluated",
+        selection.policy.label(),
+        selection.predicted_power,
+        selection.predicted_norm_response,
+        selection.evaluated
+    );
+
+    // 5. Compare against the naive baseline: run flat out, never sleep.
+    let baseline = simulate(&jobs, &Policy::full_speed_no_sleep(), &manager_env());
+    println!(
+        "  flat-out baseline: {:.1} W  ->  SleepScale saves {:.0}%",
+        baseline.avg_power().as_watts(),
+        100.0 * (1.0 - selection.predicted_power / baseline.avg_power().as_watts())
+    );
+    Ok(())
+}
+
+fn manager_env() -> SimEnv {
+    SimEnv::xeon_cpu_bound()
+}

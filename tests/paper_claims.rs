@@ -1,0 +1,175 @@
+//! The paper's six engineering lessons (Section 4.2) and headline
+//! claims, verified across crates.
+
+use rand::SeedableRng;
+use sleepscale_repro::sleepscale_analytic::PolicyAnalyzer;
+use sleepscale_repro::prelude::*;
+
+fn stream(spec: &WorkloadSpec, rho: f64, seed: u64) -> sleepscale_repro::sleepscale_sim::JobStream {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    generator::generate_poisson_exp(20_000, rho, spec.service_mean(), &mut rng).unwrap()
+}
+
+fn best_policy(
+    jobs: &sleepscale_repro::sleepscale_sim::JobStream,
+    rho: f64,
+    _mean_service: f64,
+) -> (Policy, f64) {
+    let env = SimEnv::xeon_cpu_bound();
+    let grid = FrequencyGrid::new((rho + 0.05).min(1.0), 1.0, 0.05).unwrap();
+    let programs = presets::standard_programs();
+    sweep::grid_sweep(jobs, &programs, &grid, &env)
+        .into_iter()
+        .map(|e| {
+            let w = e.outcome.avg_power().as_watts();
+            (e.policy, w)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .clone()
+}
+
+/// Lesson 1: there exists an optimal *joint* choice of frequency and
+/// low-power state — neither f = 1 nor the lowest stable f is optimal.
+#[test]
+fn lesson1_joint_optimum_is_interior() {
+    let spec = WorkloadSpec::dns();
+    let jobs = stream(&spec, 0.1, 1);
+    let (policy, watts) = best_policy(&jobs, 0.1, spec.service_mean());
+    assert!(policy.frequency().get() < 0.95, "optimal f = {}", policy.frequency());
+    assert!(policy.frequency().get() > 0.15);
+    assert!(watts < 100.0, "joint optimum {watts:.1} W");
+}
+
+/// Lesson 2: at low utilization the best state depends on the response
+/// budget — tight budgets pick deeper-but-fast policies, loose budgets
+/// migrate through the state ladder.
+#[test]
+fn lesson2_best_state_depends_on_budget() {
+    let spec = WorkloadSpec::dns();
+    let rho = 0.1;
+    let jobs = stream(&spec, rho, 2);
+    let env = SimEnv::xeon_cpu_bound();
+    let grid = FrequencyGrid::new(0.15, 1.0, 0.05).unwrap();
+    let evals = sweep::grid_sweep(&jobs, &presets::standard_programs(), &grid, &env);
+    let best_for = |budget: f64| -> String {
+        evals
+            .iter()
+            .filter(|e| e.outcome.normalized_mean_response(spec.service_mean()) <= budget)
+            .min_by(|a, b| {
+                a.outcome.avg_power().partial_cmp(&b.outcome.avg_power()).unwrap()
+            })
+            .map(|e| e.policy.program().label())
+            .unwrap_or_default()
+    };
+    let tight = best_for(1.5);
+    let loose = best_for(50.0);
+    assert_ne!(tight, loose, "different budgets should pick different states");
+    // The loosest budget admits the global optimum: deep platform sleep.
+    assert_eq!(loose, "C6S3");
+}
+
+/// Lesson 3: the best state depends on job size (Figure 2's claim,
+/// verified at high utilization through the whole stack).
+#[test]
+fn lesson3_best_state_depends_on_job_size() {
+    let dns = WorkloadSpec::dns();
+    let google = WorkloadSpec::google();
+    let (dns_policy, _) = best_policy(&stream(&dns, 0.7, 3), 0.7, dns.service_mean());
+    let (google_policy, _) = best_policy(&stream(&google, 0.7, 4), 0.7, google.service_mean());
+    assert_eq!(dns_policy.program().label(), "C6S0(i)");
+    assert_eq!(google_policy.program().label(), "C3S0(i)");
+}
+
+/// Lesson 5: the sequential five-state cascade is conservative — never
+/// meaningfully better than the best single state, and wasteful at low
+/// utilization.
+#[test]
+fn lesson5_sequential_cascade_is_conservative() {
+    let spec = WorkloadSpec::dns();
+    let rho = 0.1;
+    let jobs = stream(&spec, rho, 5);
+    let env = SimEnv::xeon_cpu_bound();
+    let grid = FrequencyGrid::new(0.15, 1.0, 0.05).unwrap();
+    let single_best = sweep::grid_sweep(&jobs, &presets::standard_programs(), &grid, &env)
+        .into_iter()
+        .map(|e| e.outcome.avg_power().as_watts())
+        .fold(f64::INFINITY, f64::min);
+    let cascade = presets::sequential_cascade(0.05);
+    let cascade_best = sweep::frequency_sweep(&jobs, &cascade, &grid, &env)
+        .into_iter()
+        .map(|e| e.outcome.avg_power().as_watts())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        cascade_best >= single_best - 0.5,
+        "cascade {cascade_best:.1} W should not beat the best single state {single_best:.1} W"
+    );
+}
+
+/// Lesson 6: service-time/frequency coupling matters — the memory-bound
+/// optimum is the lowest stable frequency.
+#[test]
+fn lesson6_memory_bound_prefers_lowest_frequency() {
+    let spec = WorkloadSpec::dns();
+    let jobs = stream(&spec, 0.1, 6);
+    let env = SimEnv::xeon_cpu_bound().with_scaling(FrequencyScaling::MemoryBound);
+    let grid = FrequencyGrid::new(0.15, 1.0, 0.05).unwrap();
+    let evals =
+        sweep::frequency_sweep(&jobs, &SleepProgram::immediate(presets::C6_S3), &grid, &env);
+    let best = evals
+        .iter()
+        .min_by(|a, b| a.outcome.avg_power().partial_cmp(&b.outcome.avg_power()).unwrap())
+        .unwrap();
+    assert!((best.policy.frequency().get() - 0.15).abs() < 1e-9);
+}
+
+/// Section 5.1.2 observation 1: no one-size-fits-all policy — across
+/// (workload, utilization) cells, at least three distinct states win.
+#[test]
+fn no_one_size_fits_all() {
+    let mut winners = std::collections::BTreeSet::new();
+    for (spec, seed) in [(WorkloadSpec::dns(), 7), (WorkloadSpec::google(), 8)] {
+        for rho in [0.1, 0.7] {
+            let (policy, _) = best_policy(&stream(&spec, rho, seed), rho, spec.service_mean());
+            winners.insert(policy.program().label());
+        }
+    }
+    assert!(winners.len() >= 3, "winning states: {winners:?}");
+}
+
+/// Section 4.3: the idealized closed form and the simulator agree on the
+/// QoS-constrained optimum's location for an M/M/1 workload.
+#[test]
+fn idealized_optimizer_matches_simulated_selection() {
+    let spec = WorkloadSpec::dns();
+    let rho = 0.2;
+    let jobs = stream(&spec, rho, 9);
+    let env = SimEnv::xeon_cpu_bound();
+    let power = presets::xeon();
+    let grid = FrequencyGrid::new(0.25, 1.0, 0.05).unwrap();
+    let programs = presets::standard_programs();
+    let budget = 5.0;
+
+    let analyzer =
+        PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, spec.mu(), rho)
+            .unwrap();
+    let (ana_policy, _) = analyzer.min_power_policy(&programs, &grid, budget).unwrap();
+
+    let sim_best = sweep::grid_sweep(&jobs, &programs, &grid, &env)
+        .into_iter()
+        .filter(|e| e.outcome.normalized_mean_response(spec.service_mean()) <= budget)
+        .min_by(|a, b| a.outcome.avg_power().partial_cmp(&b.outcome.avg_power()).unwrap())
+        .unwrap();
+
+    assert_eq!(
+        ana_policy.program().label(),
+        sim_best.policy.program().label(),
+        "closed form and simulation pick the same state"
+    );
+    assert!(
+        (ana_policy.frequency().get() - sim_best.policy.frequency().get()).abs() < 0.11,
+        "frequencies near-agree: analytic {} vs simulated {}",
+        ana_policy.frequency(),
+        sim_best.policy.frequency()
+    );
+}

@@ -1,0 +1,35 @@
+//! Structural checks for the workspace's archivable data types: the
+//! `Clone`/`PartialEq`/`Debug` trio on configs, policies, and reports
+//! (all of which also derive serde's `Serialize`/`Deserialize`; no JSON
+//! crate is in the dependency set per DESIGN.md §7, so the derives are
+//! exercised by compilation and the structural checks here).
+
+use sleepscale_repro::prelude::*;
+
+#[test]
+fn reports_and_configs_are_cloneable_and_comparable() {
+    let qos = QosConstraint::mean_response(0.8).unwrap();
+    assert_eq!(qos, qos);
+
+    let candidates = CandidateSet::standard();
+    assert_eq!(candidates.clone(), candidates);
+
+    let policy = sleepscale_repro::sleepscale_power::Policy::full_speed_no_sleep();
+    assert_eq!(policy.clone(), policy);
+
+    let spec = WorkloadSpec::dns();
+    assert_eq!(spec.clone(), spec);
+}
+
+#[test]
+fn serializable_types_produce_stable_debug_output() {
+    // Debug formatting is part of the archival story too (C-DEBUG /
+    // C-DEBUG-NONEMPTY): never empty, always contains the key fields.
+    let policy = sleepscale_repro::sleepscale_power::Policy::full_speed_no_sleep();
+    let dbg = format!("{policy:?}");
+    assert!(dbg.contains("frequency"));
+    let qos = QosConstraint::p95(0.6).unwrap();
+    assert!(format!("{qos:?}").contains("Tail"));
+    let trace = traces::file_server(1, 1);
+    assert!(!format!("{trace:?}").is_empty());
+}
