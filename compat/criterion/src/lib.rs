@@ -1,0 +1,207 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal harness with the same surface: [`Criterion`],
+//! benchmark groups with [`Throughput`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It really measures — a short warm-up then a fixed measurement
+//! budget, reporting mean ns/iter (and element throughput when
+//! declared) — but does no statistical analysis, outlier rejection, or
+//! HTML reporting. Swapping the real `criterion` back in later is a
+//! manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API
+/// compatibility; the stand-in re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a warm-up pass and a measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let budget = Duration::from_millis(300);
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = measured;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{id:<40} (no iterations)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (ns / 1e9);
+                println!("{id:<40} {ns:>14.0} ns/iter {per_sec:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (ns / 1e9);
+                println!("{id:<40} {ns:>14.0} ns/iter {per_sec:>14.0} B/s");
+            }
+            None => println!("{id:<40} {ns:>14.0} ns/iter"),
+        }
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    b.report(id, throughput);
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (reporting is immediate in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// upstream's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| {
+            b.iter_batched(|| vec![1u64, 2, 3, 4], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for the `serde` marker surface this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its archivable
+//! types but — per DESIGN.md §7 — ships no serialization format crate,
+//! so the derives are exercised purely at compile time. This stand-in
+//! keeps that contract checkable without crates.io access: the traits
+//! are structural markers (the derive macros verify the annotated item
+//! parses and emit marker impls), and swapping the real `serde` back in
+//! later is a manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// Upstream `serde` drives a `Serializer` through this trait; the
+/// offline stand-in only records the capability.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data with
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}

@@ -1,0 +1,40 @@
+//! The derive macros must keep compiling on the item shapes the
+//! workspace actually uses: plain structs, tuple/unit/enum variants,
+//! `Default`-deriving structs, and (for forward-compatibility) generics.
+
+#![allow(dead_code)] // compile-time shapes; fields are never read
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+struct Plain {
+    x: f64,
+    ys: Vec<(u64, f64)>,
+    opt: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Kind {
+    A,
+    B(f64),
+    C { v: usize },
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Generic<T> {
+    inner: Vec<T>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Tuple(pub f64, pub u64);
+
+fn assert_round_trippable<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+#[test]
+fn derives_produce_marker_impls() {
+    assert_round_trippable::<Plain>();
+    assert_round_trippable::<Kind>();
+    assert_round_trippable::<Tuple>();
+    assert_round_trippable::<Generic<f64>>();
+    assert_round_trippable::<Option<Vec<f64>>>();
+}

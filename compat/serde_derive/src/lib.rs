@@ -1,0 +1,110 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The real `serde_derive` generates full visitor-based
+//! (de)serialization code; this stand-in emits marker-trait impls so
+//! `#[derive(Serialize, Deserialize)]` keeps compiling (and keeps
+//! asserting the item is well-formed) without crates.io access. It
+//! parses just enough of the item — name and generic parameters — to
+//! emit a correctly-bounded impl, without `syn`/`quote`.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The name and generic parameter idents of a `struct`/`enum` item.
+struct ItemShape {
+    name: String,
+    lifetimes: Vec<String>,
+    types: Vec<String>,
+}
+
+/// Extracts the item name and its generic parameters from the token
+/// stream of a `struct` or `enum` definition.
+fn parse_shape(input: TokenStream) -> ItemShape {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(id) = &tt else { continue };
+        let kw = id.to_string();
+        if kw != "struct" && kw != "enum" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("expected an identifier after `{kw}`");
+        };
+        let mut shape =
+            ItemShape { name: name.to_string(), lifetimes: Vec::new(), types: Vec::new() };
+        // Collect top-level generic parameters, if any: `<` ... `>`.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '<' {
+                iter.next();
+                let mut depth = 1usize;
+                let mut at_param_start = true;
+                let mut pending_lifetime = false;
+                for tt in iter.by_ref() {
+                    match &tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                            at_param_start = true;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                            pending_lifetime = at_param_start;
+                        }
+                        TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                            let s = id.to_string();
+                            if pending_lifetime {
+                                shape.lifetimes.push(format!("'{s}"));
+                                pending_lifetime = false;
+                            } else if s != "const" {
+                                shape.types.push(s);
+                            }
+                            at_param_start = false;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        return shape;
+    }
+    panic!("serde derive stand-in: expected a `struct` or `enum` item");
+}
+
+fn generics_decl(extra: Option<&str>, shape: &ItemShape, bound: &str) -> (String, String) {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra {
+        params.push(lt.to_string());
+    }
+    params.extend(shape.lifetimes.iter().cloned());
+    params.extend(shape.types.iter().map(|t| format!("{t}: {bound}")));
+    let decl = if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    let mut args: Vec<String> = shape.lifetimes.clone();
+    args.extend(shape.types.iter().cloned());
+    let args = if args.is_empty() { String::new() } else { format!("<{}>", args.join(", ")) };
+    (decl, args)
+}
+
+/// Derives the offline `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let (decl, args) = generics_decl(None, &shape, "::serde::Serialize");
+    format!("impl{decl} ::serde::Serialize for {}{args} {{}}", shape.name)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the offline `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let (decl, args) = generics_decl(Some("'de"), &shape, "::serde::Deserialize<'de>");
+    format!("impl{decl} ::serde::Deserialize<'de> for {}{args} {{}}", shape.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

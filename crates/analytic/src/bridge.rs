@@ -1,9 +1,7 @@
 use crate::error::AnalyticError;
 use crate::model::MM1Sleep;
 use serde::{Deserialize, Serialize};
-use sleepscale_power::{
-    FrequencyGrid, FrequencyScaling, Policy, SystemPowerModel, Watts,
-};
+use sleepscale_power::{FrequencyGrid, FrequencyScaling, Policy, SystemPowerModel, Watts};
 
 /// The analytic characterization of one policy: what the idealized model
 /// of Section 4 predicts without running a simulation.
@@ -94,9 +92,7 @@ impl<'a> PolicyAnalyzer<'a> {
             .program()
             .stages()
             .iter()
-            .map(|s| {
-                (self.power.power(s.state(), f).as_watts(), s.enter_after(), s.wake_latency())
-            })
+            .map(|s| (self.power.power(s.state(), f).as_watts(), s.enter_after(), s.wake_latency()))
             .collect();
         MM1Sleep::new(self.lambda, mu_eff, active.as_watts(), stages)
     }
@@ -181,10 +177,8 @@ mod tests {
     fn unstable_frequency_rejected() {
         let power = presets::xeon();
         let a = analyzer(&power, 0.5);
-        let policy = Policy::new(
-            Frequency::new(0.4).unwrap(),
-            SleepProgram::immediate(presets::C0I_S0I),
-        );
+        let policy =
+            Policy::new(Frequency::new(0.4).unwrap(), SleepProgram::immediate(presets::C0I_S0I));
         assert!(matches!(a.model(&policy), Err(AnalyticError::Unstable { .. })));
     }
 
@@ -220,8 +214,8 @@ mod tests {
         // (1/(f−ρ) = 5).
         let power = presets::xeon();
         let mu = 1.0 / 0.0042;
-        let a = PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, 0.4)
-            .unwrap();
+        let a =
+            PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, 0.4).unwrap();
         let grid = FrequencyGrid::new(0.45, 1.0, 0.01).unwrap();
         let programs = vec![SleepProgram::immediate(presets::C0I_S0I)];
         let (policy, out) = a.min_power_policy(&programs, &grid, 5.0).unwrap();
@@ -235,8 +229,8 @@ mod tests {
         // budget (paper: µE[R] ≈ 3 with f ≈ 0.41).
         let power = presets::xeon();
         let mu = 1.0 / 0.0042;
-        let a = PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, 0.1)
-            .unwrap();
+        let a =
+            PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, mu, 0.1).unwrap();
         let grid = FrequencyGrid::new(0.15, 1.0, 0.01).unwrap();
         let programs = vec![SleepProgram::immediate(presets::C0I_S0I)];
         let (policy, out) = a.min_power_policy(&programs, &grid, 5.0).unwrap();

@@ -108,11 +108,7 @@ impl MG1Sleep {
         let n = self.stages.len();
         let mut total = 0.0;
         for (i, &(_, tau, w)) in self.stages.iter().enumerate() {
-            let upper = if i + 1 < n {
-                (-lam * self.stages[i + 1].1).exp()
-            } else {
-                0.0
-            };
+            let upper = if i + 1 < n { (-lam * self.stages[i + 1].1).exp() } else { 0.0 };
             total += w.powf(alpha) * ((-lam * tau).exp() - upper);
         }
         total
@@ -130,11 +126,7 @@ impl MG1Sleep {
         let n = self.stages.len();
         let mut idle_term = 0.0;
         for (i, &(p, tau, _)) in self.stages.iter().enumerate() {
-            let upper = if i + 1 < n {
-                (-lam * self.stages[i + 1].1).exp()
-            } else {
-                0.0
-            };
+            let upper = if i + 1 < n { (-lam * self.stages[i + 1].1).exp() } else { 0.0 };
             idle_term += p * ((-lam * tau).exp() - upper);
         }
         let tau1 = self.stages.first().map_or(0.0, |s| s.1);
@@ -150,8 +142,7 @@ impl MG1Sleep {
         let rho = self.utilization();
         let d1 = self.setup_moment(1.0);
         let d2 = self.setup_moment(2.0);
-        es + lam * es2 / (2.0 * (1.0 - rho))
-            + (2.0 * d1 + lam * d2) / (2.0 * (1.0 + lam * d1))
+        es + lam * es2 / (2.0 * (1.0 - rho)) + (2.0 * d1 + lam * d2) / (2.0 * (1.0 + lam * d1))
     }
 
     /// The stage tuples.
@@ -206,7 +197,6 @@ mod tests {
         assert!(MG1Sleep::new(0.5, 0.0, 1.0, 250.0, vec![]).is_err());
         assert!(MG1Sleep::new(0.5, 1.0, -1.0, 250.0, vec![]).is_err());
         assert!(MG1Sleep::new(0.5, 1.0, 1.0, -1.0, vec![]).is_err());
-        assert!(MG1Sleep::new(0.5, 1.0, 1.0, 1.0, vec![(1.0, 0.1, 0.0), (1.0, 0.1, 0.0)])
-            .is_err());
+        assert!(MG1Sleep::new(0.5, 1.0, 1.0, 1.0, vec![(1.0, 0.1, 0.0), (1.0, 0.1, 0.0)]).is_err());
     }
 }

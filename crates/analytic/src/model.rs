@@ -108,11 +108,7 @@ impl MM1Sleep {
         let n = self.stages.len();
         let mut total = 0.0;
         for (i, &(_, tau, w)) in self.stages.iter().enumerate() {
-            let upper = if i + 1 < n {
-                (-lam * self.stages[i + 1].1).exp()
-            } else {
-                0.0
-            };
+            let upper = if i + 1 < n { (-lam * self.stages[i + 1].1).exp() } else { 0.0 };
             total += w.powf(alpha) * ((-lam * tau).exp() - upper);
         }
         total
@@ -136,11 +132,7 @@ impl MM1Sleep {
         let n = self.stages.len();
         let mut idle_term = 0.0;
         for (i, &(p, tau, _)) in self.stages.iter().enumerate() {
-            let upper = if i + 1 < n {
-                (-lam * self.stages[i + 1].1).exp()
-            } else {
-                0.0
-            };
+            let upper = if i + 1 < n { (-lam * self.stages[i + 1].1).exp() } else { 0.0 };
             idle_term += p * ((-lam * tau).exp() - upper);
         }
         let tau1 = self.stages.first().map_or(0.0, |s| s.1);
@@ -246,8 +238,8 @@ mod tests {
     fn setup_moment_two_stages() {
         let lam = 2.0_f64;
         let tau2 = 0.7;
-        let m = MM1Sleep::new(lam, 10.0, 250.0, vec![(100.0, 0.0, 0.0), (28.0, tau2, 1.0)])
-            .unwrap();
+        let m =
+            MM1Sleep::new(lam, 10.0, 250.0, vec![(100.0, 0.0, 0.0), (28.0, tau2, 1.0)]).unwrap();
         // Landing in stage 1: 1 − e^{−λτ2} (w = 0); deeper: e^{−λτ2}·1.
         let expect = (-lam * tau2).exp();
         assert!((m.setup_moment(1.0) - expect).abs() < 1e-12);
@@ -271,8 +263,7 @@ mod tests {
         let (lam, mu) = (1.0, 4.0);
         let shallow = MM1Sleep::new(lam, mu, 250.0, vec![(135.5, 0.0, 0.0)]).unwrap();
         let deep = MM1Sleep::new(lam, mu, 250.0, vec![(28.1, 0.0, 1.0)]).unwrap();
-        let two = MM1Sleep::new(lam, mu, 250.0, vec![(135.5, 0.0, 0.0), (28.1, 1.5, 1.0)])
-            .unwrap();
+        let two = MM1Sleep::new(lam, mu, 250.0, vec![(135.5, 0.0, 0.0), (28.1, 1.5, 1.0)]).unwrap();
         let lo = deep.avg_power().min(shallow.avg_power());
         let hi = deep.avg_power().max(shallow.avg_power());
         assert!(two.avg_power() > lo - 1e-9 && two.avg_power() < hi + 1e-9);
@@ -294,12 +285,8 @@ mod tests {
 
     #[test]
     fn tail_has_no_closed_form_for_ladders() {
-        let m = MM1Sleep::new(1.0, 3.0, 250.0, vec![(135.5, 0.0, 0.0), (28.1, 1.0, 1.0)])
-            .unwrap();
-        assert!(matches!(
-            m.prob_response_exceeds(1.0),
-            Err(AnalyticError::NoClosedForm { .. })
-        ));
+        let m = MM1Sleep::new(1.0, 3.0, 250.0, vec![(135.5, 0.0, 0.0), (28.1, 1.0, 1.0)]).unwrap();
+        assert!(matches!(m.prob_response_exceeds(1.0), Err(AnalyticError::NoClosedForm { .. })));
         let delayed = MM1Sleep::new(1.0, 3.0, 250.0, vec![(28.1, 0.5, 1.0)]).unwrap();
         assert!(delayed.prob_response_exceeds(1.0).is_err());
     }

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sleepscale_analytic::PolicyAnalyzer;
-use sleepscale_power::{presets, Frequency, FrequencyScaling, Policy, SleepProgram, SleepStage, SystemState};
+use sleepscale_power::{
+    presets, Frequency, FrequencyScaling, Policy, SleepProgram, SleepStage, SystemState,
+};
 use sleepscale_sim::{generator, simulate, SimEnv};
 
 const N_JOBS: usize = 60_000;

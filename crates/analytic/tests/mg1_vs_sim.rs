@@ -22,10 +22,8 @@ fn compare(rho: f64, cv: f64, state: SystemState, seed: u64) {
 
     let env = SimEnv::xeon_cpu_bound();
     // Evaluate at f = 1 so the measured service law matches the stream.
-    let policy = Policy::new(
-        Frequency::MAX,
-        SleepProgram::immediate(presets::immediate_stage(state)),
-    );
+    let policy =
+        Policy::new(Frequency::MAX, SleepProgram::immediate(presets::immediate_stage(state)));
     let sim = simulate(&jobs, &policy, &env);
 
     let power = presets::xeon();
@@ -33,7 +31,9 @@ fn compare(rho: f64, cv: f64, state: SystemState, seed: u64) {
         .program()
         .stages()
         .iter()
-        .map(|s| (power.power(s.state(), Frequency::MAX).as_watts(), s.enter_after(), s.wake_latency()))
+        .map(|s| {
+            (power.power(s.state(), Frequency::MAX).as_watts(), s.enter_after(), s.wake_latency())
+        })
         .collect();
     let model = MG1Sleep::new(
         lambda,

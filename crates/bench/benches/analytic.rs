@@ -12,10 +12,8 @@ fn closed_form_single_policy(c: &mut Criterion) {
     let analyzer =
         PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, 1.0 / 0.194, 0.3)
             .expect("valid");
-    let policy = Policy::new(
-        Frequency::new(0.6).expect("valid"),
-        SleepProgram::immediate(presets::C6_S0I),
-    );
+    let policy =
+        Policy::new(Frequency::new(0.6).expect("valid"), SleepProgram::immediate(presets::C6_S0I));
     c.bench_function("analytic_analyze_one_policy", |b| {
         b.iter(|| analyzer.analyze(std::hint::black_box(&policy)).expect("stable"))
     });

@@ -11,10 +11,8 @@ use sleepscale_workloads::WorkloadSpec;
 fn engine_throughput(c: &mut Criterion) {
     let spec = WorkloadSpec::dns();
     let env = SimEnv::xeon_cpu_bound();
-    let policy = Policy::new(
-        Frequency::new(0.7).expect("valid"),
-        SleepProgram::immediate(presets::C6_S3),
-    );
+    let policy =
+        Policy::new(Frequency::new(0.7).expect("valid"), SleepProgram::immediate(presets::C6_S3));
     let mut group = c.benchmark_group("engine_throughput");
     for n in [1_000usize, 10_000, 100_000] {
         let jobs = ideal_stream(&spec, 0.4, n, 7);

@@ -13,10 +13,8 @@ fn single_policy_10k_jobs(c: &mut Criterion) {
     let spec = WorkloadSpec::dns();
     let jobs = ideal_stream(&spec, 0.3, 10_000, 1);
     let env = SimEnv::xeon_cpu_bound();
-    let policy = Policy::new(
-        Frequency::new(0.6).expect("valid"),
-        SleepProgram::immediate(presets::C6_S0I),
-    );
+    let policy =
+        Policy::new(Frequency::new(0.6).expect("valid"), SleepProgram::immediate(presets::C6_S0I));
     c.bench_function("simulate_one_policy_10k_jobs", |b| {
         b.iter(|| simulate(std::hint::black_box(&jobs), &policy, &env))
     });

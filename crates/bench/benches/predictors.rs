@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sleepscale_predict::{Lms, LmsCusum, NaivePrevious, Predictor};
 
 fn series(n: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| (0.4 + 0.3 * ((i as f64) / 120.0).sin()).clamp(0.0, 1.0))
-        .collect()
+    (0..n).map(|i| (0.4 + 0.3 * ((i as f64) / 120.0).sin()).clamp(0.0, 1.0)).collect()
 }
 
 fn predictor_throughput(c: &mut Criterion) {

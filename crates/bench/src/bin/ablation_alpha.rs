@@ -11,11 +11,7 @@ use sleepscale_bench::Quality;
 use sleepscale_predict::LmsCusum;
 
 fn main() {
-    let q = if std::env::args().any(|a| a == "--quick") {
-        Quality::Quick
-    } else {
-        Quality::Full
-    };
+    let q = if std::env::args().any(|a| a == "--quick") { Quality::Quick } else { Quality::Full };
     let (trace, jobs, spec) = dns_day(q, 7100);
     println!("== Ablation: over-provisioning factor (DNS on email-store day, T=5) ==");
     println!("{:>8} {:>14} {:>12}", "alpha", "mu*E[R]", "E[P] (W)");

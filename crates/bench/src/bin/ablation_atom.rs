@@ -13,11 +13,7 @@ use sleepscale_sim::SimEnv;
 use sleepscale_workloads::WorkloadSpec;
 
 fn main() {
-    let q = if std::env::args().any(|a| a == "--quick") {
-        Quality::Quick
-    } else {
-        Quality::Full
-    };
+    let q = if std::env::args().any(|a| a == "--quick") { Quality::Quick } else { Quality::Full };
     let spec = WorkloadSpec::dns();
     let rho = 0.1;
     let jobs = ideal_stream(&spec, rho, q.jobs(), 7200);

@@ -13,11 +13,7 @@ use sleepscale_sim::SimEnv;
 use sleepscale_workloads::WorkloadSpec;
 
 fn main() {
-    let q = if std::env::args().any(|a| a == "--quick") {
-        Quality::Quick
-    } else {
-        Quality::Full
-    };
+    let q = if std::env::args().any(|a| a == "--quick") { Quality::Quick } else { Quality::Full };
     let spec = WorkloadSpec::dns();
     let env = SimEnv::xeon_cpu_bound();
     println!("== Ablation: sequential cascade dwell (DNS-like) ==");

@@ -15,11 +15,7 @@ use sleepscale_predict::LmsCusum;
 use sleepscale_sim::SimEnv;
 
 fn main() {
-    let q = if std::env::args().any(|a| a == "--quick") {
-        Quality::Quick
-    } else {
-        Quality::Full
-    };
+    let q = if std::env::args().any(|a| a == "--quick") { Quality::Quick } else { Quality::Full };
     let (trace, jobs, spec) = dns_day(q, 7500);
     let env = SimEnv::xeon_cpu_bound();
     let config = RuntimeConfig::builder(spec.service_mean())

@@ -9,23 +9,15 @@ use sleepscale_sim::SimEnv;
 use sleepscale_workloads::WorkloadSpec;
 
 fn main() {
-    let q = if std::env::args().any(|a| a == "--quick") {
-        Quality::Quick
-    } else {
-        Quality::Full
-    };
+    let q = if std::env::args().any(|a| a == "--quick") { Quality::Quick } else { Quality::Full };
     let spec = WorkloadSpec::dns();
     let rho = 0.1;
     let jobs = ideal_stream(&spec, rho, q.jobs(), 7400);
     println!("== Ablation: platform constants (DNS-like, rho = {rho}) ==");
-    println!(
-        "{:>16} {:<12} {:>8} {:>12}",
-        "platform", "state", "best f", "E[P] (W)"
-    );
-    for (name, model) in [
-        ("Table 2 (60.5W)", presets::xeon()),
-        ("prose (52.7W)", presets::xeon_prose_variant()),
-    ] {
+    println!("{:>16} {:<12} {:>8} {:>12}", "platform", "state", "best f", "E[P] (W)");
+    for (name, model) in
+        [("Table 2 (60.5W)", presets::xeon()), ("prose (52.7W)", presets::xeon_prose_variant())]
+    {
         let env = SimEnv::new(model, FrequencyScaling::CpuBound);
         for state in [SystemState::C0I_S0I, SystemState::C6_S0I, SystemState::C6_S3] {
             let c = bowl(
@@ -38,13 +30,7 @@ fn main() {
                 &env,
             );
             let best = c.min_power_point().expect("non-empty sweep");
-            println!(
-                "{:>16} {:<12} {:>8.2} {:>12.2}",
-                name,
-                state.label(),
-                best.f,
-                best.power
-            );
+            println!("{:>16} {:<12} {:>8.2} {:>12.2}", name, state.label(), best.f, best.power);
         }
     }
 }

@@ -8,11 +8,7 @@ use sleepscale_sim::{simulate, SimEnv};
 use sleepscale_workloads::WorkloadSpec;
 
 fn main() {
-    let q = if std::env::args().any(|a| a == "--quick") {
-        Quality::Quick
-    } else {
-        Quality::Full
-    };
+    let q = if std::env::args().any(|a| a == "--quick") { Quality::Quick } else { Quality::Full };
     let env = SimEnv::xeon_cpu_bound();
     let power = presets::xeon();
     println!("== Section 4.3: closed form vs simulation ==");
@@ -40,8 +36,8 @@ fn main() {
                 let sim_p = sim.avg_power().as_watts();
                 let sim_r = sim.normalized_mean_response(spec.service_mean());
                 let rel_p = (sim_p - ana.avg_power).abs() / ana.avg_power;
-                let rel_r = (sim_r - ana.normalized_mean_response).abs()
-                    / ana.normalized_mean_response;
+                let rel_r =
+                    (sim_r - ana.normalized_mean_response).abs() / ana.normalized_mean_response;
                 worst = worst.max(rel_p).max(rel_r);
                 println!(
                     "{:<8} {:<12} {:>5.2} {:>5.2} {:>10.2} {:>10.2} {:>9.3} {:>9.3} {:>7.1}%",

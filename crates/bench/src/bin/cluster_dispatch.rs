@@ -15,11 +15,7 @@ use sleepscale_workloads::{
 };
 
 fn main() {
-    let q = if std::env::args().any(|a| a == "--quick") {
-        Quality::Quick
-    } else {
-        Quality::Full
-    };
+    let q = if std::env::args().any(|a| a == "--quick") { Quality::Quick } else { Quality::Full };
     let n = 8;
     let minutes = q.day_minutes().min(240);
     let spec = WorkloadSpec::dns();
@@ -35,21 +31,12 @@ fn main() {
     println!("== Cluster dispatch ablation: {n} servers, DNS-like ==");
     for rho in [0.15, 0.45] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7600 + (rho * 100.0) as u64);
-        let dists =
-            WorkloadDistributions::empirical(&spec, 8_000, &mut rng).expect("spec fits");
+        let dists = WorkloadDistributions::empirical(&spec, 8_000, &mut rng).expect("spec fits");
         let trace = UtilizationTrace::constant(rho, minutes).expect("valid trace");
         let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng)
             .expect("valid replay");
-        println!(
-            "\ncluster load {:.0}% ({} jobs over {} min):",
-            rho * 100.0,
-            jobs.len(),
-            minutes
-        );
-        println!(
-            "{:>24} {:>12} {:>12} {:>10}",
-            "dispatcher", "mu*E[R]", "fleet W", "balance"
-        );
+        println!("\ncluster load {:.0}% ({} jobs over {} min):", rho * 100.0, jobs.len(), minutes);
+        println!("{:>24} {:>12} {:>12} {:>10}", "dispatcher", "mu*E[R]", "fleet W", "balance");
         let mut dispatchers: Vec<Box<dyn Dispatcher>> = vec![
             Box::new(RoundRobin::new()),
             Box::new(RandomUniform::new(5)),

@@ -123,11 +123,7 @@ mod tests {
     #[test]
     fn email_store_uses_multiple_states() {
         let cell = run_cell("es", &WorkloadSpec::dns(), 0.8, Quality::Quick);
-        assert!(
-            cell.fractions.len() >= 2,
-            "bursty trace should mix states: {:?}",
-            cell.fractions
-        );
+        assert!(cell.fractions.len() >= 2, "bursty trace should mix states: {:?}", cell.fractions);
     }
 
     #[test]

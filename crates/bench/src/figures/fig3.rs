@@ -45,8 +45,24 @@ pub fn generate(q: Quality) -> Vec<Curve> {
             mu_inv,
             &env,
         ),
-        bowl(&jobs, "C0(i)S0(i)->C6S3 tau2=30/mu", &delayed(30.0), rho, q.freq_step(), mu_inv, &env),
-        bowl(&jobs, "C0(i)S0(i)->C6S3 tau2=50/mu", &delayed(50.0), rho, q.freq_step(), mu_inv, &env),
+        bowl(
+            &jobs,
+            "C0(i)S0(i)->C6S3 tau2=30/mu",
+            &delayed(30.0),
+            rho,
+            q.freq_step(),
+            mu_inv,
+            &env,
+        ),
+        bowl(
+            &jobs,
+            "C0(i)S0(i)->C6S3 tau2=50/mu",
+            &delayed(50.0),
+            rho,
+            q.freq_step(),
+            mu_inv,
+            &env,
+        ),
     ]
 }
 
@@ -54,7 +70,8 @@ pub fn generate(q: Quality) -> Vec<Curve> {
 pub fn run(q: Quality) -> std::io::Result<()> {
     let curves = generate(q);
     print_curves("Figure 3: delayed C6S3 entry, Google-like, rho = 0.1", &curves);
-    let path = write_csv("fig3", &["program", "f", "norm_response", "power_w"], &curves_to_rows(&curves))?;
+    let path =
+        write_csv("fig3", &["program", "f", "norm_response", "power_w"], &curves_to_rows(&curves))?;
     println!("wrote {}", path.display());
     Ok(())
 }
@@ -88,13 +105,9 @@ mod tests {
         use sleepscale_power::{Frequency, FrequencyScaling, Policy};
         let spec = WorkloadSpec::google();
         let power = presets::xeon();
-        let analyzer = PolicyAnalyzer::from_utilization(
-            &power,
-            FrequencyScaling::CpuBound,
-            spec.mu(),
-            0.1,
-        )
-        .unwrap();
+        let analyzer =
+            PolicyAnalyzer::from_utilization(&power, FrequencyScaling::CpuBound, spec.mu(), 0.1)
+                .unwrap();
         let delayed50 = SleepProgram::new(vec![
             presets::C0I_S0I,
             SleepStage::new(SystemState::C6_S3, 50.0 * spec.service_mean(), presets::WAKE_C6_S3)
@@ -141,14 +154,19 @@ mod tests {
         let p50 = curves[3].min_power_point().unwrap().power;
         let shallow = curves[0].min_power_point().unwrap().power;
         let deep = curves[1].min_power_point().unwrap().power;
-        assert!(p50 <= p30 + 1.0, "tau2=50/µ ({p50:.1}) sits closer to shallow than 30/µ ({p30:.1})");
-        assert!(p50 >= shallow - 1.0, "delayed curves do not beat the shallow *unconstrained* optimum");
+        assert!(
+            p50 <= p30 + 1.0,
+            "tau2=50/µ ({p50:.1}) sits closer to shallow than 30/µ ({p30:.1})"
+        );
+        assert!(
+            p50 >= shallow - 1.0,
+            "delayed curves do not beat the shallow *unconstrained* optimum"
+        );
         assert!(p30 <= deep + 1.0, "delayed curves improve on immediate C6S3");
         // Response floors also interpolate: min achievable µE[R] shrinks
         // as the delay grows.
-        let floor = |c: &Curve| {
-            c.points.iter().map(|p| p.norm_response).fold(f64::INFINITY, f64::min)
-        };
+        let floor =
+            |c: &Curve| c.points.iter().map(|p| p.norm_response).fold(f64::INFINITY, f64::min);
         assert!(floor(&curves[1]) > floor(&curves[2]));
         assert!(floor(&curves[2]) > floor(&curves[3]));
         assert!(floor(&curves[3]) > floor(&curves[0]));

@@ -62,8 +62,7 @@ mod tests {
     #[test]
     fn weaker_coupling_pushes_the_optimum_frequency_down() {
         let curves = generate(Quality::Quick);
-        let optima: Vec<f64> =
-            curves.iter().map(|c| c.min_power_point().unwrap().f).collect();
+        let optima: Vec<f64> = curves.iter().map(|c| c.min_power_point().unwrap().f).collect();
         // µf, µf^0.5, µf^0.2, µ: each weaker coupling wants an equal or
         // lower clock.
         for pair in optima.windows(2) {

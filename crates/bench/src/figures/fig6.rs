@@ -176,8 +176,8 @@ fn empirical_stream(
 ) -> sleepscale_sim::JobStream {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let dists = WorkloadDistributions::empirical(spec, 10_000, &mut rng)
-        .expect("table-5 specs always fit");
+    let dists =
+        WorkloadDistributions::empirical(spec, 10_000, &mut rng).expect("table-5 specs always fit");
     let raw = generator::generate(n, &**dists.interarrival(), &**dists.service(), &mut rng)
         .expect("empirical samples are valid");
     // Rescale measured inter-arrivals so offered utilization hits rho.
@@ -227,11 +227,8 @@ pub fn run(q: Quality) -> std::io::Result<()> {
             ]);
         }
     }
-    let path = write_csv(
-        "fig6",
-        &["workload", "qos", "rho_b", "model", "rho", "f", "state"],
-        &rows,
-    )?;
+    let path =
+        write_csv("fig6", &["workload", "qos", "rho_b", "model", "rho", "f", "state"], &rows)?;
     println!("wrote {}", path.display());
     Ok(())
 }
@@ -244,7 +241,8 @@ mod tests {
     fn dns_map_uses_shallow_then_deep_states() {
         // Paper Figure 6(a): C0(i)S0(i) at low utilization, C6S0(i) at
         // high utilization, ρ_b = 0.8, idealized model.
-        let m = generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Idealized, Quality::Quick);
+        let m =
+            generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Idealized, Quality::Quick);
         assert!(!m.points.is_empty());
         let first = &m.points[0];
         let last = m.points.last().unwrap();
@@ -254,13 +252,11 @@ mod tests {
 
     #[test]
     fn frequency_grows_with_utilization_in_the_linear_regime() {
-        let m = generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.6, Model::Idealized, Quality::Quick);
+        let m =
+            generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.6, Model::Idealized, Quality::Quick);
         let fs: Vec<f64> = m.points.iter().map(|p| p.f).collect();
         assert!(fs.len() >= 3);
-        assert!(
-            fs.last().unwrap() > fs.first().unwrap(),
-            "f must rise across the map: {fs:?}"
-        );
+        assert!(fs.last().unwrap() > fs.first().unwrap(), "f must rise across the map: {fs:?}");
     }
 
     #[test]
@@ -272,12 +268,8 @@ mod tests {
             generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Idealized, Quality::Quick);
         let emp =
             generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.8, Model::Empirical, Quality::Quick);
-        let matches = ideal
-            .points
-            .iter()
-            .zip(&emp.points)
-            .filter(|(a, b)| a.state == b.state)
-            .count();
+        let matches =
+            ideal.points.iter().zip(&emp.points).filter(|(a, b)| a.state == b.state).count();
         assert!(
             matches * 2 >= ideal.points.len().min(emp.points.len()),
             "states should mostly agree: {matches}/{}",
@@ -292,13 +284,7 @@ mod tests {
         let tight =
             generate_one(&WorkloadSpec::dns(), Qos::Mean, 0.6, Model::Idealized, Quality::Quick);
         for (t, l) in tight.points.iter().zip(&loose.points) {
-            assert!(
-                t.f >= l.f - 1e-9,
-                "rho={}: tight {} < loose {}",
-                t.rho,
-                t.f,
-                l.f
-            );
+            assert!(t.f >= l.f - 1e-9, "rho={}: tight {} < loose {}", t.rho, t.f, l.f);
         }
     }
 }

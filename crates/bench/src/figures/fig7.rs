@@ -35,9 +35,7 @@ pub fn run(q: Quality) -> std::io::Result<()> {
         println!("{:>6} {:>12.3} {:>12.3}", h, avg(&fs), avg(&es));
     }
     let rows: Vec<Vec<String>> = (0..fs.len())
-        .map(|m| {
-            vec![m.to_string(), format!("{:.4}", fs.at(m)), format!("{:.4}", es.at(m))]
-        })
+        .map(|m| vec![m.to_string(), format!("{:.4}", fs.at(m)), format!("{:.4}", es.at(m))])
         .collect();
     let path = write_csv("fig7", &["minute", "file_server", "email_store"], &rows)?;
     println!("wrote {}", path.display());

@@ -65,8 +65,7 @@ pub fn generate(q: Quality) -> Vec<Bar> {
     strategies
         .iter_mut()
         .map(|s| {
-            let report =
-                run(&trace, &jobs, s.as_mut(), &env, &config).expect("runtime completes");
+            let report = run(&trace, &jobs, s.as_mut(), &env, &config).expect("runtime completes");
             Bar {
                 strategy: report.strategy().to_string(),
                 norm_response: report.normalized_mean_response(),
@@ -136,11 +135,6 @@ mod tests {
         let bars = generate(Quality::Quick);
         let ss = &bars[0];
         let dvfs = bars.iter().find(|b| b.strategy.starts_with("DVFS")).unwrap();
-        assert!(
-            dvfs.power_w > ss.power_w + 10.0,
-            "DVFS {} W vs SS {} W",
-            dvfs.power_w,
-            ss.power_w
-        );
+        assert!(dvfs.power_w > ss.power_w + 10.0, "DVFS {} W vs SS {} W", dvfs.power_w, ss.power_w);
     }
 }

@@ -184,11 +184,7 @@ pub fn results_dir() -> PathBuf {
 /// # Errors
 ///
 /// Propagates I/O errors from directory creation or writing.
-pub fn write_csv(
-    name: &str,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));

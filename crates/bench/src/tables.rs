@@ -128,7 +128,14 @@ pub fn table5(q: Quality) -> std::io::Result<()> {
     println!("== Table 5: workload statistics (spec vs measured generator) ==");
     println!(
         "{:<8} {:>12} {:>8} {:>12} {:>8}   {:>12} {:>8} {:>12} {:>8}",
-        "name", "ia_mean", "ia_cv", "sv_mean", "sv_cv", "m_ia_mean", "m_ia_cv", "m_sv_mean",
+        "name",
+        "ia_mean",
+        "ia_cv",
+        "sv_mean",
+        "sv_cv",
+        "m_ia_mean",
+        "m_ia_cv",
+        "m_sv_mean",
         "m_sv_cv"
     );
     let mut csv = Vec::new();

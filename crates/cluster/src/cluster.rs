@@ -151,8 +151,7 @@ impl Cluster {
                 slot.strategy.end_epoch(&records);
                 let pressure =
                     (slot.sim.state().free_time() - epoch_end).max(0.0) / self.epoch_seconds;
-                let rho_server =
-                    (slot.epoch_work / self.epoch_seconds + pressure).clamp(0.0, 0.97);
+                let rho_server = (slot.epoch_work / self.epoch_seconds + pressure).clamp(0.0, 0.97);
                 let minutes = self.epoch_minutes.min(total_minutes - k * self.epoch_minutes);
                 for _ in 0..minutes {
                     slot.strategy.observe_minute(rho_server);
@@ -162,11 +161,8 @@ impl Cluster {
 
         // Close trailing idle periods and summarize.
         let trace_end = total_minutes as f64 * 60.0;
-        let horizon = self
-            .servers
-            .iter()
-            .map(|s| s.sim.state().free_time())
-            .fold(trace_end, f64::max);
+        let horizon =
+            self.servers.iter().map(|s| s.sim.state().free_time()).fold(trace_end, f64::max);
         let mut summaries = Vec::with_capacity(self.servers.len());
         for (index, slot) in self.servers.drain(..).enumerate() {
             let jobs_done = slot.all_jobs;
@@ -208,11 +204,7 @@ mod tests {
         replay_trace, traces, ReplayConfig, WorkloadDistributions, WorkloadSpec,
     };
 
-    fn setup(
-        n: usize,
-        minutes: usize,
-        seed: u64,
-    ) -> (ClusterConfig, UtilizationTrace, JobStream) {
+    fn setup(n: usize, minutes: usize, seed: u64) -> (ClusterConfig, UtilizationTrace, JobStream) {
         let spec = WorkloadSpec::dns();
         let runtime = RuntimeConfig::builder(spec.service_mean())
             .qos(QosConstraint::mean_response(0.8).unwrap())
@@ -233,8 +225,7 @@ mod tests {
         trace: &UtilizationTrace,
         jobs: &JobStream,
     ) -> ClusterReport {
-        let mut cluster =
-            Cluster::new(config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let mut cluster = Cluster::new(config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
         cluster.run(trace, jobs, dispatcher).unwrap()
     }
 
@@ -335,8 +326,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(50);
         let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
         let trace = UtilizationTrace::constant(0.4, 30).unwrap();
-        let single =
-            replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+        let single = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
         let fleet = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(4), &mut rng).unwrap();
         let ratio = fleet.len() as f64 / single.len() as f64;
         assert!((ratio - 4.0).abs() < 0.4, "rate ratio {ratio}");

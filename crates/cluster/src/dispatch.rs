@@ -92,9 +92,7 @@ impl Dispatcher for JoinShortestBacklog {
         servers
             .iter()
             .min_by(|a, b| {
-                a.backlog_seconds
-                    .partial_cmp(&b.backlog_seconds)
-                    .expect("backlogs are finite")
+                a.backlog_seconds.partial_cmp(&b.backlog_seconds).expect("backlogs are finite")
             })
             .map(|s| s.index)
             .expect("clusters are non-empty")

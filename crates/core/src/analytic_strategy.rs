@@ -103,8 +103,7 @@ impl Strategy for AnalyticStrategy {
             None => {
                 // Nothing feasible under the closed form: run flat out
                 // with the shallowest program.
-                let fallback =
-                    Policy::new(Frequency::MAX, self.candidates.programs()[0].clone());
+                let fallback = Policy::new(Frequency::MAX, self.candidates.programs()[0].clone());
                 (fallback, None)
             }
         };
@@ -165,10 +164,8 @@ mod tests {
 
     #[test]
     fn tracks_predictions_and_applies_guard_band() {
-        let mut s =
-            AnalyticStrategy::new(&config(), CandidateSet::standard()).with_predictor(
-                Box::new(sleepscale_predict::NaivePrevious::new()),
-            );
+        let mut s = AnalyticStrategy::new(&config(), CandidateSet::standard())
+            .with_predictor(Box::new(sleepscale_predict::NaivePrevious::new()));
         assert!(s.name().contains("NP"));
         for _ in 0..5 {
             s.observe_minute(0.3);

@@ -42,11 +42,7 @@ impl CandidateSet {
     /// Full SleepScale: all five single-stage immediate programs
     /// (`C0(i)S0(i)` … `C6S3`).
     pub fn standard() -> CandidateSet {
-        CandidateSet::new(
-            "SS",
-            sleepscale_power::presets::standard_programs(),
-            DEFAULT_FREQ_STEP,
-        )
+        CandidateSet::new("SS", sleepscale_power::presets::standard_programs(), DEFAULT_FREQ_STEP)
     }
 
     /// SleepScale restricted to one low-power state — the paper's

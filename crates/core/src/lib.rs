@@ -69,9 +69,7 @@ pub use manager::{PolicyManager, Selection};
 pub use qos::QosConstraint;
 pub use report::{EpochReport, RunReport};
 pub use runtime::{run, RuntimeConfig, RuntimeConfigBuilder};
-pub use strategies::{
-    FixedPolicyStrategy, RaceToHaltStrategy, SleepScaleStrategy, Strategy,
-};
+pub use strategies::{FixedPolicyStrategy, RaceToHaltStrategy, SleepScaleStrategy, Strategy};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -54,9 +54,7 @@ impl PolicyManager {
             });
         }
         if eval_jobs == 0 {
-            return Err(CoreError::InvalidConfig {
-                reason: "eval_jobs must be at least 1".into(),
-            });
+            return Err(CoreError::InvalidConfig { reason: "eval_jobs must be at least 1".into() });
         }
         Ok(PolicyManager { env, qos, candidates, mean_service, eval_jobs })
     }
@@ -86,9 +84,10 @@ impl PolicyManager {
         for e in &evals {
             let power = e.outcome.avg_power().as_watts();
             if self.qos.satisfied_by(&e.outcome, self.mean_service)
-                && best_feasible.as_ref().is_none_or(|(_, p)| power < *p) {
-                    best_feasible = Some((e, power));
-                }
+                && best_feasible.as_ref().is_none_or(|(_, p)| power < *p)
+            {
+                best_feasible = Some((e, power));
+            }
             best_score = best_score.min(self.qos.score(&e.outcome, self.mean_service));
         }
         // Fallback when nothing meets the budget: among the candidates
@@ -98,9 +97,7 @@ impl PolicyManager {
         // response.
         let least_bad = evals
             .iter()
-            .filter(|e| {
-                self.qos.score(&e.outcome, self.mean_service) <= best_score * 1.05 + 1e-9
-            })
+            .filter(|e| self.qos.score(&e.outcome, self.mean_service) <= best_score * 1.05 + 1e-9)
             .min_by(|a, b| {
                 a.outcome
                     .avg_power()
@@ -116,9 +113,7 @@ impl PolicyManager {
         Selection {
             policy: chosen.policy.clone(),
             predicted_power: chosen.outcome.avg_power().as_watts(),
-            predicted_norm_response: chosen
-                .outcome
-                .normalized_mean_response(self.mean_service),
+            predicted_norm_response: chosen.outcome.normalized_mean_response(self.mean_service),
             feasible,
             evaluated,
         }

@@ -107,9 +107,7 @@ impl QosConstraint {
     /// to pick a least-bad fallback when nothing is feasible.
     pub fn score(&self, outcome: &SimOutcome, mean_service: f64) -> f64 {
         match self {
-            QosConstraint::MeanResponse { .. } => {
-                outcome.normalized_mean_response(mean_service)
-            }
+            QosConstraint::MeanResponse { .. } => outcome.normalized_mean_response(mean_service),
             QosConstraint::Tail { .. } => {
                 outcome.fraction_exceeding(self.normalized_deadline() * mean_service)
             }

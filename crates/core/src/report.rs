@@ -143,10 +143,7 @@ impl RunReport {
     /// Same histogram normalized to fractions of epochs.
     pub fn program_fractions(&self) -> Vec<(String, f64)> {
         let total = self.epochs.len().max(1) as f64;
-        self.program_histogram()
-            .into_iter()
-            .map(|(label, n)| (label, n as f64 / total))
-            .collect()
+        self.program_histogram().into_iter().map(|(label, n)| (label, n as f64 / total)).collect()
     }
 
     /// Mean absolute utilization prediction error across epochs.

@@ -216,9 +216,7 @@ pub fn run(
         let out = online.run_epoch(now.jobs(), &policy, epoch_end);
         responses.extend(out.records().iter().map(JobRecord::response));
 
-        let realized_rho = (start_minute..end_minute)
-            .map(|m| trace.at(m))
-            .sum::<f64>()
+        let realized_rho = (start_minute..end_minute).map(|m| trace.at(m)).sum::<f64>()
             / (end_minute - start_minute).max(1) as f64;
 
         epochs.push(EpochReport {
@@ -288,8 +286,8 @@ mod tests {
         let spec = WorkloadSpec::dns();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let dists = WorkloadDistributions::empirical(&spec, 5_000, &mut rng).unwrap();
-        let trace = sleepscale_workloads::traces::email_store(1, seed)
-            .window(120, 120 + hours * 60);
+        let trace =
+            sleepscale_workloads::traces::email_store(1, seed).window(120, 120 + hours * 60);
         let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
         let config = RuntimeConfig::builder(spec.service_mean())
             .qos(QosConstraint::mean_response(0.8).unwrap())

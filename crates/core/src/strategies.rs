@@ -143,12 +143,10 @@ impl Strategy for SleepScaleStrategy {
         // by the guard-band factor to absorb unpredicted surges.
         let mut policy = selection.policy.clone();
         if self.alpha > 0.0 {
-            let within_budget = self
-                .last_epoch_mean_delay
-                .is_some_and(|d| d < self.delay_budget_seconds);
+            let within_budget =
+                self.last_epoch_mean_delay.is_some_and(|d| d < self.delay_budget_seconds);
             if within_budget {
-                policy = policy
-                    .with_frequency(policy.frequency().scaled_by(1.0 + self.alpha));
+                policy = policy.with_frequency(policy.frequency().scaled_by(1.0 + self.alpha));
             }
         }
         self.last_selection = Some(selection);
@@ -297,8 +295,8 @@ mod tests {
     #[test]
     fn over_provisioning_raises_frequency_when_within_budget() {
         let mk = |alpha| {
-            let mut s = SleepScaleStrategy::new(&config(), CandidateSet::standard())
-                .with_alpha(alpha);
+            let mut s =
+                SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(alpha);
             let records: Vec<JobRecord> =
                 (0..400).map(|i| record(i as f64 * 0.97, i as f64 * 0.97 + 0.2)).collect();
             s.end_epoch(&records); // mean delay 0.2 s < budget 0.97 s
@@ -318,8 +316,7 @@ mod tests {
 
     #[test]
     fn over_provisioning_skipped_when_over_budget() {
-        let mut s =
-            SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(0.35);
+        let mut s = SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(0.35);
         // Past epoch blew the budget (responses ≈ 2 s > 0.97 s).
         let records: Vec<JobRecord> =
             (0..400).map(|i| record(i as f64 * 0.97, i as f64 * 0.97 + 2.0)).collect();
@@ -329,8 +326,7 @@ mod tests {
         }
         let with_alpha = s.begin_epoch(1).unwrap().frequency().get();
 
-        let mut s0 =
-            SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(0.0);
+        let mut s0 = SleepScaleStrategy::new(&config(), CandidateSet::standard()).with_alpha(0.0);
         let records: Vec<JobRecord> =
             (0..400).map(|i| record(i as f64 * 0.97, i as f64 * 0.97 + 2.0)).collect();
         s0.end_epoch(&records);

@@ -1,0 +1,189 @@
+//! Frozen empirical-CDF tables — the BigHouse sampling mechanism.
+
+use crate::error::DistError;
+use crate::traits::{unit_uniform, Distribution};
+use rand::RngCore;
+
+/// A frozen empirical distribution: a sorted table of observations
+/// sampled by inverse-CDF lookup.
+///
+/// BigHouse \[Meisner et al.\] stores observations harvested from live
+/// traces and replays them by empirical-CDF sampling; this type is the
+/// same mechanism. A draw picks `U ~ Uniform[0, 1)` and returns the
+/// `⌊U·n⌋`-th order statistic — i.e. the generalized inverse of the
+/// ECDF — so sample moments converge to the *table's* moments, and the
+/// table (not a parametric idealization) defines the law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    /// Observations in ascending order (the inverse-CDF table).
+    table: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Empirical {
+    /// Freezes a table from raw observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptySample`] for an empty input and
+    /// [`DistError::InvalidSample`] for negative or non-finite
+    /// observations.
+    pub fn from_samples(mut samples: Vec<f64>) -> Result<Empirical, DistError> {
+        if samples.is_empty() {
+            return Err(DistError::EmptySample);
+        }
+        for &x in &samples {
+            if !x.is_finite() || x < 0.0 {
+                return Err(DistError::InvalidSample { value: x });
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite observations compare"));
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let variance = if samples.len() < 2 {
+            0.0
+        } else {
+            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        };
+        Ok(Empirical { table: samples, mean, variance })
+    }
+
+    /// Freezes `n` draws from `source` into a table — the
+    /// moment-fit-then-freeze step of the BigHouse substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptySample`] for `n = 0` and
+    /// [`DistError::InvalidSample`] if the source produces invalid
+    /// values.
+    pub fn from_distribution(
+        source: &dyn Distribution,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Empirical, DistError> {
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(source.sample(rng));
+        }
+        Empirical::from_samples(samples)
+    }
+
+    /// Number of frozen observations.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The sorted observation table.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// The empirical quantile at `q ∈ [0, 1]`: the generalized inverse
+    /// CDF `inf{x : F(x) ≥ q}`, i.e. the `⌈qn⌉`-th order statistic.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.table.len() as f64).ceil() as usize;
+        self.table[rank.saturating_sub(1).min(self.table.len() - 1)]
+    }
+}
+
+impl Distribution for Empirical {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let idx = (unit_uniform(rng) * self.table.len() as f64) as usize;
+        // `unit_uniform < 1` keeps idx in range; min() guards the
+        // pathological rounding edge.
+        self.table[idx.min(self.table.len() - 1)]
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn name(&self) -> &'static str {
+        "empirical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{Exponential, Hyperexp2};
+    use crate::moments::Moments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_and_invalid_observations() {
+        assert_eq!(Empirical::from_samples(vec![]), Err(DistError::EmptySample));
+        assert!(matches!(
+            Empirical::from_samples(vec![1.0, -2.0]),
+            Err(DistError::InvalidSample { .. })
+        ));
+        assert!(matches!(
+            Empirical::from_samples(vec![f64::NAN]),
+            Err(DistError::InvalidSample { .. })
+        ));
+        let mut rng = StdRng::seed_from_u64(1);
+        let exp = Exponential::from_mean(1.0).unwrap();
+        assert_eq!(Empirical::from_distribution(&exp, 0, &mut rng), Err(DistError::EmptySample));
+    }
+
+    #[test]
+    fn table_is_sorted_and_moments_match_inputs() {
+        let e = Empirical::from_samples(vec![3.0, 1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(e.table(), &[1.0, 2.0, 2.0, 3.0]);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+        // Sample variance of {1,2,2,3} = 2/3.
+        assert!((e.variance() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn quantiles_walk_the_order_statistics() {
+        let e = Empirical::from_samples(vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.30), 20.0);
+        assert_eq!(e.quantile(0.60), 30.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+        // Exact boundaries q = k/n take the k-th order statistic
+        // (smallest x with F(x) ≥ q), not the next one up.
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+    }
+
+    #[test]
+    fn single_observation_table_degenerates_gracefully() {
+        let e = Empirical::from_samples(vec![5.0]).unwrap();
+        assert_eq!(e.variance(), 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(e.sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn resampling_converges_to_table_moments() {
+        let source = Hyperexp2::fit_balanced(0.092, 3.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = Empirical::from_distribution(&source, 20_000, &mut rng).unwrap();
+        // The frozen table's moments hover near the source's…
+        assert!((e.mean() - 0.092).abs() / 0.092 < 0.05);
+        // …and resampling the table reproduces the *table* moments.
+        let mut m = Moments::new();
+        for _ in 0..100_000 {
+            m.push(e.sample(&mut rng));
+        }
+        assert!((m.mean() - e.mean()).abs() / e.mean() < 0.02);
+        assert!((m.cv() - e.cv()).abs() / e.cv() < 0.05);
+        assert_eq!(e.name(), "empirical");
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from distribution construction, fitting, and table freezing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Which parameter (e.g. `"rate"`, `"mean"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NonFinite {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A coefficient of variation outside the fittable range.
+    InvalidCv {
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability outside the open interval `(0, 1)`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// An empirical table was built from zero observations.
+    EmptySample,
+    /// An observation fed to an empirical table was invalid
+    /// (negative, NaN, or infinite).
+    InvalidSample {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::NonPositive { what, value } => {
+                write!(f, "{what} must be > 0, got {value}")
+            }
+            DistError::NonFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            DistError::InvalidCv { value } => {
+                write!(f, "coefficient of variation must be finite and >= 0, got {value}")
+            }
+            DistError::InvalidProbability { value } => {
+                write!(f, "probability must be in (0, 1), got {value}")
+            }
+            DistError::EmptySample => write!(f, "empirical table needs at least one observation"),
+            DistError::InvalidSample { value } => {
+                write!(f, "empirical observations must be finite and >= 0, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for DistError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn require_positive(what: &'static str, value: f64) -> Result<f64, DistError> {
+    if !value.is_finite() {
+        return Err(DistError::NonFinite { what, value });
+    }
+    if value <= 0.0 {
+        return Err(DistError::NonPositive { what, value });
+    }
+    Ok(value)
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn require_non_negative(what: &'static str, value: f64) -> Result<f64, DistError> {
+    if !value.is_finite() {
+        return Err(DistError::NonFinite { what, value });
+    }
+    if value < 0.0 {
+        return Err(DistError::NonPositive { what, value });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = DistError::NonPositive { what: "rate", value: -1.0 };
+        assert!(e.to_string().contains("rate"));
+        assert!(DistError::EmptySample.to_string().contains("at least one"));
+        assert!(DistError::InvalidCv { value: f64::NAN }.to_string().contains("variation"));
+    }
+
+    #[test]
+    fn validators_classify_values() {
+        assert_eq!(require_positive("x", 1.0), Ok(1.0));
+        assert!(matches!(
+            require_positive("x", 0.0),
+            Err(DistError::NonPositive { what: "x", .. })
+        ));
+        assert!(matches!(require_positive("x", f64::NAN), Err(DistError::NonFinite { .. })));
+        assert_eq!(require_non_negative("x", 0.0), Ok(0.0));
+        assert!(matches!(require_non_negative("x", -0.5), Err(DistError::NonPositive { .. })));
+    }
+}

@@ -1,0 +1,393 @@
+//! The parametric families the moment fitter draws from: exponential,
+//! deterministic, gamma, and two-phase hyperexponential.
+
+use crate::error::{require_non_negative, require_positive, DistError};
+use crate::traits::{unit_uniform, unit_uniform_open, Distribution};
+use rand::RngCore;
+
+/// The exponential distribution with rate `λ` — the memoryless
+/// workhorse behind the paper's idealized M/M/1 workloads (Cv = 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// An exponential with rate `rate` (mean `1/rate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositive`]/[`DistError::NonFinite`] for
+    /// an invalid rate.
+    pub fn new(rate: f64) -> Result<Exponential, DistError> {
+        Ok(Exponential { rate: require_positive("rate", rate)? })
+    }
+
+    /// An exponential with mean `mean` (rate `1/mean`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositive`]/[`DistError::NonFinite`] for
+    /// an invalid mean.
+    pub fn from_mean(mean: f64) -> Result<Exponential, DistError> {
+        Ok(Exponential { rate: 1.0 / require_positive("mean", mean)? })
+    }
+
+    /// The rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -unit_uniform_open(rng).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn name(&self) -> &'static str {
+        "exp"
+    }
+
+    fn cv(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A point mass: every draw returns the same value (Cv = 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// A point mass at `value >= 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositive`]/[`DistError::NonFinite`] for
+    /// a negative or non-finite value.
+    pub fn new(value: f64) -> Result<Deterministic, DistError> {
+        Ok(Deterministic { value: require_non_negative("value", value)? })
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "det"
+    }
+
+    fn cv(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The gamma distribution with shape `k` and scale `θ`.
+///
+/// For `Cv < 1` the fitter uses `k = 1/Cv² > 1`, which matches the
+/// target mean and Cv *exactly* (a continuous generalization of the
+/// Erlang family — `k` need not be an integer, so any Cv in `(0, 1)` is
+/// reachable, not just `1/√n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// A gamma with shape `k` and scale `θ` (mean `kθ`, variance `kθ²`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositive`]/[`DistError::NonFinite`] for
+    /// invalid parameters.
+    pub fn new(shape: f64, scale: f64) -> Result<Gamma, DistError> {
+        Ok(Gamma {
+            shape: require_positive("shape", shape)?,
+            scale: require_positive("scale", scale)?,
+        })
+    }
+
+    /// The gamma matching `mean` and `cv` exactly: `k = 1/cv²`,
+    /// `θ = mean·cv²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositive`]/[`DistError::NonFinite`] for
+    /// an invalid mean or a zero/non-finite Cv.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Result<Gamma, DistError> {
+        let mean = require_positive("mean", mean)?;
+        let cv = require_positive("cv", cv)?;
+        let cv2 = cv * cv;
+        Gamma::new(1.0 / cv2, mean * cv2)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// A standard normal variate via Box–Muller.
+    fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+        let u1 = unit_uniform_open(rng);
+        let u2 = unit_uniform(rng);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Marsaglia–Tsang (2000) squeeze sampling for shape `k >= 1`.
+    fn sample_shape_ge_one(shape: f64, rng: &mut dyn RngCore) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Gamma::standard_normal(rng);
+            let t = 1.0 + c * x;
+            if t <= 0.0 {
+                continue;
+            }
+            let v = t * t * t;
+            let u = unit_uniform_open(rng);
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2 {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution for Gamma {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let unscaled = if self.shape >= 1.0 {
+            Gamma::sample_shape_ge_one(self.shape, rng)
+        } else {
+            // Boost: X_k = X_{k+1} · U^{1/k} (Marsaglia–Tsang §6).
+            let boosted = Gamma::sample_shape_ge_one(self.shape + 1.0, rng);
+            boosted * unit_uniform_open(rng).powf(1.0 / self.shape)
+        };
+        unscaled * self.scale
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn name(&self) -> &'static str {
+        "gamma"
+    }
+
+    fn cv(&self) -> f64 {
+        1.0 / self.shape.sqrt()
+    }
+}
+
+/// A two-phase hyperexponential `H2`: with probability `p` draw from
+/// `Exp(λ₁)`, otherwise from `Exp(λ₂)`.
+///
+/// This is the BigHouse-style heavy-tail family for `Cv > 1`; the
+/// balanced-means fit reproduces a target mean and Cv exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hyperexp2 {
+    p: f64,
+    rate1: f64,
+    rate2: f64,
+}
+
+impl Hyperexp2 {
+    /// An `H2` with mixing probability `p ∈ (0, 1)` and phase rates
+    /// `rate1`, `rate2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositive`]/[`DistError::NonFinite`] for
+    /// invalid rates or a mixing probability outside `(0, 1)`.
+    pub fn new(p: f64, rate1: f64, rate2: f64) -> Result<Hyperexp2, DistError> {
+        if !p.is_finite() || p <= 0.0 || p >= 1.0 {
+            return Err(DistError::InvalidProbability { value: p });
+        }
+        Ok(Hyperexp2 {
+            p,
+            rate1: require_positive("rate1", rate1)?,
+            rate2: require_positive("rate2", rate2)?,
+        })
+    }
+
+    /// The balanced-means fit to `(mean, cv)` with `cv > 1`: each phase
+    /// contributes half the mean (`p₁/λ₁ = p₂/λ₂`), giving
+    ///
+    /// ```text
+    /// p₁ = (1 + √((cv²−1)/(cv²+1))) / 2,   λᵢ = 2pᵢ/mean.
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidCv`] for `cv <= 1` and parameter
+    /// errors for an invalid mean.
+    pub fn fit_balanced(mean: f64, cv: f64) -> Result<Hyperexp2, DistError> {
+        let mean = require_positive("mean", mean)?;
+        if !cv.is_finite() || cv <= 1.0 {
+            return Err(DistError::InvalidCv { value: cv });
+        }
+        let cv2 = cv * cv;
+        let p1 = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+        let rate1 = 2.0 * p1 / mean;
+        let rate2 = 2.0 * (1.0 - p1) / mean;
+        Hyperexp2::new(p1, rate1, rate2)
+    }
+
+    /// The mixing probability of phase 1.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The phase rates `(λ₁, λ₂)`.
+    pub fn rates(&self) -> (f64, f64) {
+        (self.rate1, self.rate2)
+    }
+}
+
+impl Distribution for Hyperexp2 {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let rate = if unit_uniform(rng) < self.p { self.rate1 } else { self.rate2 };
+        -unit_uniform_open(rng).ln() / rate
+    }
+
+    fn mean(&self) -> f64 {
+        self.p / self.rate1 + (1.0 - self.p) / self.rate2
+    }
+
+    fn variance(&self) -> f64 {
+        self.second_moment() - self.mean() * self.mean()
+    }
+
+    fn name(&self) -> &'static str {
+        "hyperexp2"
+    }
+
+    fn second_moment(&self) -> f64 {
+        2.0 * (self.p / (self.rate1 * self.rate1) + (1.0 - self.p) / (self.rate2 * self.rate2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::Moments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_moments(d: &dyn Distribution, n: usize, seed: u64) -> Moments {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Moments::new();
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0, "{} produced {x}", d.name());
+            m.push(x);
+        }
+        m
+    }
+
+    #[test]
+    fn exponential_matches_its_moments() {
+        let d = Exponential::from_mean(0.194).unwrap();
+        assert!((d.mean() - 0.194).abs() < 1e-15);
+        assert!((d.cv() - 1.0).abs() < 1e-15);
+        let m = sample_moments(&d, 200_000, 1);
+        assert!((m.mean() - 0.194).abs() / 0.194 < 0.01);
+        assert!((m.cv() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-3.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_is_a_point_mass() {
+        let d = Deterministic::new(0.42).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0.42);
+        }
+        assert_eq!(d.cv(), 0.0);
+        assert_eq!(d.variance(), 0.0);
+        assert!(Deterministic::new(-0.1).is_err());
+        assert!(Deterministic::new(0.0).is_ok()); // zero-size jobs are legal
+    }
+
+    #[test]
+    fn gamma_matches_target_moments_both_shape_regimes() {
+        // Low Cv (shape > 1) and the boosted shape < 1 path.
+        for (mean, cv, seed) in [(0.194, 0.5, 3), (2.0, 0.3, 4), (1.0, 1.4, 5)] {
+            let d = Gamma::from_mean_cv(mean, cv).unwrap();
+            assert!((d.mean() - mean).abs() / mean < 1e-12);
+            assert!((d.cv() - cv).abs() < 1e-12);
+            let m = sample_moments(&d, 200_000, seed);
+            assert!((m.mean() - mean).abs() / mean < 0.02, "mean for cv={cv}");
+            assert!((m.cv() - cv).abs() / cv < 0.03, "cv for cv={cv}");
+        }
+        // Direct shape < 1 construction.
+        let d = Gamma::new(0.5, 2.0).unwrap();
+        let m = sample_moments(&d, 200_000, 6);
+        assert!((m.mean() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn hyperexp2_balanced_fit_is_exact() {
+        for cv in [1.1, 1.9, 3.6, 10.0] {
+            let d = Hyperexp2::fit_balanced(0.092, cv).unwrap();
+            assert!((d.mean() - 0.092).abs() / 0.092 < 1e-12, "mean at cv={cv}");
+            assert!((d.cv() - cv).abs() / cv < 1e-9, "cv at cv={cv}");
+        }
+    }
+
+    #[test]
+    fn hyperexp2_samples_converge_to_fit() {
+        let d = Hyperexp2::fit_balanced(1.0, 2.0).unwrap();
+        let m = sample_moments(&d, 400_000, 7);
+        assert!((m.mean() - 1.0).abs() < 0.02);
+        assert!((m.cv() - 2.0).abs() / 2.0 < 0.05);
+    }
+
+    #[test]
+    fn hyperexp2_rejects_degenerate_parameters() {
+        assert!(Hyperexp2::fit_balanced(1.0, 1.0).is_err());
+        assert!(Hyperexp2::fit_balanced(1.0, 0.5).is_err());
+        assert!(Hyperexp2::fit_balanced(0.0, 2.0).is_err());
+        assert!(Hyperexp2::new(0.0, 1.0, 1.0).is_err());
+        assert!(Hyperexp2::new(1.0, 1.0, 1.0).is_err());
+        assert!(Hyperexp2::new(0.5, 0.0, 1.0).is_err());
+    }
+}

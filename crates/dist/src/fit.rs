@@ -1,0 +1,95 @@
+//! Moment fitting: pick a parametric family from `(mean, Cv)`.
+//!
+//! Table 5 of the paper publishes each workload's inter-arrival and
+//! service statistics as a mean and coefficient of variation; the
+//! BigHouse substitution (see `sleepscale-workloads`) moment-fits a
+//! family to each row and freezes draws into empirical tables. The
+//! family choice follows the standard queueing recipe \[Meisner et
+//! al.\]:
+//!
+//! | Cv        | family                                   | name        |
+//! |-----------|------------------------------------------|-------------|
+//! | 0         | point mass ([`Deterministic`])           | `det`       |
+//! | (0, 1)    | gamma, `k = 1/Cv²` ([`Gamma`])           | `gamma`     |
+//! | 1         | exponential ([`Exponential`])            | `exp`       |
+//! | (1, ∞)    | balanced-means `H2` ([`Hyperexp2`])      | `hyperexp2` |
+//!
+//! Every branch matches the requested mean and Cv **exactly** (not just
+//! approximately), which is what lets the analytic M/G/1 cross-checks
+//! compare simulated moments against closed forms at tight tolerance.
+
+use crate::error::{require_positive, DistError};
+use crate::families::{Deterministic, Exponential, Gamma, Hyperexp2};
+use crate::traits::DynDistribution;
+use std::sync::Arc;
+
+/// Cv this close to a family boundary snaps to the boundary family.
+const CV_EPS: f64 = 1e-9;
+
+/// Fits a distribution with the given mean and coefficient of
+/// variation, exactly.
+///
+/// # Errors
+///
+/// Returns [`DistError::NonPositive`]/[`DistError::NonFinite`] for an
+/// invalid mean and [`DistError::InvalidCv`] for a negative or
+/// non-finite Cv.
+///
+/// # Examples
+///
+/// ```
+/// use sleepscale_dist::fit;
+/// let sv = fit::by_moments(0.092, 3.6)?; // Mail's service law
+/// assert_eq!(sv.name(), "hyperexp2");
+/// assert!((sv.mean() - 0.092).abs() < 1e-12);
+/// assert!((sv.cv() - 3.6).abs() < 1e-9);
+/// # Ok::<(), sleepscale_dist::DistError>(())
+/// ```
+pub fn by_moments(mean: f64, cv: f64) -> Result<DynDistribution, DistError> {
+    let mean = require_positive("mean", mean)?;
+    if !cv.is_finite() || cv < 0.0 {
+        return Err(DistError::InvalidCv { value: cv });
+    }
+    if cv <= CV_EPS {
+        return Ok(Arc::new(Deterministic::new(mean)?));
+    }
+    if (cv - 1.0).abs() <= CV_EPS {
+        return Ok(Arc::new(Exponential::from_mean(mean)?));
+    }
+    if cv < 1.0 {
+        return Ok(Arc::new(Gamma::from_mean_cv(mean, cv)?));
+    }
+    Ok(Arc::new(Hyperexp2::fit_balanced(mean, cv)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_selection_follows_cv() {
+        assert_eq!(by_moments(1.0, 0.0).unwrap().name(), "det");
+        assert_eq!(by_moments(1.0, 0.5).unwrap().name(), "gamma");
+        assert_eq!(by_moments(1.0, 1.0).unwrap().name(), "exp");
+        assert_eq!(by_moments(1.0, 1.0 + 5e-10).unwrap().name(), "exp");
+        assert_eq!(by_moments(1.0, 1.1).unwrap().name(), "hyperexp2");
+        assert_eq!(by_moments(1.0, 3.6).unwrap().name(), "hyperexp2");
+    }
+
+    #[test]
+    fn fit_is_exact_across_the_cv_range() {
+        for cv in [0.0, 0.1, 0.3, 0.7, 1.0, 1.5, 2.0, 3.6, 10.0] {
+            let d = by_moments(0.194, cv).unwrap();
+            assert!((d.mean() - 0.194).abs() / 0.194 < 1e-12, "mean at cv={cv}");
+            assert!((d.cv() - cv).abs() < 1e-9, "cv at cv={cv}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(matches!(by_moments(0.0, 1.0), Err(DistError::NonPositive { .. })));
+        assert!(matches!(by_moments(f64::NAN, 1.0), Err(DistError::NonFinite { .. })));
+        assert!(matches!(by_moments(1.0, -0.1), Err(DistError::InvalidCv { .. })));
+        assert!(matches!(by_moments(1.0, f64::INFINITY), Err(DistError::InvalidCv { .. })));
+    }
+}

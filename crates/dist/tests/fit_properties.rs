@@ -1,0 +1,134 @@
+//! Property tests for the moment fitter and the empirical tables: the
+//! contracts every downstream crate leans on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sleepscale_dist::{fit, Distribution, Empirical, Moments};
+
+fn sampled_moments(d: &dyn Distribution, n: usize, seed: u64) -> Moments {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Moments::new();
+    for _ in 0..n {
+        let x = d.sample(&mut rng);
+        assert!(x.is_finite() && x >= 0.0, "{} produced invalid sample {x}", d.name());
+        m.push(x);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `fit::by_moments` reports the target moments exactly across the
+    /// whole Cv range the paper's workloads span.
+    #[test]
+    fn fit_reports_exact_moments(
+        mean in 1e-4_f64..10.0,
+        cv in 0.3_f64..10.0,
+    ) {
+        let d = fit::by_moments(mean, cv).unwrap();
+        prop_assert!((d.mean() - mean).abs() / mean < 1e-9,
+            "analytic mean {} vs target {mean}", d.mean());
+        prop_assert!((d.cv() - cv).abs() / cv < 1e-9,
+            "analytic cv {} vs target {cv}", d.cv());
+        // Second moment is consistent with (mean, cv).
+        let m2 = mean * mean * (1.0 + cv * cv);
+        prop_assert!((d.second_moment() - m2).abs() / m2 < 1e-9);
+    }
+
+    /// Sampling a fitted family reproduces the target moments within
+    /// Monte-Carlo tolerance.
+    #[test]
+    fn fit_samples_reproduce_target_moments(
+        cv in 0.3_f64..10.0,
+        seed in 0_u64..1_000,
+    ) {
+        let mean = 0.194;
+        let d = fit::by_moments(mean, cv).unwrap();
+        let n = 60_000;
+        let m = sampled_moments(&*d, n, seed);
+        // The sample mean's relative standard error is cv/√n; allow
+        // five of them (floored for the light-tailed end) so heavy
+        // tails don't flake.
+        let mean_tol = (5.0 * cv / (n as f64).sqrt()).max(0.02);
+        prop_assert!((m.mean() - mean).abs() / mean < mean_tol,
+            "sampled mean {} vs {mean} at cv={cv}", m.mean());
+        // Sample-Cv of heavy-tailed laws converges slower still (it
+        // rides on the fourth moment); scale with the tail weight.
+        let cv_tol = if cv <= 2.0 { 0.1 } else { 0.35 };
+        prop_assert!((m.cv() - cv).abs() / cv < cv_tol,
+            "sampled cv {} vs {cv}", m.cv());
+    }
+
+    /// Empirical tables frozen from a fitted family converge, under
+    /// resampling, to the *table's* moments — which in turn track the
+    /// source family.
+    #[test]
+    fn empirical_moments_converge_to_source(
+        cv in 0.3_f64..6.0,
+        seed in 0_u64..1_000,
+    ) {
+        let mean = 1.0;
+        let source = fit::by_moments(mean, cv).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = Empirical::from_distribution(&*source, 20_000, &mut rng).unwrap();
+        // Table moments track the source law.
+        let tol = if cv <= 2.0 { 0.1 } else { 0.3 };
+        prop_assert!((table.mean() - mean).abs() / mean < tol,
+            "table mean {} vs source {mean} at cv={cv}", table.mean());
+        // Resampled moments track the table's own moments (the table's
+        // Cv governs the resampling error).
+        let m = sampled_moments(&table, 60_000, seed ^ 0xA5A5);
+        let mean_tol = (5.0 * table.cv() / (60_000_f64).sqrt()).max(0.02);
+        prop_assert!((m.mean() - table.mean()).abs() / table.mean() < mean_tol,
+            "resampled mean {} vs table {}", m.mean(), table.mean());
+        let cv_tol = if cv <= 2.0 { 0.15 } else { 0.35 };
+        prop_assert!((m.cv() - table.cv()).abs() / table.cv().max(1e-9) < cv_tol,
+            "resampled cv {} vs table {}", m.cv(), table.cv());
+    }
+
+    /// Sampling is a pure function of the RNG stream: the same seed
+    /// yields the same variates, different seeds diverge.
+    #[test]
+    fn sampling_is_deterministic_under_fixed_seed(
+        cv in 0.3_f64..10.0,
+        seed in 0_u64..10_000,
+    ) {
+        let d = fit::by_moments(0.5, cv).unwrap();
+        let draw = |s: u64| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(s);
+            (0..256).map(|_| d.sample(&mut rng)).collect()
+        };
+        prop_assert_eq!(draw(seed), draw(seed));
+        prop_assert_ne!(draw(seed), draw(seed.wrapping_add(1)));
+    }
+}
+
+#[test]
+fn empirical_freeze_is_deterministic_under_fixed_seed() {
+    let source = fit::by_moments(0.092, 3.6).unwrap();
+    let freeze = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Empirical::from_distribution(&*source, 4_096, &mut rng).unwrap()
+    };
+    assert_eq!(freeze(42), freeze(42));
+    assert_ne!(freeze(42), freeze(43));
+}
+
+#[test]
+fn table5_rows_fit_cleanly() {
+    // The exact (mean, Cv) pairs the paper publishes in Table 5.
+    let rows = [
+        (1.1, 1.1, 0.194, 1.0),     // DNS
+        (0.206, 1.9, 0.092, 3.6),   // Mail
+        (319e-6, 1.2, 4.2e-3, 1.1), // Google
+    ];
+    for (ia_mean, ia_cv, sv_mean, sv_cv) in rows {
+        for (mean, cv) in [(ia_mean, ia_cv), (sv_mean, sv_cv)] {
+            let d = fit::by_moments(mean, cv).unwrap();
+            assert!((d.mean() - mean).abs() / mean < 1e-9);
+            assert!((d.cv() - cv).abs() / cv < 1e-9);
+        }
+    }
+}

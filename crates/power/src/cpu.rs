@@ -27,13 +27,8 @@ pub enum CpuState {
 
 impl CpuState {
     /// All states in increasing sleep depth.
-    pub const ALL: [CpuState; 5] = [
-        CpuState::C0Active,
-        CpuState::C0Idle,
-        CpuState::C1,
-        CpuState::C3,
-        CpuState::C6,
-    ];
+    pub const ALL: [CpuState; 5] =
+        [CpuState::C0Active, CpuState::C0Idle, CpuState::C1, CpuState::C3, CpuState::C6];
 
     /// Canonical short name used in the paper (e.g. `"C0(a)"`).
     pub fn name(self) -> &'static str {
@@ -245,10 +240,8 @@ mod tests {
     #[test]
     fn deeper_states_draw_less_power_at_full_frequency() {
         let m = CpuPowerModel::xeon();
-        let powers: Vec<f64> = CpuState::ALL
-            .iter()
-            .map(|s| m.power(*s, Frequency::MAX).as_watts())
-            .collect();
+        let powers: Vec<f64> =
+            CpuState::ALL.iter().map(|s| m.power(*s, Frequency::MAX).as_watts()).collect();
         for w in powers.windows(2) {
             assert!(w[0] > w[1], "expected strictly decreasing power: {powers:?}");
         }

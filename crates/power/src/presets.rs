@@ -20,8 +20,7 @@ pub const WAKE_C6_S0I: f64 = 1e-3;
 pub const WAKE_C6_S3: f64 = 1.0;
 
 /// The standard `C0(i)S0(i)` stage (τ = 0, w = 0).
-pub const C0I_S0I: SleepStage =
-    SleepStage::from_raw_parts(SystemState::C0I_S0I, 0.0, WAKE_C0I_S0I);
+pub const C0I_S0I: SleepStage = SleepStage::from_raw_parts(SystemState::C0I_S0I, 0.0, WAKE_C0I_S0I);
 /// The standard `C1S0(i)` stage (τ = 0, w = 10 µs).
 pub const C1_S0I: SleepStage = SleepStage::from_raw_parts(SystemState::C1_S0I, 0.0, WAKE_C1_S0I);
 /// The standard `C3S0(i)` stage (τ = 0, w = 100 µs).

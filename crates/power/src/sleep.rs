@@ -176,11 +176,7 @@ impl SleepProgram {
         if self.stages.is_empty() {
             "C0(a)S0(a)".to_string()
         } else {
-            self.stages
-                .iter()
-                .map(|s| s.state().label())
-                .collect::<Vec<_>>()
-                .join("→")
+            self.stages.iter().map(|s| s.state().label()).collect::<Vec<_>>().join("→")
         }
     }
 }

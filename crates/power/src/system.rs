@@ -43,8 +43,7 @@ impl SystemState {
     pub const C6_S0I: SystemState =
         SystemState { cpu: CpuState::C6, platform: PlatformState::S0Idle };
     /// `C6S3`: deep CPU sleep plus platform sleep.
-    pub const C6_S3: SystemState =
-        SystemState { cpu: CpuState::C6, platform: PlatformState::S3 };
+    pub const C6_S3: SystemState = SystemState { cpu: CpuState::C6, platform: PlatformState::S3 };
 
     /// The five low-power states the paper's policies choose between,
     /// ordered from shallowest to deepest.

@@ -173,9 +173,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_sum() {
-        let total: Watts = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)]
-            .into_iter()
-            .sum();
+        let total: Watts = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)].into_iter().sum();
         assert!((total.as_watts() - 6.0).abs() < 1e-12);
         let mut acc = Joules::ZERO;
         acc += Joules::new(2.0);

@@ -22,11 +22,7 @@ pub struct PredictorReport {
 /// Replays `series` through `predictor`: at each step the predictor
 /// first predicts, then observes the realized value. The first
 /// `warmup` steps are observed but not scored.
-pub fn evaluate(
-    predictor: &mut dyn Predictor,
-    series: &[f64],
-    warmup: usize,
-) -> PredictorReport {
+pub fn evaluate(predictor: &mut dyn Predictor, series: &[f64], warmup: usize) -> PredictorReport {
     let mut abs_sum = 0.0;
     let mut sq_sum = 0.0;
     let mut max_error = 0.0_f64;

@@ -54,13 +54,9 @@ impl Lms {
         if self.history.is_empty() {
             return 0.5;
         }
-        self.weights
-            .iter()
-            .zip(self.history.iter())
-            .map(|(w, x)| w * x)
-            .sum::<f64>()
-            // Missing taps implicitly read 0, matching a cold-started
-            // filter; the weights re-adapt within a few samples.
+        self.weights.iter().zip(self.history.iter()).map(|(w, x)| w * x).sum::<f64>()
+        // Missing taps implicitly read 0, matching a cold-started
+        // filter; the weights re-adapt within a few samples.
     }
 
     /// NLMS weight update for a realized value given the current history.
@@ -69,8 +65,7 @@ impl Lms {
             return;
         }
         let error = actual - clamp_unit(self.raw_predict());
-        let energy: f64 =
-            self.history.iter().map(|x| x * x).sum::<f64>() + 1e-6;
+        let energy: f64 = self.history.iter().map(|x| x * x).sum::<f64>() + 1e-6;
         for (w, x) in self.weights.iter_mut().zip(self.history.iter()) {
             *w += self.step * error * x / energy;
         }

@@ -54,12 +54,7 @@ impl LmsCusum {
         if self.history.is_empty() {
             return 0.5;
         }
-        self.weights
-            .iter()
-            .take(self.p)
-            .zip(self.history.iter())
-            .map(|(w, x)| w * x)
-            .sum()
+        self.weights.iter().take(self.p).zip(self.history.iter()).map(|(w, x)| w * x).sum()
     }
 
     fn total_weight(&self) -> f64 {

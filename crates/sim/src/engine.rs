@@ -136,13 +136,27 @@ impl OnlineSim {
         self.state.idle = Some((policy.program().clone(), f));
         self.jobs_done += 1;
 
-        JobRecord { id: job.id, arrival: job.arrival, start, departure, size: job.size, service, wake }
+        JobRecord {
+            id: job.id,
+            arrival: job.arrival,
+            start,
+            departure,
+            size: job.size,
+            service,
+            wake,
+        }
     }
 
     /// Integrates the idle interval `[gap_start, gap_start + gap)` across
     /// the sleep ladder: active power before `τ_1`, then each stage's
     /// power until the next stage begins or the gap ends.
-    fn emit_idle(&mut self, gap_start: f64, gap: f64, program: &SleepProgram, idle_freq: Frequency) {
+    fn emit_idle(
+        &mut self,
+        gap_start: f64,
+        gap: f64,
+        program: &SleepProgram,
+        idle_freq: Frequency,
+    ) {
         if gap <= 0.0 {
             return;
         }
@@ -178,8 +192,10 @@ impl OnlineSim {
     /// overall outcome. Response statistics are not kept by the online
     /// engine (each epoch already returned its records); pass them in via
     /// [`simulate`] for batch use.
-    pub fn finish(mut self, horizon: f64) -> (EnergyLedger, Residency, Vec<(SystemState, u64)>, u64)
-    {
+    pub fn finish(
+        mut self,
+        horizon: f64,
+    ) -> (EnergyLedger, Residency, Vec<(SystemState, u64)>, u64) {
         let end = horizon.max(self.state.free_time);
         if end > self.state.free_time {
             let (program, freq) = match &self.state.idle {
@@ -383,10 +399,8 @@ mod tests {
         let pairs: Vec<(f64, f64)> =
             (0..200).map(|i| (i as f64 * 0.37, 0.05 + 0.001 * (i % 7) as f64)).collect();
         let jobs = stream(&pairs);
-        let policy = Policy::new(
-            Frequency::new(0.7).unwrap(),
-            SleepProgram::immediate(presets::C6_S0I),
-        );
+        let policy =
+            Policy::new(Frequency::new(0.7).unwrap(), SleepProgram::immediate(presets::C6_S0I));
         let batch = simulate(&jobs, &policy, &env());
 
         let mut online = OnlineSim::new(env(), 10.0);

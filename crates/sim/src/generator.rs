@@ -83,9 +83,8 @@ pub fn generate_poisson_exp(
         });
     }
     let mu = 1.0 / mean_service;
-    let ia = sleepscale_dist::Exponential::new(rho * mu).map_err(|e| {
-        SimError::InvalidJobStream { reason: e.to_string() }
-    })?;
+    let ia = sleepscale_dist::Exponential::new(rho * mu)
+        .map_err(|e| SimError::InvalidJobStream { reason: e.to_string() })?;
     let sv = sleepscale_dist::Exponential::new(mu)
         .map_err(|e| SimError::InvalidJobStream { reason: e.to_string() })?;
     generate(n, &ia, &sv, rng)

@@ -100,7 +100,15 @@ impl SimOutcome {
         wakes_from: Vec<(SystemState, u64)>,
         wakes_without_sleep: u64,
     ) -> SimOutcome {
-        SimOutcome { n_jobs, horizon, responses, energy, residency, wakes_from, wakes_without_sleep }
+        SimOutcome {
+            n_jobs,
+            horizon,
+            responses,
+            energy,
+            residency,
+            wakes_from,
+            wakes_without_sleep,
+        }
     }
 
     /// Number of jobs completed.

@@ -40,8 +40,7 @@ pub fn evaluate_policies(
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(policies.len());
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<PolicyEvaluation>>> =
-        Mutex::new(vec![None; policies.len()]);
+    let results: Mutex<Vec<Option<PolicyEvaluation>>> = Mutex::new(vec![None; policies.len()]);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -74,8 +73,7 @@ pub fn frequency_sweep(
     grid: &FrequencyGrid,
     env: &SimEnv,
 ) -> Vec<PolicyEvaluation> {
-    let policies: Vec<Policy> =
-        grid.iter().map(|f| Policy::new(f, program.clone())).collect();
+    let policies: Vec<Policy> = grid.iter().map(|f| Policy::new(f, program.clone())).collect();
     evaluate_policies(jobs, &policies, env)
 }
 

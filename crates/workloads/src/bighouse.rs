@@ -12,7 +12,7 @@
 use crate::error::WorkloadError;
 use crate::spec::WorkloadSpec;
 use rand::RngCore;
-use sleepscale_dist::{fit, Distribution, DynDistribution, Empirical, Exponential};
+use sleepscale_dist::{fit, DynDistribution, Empirical, Exponential};
 use std::sync::Arc;
 
 /// Default number of observations frozen into each empirical table.
@@ -115,8 +115,7 @@ mod tests {
             // Cv should also be in the neighbourhood (Mail's 3.6 needs slack).
             let cv_tol = 0.25;
             assert!(
-                (d.interarrival().cv() - spec.interarrival_cv()).abs()
-                    / spec.interarrival_cv()
+                (d.interarrival().cv() - spec.interarrival_cv()).abs() / spec.interarrival_cv()
                     < cv_tol,
                 "{}: interarrival cv {} vs {}",
                 spec.name(),

@@ -64,8 +64,7 @@ mod tests {
         assert!(e.to_string().contains("zero mean"));
         let e: WorkloadError = sleepscale_dist::DistError::EmptySample.into();
         assert!(e.source().is_some());
-        let e: WorkloadError =
-            sleepscale_sim::SimError::InvalidHorizon { value: -1.0 }.into();
+        let e: WorkloadError = sleepscale_sim::SimError::InvalidHorizon { value: -1.0 }.into();
         assert!(e.to_string().contains("job stream"));
     }
 }

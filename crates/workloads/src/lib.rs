@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::bighouse;
     pub use crate::traces;
     pub use crate::{
-        replay_trace, JobLog, ReplayConfig, UtilizationTrace, WorkloadDistributions,
-        WorkloadError, WorkloadSpec,
+        replay_trace, JobLog, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadError,
+        WorkloadSpec,
     };
 }

@@ -46,11 +46,7 @@ impl JobLog {
 
     /// Records one observation directly.
     pub fn push(&mut self, interarrival: f64, size: f64) {
-        if !interarrival.is_finite()
-            || interarrival < 0.0
-            || !size.is_finite()
-            || size <= 0.0
-        {
+        if !interarrival.is_finite() || interarrival < 0.0 || !size.is_finite() || size <= 0.0 {
             return; // Ignore degenerate observations rather than poison the log.
         }
         if self.interarrivals.len() == self.capacity {

@@ -127,7 +127,10 @@ impl fmt::Display for WorkloadSpec {
         write!(
             f,
             "{}: interarrival {:.6} s (Cv {:.2}), service {:.6} s (Cv {:.2})",
-            self.name, self.interarrival_mean, self.interarrival_cv, self.service_mean,
+            self.name,
+            self.interarrival_mean,
+            self.interarrival_cv,
+            self.service_mean,
             self.service_cv
         )
     }

@@ -32,7 +32,10 @@ impl UtilizationTrace {
     ///
     /// Returns [`WorkloadError::InvalidTrace`] if any value falls outside
     /// `[0, 1]` or is non-finite, or the series is empty.
-    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Result<UtilizationTrace, WorkloadError> {
+    pub fn new(
+        name: impl Into<String>,
+        values: Vec<f64>,
+    ) -> Result<UtilizationTrace, WorkloadError> {
         if values.is_empty() {
             return Err(WorkloadError::InvalidTrace { reason: "empty trace".into() });
         }
@@ -225,9 +228,8 @@ mod tests {
         let t = email_store(2, 3);
         // Compare the same daytime hour across days (hourly averages
         // smooth over noise and flash crowds).
-        let hour_mean = |start: usize| -> f64 {
-            (start..start + 60).map(|m| t.at(m)).sum::<f64>() / 60.0
-        };
+        let hour_mean =
+            |start: usize| -> f64 { (start..start + 60).map(|m| t.at(m)).sum::<f64>() / 60.0 };
         let m = 14 * 60;
         assert!((hour_mean(m) - hour_mean(m + MINUTES_PER_DAY)).abs() < 0.3);
     }

@@ -43,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "dispatcher", "mu*E[R]", "p95 (ms)", "fleet W", "balance"
     );
     for d in dispatchers.iter_mut() {
-        let mut cluster =
-            Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
         let r = cluster.run(&trace, &jobs, d.as_mut())?;
         println!(
             "{:>24} {:>12.2} {:>12.1} {:>12.0} {:>10.2}",

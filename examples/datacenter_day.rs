@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Hourly policy timeline: what SleepScale chose as the day unfolded.
     println!("\nSleepScale policy timeline (hourly samples):");
-    println!("{:>6} {:>8} {:>8} {:>14} {:>10} {:>12}", "hour", "rho^", "rho", "state", "f", "P (W)");
+    println!(
+        "{:>6} {:>8} {:>8} {:>14} {:>10} {:>12}",
+        "hour", "rho^", "rho", "state", "f", "P (W)"
+    );
     for e in ss_report.epochs().iter().step_by(12) {
         println!(
             "{:>6.1} {:>8.2} {:>8.2} {:>14} {:>10.2} {:>12.1}",

@@ -9,8 +9,8 @@
 //! ```
 
 use rand::SeedableRng;
-use sleepscale_repro::sleepscale_analytic::PolicyAnalyzer;
 use sleepscale_repro::prelude::*;
+use sleepscale_repro::sleepscale_analytic::PolicyAnalyzer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -43,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut best: Option<(Policy, f64)> = None;
     for state in SystemState::LOW_POWER_LADDER {
         for f in grid.iter() {
-            let policy =
-                Policy::new(f, SleepProgram::immediate(presets::immediate_stage(state)));
+            let policy = Policy::new(f, SleepProgram::immediate(presets::immediate_stage(state)));
             let out = simulate(&jobs, &policy, &env);
             let sim_r = out.normalized_mean_response(mean_service);
             let sim_p = out.avg_power().as_watts();

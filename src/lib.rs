@@ -14,9 +14,12 @@
 //! * [`sleepscale_workloads`] — Table-5 workloads, utilization traces, replay.
 //! * [`sleepscale_predict`] — utilization predictors (paper Algorithm 2).
 //! * [`sleepscale`] — the policy manager, runtime, and baseline strategies.
+//! * [`sleepscale_cluster`] — multi-server scale-out behind pluggable
+//!   dispatchers (paper §7 future work).
 
 pub use sleepscale;
 pub use sleepscale_analytic;
+pub use sleepscale_cluster;
 pub use sleepscale_dist;
 pub use sleepscale_power;
 pub use sleepscale_predict;
@@ -27,6 +30,7 @@ pub use sleepscale_workloads;
 pub mod prelude {
     pub use sleepscale::prelude::*;
     pub use sleepscale_analytic as analytic;
+    pub use sleepscale_cluster as cluster;
     pub use sleepscale_dist::prelude::*;
     pub use sleepscale_power::prelude::*;
     pub use sleepscale_predict::prelude::*;

@@ -1,0 +1,62 @@
+//! The cluster crate through the facade: `sleepscale_repro` re-exports
+//! `sleepscale_cluster` (and aliases it as `cluster` in the prelude),
+//! and a fleet run driven entirely through those paths works end to
+//! end.
+
+use rand::SeedableRng;
+use sleepscale_repro::prelude::*;
+
+#[test]
+fn dispatchers_route_through_the_facade() {
+    use cluster::{Dispatcher, JoinShortestBacklog, RoundRobin, ServerView};
+
+    let views: Vec<ServerView> = vec![
+        ServerView { index: 0, backlog_seconds: 5.0 },
+        ServerView { index: 1, backlog_seconds: 0.0 },
+        ServerView { index: 2, backlog_seconds: 2.5 },
+    ];
+    let job = |arrival: f64| sleepscale_repro::sleepscale_sim::Job { id: 0, arrival, size: 0.1 };
+
+    let mut rr = RoundRobin::new();
+    let first = rr.route(&job(0.0), &views);
+    let second = rr.route(&job(0.1), &views);
+    assert_ne!(first, second, "round-robin must advance");
+
+    let mut jsb = JoinShortestBacklog::new();
+    assert_eq!(jsb.route(&job(0.2), &views), 1, "shortest backlog wins");
+}
+
+#[test]
+fn cluster_run_through_the_facade_produces_a_consistent_report() {
+    use cluster::{Cluster, ClusterConfig, PackFirstFit};
+
+    let spec = WorkloadSpec::dns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+    let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+    let trace = traces::email_store(1, 7).window(480, 540); // one hour
+    let n_servers = 4;
+    let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n_servers), &mut rng).unwrap();
+
+    let runtime = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).unwrap())
+        .epoch_minutes(5)
+        .eval_jobs(200)
+        .build()
+        .unwrap();
+    let config = ClusterConfig::new(n_servers, runtime);
+    let mut fleet = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+    let report = fleet.run(&trace, &jobs, &mut PackFirstFit::new(30.0)).unwrap();
+
+    assert_eq!(report.n_servers(), n_servers);
+    assert_eq!(report.total_jobs(), jobs.len());
+    assert_eq!(report.dispatcher(), "pack-first-fit(30s)");
+    // Every job landed on some server, and the fleet-wide aggregates
+    // are consistent with the per-server summaries.
+    let per_server_jobs: usize = report.servers().iter().map(|s| s.jobs).sum();
+    assert_eq!(per_server_jobs, report.total_jobs());
+    assert!(report.mean_response_seconds() > 0.0);
+    assert!(report.normalized_mean_response() >= 1.0);
+    // Fleet power sits between N deepest-sleep floors and N ceilings.
+    assert!(report.total_power_watts() > 28.1 * n_servers as f64);
+    assert!(report.total_power_watts() < 250.0 * n_servers as f64);
+}

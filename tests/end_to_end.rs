@@ -41,8 +41,7 @@ fn sleepscale_full_loop_produces_consistent_report() {
 
     // Energy bookkeeping: per-epoch powers integrate back to the total
     // (modulo the tail segment past the last epoch boundary).
-    let epoch_energy: f64 =
-        report.epochs().iter().map(|e| e.power_watts * 300.0).sum();
+    let epoch_energy: f64 = report.epochs().iter().map(|e| e.power_watts * 300.0).sum();
     assert!(
         (epoch_energy - report.energy_joules()).abs() / report.energy_joules() < 0.02,
         "epoch energies {epoch_energy:.0} J vs total {:.0} J",

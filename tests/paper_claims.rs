@@ -2,8 +2,8 @@
 //! claims, verified across crates.
 
 use rand::SeedableRng;
-use sleepscale_repro::sleepscale_analytic::PolicyAnalyzer;
 use sleepscale_repro::prelude::*;
+use sleepscale_repro::sleepscale_analytic::PolicyAnalyzer;
 
 fn stream(spec: &WorkloadSpec, rho: f64, seed: u64) -> sleepscale_repro::sleepscale_sim::JobStream {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -56,9 +56,7 @@ fn lesson2_best_state_depends_on_budget() {
         evals
             .iter()
             .filter(|e| e.outcome.normalized_mean_response(spec.service_mean()) <= budget)
-            .min_by(|a, b| {
-                a.outcome.avg_power().partial_cmp(&b.outcome.avg_power()).unwrap()
-            })
+            .min_by(|a, b| a.outcome.avg_power().partial_cmp(&b.outcome.avg_power()).unwrap())
             .map(|e| e.policy.program().label())
             .unwrap_or_default()
     };
