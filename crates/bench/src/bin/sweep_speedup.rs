@@ -1,0 +1,158 @@
+//! Quantifies the characterization-engine overhaul: simulate-call
+//! reduction and wall-clock speedup of the pruned (coarse-to-fine) +
+//! cached policy search against the paper's literal exhaustive sweep,
+//! on the Table-5 DNS workload over a diurnal trace.
+//!
+//! Run with `cargo run --release -p sleepscale-bench --bin sweep_speedup`
+//! (`--quick` for a shorter window). Emits a comparison table to stdout
+//! and `results/sweep_speedup.csv`, and exits non-zero if the overhaul
+//! misses its acceptance bars: ≥3× fewer simulate calls per epoch and
+//! selected policies within 1% average power of the exhaustive
+//! baseline.
+
+use rand::SeedableRng;
+use sleepscale::{
+    run, CandidateSet, QosConstraint, RunReport, RuntimeConfig, SearchMode, SleepScaleStrategy,
+};
+use sleepscale_sim::{JobStream, SimEnv};
+use sleepscale_workloads::{
+    replay_trace, traces, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
+};
+use std::time::Instant;
+
+struct Mode {
+    label: &'static str,
+    report: RunReport,
+    wall_ms: f64,
+}
+
+fn run_mode(
+    label: &'static str,
+    make: impl FnOnce(&RuntimeConfig) -> SleepScaleStrategy,
+    trace: &UtilizationTrace,
+    jobs: &JobStream,
+    config: &RuntimeConfig,
+    env: &SimEnv,
+) -> Mode {
+    let mut strategy = make(config);
+    let t0 = Instant::now();
+    let report = run(trace, jobs, &mut strategy, env, config).expect("runtime loop succeeds");
+    Mode { label, report, wall_ms: t0.elapsed().as_secs_f64() * 1e3 }
+}
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Table-5 DNS service statistics over a diurnal utilization trace;
+    // ≥24 epochs of 5 minutes (the acceptance window) — the default is
+    // a 6-hour window (72 epochs) so steady-state reuse dominates.
+    let minutes = if quick { 120 } else { 360 };
+    let spec = WorkloadSpec::dns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1405);
+    let dists = WorkloadDistributions::empirical(&spec, 8_000, &mut rng).expect("Table-5 moments");
+    let trace = traces::email_store(1, 7).window(480, 480 + minutes);
+    let jobs =
+        replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).expect("ground truth");
+    let config = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).expect("valid rho_b"))
+        .epoch_minutes(5)
+        .eval_jobs(if quick { 500 } else { 1_000 })
+        .build()
+        .expect("valid runtime config");
+    let env = SimEnv::xeon_cpu_bound();
+
+    let exhaustive = run_mode(
+        "exhaustive",
+        |c| {
+            SleepScaleStrategy::new(c, CandidateSet::standard())
+                .with_search_mode(SearchMode::Exhaustive)
+                .without_cache()
+        },
+        &trace,
+        &jobs,
+        &config,
+        &env,
+    );
+    let pruned = run_mode(
+        "pruned+cached",
+        |c| SleepScaleStrategy::new(c, CandidateSet::standard()),
+        &trace,
+        &jobs,
+        &config,
+        &env,
+    );
+
+    let epochs = exhaustive.report.epochs().len();
+    println!("== sweep_speedup: DNS (Table 5), {epochs} epochs of 5 min ==");
+    println!(
+        "{:<14} {:>14} {:>12} {:>12} {:>12} {:>10}",
+        "mode", "simulate calls", "calls/epoch", "E[P] (W)", "mu*E[R]", "wall (ms)"
+    );
+    let mut rows = Vec::new();
+    for mode in [&exhaustive, &pruned] {
+        let calls = mode.report.total_evaluated();
+        let per_epoch = calls as f64 / epochs as f64;
+        println!(
+            "{:<14} {:>14} {:>12.1} {:>12.2} {:>12.3} {:>10.0}",
+            mode.label,
+            calls,
+            per_epoch,
+            mode.report.avg_power_watts(),
+            mode.report.normalized_mean_response(),
+            mode.wall_ms
+        );
+        rows.push(vec![
+            mode.label.to_string(),
+            epochs.to_string(),
+            calls.to_string(),
+            format!("{per_epoch:.2}"),
+            format!("{:.3}", mode.report.avg_power_watts()),
+            format!("{:.4}", mode.report.normalized_mean_response()),
+            format!("{:.1}", mode.wall_ms),
+        ]);
+    }
+
+    let call_ratio =
+        exhaustive.report.total_evaluated() as f64 / pruned.report.total_evaluated().max(1) as f64;
+    let wall_ratio = exhaustive.wall_ms / pruned.wall_ms.max(1e-9);
+    let power_gap = (pruned.report.avg_power_watts() - exhaustive.report.avg_power_watts())
+        / exhaustive.report.avg_power_watts();
+    println!(
+        "\nsimulate-call reduction: {call_ratio:.1}x   wall-clock speedup: {wall_ratio:.1}x   \
+         power delta: {:+.2}%",
+        power_gap * 100.0
+    );
+
+    let path = sleepscale_bench::write_csv(
+        "sweep_speedup",
+        &[
+            "mode",
+            "epochs",
+            "simulate_calls",
+            "calls_per_epoch",
+            "avg_power_w",
+            "norm_response",
+            "wall_ms",
+        ],
+        &rows,
+    )?;
+    println!("wrote {}", path.display());
+
+    if quick {
+        // Quick mode is a smoke test; the acceptance bars are defined
+        // on the full 72-epoch window where steady-state reuse
+        // dominates the warm-up transient.
+        println!("(quick mode: acceptance not enforced)");
+        return Ok(());
+    }
+    let ok = call_ratio >= 3.0 && power_gap.abs() <= 0.01;
+    if !ok {
+        eprintln!(
+            "ACCEPTANCE FAILED: need >=3x call reduction (got {call_ratio:.1}x) and |power delta| \
+             <= 1% (got {:.2}%)",
+            power_gap * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("acceptance: >=3x fewer simulate calls and power within 1% — OK");
+    Ok(())
+}

@@ -1,8 +1,11 @@
 use crate::dispatch::{Dispatcher, ServerView};
 use crate::report::{ClusterReport, ServerSummary};
-use sleepscale::{CandidateSet, CoreError, RuntimeConfig, SleepScaleStrategy, Strategy};
+use sleepscale::{
+    CacheStats, CandidateSet, CharacterizationCache, CoreError, RuntimeConfig, SleepScaleStrategy,
+    Strategy,
+};
 use sleepscale_dist::SummaryStats;
-use sleepscale_sim::{Job, JobRecord, JobStream, OnlineSim, SimEnv};
+use sleepscale_sim::{JobRecord, JobStream, OnlineSim, SimEnv};
 use sleepscale_workloads::UtilizationTrace;
 
 /// Cluster-level configuration: fleet size plus the per-server runtime
@@ -45,12 +48,20 @@ struct ServerSlot {
 /// SleepScale controller; a [`Dispatcher`] splits the cluster-wide
 /// arrival stream across them.
 ///
+/// The fleet is homogeneous, so every server's controller shares one
+/// [`CharacterizationCache`]: when the dispatcher balances load, the
+/// servers predict the same (quantized) utilization over logs with the
+/// same coarse signature, and the first server to characterize an epoch
+/// serves every other server's selection from the cache — one sweep per
+/// epoch instead of N identical sweeps.
+///
 /// The utilization trace is interpreted cluster-wide: `ρ(t)` is the
 /// offered load as a fraction of *total* fleet capacity, so the job
 /// stream should be generated for arrival rate `ρ(t)·N·µ` (see
 /// [`Cluster::scale_trace_for_fleet`]).
 pub struct Cluster {
     servers: Vec<ServerSlot>,
+    cache: CharacterizationCache,
     epoch_seconds: f64,
     mean_service: f64,
     epoch_minutes: usize,
@@ -58,13 +69,16 @@ pub struct Cluster {
 
 impl Cluster {
     /// Builds the fleet; every server gets an independent SleepScale
-    /// strategy over `candidates` and its own energy ledger in `env`.
+    /// strategy over `candidates` and its own energy ledger in `env`,
+    /// with the characterization cache shared fleet-wide.
     pub fn new(config: &ClusterConfig, candidates: CandidateSet, env: SimEnv) -> Cluster {
         let epoch_seconds = config.runtime().epoch_minutes() as f64 * 60.0;
+        let cache = CharacterizationCache::default();
         let servers = (0..config.n_servers())
             .map(|_| ServerSlot {
                 sim: OnlineSim::new(env.clone(), epoch_seconds),
-                strategy: SleepScaleStrategy::new(config.runtime(), candidates.clone()),
+                strategy: SleepScaleStrategy::new(config.runtime(), candidates.clone())
+                    .with_shared_cache(cache.clone()),
                 policy: None,
                 epoch_records: Vec::new(),
                 epoch_work: 0.0,
@@ -74,10 +88,17 @@ impl Cluster {
             .collect();
         Cluster {
             servers,
+            cache,
             epoch_seconds,
             mean_service: config.runtime().mean_service(),
             epoch_minutes: config.runtime().epoch_minutes(),
         }
+    }
+
+    /// Hit/miss counters of the fleet-shared characterization cache —
+    /// `hits` counts the per-server sweeps the sharing eliminated.
+    pub fn characterization_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Runs the fleet over a trace and cluster-wide job stream.
@@ -100,7 +121,12 @@ impl Cluster {
         let total_minutes = trace.len();
         let n_epochs = total_minutes.div_ceil(self.epoch_minutes);
         let mut responses: Vec<f64> = Vec::with_capacity(jobs.len());
-        let mut job_iter = jobs.jobs().iter().peekable();
+        // Borrowed cursor over the cluster-wide stream: the dispatch
+        // loop consumes arrivals in time order without cloning the
+        // remaining stream at epoch boundaries. The dispatcher's view
+        // buffer is likewise allocated once and refilled per job.
+        let mut cursor = jobs.cursor();
+        let mut views: Vec<ServerView> = Vec::with_capacity(self.servers.len());
 
         for k in 0..n_epochs {
             let epoch_start = k as f64 * self.epoch_seconds;
@@ -115,21 +141,12 @@ impl Cluster {
 
             // Dispatch this epoch's arrivals one at a time; the view the
             // dispatcher sees reflects each server's live backlog.
-            while let Some(job) = job_iter.peek() {
-                if job.arrival >= epoch_end {
-                    break;
-                }
-                let job: Job = **job;
-                job_iter.next();
-                let views: Vec<ServerView> = self
-                    .servers
-                    .iter()
-                    .enumerate()
-                    .map(|(index, s)| ServerView {
-                        index,
-                        backlog_seconds: (s.sim.state().free_time() - job.arrival).max(0.0),
-                    })
-                    .collect();
+            while let Some(job) = cursor.next_before(epoch_end) {
+                views.clear();
+                views.extend(self.servers.iter().enumerate().map(|(index, s)| ServerView {
+                    index,
+                    backlog_seconds: (s.sim.state().free_time() - job.arrival).max(0.0),
+                }));
                 let target = dispatcher.route(&job, &views).min(self.servers.len() - 1);
                 let slot = &mut self.servers[target];
                 let policy = slot.policy.as_ref().expect("policy set at epoch start");
@@ -307,6 +324,26 @@ mod tests {
             jsb.mean_response_seconds(),
             random.mean_response_seconds()
         );
+    }
+
+    /// Homogeneous servers under balanced dispatch share one
+    /// characterization per epoch: the fleet cache must absorb most of
+    /// the per-server selections.
+    #[test]
+    fn homogeneous_fleet_shares_characterizations() {
+        // Long enough that predictor warm-up (where per-server
+        // predictions straddle ρ buckets) stops dominating.
+        let (config, trace, jobs) = setup_constant(4, 0.3, 180, 46);
+        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
+        let stats = cluster.characterization_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "balanced homogeneous fleet should mostly hit the shared cache: {stats:?}"
+        );
+        // 4 servers × 36 epochs ≈ 140 selections after cold start;
+        // sharing must eliminate well over half the sweeps.
+        assert!(stats.hits >= 80, "{stats:?}");
     }
 
     #[test]

@@ -193,7 +193,7 @@ mod tests {
             log.push(gap, 0.194);
         }
         let _ = t;
-        let sim_manager = PolicyManager::new(
+        let mut sim_manager = PolicyManager::new(
             cfg.env().clone(),
             cfg.qos(),
             CandidateSet::standard(),

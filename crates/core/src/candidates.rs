@@ -1,4 +1,5 @@
-use serde::{Deserialize, Serialize};
+use crate::error::CoreError;
+use serde::Serialize;
 use sleepscale_power::{FrequencyGrid, Policy, SleepProgram, SystemState};
 
 /// The search space the policy manager characterizes each epoch: a set
@@ -8,7 +9,18 @@ use sleepscale_power::{FrequencyGrid, Policy, SleepProgram, SystemState};
 /// stability floor `ρ + margin` are pointless to simulate — and is
 /// deliberately coarse (the paper notes real parts expose roughly ten
 /// settings, and re-simulation cost scales with the candidate count).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// A `CandidateSet` is **non-empty by construction**: [`CandidateSet::new`]
+/// rejects an empty program list, and every extension method only adds
+/// programs, so downstream selection code (the policy manager, the
+/// strategies' cold-start path) can rely on at least one program and at
+/// least one grid frequency existing.
+///
+/// Deliberately `Serialize`-only: a derived `Deserialize` would
+/// construct the private fields directly and bypass the non-empty
+/// check. If deserialization is ever needed, implement it by routing
+/// through [`CandidateSet::new`] (e.g. serde's `try_from`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CandidateSet {
     name: String,
     programs: Vec<SleepProgram>,
@@ -26,23 +38,35 @@ pub const DEFAULT_STABILITY_MARGIN: f64 = 0.05;
 
 impl CandidateSet {
     /// Builds a custom set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `programs` is empty —
+    /// the manager's selection logic depends on every candidate set
+    /// containing at least one program.
     pub fn new(
         name: impl Into<String>,
         programs: Vec<SleepProgram>,
         freq_step: f64,
-    ) -> CandidateSet {
-        CandidateSet {
+    ) -> Result<CandidateSet, CoreError> {
+        if programs.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "a candidate set needs at least one sleep program".into(),
+            });
+        }
+        Ok(CandidateSet {
             name: name.into(),
             programs,
             freq_step: freq_step.clamp(1e-3, 0.5),
             stability_margin: DEFAULT_STABILITY_MARGIN,
-        }
+        })
     }
 
     /// Full SleepScale: all five single-stage immediate programs
     /// (`C0(i)S0(i)` … `C6S3`).
     pub fn standard() -> CandidateSet {
         CandidateSet::new("SS", sleepscale_power::presets::standard_programs(), DEFAULT_FREQ_STEP)
+            .expect("the standard program list is non-empty")
     }
 
     /// SleepScale restricted to one low-power state — the paper's
@@ -54,6 +78,7 @@ impl CandidateSet {
             vec![SleepProgram::immediate(stage)],
             DEFAULT_FREQ_STEP,
         )
+        .expect("one program is non-empty")
     }
 
     /// The DVFS-only strategy: frequency scaling with *no* low-power
@@ -64,6 +89,7 @@ impl CandidateSet {
     /// Section 6.1 calls DVFS-only wasteful.
     pub fn dvfs_only() -> CandidateSet {
         CandidateSet::new("DVFS", vec![SleepProgram::never_sleep()], DEFAULT_FREQ_STEP)
+            .expect("one program is non-empty")
     }
 
     /// Adds two-stage delayed-deep-sleep programs
@@ -155,6 +181,12 @@ mod tests {
         let grid_len = c.grid_for(0.5).len();
         assert_eq!(policies.len(), 5 * grid_len);
         assert!(policies.iter().all(|p| p.frequency().get() >= 0.5));
+    }
+
+    #[test]
+    fn empty_program_list_is_rejected() {
+        let err = CandidateSet::new("empty", vec![], DEFAULT_FREQ_STEP);
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
     }
 
     #[test]

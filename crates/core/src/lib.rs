@@ -7,8 +7,11 @@
 //!    (`sleepscale-predict`),
 //! 2. rescales its logged job arrivals to the prediction
 //!    (`sleepscale-workloads::JobLog`),
-//! 3. characterizes every candidate (frequency, sleep program) pair by
-//!    queueing simulation (`sleepscale-sim`), and
+//! 3. characterizes candidate (frequency, sleep program) pairs by
+//!    queueing simulation (`sleepscale-sim`) — by default with a pruned
+//!    coarse-to-fine frequency search per program ([`SearchMode`]) and a
+//!    cross-epoch [`CharacterizationCache`], so far fewer than
+//!    `|grid| × |programs|` candidates are simulated per epoch — and
 //! 4. deploys the minimum-power policy that meets the QoS constraint,
 //!    optionally over-provisioned by a frequency guard band `α`.
 //!
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod analytic_strategy;
+mod cache;
 mod candidates;
 mod error;
 mod manager;
@@ -63,9 +67,10 @@ mod runtime;
 mod strategies;
 
 pub use analytic_strategy::AnalyticStrategy;
+pub use cache::{CacheStats, CharacterizationCache};
 pub use candidates::CandidateSet;
 pub use error::CoreError;
-pub use manager::{PolicyManager, Selection};
+pub use manager::{PolicyManager, SearchMode, Selection, RHO_QUANTUM};
 pub use qos::QosConstraint;
 pub use report::{EpochReport, RunReport};
 pub use runtime::{run, RuntimeConfig, RuntimeConfigBuilder};
@@ -74,8 +79,9 @@ pub use strategies::{FixedPolicyStrategy, RaceToHaltStrategy, SleepScaleStrategy
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::{
-        run, AnalyticStrategy, CandidateSet, CoreError, EpochReport, FixedPolicyStrategy,
-        PolicyManager, QosConstraint, RaceToHaltStrategy, RunReport, RuntimeConfig,
-        RuntimeConfigBuilder, Selection, SleepScaleStrategy, Strategy,
+        run, AnalyticStrategy, CacheStats, CandidateSet, CharacterizationCache, CoreError,
+        EpochReport, FixedPolicyStrategy, PolicyManager, QosConstraint, RaceToHaltStrategy,
+        RunReport, RuntimeConfig, RuntimeConfigBuilder, SearchMode, Selection, SleepScaleStrategy,
+        Strategy,
     };
 }

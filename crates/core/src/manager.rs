@@ -1,14 +1,65 @@
+//! The per-epoch characterize-and-select step (Section 5.1), plus the
+//! two optimizations that make it cheap enough for production epochs:
+//!
+//! * **Pruned search** ([`SearchMode::CoarseToFine`]): instead of
+//!   simulating every (frequency, program) pair, each program's
+//!   frequency axis is searched by bracketing the power minimum on a
+//!   coarse subsample and refining only the winning bracket, then
+//!   binary-searching the QoS-feasibility boundary when the bottom of
+//!   the bowl is infeasible. This is *exact* (picks the same candidate
+//!   as the exhaustive sweep) whenever power is unimodal in `f` and the
+//!   QoS score is monotone non-increasing in `f` on the replay stream —
+//!   the bowl structure of the paper's Figure 1 and the
+//!   common-random-numbers monotonicity the engine's property tests
+//!   establish. Simulation noise can dent either assumption, so it is a
+//!   *heuristic* in general; the cross-crate property suite bounds the
+//!   damage to within 1% of the exhaustive sweep's power.
+//! * **Selection caching** ([`CharacterizationCache`]): selections are
+//!   memoized under (quantized `ρ̂`, coarse log signature). The manager
+//!   quantizes the prediction to [`RHO_QUANTUM`] *before* replaying, so
+//!   a hit returns exactly what recomputation would return whenever the
+//!   log signature still matches; across epochs the log's contents
+//!   churn while its signature doesn't, making hits heuristic to
+//!   precisely the degree the diurnal-similarity assumption holds.
+
+use crate::cache::{CacheKey, CharacterizationCache, DEFAULT_CACHE_CAPACITY};
 use crate::candidates::CandidateSet;
 use crate::error::CoreError;
 use crate::qos::QosConstraint;
 use serde::{Deserialize, Serialize};
-use sleepscale_power::Policy;
-use sleepscale_sim::{sweep, JobStream, SimEnv};
+use sleepscale_power::{Frequency, Policy, SleepProgram};
+use sleepscale_sim::{simulate_summary_into, sweep, JobStream, SimEnv, SimOutcome, SimScratch};
 use sleepscale_workloads::JobLog;
 
-/// The policy manager (Section 5.1): characterizes every candidate
-/// policy by simulating the logged workload at the predicted utilization
-/// and picks the minimum-power policy meeting the QoS constraint.
+/// Bucket width for the predicted utilization in cache keys. The
+/// manager rounds `ρ̂` to this grid before replaying, so every cached
+/// selection is exact for its bucket; 0.02 is well inside the paper's
+/// own prediction error while keeping a diurnal day to a few dozen
+/// distinct buckets.
+pub const RHO_QUANTUM: f64 = 0.02;
+
+/// How the policy manager explores the candidate grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SearchMode {
+    /// Simulate every (frequency, program) candidate — the paper's
+    /// literal Algorithm 1, and the reference the pruned mode is tested
+    /// against.
+    Exhaustive,
+    /// Per program: bracket the power minimum on a coarse frequency
+    /// subsample, refine only the winning bracket, and binary-search
+    /// the feasibility boundary if the bowl bottom violates QoS. Far
+    /// fewer `simulate` calls than `|grid| × |programs|`; exact under
+    /// the bowl-convexity and response-monotonicity assumptions (see
+    /// the [module docs](self)).
+    CoarseToFine,
+}
+
+/// The policy manager (Section 5.1): characterizes candidate policies
+/// by simulating the logged workload at the predicted utilization and
+/// picks the minimum-power policy meeting the QoS constraint.
+///
+/// Cloning a manager shares its [`CharacterizationCache`] handle (the
+/// cache is reference-counted); everything else is copied.
 #[derive(Debug, Clone)]
 pub struct PolicyManager {
     env: SimEnv,
@@ -16,6 +67,9 @@ pub struct PolicyManager {
     candidates: CandidateSet,
     mean_service: f64,
     eval_jobs: usize,
+    search: SearchMode,
+    cache: Option<CharacterizationCache>,
+    replay_scratch: JobStream,
 }
 
 /// What the manager decided for an epoch, with its predicted metrics.
@@ -30,12 +84,15 @@ pub struct Selection {
     /// Whether the prediction met the QoS constraint (false means the
     /// manager fell back to the least-bad candidate).
     pub feasible: bool,
-    /// How many candidate policies were simulated.
+    /// How many candidate policies were simulated for this selection
+    /// (0 when the selection came from the characterization cache).
     pub evaluated: usize,
 }
 
 impl PolicyManager {
-    /// Builds a manager.
+    /// Builds a manager with the default pruned search
+    /// ([`SearchMode::CoarseToFine`]) and a private characterization
+    /// cache.
     ///
     /// # Errors
     ///
@@ -56,64 +113,210 @@ impl PolicyManager {
         if eval_jobs == 0 {
             return Err(CoreError::InvalidConfig { reason: "eval_jobs must be at least 1".into() });
         }
-        Ok(PolicyManager { env, qos, candidates, mean_service, eval_jobs })
+        Ok(PolicyManager {
+            env,
+            qos,
+            candidates,
+            mean_service,
+            eval_jobs,
+            search: SearchMode::CoarseToFine,
+            cache: Some(CharacterizationCache::new(DEFAULT_CACHE_CAPACITY)),
+            replay_scratch: JobStream::default(),
+        })
+    }
+
+    /// Replaces the grid-search mode.
+    pub fn with_search_mode(mut self, mode: SearchMode) -> PolicyManager {
+        self.search = mode;
+        self
+    }
+
+    /// Shares `cache` with this manager (a cluster hands every server's
+    /// manager one handle so homogeneous servers characterize once).
+    pub fn with_cache(mut self, cache: CharacterizationCache) -> PolicyManager {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Disables selection caching: every `select_from_log` re-replays
+    /// and re-characterizes, and the prediction is *not* quantized.
+    pub fn without_cache(mut self) -> PolicyManager {
+        self.cache = None;
+        self
+    }
+
+    /// The search mode in force.
+    pub fn search_mode(&self) -> SearchMode {
+        self.search
+    }
+
+    /// The characterization cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&CharacterizationCache> {
+        self.cache.as_ref()
     }
 
     /// Selects a policy from a runtime job log, rescaled to the
     /// predicted utilization (Section 5.2.1's log replay).
     ///
+    /// With caching enabled the prediction is quantized to
+    /// [`RHO_QUANTUM`] and the selection memoized under
+    /// (`ρ̂` bucket, [`JobLog::coarse_signature`]); a hit performs zero
+    /// simulations (`Selection::evaluated == 0`). The replay buffer is
+    /// reused across calls, so a cache miss allocates no fresh stream.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Workload`] when the log is empty or the
     /// prediction is degenerate.
-    pub fn select_from_log(&self, log: &JobLog, rho_pred: f64) -> Result<Selection, CoreError> {
-        let rho = rho_pred.clamp(0.01, 0.95);
-        let stream = log.replay(self.eval_jobs, rho)?;
-        Ok(self.select_from_stream(&stream, rho))
+    pub fn select_from_log(&mut self, log: &JobLog, rho_pred: f64) -> Result<Selection, CoreError> {
+        let mut rho = rho_pred.clamp(0.01, 0.95);
+        // A non-finite prediction must reach the replay's validation
+        // error, not be laundered into bucket 0 by the `as u32` cast.
+        let key = (self.cache.is_some() && rho_pred.is_finite()).then(|| {
+            let bucket = (rho / RHO_QUANTUM).round() as u32;
+            rho = (bucket as f64 * RHO_QUANTUM).clamp(0.01, 0.95);
+            CacheKey {
+                rho_bucket: bucket,
+                log_signature: log.coarse_signature(),
+                search: self.search,
+            }
+        });
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(mut selection) = cache.get(key) {
+                selection.evaluated = 0;
+                return Ok(selection);
+            }
+        }
+        let mut stream = std::mem::take(&mut self.replay_scratch);
+        let replayed = log.replay_into(self.eval_jobs, rho, &mut stream);
+        self.replay_scratch = stream;
+        replayed?;
+        let selection = self.select_from_stream(&self.replay_scratch, rho);
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(key, selection.clone());
+        }
+        Ok(selection)
     }
 
     /// Selects a policy for an explicit characterization stream (used by
     /// the figure harness and by callers that build their own replays).
+    /// Never consults the cache; honors the configured [`SearchMode`].
     pub fn select_from_stream(&self, stream: &JobStream, rho_pred: f64) -> Selection {
+        match self.search {
+            SearchMode::Exhaustive => self.select_exhaustive(stream, rho_pred),
+            SearchMode::CoarseToFine => self.select_pruned(stream, rho_pred),
+        }
+    }
+
+    /// The paper's literal sweep: every candidate simulated, then the
+    /// minimum-power feasible policy (or the least-bad fallback).
+    fn select_exhaustive(&self, stream: &JobStream, rho_pred: f64) -> Selection {
         let policies = self.candidates.policies_for(rho_pred);
         let evals = sweep::evaluate_policies(stream, &policies, &self.env);
         let evaluated = evals.len();
+        let refs: Vec<(&Policy, &SimOutcome)> =
+            evals.iter().map(|e| (&e.policy, &e.outcome)).collect();
+        self.pick(&refs, evaluated)
+    }
 
-        let mut best_feasible: Option<(&sweep::PolicyEvaluation, f64)> = None;
+    /// Coarse-to-fine pruned search (see the [module docs](self) for
+    /// the exactness conditions).
+    fn select_pruned(&self, stream: &JobStream, rho_pred: f64) -> Selection {
+        let grid: Vec<Frequency> = self.candidates.grid_for(rho_pred).iter().collect();
+        let mut scratch = SimScratch::new();
+        let mut evaluated = 0usize;
+        // Every (policy, outcome) the search simulated, for the
+        // least-bad fallback; indices of per-program winners.
+        let mut evals: Vec<(Policy, SimOutcome)> = Vec::new();
+        let mut winners: Vec<usize> = Vec::new();
+
+        // The bowl bottoms of different programs sit close together
+        // (the frequency/response trade dominates; the sleep program
+        // mostly shifts the curve), so each program's search warm-starts
+        // from the previous program's minimum and descends locally.
+        let mut hint: Option<usize> = None;
+        for program in self.candidates.programs() {
+            let mut search = ProgramSearch {
+                jobs: stream,
+                env: &self.env,
+                grid: &grid,
+                program,
+                memo: vec![None; grid.len()],
+                evaluated: 0,
+                scratch: &mut scratch,
+            };
+            let (bottom, winner) = search.run(&self.qos, self.mean_service, hint);
+            hint = Some(bottom);
+            evaluated += search.evaluated;
+            let memo = search.memo;
+            for (i, outcome) in memo.into_iter().enumerate() {
+                if let Some(outcome) = outcome {
+                    if winner == Some(i) {
+                        winners.push(evals.len());
+                    }
+                    evals.push((Policy::new(grid[i], program.clone()), outcome));
+                }
+            }
+        }
+
+        // Minimum power among the per-program feasible winners.
+        let best_feasible = winners
+            .iter()
+            .map(|&i| &evals[i])
+            .min_by(|a, b| a.1.avg_power().partial_cmp(&b.1.avg_power()).expect("finite power"));
+        if let Some((policy, outcome)) = best_feasible {
+            return Selection {
+                policy: policy.clone(),
+                predicted_power: outcome.avg_power().as_watts(),
+                predicted_norm_response: outcome.normalized_mean_response(self.mean_service),
+                feasible: true,
+                evaluated,
+            };
+        }
+        let refs: Vec<(&Policy, &SimOutcome)> = evals.iter().map(|(p, o)| (p, o)).collect();
+        self.pick(&refs, evaluated)
+    }
+
+    /// Shared selection rule over a set of characterized candidates:
+    /// minimum-power feasible policy, else the least-bad fallback —
+    /// among the candidates within 5% of the best achievable QoS score,
+    /// the cheapest. (Pure score-minimization would pick `C0(i)S0(i)`
+    /// at `f = 1` — zero wake — and waste ~60 W of idle power over a
+    /// near-identical response.)
+    fn pick(&self, evals: &[(&Policy, &SimOutcome)], evaluated: usize) -> Selection {
+        let mut best_feasible: Option<(usize, f64)> = None;
         let mut best_score = f64::INFINITY;
-        for e in &evals {
-            let power = e.outcome.avg_power().as_watts();
-            if self.qos.satisfied_by(&e.outcome, self.mean_service)
+        for (i, (_, outcome)) in evals.iter().enumerate() {
+            let power = outcome.avg_power().as_watts();
+            if self.qos.satisfied_by(outcome, self.mean_service)
                 && best_feasible.as_ref().is_none_or(|(_, p)| power < *p)
             {
-                best_feasible = Some((e, power));
+                best_feasible = Some((i, power));
             }
-            best_score = best_score.min(self.qos.score(&e.outcome, self.mean_service));
+            best_score = best_score.min(self.qos.score(outcome, self.mean_service));
         }
-        // Fallback when nothing meets the budget: among the candidates
-        // within 5% of the best achievable score, take the cheapest.
-        // Pure score-minimization would pick C0(i)S0(i) at f = 1 (zero
-        // wake) and waste ~60 W of idle power over near-identical
-        // response.
-        let least_bad = evals
-            .iter()
-            .filter(|e| self.qos.score(&e.outcome, self.mean_service) <= best_score * 1.05 + 1e-9)
-            .min_by(|a, b| {
-                a.outcome
-                    .avg_power()
-                    .partial_cmp(&b.outcome.avg_power())
-                    .expect("powers are finite")
-            });
-
-        let (chosen, feasible) = match (best_feasible, least_bad) {
-            (Some((e, _)), _) => (e, true),
-            (None, Some(e)) => (e, false),
-            (None, None) => unreachable!("candidate sets are never empty"),
+        let (index, feasible) = match best_feasible {
+            Some((i, _)) => (i, true),
+            None => {
+                let least_bad = evals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, o))| {
+                        self.qos.score(o, self.mean_service) <= best_score * 1.05 + 1e-9
+                    })
+                    .min_by(|(_, (_, a)), (_, (_, b))| {
+                        a.avg_power().partial_cmp(&b.avg_power()).expect("powers are finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("CandidateSet is non-empty by construction, so at least one candidate was characterized");
+                (least_bad, false)
+            }
         };
+        let (policy, outcome) = evals[index];
         Selection {
-            policy: chosen.policy.clone(),
-            predicted_power: chosen.outcome.avg_power().as_watts(),
-            predicted_norm_response: chosen.outcome.normalized_mean_response(self.mean_service),
+            policy: policy.clone(),
+            predicted_power: outcome.avg_power().as_watts(),
+            predicted_norm_response: outcome.normalized_mean_response(self.mean_service),
             feasible,
             evaluated,
         }
@@ -132,6 +335,130 @@ impl PolicyManager {
     /// The workload's full-speed mean service time `1/µ`.
     pub fn mean_service(&self) -> f64 {
         self.mean_service
+    }
+}
+
+/// Memoizing per-program frequency search: each grid index is simulated
+/// at most once, on demand, with one shared scratch.
+struct ProgramSearch<'a> {
+    jobs: &'a JobStream,
+    env: &'a SimEnv,
+    grid: &'a [Frequency],
+    program: &'a SleepProgram,
+    memo: Vec<Option<SimOutcome>>,
+    evaluated: usize,
+    scratch: &'a mut SimScratch,
+}
+
+impl ProgramSearch<'_> {
+    fn ensure(&mut self, i: usize) {
+        if self.memo[i].is_none() {
+            let policy = Policy::new(self.grid[i], self.program.clone());
+            self.memo[i] = Some(simulate_summary_into(self.jobs, &policy, self.env, self.scratch));
+            self.evaluated += 1;
+        }
+    }
+
+    fn power(&mut self, i: usize) -> f64 {
+        self.ensure(i);
+        self.memo[i].as_ref().expect("just ensured").avg_power().as_watts()
+    }
+
+    fn feasible(&mut self, i: usize, qos: &QosConstraint, mean_service: f64) -> bool {
+        self.ensure(i);
+        qos.satisfied_by(self.memo[i].as_ref().expect("just ensured"), mean_service)
+    }
+
+    /// Finds this program's power-bowl bottom (from a warm-start `hint`
+    /// when available) and its minimum-power feasible frequency.
+    /// Returns `(bowl bottom index, feasible winner)`; the winner is
+    /// `None` when no evaluated frequency meets the QoS budget.
+    fn run(
+        &mut self,
+        qos: &QosConstraint,
+        mean_service: f64,
+        hint: Option<usize>,
+    ) -> (usize, Option<usize>) {
+        let n = self.grid.len();
+        let i_star = match hint {
+            Some(guess) => self.descend_from(guess.min(n - 1)),
+            None => self.bracket_and_refine(),
+        };
+        // Feasibility: the bowl bottom if it meets QoS, else the
+        // smallest feasible frequency above it (response improves and
+        // power worsens monotonically to the right of the bottom).
+        if self.feasible(i_star, qos, mean_service) {
+            return (i_star, Some(i_star));
+        }
+        if !self.feasible(n - 1, qos, mean_service) {
+            return (i_star, None); // Even f = 1 misses this program's budget.
+        }
+        let (mut infeasible, mut feasible) = (i_star, n - 1);
+        while feasible - infeasible > 1 {
+            let mid = infeasible + (feasible - infeasible) / 2;
+            if self.feasible(mid, qos, mean_service) {
+                feasible = mid;
+            } else {
+                infeasible = mid;
+            }
+        }
+        (i_star, Some(feasible))
+    }
+
+    /// Cold-start bowl-bottom search: bracket the minimum on a coarse
+    /// subsample of the grid, then refine only the winning bracket by
+    /// discrete ternary search.
+    fn bracket_and_refine(&mut self) -> usize {
+        let n = self.grid.len();
+        // Coarse pass: every `stride`-th index plus the top of the grid
+        // (f = 1 must always be examined — it anchors the bracket).
+        let stride = n.div_ceil(4).max(1);
+        let mut coarse: Vec<usize> = (0..n).step_by(stride).collect();
+        if *coarse.last().expect("grids are non-empty") != n - 1 {
+            coarse.push(n - 1);
+        }
+        let pos = (0..coarse.len())
+            .min_by(|&a, &b| {
+                self.power(coarse[a]).partial_cmp(&self.power(coarse[b])).expect("finite power")
+            })
+            .expect("coarse pass is non-empty");
+        // Refine the two coarse intervals around the coarse minimum.
+        let mut lo = coarse[pos.saturating_sub(1)];
+        let mut hi = coarse[(pos + 1).min(coarse.len() - 1)];
+        while hi - lo > 2 {
+            let m1 = lo + (hi - lo) / 3;
+            let m2 = hi - (hi - lo) / 3;
+            if self.power(m1) <= self.power(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        (lo..=hi)
+            .min_by(|&a, &b| self.power(a).partial_cmp(&self.power(b)).expect("finite power"))
+            .expect("bracket is non-empty")
+    }
+
+    /// Warm-start bowl-bottom search: local descent from `guess`.
+    /// Under unimodality the first local minimum *is* the bowl bottom;
+    /// when the neighboring program's bottom is close (the common
+    /// case), this costs 2–3 evaluations instead of a full bracket.
+    fn descend_from(&mut self, guess: usize) -> usize {
+        let n = self.grid.len();
+        let mut best = guess;
+        loop {
+            let left_down = best > 0 && self.power(best - 1) < self.power(best);
+            if left_down {
+                best -= 1;
+                continue;
+            }
+            let right_down = best + 1 < n && self.power(best + 1) < self.power(best);
+            if right_down {
+                best += 1;
+                continue;
+            }
+            return best;
+        }
     }
 }
 
@@ -165,7 +492,95 @@ mod tests {
         let s = m.select_from_stream(&stream(0.2, 1), 0.2);
         assert!(s.feasible);
         assert!(s.predicted_norm_response <= 5.0 + 1e-9);
-        assert!(s.evaluated > 50);
+        assert!(s.evaluated > 0);
+    }
+
+    #[test]
+    fn pruned_search_simulates_far_fewer_candidates() {
+        let m = manager(CandidateSet::standard(), 0.8);
+        let exhaustive = m.clone().with_search_mode(SearchMode::Exhaustive);
+        let st = stream(0.2, 1);
+        let pruned_sel = m.select_from_stream(&st, 0.2);
+        let full_sel = exhaustive.select_from_stream(&st, 0.2);
+        assert!(
+            pruned_sel.evaluated * 2 < full_sel.evaluated,
+            "pruned {} vs exhaustive {}",
+            pruned_sel.evaluated,
+            full_sel.evaluated
+        );
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_within_one_percent() {
+        let pruned = manager(CandidateSet::standard(), 0.8);
+        let exhaustive = pruned.clone().with_search_mode(SearchMode::Exhaustive);
+        for (rho, seed) in [(0.1, 11), (0.2, 12), (0.35, 13), (0.5, 14), (0.7, 15)] {
+            let st = stream(rho, seed);
+            let p = pruned.select_from_stream(&st, rho);
+            let e = exhaustive.select_from_stream(&st, rho);
+            assert_eq!(p.feasible, e.feasible, "rho={rho}");
+            // Exhaustive is the floor; pruned may give up at most 1%.
+            assert!(
+                p.predicted_power <= e.predicted_power * 1.01 + 1e-9,
+                "rho={rho}: pruned {} W vs exhaustive {} W",
+                p.predicted_power,
+                e.predicted_power
+            );
+            assert!(p.predicted_power >= e.predicted_power - 1e-9, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn cache_hit_skips_simulation_and_reproduces_selection() {
+        let mut m = manager(CandidateSet::standard(), 0.8);
+        let mut log = JobLog::new(5000);
+        for _ in 0..500 {
+            log.push(1.0, 0.194);
+        }
+        let first = m.select_from_log(&log, 0.2).unwrap();
+        assert!(first.evaluated > 0);
+        let second = m.select_from_log(&log, 0.2).unwrap();
+        assert_eq!(second.evaluated, 0, "second call must be a cache hit");
+        assert_eq!(second.policy, first.policy);
+        // A nearby prediction in the same RHO_QUANTUM bucket also hits.
+        let third = m.select_from_log(&log, 0.2 + RHO_QUANTUM / 4.0).unwrap();
+        assert_eq!(third.evaluated, 0);
+        let stats = m.cache().unwrap().stats();
+        assert_eq!(stats.hits, 2);
+        // A different load level misses.
+        let far = m.select_from_log(&log, 0.5).unwrap();
+        assert!(far.evaluated > 0);
+    }
+
+    #[test]
+    fn disabling_cache_restores_unquantized_replay() {
+        let mut m = manager(CandidateSet::standard(), 0.8).without_cache();
+        assert!(m.cache().is_none());
+        let mut log = JobLog::new(5000);
+        for _ in 0..500 {
+            log.push(1.0, 0.194);
+        }
+        let a = m.select_from_log(&log, 0.21).unwrap();
+        let b = m.select_from_log(&log, 0.21).unwrap();
+        assert!(a.evaluated > 0 && b.evaluated > 0);
+        assert_eq!(a, b, "no cache, but determinism still holds");
+    }
+
+    #[test]
+    fn shared_cache_serves_a_second_manager() {
+        let mut a = manager(CandidateSet::standard(), 0.8);
+        let cache = a.cache().unwrap().clone();
+        let mut b = manager(CandidateSet::standard(), 0.8).with_cache(cache.clone());
+        let mut log = JobLog::new(5000);
+        for _ in 0..500 {
+            log.push(1.0, 0.194);
+        }
+        let first = a.select_from_log(&log, 0.3).unwrap();
+        assert!(first.evaluated > 0);
+        let second = b.select_from_log(&log, 0.3).unwrap();
+        assert_eq!(second.evaluated, 0, "second server reuses the shared characterization");
+        assert_eq!(second.policy, first.policy);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
@@ -202,18 +617,21 @@ mod tests {
     #[test]
     fn infeasible_budget_falls_back_to_least_bad() {
         // ρ close to 1 at the grid's top: nothing meets a tight budget.
-        let m = PolicyManager::new(
-            SimEnv::xeon_cpu_bound(),
-            QosConstraint::mean_response(0.05).unwrap(), // budget ≈ 1.05
-            CandidateSet::standard(),
-            MEAN_SERVICE,
-            2000,
-        )
-        .unwrap();
-        let s = m.select_from_stream(&stream(0.7, 6), 0.7);
-        assert!(!s.feasible);
-        // The least-bad fallback runs fast.
-        assert!(s.policy.frequency().get() >= 0.9);
+        for mode in [SearchMode::Exhaustive, SearchMode::CoarseToFine] {
+            let m = PolicyManager::new(
+                SimEnv::xeon_cpu_bound(),
+                QosConstraint::mean_response(0.05).unwrap(), // budget ≈ 1.05
+                CandidateSet::standard(),
+                MEAN_SERVICE,
+                2000,
+            )
+            .unwrap()
+            .with_search_mode(mode);
+            let s = m.select_from_stream(&stream(0.7, 6), 0.7);
+            assert!(!s.feasible, "{mode:?}");
+            // The least-bad fallback runs fast.
+            assert!(s.policy.frequency().get() >= 0.9, "{mode:?}");
+        }
     }
 
     #[test]
@@ -222,12 +640,15 @@ mod tests {
         for _ in 0..500 {
             log.push(1.0, 0.194);
         }
-        let m = manager(CandidateSet::standard(), 0.8);
+        let mut m = manager(CandidateSet::standard(), 0.8);
         let s = m.select_from_log(&log, 0.15).unwrap();
         assert!(s.feasible);
         // Log empty → error.
         let empty = JobLog::new(10);
         assert!(m.select_from_log(&empty, 0.15).is_err());
+        // A degenerate (non-finite) prediction errors instead of being
+        // quantized into the near-idle bucket.
+        assert!(m.select_from_log(&log, f64::NAN).is_err());
     }
 
     #[test]

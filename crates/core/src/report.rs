@@ -21,6 +21,9 @@ pub struct EpochReport {
     /// Whether the manager's selection met the QoS constraint on its
     /// characterization (true for non-managed strategies).
     pub feasible: bool,
+    /// Candidate policies simulated for this epoch's selection (0 for
+    /// non-managed strategies and for characterization-cache hits).
+    pub evaluated: usize,
     /// Arrivals in the epoch.
     pub arrivals: usize,
     /// Mean response time of this epoch's arrivals, in seconds.
@@ -146,6 +149,14 @@ impl RunReport {
         self.program_histogram().into_iter().map(|(label, n)| (label, n as f64 / total)).collect()
     }
 
+    /// Total candidate policies simulated across every epoch's
+    /// selection — the characterization cost the pruned search and
+    /// cache reduce (`sweep_speedup` reports the ratio against the
+    /// exhaustive sweep).
+    pub fn total_evaluated(&self) -> usize {
+        self.epochs.iter().map(|e| e.evaluated).sum()
+    }
+
     /// Mean absolute utilization prediction error across epochs.
     pub fn mean_prediction_error(&self) -> f64 {
         if self.epochs.is_empty() {
@@ -170,6 +181,7 @@ mod tests {
             frequency: 0.5,
             program_label: program.to_string(),
             feasible: true,
+            evaluated: 7,
             arrivals: 10,
             mean_response: 0.2,
             power_watts: 80.0,

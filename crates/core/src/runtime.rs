@@ -203,7 +203,9 @@ pub fn run(
     let mut online = OnlineSim::new(env.clone(), epoch_seconds);
     let mut epochs = Vec::with_capacity(n_epochs);
     let mut responses: Vec<f64> = Vec::new();
-    let mut remaining = jobs.clone();
+    // The epoch loop borrows each batch from the ground-truth stream;
+    // no per-epoch clone of the remaining jobs.
+    let mut cursor = jobs.cursor();
 
     for k in 0..n_epochs {
         let policy = strategy.begin_epoch(k)?;
@@ -211,9 +213,8 @@ pub fn run(
         let end_minute = (start_minute + t_minutes).min(total_minutes);
         let epoch_end = (start_minute + t_minutes) as f64 * 60.0;
 
-        let (now, later) = remaining.split_at_time(epoch_end);
-        remaining = later;
-        let out = online.run_epoch(now.jobs(), &policy, epoch_end);
+        let now = cursor.take_before(epoch_end);
+        let out = online.run_epoch(now, &policy, epoch_end);
         responses.extend(out.records().iter().map(JobRecord::response));
 
         let realized_rho = (start_minute..end_minute).map(|m| trace.at(m)).sum::<f64>()
@@ -228,6 +229,7 @@ pub fn run(
             frequency: policy.frequency().get(),
             program_label: policy.program().label(),
             feasible: strategy.last_selection().is_none_or(|s| s.feasible),
+            evaluated: strategy.last_selection().map_or(0, |s| s.evaluated),
             arrivals: out.arrivals(),
             mean_response: out.mean_response(),
             power_watts: 0.0, // filled from the ledger below

@@ -1,6 +1,7 @@
+use crate::cache::CharacterizationCache;
 use crate::candidates::CandidateSet;
 use crate::error::CoreError;
-use crate::manager::{PolicyManager, Selection};
+use crate::manager::{PolicyManager, SearchMode, Selection};
 use crate::runtime::RuntimeConfig;
 use sleepscale_power::{Policy, SleepStage};
 use sleepscale_predict::{LmsCusum, Predictor};
@@ -111,13 +112,36 @@ impl SleepScaleStrategy {
         self
     }
 
+    /// Overrides the manager's grid-search mode (the default is the
+    /// pruned [`SearchMode::CoarseToFine`]; Section 5.1.1's literal
+    /// exhaustive sweep remains available for comparison runs).
+    pub fn with_search_mode(mut self, mode: SearchMode) -> SleepScaleStrategy {
+        self.manager = self.manager.with_search_mode(mode);
+        self
+    }
+
+    /// Shares a characterization cache with this strategy's manager —
+    /// how a homogeneous cluster characterizes once per epoch instead of
+    /// once per server.
+    pub fn with_shared_cache(mut self, cache: CharacterizationCache) -> SleepScaleStrategy {
+        self.manager = self.manager.with_cache(cache);
+        self
+    }
+
+    /// Disables the manager's characterization cache (every epoch
+    /// re-characterizes, as the paper's literal runtime does).
+    pub fn without_cache(mut self) -> SleepScaleStrategy {
+        self.manager = self.manager.without_cache();
+        self
+    }
+
     /// The cold-start policy: full speed (safe for response) with the
     /// candidate set's *deepest* program (safe for power — a server that
     /// never receives work must not idle at operating power; in a
     /// consolidated fleet the spare servers stay cold indefinitely).
     fn cold_start_policy(&self) -> Policy {
         let programs = self.manager.candidates().programs();
-        let program = programs.last().unwrap_or(&programs[0]).clone();
+        let program = programs.last().expect("CandidateSet is non-empty by construction").clone();
         Policy::new(sleepscale_power::Frequency::MAX, program)
     }
 }

@@ -91,11 +91,30 @@ impl OnlineSim {
     /// is used only to report how far committed work overhangs the epoch.
     pub fn run_epoch(&mut self, jobs: &[Job], policy: &Policy, epoch_end: f64) -> EpochOutcome {
         let mut records = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            records.push(self.process_job(job, policy));
-        }
-        let backlog = (self.state.free_time - epoch_end).max(0.0);
+        let backlog = self.run_epoch_with(jobs, policy, epoch_end, |r| records.push(*r));
         EpochOutcome::new(records, backlog)
+    }
+
+    /// Simulates one epoch's arrivals, streaming each completed
+    /// [`JobRecord`] to `on_record` instead of materializing a vector.
+    /// Returns the backlog (committed work overhanging `epoch_end`).
+    ///
+    /// This is the engine's record-free fast path: batch
+    /// characterization ([`simulate_summary`]) folds each record into
+    /// summary statistics on the fly, so candidate evaluation performs
+    /// no per-job record allocation.
+    pub fn run_epoch_with(
+        &mut self,
+        jobs: &[Job],
+        policy: &Policy,
+        epoch_end: f64,
+        mut on_record: impl FnMut(&JobRecord),
+    ) -> f64 {
+        for job in jobs {
+            let record = self.process_job(job, policy);
+            on_record(&record);
+        }
+        (self.state.free_time - epoch_end).max(0.0)
     }
 
     fn process_job(&mut self, job: &Job, policy: &Policy) -> JobRecord {
@@ -247,6 +266,60 @@ pub fn simulate(jobs: &JobStream, policy: &Policy, env: &SimEnv) -> SimOutcome {
         n,
         horizon,
         responses,
+        ledger.total_energy(),
+        residency,
+        wakes_from,
+        wakes_without_sleep,
+    )
+}
+
+/// Reusable per-worker buffers for [`simulate_summary_into`].
+///
+/// A policy sweep evaluates dozens of candidates over the same stream;
+/// giving each worker one scratch amortizes the response-sample buffer
+/// across every evaluation it performs.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    responses: Vec<f64>,
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers grow to the workload size on first use.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+}
+
+/// Record-free batch policy evaluation: identical results to
+/// [`simulate`] (same responses, energy, residency, and wake counts,
+/// bit for bit) without materializing a `Vec<JobRecord>` per call.
+///
+/// This is what the characterization sweep runs per candidate — the
+/// hot inner loop of the paper's Algorithm 1.
+pub fn simulate_summary(jobs: &JobStream, policy: &Policy, env: &SimEnv) -> SimOutcome {
+    simulate_summary_into(jobs, policy, env, &mut SimScratch::new())
+}
+
+/// [`simulate_summary`] with caller-owned scratch buffers, for tight
+/// sweep loops that evaluate many policies back to back.
+pub fn simulate_summary_into(
+    jobs: &JobStream,
+    policy: &Policy,
+    env: &SimEnv,
+    scratch: &mut SimScratch,
+) -> SimOutcome {
+    let mut sim = OnlineSim::new(env.clone(), 3600.0);
+    scratch.responses.clear();
+    let responses = &mut scratch.responses;
+    sim.run_epoch_with(jobs.jobs(), policy, f64::INFINITY, |r| responses.push(r.response()));
+    let horizon = sim.state.free_time;
+    let n = responses.len();
+    let stats = SummaryStats::from_samples(responses.iter().copied());
+    let (ledger, residency, wakes_from, wakes_without_sleep) = sim.finish(horizon);
+    SimOutcome::new(
+        n,
+        horizon,
+        stats,
         ledger.total_energy(),
         residency,
         wakes_from,
@@ -460,6 +533,25 @@ mod tests {
         assert_eq!(out.n_jobs(), 0);
         assert_eq!(out.horizon(), 0.0);
         assert_eq!(out.energy().as_joules(), 0.0);
+        let summary =
+            simulate_summary(&JobStream::default(), &Policy::full_speed_no_sleep(), &env());
+        assert_eq!(summary, out);
+    }
+
+    /// The record-free path is bit-identical to the record path, and
+    /// scratch reuse across different policies does not leak state.
+    #[test]
+    fn summary_path_matches_record_path() {
+        let pairs: Vec<(f64, f64)> =
+            (0..500).map(|i| (i as f64 * 0.41, 0.05 + 0.002 * (i % 11) as f64)).collect();
+        let jobs = stream(&pairs);
+        let mut scratch = SimScratch::new();
+        for (f, stage) in [(1.0, presets::C6_S3), (0.6, presets::C3_S0I), (0.4, presets::C6_S0I)] {
+            let policy = Policy::new(Frequency::new(f).unwrap(), SleepProgram::immediate(stage));
+            let record = simulate(&jobs, &policy, &env());
+            assert_eq!(simulate_summary(&jobs, &policy, &env()), record);
+            assert_eq!(simulate_summary_into(&jobs, &policy, &env(), &mut scratch), record);
+        }
     }
 
     /// M/M/1 sanity: at f=1 with zero-latency sleep, the measured busy

@@ -77,25 +77,7 @@ impl JobStream {
     /// Returns [`SimError::InvalidJobStream`] if arrivals are unsorted or
     /// any field is negative/non-finite.
     pub fn new(jobs: Vec<Job>) -> Result<JobStream, SimError> {
-        let mut prev = 0.0_f64;
-        for (i, j) in jobs.iter().enumerate() {
-            if !j.arrival.is_finite() || j.arrival < 0.0 {
-                return Err(SimError::InvalidJobStream {
-                    reason: format!("job {i} arrival {} must be finite and >= 0", j.arrival),
-                });
-            }
-            if !j.size.is_finite() || j.size < 0.0 {
-                return Err(SimError::InvalidJobStream {
-                    reason: format!("job {i} size {} must be finite and >= 0", j.size),
-                });
-            }
-            if j.arrival < prev {
-                return Err(SimError::InvalidJobStream {
-                    reason: format!("arrivals not sorted at index {i}"),
-                });
-            }
-            prev = j.arrival;
-        }
+        validate(&jobs)?;
         Ok(JobStream { jobs })
     }
 
@@ -192,11 +174,122 @@ impl JobStream {
     }
 
     /// Splits the stream at `t`: jobs arriving strictly before `t` and the
-    /// rest. Used by the epoch loop to batch a day's trace.
+    /// rest. Allocates both halves; epoch loops that only need to *walk*
+    /// the stream should use [`JobStream::cursor`] instead, which borrows.
     pub fn split_at_time(&self, t: f64) -> (JobStream, JobStream) {
         let idx = self.jobs.partition_point(|j| j.arrival < t);
         let (a, b) = self.jobs.split_at(idx);
         (JobStream { jobs: a.to_vec() }, JobStream { jobs: b.to_vec() })
+    }
+
+    /// A borrowed cursor over the stream, for epoch loops that consume
+    /// arrivals in time order without cloning the remainder each epoch.
+    pub fn cursor(&self) -> JobCursor<'_> {
+        JobCursor { jobs: &self.jobs, pos: 0 }
+    }
+
+    /// Clears this stream and refills it from `(arrival, size)` pairs,
+    /// reusing the existing allocation — the policy manager's per-epoch
+    /// log replay calls this with one long-lived buffer instead of
+    /// building a fresh stream every selection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobStream::new`]; on error the stream is left empty.
+    pub fn refill_from_log(
+        &mut self,
+        pairs: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Result<(), SimError> {
+        self.jobs.clear();
+        self.jobs.extend(pairs.into_iter().enumerate().map(|(i, (arrival, size))| Job {
+            id: i as u64,
+            arrival,
+            size,
+        }));
+        if let Err(e) = validate(&self.jobs) {
+            self.jobs.clear();
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+fn validate(jobs: &[Job]) -> Result<(), SimError> {
+    let mut prev = 0.0_f64;
+    for (i, j) in jobs.iter().enumerate() {
+        if !j.arrival.is_finite() || j.arrival < 0.0 {
+            return Err(SimError::InvalidJobStream {
+                reason: format!("job {i} arrival {} must be finite and >= 0", j.arrival),
+            });
+        }
+        if !j.size.is_finite() || j.size < 0.0 {
+            return Err(SimError::InvalidJobStream {
+                reason: format!("job {i} size {} must be finite and >= 0", j.size),
+            });
+        }
+        if j.arrival < prev {
+            return Err(SimError::InvalidJobStream {
+                reason: format!("arrivals not sorted at index {i}"),
+            });
+        }
+        prev = j.arrival;
+    }
+    Ok(())
+}
+
+/// A borrowed, forward-only view of a [`JobStream`] that hands out epoch
+/// batches as slices of the underlying storage.
+///
+/// This replaces the clone-the-remainder pattern
+/// (`remaining.split_at_time(t)` re-allocating the whole tail every
+/// epoch) in the runtime and cluster loops: the cursor only advances an
+/// index, so walking a day-long trace performs no per-epoch allocation.
+///
+/// ```
+/// use sleepscale_sim::JobStream;
+/// let s = JobStream::from_log([(0.5, 0.1), (1.5, 0.1), (2.5, 0.1)])?;
+/// let mut cursor = s.cursor();
+/// assert_eq!(cursor.take_before(2.0).len(), 2);
+/// assert_eq!(cursor.take_before(2.0).len(), 0); // already consumed
+/// assert_eq!(cursor.remaining().len(), 1);
+/// # Ok::<(), sleepscale_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobCursor<'a> {
+    jobs: &'a [Job],
+    pos: usize,
+}
+
+impl<'a> JobCursor<'a> {
+    /// Consumes and returns every not-yet-taken job arriving strictly
+    /// before `t`, as a borrowed slice in arrival order.
+    pub fn take_before(&mut self, t: f64) -> &'a [Job] {
+        let end = self.pos + self.jobs[self.pos..].partition_point(|j| j.arrival < t);
+        let batch = &self.jobs[self.pos..end];
+        self.pos = end;
+        batch
+    }
+
+    /// Consumes and returns the next job if it arrives strictly before
+    /// `t` — the one-at-a-time form dispatch loops use.
+    pub fn next_before(&mut self, t: f64) -> Option<Job> {
+        let job = *self.jobs.get(self.pos)?;
+        if job.arrival < t {
+            self.pos += 1;
+            Some(job)
+        } else {
+            None
+        }
+    }
+
+    /// The jobs not yet consumed.
+    pub fn remaining(&self) -> &'a [Job] {
+        &self.jobs[self.pos..]
+    }
+
+    /// True when every job has been consumed.
+    pub fn is_finished(&self) -> bool {
+        self.pos == self.jobs.len()
     }
 }
 
@@ -273,6 +366,49 @@ mod tests {
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 2);
         assert_eq!(b.jobs()[0].arrival, 1.0);
+    }
+
+    #[test]
+    fn cursor_walks_stream_in_epoch_batches() {
+        let s = JobStream::from_log([(0.0, 0.1), (1.0, 0.1), (2.0, 0.1), (5.0, 0.1)]).unwrap();
+        let mut c = s.cursor();
+        assert_eq!(c.take_before(1.0).len(), 1);
+        assert_eq!(c.take_before(3.0).len(), 2);
+        assert!(!c.is_finished());
+        assert_eq!(c.remaining().len(), 1);
+        assert_eq!(c.take_before(10.0).len(), 1);
+        assert!(c.is_finished());
+        assert!(c.take_before(f64::INFINITY).is_empty());
+    }
+
+    #[test]
+    fn cursor_batches_match_split_at_time() {
+        let s = JobStream::from_log((0..50).map(|i| (i as f64 * 0.7, 0.1))).unwrap();
+        let (a, b) = s.split_at_time(10.0);
+        let mut c = s.cursor();
+        assert_eq!(c.take_before(10.0), a.jobs());
+        assert_eq!(c.remaining(), b.jobs());
+    }
+
+    #[test]
+    fn cursor_next_before_respects_boundary() {
+        let s = JobStream::from_log([(1.0, 0.1), (2.0, 0.1)]).unwrap();
+        let mut c = s.cursor();
+        assert!(c.next_before(1.0).is_none()); // strict boundary
+        assert_eq!(c.next_before(1.5).unwrap().arrival, 1.0);
+        assert_eq!(c.next_before(5.0).unwrap().arrival, 2.0);
+        assert!(c.next_before(5.0).is_none());
+    }
+
+    #[test]
+    fn refill_reuses_buffer_and_validates() {
+        let mut s = JobStream::from_log([(0.0, 0.1)]).unwrap();
+        s.refill_from_log([(1.0, 0.2), (2.0, 0.3)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.jobs()[1].id, 1);
+        // Invalid input empties the stream rather than leaving stale jobs.
+        assert!(s.refill_from_log([(2.0, 0.1), (1.0, 0.1)]).is_err());
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //! * [`OnlineSim`] — an *incremental* simulator that the SleepScale
 //!   runtime feeds epoch by epoch (policies change between epochs); energy
 //!   is integrated exactly across epoch boundaries via [`EnergyLedger`].
-//! * [`simulate`]/[`sweep`] — batch evaluation of one policy or a whole
-//!   frequency×program grid (parallelized) over a fixed job stream; this
-//!   is what the policy manager runs online and what the figure harness
-//!   uses for the Section 4 studies.
+//! * [`simulate`]/[`simulate_summary`]/[`sweep`] — batch evaluation of
+//!   one policy or a whole frequency×program grid (parallelized) over a
+//!   fixed job stream; this is what the policy manager runs online and
+//!   what the figure harness uses for the Section 4 studies.
+//!   [`simulate_summary`] is the record-free fast path (identical
+//!   results, no per-job `JobRecord` materialization); [`JobCursor`]
+//!   lets epoch loops walk a stream without cloning the remainder.
 //!
 //! # Example
 //!
@@ -60,10 +63,12 @@ mod ledger;
 mod outcome;
 pub mod sweep;
 
-pub use engine::{simulate, CarryState, OnlineSim};
+pub use engine::{
+    simulate, simulate_summary, simulate_summary_into, CarryState, OnlineSim, SimScratch,
+};
 pub use env::SimEnv;
 pub use error::SimError;
-pub use job::{Job, JobRecord, JobStream};
+pub use job::{Job, JobCursor, JobRecord, JobStream};
 pub use ledger::EnergyLedger;
 pub use outcome::{EpochOutcome, Residency, SimOutcome};
 
@@ -72,7 +77,8 @@ pub mod prelude {
     pub use crate::generator;
     pub use crate::sweep;
     pub use crate::{
-        simulate, CarryState, EnergyLedger, EpochOutcome, Job, JobRecord, JobStream, OnlineSim,
-        Residency, SimEnv, SimError, SimOutcome,
+        simulate, simulate_summary, simulate_summary_into, CarryState, EnergyLedger, EpochOutcome,
+        Job, JobCursor, JobRecord, JobStream, OnlineSim, Residency, SimEnv, SimError, SimOutcome,
+        SimScratch,
     };
 }

@@ -3,16 +3,22 @@
 //! The policy manager characterizes *every* candidate (frequency, sleep
 //! program) pair by simulation (Section 5.1.1); Section 4's figures sweep
 //! fine frequency grids per program. Evaluations are independent, so they
-//! fan out across threads with a shared work index.
+//! fan out across scoped threads, each owning a disjoint `&mut` chunk of
+//! the result slice — no result lock, no shared work counter — and each
+//! reusing one [`SimScratch`] across every evaluation it performs (the
+//! record-free [`simulate_summary_into`] path).
+//!
+//! Chunked ownership also makes the sweep's output independent of thread
+//! count and scheduling: candidate `i` is always simulated exactly once,
+//! by whichever worker owns chunk `i / chunk_len`, so repeated runs are
+//! byte-identical (see the cross-crate determinism suite).
 
-use crate::engine::simulate;
+use crate::engine::{simulate_summary_into, SimScratch};
 use crate::env::SimEnv;
 use crate::job::JobStream;
 use crate::outcome::SimOutcome;
 use serde::{Deserialize, Serialize};
 use sleepscale_power::{FrequencyGrid, Policy, SleepProgram};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One evaluated policy: the policy and its simulated characterization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,38 +37,56 @@ pub fn evaluate_policies(
     env: &SimEnv,
 ) -> Vec<PolicyEvaluation> {
     const SERIAL_THRESHOLD: usize = 8;
-    if policies.len() <= SERIAL_THRESHOLD {
+    let threads = if policies.len() <= SERIAL_THRESHOLD {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(policies.len())
+    };
+    evaluate_policies_with_threads(jobs, policies, env, threads)
+}
+
+/// [`evaluate_policies`] with an explicit worker count.
+///
+/// The result is identical for every `threads` value (the work partition
+/// fixes which evaluation lands at which index and every evaluation is
+/// independent); exposing the knob lets tests and benches pin the
+/// parallelism while the production entry point sizes it to the machine.
+pub fn evaluate_policies_with_threads(
+    jobs: &JobStream,
+    policies: &[Policy],
+    env: &SimEnv,
+    threads: usize,
+) -> Vec<PolicyEvaluation> {
+    if threads <= 1 || policies.len() <= 1 {
+        let mut scratch = SimScratch::new();
         return policies
             .iter()
-            .map(|p| PolicyEvaluation { policy: p.clone(), outcome: simulate(jobs, p, env) })
+            .map(|p| PolicyEvaluation {
+                policy: p.clone(),
+                outcome: simulate_summary_into(jobs, p, env, &mut scratch),
+            })
             .collect();
     }
 
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(policies.len());
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<PolicyEvaluation>>> = Mutex::new(vec![None; policies.len()]);
-
+    let mut results: Vec<Option<PolicyEvaluation>> = vec![None; policies.len()];
+    let chunk_len = policies.len().div_ceil(threads.min(policies.len()));
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= policies.len() {
-                    break;
+        for (policy_chunk, result_chunk) in
+            policies.chunks(chunk_len).zip(results.chunks_mut(chunk_len))
+        {
+            scope.spawn(move || {
+                let mut scratch = SimScratch::new();
+                for (policy, slot) in policy_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(PolicyEvaluation {
+                        policy: policy.clone(),
+                        outcome: simulate_summary_into(jobs, policy, env, &mut scratch),
+                    });
                 }
-                let policy = &policies[i];
-                let outcome = simulate(jobs, policy, env);
-                let eval = PolicyEvaluation { policy: policy.clone(), outcome };
-                results.lock().expect("no panics hold the lock")[i] = Some(eval);
             });
         }
     });
 
-    results
-        .into_inner()
-        .expect("scope joined all workers")
-        .into_iter()
-        .map(|r| r.expect("every index was evaluated"))
-        .collect()
+    results.into_iter().map(|r| r.expect("chunks cover every index")).collect()
 }
 
 /// Sweeps one sleep program across a frequency grid — one bowl curve of
@@ -95,6 +119,7 @@ pub fn grid_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::simulate;
     use crate::generator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -124,6 +149,24 @@ mod tests {
         for (a, b) in parallel.iter().zip(&serial) {
             assert_eq!(a.policy, b.policy);
             assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    /// The chunked sweep is thread-count invariant: any worker count
+    /// produces byte-identical evaluations in grid order.
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let jobs = workload();
+        let env = SimEnv::xeon_cpu_bound();
+        let grid = FrequencyGrid::new(0.3, 1.0, 0.05).unwrap();
+        let policies: Vec<Policy> = presets::standard_programs()
+            .iter()
+            .flat_map(|prog| grid.iter().map(move |f| Policy::new(f, prog.clone())))
+            .collect();
+        let reference = evaluate_policies_with_threads(&jobs, &policies, &env, 1);
+        for threads in [2, 3, 7, 16] {
+            let run = evaluate_policies_with_threads(&jobs, &policies, &env, threads);
+            assert_eq!(run, reference, "threads={threads} diverged");
         }
     }
 

@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use sleepscale_power::{presets, Frequency, Policy, SleepProgram, SleepStage, SystemState};
-use sleepscale_sim::{generator, simulate, JobStream, OnlineSim, SimEnv};
+use sleepscale_sim::{
+    generator, simulate, simulate_summary, simulate_summary_into, JobStream, OnlineSim, SimEnv,
+    SimScratch,
+};
 
 fn arbitrary_program(taus: Vec<f64>) -> SleepProgram {
     let mut taus = taus;
@@ -100,6 +103,57 @@ proptest! {
         for (s, q) in run(slow).iter().zip(run(fast)) {
             prop_assert!(q <= s + 1e-9, "faster clock delayed a departure");
         }
+    }
+
+    /// The record-free fast path is *exactly* the record path: same
+    /// response statistics, energy, residency, and wake accounting on
+    /// arbitrary streams, policies, and multi-stage sleep programs —
+    /// with and without scratch reuse.
+    #[test]
+    fn summary_fast_path_matches_simulate_exactly(
+        rho in 0.05f64..0.7,
+        f_margin in 0.05f64..0.5,
+        taus in proptest::collection::vec(0.0f64..2.0, 1..5),
+        seed in 0u64..100_000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let jobs = generator::generate_poisson_exp(700, rho, 0.194, &mut rng).unwrap();
+        let f = Frequency::new((rho + f_margin).min(1.0)).unwrap();
+        let policy = Policy::new(f, arbitrary_program(taus));
+        let env = SimEnv::xeon_cpu_bound();
+
+        let record_path = simulate(&jobs, &policy, &env);
+        prop_assert_eq!(&simulate_summary(&jobs, &policy, &env), &record_path);
+
+        // Scratch reuse across two different policies must not leak
+        // state between evaluations.
+        let mut scratch = SimScratch::new();
+        let other = Policy::new(Frequency::MAX, SleepProgram::immediate(presets::C6_S3));
+        let _warm = simulate_summary_into(&jobs, &other, &env, &mut scratch);
+        prop_assert_eq!(&simulate_summary_into(&jobs, &policy, &env, &mut scratch), &record_path);
+    }
+
+    /// The borrowed cursor yields exactly the batches `split_at_time`
+    /// would allocate, over arbitrary epoch boundaries.
+    #[test]
+    fn cursor_batches_equal_split_at_time(
+        rho in 0.05f64..0.6,
+        epoch_len in 5.0f64..60.0,
+        seed in 0u64..100_000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let jobs = generator::generate_poisson_exp(400, rho, 0.194, &mut rng).unwrap();
+        let mut cursor = jobs.cursor();
+        let mut remaining = jobs.clone();
+        let mut t = 0.0;
+        while !remaining.is_empty() {
+            t += epoch_len;
+            let (now, later) = remaining.split_at_time(t);
+            prop_assert_eq!(cursor.take_before(t), now.jobs());
+            remaining = later;
+        }
+        prop_assert!(cursor.is_finished());
+        prop_assert!(cursor.remaining().is_empty());
     }
 
     /// Splitting a stream at an arbitrary time and replaying the halves

@@ -122,6 +122,25 @@ impl JobLog {
     /// Returns [`WorkloadError::InvalidTrace`] when the log is empty or
     /// `target_rho` is not in `(0, 1)`.
     pub fn replay(&self, n: usize, target_rho: f64) -> Result<JobStream, WorkloadError> {
+        let mut stream = JobStream::default();
+        self.replay_into(n, target_rho, &mut stream)?;
+        Ok(stream)
+    }
+
+    /// [`JobLog::replay`] into a caller-owned stream, reusing its
+    /// allocation — the policy manager replays the log every epoch, so
+    /// a single long-lived buffer replaces one `Vec` allocation per
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobLog::replay`]; on error `out` is left empty.
+    pub fn replay_into(
+        &self,
+        n: usize,
+        target_rho: f64,
+        out: &mut JobStream,
+    ) -> Result<(), WorkloadError> {
         if self.is_empty() {
             return Err(WorkloadError::InvalidTrace { reason: "job log is empty".into() });
         }
@@ -153,7 +172,63 @@ impl JobLog {
             t += self.interarrivals[idx] * scale;
             (t, self.sizes[idx])
         });
-        JobStream::from_log(pairs).map_err(WorkloadError::from)
+        out.refill_from_log(pairs).map_err(WorkloadError::from)
+    }
+
+    /// A coarse fingerprint of the log's replay-relevant statistics:
+    /// the mean full-speed size (~5% relative buckets) and the shape of
+    /// both distributions (coefficients of variation, ~25% buckets —
+    /// shape drifts far more slowly than sample noise), plus the
+    /// occupancy order of magnitude.
+    ///
+    /// The inter-arrival *level* is deliberately excluded: replay
+    /// rescales gaps to the target utilization
+    /// ([`JobLog::replay_into`]), so two logs that differ only in
+    /// arrival rate produce statistically identical replay streams.
+    /// Two logs with equal signatures are therefore interchangeable for
+    /// characterization, which is what lets the policy manager's cache
+    /// key on this rather than on exact log contents — the ring buffer
+    /// shifts every epoch, and homogeneous servers behind a balanced
+    /// dispatcher log different jobs, but under the diurnal-similarity
+    /// assumption the summary statistics sit in the same buckets for
+    /// hours at a time.
+    pub fn coarse_signature(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        // Relative (geometric) buckets; non-positive maps to a sentinel.
+        fn bucket(x: f64, relative: f64) -> i64 {
+            if x > 0.0 {
+                (x.ln() / relative).round() as i64
+            } else {
+                i64::MIN
+            }
+        }
+        fn cv(values: &VecDeque<f64>, mean: f64) -> f64 {
+            if values.len() < 2 || mean == 0.0 {
+                return 0.0;
+            }
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / (values.len() - 1) as f64;
+            var.sqrt() / mean
+        }
+
+        let mean_size = self.mean_size();
+        let mut hasher = DefaultHasher::new();
+        bucket(mean_size, 0.05).hash(&mut hasher);
+        bucket(1.0 + cv(&self.interarrivals, self.mean_interarrival()), 0.25).hash(&mut hasher);
+        bucket(1.0 + cv(&self.sizes, mean_size), 0.25).hash(&mut hasher);
+        // Occupancy matters only in tiers: replay cycles the log, so
+        // 10k vs 11k observations are interchangeable while 10 vs 10k
+        // are not. Three tiers (cold / warming / warm) keep the
+        // signature from churning every epoch while the ring fills.
+        let occupancy_tier: u8 = match self.len() {
+            0..=255 => 0,
+            256..=4095 => 1,
+            _ => 2,
+        };
+        occupancy_tier.hash(&mut hasher);
+        hasher.finish()
     }
 }
 
@@ -224,6 +299,52 @@ mod tests {
         let stream = log.replay(10, 0.3).unwrap();
         assert_eq!(stream.len(), 10);
         assert!((stream.mean_size() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_into_reuses_buffer_and_matches_replay() {
+        let mut log = JobLog::new(100);
+        for i in 0..60 {
+            log.push(0.9 + 0.01 * (i % 7) as f64, 0.15 + 0.01 * (i % 3) as f64);
+        }
+        let fresh = log.replay(300, 0.4).unwrap();
+        let mut reused = JobStream::default();
+        log.replay_into(300, 0.4, &mut reused).unwrap();
+        assert_eq!(reused, fresh);
+        // Refill with a different target reuses the same stream object.
+        log.replay_into(300, 0.2, &mut reused).unwrap();
+        assert!((reused.offered_utilization() - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn coarse_signature_is_stable_under_content_churn() {
+        let mut a = JobLog::new(64);
+        let mut b = JobLog::new(64);
+        for i in 0..64 {
+            a.push(1.0 + 0.001 * (i % 5) as f64, 0.2);
+            // Same distributional shape, different entry order/phase.
+            b.push(1.0 + 0.001 * ((i + 3) % 5) as f64, 0.2);
+        }
+        assert_eq!(a.coarse_signature(), b.coarse_signature());
+        // A different arrival *rate* alone does not change the
+        // signature — replay rescales it away.
+        let mut faster = JobLog::new(64);
+        for i in 0..64 {
+            faster.push(0.5 + 0.0005 * (i % 5) as f64, 0.2);
+        }
+        assert_eq!(a.coarse_signature(), faster.coarse_signature());
+        // A materially different service size does.
+        let mut c = JobLog::new(64);
+        for i in 0..64 {
+            c.push(1.0 + 0.001 * (i % 5) as f64, 0.4);
+        }
+        assert_ne!(a.coarse_signature(), c.coarse_signature());
+        // Occupancy tier matters, fine count does not.
+        let mut d = JobLog::new(8192);
+        for i in 0..5000 {
+            d.push(1.0 + 0.001 * (i % 5) as f64, 0.2);
+        }
+        assert_ne!(a.coarse_signature(), d.coarse_signature());
     }
 
     #[test]

@@ -83,6 +83,42 @@ proptest! {
         }
     }
 
+    /// The pruned (coarse-to-fine) search stays within 1% power of the
+    /// exhaustive sweep on a seeded corpus of random load levels and
+    /// replay streams. Exhaustive is the floor, so the band is one-sided:
+    /// pruned never finds a *better* feasible policy, and may give up at
+    /// most 1%.
+    #[test]
+    fn pruned_selection_power_within_one_percent_of_exhaustive(
+        rho in 0.05_f64..0.75,
+        seed in 0_u64..10_000,
+    ) {
+        let mean_service = 0.194;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let jobs = generator::generate_poisson_exp(2_000, rho, mean_service, &mut rng).unwrap();
+        let manager = |mode| {
+            PolicyManager::new(
+                SimEnv::xeon_cpu_bound(),
+                QosConstraint::mean_response(0.8).unwrap(),
+                CandidateSet::standard(),
+                mean_service,
+                2_000,
+            )
+            .unwrap()
+            .with_search_mode(mode)
+        };
+        let pruned = manager(SearchMode::CoarseToFine).select_from_stream(&jobs, rho);
+        let exhaustive = manager(SearchMode::Exhaustive).select_from_stream(&jobs, rho);
+        prop_assert_eq!(pruned.feasible, exhaustive.feasible);
+        prop_assert!(
+            pruned.predicted_power <= exhaustive.predicted_power * 1.01 + 1e-9,
+            "rho={}: pruned {} W vs exhaustive {} W",
+            rho, pruned.predicted_power, exhaustive.predicted_power
+        );
+        prop_assert!(pruned.predicted_power >= exhaustive.predicted_power - 1e-9);
+        prop_assert!(pruned.evaluated < exhaustive.evaluated);
+    }
+
     /// The runtime's per-epoch energy buckets always integrate to the
     /// run's total energy, whatever the strategy does.
     #[test]
