@@ -1,12 +1,13 @@
-use crate::dispatch::{Dispatcher, ServerView};
+use crate::dispatch::{DispatchIndex, Dispatcher};
 use crate::report::{ClusterReport, ServerSummary};
 use sleepscale::{
     CacheStats, CandidateSet, CharacterizationCache, CoreError, RuntimeConfig, SleepScaleStrategy,
-    Strategy,
+    Strategy, WarmStartStats, DEFAULT_CACHE_CAPACITY,
 };
-use sleepscale_dist::SummaryStats;
+use sleepscale_dist::StreamingSummary;
 use sleepscale_sim::{JobRecord, JobStream, OnlineSim, SimEnv};
 use sleepscale_workloads::UtilizationTrace;
+use std::collections::HashSet;
 
 /// Cluster-level configuration: fleet size plus the per-server runtime
 /// configuration every controller is instantiated from.
@@ -48,6 +49,23 @@ struct ServerSlot {
 /// SleepScale controller; a [`Dispatcher`] splits the cluster-wide
 /// arrival stream across them.
 ///
+/// The engine is built for scale-out fleets (§7 grown to the scale the
+/// energy-proportionality literature studies):
+///
+/// * **Incremental dispatch** — routing reads an incrementally
+///   maintained [`DispatchIndex`] (one O(log N) re-key per dispatched
+///   job) instead of rebuilding a per-job O(N) fleet snapshot.
+/// * **Parallel epoch control** — per-server policy selection and
+///   epoch close-out fan out across scoped threads. Before the fan-out,
+///   the engine elects one *owner* per distinct missing
+///   characterization key (the first server planning it, exactly the
+///   server that would compute it in a serial sweep), so fleet results
+///   are byte-identical for every thread count.
+/// * **Streaming statistics** — fleet response aggregates fold into a
+///   constant-memory [`StreamingSummary`] instead of an O(total-jobs)
+///   sample vector (the p95 is sketched to ±0.5% relative; counts,
+///   means, and energy stay exact).
+///
 /// The fleet is homogeneous, so every server's controller shares one
 /// [`CharacterizationCache`]: when the dispatcher balances load, the
 /// servers predict the same (quantized) utilization over logs with the
@@ -57,42 +75,61 @@ struct ServerSlot {
 ///
 /// The utilization trace is interpreted cluster-wide: `ρ(t)` is the
 /// offered load as a fraction of *total* fleet capacity, so the job
-/// stream should be generated for arrival rate `ρ(t)·N·µ` (see
-/// [`Cluster::scale_trace_for_fleet`]).
+/// stream should be generated for arrival rate `ρ(t)·N·µ`.
 pub struct Cluster {
-    servers: Vec<ServerSlot>,
+    n_servers: usize,
+    runtime: RuntimeConfig,
+    candidates: CandidateSet,
+    env: SimEnv,
     cache: CharacterizationCache,
-    epoch_seconds: f64,
-    mean_service: f64,
-    epoch_minutes: usize,
+    threads: usize,
+    last_warm: WarmStartStats,
 }
 
 impl Cluster {
-    /// Builds the fleet; every server gets an independent SleepScale
-    /// strategy over `candidates` and its own energy ledger in `env`,
-    /// with the characterization cache shared fleet-wide.
+    /// Builds the fleet descriptor; each [`Cluster::run`] instantiates a
+    /// fresh set of servers from it (so back-to-back runs start from
+    /// identical cold fleets), every server getting an independent
+    /// SleepScale strategy over `candidates` and its own energy ledger
+    /// in `env`, with the characterization cache shared fleet-wide and
+    /// persistent across runs.
     pub fn new(config: &ClusterConfig, candidates: CandidateSet, env: SimEnv) -> Cluster {
-        let epoch_seconds = config.runtime().epoch_minutes() as f64 * 60.0;
-        let cache = CharacterizationCache::default();
-        let servers = (0..config.n_servers())
-            .map(|_| ServerSlot {
-                sim: OnlineSim::new(env.clone(), epoch_seconds),
-                strategy: SleepScaleStrategy::new(config.runtime(), candidates.clone())
-                    .with_shared_cache(cache.clone()),
-                policy: None,
-                epoch_records: Vec::new(),
-                epoch_work: 0.0,
-                all_jobs: 0,
-                response_sum: 0.0,
-            })
-            .collect();
         Cluster {
-            servers,
-            cache,
-            epoch_seconds,
-            mean_service: config.runtime().mean_service(),
-            epoch_minutes: config.runtime().epoch_minutes(),
+            n_servers: config.n_servers(),
+            runtime: config.runtime().clone(),
+            candidates,
+            env,
+            // Sized so a fleet-day's distinct keys fit without eviction:
+            // owner election (and hence byte-reproducibility across
+            // engines and thread counts) relies on keys staying resident
+            // between the planning peek and the epoch's inserts.
+            cache: CharacterizationCache::new(Cluster::cache_capacity(config.n_servers())),
+            threads: 0,
+            last_warm: WarmStartStats::default(),
         }
+    }
+
+    /// The fleet-shared cache capacity for an `n`-server cluster:
+    /// large enough that a day of per-server key churn never evicts
+    /// (eviction order under concurrent owner inserts is
+    /// schedule-dependent, so the no-eviction regime is what makes
+    /// fleet runs reproducible).
+    pub fn cache_capacity(n_servers: usize) -> usize {
+        DEFAULT_CACHE_CAPACITY.max(n_servers * 128)
+    }
+
+    /// Pins the worker count for the parallel epoch-control phases
+    /// (0, the default, sizes to the machine). Results are identical
+    /// for every value — the knob exists so tests and benches can prove
+    /// exactly that — as long as the fleet cache never evicts (owner
+    /// election peeks at residency, and eviction order under concurrent
+    /// inserts is schedule-dependent). [`Cluster::cache_capacity`]
+    /// sizes the cache for that regime; a run that still overflows it
+    /// reports `characterization_stats().evictions > 0`, which is the
+    /// signal that byte-reproducibility is no longer guaranteed.
+    pub fn with_threads(mut self, threads: usize) -> Cluster {
+        self.threads = threads;
+        self
     }
 
     /// Hit/miss counters of the fleet-shared characterization cache —
@@ -101,7 +138,43 @@ impl Cluster {
         self.cache.stats()
     }
 
-    /// Runs the fleet over a trace and cluster-wide job stream.
+    /// Aggregated cross-epoch warm-start counters of the most recent
+    /// [`Cluster::run`] (how many per-program bowl searches on cache
+    /// misses started from a remembered bottom).
+    pub fn warm_start_stats(&self) -> WarmStartStats {
+        self.last_warm
+    }
+
+    fn build_slots(&self) -> Vec<ServerSlot> {
+        let epoch_seconds = self.runtime.epoch_minutes() as f64 * 60.0;
+        (0..self.n_servers)
+            .map(|_| ServerSlot {
+                sim: OnlineSim::new(self.env.clone(), epoch_seconds),
+                strategy: SleepScaleStrategy::new(&self.runtime, self.candidates.clone())
+                    .with_shared_cache(self.cache.clone()),
+                policy: None,
+                epoch_records: Vec::new(),
+                epoch_work: 0.0,
+                all_jobs: 0,
+                response_sum: 0.0,
+            })
+            .collect()
+    }
+
+    fn worker_count(&self, slots: usize) -> usize {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.threads
+        };
+        threads.min(slots.max(1))
+    }
+
+    /// Runs a fresh fleet over a trace and cluster-wide job stream.
+    /// The cluster itself is reusable: each call builds its servers
+    /// anew (only the shared characterization cache persists), so
+    /// back-to-back runs on one `Cluster` are supported and, with a
+    /// warm cache, byte-identical.
     ///
     /// Generate the stream with
     /// [`sleepscale_workloads::ReplayConfig::for_fleet`] so the arrival
@@ -111,104 +184,185 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Propagates per-server strategy errors.
+    /// Propagates per-server strategy errors, and rejects a dispatcher
+    /// that routes outside the fleet (`route() >= n_servers`) — an
+    /// out-of-range route is a dispatcher bug, not something to clamp
+    /// silently onto the last server.
     pub fn run(
         &mut self,
         trace: &UtilizationTrace,
         jobs: &JobStream,
         dispatcher: &mut dyn Dispatcher,
     ) -> Result<ClusterReport, CoreError> {
+        let mut slots = self.build_slots();
+        let n = slots.len();
+        let threads = self.worker_count(n);
         let total_minutes = trace.len();
-        let n_epochs = total_minutes.div_ceil(self.epoch_minutes);
-        let mut responses: Vec<f64> = Vec::with_capacity(jobs.len());
+        let epoch_minutes = self.runtime.epoch_minutes();
+        let n_epochs = total_minutes.div_ceil(epoch_minutes);
+        let epoch_seconds = epoch_minutes as f64 * 60.0;
+        // Fleet-wide response statistics stream into O(1) state; no
+        // O(total-jobs) sample vector, whatever the fleet-day size.
+        let mut fleet_responses = StreamingSummary::new();
         // Borrowed cursor over the cluster-wide stream: the dispatch
         // loop consumes arrivals in time order without cloning the
-        // remaining stream at epoch boundaries. The dispatcher's view
-        // buffer is likewise allocated once and refilled per job.
+        // remaining stream at epoch boundaries.
         let mut cursor = jobs.cursor();
-        let mut views: Vec<ServerView> = Vec::with_capacity(self.servers.len());
+        let mut index = DispatchIndex::new(n);
 
         for k in 0..n_epochs {
-            let epoch_start = k as f64 * self.epoch_seconds;
-            let epoch_end = epoch_start + self.epoch_seconds;
+            let epoch_start = k as f64 * epoch_seconds;
+            let epoch_end = epoch_start + epoch_seconds;
 
-            // Every server's controller picks its epoch policy.
-            for slot in &mut self.servers {
+            // Epoch open, phase 1 — owner election (serial, no
+            // simulation): one owner per distinct characterization key
+            // that is missing from the shared cache, always the
+            // lowest-indexed server planning that key — the same server
+            // that would compute it in a serial sweep, which is what
+            // makes the fleet thread-count invariant.
+            let mut claimed: HashSet<_> = HashSet::new();
+            let owners: Vec<bool> = slots
+                .iter_mut()
+                .map(|slot| {
+                    slot.strategy.planned_characterization().is_some_and(|key| {
+                        !slot.strategy.is_characterization_cached(&key) && claimed.insert(key)
+                    })
+                })
+                .collect();
+
+            // Phase 2 — owners characterize in parallel (distinct keys,
+            // so concurrent inserts never collide), then the rest of
+            // the fleet selects in parallel against a cache that now
+            // holds every key this epoch needs (pure hits/cold starts —
+            // no inserts, hence schedule-independent).
+            let begin = |slot: &mut ServerSlot| -> Result<(), CoreError> {
                 slot.policy = Some(slot.strategy.begin_epoch(k)?);
                 slot.epoch_records.clear();
                 slot.epoch_work = 0.0;
+                Ok(())
+            };
+            for want in [true, false] {
+                let subset: Vec<&mut ServerSlot> = slots
+                    .iter_mut()
+                    .zip(&owners)
+                    .filter(|(_, &owns)| owns == want)
+                    .map(|(slot, _)| slot)
+                    .collect();
+                par_each(subset, threads, &begin)?;
             }
 
-            // Dispatch this epoch's arrivals one at a time; the view the
-            // dispatcher sees reflects each server's live backlog.
+            // Dispatch this epoch's arrivals one at a time; routing
+            // reads the incrementally maintained index (the live
+            // backlog ordering) and each dispatch re-keys exactly the
+            // routed server.
             while let Some(job) = cursor.next_before(epoch_end) {
-                views.clear();
-                views.extend(self.servers.iter().enumerate().map(|(index, s)| ServerView {
-                    index,
-                    backlog_seconds: (s.sim.state().free_time() - job.arrival).max(0.0),
-                }));
-                let target = dispatcher.route(&job, &views).min(self.servers.len() - 1);
-                let slot = &mut self.servers[target];
+                let target = dispatcher.route(&job, &index);
+                if target >= n {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "dispatcher '{}' routed job {} to server {target} of a {n}-server \
+                             fleet — routes must be < n_servers",
+                            dispatcher.name(),
+                            job.id
+                        ),
+                    });
+                }
+                let slot = &mut slots[target];
                 let policy = slot.policy.as_ref().expect("policy set at epoch start");
-                let out = slot.sim.run_epoch(std::slice::from_ref(&job), policy, epoch_end);
-                let record = out.records()[0];
-                responses.push(record.response());
+                let mut routed: Option<JobRecord> = None;
+                slot.sim.run_epoch_with(std::slice::from_ref(&job), policy, epoch_end, |r| {
+                    routed = Some(*r);
+                });
+                let record = routed.expect("one arrival produces one record");
+                fleet_responses.push(record.response());
                 slot.response_sum += record.response();
                 slot.all_jobs += 1;
                 slot.epoch_work += record.size;
                 slot.epoch_records.push(record);
+                index.update(target, slot.sim.state().free_time());
             }
 
-            // Close the epoch: feed logs and per-server realized
-            // utilization — dispatched work plus backlog pressure (a
-            // backlogged server measures itself saturated; see
-            // `sleepscale::run` for the same feedback rule).
-            for slot in &mut self.servers {
-                let records = std::mem::take(&mut slot.epoch_records);
-                slot.strategy.end_epoch(&records);
-                let pressure =
-                    (slot.sim.state().free_time() - epoch_end).max(0.0) / self.epoch_seconds;
-                let rho_server = (slot.epoch_work / self.epoch_seconds + pressure).clamp(0.0, 0.97);
-                let minutes = self.epoch_minutes.min(total_minutes - k * self.epoch_minutes);
+            // Epoch close, in parallel: feed logs and per-server
+            // realized utilization — dispatched work plus backlog
+            // pressure (a backlogged server measures itself saturated;
+            // see `sleepscale::run` for the same feedback rule).
+            let minutes = epoch_minutes.min(total_minutes - k * epoch_minutes);
+            let close = |slot: &mut ServerSlot| -> Result<(), CoreError> {
+                slot.strategy.end_epoch(&slot.epoch_records);
+                let pressure = (slot.sim.state().free_time() - epoch_end).max(0.0) / epoch_seconds;
+                let rho_server = (slot.epoch_work / epoch_seconds + pressure).clamp(0.0, 0.97);
                 for _ in 0..minutes {
                     slot.strategy.observe_minute(rho_server);
                 }
-            }
+                Ok(())
+            };
+            par_each(slots.iter_mut().collect(), threads, &close)?;
         }
 
         // Close trailing idle periods and summarize.
         let trace_end = total_minutes as f64 * 60.0;
-        let horizon =
-            self.servers.iter().map(|s| s.sim.state().free_time()).fold(trace_end, f64::max);
-        let mut summaries = Vec::with_capacity(self.servers.len());
-        for (index, slot) in self.servers.drain(..).enumerate() {
+        let horizon = slots.iter().map(|s| s.sim.state().free_time()).fold(trace_end, f64::max);
+        self.last_warm = WarmStartStats::default();
+        let mut summaries = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            self.last_warm.merge(slot.strategy.warm_start_stats());
             let jobs_done = slot.all_jobs;
             let mean_response =
                 if jobs_done == 0 { 0.0 } else { slot.response_sum / jobs_done as f64 };
             let (ledger, ..) = slot.sim.finish(horizon);
             summaries.push(ServerSummary {
-                index,
+                index: i,
                 jobs: jobs_done,
                 mean_response,
                 avg_power: ledger.total_energy().as_joules() / horizon,
                 energy_joules: ledger.total_energy().as_joules(),
             });
         }
-        let stats = SummaryStats::from_samples(responses);
-        let (total_jobs, mean_response, p95) = match &stats {
-            Some(s) => (s.count(), s.mean(), s.p95()),
-            None => (0, 0.0, 0.0),
-        };
         Ok(ClusterReport::new(
             dispatcher.name(),
             summaries,
-            total_jobs,
-            mean_response,
-            p95,
+            fleet_responses.count() as usize,
+            fleet_responses.mean(),
+            fleet_responses.p95(),
             horizon,
-            self.mean_service,
+            self.runtime.mean_service(),
         ))
     }
+}
+
+/// Runs `f` over every slot, fanning out across scoped worker threads
+/// when there is enough work — the `sweep::evaluate_policies` chunking
+/// pattern: disjoint `&mut` chunks, no locks, and a result that is
+/// independent of the worker count because every slot is touched
+/// exactly once by whoever owns its chunk.
+fn par_each(
+    mut slots: Vec<&mut ServerSlot>,
+    threads: usize,
+    f: &(impl Fn(&mut ServerSlot) -> Result<(), CoreError> + Sync),
+) -> Result<(), CoreError> {
+    if threads <= 1 || slots.len() <= 1 {
+        for slot in slots {
+            f(slot)?;
+        }
+        return Ok(());
+    }
+    let chunk_len = slots.len().div_ceil(threads.min(slots.len()));
+    let mut outcomes: Vec<Result<(), CoreError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .chunks_mut(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    for slot in chunk.iter_mut() {
+                        f(slot)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        outcomes.extend(handles.into_iter().map(|h| h.join().expect("cluster worker panicked")));
+    });
+    outcomes.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -217,6 +371,7 @@ mod tests {
     use crate::dispatch::{JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin};
     use rand::SeedableRng;
     use sleepscale::QosConstraint;
+    use sleepscale_sim::Job;
     use sleepscale_workloads::{
         replay_trace, traces, ReplayConfig, WorkloadDistributions, WorkloadSpec,
     };
@@ -369,5 +524,70 @@ mod tests {
         assert!((ratio - 4.0).abs() < 0.4, "rate ratio {ratio}");
         // Timeline preserved: the last arrival still lands near the end.
         assert!(fleet.last_arrival() > 0.9 * 30.0 * 60.0);
+    }
+
+    /// Satellite regression: a cluster survives (and reproduces) a
+    /// second run — the fleet is rebuilt per run instead of drained.
+    #[test]
+    fn back_to_back_runs_on_one_cluster_are_identical() {
+        let (config, trace, jobs) = setup(3, 45, 47);
+        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let first = cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
+        // Second run: fresh servers, warm shared cache. The cached
+        // selections equal what fresh characterizations would compute
+        // (same logs, same keys), so the report is byte-identical.
+        let second = cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.total_jobs(), jobs.len());
+    }
+
+    /// Satellite regression: an out-of-range route is surfaced as an
+    /// error, not clamped onto the last server.
+    #[test]
+    fn out_of_range_route_is_a_dispatcher_bug() {
+        #[derive(Debug)]
+        struct Broken;
+        impl Dispatcher for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn route(&mut self, _job: &Job, index: &DispatchIndex) -> usize {
+                index.n_servers() + 3
+            }
+        }
+        let (config, trace, jobs) = setup(2, 10, 48);
+        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let err = cluster.run(&trace, &jobs, &mut Broken).unwrap_err();
+        assert!(err.to_string().contains("routed job"), "{err}");
+        // The cluster is still usable after the failed run.
+        assert!(cluster.run(&trace, &jobs, &mut RoundRobin::new()).is_ok());
+    }
+
+    /// The parallel epoch phases are thread-count invariant: pinning 1,
+    /// 2, or 5 workers produces byte-identical reports.
+    #[test]
+    fn fleet_results_are_thread_count_invariant() {
+        let (config, trace, jobs) = setup(4, 45, 49);
+        let run_pinned = |threads: usize| {
+            let mut cluster =
+                Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound())
+                    .with_threads(threads);
+            cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap()
+        };
+        let reference = run_pinned(1);
+        for threads in [2, 5] {
+            assert_eq!(run_pinned(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    /// Warm-start telemetry flows up from the managers.
+    #[test]
+    fn warm_start_stats_aggregate_over_the_fleet() {
+        let (config, trace, jobs) = setup_constant(2, 0.25, 90, 51);
+        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
+        let warm = cluster.warm_start_stats();
+        assert!(warm.searches > 0, "{warm:?}");
+        assert!(warm.warm > 0, "cross-epoch warm start should fire on repeat misses: {warm:?}");
     }
 }

@@ -2,28 +2,148 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sleepscale_sim::Job;
 
-/// What a dispatcher may observe about a server when routing
-/// (deliberately queue-level, not power-level: front-end load balancers
-/// see backlogs, not C-states).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ServerView {
-    /// Server index.
-    pub index: usize,
-    /// Seconds of committed work remaining at the routing instant
-    /// (0 means the server is idle, possibly asleep).
-    pub backlog_seconds: f64,
+/// An incrementally maintained routing index over the fleet: each
+/// server's `free_time` (the instant its committed work drains) in a
+/// flat tournament tree, so dispatchers answer their queries in
+/// O(log N) without rebuilding any per-job snapshot.
+///
+/// The engine updates exactly one entry per dispatched job (the routed
+/// server's), so the index is the only cluster state a dispatcher
+/// observes — deliberately queue-level, not power-level: front-end load
+/// balancers see backlogs, not C-states. Backlog ordering at any
+/// routing instant equals `free_time` ordering (`backlog =
+/// max(free_time − now, 0)`), which is what lets shortest-backlog
+/// routing ride a min-tree instead of a linear scan.
+///
+/// All queries break ties toward the *lowest server index*, matching a
+/// first-minimum linear scan over per-server backlogs exactly (the
+/// property suite pins this equivalence down).
+#[derive(Debug, Clone)]
+pub struct DispatchIndex {
+    n: usize,
+    /// Leaf count, `n` rounded up to a power of two; leaf `i` lives at
+    /// `tree[size + i]`, padding leaves hold `+∞`.
+    size: usize,
+    /// 1-based binary min-tree over free times (`tree[0]` unused).
+    tree: Vec<f64>,
 }
 
-/// Routes each arriving job to one of `n` servers.
+impl DispatchIndex {
+    /// An index for `n` servers (clamped to ≥ 1), all initially idle
+    /// since t = 0.
+    pub fn new(n: usize) -> DispatchIndex {
+        let n = n.max(1);
+        let size = n.next_power_of_two();
+        let mut tree = vec![f64::INFINITY; 2 * size];
+        for leaf in &mut tree[size..size + n] {
+            *leaf = 0.0;
+        }
+        for k in (1..size).rev() {
+            tree[k] = tree[2 * k].min(tree[2 * k + 1]);
+        }
+        DispatchIndex { n, size, tree }
+    }
+
+    /// Fleet size.
+    pub fn n_servers(&self) -> usize {
+        self.n
+    }
+
+    /// Server `i`'s committed-work completion instant.
+    pub fn free_time(&self, i: usize) -> f64 {
+        self.tree[self.size + i]
+    }
+
+    /// Every server's `free_time`, by server index (the raw leaf view —
+    /// handy for linear-scan reference implementations and tests).
+    pub fn free_times(&self) -> &[f64] {
+        &self.tree[self.size..self.size + self.n]
+    }
+
+    /// Server `i`'s backlog at instant `now`, seconds (0 means idle,
+    /// possibly asleep).
+    pub fn backlog(&self, i: usize, now: f64) -> f64 {
+        (self.free_time(i) - now).max(0.0)
+    }
+
+    /// Re-keys server `i` after work was committed to (or drained from)
+    /// it — the engine's one O(log N) write per dispatched job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `free_time` is not finite.
+    pub fn update(&mut self, i: usize, free_time: f64) {
+        assert!(i < self.n, "server {i} out of range for {} servers", self.n);
+        assert!(free_time.is_finite(), "free_time must be finite, got {free_time}");
+        let mut k = self.size + i;
+        self.tree[k] = free_time;
+        k /= 2;
+        while k >= 1 {
+            self.tree[k] = self.tree[2 * k].min(self.tree[2 * k + 1]);
+            k /= 2;
+        }
+    }
+
+    /// The lowest-indexed server whose `free_time` is minimal.
+    pub fn min_free_server(&self) -> usize {
+        let mut k = 1;
+        while k < self.size {
+            // `<=` prefers the left child on ties, which is the lower
+            // server index.
+            k = if self.tree[2 * k] <= self.tree[2 * k + 1] { 2 * k } else { 2 * k + 1 };
+        }
+        k - self.size
+    }
+
+    /// The lowest-indexed server with `free_time <= bound` (servers
+    /// already idle at instant `bound`), if any.
+    pub fn first_free_at_most(&self, bound: f64) -> Option<usize> {
+        self.descend_first(|v| v <= bound)
+    }
+
+    /// The lowest-indexed server with `free_time < bound` (strict —
+    /// the form threshold dispatchers use: backlog `< θ` at instant
+    /// `now` is `free_time < now + θ`), if any.
+    pub fn first_free_below(&self, bound: f64) -> Option<usize> {
+        self.descend_first(|v| v < bound)
+    }
+
+    /// The server a shortest-backlog scan at instant `now` would pick:
+    /// the lowest-indexed idle server if one exists (they all tie at
+    /// backlog 0), else the lowest-indexed server with minimal
+    /// `free_time`.
+    pub fn shortest_backlog_server(&self, now: f64) -> usize {
+        self.first_free_at_most(now).unwrap_or_else(|| self.min_free_server())
+    }
+
+    /// Leftmost leaf satisfying `sat`, by descending into the first
+    /// subtree whose minimum satisfies it.
+    fn descend_first(&self, sat: impl Fn(f64) -> bool) -> Option<usize> {
+        if !sat(self.tree[1]) {
+            return None;
+        }
+        let mut k = 1;
+        while k < self.size {
+            k = if sat(self.tree[2 * k]) { 2 * k } else { 2 * k + 1 };
+        }
+        Some(k - self.size)
+    }
+}
+
+/// Routes each arriving job to one of the fleet's servers, observing
+/// only the [`DispatchIndex`].
 pub trait Dispatcher: std::fmt::Debug {
     /// Display name for reports.
     fn name(&self) -> String;
 
-    /// Picks the destination server for `job`.
-    fn route(&mut self, job: &Job, servers: &[ServerView]) -> usize;
+    /// Picks the destination server for `job`. Must return an index
+    /// `< index.n_servers()`; the cluster engine rejects out-of-range
+    /// routes as a dispatcher bug rather than clamping them.
+    fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize;
 }
 
 /// Cycles through servers in order — the classic spreading baseline.
+/// O(1) per job.
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobin {
     next: usize,
@@ -41,14 +161,14 @@ impl Dispatcher for RoundRobin {
         "round-robin".into()
     }
 
-    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
-        let i = self.next % servers.len();
+    fn route(&mut self, _job: &Job, index: &DispatchIndex) -> usize {
+        let i = self.next % index.n_servers();
         self.next = self.next.wrapping_add(1);
         i
     }
 }
 
-/// Uniform random routing (seeded, reproducible).
+/// Uniform random routing (seeded, reproducible). O(1) per job.
 #[derive(Debug)]
 pub struct RandomUniform {
     rng: StdRng,
@@ -66,13 +186,14 @@ impl Dispatcher for RandomUniform {
         "random".into()
     }
 
-    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
-        self.rng.gen_range(0..servers.len())
+    fn route(&mut self, _job: &Job, index: &DispatchIndex) -> usize {
+        self.rng.gen_range(0..index.n_servers())
     }
 }
 
 /// Sends each job to the server with the least committed work — the
-/// latency-optimal spreading policy.
+/// latency-optimal spreading policy. O(log N) per job via the index's
+/// min-tree (previously an O(N) scan over a per-job snapshot).
 #[derive(Debug, Clone, Default)]
 pub struct JoinShortestBacklog;
 
@@ -88,14 +209,8 @@ impl Dispatcher for JoinShortestBacklog {
         "join-shortest-backlog".into()
     }
 
-    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
-        servers
-            .iter()
-            .min_by(|a, b| {
-                a.backlog_seconds.partial_cmp(&b.backlog_seconds).expect("backlogs are finite")
-            })
-            .map(|s| s.index)
-            .expect("clusters are non-empty")
+    fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize {
+        index.shortest_backlog_server(job.arrival)
     }
 }
 
@@ -103,7 +218,7 @@ impl Dispatcher for JoinShortestBacklog {
 /// `threshold_seconds`; if all are saturated, fall back to the least
 /// backlog. Concentrating load leaves the tail of the fleet idle long
 /// enough to reach deep sleep — energy proportionality through
-/// consolidation.
+/// consolidation. O(log N) per job off the same index.
 #[derive(Debug, Clone)]
 pub struct PackFirstFit {
     threshold_seconds: f64,
@@ -121,22 +236,10 @@ impl Dispatcher for PackFirstFit {
         format!("pack-first-fit({}s)", self.threshold_seconds)
     }
 
-    fn route(&mut self, _job: &Job, servers: &[ServerView]) -> usize {
-        servers
-            .iter()
-            .find(|s| s.backlog_seconds < self.threshold_seconds)
-            .map(|s| s.index)
-            .unwrap_or_else(|| {
-                servers
-                    .iter()
-                    .min_by(|a, b| {
-                        a.backlog_seconds
-                            .partial_cmp(&b.backlog_seconds)
-                            .expect("backlogs are finite")
-                    })
-                    .map(|s| s.index)
-                    .expect("clusters are non-empty")
-            })
+    fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize {
+        index
+            .first_free_below(job.arrival + self.threshold_seconds)
+            .unwrap_or_else(|| index.shortest_backlog_server(job.arrival))
     }
 }
 
@@ -144,32 +247,45 @@ impl Dispatcher for PackFirstFit {
 mod tests {
     use super::*;
 
-    fn views(backlogs: &[f64]) -> Vec<ServerView> {
-        backlogs
-            .iter()
-            .enumerate()
-            .map(|(index, &backlog_seconds)| ServerView { index, backlog_seconds })
-            .collect()
+    /// An index whose servers carry the given free times.
+    fn index(free_times: &[f64]) -> DispatchIndex {
+        let mut idx = DispatchIndex::new(free_times.len());
+        for (i, &t) in free_times.iter().enumerate() {
+            idx.update(i, t);
+        }
+        idx
     }
 
-    fn job() -> Job {
-        Job { id: 0, arrival: 0.0, size: 0.1 }
+    fn job(arrival: f64) -> Job {
+        Job { id: 0, arrival, size: 0.1 }
+    }
+
+    /// The O(N) reference: first index among minimal clamped backlogs —
+    /// the scan the PR-2 engine ran per job.
+    fn linear_shortest_backlog(free_times: &[f64], now: f64) -> usize {
+        free_times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, (t - now).max(0.0)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("backlogs are finite"))
+            .map(|(i, _)| i)
+            .expect("clusters are non-empty")
     }
 
     #[test]
     fn round_robin_cycles() {
         let mut d = RoundRobin::new();
-        let v = views(&[0.0, 0.0, 0.0]);
-        let picks: Vec<usize> = (0..6).map(|_| d.route(&job(), &v)).collect();
+        let idx = index(&[0.0, 0.0, 0.0]);
+        let picks: Vec<usize> = (0..6).map(|_| d.route(&job(0.0), &idx)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
     fn random_is_seeded_and_in_range() {
-        let v = views(&[0.0; 4]);
+        let idx = index(&[0.0; 4]);
         let picks = |seed| {
             let mut d = RandomUniform::new(seed);
-            (0..32).map(|_| d.route(&job(), &v)).collect::<Vec<_>>()
+            (0..32).map(|_| d.route(&job(0.0), &idx)).collect::<Vec<_>>()
         };
         assert_eq!(picks(1), picks(1));
         assert_ne!(picks(1), picks(2));
@@ -179,15 +295,68 @@ mod tests {
     #[test]
     fn shortest_backlog_picks_minimum() {
         let mut d = JoinShortestBacklog::new();
-        assert_eq!(d.route(&job(), &views(&[3.0, 0.5, 2.0])), 1);
+        assert_eq!(d.route(&job(0.0), &index(&[3.0, 0.5, 2.0])), 1);
+        // Idle servers (free_time <= arrival) all tie at backlog 0; the
+        // lowest index wins, exactly like the linear scan.
+        assert_eq!(d.route(&job(4.0), &index(&[3.0, 0.5, 2.0])), 0);
     }
 
     #[test]
     fn pack_first_fit_fills_then_overflows() {
         let mut d = PackFirstFit::new(1.0);
-        assert_eq!(d.route(&job(), &views(&[0.2, 0.0, 0.0])), 0);
-        assert_eq!(d.route(&job(), &views(&[1.5, 0.4, 0.0])), 1);
+        assert_eq!(d.route(&job(0.0), &index(&[0.2, 0.0, 0.0])), 0);
+        assert_eq!(d.route(&job(0.0), &index(&[1.5, 0.4, 0.0])), 1);
         // All saturated: least backlog wins.
-        assert_eq!(d.route(&job(), &views(&[3.0, 2.0, 2.5])), 1);
+        assert_eq!(d.route(&job(0.0), &index(&[3.0, 2.0, 2.5])), 1);
+    }
+
+    #[test]
+    fn index_updates_rekey_one_server() {
+        let mut idx = DispatchIndex::new(5);
+        assert_eq!(idx.min_free_server(), 0);
+        for i in 0..5 {
+            idx.update(i, 10.0 - i as f64);
+        }
+        assert_eq!(idx.min_free_server(), 4);
+        assert_eq!(idx.free_time(4), 6.0);
+        idx.update(4, 99.0);
+        assert_eq!(idx.min_free_server(), 3);
+        assert_eq!(idx.first_free_below(7.5), Some(3));
+        assert_eq!(idx.first_free_at_most(7.0), Some(3));
+        assert_eq!(idx.first_free_below(6.9), None);
+        assert_eq!(idx.backlog(0, 4.0), 6.0);
+        assert_eq!(idx.backlog(0, 12.0), 0.0);
+        assert_eq!(idx.free_times(), &[10.0, 9.0, 8.0, 7.0, 99.0]);
+    }
+
+    #[test]
+    fn non_power_of_two_fleets_ignore_padding() {
+        // 5 servers pad to 8 leaves of +inf; padding must never route.
+        let mut idx = DispatchIndex::new(5);
+        for i in 0..5 {
+            idx.update(i, 50.0 + i as f64);
+        }
+        assert_eq!(idx.min_free_server(), 0);
+        assert_eq!(idx.first_free_at_most(1e12), Some(0));
+        assert_eq!(idx.shortest_backlog_server(0.0), 0);
+    }
+
+    #[test]
+    fn tree_matches_linear_scan_on_a_random_walk() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &n in &[1usize, 2, 3, 7, 8, 13, 64] {
+            let mut idx = DispatchIndex::new(n);
+            let mut free = vec![0.0f64; n];
+            let mut now = 0.0;
+            for _ in 0..400 {
+                now += rng.gen_range(0.0..1.0);
+                let tree_pick = idx.shortest_backlog_server(now);
+                let linear_pick = linear_shortest_backlog(&free, now);
+                assert_eq!(tree_pick, linear_pick, "n={n} now={now} free={free:?}");
+                let commit = rng.gen_range(0.0..3.0);
+                free[tree_pick] = free[tree_pick].max(now) + commit;
+                idx.update(tree_pick, free[tree_pick]);
+            }
+        }
     }
 }

@@ -16,6 +16,12 @@
 //!   threshold so the rest of the fleet sleeps deeply (the
 //!   energy-proportionality play the paper's Section 1 motivates).
 //!
+//! Dispatchers observe the fleet through an incrementally maintained
+//! [`DispatchIndex`] (one O(log N) re-key per dispatched job, no per-job
+//! fleet snapshot), epoch control fans out across scoped threads with
+//! thread-count-invariant results, and fleet statistics stream into
+//! constant memory — see [`Cluster`] for the engine's contract.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -48,6 +54,6 @@ mod report;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use dispatch::{
-    Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin, ServerView,
+    DispatchIndex, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin,
 };
 pub use report::{ClusterReport, ServerSummary};

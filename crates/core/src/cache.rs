@@ -55,6 +55,7 @@ struct CacheInner {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Hit/miss counters and current occupancy of a
@@ -66,6 +67,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to simulation.
     pub misses: u64,
+    /// Entries dropped by FIFO eviction since the cache was created.
+    /// Nonzero evictions matter beyond recomputation cost: fleet
+    /// engines that elect characterization owners from a planning peek
+    /// rely on keys staying resident within an epoch, so a run that
+    /// evicts is no longer guaranteed byte-reproducible across engines
+    /// or worker counts (size the cache so this stays 0).
+    pub evictions: u64,
     /// Selections currently stored.
     pub entries: usize,
 }
@@ -130,15 +138,30 @@ impl CharacterizationCache {
             while inner.order.len() > inner.capacity {
                 if let Some(evicted) = inner.order.pop_front() {
                     inner.map.remove(&evicted);
+                    inner.evictions += 1;
                 }
             }
         }
     }
 
+    /// Whether a selection for `key` is stored, *without* counting a
+    /// lookup — the planning peek fleet engines use to elect one owner
+    /// per missing key before parallel epoch control (counting it would
+    /// skew the hit/miss telemetry relative to a serial fleet run).
+    pub fn contains(&self, key: &crate::manager::CharacterizationKey) -> bool {
+        let inner = self.inner.lock().expect("cache lock is never poisoned");
+        inner.map.contains_key(&key.0)
+    }
+
     /// Snapshot of the hit/miss counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock is never poisoned");
-        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() }
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
     }
 
     /// Drops every stored selection and resets the counters.
@@ -148,6 +171,7 @@ impl CharacterizationCache {
         inner.order.clear();
         inner.hits = 0;
         inner.misses = 0;
+        inner.evictions = 0;
     }
 }
 
@@ -214,5 +238,8 @@ mod tests {
         assert!(cache.get(&key(2, 0)).is_some());
         assert!(cache.get(&key(3, 0)).is_some());
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1, "evictions are counted");
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 0);
     }
 }

@@ -67,10 +67,12 @@ mod runtime;
 mod strategies;
 
 pub use analytic_strategy::AnalyticStrategy;
-pub use cache::{CacheStats, CharacterizationCache};
+pub use cache::{CacheStats, CharacterizationCache, DEFAULT_CACHE_CAPACITY};
 pub use candidates::CandidateSet;
 pub use error::CoreError;
-pub use manager::{PolicyManager, SearchMode, Selection, RHO_QUANTUM};
+pub use manager::{
+    CharacterizationKey, PolicyManager, SearchMode, Selection, WarmStartStats, RHO_QUANTUM,
+};
 pub use qos::QosConstraint;
 pub use report::{EpochReport, RunReport};
 pub use runtime::{run, RuntimeConfig, RuntimeConfigBuilder};
@@ -79,9 +81,9 @@ pub use strategies::{FixedPolicyStrategy, RaceToHaltStrategy, SleepScaleStrategy
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::{
-        run, AnalyticStrategy, CacheStats, CandidateSet, CharacterizationCache, CoreError,
-        EpochReport, FixedPolicyStrategy, PolicyManager, QosConstraint, RaceToHaltStrategy,
-        RunReport, RuntimeConfig, RuntimeConfigBuilder, SearchMode, Selection, SleepScaleStrategy,
-        Strategy,
+        run, AnalyticStrategy, CacheStats, CandidateSet, CharacterizationCache,
+        CharacterizationKey, CoreError, EpochReport, FixedPolicyStrategy, PolicyManager,
+        QosConstraint, RaceToHaltStrategy, RunReport, RuntimeConfig, RuntimeConfigBuilder,
+        SearchMode, Selection, SleepScaleStrategy, Strategy, WarmStartStats,
     };
 }

@@ -38,6 +38,52 @@ use sleepscale_workloads::JobLog;
 /// distinct buckets.
 pub const RHO_QUANTUM: f64 = 0.02;
 
+/// An opaque handle to the characterization a manager *would* perform
+/// for a given (log, prediction) pair — the cache key, without the
+/// work. Fleet engines use it to elect one owner per distinct missing
+/// key before fanning `begin_epoch` out across threads, so exactly one
+/// server performs each real sweep regardless of worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CharacterizationKey(pub(crate) CacheKey);
+
+/// Counters for the cross-epoch warm-start of the coarse-to-fine
+/// search: how many per-program bowl searches ran, and how many of them
+/// started from a remembered bottom instead of a cold bracket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStartStats {
+    /// Program searches seeded from a previous epoch's bowl bottom.
+    pub warm: u64,
+    /// Total program searches performed by `select_from_log`.
+    pub searches: u64,
+}
+
+impl WarmStartStats {
+    /// Fraction of searches that were warm-started (0 when none ran).
+    pub fn warm_rate(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.warm as f64 / self.searches as f64
+        }
+    }
+
+    /// Adds another manager's counters in (fleet aggregation).
+    pub fn merge(&mut self, other: WarmStartStats) {
+        self.warm += other.warm;
+        self.searches += other.searches;
+    }
+}
+
+/// The coarse-to-fine search's cross-epoch memory: the last-seen bowl
+///-bottom *frequency* per program. Stored as frequencies (not grid
+/// indices) because the grid itself moves with the predicted
+/// utilization.
+#[derive(Debug, Clone, Default)]
+struct WarmStart {
+    bottoms: Vec<Option<f64>>,
+    stats: WarmStartStats,
+}
+
 /// How the policy manager explores the candidate grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SearchMode {
@@ -70,6 +116,7 @@ pub struct PolicyManager {
     search: SearchMode,
     cache: Option<CharacterizationCache>,
     replay_scratch: JobStream,
+    warm: WarmStart,
 }
 
 /// What the manager decided for an epoch, with its predicted metrics.
@@ -122,6 +169,7 @@ impl PolicyManager {
             search: SearchMode::CoarseToFine,
             cache: Some(CharacterizationCache::new(DEFAULT_CACHE_CAPACITY)),
             replay_scratch: JobStream::default(),
+            warm: WarmStart::default(),
         })
     }
 
@@ -155,6 +203,40 @@ impl PolicyManager {
         self.cache.as_ref()
     }
 
+    /// The cache key `select_from_log` would use for this (log,
+    /// prediction) pair, or `None` when the call could not be served
+    /// from (or stored into) the cache — caching disabled, degenerate
+    /// prediction, or an empty log (which `select_from_log` rejects).
+    ///
+    /// Fleet engines call this before fanning epoch control out across
+    /// threads: grouping servers by key and electing the first server
+    /// of each missing key as its computer makes the shared cache's
+    /// contents independent of worker count and scheduling.
+    pub fn plan_key(&self, log: &JobLog, rho_pred: f64) -> Option<CharacterizationKey> {
+        (self.cache.is_some() && rho_pred.is_finite() && !log.is_empty()).then(|| {
+            let rho = rho_pred.clamp(0.01, 0.95);
+            CharacterizationKey(CacheKey {
+                rho_bucket: (rho / RHO_QUANTUM).round() as u32,
+                log_signature: log.coarse_signature(),
+                search: self.search,
+            })
+        })
+    }
+
+    /// Whether a selection for `key` is already cached. Unlike a
+    /// lookup through `select_from_log`, this does *not* touch the
+    /// hit/miss counters — it is a planning peek, not a use.
+    pub fn is_cached(&self, key: &CharacterizationKey) -> bool {
+        self.cache.as_ref().is_some_and(|c| c.contains(key))
+    }
+
+    /// Counters for the coarse-to-fine search's cross-epoch warm-start
+    /// (how often a program's bowl search started from a remembered
+    /// bottom instead of a cold bracket).
+    pub fn warm_start_stats(&self) -> WarmStartStats {
+        self.warm.stats
+    }
+
     /// Selects a policy from a runtime job log, rescaled to the
     /// predicted utilization (Section 5.2.1's log replay).
     ///
@@ -163,24 +245,59 @@ impl PolicyManager {
     /// (`ρ̂` bucket, [`JobLog::coarse_signature`]); a hit performs zero
     /// simulations (`Selection::evaluated == 0`). The replay buffer is
     /// reused across calls, so a cache miss allocates no fresh stream.
+    /// In [`SearchMode::CoarseToFine`], misses warm-start each
+    /// program's bowl search from the bottom this manager found for
+    /// that program in a previous epoch (load drifts slowly between
+    /// epochs, so the remembered bottom is usually 1–3 descent steps
+    /// from the new one).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Workload`] when the log is empty or the
     /// prediction is degenerate.
     pub fn select_from_log(&mut self, log: &JobLog, rho_pred: f64) -> Result<Selection, CoreError> {
+        self.select_from_log_keyed(log, rho_pred, None)
+    }
+
+    /// [`PolicyManager::select_from_log`] with a pre-computed
+    /// [`CharacterizationKey`] from [`PolicyManager::plan_key`], so the
+    /// log signature is hashed once per epoch instead of once at
+    /// planning time and again at selection time (fleet engines plan
+    /// every server's key up front for owner election).
+    ///
+    /// `planned` must come from `plan_key` on the *same* `(log,
+    /// rho_pred)` pair with no intervening log or configuration change —
+    /// a stale key would alias another characterization. Passing `None`
+    /// recomputes the key here.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PolicyManager::select_from_log`].
+    pub fn select_from_log_keyed(
+        &mut self,
+        log: &JobLog,
+        rho_pred: f64,
+        planned: Option<CharacterizationKey>,
+    ) -> Result<Selection, CoreError> {
         let mut rho = rho_pred.clamp(0.01, 0.95);
         // A non-finite prediction must reach the replay's validation
         // error, not be laundered into bucket 0 by the `as u32` cast.
-        let key = (self.cache.is_some() && rho_pred.is_finite()).then(|| {
-            let bucket = (rho / RHO_QUANTUM).round() as u32;
-            rho = (bucket as f64 * RHO_QUANTUM).clamp(0.01, 0.95);
-            CacheKey {
-                rho_bucket: bucket,
-                log_signature: log.coarse_signature(),
-                search: self.search,
+        let key = match planned {
+            Some(k) if self.cache.is_some() && rho_pred.is_finite() => {
+                debug_assert_eq!(k.0.search, self.search, "planned key from another search mode");
+                rho = (k.0.rho_bucket as f64 * RHO_QUANTUM).clamp(0.01, 0.95);
+                Some(k.0)
             }
-        });
+            _ => (self.cache.is_some() && rho_pred.is_finite()).then(|| {
+                let bucket = (rho / RHO_QUANTUM).round() as u32;
+                rho = (bucket as f64 * RHO_QUANTUM).clamp(0.01, 0.95);
+                CacheKey {
+                    rho_bucket: bucket,
+                    log_signature: log.coarse_signature(),
+                    search: self.search,
+                }
+            }),
+        };
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(mut selection) = cache.get(key) {
                 selection.evaluated = 0;
@@ -191,7 +308,14 @@ impl PolicyManager {
         let replayed = log.replay_into(self.eval_jobs, rho, &mut stream);
         self.replay_scratch = stream;
         replayed?;
-        let selection = self.select_from_stream(&self.replay_scratch, rho);
+        let mut warm = std::mem::take(&mut self.warm);
+        let selection = match self.search {
+            SearchMode::Exhaustive => self.select_exhaustive(&self.replay_scratch, rho),
+            SearchMode::CoarseToFine => {
+                self.select_pruned_with(&self.replay_scratch, rho, &mut warm)
+            }
+        };
+        self.warm = warm;
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             cache.insert(key, selection.clone());
         }
@@ -200,11 +324,14 @@ impl PolicyManager {
 
     /// Selects a policy for an explicit characterization stream (used by
     /// the figure harness and by callers that build their own replays).
-    /// Never consults the cache; honors the configured [`SearchMode`].
+    /// Never consults the cache or the cross-epoch warm-start memory;
+    /// honors the configured [`SearchMode`].
     pub fn select_from_stream(&self, stream: &JobStream, rho_pred: f64) -> Selection {
         match self.search {
             SearchMode::Exhaustive => self.select_exhaustive(stream, rho_pred),
-            SearchMode::CoarseToFine => self.select_pruned(stream, rho_pred),
+            SearchMode::CoarseToFine => {
+                self.select_pruned_with(stream, rho_pred, &mut WarmStart::default())
+            }
         }
     }
 
@@ -220,9 +347,22 @@ impl PolicyManager {
     }
 
     /// Coarse-to-fine pruned search (see the [module docs](self) for
-    /// the exactness conditions).
-    fn select_pruned(&self, stream: &JobStream, rho_pred: f64) -> Selection {
+    /// the exactness conditions). `warm` carries the cross-epoch
+    /// per-program bowl-bottom memory: when it holds a bottom for a
+    /// program, that program's search starts with a local descent from
+    /// the remembered frequency instead of a cold bracket-and-refine
+    /// pass; either way the bottom found this time is written back.
+    fn select_pruned_with(
+        &self,
+        stream: &JobStream,
+        rho_pred: f64,
+        warm: &mut WarmStart,
+    ) -> Selection {
         let grid: Vec<Frequency> = self.candidates.grid_for(rho_pred).iter().collect();
+        let programs = self.candidates.programs();
+        if warm.bottoms.len() != programs.len() {
+            warm.bottoms = vec![None; programs.len()];
+        }
         let mut scratch = SimScratch::new();
         let mut evaluated = 0usize;
         // Every (policy, outcome) the search simulated, for the
@@ -233,9 +373,16 @@ impl PolicyManager {
         // The bowl bottoms of different programs sit close together
         // (the frequency/response trade dominates; the sleep program
         // mostly shifts the curve), so each program's search warm-starts
-        // from the previous program's minimum and descends locally.
+        // from its own bottom in the previous epoch when one is
+        // remembered, else from the previous program's minimum, and
+        // descends locally.
         let mut hint: Option<usize> = None;
-        for program in self.candidates.programs() {
+        for (p, program) in programs.iter().enumerate() {
+            let remembered = warm.bottoms[p].map(|f| nearest_grid_index(&grid, f));
+            warm.stats.searches += 1;
+            if remembered.is_some() {
+                warm.stats.warm += 1;
+            }
             let mut search = ProgramSearch {
                 jobs: stream,
                 env: &self.env,
@@ -245,8 +392,9 @@ impl PolicyManager {
                 evaluated: 0,
                 scratch: &mut scratch,
             };
-            let (bottom, winner) = search.run(&self.qos, self.mean_service, hint);
+            let (bottom, winner) = search.run(&self.qos, self.mean_service, remembered.or(hint));
             hint = Some(bottom);
+            warm.bottoms[p] = Some(grid[bottom].get());
             evaluated += search.evaluated;
             let memo = search.memo;
             for (i, outcome) in memo.into_iter().enumerate() {
@@ -335,6 +483,25 @@ impl PolicyManager {
     /// The workload's full-speed mean service time `1/µ`.
     pub fn mean_service(&self) -> f64 {
         self.mean_service
+    }
+}
+
+/// The grid index whose frequency is closest to `f` — how a remembered
+/// bowl-bottom frequency re-anchors on a grid that shifted with the
+/// predicted utilization. The grid is ascending, so this is a binary
+/// search plus a two-neighbor comparison.
+fn nearest_grid_index(grid: &[Frequency], f: f64) -> usize {
+    let pos = grid.partition_point(|g| g.get() < f);
+    match (pos.checked_sub(1), grid.get(pos)) {
+        (Some(lo), Some(hi)) => {
+            if f - grid[lo].get() <= hi.get() - f {
+                lo
+            } else {
+                pos
+            }
+        }
+        (Some(lo), None) => lo,
+        (None, _) => 0,
     }
 }
 
@@ -563,7 +730,15 @@ mod tests {
         let a = m.select_from_log(&log, 0.21).unwrap();
         let b = m.select_from_log(&log, 0.21).unwrap();
         assert!(a.evaluated > 0 && b.evaluated > 0);
-        assert_eq!(a, b, "no cache, but determinism still holds");
+        // Determinism still holds on the decision; the second call may
+        // reach it in fewer simulations via the cross-epoch warm start.
+        assert_eq!(a.policy, b.policy, "no cache, but determinism still holds");
+        assert_eq!(a.predicted_power, b.predicted_power);
+        assert_eq!(a.feasible, b.feasible);
+        assert!(b.evaluated <= a.evaluated, "warm start must not cost extra simulations");
+        let warm = m.warm_start_stats();
+        assert!(warm.warm > 0 && warm.searches > warm.warm, "{warm:?}");
+        assert!(warm.warm_rate() > 0.0);
     }
 
     #[test]

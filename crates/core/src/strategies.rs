@@ -1,7 +1,7 @@
 use crate::cache::CharacterizationCache;
 use crate::candidates::CandidateSet;
 use crate::error::CoreError;
-use crate::manager::{PolicyManager, SearchMode, Selection};
+use crate::manager::{CharacterizationKey, PolicyManager, SearchMode, Selection, WarmStartStats};
 use crate::runtime::RuntimeConfig;
 use sleepscale_power::{Policy, SleepStage};
 use sleepscale_predict::{LmsCusum, Predictor};
@@ -59,6 +59,11 @@ pub struct SleepScaleStrategy {
     last_epoch_mean_delay: Option<f64>,
     last_prediction: f64,
     last_selection: Option<Selection>,
+    /// `(prediction, key)` cached by `planned_characterization` for the
+    /// next `begin_epoch`, so the log signature is hashed once per
+    /// epoch. Invalidated by anything that changes the prediction or
+    /// the log.
+    planned: Option<(f64, CharacterizationKey)>,
 }
 
 impl fmt::Debug for SleepScaleStrategy {
@@ -95,6 +100,7 @@ impl SleepScaleStrategy {
             last_epoch_mean_delay: None,
             last_prediction: 0.0,
             last_selection: None,
+            planned: None,
         }
     }
 
@@ -135,6 +141,33 @@ impl SleepScaleStrategy {
         self
     }
 
+    /// The characterization this strategy's next `begin_epoch` would
+    /// memoize, if any — `None` while the log is cold (no
+    /// characterization happens) or when caching is disabled. Cheap
+    /// (no simulation); fleet engines use it to elect exactly one
+    /// owner per distinct missing key before running `begin_epoch`
+    /// across worker threads, keeping parallel fleets byte-identical
+    /// to serial ones. The plan is cached and consumed by the next
+    /// `begin_epoch`, so planning does not double the per-epoch log
+    /// signature cost.
+    pub fn planned_characterization(&mut self) -> Option<CharacterizationKey> {
+        let rho_pred = self.predictor.predict();
+        let key = self.manager.plan_key(&self.log, rho_pred);
+        self.planned = key.map(|k| (rho_pred, k));
+        key
+    }
+
+    /// Whether `planned_characterization`'s key is already cached (a
+    /// non-counting peek; see [`PolicyManager::is_cached`]).
+    pub fn is_characterization_cached(&self, key: &CharacterizationKey) -> bool {
+        self.manager.is_cached(key)
+    }
+
+    /// Cross-epoch warm-start counters of this strategy's manager.
+    pub fn warm_start_stats(&self) -> WarmStartStats {
+        self.manager.warm_start_stats()
+    }
+
     /// The cold-start policy: full speed (safe for response) with the
     /// candidate set's *deepest* program (safe for power — a server that
     /// never receives work must not idle at operating power; in a
@@ -154,7 +187,13 @@ impl Strategy for SleepScaleStrategy {
     fn begin_epoch(&mut self, _epoch: usize) -> Result<Policy, CoreError> {
         let rho_pred = self.predictor.predict();
         self.last_prediction = rho_pred;
-        let selection = match self.manager.select_from_log(&self.log, rho_pred) {
+        // Reuse the key `planned_characterization` hashed, if it is
+        // still current (same prediction, log untouched since).
+        let planned = self
+            .planned
+            .take()
+            .and_then(|(planned_rho, key)| (planned_rho == rho_pred).then_some(key));
+        let selection = match self.manager.select_from_log_keyed(&self.log, rho_pred, planned) {
             Ok(s) => s,
             Err(_) => {
                 // Cold start: no log yet. Run safe and fast.
@@ -178,6 +217,7 @@ impl Strategy for SleepScaleStrategy {
     }
 
     fn end_epoch(&mut self, records: &[JobRecord]) {
+        self.planned = None; // the log is about to change
         self.log.extend_from_records(records);
         self.last_epoch_mean_delay = if records.is_empty() {
             Some(0.0)
@@ -187,6 +227,7 @@ impl Strategy for SleepScaleStrategy {
     }
 
     fn observe_minute(&mut self, rho: f64) {
+        self.planned = None; // the prediction is about to change
         self.predictor.observe(rho);
     }
 

@@ -18,6 +18,9 @@
 //!   replays its histograms.
 //! * [`Moments`]/[`SummaryStats`] — streaming moment accumulation and
 //!   order-statistic summaries (`E[R]`, p95, `Pr(R ≥ d)`).
+//! * [`StreamingSummary`]/[`QuantileSketch`] — the mergeable,
+//!   constant-memory form for fleet-scale streams (exact moments +
+//!   ±0.5%-relative sketched quantiles).
 //!
 //! # Example
 //!
@@ -45,12 +48,14 @@ mod error;
 mod families;
 pub mod fit;
 mod moments;
+mod streaming;
 mod traits;
 
 pub use empirical::Empirical;
 pub use error::DistError;
 pub use families::{Deterministic, Exponential, Gamma, Hyperexp2};
 pub use moments::{Moments, SummaryStats};
+pub use streaming::{QuantileSketch, StreamingSummary};
 pub use traits::{Distribution, DynDistribution};
 
 /// Convenient glob-import surface.
@@ -58,6 +63,6 @@ pub mod prelude {
     pub use crate::fit;
     pub use crate::{
         Deterministic, DistError, Distribution, DynDistribution, Empirical, Exponential, Gamma,
-        Hyperexp2, Moments, SummaryStats,
+        Hyperexp2, Moments, QuantileSketch, StreamingSummary, SummaryStats,
     };
 }

@@ -62,6 +62,26 @@ impl Moments {
     pub fn second_moment(&self) -> f64 {
         self.variance() + self.mean * self.mean
     }
+
+    /// Folds another accumulator in (Chan et al.'s pairwise update), as
+    /// if every observation of `other` had been pushed into `self`.
+    /// Exact in the same sense as [`Moments::push`]: the combined count,
+    /// mean, and M2 match the streaming result up to rounding.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let w = other.n as f64 / n as f64;
+        self.mean += delta * w;
+        self.m2 += other.m2 + delta * delta * w * self.n as f64;
+        self.n = n;
+    }
 }
 
 /// Order statistics over a frozen set of samples: mean, percentiles,

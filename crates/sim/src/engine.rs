@@ -152,7 +152,14 @@ impl OnlineSim {
         self.ledger.add_segment(start, departure, active_watts);
         self.residency.add_serving(service);
         self.state.free_time = departure;
-        self.state.idle = Some((policy.program().clone(), f));
+        // The idle program is the serving policy's; skip the clone when
+        // it is already installed (the common case — policies change at
+        // epoch boundaries, not per job, and the one-at-a-time fleet
+        // dispatch path calls this once per job).
+        match &self.state.idle {
+            Some((program, freq)) if *freq == f && program == policy.program() => {}
+            _ => self.state.idle = Some((policy.program().clone(), f)),
+        }
         self.jobs_done += 1;
 
         JobRecord {

@@ -8,22 +8,23 @@ use sleepscale_repro::prelude::*;
 
 #[test]
 fn dispatchers_route_through_the_facade() {
-    use cluster::{Dispatcher, JoinShortestBacklog, RoundRobin, ServerView};
+    use cluster::{DispatchIndex, Dispatcher, JoinShortestBacklog, RoundRobin};
 
-    let views: Vec<ServerView> = vec![
-        ServerView { index: 0, backlog_seconds: 5.0 },
-        ServerView { index: 1, backlog_seconds: 0.0 },
-        ServerView { index: 2, backlog_seconds: 2.5 },
-    ];
+    // Backlogs at t = 0 of 5.0, 0.0, and 2.5 seconds.
+    let mut index = DispatchIndex::new(3);
+    index.update(0, 5.0);
+    index.update(1, 0.0);
+    index.update(2, 2.5);
     let job = |arrival: f64| sleepscale_repro::sleepscale_sim::Job { id: 0, arrival, size: 0.1 };
 
     let mut rr = RoundRobin::new();
-    let first = rr.route(&job(0.0), &views);
-    let second = rr.route(&job(0.1), &views);
+    let first = rr.route(&job(0.0), &index);
+    let second = rr.route(&job(0.1), &index);
     assert_ne!(first, second, "round-robin must advance");
 
     let mut jsb = JoinShortestBacklog::new();
-    assert_eq!(jsb.route(&job(0.2), &views), 1, "shortest backlog wins");
+    assert_eq!(jsb.route(&job(0.2), &index), 1, "shortest backlog wins");
+    assert_eq!(index.backlog(0, 0.2), 4.8);
 }
 
 #[test]

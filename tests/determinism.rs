@@ -74,11 +74,59 @@ fn selection_is_reproducible_across_modes_and_repeats() {
         let hit = a.select_from_log(&log, 0.3).unwrap();
         assert_eq!(hit.policy, first.policy, "{mode:?}");
         assert_eq!(hit.evaluated, 0, "{mode:?}");
-        // Uncached managers recompute and still agree on the policy.
+        // Uncached managers recompute and still agree on the decision;
+        // the repeat may reach it in fewer simulations because the
+        // coarse-to-fine search warm-starts from the remembered
+        // per-program bowl bottoms.
         let mut c = manager().with_search_mode(mode).without_cache();
         let uncached_1 = c.select_from_log(&log, 0.3).unwrap();
         let uncached_2 = c.select_from_log(&log, 0.3).unwrap();
-        assert_eq!(uncached_1, uncached_2, "{mode:?}");
+        assert_eq!(uncached_1.policy, uncached_2.policy, "{mode:?}");
+        assert_eq!(uncached_1.predicted_power, uncached_2.predicted_power, "{mode:?}");
+        assert!(uncached_2.evaluated <= uncached_1.evaluated, "{mode:?}");
+    }
+}
+
+/// The parallel cluster engine is a pure function of its inputs: the
+/// owner-elected characterization phase and chunked epoch close-out
+/// must make fleet runs byte-identical for every worker count.
+#[test]
+fn fleet_run_is_thread_count_invariant() {
+    use sleepscale_repro::sleepscale_cluster::{Cluster, ClusterConfig, JoinShortestBacklog};
+
+    let spec = WorkloadSpec::dns();
+    let n_servers = 6;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+    let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+    let trace = traces::email_store(1, 7).window(540, 540 + 60);
+    let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n_servers), &mut rng).unwrap();
+    let runtime = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).unwrap())
+        .epoch_minutes(5)
+        .eval_jobs(300)
+        .build()
+        .unwrap();
+    let config = ClusterConfig::new(n_servers, runtime);
+    let run_pinned = |threads: usize| {
+        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound())
+            .with_threads(threads);
+        let report = cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap();
+        (report, cluster.characterization_stats())
+    };
+    let (reference, reference_stats) = run_pinned(1);
+    assert_eq!(reference.total_jobs(), jobs.len());
+    // The invariance argument assumes the fleet cache never evicts
+    // (owner election peeks at residency); this run must be inside
+    // that regime or the test is vacuous.
+    assert_eq!(reference_stats.evictions, 0);
+    for threads in [2, 3, 8] {
+        let (run, stats) = run_pinned(threads);
+        assert_eq!(run, reference, "threads={threads} diverged from the serial fleet");
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (reference_stats.hits, reference_stats.misses),
+            "threads={threads} changed the shared-cache traffic"
+        );
     }
 }
 

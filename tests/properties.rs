@@ -152,6 +152,57 @@ proptest! {
         );
     }
 
+    /// The O(log N) dispatch index routes exactly like the O(N) linear
+    /// scan the serial engine ran per job: for arbitrary fleets and
+    /// arbitrary interleavings of arrivals and commitments,
+    /// shortest-backlog and first-fit picks agree with a first-minimum
+    /// scan over clamped backlogs (including the all-idle tie, which
+    /// both break toward the lowest server index).
+    #[test]
+    fn dispatch_index_matches_linear_scan(
+        n in 1_usize..33,
+        threshold in 0.0_f64..4.0,
+        seed in 0_u64..10_000,
+    ) {
+        use rand::Rng;
+        use sleepscale_repro::sleepscale_cluster::DispatchIndex;
+
+        let linear_jsb = |free: &[f64], now: f64| -> usize {
+            free.iter()
+                .enumerate()
+                .map(|(i, &t)| (i, (t - now).max(0.0)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let linear_first_fit = |free: &[f64], now: f64| -> usize {
+            free.iter()
+                .enumerate()
+                .find(|(_, &t)| (t - now).max(0.0) < threshold)
+                .map(|(i, _)| i)
+                .unwrap_or_else(|| linear_jsb(free, now))
+        };
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut index = DispatchIndex::new(n);
+        let mut free = vec![0.0_f64; n];
+        let mut now = 0.0;
+        for step in 0..300 {
+            now += rng.gen_range(0.0..0.5);
+            let jsb = index.shortest_backlog_server(now);
+            prop_assert_eq!(jsb, linear_jsb(&free, now), "jsb step {} now {}", step, now);
+            let fit = index
+                .first_free_below(now + threshold)
+                .unwrap_or_else(|| index.shortest_backlog_server(now));
+            prop_assert_eq!(fit, linear_first_fit(&free, now), "fit step {} now {}", step, now);
+            // Commit work to whichever server first-fit picked, exactly
+            // as the engine re-keys only the routed server.
+            free[fit] = free[fit].max(now) + rng.gen_range(0.0..2.0);
+            index.update(fit, free[fit]);
+        }
+        prop_assert_eq!(index.free_times(), &free[..]);
+    }
+
     /// Log replay hits any requested utilization target.
     #[test]
     fn job_log_replay_matches_target(
