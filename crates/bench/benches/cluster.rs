@@ -5,10 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
-use sleepscale::{CandidateSet, QosConstraint, RuntimeConfig};
+use sleepscale::{QosConstraint, RuntimeConfig};
 use sleepscale_cluster::{Cluster, ClusterConfig, DispatchIndex, JoinShortestBacklog};
 use sleepscale_dist::{StreamingSummary, SummaryStats};
-use sleepscale_sim::SimEnv;
 use sleepscale_workloads::{
     replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
 };
@@ -105,11 +104,10 @@ fn fleet_epoch(c: &mut Criterion) {
         .eval_jobs(200)
         .build()
         .expect("valid config");
-    let config = ClusterConfig::new(n, runtime);
+    let config = ClusterConfig::homogeneous(n, runtime).expect("valid fleet");
     c.bench_function("fleet_8_servers_30_min", |b| {
         b.iter(|| {
-            let mut cluster =
-                Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+            let mut cluster = Cluster::new(config.clone());
             cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).expect("run succeeds")
         })
     });

@@ -3,13 +3,12 @@
 //! moderate cluster utilization.
 
 use rand::SeedableRng;
-use sleepscale::{CandidateSet, QosConstraint, RuntimeConfig};
+use sleepscale::{QosConstraint, RuntimeConfig};
 use sleepscale_bench::Quality;
 use sleepscale_cluster::{
     Cluster, ClusterConfig, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform,
     RoundRobin,
 };
-use sleepscale_sim::SimEnv;
 use sleepscale_workloads::{
     replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
 };
@@ -26,7 +25,7 @@ fn main() {
         .over_provisioning(0.0)
         .build()
         .expect("valid config");
-    let config = ClusterConfig::new(n, runtime);
+    let config = ClusterConfig::homogeneous(n, runtime).expect("valid fleet");
 
     println!("== Cluster dispatch ablation: {n} servers, DNS-like ==");
     for rho in [0.15, 0.45] {
@@ -44,8 +43,7 @@ fn main() {
             Box::new(PackFirstFit::new(1.0)),
         ];
         for d in dispatchers.iter_mut() {
-            let mut cluster =
-                Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+            let mut cluster = Cluster::new(config.clone());
             let r = cluster.run(&trace, &jobs, d.as_mut()).expect("cluster run completes");
             println!(
                 "{:>24} {:>12.2} {:>12.0} {:>10.2}",

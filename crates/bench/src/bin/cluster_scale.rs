@@ -5,6 +5,11 @@
 //! O(total-jobs) response collection), on a 64-server Table-5 DNS day
 //! under join-shortest-backlog dispatch.
 //!
+//! Since PR 4 the scale-out side runs *through the Scenario API*: the
+//! fleet is the catalog's `fleet-64-homogeneous` scenario driven by
+//! `ScenarioRunner`, so this gate also proves the declarative path
+//! reproduces the hand-wired engine byte for byte.
+//!
 //! Run with `cargo run --release -p sleepscale-bench --bin cluster_scale`
 //! (`--quick` for a smaller fleet and shorter window). Emits a
 //! comparison table to stdout and `results/cluster_scale.csv`, and
@@ -12,13 +17,11 @@
 //! statistically identical reports: same job totals, same per-server
 //! job counts, per-server energy within 1e-6 relative.
 
-use rand::SeedableRng;
-use sleepscale::{CandidateSet, QosConstraint, RuntimeConfig};
-use sleepscale_cluster::{Cluster, ClusterConfig, JoinShortestBacklog};
-use sleepscale_sim::{JobStream, SimEnv};
-use sleepscale_workloads::{
-    replay_trace, traces, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
-};
+use sleepscale::RuntimeConfig;
+use sleepscale_cluster::Cluster;
+use sleepscale_scenario::{catalog, ScenarioRunner};
+use sleepscale_sim::JobStream;
+use sleepscale_workloads::UtilizationTrace;
 use std::time::Instant;
 
 /// What both engines must agree on, plus what we time.
@@ -38,7 +41,7 @@ struct EngineRun {
 /// log feeding, predictor updates) runs server-by-server; responses
 /// collect into an O(total-jobs) vector summarized at the end.
 mod serial_reference {
-    use sleepscale::{CharacterizationCache, SleepScaleStrategy, Strategy};
+    use sleepscale::{CandidateSet, CharacterizationCache, SleepScaleStrategy, Strategy};
     use sleepscale_dist::SummaryStats;
     use sleepscale_sim::{JobRecord, OnlineSim};
 
@@ -59,23 +62,22 @@ mod serial_reference {
     }
 
     pub fn run_jsb(
-        config: &ClusterConfig,
-        candidates: &CandidateSet,
-        env: &SimEnv,
+        n_servers: usize,
+        runtime: &RuntimeConfig,
         trace: &UtilizationTrace,
         jobs: &JobStream,
     ) -> EngineRun {
         let t0 = Instant::now();
-        let epoch_minutes = config.runtime().epoch_minutes();
+        let epoch_minutes = runtime.epoch_minutes();
         let epoch_seconds = epoch_minutes as f64 * 60.0;
         // Same fleet-sized capacity as the scale-out engine, so both
         // run in the no-eviction regime and produce identical
         // selection sequences (the parity the acceptance checks).
-        let cache = CharacterizationCache::new(Cluster::cache_capacity(config.n_servers()));
-        let mut slots: Vec<Slot> = (0..config.n_servers())
+        let cache = CharacterizationCache::new(Cluster::cache_capacity(n_servers));
+        let mut slots: Vec<Slot> = (0..n_servers)
             .map(|_| Slot {
-                sim: OnlineSim::new(env.clone(), epoch_seconds),
-                strategy: SleepScaleStrategy::new(config.runtime(), candidates.clone())
+                sim: OnlineSim::new(runtime.env().clone(), epoch_seconds),
+                strategy: SleepScaleStrategy::new(runtime, CandidateSet::standard())
                     .with_shared_cache(cache.clone()),
                 policy: None,
                 epoch_records: Vec::new(),
@@ -153,50 +155,47 @@ mod serial_reference {
     }
 }
 
+/// The scale-out engine, driven entirely through the declarative
+/// Scenario API against the same pre-materialized inputs the serial
+/// reference consumed.
 fn run_scale_out(
-    config: &ClusterConfig,
-    candidates: &CandidateSet,
-    env: &SimEnv,
+    runner: &ScenarioRunner,
+    spec: &sleepscale_workloads::WorkloadSpec,
     trace: &UtilizationTrace,
     jobs: &JobStream,
-) -> (EngineRun, Cluster) {
-    let mut cluster = Cluster::new(config, candidates.clone(), env.clone());
+) -> (EngineRun, sleepscale_scenario::ScenarioReport) {
     let t0 = Instant::now();
-    let report =
-        cluster.run(trace, jobs, &mut JoinShortestBacklog::new()).expect("cluster run succeeds");
+    let report = runner.run_with_inputs(spec, trace, jobs).expect("scenario run succeeds");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cluster = report.cluster_report().expect("fleet scenarios run the cluster backend");
     let run = EngineRun {
-        label: "scale-out (PR-3)",
-        per_server_jobs: report.servers().iter().map(|s| s.jobs).collect(),
-        per_server_energy: report.servers().iter().map(|s| s.energy_joules).collect(),
-        total_jobs: report.total_jobs(),
-        mean_response: report.mean_response_seconds(),
-        p95: report.p95_response_seconds(),
+        label: "scenario (PR-4)",
+        per_server_jobs: cluster.servers().iter().map(|s| s.jobs).collect(),
+        per_server_energy: cluster.servers().iter().map(|s| s.energy_joules).collect(),
+        total_jobs: cluster.total_jobs(),
+        mean_response: cluster.mean_response_seconds(),
+        p95: cluster.p95_response_seconds(),
         wall_ms,
     };
-    (run, cluster)
+    (run, report)
 }
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (n_servers, minutes) = if quick { (16, 90) } else { (64, 360) };
-    let spec = WorkloadSpec::dns();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2203);
-    let dists = WorkloadDistributions::empirical(&spec, 8_000, &mut rng).expect("Table-5 moments");
-    let trace = traces::email_store(1, 7).window(480, 480 + minutes);
-    let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n_servers), &mut rng)
-        .expect("fleet replay");
-    let runtime = RuntimeConfig::builder(spec.service_mean())
-        .qos(QosConstraint::mean_response(0.8).expect("valid rho_b"))
-        .epoch_minutes(5)
-        // The characterization depth the cluster suites use (identical
-        // for both engines; `SS_EVAL_JOBS` overrides for experiments).
-        .eval_jobs(std::env::var("SS_EVAL_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(300))
-        .build()
-        .expect("valid runtime config");
-    let config = ClusterConfig::new(n_servers, runtime);
-    let candidates = CandidateSet::standard();
-    let env = SimEnv::xeon_cpu_bound();
+    let mut scenario = catalog::fleet64();
+    if quick {
+        scenario = scenario.quick();
+    }
+    // The characterization depth the cluster suites use (identical for
+    // both engines; `SS_EVAL_JOBS` overrides for experiments).
+    if let Some(eval) = std::env::var("SS_EVAL_JOBS").ok().and_then(|v| v.parse().ok()) {
+        scenario.eval_jobs = eval;
+    }
+    let n_servers = scenario.total_servers();
+    let minutes = scenario.load.minutes();
+    let runner = ScenarioRunner::new(scenario).expect("catalog scenario is valid");
+    let (spec, trace, jobs) = runner.inputs().expect("inputs materialize");
+    let runtime = runner.base_runtime(&spec).expect("valid runtime config");
 
     println!(
         "== cluster_scale: {n_servers}-server DNS (Table 5) fleet, {minutes} min, {} jobs ==",
@@ -205,13 +204,12 @@ fn main() -> std::io::Result<()> {
     // Two timed passes per engine, keeping the faster wall clock for
     // the ratio (shared-container scheduling noise swamps a single
     // pass); reports are compared from the first pass of each.
-    let mut serial = serial_reference::run_jsb(&config, &candidates, &env, &trace, &jobs);
-    serial.wall_ms = serial
-        .wall_ms
-        .min(serial_reference::run_jsb(&config, &candidates, &env, &trace, &jobs).wall_ms);
-    let (mut scale_out, cluster) = run_scale_out(&config, &candidates, &env, &trace, &jobs);
+    let mut serial = serial_reference::run_jsb(n_servers, &runtime, &trace, &jobs);
+    serial.wall_ms =
+        serial.wall_ms.min(serial_reference::run_jsb(n_servers, &runtime, &trace, &jobs).wall_ms);
+    let (mut scale_out, report) = run_scale_out(&runner, &spec, &trace, &jobs);
     scale_out.wall_ms =
-        scale_out.wall_ms.min(run_scale_out(&config, &candidates, &env, &trace, &jobs).0.wall_ms);
+        scale_out.wall_ms.min(run_scale_out(&runner, &spec, &trace, &jobs).0.wall_ms);
 
     println!(
         "{:<18} {:>10} {:>12} {:>12} {:>12} {:>12}",
@@ -241,17 +239,19 @@ fn main() -> std::io::Result<()> {
             format!("{:.6}", run.p95),
         ]);
     }
-    let cache = cluster.characterization_stats();
-    let warm = cluster.warm_start_stats();
+    let cache = report.cache_stats();
+    let warm = report.warm_start_stats();
     println!(
         "\nshared cache: {} hits / {} misses ({:.0}% hit rate)   warm-started searches: {}/{} \
-         ({:.0}%)",
+         ({:.0}%)   boundary hits: {}/{}",
         cache.hits,
         cache.misses,
         cache.hit_rate() * 100.0,
         warm.warm,
         warm.searches,
-        warm.warm_rate() * 100.0
+        warm.warm_rate() * 100.0,
+        warm.boundary_hits,
+        warm.boundary_searches
     );
 
     // Parity: the overhaul must not change what the fleet computed.

@@ -1,0 +1,142 @@
+//! Runs the bundled scenario catalog end to end through the unified
+//! Scenario API: every deployment shape the reproduction ships (DNS
+//! day, 64-server fleet, mixed generations, per-group QoS split,
+//! race-vs-SleepScale A/B, analytic cross-check, composed-mix packing)
+//! as one declarative table.
+//!
+//! ```sh
+//! cargo run --release -p sleepscale-bench --bin scenarios
+//! cargo run --release -p sleepscale-bench --bin scenarios -- --quick
+//! ```
+//!
+//! `--quick` runs every scenario in its reduced form (truncated
+//! horizon, quarter-size groups) — the CI smoke gate. Exits non-zero
+//! if any scenario fails validation, errors mid-run, or finishes
+//! QoS-infeasible (a panic inside a backend also exits non-zero).
+
+use sleepscale_scenario::{catalog, ScenarioRunner};
+use std::time::Instant;
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scenarios = catalog::catalog();
+    println!(
+        "== scenario catalog: {} scenarios{} ==",
+        scenarios.len(),
+        if quick { " (quick)" } else { "" }
+    );
+    println!(
+        "{:<24} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "scenario",
+        "backend",
+        "servers",
+        "jobs",
+        "mu*E[R]",
+        "p95(ms)",
+        "W",
+        "cache%",
+        "warm%",
+        "QoS"
+    );
+
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for scenario in scenarios {
+        let scenario = if quick { scenario.quick() } else { scenario };
+        let name = scenario.name.clone();
+        let runner = match ScenarioRunner::new(scenario) {
+            Ok(runner) => runner,
+            Err(e) => {
+                failures.push(format!("{name}: invalid scenario: {e}"));
+                continue;
+            }
+        };
+        let t0 = Instant::now();
+        let report = match runner.run() {
+            Ok(report) => report,
+            Err(e) => {
+                failures.push(format!("{name}: run failed: {e}"));
+                continue;
+            }
+        };
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cache = report.cache_stats();
+        let warm = report.warm_start_stats();
+        println!(
+            "{:<24} {:>8} {:>7} {:>9} {:>9.2} {:>9.1} {:>9.0} {:>6.0}% {:>5.0}% {:>6}",
+            report.scenario(),
+            report.backend().label(),
+            runner.scenario().total_servers(),
+            report.total_jobs(),
+            report.normalized_mean_response(),
+            report.p95_response_seconds() * 1e3,
+            report.avg_power_watts(),
+            cache.hit_rate() * 100.0,
+            warm.warm_rate() * 100.0,
+            if report.qos_ok() { "ok" } else { "FAIL" }
+        );
+        // Per-group slices for multi-group fleets — the heterogeneity
+        // the catalog exists to exercise.
+        if report.groups().len() > 1 {
+            for group in report.groups() {
+                println!(
+                    "  └ {:<21} {:>7} {:>9} {:>9.2} {:>19.0}   (budget {:.2}{})",
+                    group.name,
+                    group.servers,
+                    group.jobs,
+                    group.normalized_mean_response,
+                    group.avg_power_watts,
+                    group.qos_budget,
+                    if group.qos_ok { "" } else { " — VIOLATED" }
+                );
+            }
+        }
+        if !report.qos_ok() {
+            failures.push(format!("{name}: QoS-infeasible result"));
+        }
+        rows.push(vec![
+            name,
+            report.backend().label().to_string(),
+            runner.scenario().total_servers().to_string(),
+            report.total_jobs().to_string(),
+            format!("{:.1}", wall_ms),
+            format!("{:.4}", report.normalized_mean_response()),
+            format!("{:.4}", report.p95_response_seconds() * 1e3),
+            format!("{:.2}", report.avg_power_watts()),
+            format!("{:.3}", cache.hit_rate()),
+            format!("{:.3}", warm.warm_rate()),
+            (report.qos_ok() as u8).to_string(),
+        ]);
+    }
+
+    let path = sleepscale_bench::write_csv(
+        "scenarios",
+        &[
+            "scenario",
+            "backend",
+            "servers",
+            "jobs",
+            "wall_ms",
+            "norm_response",
+            "p95_ms",
+            "fleet_w",
+            "cache_hit_rate",
+            "warm_rate",
+            "qos_ok",
+        ],
+        &rows,
+    )?;
+    println!("\nwrote {}", path.display());
+
+    // The analytic cross-check reads off the table: compare the
+    // dns-day-single and dns-day-analytic rows (same inputs, simulated
+    // vs closed-form selection).
+    if failures.is_empty() {
+        println!("catalog: all scenarios ran QoS-feasible — OK");
+        return Ok(());
+    }
+    for failure in &failures {
+        eprintln!("CATALOG FAILED: {failure}");
+    }
+    std::process::exit(1);
+}

@@ -3,6 +3,11 @@
 //! cached policy search against the paper's literal exhaustive sweep,
 //! on the Table-5 DNS workload over a diurnal trace.
 //!
+//! Since PR 4 both modes run *through the Scenario API*: each mode is
+//! the same declarative `Scenario` with a different `StrategySpec`
+//! (exhaustive/uncached vs the default pruned+cached), driven by
+//! `ScenarioRunner` against one shared set of materialized inputs.
+//!
 //! Run with `cargo run --release -p sleepscale-bench --bin sweep_speedup`
 //! (`--quick` for a shorter window). Emits a comparison table to stdout
 //! and `results/sweep_speedup.csv`, and exits non-zero if the overhaul
@@ -10,14 +15,8 @@
 //! selected policies within 1% average power of the exhaustive
 //! baseline.
 
-use rand::SeedableRng;
-use sleepscale::{
-    run, CandidateSet, QosConstraint, RunReport, RuntimeConfig, SearchMode, SleepScaleStrategy,
-};
-use sleepscale_sim::{JobStream, SimEnv};
-use sleepscale_workloads::{
-    replay_trace, traces, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
-};
+use sleepscale::{CandidateSpec, PredictorSpec, RunReport, SearchMode, StrategySpec};
+use sleepscale_scenario::{LoadSchedule, Scenario, ScenarioRunner, WorkloadSource};
 use std::time::Instant;
 
 struct Mode {
@@ -26,60 +25,54 @@ struct Mode {
     wall_ms: f64,
 }
 
-fn run_mode(
-    label: &'static str,
-    make: impl FnOnce(&RuntimeConfig) -> SleepScaleStrategy,
-    trace: &UtilizationTrace,
-    jobs: &JobStream,
-    config: &RuntimeConfig,
-    env: &SimEnv,
-) -> Mode {
-    let mut strategy = make(config);
-    let t0 = Instant::now();
-    let report = run(trace, jobs, &mut strategy, env, config).expect("runtime loop succeeds");
-    Mode { label, report, wall_ms: t0.elapsed().as_secs_f64() * 1e3 }
+fn scenario(minutes: usize, eval_jobs: usize, strategy: StrategySpec) -> Scenario {
+    // Table-5 DNS service statistics over a diurnal utilization trace
+    // (the same recipe for both modes, so the inputs are shared).
+    let mut scenario = Scenario::new(
+        "sweep-speedup",
+        WorkloadSource::Dns,
+        LoadSchedule::EmailStoreDay { seed: 7, start_minute: 480, end_minute: 480 + minutes },
+    );
+    scenario.eval_jobs = eval_jobs;
+    scenario.dist_samples = 8_000;
+    scenario.seed = 1_405;
+    scenario.fleet[0].strategy = strategy;
+    scenario
 }
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    // Table-5 DNS service statistics over a diurnal utilization trace;
     // ≥24 epochs of 5 minutes (the acceptance window) — the default is
     // a 6-hour window (72 epochs) so steady-state reuse dominates.
     let minutes = if quick { 120 } else { 360 };
-    let spec = WorkloadSpec::dns();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1405);
-    let dists = WorkloadDistributions::empirical(&spec, 8_000, &mut rng).expect("Table-5 moments");
-    let trace = traces::email_store(1, 7).window(480, 480 + minutes);
-    let jobs =
-        replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).expect("ground truth");
-    let config = RuntimeConfig::builder(spec.service_mean())
-        .qos(QosConstraint::mean_response(0.8).expect("valid rho_b"))
-        .epoch_minutes(5)
-        .eval_jobs(if quick { 500 } else { 1_000 })
-        .build()
-        .expect("valid runtime config");
-    let env = SimEnv::xeon_cpu_bound();
+    let eval_jobs = if quick { 500 } else { 1_000 };
 
-    let exhaustive = run_mode(
-        "exhaustive",
-        |c| {
-            SleepScaleStrategy::new(c, CandidateSet::standard())
-                .with_search_mode(SearchMode::Exhaustive)
-                .without_cache()
-        },
-        &trace,
-        &jobs,
-        &config,
-        &env,
-    );
-    let pruned = run_mode(
-        "pruned+cached",
-        |c| SleepScaleStrategy::new(c, CandidateSet::standard()),
-        &trace,
-        &jobs,
-        &config,
-        &env,
-    );
+    let exhaustive_spec = StrategySpec::SleepScale {
+        candidates: CandidateSpec::Standard,
+        search: SearchMode::Exhaustive,
+        predictor: PredictorSpec::default(),
+        cached: false,
+    };
+    let modes = [("exhaustive", exhaustive_spec), ("pruned+cached", StrategySpec::sleepscale())];
+
+    // One shared set of inputs: both modes replay the same ground
+    // truth, so the comparison isolates the search strategy.
+    let reference = ScenarioRunner::new(scenario(minutes, eval_jobs, StrategySpec::sleepscale()))
+        .expect("valid scenario");
+    let (spec, trace, jobs) = reference.inputs().expect("inputs materialize");
+
+    let mut runs: Vec<Mode> = Vec::new();
+    for (label, strategy) in modes {
+        let runner =
+            ScenarioRunner::new(scenario(minutes, eval_jobs, strategy)).expect("valid scenario");
+        let t0 = Instant::now();
+        let report = runner.run_with_inputs(&spec, &trace, &jobs).expect("scenario run succeeds");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let report =
+            report.run_report().expect("single-server scenarios run the runtime backend").clone();
+        runs.push(Mode { label, report, wall_ms });
+    }
+    let (exhaustive, pruned) = (&runs[0], &runs[1]);
 
     let epochs = exhaustive.report.epochs().len();
     println!("== sweep_speedup: DNS (Table 5), {epochs} epochs of 5 min ==");
@@ -88,7 +81,7 @@ fn main() -> std::io::Result<()> {
         "mode", "simulate calls", "calls/epoch", "E[P] (W)", "mu*E[R]", "wall (ms)"
     );
     let mut rows = Vec::new();
-    for mode in [&exhaustive, &pruned] {
+    for mode in [exhaustive, pruned] {
         let calls = mode.report.total_evaluated();
         let per_epoch = calls as f64 / epochs as f64;
         println!(

@@ -1,44 +1,215 @@
 use crate::dispatch::{DispatchIndex, Dispatcher};
 use crate::report::{ClusterReport, ServerSummary};
+use serde::{Deserialize, Serialize};
 use sleepscale::{
-    CacheStats, CandidateSet, CharacterizationCache, CoreError, RuntimeConfig, SleepScaleStrategy,
-    Strategy, WarmStartStats, DEFAULT_CACHE_CAPACITY,
+    CacheStats, CharacterizationCache, CharacterizationKey, CoreError, QosConstraint,
+    RuntimeConfig, SleepScaleStrategy, Strategy, StrategySpec, WarmStartStats,
+    DEFAULT_CACHE_CAPACITY,
 };
 use sleepscale_dist::StreamingSummary;
+use sleepscale_power::Policy;
 use sleepscale_sim::{JobRecord, JobStream, OnlineSim, SimEnv};
 use sleepscale_workloads::UtilizationTrace;
 use std::collections::HashSet;
 
-/// Cluster-level configuration: fleet size plus the per-server runtime
-/// configuration every controller is instantiated from.
-#[derive(Debug, Clone)]
+/// One homogeneous slice of a (possibly heterogeneous) fleet: `count`
+/// identical servers of one machine class (`env`), each running an
+/// independent strategy built from the same declarative `strategy`
+/// spec, under one QoS constraint and over-provisioning factor.
+///
+/// Real scale-out deployments mix server generations and per-service
+/// QoS (the energy-proportionality literature's heterogeneous racks);
+/// a fleet is a `Vec<ServerGroup>` and every group keeps its own
+/// shared characterization cache, so cache sharing and owner election
+/// stay correct — and byte-identical — per group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerGroup {
+    /// Display name (e.g. `"xeon-2019"`, `"atom-edge"`).
+    pub name: String,
+    /// Servers in this group.
+    pub count: usize,
+    /// The machine class: power model + frequency-scaling law.
+    pub env: SimEnv,
+    /// The per-server strategy, as data.
+    pub strategy: StrategySpec,
+    /// The group's QoS constraint.
+    pub qos: QosConstraint,
+    /// The group's over-provisioning factor `α`.
+    pub over_provisioning: f64,
+}
+
+impl ServerGroup {
+    /// A group of `count` Xeon-class servers under the paper's default
+    /// QoS (`ρ_b = 0.8`) with no guard band; override fields with
+    /// struct-update syntax for other shapes.
+    pub fn new(name: impl Into<String>, count: usize, strategy: StrategySpec) -> ServerGroup {
+        ServerGroup {
+            name: name.into(),
+            count,
+            env: SimEnv::xeon_cpu_bound(),
+            strategy,
+            qos: QosConstraint::MeanResponse { rho_b: 0.8 },
+            over_provisioning: 0.0,
+        }
+    }
+}
+
+/// Cluster-level configuration: the fleet's server groups plus the
+/// per-group runtime configurations resolved against a base
+/// [`RuntimeConfig`] (which contributes the workload-level knobs every
+/// group shares: mean service time, epoch length, evaluation depth,
+/// log capacity, predictor history).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
-    n_servers: usize,
-    runtime: RuntimeConfig,
+    groups: Vec<ServerGroup>,
+    runtimes: Vec<RuntimeConfig>,
 }
 
 impl ClusterConfig {
-    /// A fleet of `n_servers` (clamped to ≥ 1), each running its own
-    /// SleepScale controller configured by `runtime`.
-    pub fn new(n_servers: usize, runtime: RuntimeConfig) -> ClusterConfig {
-        ClusterConfig { n_servers: n_servers.max(1), runtime }
+    /// Resolves a fleet of server groups against `base`: each group's
+    /// runtime configuration takes its `env`, `qos`, and
+    /// `over_provisioning` from the group and everything else from
+    /// `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty fleet or a
+    /// zero-count group — an accidental empty fleet should fail loudly
+    /// at configuration time, not be clamped or panic mid-run.
+    pub fn new(base: &RuntimeConfig, groups: Vec<ServerGroup>) -> Result<ClusterConfig, CoreError> {
+        if groups.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "a cluster needs at least one server group".into(),
+            });
+        }
+        let runtimes = groups
+            .iter()
+            .map(|group| {
+                if group.count == 0 {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "server group '{}' has zero servers — drop the group instead of \
+                             leaving it empty",
+                            group.name
+                        ),
+                    });
+                }
+                RuntimeConfig::builder(base.mean_service())
+                    .qos(group.qos)
+                    .epoch_minutes(base.epoch_minutes())
+                    .eval_jobs(base.eval_jobs())
+                    .log_capacity(base.log_capacity())
+                    .over_provisioning(group.over_provisioning)
+                    .predictor_history(base.predictor_history())
+                    .env(group.env.clone())
+                    .build()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ClusterConfig { groups, runtimes })
     }
 
-    /// Fleet size.
+    /// The classic single-group fleet: `n_servers` identical servers,
+    /// each running the default SleepScale strategy, with `env`, QoS,
+    /// and `α` taken from `runtime` itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `n_servers` is zero.
+    pub fn homogeneous(
+        n_servers: usize,
+        runtime: RuntimeConfig,
+    ) -> Result<ClusterConfig, CoreError> {
+        let group = ServerGroup {
+            name: "fleet".into(),
+            count: n_servers,
+            env: runtime.env().clone(),
+            strategy: StrategySpec::sleepscale(),
+            qos: runtime.qos(),
+            over_provisioning: runtime.over_provisioning(),
+        };
+        ClusterConfig::new(&runtime, vec![group])
+    }
+
+    /// The fleet's server groups, in slot order (group 0's servers take
+    /// the lowest dispatch indices).
+    pub fn groups(&self) -> &[ServerGroup] {
+        &self.groups
+    }
+
+    /// The resolved runtime configuration of group `g`.
+    pub fn runtime_for(&self, g: usize) -> &RuntimeConfig {
+        &self.runtimes[g]
+    }
+
+    /// Total fleet size (sum over groups).
     pub fn n_servers(&self) -> usize {
-        self.n_servers
+        self.groups.iter().map(|g| g.count).sum()
     }
 
-    /// The per-server runtime configuration.
-    pub fn runtime(&self) -> &RuntimeConfig {
-        &self.runtime
+    /// The fleet-wide policy update interval `T` in minutes (shared by
+    /// every group).
+    pub fn epoch_minutes(&self) -> usize {
+        self.runtimes[0].epoch_minutes()
+    }
+}
+
+/// A server's live strategy: the concrete SleepScale type when the
+/// group's spec is managed (the engine needs it for characterization
+/// planning and cache sharing), a boxed [`Strategy`] otherwise.
+enum SlotStrategy {
+    Managed(Box<SleepScaleStrategy>),
+    Plain(Box<dyn Strategy + Send>),
+}
+
+impl SlotStrategy {
+    fn begin_epoch(&mut self, epoch: usize) -> Result<Policy, CoreError> {
+        match self {
+            SlotStrategy::Managed(s) => s.begin_epoch(epoch),
+            SlotStrategy::Plain(s) => s.begin_epoch(epoch),
+        }
+    }
+
+    fn end_epoch(&mut self, records: &[JobRecord]) {
+        match self {
+            SlotStrategy::Managed(s) => s.end_epoch(records),
+            SlotStrategy::Plain(s) => s.end_epoch(records),
+        }
+    }
+
+    fn observe_minute(&mut self, rho: f64) {
+        match self {
+            SlotStrategy::Managed(s) => s.observe_minute(rho),
+            SlotStrategy::Plain(s) => s.observe_minute(rho),
+        }
+    }
+
+    fn planned_characterization(&mut self) -> Option<CharacterizationKey> {
+        match self {
+            SlotStrategy::Managed(s) => s.planned_characterization(),
+            SlotStrategy::Plain(_) => None,
+        }
+    }
+
+    fn is_characterization_cached(&self, key: &CharacterizationKey) -> bool {
+        match self {
+            SlotStrategy::Managed(s) => s.is_characterization_cached(key),
+            SlotStrategy::Plain(_) => false,
+        }
+    }
+
+    fn warm_start_stats(&self) -> WarmStartStats {
+        match self {
+            SlotStrategy::Managed(s) => s.warm_start_stats(),
+            SlotStrategy::Plain(_) => WarmStartStats::default(),
+        }
     }
 }
 
 struct ServerSlot {
+    group: usize,
     sim: OnlineSim,
-    strategy: SleepScaleStrategy,
-    policy: Option<sleepscale_power::Policy>,
+    strategy: SlotStrategy,
+    policy: Option<Policy>,
     epoch_records: Vec<JobRecord>,
     epoch_work: f64,
     all_jobs: usize,
@@ -46,7 +217,7 @@ struct ServerSlot {
 }
 
 /// A fleet of servers, each with its own queue, power state, and
-/// SleepScale controller; a [`Dispatcher`] splits the cluster-wide
+/// per-server controller; a [`Dispatcher`] splits the cluster-wide
 /// arrival stream across them.
 ///
 /// The engine is built for scale-out fleets (§7 grown to the scale the
@@ -58,30 +229,31 @@ struct ServerSlot {
 /// * **Parallel epoch control** — per-server policy selection and
 ///   epoch close-out fan out across scoped threads. Before the fan-out,
 ///   the engine elects one *owner* per distinct missing
-///   characterization key (the first server planning it, exactly the
-///   server that would compute it in a serial sweep), so fleet results
-///   are byte-identical for every thread count.
+///   characterization key per group (the first server planning it,
+///   exactly the server that would compute it in a serial sweep), so
+///   fleet results are byte-identical for every thread count.
 /// * **Streaming statistics** — fleet response aggregates fold into a
 ///   constant-memory [`StreamingSummary`] instead of an O(total-jobs)
 ///   sample vector (the p95 is sketched to ±0.5% relative; counts,
 ///   means, and energy stay exact).
-///
-/// The fleet is homogeneous, so every server's controller shares one
-/// [`CharacterizationCache`]: when the dispatcher balances load, the
-/// servers predict the same (quantized) utilization over logs with the
-/// same coarse signature, and the first server to characterize an epoch
-/// serves every other server's selection from the cache — one sweep per
-/// epoch instead of N identical sweeps.
+/// * **Heterogeneous fleets** — the fleet is a list of
+///   [`ServerGroup`]s (mixed machine generations, per-group QoS and
+///   strategies). Within a group every managed controller shares one
+///   [`CharacterizationCache`]: when the dispatcher balances load, the
+///   group's servers predict the same (quantized) utilization over
+///   logs with the same coarse signature, and the first server to
+///   characterize an epoch serves the rest of its group from the cache
+///   — one sweep per group per epoch instead of one per server. Caches
+///   are strictly per group (a cache is only valid between identically
+///   configured managers), which keeps heterogeneous fleets exactly as
+///   reproducible as homogeneous ones.
 ///
 /// The utilization trace is interpreted cluster-wide: `ρ(t)` is the
 /// offered load as a fraction of *total* fleet capacity, so the job
 /// stream should be generated for arrival rate `ρ(t)·N·µ`.
 pub struct Cluster {
-    n_servers: usize,
-    runtime: RuntimeConfig,
-    candidates: CandidateSet,
-    env: SimEnv,
-    cache: CharacterizationCache,
+    config: ClusterConfig,
+    caches: Vec<CharacterizationCache>,
     threads: usize,
     last_warm: WarmStartStats,
 }
@@ -90,30 +262,27 @@ impl Cluster {
     /// Builds the fleet descriptor; each [`Cluster::run`] instantiates a
     /// fresh set of servers from it (so back-to-back runs start from
     /// identical cold fleets), every server getting an independent
-    /// SleepScale strategy over `candidates` and its own energy ledger
-    /// in `env`, with the characterization cache shared fleet-wide and
+    /// strategy lowered from its group's spec and its own energy
+    /// ledger, with one characterization cache shared per group and
     /// persistent across runs.
-    pub fn new(config: &ClusterConfig, candidates: CandidateSet, env: SimEnv) -> Cluster {
-        Cluster {
-            n_servers: config.n_servers(),
-            runtime: config.runtime().clone(),
-            candidates,
-            env,
-            // Sized so a fleet-day's distinct keys fit without eviction:
-            // owner election (and hence byte-reproducibility across
-            // engines and thread counts) relies on keys staying resident
-            // between the planning peek and the epoch's inserts.
-            cache: CharacterizationCache::new(Cluster::cache_capacity(config.n_servers())),
-            threads: 0,
-            last_warm: WarmStartStats::default(),
-        }
+    pub fn new(config: ClusterConfig) -> Cluster {
+        // Each group's cache is sized so a fleet-day's distinct keys
+        // fit without eviction: owner election (and hence
+        // byte-reproducibility across engines and thread counts)
+        // relies on keys staying resident between the planning peek
+        // and the epoch's inserts.
+        let caches = config
+            .groups()
+            .iter()
+            .map(|g| CharacterizationCache::new(Cluster::cache_capacity(g.count)))
+            .collect();
+        Cluster { config, caches, threads: 0, last_warm: WarmStartStats::default() }
     }
 
-    /// The fleet-shared cache capacity for an `n`-server cluster:
-    /// large enough that a day of per-server key churn never evicts
-    /// (eviction order under concurrent owner inserts is
-    /// schedule-dependent, so the no-eviction regime is what makes
-    /// fleet runs reproducible).
+    /// The shared cache capacity for an `n`-server group: large enough
+    /// that a day of per-server key churn never evicts (eviction order
+    /// under concurrent owner inserts is schedule-dependent, so the
+    /// no-eviction regime is what makes fleet runs reproducible).
     pub fn cache_capacity(n_servers: usize) -> usize {
         DEFAULT_CACHE_CAPACITY.max(n_servers * 128)
     }
@@ -121,44 +290,85 @@ impl Cluster {
     /// Pins the worker count for the parallel epoch-control phases
     /// (0, the default, sizes to the machine). Results are identical
     /// for every value — the knob exists so tests and benches can prove
-    /// exactly that — as long as the fleet cache never evicts (owner
-    /// election peeks at residency, and eviction order under concurrent
-    /// inserts is schedule-dependent). [`Cluster::cache_capacity`]
-    /// sizes the cache for that regime; a run that still overflows it
-    /// reports `characterization_stats().evictions > 0`, which is the
-    /// signal that byte-reproducibility is no longer guaranteed.
+    /// exactly that — as long as no group cache evicts (owner election
+    /// peeks at residency, and eviction order under concurrent inserts
+    /// is schedule-dependent). [`Cluster::cache_capacity`] sizes the
+    /// caches for that regime; a run that still overflows one reports
+    /// `characterization_stats().evictions > 0`, which is the signal
+    /// that byte-reproducibility is no longer guaranteed.
     pub fn with_threads(mut self, threads: usize) -> Cluster {
         self.threads = threads;
         self
     }
 
-    /// Hit/miss counters of the fleet-shared characterization cache —
+    /// The fleet configuration this cluster was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Hit/miss counters summed over every group's shared cache —
     /// `hits` counts the per-server sweeps the sharing eliminated.
     pub fn characterization_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut total = CacheStats::default();
+        for cache in &self.caches {
+            let stats = cache.stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.evictions += stats.evictions;
+            total.entries += stats.entries;
+        }
+        total
+    }
+
+    /// Per-group cache counters, in group order.
+    pub fn group_characterization_stats(&self) -> Vec<(String, CacheStats)> {
+        self.config
+            .groups()
+            .iter()
+            .zip(&self.caches)
+            .map(|(g, c)| (g.name.clone(), c.stats()))
+            .collect()
     }
 
     /// Aggregated cross-epoch warm-start counters of the most recent
     /// [`Cluster::run`] (how many per-program bowl searches on cache
-    /// misses started from a remembered bottom).
+    /// misses started from a remembered bottom, and how many boundary
+    /// searches hit the remembered QoS boundary).
     pub fn warm_start_stats(&self) -> WarmStartStats {
         self.last_warm
     }
 
     fn build_slots(&self) -> Vec<ServerSlot> {
-        let epoch_seconds = self.runtime.epoch_minutes() as f64 * 60.0;
-        (0..self.n_servers)
-            .map(|_| ServerSlot {
-                sim: OnlineSim::new(self.env.clone(), epoch_seconds),
-                strategy: SleepScaleStrategy::new(&self.runtime, self.candidates.clone())
-                    .with_shared_cache(self.cache.clone()),
-                policy: None,
-                epoch_records: Vec::new(),
-                epoch_work: 0.0,
-                all_jobs: 0,
-                response_sum: 0.0,
-            })
-            .collect()
+        let epoch_seconds = self.config.epoch_minutes() as f64 * 60.0;
+        let mut slots = Vec::with_capacity(self.config.n_servers());
+        for (gi, group) in self.config.groups().iter().enumerate() {
+            let runtime = self.config.runtime_for(gi);
+            for _ in 0..group.count {
+                let strategy = match group.strategy.build_managed(runtime) {
+                    Some(managed) => {
+                        // An uncached spec opted out of sharing; a cached
+                        // one joins the group's fleet-shared cache.
+                        SlotStrategy::Managed(Box::new(if group.strategy.is_cached() {
+                            managed.with_shared_cache(self.caches[gi].clone())
+                        } else {
+                            managed
+                        }))
+                    }
+                    None => SlotStrategy::Plain(group.strategy.build(runtime)),
+                };
+                slots.push(ServerSlot {
+                    group: gi,
+                    sim: OnlineSim::new(runtime.env().clone(), epoch_seconds),
+                    strategy,
+                    policy: None,
+                    epoch_records: Vec::new(),
+                    epoch_work: 0.0,
+                    all_jobs: 0,
+                    response_sum: 0.0,
+                });
+            }
+        }
+        slots
     }
 
     fn worker_count(&self, slots: usize) -> usize {
@@ -172,9 +382,9 @@ impl Cluster {
 
     /// Runs a fresh fleet over a trace and cluster-wide job stream.
     /// The cluster itself is reusable: each call builds its servers
-    /// anew (only the shared characterization cache persists), so
-    /// back-to-back runs on one `Cluster` are supported and, with a
-    /// warm cache, byte-identical.
+    /// anew (only the per-group shared characterization caches
+    /// persist), so back-to-back runs on one `Cluster` are supported
+    /// and, with warm caches, byte-identical.
     ///
     /// Generate the stream with
     /// [`sleepscale_workloads::ReplayConfig::for_fleet`] so the arrival
@@ -198,7 +408,7 @@ impl Cluster {
         let n = slots.len();
         let threads = self.worker_count(n);
         let total_minutes = trace.len();
-        let epoch_minutes = self.runtime.epoch_minutes();
+        let epoch_minutes = self.config.epoch_minutes();
         let n_epochs = total_minutes.div_ceil(epoch_minutes);
         let epoch_seconds = epoch_minutes as f64 * 60.0;
         // Fleet-wide response statistics stream into O(1) state; no
@@ -216,24 +426,28 @@ impl Cluster {
 
             // Epoch open, phase 1 — owner election (serial, no
             // simulation): one owner per distinct characterization key
-            // that is missing from the shared cache, always the
-            // lowest-indexed server planning that key — the same server
-            // that would compute it in a serial sweep, which is what
-            // makes the fleet thread-count invariant.
-            let mut claimed: HashSet<_> = HashSet::new();
+            // that is missing from its group's shared cache, always
+            // the lowest-indexed server planning that key — the same
+            // server that would compute it in a serial sweep, which is
+            // what makes the fleet thread-count invariant. Keys are
+            // claimed per group: caches are never shared across
+            // groups, so the same key in two groups needs two owners.
+            let mut claimed: HashSet<(usize, CharacterizationKey)> = HashSet::new();
             let owners: Vec<bool> = slots
                 .iter_mut()
                 .map(|slot| {
+                    let group = slot.group;
                     slot.strategy.planned_characterization().is_some_and(|key| {
-                        !slot.strategy.is_characterization_cached(&key) && claimed.insert(key)
+                        !slot.strategy.is_characterization_cached(&key)
+                            && claimed.insert((group, key))
                     })
                 })
                 .collect();
 
             // Phase 2 — owners characterize in parallel (distinct keys,
             // so concurrent inserts never collide), then the rest of
-            // the fleet selects in parallel against a cache that now
-            // holds every key this epoch needs (pure hits/cold starts —
+            // the fleet selects in parallel against caches that now
+            // hold every key this epoch needs (pure hits/cold starts —
             // no inserts, hence schedule-independent).
             let begin = |slot: &mut ServerSlot| -> Result<(), CoreError> {
                 slot.policy = Some(slot.strategy.begin_epoch(k)?);
@@ -312,20 +526,21 @@ impl Cluster {
             let (ledger, ..) = slot.sim.finish(horizon);
             summaries.push(ServerSummary {
                 index: i,
+                group: slot.group,
                 jobs: jobs_done,
                 mean_response,
                 avg_power: ledger.total_energy().as_joules() / horizon,
                 energy_joules: ledger.total_energy().as_joules(),
             });
         }
+        let group_names = self.config.groups().iter().map(|g| g.name.clone()).collect();
         Ok(ClusterReport::new(
             dispatcher.name(),
+            group_names,
             summaries,
-            fleet_responses.count() as usize,
-            fleet_responses.mean(),
-            fleet_responses.p95(),
+            fleet_responses,
             horizon,
-            self.runtime.mean_service(),
+            self.config.runtime_for(0).mean_service(),
         ))
     }
 }
@@ -370,25 +585,28 @@ mod tests {
     use super::*;
     use crate::dispatch::{JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin};
     use rand::SeedableRng;
-    use sleepscale::QosConstraint;
+    use sleepscale::CandidateSet;
     use sleepscale_sim::Job;
     use sleepscale_workloads::{
         replay_trace, traces, ReplayConfig, WorkloadDistributions, WorkloadSpec,
     };
 
-    fn setup(n: usize, minutes: usize, seed: u64) -> (ClusterConfig, UtilizationTrace, JobStream) {
-        let spec = WorkloadSpec::dns();
-        let runtime = RuntimeConfig::builder(spec.service_mean())
+    fn runtime(eval_jobs: usize) -> RuntimeConfig {
+        RuntimeConfig::builder(WorkloadSpec::dns().service_mean())
             .qos(QosConstraint::mean_response(0.8).unwrap())
             .epoch_minutes(5)
-            .eval_jobs(300)
+            .eval_jobs(eval_jobs)
             .build()
-            .unwrap();
+            .unwrap()
+    }
+
+    fn setup(n: usize, minutes: usize, seed: u64) -> (ClusterConfig, UtilizationTrace, JobStream) {
+        let spec = WorkloadSpec::dns();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
         let trace = traces::email_store(1, 7).window(600, 600 + minutes);
         let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
-        (ClusterConfig::new(n, runtime), trace, jobs)
+        (ClusterConfig::homogeneous(n, runtime(300)).unwrap(), trace, jobs)
     }
 
     fn run_with(
@@ -397,7 +615,7 @@ mod tests {
         trace: &UtilizationTrace,
         jobs: &JobStream,
     ) -> ClusterReport {
-        let mut cluster = Cluster::new(config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let mut cluster = Cluster::new(config.clone());
         cluster.run(trace, jobs, dispatcher).unwrap()
     }
 
@@ -428,17 +646,11 @@ mod tests {
         seed: u64,
     ) -> (ClusterConfig, UtilizationTrace, JobStream) {
         let spec = WorkloadSpec::dns();
-        let runtime = RuntimeConfig::builder(spec.service_mean())
-            .qos(QosConstraint::mean_response(0.8).unwrap())
-            .epoch_minutes(5)
-            .eval_jobs(400)
-            .build()
-            .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
         let trace = UtilizationTrace::constant(rho_cluster, minutes).unwrap();
         let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
-        (ClusterConfig::new(n, runtime), trace, jobs)
+        (ClusterConfig::homogeneous(n, runtime(400)).unwrap(), trace, jobs)
     }
 
     /// Consolidation pays where the paper's introduction says it does:
@@ -489,7 +701,7 @@ mod tests {
         // Long enough that predictor warm-up (where per-server
         // predictions straddle ρ buckets) stops dominating.
         let (config, trace, jobs) = setup_constant(4, 0.3, 180, 46);
-        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let mut cluster = Cluster::new(config);
         cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
         let stats = cluster.characterization_stats();
         assert!(
@@ -531,7 +743,7 @@ mod tests {
     #[test]
     fn back_to_back_runs_on_one_cluster_are_identical() {
         let (config, trace, jobs) = setup(3, 45, 47);
-        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let mut cluster = Cluster::new(config);
         let first = cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
         // Second run: fresh servers, warm shared cache. The cached
         // selections equal what fresh characterizations would compute
@@ -556,7 +768,7 @@ mod tests {
             }
         }
         let (config, trace, jobs) = setup(2, 10, 48);
-        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let mut cluster = Cluster::new(config);
         let err = cluster.run(&trace, &jobs, &mut Broken).unwrap_err();
         assert!(err.to_string().contains("routed job"), "{err}");
         // The cluster is still usable after the failed run.
@@ -569,9 +781,7 @@ mod tests {
     fn fleet_results_are_thread_count_invariant() {
         let (config, trace, jobs) = setup(4, 45, 49);
         let run_pinned = |threads: usize| {
-            let mut cluster =
-                Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound())
-                    .with_threads(threads);
+            let mut cluster = Cluster::new(config.clone()).with_threads(threads);
             cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap()
         };
         let reference = run_pinned(1);
@@ -584,10 +794,121 @@ mod tests {
     #[test]
     fn warm_start_stats_aggregate_over_the_fleet() {
         let (config, trace, jobs) = setup_constant(2, 0.25, 90, 51);
-        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+        let mut cluster = Cluster::new(config);
         cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
         let warm = cluster.warm_start_stats();
         assert!(warm.searches > 0, "{warm:?}");
         assert!(warm.warm > 0, "cross-epoch warm start should fire on repeat misses: {warm:?}");
+    }
+
+    /// Empty fleets and zero-count groups are configuration errors, not
+    /// panics or silent clamps.
+    #[test]
+    fn empty_fleets_and_zero_count_groups_are_rejected() {
+        let base = runtime(300);
+        let err = ClusterConfig::new(&base, vec![]).unwrap_err();
+        assert!(err.to_string().contains("at least one server group"), "{err}");
+        let err = ClusterConfig::new(
+            &base,
+            vec![ServerGroup::new("ghost", 0, StrategySpec::sleepscale())],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("zero servers"), "{err}");
+        assert!(ClusterConfig::homogeneous(0, base).is_err());
+    }
+
+    /// A heterogeneous fleet: a Xeon group under SleepScale next to an
+    /// Atom-class group racing to halt. Both groups serve their share,
+    /// summaries attribute servers to groups, and the racing group
+    /// never characterizes (its cache stays empty).
+    #[test]
+    fn heterogeneous_groups_run_side_by_side() {
+        let spec = WorkloadSpec::dns();
+        let base = runtime(300);
+        let n = 4;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+        let trace = UtilizationTrace::constant(0.25, 60).unwrap();
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
+        let groups = vec![
+            ServerGroup::new("sleepscale", 2, StrategySpec::sleepscale()),
+            ServerGroup {
+                env: SimEnv::new(
+                    sleepscale_power::presets::atom(),
+                    sleepscale_power::FrequencyScaling::CpuBound,
+                ),
+                ..ServerGroup::new("race", 2, StrategySpec::race_to_halt_c6())
+            },
+        ];
+        let config = ClusterConfig::new(&base, groups).unwrap();
+        let mut cluster = Cluster::new(config);
+        let report = cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
+        assert_eq!(report.total_jobs(), jobs.len());
+        assert_eq!(report.group_names(), ["sleepscale", "race"]);
+        assert!(report.servers().iter().take(2).all(|s| s.group == 0));
+        assert!(report.servers().iter().skip(2).all(|s| s.group == 1));
+        let per_group = report.group_summaries();
+        assert_eq!(per_group.len(), 2);
+        assert_eq!(per_group.iter().map(|g| g.jobs).sum::<usize>(), jobs.len());
+        assert!(per_group.iter().all(|g| g.servers == 2));
+        let stats = cluster.group_characterization_stats();
+        assert!(stats[0].1.hits + stats[0].1.misses > 0, "managed group characterizes");
+        assert_eq!(stats[1].1.hits + stats[1].1.misses, 0, "R2H group never characterizes");
+    }
+
+    /// Per-group QoS: a group with a tight budget runs measurably
+    /// faster clocks (and hotter) than one with a loose budget on the
+    /// same machine class under the same balanced load.
+    #[test]
+    fn per_group_qos_splits_the_fleet_operating_point() {
+        let spec = WorkloadSpec::dns();
+        let base = runtime(300);
+        let n = 4;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+        let trace = UtilizationTrace::constant(0.3, 120).unwrap();
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
+        let groups = vec![
+            ServerGroup {
+                qos: QosConstraint::mean_response(0.5).unwrap(), // budget 2.0
+                ..ServerGroup::new("tight", 2, StrategySpec::sleepscale())
+            },
+            ServerGroup {
+                qos: QosConstraint::mean_response(0.9).unwrap(), // budget 10.0
+                ..ServerGroup::new("loose", 2, StrategySpec::sleepscale())
+            },
+        ];
+        let config = ClusterConfig::new(&base, groups).unwrap();
+        let mut cluster = Cluster::new(config);
+        let report = cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
+        let per_group = report.group_summaries();
+        assert!(
+            per_group[0].mean_response < per_group[1].mean_response,
+            "tight QoS must respond faster: {} vs {}",
+            per_group[0].mean_response,
+            per_group[1].mean_response
+        );
+        assert!(
+            per_group[0].avg_power > per_group[1].avg_power,
+            "tight QoS pays in power: {} W vs {} W",
+            per_group[0].avg_power,
+            per_group[1].avg_power
+        );
+    }
+
+    /// The homogeneous constructor reproduces the default strategy
+    /// wiring: one group, the runtime's own env/QoS/α, and a default
+    /// SleepScale spec over the standard candidate set.
+    #[test]
+    fn homogeneous_config_is_one_default_group() {
+        let base = runtime(300);
+        let config = ClusterConfig::homogeneous(3, base.clone()).unwrap();
+        assert_eq!(config.n_servers(), 3);
+        assert_eq!(config.groups().len(), 1);
+        let group = &config.groups()[0];
+        assert_eq!(group.strategy, StrategySpec::sleepscale());
+        assert_eq!(group.qos, base.qos());
+        assert_eq!(config.runtime_for(0), &base);
+        assert_eq!(CandidateSet::standard().name(), "SS");
     }
 }

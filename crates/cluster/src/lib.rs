@@ -22,26 +22,39 @@
 //! thread-count-invariant results, and fleet statistics stream into
 //! constant memory — see [`Cluster`] for the engine's contract.
 //!
+//! Fleets are described as a list of [`ServerGroup`]s — mixed machine
+//! generations, per-group QoS, and per-group strategies (declared as
+//! [`sleepscale::StrategySpec`] data) all run side by side behind one
+//! dispatcher, with one shared characterization cache *per group*.
+//!
 //! # Example
 //!
 //! ```no_run
-//! use sleepscale_cluster::{Cluster, ClusterConfig, PackFirstFit};
-//! use sleepscale::{CandidateSet, QosConstraint, RuntimeConfig};
-//! use sleepscale_sim::SimEnv;
+//! use sleepscale_cluster::{Cluster, ClusterConfig, PackFirstFit, ServerGroup};
+//! use sleepscale::{QosConstraint, RuntimeConfig, StrategySpec};
 //! # use sleepscale_workloads::{traces, WorkloadSpec, WorkloadDistributions, ReplayConfig};
 //! # use rand::SeedableRng;
 //! let spec = WorkloadSpec::dns();
 //! let runtime = RuntimeConfig::builder(spec.service_mean())
 //!     .qos(QosConstraint::mean_response(0.8)?)
 //!     .build()?;
-//! let config = ClusterConfig::new(8, runtime);
-//! let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+//! // A heterogeneous fleet: six SleepScale servers next to two racing.
+//! let config = ClusterConfig::new(
+//!     &runtime,
+//!     vec![
+//!         ServerGroup::new("sleepscale", 6, StrategySpec::sleepscale()),
+//!         ServerGroup::new("race", 2, StrategySpec::race_to_halt_c6()),
+//!     ],
+//! )?;
+//! let mut cluster = Cluster::new(config);
 //! # let trace = traces::email_store(1, 7).window(480, 600);
 //! # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! # let dists = WorkloadDistributions::empirical(&spec, 4000, &mut rng)?;
 //! # let jobs = sleepscale_workloads::replay_trace(&trace, &dists, &ReplayConfig::for_fleet(8), &mut rng)?;
 //! let report = cluster.run(&trace, &jobs, &mut PackFirstFit::new(30.0))?;
-//! println!("fleet power: {:.0} W", report.total_power_watts());
+//! for group in report.group_summaries() {
+//!     println!("{}: {:.0} W", group.name, group.avg_power);
+//! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -52,8 +65,8 @@ mod cluster;
 mod dispatch;
 mod report;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, ServerGroup};
 pub use dispatch::{
     DispatchIndex, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin,
 };
-pub use report::{ClusterReport, ServerSummary};
+pub use report::{ClusterReport, GroupSummary, ServerSummary};

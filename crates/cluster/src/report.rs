@@ -1,10 +1,14 @@
 use serde::{Deserialize, Serialize};
+use sleepscale_dist::StreamingSummary;
 
 /// One server's aggregate over a cluster run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerSummary {
-    /// Server index.
+    /// Server index (the dispatch index).
     pub index: usize,
+    /// Index of the [`ServerGroup`](crate::ServerGroup) this server
+    /// belongs to (see [`ClusterReport::group_names`]).
+    pub group: usize,
     /// Jobs this server completed.
     pub jobs: usize,
     /// Mean response of its jobs, seconds (0 when it served none).
@@ -15,14 +19,31 @@ pub struct ServerSummary {
     pub energy_joules: f64,
 }
 
+/// One server group's aggregate over a cluster run (all the group's
+/// servers folded together).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// The group's display name.
+    pub name: String,
+    /// Servers in the group.
+    pub servers: usize,
+    /// Jobs the group completed.
+    pub jobs: usize,
+    /// Job-weighted mean response across the group, seconds.
+    pub mean_response: f64,
+    /// Summed average power across the group's servers, watts.
+    pub avg_power: f64,
+    /// Total energy across the group, joules.
+    pub energy_joules: f64,
+}
+
 /// Fleet-level result of a cluster run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterReport {
     dispatcher: String,
+    group_names: Vec<String>,
     servers: Vec<ServerSummary>,
-    total_jobs: usize,
-    mean_response: f64,
-    p95_response: f64,
+    responses: StreamingSummary,
     horizon_seconds: f64,
     mean_service: f64,
 }
@@ -30,22 +51,13 @@ pub struct ClusterReport {
 impl ClusterReport {
     pub(crate) fn new(
         dispatcher: String,
+        group_names: Vec<String>,
         servers: Vec<ServerSummary>,
-        total_jobs: usize,
-        mean_response: f64,
-        p95_response: f64,
+        responses: StreamingSummary,
         horizon_seconds: f64,
         mean_service: f64,
     ) -> ClusterReport {
-        ClusterReport {
-            dispatcher,
-            servers,
-            total_jobs,
-            mean_response,
-            p95_response,
-            horizon_seconds,
-            mean_service,
-        }
+        ClusterReport { dispatcher, group_names, servers, responses, horizon_seconds, mean_service }
     }
 
     /// The dispatcher used.
@@ -58,6 +70,42 @@ impl ClusterReport {
         &self.servers
     }
 
+    /// The fleet's group names, in group order ([`ServerSummary::group`]
+    /// indexes into this).
+    pub fn group_names(&self) -> &[String] {
+        &self.group_names
+    }
+
+    /// Per-group aggregates, in group order.
+    pub fn group_summaries(&self) -> Vec<GroupSummary> {
+        self.group_names
+            .iter()
+            .enumerate()
+            .map(|(g, name)| {
+                let members = self.servers.iter().filter(|s| s.group == g);
+                let mut summary = GroupSummary {
+                    name: name.clone(),
+                    servers: 0,
+                    jobs: 0,
+                    mean_response: 0.0,
+                    avg_power: 0.0,
+                    energy_joules: 0.0,
+                };
+                for s in members {
+                    summary.servers += 1;
+                    summary.jobs += s.jobs;
+                    summary.mean_response += s.mean_response * s.jobs as f64;
+                    summary.avg_power += s.avg_power;
+                    summary.energy_joules += s.energy_joules;
+                }
+                if summary.jobs > 0 {
+                    summary.mean_response /= summary.jobs as f64;
+                }
+                summary
+            })
+            .collect()
+    }
+
     /// Fleet size.
     pub fn n_servers(&self) -> usize {
         self.servers.len()
@@ -65,22 +113,29 @@ impl ClusterReport {
 
     /// Jobs completed across the fleet.
     pub fn total_jobs(&self) -> usize {
-        self.total_jobs
+        self.responses.count() as usize
+    }
+
+    /// The streaming fleet-wide response summary (exact count/mean,
+    /// sketched quantiles).
+    pub fn responses(&self) -> &StreamingSummary {
+        &self.responses
     }
 
     /// Job-weighted mean response across the fleet, seconds.
     pub fn mean_response_seconds(&self) -> f64 {
-        self.mean_response
+        self.responses.mean()
     }
 
     /// Normalized mean response `µ·E[R]`.
     pub fn normalized_mean_response(&self) -> f64 {
-        self.mean_response / self.mean_service
+        self.responses.mean() / self.mean_service
     }
 
-    /// 95th-percentile response across the fleet, seconds.
+    /// 95th-percentile response across the fleet, seconds (sketched to
+    /// ±0.5% relative).
     pub fn p95_response_seconds(&self) -> f64 {
-        self.p95_response
+        self.responses.p95()
     }
 
     /// Total fleet power (sum over servers), watts.
@@ -116,9 +171,10 @@ impl ClusterReport {
 mod tests {
     use super::*;
 
-    fn server(index: usize, jobs: usize, power: f64) -> ServerSummary {
+    fn server(index: usize, group: usize, jobs: usize, power: f64) -> ServerSummary {
         ServerSummary {
             index,
+            group,
             jobs,
             mean_response: 0.2,
             avg_power: power,
@@ -126,41 +182,66 @@ mod tests {
         }
     }
 
+    fn responses(count: usize, value: f64) -> StreamingSummary {
+        let mut s = StreamingSummary::new();
+        for _ in 0..count {
+            s.push(value);
+        }
+        s
+    }
+
     #[test]
     fn totals_sum_over_servers() {
         let r = ClusterReport::new(
             "rr".into(),
-            vec![server(0, 10, 100.0), server(1, 10, 50.0)],
-            20,
-            0.2,
-            0.5,
+            vec!["fleet".into()],
+            vec![server(0, 0, 10, 100.0), server(1, 0, 10, 50.0)],
+            responses(20, 0.2),
             100.0,
             0.194,
         );
         assert_eq!(r.total_power_watts(), 150.0);
         assert_eq!(r.total_energy_joules(), 15_000.0);
         assert_eq!(r.n_servers(), 2);
-        assert!((r.normalized_mean_response() - 0.2 / 0.194).abs() < 1e-12);
+        assert_eq!(r.total_jobs(), 20);
+        assert!((r.normalized_mean_response() - 0.2 / 0.194).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_summaries_partition_the_fleet() {
+        let r = ClusterReport::new(
+            "rr".into(),
+            vec!["xeon".into(), "atom".into()],
+            vec![server(0, 0, 10, 100.0), server(1, 0, 30, 90.0), server(2, 1, 20, 40.0)],
+            responses(60, 0.2),
+            100.0,
+            0.194,
+        );
+        let groups = r.group_summaries();
+        assert_eq!(groups.len(), 2);
+        assert_eq!((groups[0].name.as_str(), groups[0].servers, groups[0].jobs), ("xeon", 2, 40));
+        assert_eq!((groups[1].name.as_str(), groups[1].servers, groups[1].jobs), ("atom", 1, 20));
+        assert_eq!(groups[0].avg_power, 190.0);
+        assert!((groups[0].mean_response - 0.2).abs() < 1e-12);
+        assert_eq!(groups.iter().map(|g| g.jobs).sum::<usize>(), r.total_jobs());
     }
 
     #[test]
     fn fairness_index() {
         let even = ClusterReport::new(
             "rr".into(),
-            vec![server(0, 10, 1.0), server(1, 10, 1.0)],
-            20,
-            0.1,
-            0.1,
+            vec!["fleet".into()],
+            vec![server(0, 0, 10, 1.0), server(1, 0, 10, 1.0)],
+            responses(20, 0.1),
             1.0,
             0.1,
         );
         assert!((even.load_balance_index() - 1.0).abs() < 1e-12);
         let packed = ClusterReport::new(
             "pack".into(),
-            vec![server(0, 20, 1.0), server(1, 0, 1.0)],
-            20,
-            0.1,
-            0.1,
+            vec!["fleet".into()],
+            vec![server(0, 0, 20, 1.0), server(1, 0, 0, 1.0)],
+            responses(20, 0.1),
             1.0,
             0.1,
         );

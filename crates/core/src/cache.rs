@@ -26,6 +26,7 @@
 //! per epoch instead of N times.
 
 use crate::manager::{SearchMode, Selection};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -60,7 +61,7 @@ struct CacheInner {
 
 /// Hit/miss counters and current occupancy of a
 /// [`CharacterizationCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache (each saves a full
     /// characterization sweep).

@@ -64,6 +64,7 @@ mod manager;
 mod qos;
 mod report;
 mod runtime;
+mod spec;
 mod strategies;
 
 pub use analytic_strategy::AnalyticStrategy;
@@ -76,14 +77,16 @@ pub use manager::{
 pub use qos::QosConstraint;
 pub use report::{EpochReport, RunReport};
 pub use runtime::{run, RuntimeConfig, RuntimeConfigBuilder};
+pub use spec::{CandidateSpec, PredictorSpec, StrategySpec};
 pub use strategies::{FixedPolicyStrategy, RaceToHaltStrategy, SleepScaleStrategy, Strategy};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::{
-        run, AnalyticStrategy, CacheStats, CandidateSet, CharacterizationCache,
+        run, AnalyticStrategy, CacheStats, CandidateSet, CandidateSpec, CharacterizationCache,
         CharacterizationKey, CoreError, EpochReport, FixedPolicyStrategy, PolicyManager,
-        QosConstraint, RaceToHaltStrategy, RunReport, RuntimeConfig, RuntimeConfigBuilder,
-        SearchMode, Selection, SleepScaleStrategy, Strategy, WarmStartStats,
+        PredictorSpec, QosConstraint, RaceToHaltStrategy, RunReport, RuntimeConfig,
+        RuntimeConfigBuilder, SearchMode, Selection, SleepScaleStrategy, Strategy, StrategySpec,
+        WarmStartStats,
     };
 }

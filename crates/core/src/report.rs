@@ -1,4 +1,5 @@
 use serde::{Deserialize, Serialize};
+use sleepscale_dist::StreamingSummary;
 use sleepscale_power::SystemState;
 
 /// One epoch's record in a runtime evaluation.
@@ -48,6 +49,7 @@ pub struct RunReport {
     energy_joules: f64,
     horizon_seconds: f64,
     wakes_from: Vec<(SystemState, u64)>,
+    responses: StreamingSummary,
 }
 
 impl RunReport {
@@ -63,6 +65,7 @@ impl RunReport {
         energy_joules: f64,
         horizon_seconds: f64,
         wakes_from: Vec<(SystemState, u64)>,
+        responses: StreamingSummary,
     ) -> RunReport {
         RunReport {
             strategy,
@@ -75,6 +78,7 @@ impl RunReport {
             energy_joules,
             horizon_seconds,
             wakes_from,
+            responses,
         }
     }
 
@@ -126,6 +130,13 @@ impl RunReport {
     /// Wake-up counts per sleep state over the whole run.
     pub fn wakes_from(&self) -> &[(SystemState, u64)] {
         &self.wakes_from
+    }
+
+    /// The run's response distribution as a mergeable streaming summary
+    /// (exact count/mean, sketched quantiles) — what fleet- and
+    /// scenario-level reports fold per-run results into.
+    pub fn responses(&self) -> &StreamingSummary {
+        &self.responses
     }
 
     /// How often each sleep program was deployed, as
@@ -201,6 +212,7 @@ mod tests {
             1000.0,
             3600.0,
             vec![(SystemState::C6_S0I, 42)],
+            StreamingSummary::new(),
         )
     }
 

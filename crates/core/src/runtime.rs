@@ -2,14 +2,15 @@ use crate::error::CoreError;
 use crate::qos::QosConstraint;
 use crate::report::{EpochReport, RunReport};
 use crate::strategies::Strategy;
-use sleepscale_dist::SummaryStats;
+use serde::{Deserialize, Serialize};
+use sleepscale_dist::{StreamingSummary, SummaryStats};
 use sleepscale_sim::{JobRecord, JobStream, OnlineSim, SimEnv};
 use sleepscale_workloads::UtilizationTrace;
 
 /// Runtime parameters: the paper's `T` (epoch length), the evaluation-log
 /// replay depth, the QoS constraint, the over-provisioning factor `α`,
 /// and the characterization environment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     mean_service: f64,
     qos: QosConstraint,
@@ -256,6 +257,13 @@ pub fn run(
         e.power_watts = ledger.bucket_power(k).as_watts();
     }
 
+    // The exact order statistics summarize the collected samples; the
+    // streaming summary is folded alongside so single-server reports
+    // merge into fleet/scenario aggregates the same way cluster runs do.
+    let mut streaming = StreamingSummary::new();
+    for &r in &responses {
+        streaming.push(r);
+    }
     let stats = SummaryStats::from_samples(responses);
     let (total_jobs, mean_response, p95) = match &stats {
         Some(s) => (s.count(), s.mean(), s.p95()),
@@ -272,6 +280,7 @@ pub fn run(
         ledger.total_energy().as_joules(),
         horizon,
         wakes_from,
+        streaming,
     ))
 }
 

@@ -1,4 +1,4 @@
-use crate::cache::CharacterizationCache;
+use crate::cache::{CacheStats, CharacterizationCache};
 use crate::candidates::CandidateSet;
 use crate::error::CoreError;
 use crate::manager::{CharacterizationKey, PolicyManager, SearchMode, Selection, WarmStartStats};
@@ -166,6 +166,12 @@ impl SleepScaleStrategy {
     /// Cross-epoch warm-start counters of this strategy's manager.
     pub fn warm_start_stats(&self) -> WarmStartStats {
         self.manager.warm_start_stats()
+    }
+
+    /// Hit/miss counters of this strategy's characterization cache
+    /// (`None` when caching is disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.manager.cache().map(CharacterizationCache::stats)
     }
 
     /// The cold-start policy: full speed (safe for response) with the

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// A streaming (Welford) accumulator for count, mean, and variance —
 /// used wherever the harness measures a generator against Table 5.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Moments {
     n: u64,
     mean: f64,

@@ -13,6 +13,7 @@
 //! exact up to rounding.
 
 use crate::moments::Moments;
+use serde::{Deserialize, Serialize};
 
 /// Relative half-width of the sketch's geometric buckets: quantile
 /// estimates are within ±0.5% of the true sample value.
@@ -36,7 +37,7 @@ const MAX_TRACKED: f64 = 1e12;
 /// is exact with respect to the single-stream sketch.
 ///
 /// [DDSketch]: https://arxiv.org/abs/1908.10693
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantileSketch {
     counts: Vec<u64>,
     non_positive: u64,
@@ -144,7 +145,7 @@ impl QuantileSketch {
 /// assert!((s.mean() - 500.5).abs() < 1e-9);
 /// assert!((s.quantile(0.95) - 950.0).abs() / 950.0 < 0.01);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct StreamingSummary {
     moments: Moments,
     min: f64,

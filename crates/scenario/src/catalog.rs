@@ -1,0 +1,213 @@
+//! The bundled scenario catalog: one ready-to-run [`Scenario`] per
+//! deployment shape the reproduction's gates and examples exercise.
+//! Run the whole catalog with
+//! `cargo run --release -p sleepscale-bench --bin scenarios`
+//! (`-- --quick` for the reduced CI smoke pass).
+
+use crate::scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, WorkloadSource};
+use sleepscale::{QosConstraint, StrategySpec};
+use sleepscale_cluster::ServerGroup;
+use sleepscale_power::{presets, FrequencyScaling};
+use sleepscale_sim::SimEnv;
+use sleepscale_workloads::WorkloadSpec;
+
+/// The paper's Section 6 evaluation day: one Xeon server under the
+/// full SleepScale runtime (α = 0.35) over the 2 AM–8 PM email-store
+/// window with DNS-like service.
+pub fn dns_day() -> Scenario {
+    let mut scenario = Scenario::new(
+        "dns-day-single",
+        WorkloadSource::Dns,
+        LoadSchedule::EmailStoreDay { seed: 7, start_minute: 120, end_minute: 1200 },
+    );
+    scenario.fleet[0].over_provisioning = 0.35;
+    scenario.eval_jobs = 2_000;
+    scenario.dist_samples = 10_000;
+    scenario.seed = 7;
+    scenario
+}
+
+/// The DNS day selected from the closed-form model instead of log
+/// replay — the analytic-vs-simulation cross-check partner of
+/// [`dns_day`] (compare the two reports to see what the idealized
+/// model gives up).
+pub fn dns_day_analytic() -> Scenario {
+    let mut scenario = dns_day();
+    scenario.name = "dns-day-analytic".into();
+    scenario.fleet[0].strategy = StrategySpec::analytic();
+    scenario
+}
+
+/// The PR-3 scale-out gate's fleet: 64 homogeneous Xeon servers behind
+/// join-shortest-backlog over a 6-hour morning window — the scenario
+/// whose report the `cluster_scale` parity gate checks byte-for-byte
+/// against the preserved serial engine.
+///
+/// This is a throughput/parity recipe preserved verbatim from PR 3
+/// (shallow `eval_jobs`, a window that rides the diurnal ramp to its
+/// afternoon peak), not a tuned deployment: the fleet knowingly
+/// overshoots its nominal budget through the peak, so the scenario
+/// declares the wider slack its own history establishes. Tightening
+/// any knob here would change the bytes the parity gate pins.
+pub fn fleet64() -> Scenario {
+    let mut scenario = Scenario::new(
+        "fleet-64-homogeneous",
+        WorkloadSource::Dns,
+        LoadSchedule::EmailStoreDay { seed: 7, start_minute: 480, end_minute: 840 },
+    );
+    scenario.fleet = vec![ServerGroup::new("fleet", 64, StrategySpec::sleepscale())];
+    scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+    scenario.eval_jobs = 300;
+    scenario.dist_samples = 8_000;
+    scenario.seed = 2_203;
+    scenario.qos_slack = 3.0;
+    scenario
+}
+
+/// A mixed-generation fleet: half the servers are the Table-2 Xeon,
+/// half its higher-idle prose variant — the heterogeneity real racks
+/// accumulate across refresh cycles (each group characterizes against
+/// its own power model, with its own shared cache).
+pub fn mixed_generations() -> Scenario {
+    let mut scenario = Scenario::new(
+        "mixed-xeon-generations",
+        WorkloadSource::Dns,
+        LoadSchedule::Constant { rho: 0.25, minutes: 180 },
+    );
+    scenario.fleet = vec![
+        ServerGroup::new("xeon-table2", 8, StrategySpec::sleepscale()),
+        ServerGroup {
+            env: SimEnv::new(presets::xeon_prose_variant(), FrequencyScaling::CpuBound),
+            ..ServerGroup::new("xeon-prose", 8, StrategySpec::sleepscale())
+        },
+    ];
+    scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+    scenario.eval_jobs = 300;
+    scenario.seed = 31;
+    scenario
+}
+
+/// A per-service QoS split on one machine class: a latency-tier group
+/// under a tight budget next to a batch-tier group under a loose one —
+/// the per-group constraint shapes each half's operating point.
+pub fn qos_split() -> Scenario {
+    let mut scenario = Scenario::new(
+        "per-group-qos-split",
+        WorkloadSource::Dns,
+        LoadSchedule::Constant { rho: 0.3, minutes: 180 },
+    );
+    scenario.fleet = vec![
+        ServerGroup {
+            qos: QosConstraint::MeanResponse { rho_b: 0.6 },
+            ..ServerGroup::new("latency-tier", 4, StrategySpec::sleepscale())
+        },
+        ServerGroup {
+            qos: QosConstraint::MeanResponse { rho_b: 0.9 },
+            ..ServerGroup::new("batch-tier", 4, StrategySpec::sleepscale())
+        },
+    ];
+    scenario.dispatcher = DispatcherSpec::RoundRobin;
+    scenario.eval_jobs = 300;
+    scenario.seed = 32;
+    scenario
+}
+
+/// Race-to-halt vs SleepScale as an in-fleet A/B: two identical
+/// groups, one racing into C6, one running the full runtime, under the
+/// same balanced load — the Section 6.1 comparison as one scenario.
+pub fn race_vs_sleepscale() -> Scenario {
+    let mut scenario = Scenario::new(
+        "race-vs-sleepscale-ab",
+        WorkloadSource::Dns,
+        LoadSchedule::Constant { rho: 0.25, minutes: 180 },
+    );
+    scenario.fleet = vec![
+        ServerGroup::new("sleepscale", 4, StrategySpec::sleepscale()),
+        ServerGroup::new("race-to-halt", 4, StrategySpec::race_to_halt_c6()),
+    ];
+    scenario.dispatcher = DispatcherSpec::RoundRobin;
+    scenario.eval_jobs = 300;
+    scenario.seed = 33;
+    scenario
+}
+
+/// A composed-mix workload (DNS + Mail populations) consolidated onto
+/// a packed fleet at the low utilizations the paper's introduction
+/// describes — heavier-tailed service, packing for deep sleep.
+pub fn mixed_workload_packed() -> Scenario {
+    let mut scenario = Scenario::new(
+        "dns-mail-mix-packed",
+        WorkloadSource::Mix(vec![
+            MixComponent { spec: WorkloadSpec::dns(), weight: 2.0 },
+            MixComponent { spec: WorkloadSpec::mail(), weight: 1.0 },
+        ]),
+        LoadSchedule::Constant { rho: 0.15, minutes: 180 },
+    );
+    scenario.fleet = vec![ServerGroup::new("packed", 8, StrategySpec::sleepscale())];
+    scenario.dispatcher = DispatcherSpec::PackFirstFit { backlog_seconds: 1.0 };
+    scenario.eval_jobs = 300;
+    scenario.seed = 34;
+    scenario
+}
+
+/// Every bundled scenario, in catalog order.
+pub fn catalog() -> Vec<Scenario> {
+    vec![
+        dns_day(),
+        dns_day_analytic(),
+        fleet64(),
+        mixed_generations(),
+        qos_split(),
+        race_vs_sleepscale(),
+        mixed_workload_packed(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ScenarioRunner;
+
+    #[test]
+    fn catalog_has_the_promised_shapes_and_validates() {
+        let all = catalog();
+        assert!(all.len() >= 6);
+        // Unique names.
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        // Every scenario (full and quick form) passes validation.
+        for scenario in all {
+            let name = scenario.name.clone();
+            ScenarioRunner::new(scenario.clone()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            ScenarioRunner::new(scenario.quick()).unwrap_or_else(|e| panic!("{name} quick: {e}"));
+        }
+    }
+
+    #[test]
+    fn fleet64_matches_the_cluster_scale_gate_recipe() {
+        let s = fleet64();
+        assert_eq!(s.total_servers(), 64);
+        assert_eq!(s.seed, 2_203);
+        assert_eq!(s.eval_jobs, 300);
+        assert_eq!(s.load.minutes(), 360);
+        assert_eq!(s.dispatcher, DispatcherSpec::JoinShortestBacklog);
+    }
+
+    #[test]
+    fn ab_scenario_shows_sleepscale_beating_race_to_halt() {
+        // The quick form keeps one server per arm; the power ordering
+        // (Section 6.1) must already show at this size.
+        let report = ScenarioRunner::new(race_vs_sleepscale().quick()).unwrap().run().unwrap();
+        let groups = report.groups();
+        assert_eq!(groups.len(), 2);
+        assert!(
+            groups[0].avg_power_watts < groups[1].avg_power_watts,
+            "SleepScale {} W should undercut race-to-halt {} W",
+            groups[0].avg_power_watts,
+            groups[1].avg_power_watts
+        );
+        assert!(report.qos_ok(), "{groups:?}");
+    }
+}

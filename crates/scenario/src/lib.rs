@@ -1,0 +1,91 @@
+//! One declarative entry point over every SleepScale backend.
+//!
+//! The reproduction's value is the *joint* (frequency, sleep-state)
+//! policy space explored across many workloads and deployment shapes
+//! (paper §5–7) — but hand-wiring each experiment (a `RuntimeConfig`
+//! here, a strategy builder chain there, a `ClusterConfig` for fleets)
+//! buries the experiment's identity in plumbing. This crate redesigns
+//! experiment construction around three declarative, serde-derivable
+//! types:
+//!
+//! * [`Scenario`] — the experiment as data: workload source (Table-5
+//!   row, custom moments, or a composed mix), arrival-scale schedule
+//!   ([`LoadSchedule`]), a fleet of one or more
+//!   [`ServerGroup`](sleepscale_cluster::ServerGroup)s (count, machine
+//!   class, strategy, QoS, over-provisioning), dispatcher, epochs,
+//!   seed, threads.
+//! * [`StrategySpec`](sleepscale::StrategySpec) — strategies as data
+//!   (re-exported from `sleepscale`), replacing the builder-method
+//!   sprawl as the public construction path.
+//! * [`ScenarioRunner`] — validates the scenario, picks the backend
+//!   (single-server [`sleepscale::run`], its closed-form analytic
+//!   variant, or the [`Cluster`](sleepscale_cluster::Cluster) engine),
+//!   and returns one unified [`ScenarioReport`] (per-group slices +
+//!   merged streaming response summary + cache/warm-start telemetry).
+//!
+//! A [`catalog`] of bundled scenarios covers the shapes the gates and
+//! examples exercise; `cargo run --release -p sleepscale-bench --bin
+//! scenarios` runs it end to end.
+//!
+//! # Example: a two-group heterogeneous fleet
+//!
+//! Eight Table-2 Xeons under a tight latency budget next to eight
+//! higher-idle variants under a loose batch budget, behind
+//! join-shortest-backlog, over a diurnal morning:
+//!
+//! ```no_run
+//! use sleepscale_scenario::prelude::*;
+//!
+//! let mut scenario = Scenario::new(
+//!     "latency-and-batch",
+//!     WorkloadSource::Dns,
+//!     LoadSchedule::EmailStoreDay { seed: 7, start_minute: 480, end_minute: 840 },
+//! );
+//! scenario.fleet = vec![
+//!     ServerGroup {
+//!         qos: QosConstraint::mean_response(0.6)?,
+//!         ..ServerGroup::new("latency", 8, StrategySpec::sleepscale())
+//!     },
+//!     ServerGroup {
+//!         env: SimEnv::new(presets::xeon_prose_variant(), FrequencyScaling::CpuBound),
+//!         qos: QosConstraint::mean_response(0.9)?,
+//!         ..ServerGroup::new("batch", 8, StrategySpec::sleepscale())
+//!     },
+//! ];
+//! scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+//!
+//! let report = ScenarioRunner::new(scenario)?.run()?;
+//! for group in report.groups() {
+//!     println!(
+//!         "{:<10} {:>3} servers  µE[R] {:.2} (budget {:.2})  {:>6.0} W",
+//!         group.name, group.servers, group.normalized_mean_response,
+//!         group.qos_budget, group.avg_power_watts,
+//!     );
+//! }
+//! assert!(report.qos_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod runner;
+mod scenario;
+
+pub use runner::{Backend, GroupReport, ScenarioReport, ScenarioRunner};
+pub use scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, WorkloadSource};
+
+/// Convenient glob-import surface (includes the upstream types a
+/// scenario is declared with).
+pub mod prelude {
+    pub use crate::catalog;
+    pub use crate::{
+        Backend, DispatcherSpec, GroupReport, LoadSchedule, MixComponent, Scenario, ScenarioReport,
+        ScenarioRunner, WorkloadSource,
+    };
+    pub use sleepscale::{CandidateSpec, PredictorSpec, QosConstraint, SearchMode, StrategySpec};
+    pub use sleepscale_cluster::ServerGroup;
+    pub use sleepscale_power::{presets, FrequencyScaling};
+    pub use sleepscale_sim::SimEnv;
+}

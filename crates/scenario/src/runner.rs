@@ -1,0 +1,560 @@
+use crate::scenario::Scenario;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sleepscale::{CacheStats, CoreError, RunReport, RuntimeConfig, StrategySpec, WarmStartStats};
+use sleepscale_cluster::{Cluster, ClusterConfig, ClusterReport};
+use sleepscale_dist::StreamingSummary;
+use sleepscale_sim::JobStream;
+use sleepscale_workloads::{
+    replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
+};
+
+/// Which engine a scenario ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// The single-server closed loop ([`sleepscale::run`]).
+    SingleServer,
+    /// The single-server loop selecting from the closed-form model
+    /// (no characterization simulations).
+    Analytic,
+    /// The multi-server fleet engine ([`Cluster::run`]).
+    Cluster,
+}
+
+impl Backend {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::SingleServer => "runtime",
+            Backend::Analytic => "analytic",
+            Backend::Cluster => "cluster",
+        }
+    }
+}
+
+/// One server group's slice of a scenario result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupReport {
+    /// The group's display name.
+    pub name: String,
+    /// Servers in the group.
+    pub servers: usize,
+    /// Jobs the group completed.
+    pub jobs: usize,
+    /// Job-weighted mean response, seconds.
+    pub mean_response_seconds: f64,
+    /// Normalized mean response `µ·E[R]`.
+    pub normalized_mean_response: f64,
+    /// The group's QoS budget (normalized mean response).
+    pub qos_budget: f64,
+    /// Whether the group's realized response stayed within
+    /// `qos_slack ×` its budget.
+    pub qos_ok: bool,
+    /// Summed average power across the group, watts.
+    pub avg_power_watts: f64,
+    /// Total energy across the group, joules.
+    pub energy_joules: f64,
+    /// The group's characterization-cache counters (zero for unmanaged
+    /// strategies, which never characterize).
+    pub cache: CacheStats,
+}
+
+/// The unified result of running a [`Scenario`]: per-group slices, the
+/// backend's native report, the merged streaming response summary, and
+/// the characterization-cache / warm-start telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    scenario: String,
+    backend: Backend,
+    groups: Vec<GroupReport>,
+    run: Option<RunReport>,
+    cluster: Option<ClusterReport>,
+    responses: StreamingSummary,
+    mean_service: f64,
+    horizon_seconds: f64,
+    cache: CacheStats,
+    warm: WarmStartStats,
+}
+
+impl ScenarioReport {
+    /// The scenario's name.
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// Which backend ran.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Per-group slices, in fleet order.
+    pub fn groups(&self) -> &[GroupReport] {
+        &self.groups
+    }
+
+    /// The single-server backend's native report, when that backend
+    /// ran.
+    pub fn run_report(&self) -> Option<&RunReport> {
+        self.run.as_ref()
+    }
+
+    /// The cluster backend's native report, when that backend ran.
+    pub fn cluster_report(&self) -> Option<&ClusterReport> {
+        self.cluster.as_ref()
+    }
+
+    /// The merged streaming response summary (exact count/mean,
+    /// sketched quantiles), whatever the backend.
+    pub fn responses(&self) -> &StreamingSummary {
+        &self.responses
+    }
+
+    /// Jobs completed across the fleet.
+    pub fn total_jobs(&self) -> usize {
+        self.responses.count() as usize
+    }
+
+    /// Job-weighted mean response, seconds.
+    pub fn mean_response_seconds(&self) -> f64 {
+        self.responses.mean()
+    }
+
+    /// Normalized mean response `µ·E[R]`.
+    pub fn normalized_mean_response(&self) -> f64 {
+        self.responses.mean() / self.mean_service
+    }
+
+    /// 95th-percentile response, seconds (sketched to ±0.5% on the
+    /// cluster backend, exact on the single-server backend's native
+    /// report).
+    pub fn p95_response_seconds(&self) -> f64 {
+        self.responses.p95()
+    }
+
+    /// Total fleet power, watts.
+    pub fn avg_power_watts(&self) -> f64 {
+        self.groups.iter().map(|g| g.avg_power_watts).sum()
+    }
+
+    /// Total fleet energy, joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.groups.iter().map(|g| g.energy_joules).sum()
+    }
+
+    /// The run's horizon, seconds.
+    pub fn horizon_seconds(&self) -> f64 {
+        self.horizon_seconds
+    }
+
+    /// Whether every group stayed within its QoS slack.
+    pub fn qos_ok(&self) -> bool {
+        self.groups.iter().all(|g| g.qos_ok)
+    }
+
+    /// Characterization-cache counters summed over the fleet.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+    }
+
+    /// Warm-start counters summed over the fleet.
+    pub fn warm_start_stats(&self) -> WarmStartStats {
+        self.warm
+    }
+}
+
+/// Validates a [`Scenario`] and drives it end to end on the right
+/// backend: a one-server fleet runs the single-server closed loop
+/// (labelled `analytic` when the strategy selects from the closed
+/// form), anything larger runs the cluster engine — same inputs, same
+/// seed discipline, one [`ScenarioReport`] out.
+///
+/// Backend selection rules:
+///
+/// 1. `total_servers() == 1` → [`sleepscale::run`] with the group's
+///    strategy ([`Backend::SingleServer`], or [`Backend::Analytic`]
+///    when the spec is [`StrategySpec::Analytic`]). The dispatcher is
+///    ignored.
+/// 2. `total_servers() > 1` → [`Cluster::run`] over the fleet's
+///    groups behind the scenario's dispatcher ([`Backend::Cluster`]).
+///
+/// Both paths materialize identical inputs from the scenario's seed
+/// ([`ScenarioRunner::inputs`]): one RNG seeds the distribution
+/// synthesis and then the ground-truth replay, so a scenario is a pure
+/// function of its fields — and the runner's single-server and cluster
+/// wirings are byte-identical to the hand-written equivalents (the
+/// determinism suite pins this).
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+}
+
+impl ScenarioRunner {
+    /// Validates the scenario (shape errors surface here, not mid-run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty fleet, a
+    /// zero-count group, zero epochs/evaluation depth, a degenerate
+    /// arrival scale or QoS slack, an invalid workload mix, or an
+    /// invalid load window.
+    pub fn new(scenario: Scenario) -> Result<ScenarioRunner, CoreError> {
+        if scenario.fleet.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("scenario '{}' has an empty fleet", scenario.name),
+            });
+        }
+        for group in &scenario.fleet {
+            if group.count == 0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "scenario '{}': server group '{}' has zero servers",
+                        scenario.name, group.name
+                    ),
+                });
+            }
+        }
+        if scenario.epoch_minutes == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("scenario '{}': epoch_minutes must be >= 1", scenario.name),
+            });
+        }
+        if scenario.eval_jobs == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("scenario '{}': eval_jobs must be >= 1", scenario.name),
+            });
+        }
+        if scenario.dist_samples < 16 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "scenario '{}': dist_samples {} is too small to synthesize empirical tables",
+                    scenario.name, scenario.dist_samples
+                ),
+            });
+        }
+        if !scenario.arrival_scale.is_finite() || scenario.arrival_scale <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "scenario '{}': arrival_scale {} must be finite and > 0",
+                    scenario.name, scenario.arrival_scale
+                ),
+            });
+        }
+        if !scenario.qos_slack.is_finite() || scenario.qos_slack < 1.0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "scenario '{}': qos_slack {} must be finite and >= 1",
+                    scenario.name, scenario.qos_slack
+                ),
+            });
+        }
+        // Workload and load-window shape errors surface at validation
+        // (cheap checks only — the trace itself is synthesized once,
+        // by `inputs`, at run time).
+        scenario.workload.resolve()?;
+        scenario.load.validate()?;
+        Ok(ScenarioRunner { scenario })
+    }
+
+    /// The validated scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Materializes the scenario's deterministic inputs: resolved
+    /// workload statistics, the scaled utilization trace, and the
+    /// cluster-wide ground-truth job stream (arrival rate carries the
+    /// fleet factor). Exposed so comparison harnesses (e.g. the
+    /// `cluster_scale` parity gate) can feed the *same* inputs to a
+    /// reference engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/trace/replay errors.
+    pub fn inputs(&self) -> Result<(WorkloadSpec, UtilizationTrace, JobStream), CoreError> {
+        let spec = self.scenario.workload.resolve()?;
+        let trace = self.scenario.load.build(self.scenario.arrival_scale)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.scenario.seed);
+        let dists = WorkloadDistributions::empirical(&spec, self.scenario.dist_samples, &mut rng)?;
+        let jobs = replay_trace(
+            &trace,
+            &dists,
+            &ReplayConfig::for_fleet(self.scenario.total_servers()),
+            &mut rng,
+        )?;
+        Ok((spec, trace, jobs))
+    }
+
+    /// The base runtime configuration the fleet's per-group configs are
+    /// resolved against (group 0 contributes the base env/QoS/α; other
+    /// groups overlay their own).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeConfig`] validation errors.
+    pub fn base_runtime(&self, spec: &WorkloadSpec) -> Result<RuntimeConfig, CoreError> {
+        let lead = &self.scenario.fleet[0];
+        RuntimeConfig::builder(spec.service_mean())
+            .qos(lead.qos)
+            .epoch_minutes(self.scenario.epoch_minutes)
+            .eval_jobs(self.scenario.eval_jobs)
+            .over_provisioning(lead.over_provisioning)
+            .env(lead.env.clone())
+            .build()
+    }
+
+    /// Runs the scenario end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input-materialization and backend errors.
+    pub fn run(&self) -> Result<ScenarioReport, CoreError> {
+        let (spec, trace, jobs) = self.inputs()?;
+        self.run_with_inputs(&spec, &trace, &jobs)
+    }
+
+    /// Runs the scenario against inputs materialized earlier with
+    /// [`ScenarioRunner::inputs`] — so comparison harnesses can time
+    /// the backend alone, or share one expensive replay across several
+    /// runs. Passing inputs from anywhere else breaks the scenario's
+    /// pure-function-of-its-fields contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn run_with_inputs(
+        &self,
+        spec: &WorkloadSpec,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+    ) -> Result<ScenarioReport, CoreError> {
+        let base = self.base_runtime(spec)?;
+        if self.scenario.total_servers() == 1 {
+            self.run_single(spec, trace, jobs, &base)
+        } else {
+            self.run_cluster(spec, trace, jobs, &base)
+        }
+    }
+
+    fn run_single(
+        &self,
+        spec: &WorkloadSpec,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+        base: &RuntimeConfig,
+    ) -> Result<ScenarioReport, CoreError> {
+        let group = &self.scenario.fleet[0];
+        let backend = if matches!(group.strategy, StrategySpec::Analytic { .. }) {
+            Backend::Analytic
+        } else {
+            Backend::SingleServer
+        };
+        // Keep the concrete strategy type when the spec is managed so
+        // cache/warm telemetry survives into the report.
+        let (report, cache, warm) = match group.strategy.build_managed(base) {
+            Some(mut managed) => {
+                let report = sleepscale::run(trace, jobs, &mut managed, base.env(), base)?;
+                (report, managed.cache_stats().unwrap_or_default(), managed.warm_start_stats())
+            }
+            None => {
+                let mut strategy = group.strategy.build(base);
+                let report = sleepscale::run(trace, jobs, strategy.as_mut(), base.env(), base)?;
+                (report, CacheStats::default(), WarmStartStats::default())
+            }
+        };
+        let norm = report.normalized_mean_response();
+        let budget = group.qos.normalized_mean_budget();
+        let group_report = GroupReport {
+            name: group.name.clone(),
+            servers: 1,
+            jobs: report.total_jobs(),
+            mean_response_seconds: report.mean_response_seconds(),
+            normalized_mean_response: norm,
+            qos_budget: budget,
+            qos_ok: report.total_jobs() == 0 || norm <= budget * self.scenario.qos_slack,
+            avg_power_watts: report.avg_power_watts(),
+            energy_joules: report.energy_joules(),
+            cache,
+        };
+        Ok(ScenarioReport {
+            scenario: self.scenario.name.clone(),
+            backend,
+            groups: vec![group_report],
+            responses: report.responses().clone(),
+            mean_service: spec.service_mean(),
+            horizon_seconds: report.horizon_seconds(),
+            cache,
+            warm,
+            run: Some(report),
+            cluster: None,
+        })
+    }
+
+    fn run_cluster(
+        &self,
+        spec: &WorkloadSpec,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+        base: &RuntimeConfig,
+    ) -> Result<ScenarioReport, CoreError> {
+        let config = ClusterConfig::new(base, self.scenario.fleet.clone())?;
+        let mut cluster = Cluster::new(config).with_threads(self.scenario.threads);
+        let mut dispatcher = self.scenario.dispatcher.build();
+        let report = cluster.run(trace, jobs, dispatcher.as_mut())?;
+        let per_group_cache = cluster.group_characterization_stats();
+        let groups = report
+            .group_summaries()
+            .into_iter()
+            .zip(&self.scenario.fleet)
+            .zip(per_group_cache)
+            .map(|((summary, group), (_, cache))| {
+                let norm = summary.mean_response / spec.service_mean();
+                let budget = group.qos.normalized_mean_budget();
+                GroupReport {
+                    name: summary.name,
+                    servers: summary.servers,
+                    jobs: summary.jobs,
+                    mean_response_seconds: summary.mean_response,
+                    normalized_mean_response: norm,
+                    qos_budget: budget,
+                    qos_ok: summary.jobs == 0 || norm <= budget * self.scenario.qos_slack,
+                    avg_power_watts: summary.avg_power,
+                    energy_joules: summary.energy_joules,
+                    cache,
+                }
+            })
+            .collect();
+        Ok(ScenarioReport {
+            scenario: self.scenario.name.clone(),
+            backend: Backend::Cluster,
+            groups,
+            responses: report.responses().clone(),
+            mean_service: spec.service_mean(),
+            horizon_seconds: report.horizon_seconds(),
+            cache: cluster.characterization_stats(),
+            warm: cluster.warm_start_stats(),
+            run: None,
+            cluster: Some(report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DispatcherSpec, LoadSchedule, WorkloadSource};
+    use sleepscale_cluster::ServerGroup;
+
+    fn small_single() -> Scenario {
+        Scenario {
+            eval_jobs: 300,
+            dist_samples: 4_000,
+            seed: 21,
+            ..Scenario::new(
+                "single",
+                WorkloadSource::Dns,
+                LoadSchedule::Constant { rho: 0.25, minutes: 30 },
+            )
+        }
+    }
+
+    fn small_fleet() -> Scenario {
+        let mut scenario = Scenario {
+            eval_jobs: 200,
+            dist_samples: 4_000,
+            seed: 22,
+            dispatcher: DispatcherSpec::RoundRobin,
+            ..Scenario::new(
+                "fleet",
+                WorkloadSource::Dns,
+                LoadSchedule::Constant { rho: 0.25, minutes: 30 },
+            )
+        };
+        scenario.fleet = vec![
+            ServerGroup::new("ss", 2, StrategySpec::sleepscale()),
+            ServerGroup::new("race", 2, StrategySpec::race_to_halt_c6()),
+        ];
+        scenario
+    }
+
+    #[test]
+    fn single_server_backend_runs_and_reports() {
+        let runner = ScenarioRunner::new(small_single()).unwrap();
+        let report = runner.run().unwrap();
+        assert_eq!(report.backend(), Backend::SingleServer);
+        assert!(report.total_jobs() > 100);
+        assert_eq!(report.groups().len(), 1);
+        assert_eq!(report.groups()[0].jobs, report.total_jobs());
+        assert!(report.run_report().is_some());
+        assert!(report.cluster_report().is_none());
+        assert!(report.qos_ok(), "{:?}", report.groups());
+        assert!(report.avg_power_watts() > 28.0 && report.avg_power_watts() < 250.0);
+        // The managed path carries cache telemetry through.
+        assert!(report.cache_stats().hits + report.cache_stats().misses > 0);
+    }
+
+    #[test]
+    fn analytic_backend_is_selected_for_analytic_specs() {
+        let mut scenario = small_single();
+        scenario.fleet[0].strategy = StrategySpec::analytic();
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        assert_eq!(report.backend(), Backend::Analytic);
+        assert_eq!(report.backend().label(), "analytic");
+        // Closed-form selection never replays the log.
+        assert_eq!(report.cache_stats(), CacheStats::default());
+        assert!(report.total_jobs() > 100);
+    }
+
+    #[test]
+    fn cluster_backend_splits_groups() {
+        let runner = ScenarioRunner::new(small_fleet()).unwrap();
+        let report = runner.run().unwrap();
+        assert_eq!(report.backend(), Backend::Cluster);
+        assert_eq!(report.groups().len(), 2);
+        assert_eq!(
+            report.groups().iter().map(|g| g.jobs).sum::<usize>(),
+            report.total_jobs(),
+            "group slices partition the fleet's jobs"
+        );
+        let cluster = report.cluster_report().unwrap();
+        assert_eq!(cluster.n_servers(), 4);
+        // The racing group never characterizes.
+        assert_eq!(report.groups()[1].cache, CacheStats::default());
+        assert!(report.groups()[0].cache.misses > 0);
+    }
+
+    #[test]
+    fn scenario_validation_rejects_bad_shapes() {
+        let mut empty = small_single();
+        empty.fleet.clear();
+        assert!(ScenarioRunner::new(empty).unwrap_err().to_string().contains("empty fleet"));
+
+        let mut zero = small_fleet();
+        zero.fleet[1].count = 0;
+        assert!(ScenarioRunner::new(zero).unwrap_err().to_string().contains("zero servers"));
+
+        let mut bad_scale = small_single();
+        bad_scale.arrival_scale = f64::NAN;
+        assert!(ScenarioRunner::new(bad_scale).is_err());
+
+        let mut bad_slack = small_single();
+        bad_slack.qos_slack = 0.5;
+        assert!(ScenarioRunner::new(bad_slack).is_err());
+
+        let mut bad_epoch = small_single();
+        bad_epoch.epoch_minutes = 0;
+        assert!(ScenarioRunner::new(bad_epoch).is_err());
+
+        let mut bad_window = small_single();
+        bad_window.load = LoadSchedule::EmailStoreDay { seed: 1, start_minute: 9, end_minute: 9 };
+        assert!(ScenarioRunner::new(bad_window).is_err());
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let runner = ScenarioRunner::new(small_fleet()).unwrap();
+        let first = runner.run().unwrap();
+        let second = runner.run().unwrap();
+        assert_eq!(first.responses(), second.responses());
+        assert_eq!(first.groups()[0].energy_joules, second.groups()[0].energy_joules);
+    }
+}

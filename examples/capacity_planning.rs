@@ -3,18 +3,27 @@
 //! the answer changes on an Atom-class machine (the paper's Section 4.2
 //! remark: small CPUs with big platforms prefer racing and sleeping).
 //!
+//! Every cell of the sweep is the same declarative `Scenario` with the
+//! QoS constraint and machine class overridden — the runner drives the
+//! full closed loop (predictor, log replay, pruned search) per cell.
+//!
 //! ```sh
 //! cargo run --release --example capacity_planning
 //! ```
 
-use rand::SeedableRng;
 use sleepscale_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = WorkloadSpec::dns();
     let rho = 0.2;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let jobs = generator::generate_poisson_exp(15_000, rho, spec.service_mean(), &mut rng)?;
+    let base = Scenario {
+        eval_jobs: 1_000,
+        seed: 5,
+        ..Scenario::new(
+            "capacity-planning",
+            WorkloadSource::Dns,
+            LoadSchedule::Constant { rho, minutes: 60 },
+        )
+    };
 
     for (machine, env) in [
         ("Xeon-class", SimEnv::xeon_cpu_bound()),
@@ -22,25 +31,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!("== {machine} server, DNS-like workload at rho = {rho} ==");
         println!(
-            "{:>6} {:>10} {:>24} {:>10} {:>12}",
-            "rho_b", "budget", "selected policy", "f", "E[P] (W)"
+            "{:>6} {:>10} {:>20} {:>12} {:>12}",
+            "rho_b", "budget", "dominant program", "mu*E[R]", "E[P] (W)"
         );
         for rho_b in [0.5, 0.6, 0.7, 0.8, 0.9] {
-            let manager = PolicyManager::new(
-                env.clone(),
-                QosConstraint::mean_response(rho_b)?,
-                CandidateSet::standard(),
-                spec.service_mean(),
-                5_000,
-            )?;
-            let s = manager.select_from_stream(&jobs, rho);
+            let mut scenario = base.clone();
+            scenario.fleet[0].env = env.clone();
+            scenario.fleet[0].qos = QosConstraint::mean_response(rho_b)?;
+            let report = ScenarioRunner::new(scenario)?.run()?;
+            let run = report.run_report().expect("single-server backend");
+            let (program, fraction) = run.program_fractions().remove(0);
             println!(
-                "{:>6.1} {:>10.2} {:>24} {:>10.2} {:>12.1}",
+                "{:>6.1} {:>10.2} {:>14} ({:>2.0}%) {:>12.2} {:>12.1}",
                 rho_b,
                 1.0 / (1.0 - rho_b),
-                s.policy.program().label(),
-                s.policy.frequency().get(),
-                s.predicted_power
+                program,
+                fraction * 100.0,
+                report.normalized_mean_response(),
+                report.avg_power_watts()
             );
         }
         println!();

@@ -1,63 +1,62 @@
-//! Scale-out: a fleet of servers, each running its own SleepScale
-//! controller (the paper's Section 7 future-work direction), under
-//! different load-balancing disciplines.
+//! Scale-out: fleets of servers, each running its own controller (the
+//! paper's Section 7 future-work direction), declared as scenarios —
+//! first a dispatcher shoot-out on a homogeneous fleet, then the
+//! heterogeneous shapes the Scenario API exists for (mixed machine
+//! generations, per-group QoS, race-vs-SleepScale A/B).
 //!
 //! ```sh
 //! cargo run --release --example cluster_scale_out
 //! ```
 
-use rand::SeedableRng;
-use sleepscale_cluster::{
-    Cluster, ClusterConfig, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform,
-    RoundRobin,
-};
 use sleepscale_repro::prelude::*;
+use sleepscale_repro::sleepscale_scenario::catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Dispatcher shoot-out: one declarative fleet, four dispatchers.
+    //    A low-utilization fleet (the 20–30% regime the paper's intro
+    //    describes), DNS-like service, three hours.
     let n = 8;
-    let spec = WorkloadSpec::dns();
-    let runtime = RuntimeConfig::builder(spec.service_mean())
-        .qos(QosConstraint::mean_response(0.8)?)
-        .epoch_minutes(5)
-        .eval_jobs(800)
-        .over_provisioning(0.0)
-        .build()?;
-    let config = ClusterConfig::new(n, runtime);
-
-    // A low-utilization fleet (the 20–30% regime the paper's intro
-    // describes), DNS-like service, three hours.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-    let dists = WorkloadDistributions::empirical(&spec, 8_000, &mut rng)?;
-    let trace = UtilizationTrace::constant(0.2, 180)?;
-    let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng)?;
-    println!("fleet of {n}, cluster load {:.0}% of capacity, {} jobs\n", 20.0, jobs.len());
-
-    let mut dispatchers: Vec<Box<dyn Dispatcher>> = vec![
-        Box::new(RoundRobin::new()),
-        Box::new(RandomUniform::new(3)),
-        Box::new(JoinShortestBacklog::new()),
-        Box::new(PackFirstFit::new(1.0)),
-    ];
+    let base = {
+        let mut scenario = Scenario {
+            eval_jobs: 800,
+            seed: 17,
+            ..Scenario::new(
+                "scale-out",
+                WorkloadSource::Dns,
+                LoadSchedule::Constant { rho: 0.2, minutes: 180 },
+            )
+        };
+        scenario.fleet = vec![ServerGroup::new("fleet", n, StrategySpec::sleepscale())];
+        scenario
+    };
+    println!("fleet of {n}, cluster load 20% of capacity\n");
     println!(
         "{:>24} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
         "dispatcher", "mu*E[R]", "p95 (ms)", "fleet W", "balance", "cache", "warm"
     );
-    for d in dispatchers.iter_mut() {
-        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
-        let r = cluster.run(&trace, &jobs, d.as_mut())?;
+    for (label, dispatcher) in [
+        ("round-robin", DispatcherSpec::RoundRobin),
+        ("random", DispatcherSpec::RandomUniform { seed: 3 }),
+        ("join-shortest-backlog", DispatcherSpec::JoinShortestBacklog),
+        ("pack-first-fit(1s)", DispatcherSpec::PackFirstFit { backlog_seconds: 1.0 }),
+    ] {
+        let mut scenario = base.clone();
+        scenario.dispatcher = dispatcher;
+        let report = ScenarioRunner::new(scenario)?.run()?;
         // How much characterization the fleet engine eliminated: cache
         // hits are whole per-server sweeps absorbed by the shared
         // cache; warm-started searches are the cross-epoch bowl-bottom
         // reuse on the sweeps that did run.
-        let cache = cluster.characterization_stats();
-        let warm = cluster.warm_start_stats();
+        let cache = report.cache_stats();
+        let warm = report.warm_start_stats();
+        let cluster = report.cluster_report().expect("fleet scenarios run the cluster backend");
         println!(
             "{:>24} {:>12.2} {:>12.1} {:>12.0} {:>10.2} {:>9.0}% {:>9.0}%",
-            r.dispatcher(),
-            r.normalized_mean_response(),
-            r.p95_response_seconds() * 1e3,
-            r.total_power_watts(),
-            r.load_balance_index(),
+            label,
+            report.normalized_mean_response(),
+            report.p95_response_seconds() * 1e3,
+            report.avg_power_watts(),
+            cluster.load_balance_index(),
             cache.hit_rate() * 100.0,
             warm.warm_rate() * 100.0
         );
@@ -66,13 +65,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nReading: packing concentrates work so spare servers reach deep sleep;\n\
          at this utilization it buys a large fleet-power reduction for a modest\n\
          response-time cost. Spreading disciplines keep responses lowest but\n\
-         every server idles shallow. The cache column is the fraction of\n\
-         per-server characterizations served by the fleet-shared cache (one\n\
-         real sweep per epoch instead of N); the warm column is how many of\n\
-         the remaining sweeps warm-started from the previous epoch's bowl\n\
-         bottoms. Dispatch itself routes off an O(log N) index — no per-job\n\
-         fleet snapshot — so a 64-server day streams through in seconds\n\
-         (see `cargo run --release -p sleepscale-bench --bin cluster_scale`)."
+         every server idles shallow. Dispatch routes off an O(log N) index, so\n\
+         a 64-server day streams through in seconds (see `cargo run --release\n\
+         -p sleepscale-bench --bin cluster_scale`)."
+    );
+
+    // 2. Heterogeneous fleets from the catalog: the shapes one
+    //    homogeneous ClusterConfig could not express before PR 4.
+    println!("\nheterogeneous catalog scenarios (per-group slices):");
+    for scenario in
+        [catalog::mixed_generations(), catalog::qos_split(), catalog::race_vs_sleepscale()]
+    {
+        let report = ScenarioRunner::new(scenario)?.run()?;
+        println!(
+            "\n  {} — {} servers, {} jobs, {:.0} W fleet-wide",
+            report.scenario(),
+            report.groups().iter().map(|g| g.servers).sum::<usize>(),
+            report.total_jobs(),
+            report.avg_power_watts()
+        );
+        println!(
+            "  {:>16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6}",
+            "group", "servers", "jobs", "mu*E[R]", "budget", "W", "QoS"
+        );
+        for group in report.groups() {
+            println!(
+                "  {:>16} {:>8} {:>9} {:>9.2} {:>9.2} {:>9.0} {:>6}",
+                group.name,
+                group.servers,
+                group.jobs,
+                group.normalized_mean_response,
+                group.qos_budget,
+                group.avg_power_watts,
+                if group.qos_ok { "ok" } else { "FAIL" }
+            );
+        }
+    }
+    println!(
+        "\nEach group keeps its own shared characterization cache, so mixed\n\
+         generations and QoS tiers amortize sweeps exactly like homogeneous\n\
+         fleets — one real characterization per group per epoch."
     );
     Ok(())
 }

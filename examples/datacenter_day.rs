@@ -1,74 +1,67 @@
 //! A day in the data center: drive SleepScale and the paper's baseline
 //! strategies over the synthetic email-store utilization trace with a
-//! DNS-like service, 2 AM – 8 PM (the paper's Section 6 evaluation).
+//! DNS-like service, 2 AM – 8 PM (the paper's Section 6 evaluation) —
+//! each strategy declared as the same catalog `Scenario` with a
+//! different `StrategySpec`.
 //!
 //! ```sh
 //! cargo run --release --example datacenter_day
 //! ```
 
-use rand::SeedableRng;
 use sleepscale_repro::prelude::*;
+use sleepscale_repro::sleepscale_scenario::catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = WorkloadSpec::dns();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    // The catalog's DNS evaluation day: one Xeon server, email-store
+    // trace windowed 2 AM – 8 PM, alpha = 0.35. The baselines are the
+    // same scenario with the strategy swapped — that is the whole point
+    // of the declarative API.
+    let sleepscale = catalog::dns_day();
+    let mut race = sleepscale.clone();
+    race.name = "dns-day-r2h".into();
+    race.fleet[0].strategy = StrategySpec::race_to_halt_c6();
+    let mut dvfs = sleepscale.clone();
+    dvfs.name = "dns-day-dvfs".into();
+    dvfs.fleet[0].strategy = StrategySpec::dvfs_only();
 
-    // BigHouse-substitute distributions and the day's ground-truth jobs.
-    let dists = WorkloadDistributions::empirical(&spec, 10_000, &mut rng)?;
-    let trace = traces::email_store(1, 7).window(120, 1200); // 2 AM – 8 PM
-    let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng)?;
+    let trace = sleepscale.load.build(sleepscale.arrival_scale)?;
     println!(
-        "trace: {} minutes, utilization {:.2}–{:.2} (mean {:.2}); {} jobs",
+        "trace: {} minutes, utilization {:.2}–{:.2} (mean {:.2})",
         trace.len(),
         trace.min(),
         trace.max(),
         trace.mean(),
-        jobs.len()
     );
 
-    let env = SimEnv::xeon_cpu_bound();
-    let config = RuntimeConfig::builder(spec.service_mean())
-        .qos(QosConstraint::mean_response(0.8)?)
-        .epoch_minutes(5)
-        .eval_jobs(2_000)
-        .over_provisioning(0.35)
-        .build()?;
-
-    // SleepScale with the paper's LMS+CUSUM predictor.
-    let mut ss = SleepScaleStrategy::new(&config, CandidateSet::standard())
-        .with_predictor(Box::new(LmsCusum::new(10)));
-    let ss_report = run(&trace, &jobs, &mut ss, &env, &config)?;
-
-    // Race-to-halt and DVFS-only baselines.
-    let mut r2h = RaceToHaltStrategy::new(presets::C6_S0I);
-    let r2h_report = run(&trace, &jobs, &mut r2h, &env, &config)?;
-    let mut dvfs = SleepScaleStrategy::new(&config, CandidateSet::dvfs_only())
-        .with_predictor(Box::new(LmsCusum::new(10)));
-    let dvfs_report = run(&trace, &jobs, &mut dvfs, &env, &config)?;
-
     println!("\n{:>16} {:>12} {:>12} {:>12}", "strategy", "mu*E[R]", "p95 (ms)", "E[P] (W)");
-    for r in [&ss_report, &r2h_report, &dvfs_report] {
+    let mut reports = Vec::new();
+    for scenario in [sleepscale, race, dvfs] {
+        let label = scenario.fleet[0].strategy.label();
+        let report = ScenarioRunner::new(scenario)?.run()?;
         println!(
             "{:>16} {:>12.2} {:>12.1} {:>12.1}",
-            r.strategy(),
-            r.normalized_mean_response(),
-            r.p95_response_seconds() * 1e3,
-            r.avg_power_watts()
+            label,
+            report.normalized_mean_response(),
+            report.p95_response_seconds() * 1e3,
+            report.avg_power_watts()
         );
+        reports.push(report);
     }
     println!(
         "\nSleepScale saves {:.0}% power vs race-to-halt and {:.0}% vs DVFS-only",
-        100.0 * (1.0 - ss_report.avg_power_watts() / r2h_report.avg_power_watts()),
-        100.0 * (1.0 - ss_report.avg_power_watts() / dvfs_report.avg_power_watts()),
+        100.0 * (1.0 - reports[0].avg_power_watts() / reports[1].avg_power_watts()),
+        100.0 * (1.0 - reports[0].avg_power_watts() / reports[2].avg_power_watts()),
     );
 
-    // Hourly policy timeline: what SleepScale chose as the day unfolded.
+    // Hourly policy timeline: what SleepScale chose as the day unfolded
+    // (the unified report still carries the backend's native epochs).
+    let ss_run = reports[0].run_report().expect("single-server backend");
     println!("\nSleepScale policy timeline (hourly samples):");
     println!(
         "{:>6} {:>8} {:>8} {:>14} {:>10} {:>12}",
         "hour", "rho^", "rho", "state", "f", "P (W)"
     );
-    for e in ss_report.epochs().iter().step_by(12) {
+    for e in ss_run.epochs().iter().step_by(12) {
         println!(
             "{:>6.1} {:>8.2} {:>8.2} {:>14} {:>10.2} {:>12.1}",
             2.0 + e.start_minute as f64 / 60.0,
@@ -81,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nselected-state distribution (Figure 10 style):");
-    for (label, frac) in ss_report.program_fractions() {
+    for (label, frac) in ss_run.program_fractions() {
         println!("  {label:<14} {:>5.1}%", frac * 100.0);
     }
     Ok(())

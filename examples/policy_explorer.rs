@@ -1,7 +1,8 @@
 //! Policy explorer: sweep every (frequency, sleep-state) pair for a
 //! workload you describe on the command line and print the bowl curves
 //! plus the QoS-constrained optimum — both simulated and via the
-//! paper's closed forms.
+//! paper's closed forms — then hand the same workload to the unified
+//! scenario runner and show what the full SleepScale runtime deploys.
 //!
 //! ```sh
 //! cargo run --release --example policy_explorer -- [mean_service_ms] [rho] [rho_b]
@@ -10,7 +11,6 @@
 
 use rand::SeedableRng;
 use sleepscale_repro::prelude::*;
-use sleepscale_repro::sleepscale_analytic::PolicyAnalyzer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -73,6 +73,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy.label()
         ),
         None => println!("no policy meets the budget at this utilization"),
+    }
+
+    // The same workload as a declarative scenario: the full runtime
+    // (prediction, log replay, pruned search, cache) over an hour of
+    // this load — what SleepScale would actually deploy epoch by epoch.
+    let spec = WorkloadSpec::new("custom", mean_service / rho.max(1e-6), 1.0, mean_service, 1.0)?;
+    let mut scenario = Scenario {
+        eval_jobs: 1_000,
+        seed: 11,
+        ..Scenario::new(
+            "policy-explorer",
+            WorkloadSource::Custom(spec),
+            LoadSchedule::Constant { rho, minutes: 60 },
+        )
+    };
+    scenario.fleet[0].qos = QosConstraint::mean_response(rho_b)?;
+    let report = ScenarioRunner::new(scenario)?.run()?;
+    let run = report.run_report().expect("single-server backend");
+    println!(
+        "\nscenario runner (full runtime, 60 min): {:.1} W average, mu*E[R] {:.2}, \
+         deployed programs:",
+        report.avg_power_watts(),
+        report.normalized_mean_response()
+    );
+    for (label, frac) in run.program_fractions() {
+        println!("  {label:<14} {:>5.1}%", frac * 100.0);
     }
     Ok(())
 }

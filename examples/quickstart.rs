@@ -1,5 +1,6 @@
-//! Quickstart: characterize a few policies for one workload and let the
-//! policy manager pick the best one.
+//! Quickstart: characterize a few policies for one workload by hand,
+//! then declare the same experiment as a `Scenario` and let the unified
+//! runner drive it end to end.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -38,36 +39,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // 4. Let the policy manager search the full candidate grid under the
-    //    paper's QoS constraint (peak design utilization 0.8 →
-    //    µE[R] ≤ 5).
-    let manager = PolicyManager::new(
-        env,
-        QosConstraint::mean_response(0.8)?,
-        CandidateSet::standard(),
-        spec.service_mean(),
-        5_000,
-    )?;
-    let selection = manager.select_from_stream(&jobs, rho);
+    // 4. The same exploration as one declarative scenario: SleepScale's
+    //    full runtime over an hour of steady rho = 0.2 load, driven by
+    //    the unified runner (predictor + log replay + pruned search +
+    //    cache — everything the paper's Sections 5–6 wire by hand).
+    let scenario = Scenario {
+        eval_jobs: 2_000,
+        seed: 42,
+        ..Scenario::new(
+            "quickstart",
+            WorkloadSource::Dns,
+            LoadSchedule::Constant { rho, minutes: 60 },
+        )
+    };
+    let report = ScenarioRunner::new(scenario)?.run()?;
+    let run = report.run_report().expect("single-server scenarios report the runtime backend");
+    let (top_program, top_fraction) = run.program_fractions().remove(0);
     println!(
-        "\nSleepScale selects: {}\n  predicted power {:.1} W, predicted mu*E[R] {:.2} \
-         (budget 5.0), {} candidates evaluated",
-        selection.policy.label(),
-        selection.predicted_power,
-        selection.predicted_norm_response,
-        selection.evaluated
+        "\nSleepScale over an hour at rho = {rho}: {:.1} W average \
+         (mu*E[R] {:.2}, budget {:.1}), {} jobs",
+        report.avg_power_watts(),
+        report.normalized_mean_response(),
+        report.groups()[0].qos_budget,
+        report.total_jobs(),
     );
+    println!("  dominant sleep program: {top_program} ({:.0}% of epochs)", top_fraction * 100.0);
 
     // 5. Compare against the naive baseline: run flat out, never sleep.
-    let baseline = simulate(&jobs, &Policy::full_speed_no_sleep(), &manager_env());
+    let baseline = simulate(&jobs, &Policy::full_speed_no_sleep(), &env);
     println!(
         "  flat-out baseline: {:.1} W  ->  SleepScale saves {:.0}%",
         baseline.avg_power().as_watts(),
-        100.0 * (1.0 - selection.predicted_power / baseline.avg_power().as_watts())
+        100.0 * (1.0 - report.avg_power_watts() / baseline.avg_power().as_watts())
     );
     Ok(())
-}
-
-fn manager_env() -> SimEnv {
-    SimEnv::xeon_cpu_bound()
 }

@@ -15,7 +15,9 @@
 //! * [`sleepscale_predict`] — utilization predictors (paper Algorithm 2).
 //! * [`sleepscale`] — the policy manager, runtime, and baseline strategies.
 //! * [`sleepscale_cluster`] — multi-server scale-out behind pluggable
-//!   dispatchers (paper §7 future work).
+//!   dispatchers (paper §7 future work), with heterogeneous server groups.
+//! * [`sleepscale_scenario`] — the unified declarative Scenario API: one
+//!   entry point over the runtime, analytic, and cluster backends.
 
 pub use sleepscale;
 pub use sleepscale_analytic;
@@ -23,6 +25,7 @@ pub use sleepscale_cluster;
 pub use sleepscale_dist;
 pub use sleepscale_power;
 pub use sleepscale_predict;
+pub use sleepscale_scenario;
 pub use sleepscale_sim;
 pub use sleepscale_workloads;
 
@@ -30,10 +33,13 @@ pub use sleepscale_workloads;
 pub mod prelude {
     pub use sleepscale::prelude::*;
     pub use sleepscale_analytic as analytic;
+    pub use sleepscale_analytic::{AnalyticOutcome, MG1Sleep, MM1Sleep, PolicyAnalyzer};
     pub use sleepscale_cluster as cluster;
+    pub use sleepscale_cluster::{ClusterConfig, ClusterReport, GroupSummary, ServerGroup};
     pub use sleepscale_dist::prelude::*;
     pub use sleepscale_power::prelude::*;
     pub use sleepscale_predict::prelude::*;
+    pub use sleepscale_scenario::prelude::*;
     pub use sleepscale_sim::prelude::*;
     pub use sleepscale_workloads::prelude::*;
 }

@@ -44,8 +44,8 @@ fn cluster_run_through_the_facade_produces_a_consistent_report() {
         .eval_jobs(200)
         .build()
         .unwrap();
-    let config = ClusterConfig::new(n_servers, runtime);
-    let mut fleet = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound());
+    let config = ClusterConfig::homogeneous(n_servers, runtime).unwrap();
+    let mut fleet = Cluster::new(config);
     let report = fleet.run(&trace, &jobs, &mut PackFirstFit::new(30.0)).unwrap();
 
     assert_eq!(report.n_servers(), n_servers);

@@ -106,10 +106,9 @@ fn fleet_run_is_thread_count_invariant() {
         .eval_jobs(300)
         .build()
         .unwrap();
-    let config = ClusterConfig::new(n_servers, runtime);
+    let config = ClusterConfig::homogeneous(n_servers, runtime).unwrap();
     let run_pinned = |threads: usize| {
-        let mut cluster = Cluster::new(&config, CandidateSet::standard(), SimEnv::xeon_cpu_bound())
-            .with_threads(threads);
+        let mut cluster = Cluster::new(config.clone()).with_threads(threads);
         let report = cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap();
         (report, cluster.characterization_stats())
     };
@@ -127,6 +126,54 @@ fn fleet_run_is_thread_count_invariant() {
             (reference_stats.hits, reference_stats.misses),
             "threads={threads} changed the shared-cache traffic"
         );
+    }
+}
+
+/// PR-4 satellite: a *heterogeneous* two-group fleet scenario (mixed
+/// machine generations, per-group QoS) is just as thread-count
+/// invariant as a homogeneous one — per-group caches keep owner
+/// election deterministic within each group, whatever the worker
+/// count.
+#[test]
+fn heterogeneous_fleet_scenario_is_thread_count_invariant() {
+    let mut scenario = Scenario {
+        eval_jobs: 250,
+        dist_samples: 4_000,
+        seed: 84,
+        dispatcher: DispatcherSpec::JoinShortestBacklog,
+        ..Scenario::new(
+            "hetero-invariance",
+            WorkloadSource::Dns,
+            LoadSchedule::EmailStoreDay { seed: 7, start_minute: 540, end_minute: 600 },
+        )
+    };
+    scenario.fleet = vec![
+        ServerGroup {
+            qos: QosConstraint::mean_response(0.7).unwrap(),
+            ..ServerGroup::new("xeon-table2", 3, StrategySpec::sleepscale())
+        },
+        ServerGroup {
+            env: SimEnv::new(presets::xeon_prose_variant(), FrequencyScaling::CpuBound),
+            qos: QosConstraint::mean_response(0.9).unwrap(),
+            ..ServerGroup::new("xeon-prose", 3, StrategySpec::sleepscale())
+        },
+    ];
+    let run_pinned = |threads: usize| {
+        let mut pinned = scenario.clone();
+        pinned.threads = threads;
+        ScenarioRunner::new(pinned).unwrap().run().unwrap()
+    };
+    let reference = run_pinned(1);
+    assert_eq!(reference.total_jobs(), reference.groups().iter().map(|g| g.jobs).sum::<usize>());
+    assert_eq!(reference.cache_stats().evictions, 0, "invariance needs the no-eviction regime");
+    for threads in [2, 3, 8] {
+        let run = run_pinned(threads);
+        assert_eq!(
+            run.cluster_report(),
+            reference.cluster_report(),
+            "threads={threads} diverged from the serial fleet"
+        );
+        assert_eq!(run.groups(), reference.groups(), "threads={threads} changed group slices");
     }
 }
 

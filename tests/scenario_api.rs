@@ -1,0 +1,121 @@
+//! Scenario-API equivalence suite: the declarative `ScenarioRunner`
+//! must be a *pure re-wiring* of the hand-written experiment setup —
+//! byte-identical reports, not merely statistically similar ones. If
+//! these tests fail, the unified entry point silently changed what an
+//! experiment means.
+
+use rand::SeedableRng;
+use sleepscale_repro::prelude::*;
+
+/// The DNS-day recipe, shortened to a two-hour window for test budget:
+/// the scenario form and the direct `runtime::run` wiring must produce
+/// byte-identical `RunReport`s.
+#[test]
+fn scenario_runner_reproduces_direct_runtime_wiring() {
+    let scenario = Scenario {
+        eval_jobs: 400,
+        dist_samples: 5_000,
+        seed: 7,
+        ..Scenario::new(
+            "dns-day-equivalence",
+            WorkloadSource::Dns,
+            LoadSchedule::EmailStoreDay { seed: 7, start_minute: 120, end_minute: 240 },
+        )
+    };
+    let via_scenario = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+
+    // The hand-written wiring, exactly as the pre-scenario examples
+    // spelled it: one rng seeds distribution synthesis then replay.
+    let spec = WorkloadSpec::dns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let dists = WorkloadDistributions::empirical(&spec, 5_000, &mut rng).unwrap();
+    let trace = traces::email_store(1, 7).window(120, 240);
+    let jobs = replay_trace(&trace, &dists, &ReplayConfig::default(), &mut rng).unwrap();
+    let config = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).unwrap())
+        .epoch_minutes(5)
+        .eval_jobs(400)
+        .build()
+        .unwrap();
+    let mut strategy = SleepScaleStrategy::new(&config, CandidateSet::standard());
+    let direct = run(&trace, &jobs, &mut strategy, config.env(), &config).unwrap();
+
+    assert_eq!(
+        via_scenario.run_report(),
+        Some(&direct),
+        "the scenario runner must reproduce the direct wiring byte for byte"
+    );
+    assert_eq!(via_scenario.total_jobs(), direct.total_jobs());
+    assert_eq!(via_scenario.backend(), Backend::SingleServer);
+}
+
+/// The fleet path: a homogeneous cluster scenario and the direct
+/// `Cluster::run` wiring over the same materialized inputs must
+/// produce byte-identical `ClusterReport`s.
+#[test]
+fn scenario_runner_reproduces_direct_cluster_wiring() {
+    use cluster::{Cluster, JoinShortestBacklog};
+
+    let n = 4;
+    let mut scenario = Scenario {
+        eval_jobs: 250,
+        dist_samples: 4_000,
+        seed: 90,
+        dispatcher: DispatcherSpec::JoinShortestBacklog,
+        ..Scenario::new(
+            "fleet-equivalence",
+            WorkloadSource::Dns,
+            LoadSchedule::EmailStoreDay { seed: 7, start_minute: 540, end_minute: 600 },
+        )
+    };
+    scenario.fleet = vec![ServerGroup::new("fleet", n, StrategySpec::sleepscale())];
+    let runner = ScenarioRunner::new(scenario).unwrap();
+    let via_scenario = runner.run().unwrap();
+
+    // Direct wiring consuming identical inputs.
+    let spec = WorkloadSpec::dns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+    let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+    let trace = traces::email_store(1, 7).window(540, 600);
+    let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
+    let runtime = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).unwrap())
+        .epoch_minutes(5)
+        .eval_jobs(250)
+        .build()
+        .unwrap();
+    let config = ClusterConfig::homogeneous(n, runtime).unwrap();
+    let mut fleet = Cluster::new(config);
+    let direct = fleet.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap();
+
+    assert_eq!(
+        via_scenario.cluster_report(),
+        Some(&direct),
+        "the scenario runner must reproduce the direct fleet wiring byte for byte"
+    );
+    assert_eq!(via_scenario.backend(), Backend::Cluster);
+    assert_eq!(via_scenario.total_jobs(), jobs.len());
+}
+
+/// `run_with_inputs` on materialized inputs equals `run()` — the
+/// comparison-harness path is not a second semantics.
+#[test]
+fn materialized_inputs_round_trip() {
+    let mut scenario = Scenario {
+        eval_jobs: 200,
+        dist_samples: 4_000,
+        seed: 91,
+        ..Scenario::new(
+            "inputs-roundtrip",
+            WorkloadSource::Dns,
+            LoadSchedule::Constant { rho: 0.25, minutes: 30 },
+        )
+    };
+    scenario.fleet = vec![ServerGroup::new("fleet", 2, StrategySpec::sleepscale())];
+    let runner = ScenarioRunner::new(scenario).unwrap();
+    let (spec, trace, jobs) = runner.inputs().unwrap();
+    let one = runner.run().unwrap();
+    let two = runner.run_with_inputs(&spec, &trace, &jobs).unwrap();
+    assert_eq!(one.cluster_report(), two.cluster_report());
+    assert_eq!(one.groups(), two.groups());
+}

@@ -1,8 +1,12 @@
 //! Structural checks for the workspace's archivable data types: the
-//! `Clone`/`PartialEq`/`Debug` trio on configs, policies, and reports
-//! (all of which also derive serde's `Serialize`/`Deserialize`; no JSON
-//! crate is in the dependency set per DESIGN.md §7, so the derives are
-//! exercised by compilation and the structural checks here).
+//! `Clone`/`PartialEq`/`Debug` trio on configs, policies, reports, and
+//! the PR-4 declarative scenario types (all of which also derive
+//! serde's `Serialize`/`Deserialize`; no JSON crate is in the
+//! dependency set per DESIGN.md §7, so the derives are exercised by
+//! compilation and the structural checks here).
+//!
+//! Everything below compiles from `use sleepscale_repro::prelude::*;`
+//! alone — the facade-prelude audit's acceptance criterion.
 
 use sleepscale_repro::prelude::*;
 
@@ -14,22 +18,62 @@ fn reports_and_configs_are_cloneable_and_comparable() {
     let candidates = CandidateSet::standard();
     assert_eq!(candidates.clone(), candidates);
 
-    let policy = sleepscale_repro::sleepscale_power::Policy::full_speed_no_sleep();
+    let policy = Policy::full_speed_no_sleep();
     assert_eq!(policy.clone(), policy);
 
     let spec = WorkloadSpec::dns();
     assert_eq!(spec.clone(), spec);
+
+    let config = RuntimeConfig::builder(spec.service_mean()).qos(qos).build().unwrap();
+    assert_eq!(config.clone(), config);
+}
+
+#[test]
+fn scenario_types_are_declarative_data() {
+    // The whole experiment round-trips as plain data: clone, compare,
+    // and (structurally) serialize.
+    let mut scenario = Scenario::new(
+        "archival",
+        WorkloadSource::Mix(vec![
+            MixComponent { spec: WorkloadSpec::dns(), weight: 1.0 },
+            MixComponent { spec: WorkloadSpec::mail(), weight: 1.0 },
+        ]),
+        LoadSchedule::EmailStoreDay { seed: 7, start_minute: 120, end_minute: 1200 },
+    );
+    scenario.fleet = vec![
+        ServerGroup::new("a", 4, StrategySpec::sleepscale()),
+        ServerGroup {
+            qos: QosConstraint::mean_response(0.9).unwrap(),
+            ..ServerGroup::new("b", 4, StrategySpec::race_to_halt_c6())
+        },
+    ];
+    scenario.dispatcher = DispatcherSpec::PackFirstFit { backlog_seconds: 1.0 };
+    assert_eq!(scenario.clone(), scenario);
+    assert_eq!(scenario.total_servers(), 8);
+
+    let strategy = StrategySpec::SleepScale {
+        candidates: CandidateSpec::SingleState(SystemState::C3_S0I),
+        search: SearchMode::Exhaustive,
+        predictor: PredictorSpec::MovingAverage { window: 5 },
+        cached: false,
+    };
+    assert_eq!(strategy.clone(), strategy);
+    assert_eq!(strategy.label(), "SS(C3)/exh/nocache");
 }
 
 #[test]
 fn serializable_types_produce_stable_debug_output() {
     // Debug formatting is part of the archival story too (C-DEBUG /
     // C-DEBUG-NONEMPTY): never empty, always contains the key fields.
-    let policy = sleepscale_repro::sleepscale_power::Policy::full_speed_no_sleep();
+    let policy = Policy::full_speed_no_sleep();
     let dbg = format!("{policy:?}");
     assert!(dbg.contains("frequency"));
     let qos = QosConstraint::p95(0.6).unwrap();
     assert!(format!("{qos:?}").contains("Tail"));
     let trace = traces::file_server(1, 1);
     assert!(!format!("{trace:?}").is_empty());
+    let scenario =
+        Scenario::new("dbg", WorkloadSource::Dns, LoadSchedule::Constant { rho: 0.2, minutes: 5 });
+    let dbg = format!("{scenario:?}");
+    assert!(dbg.contains("dbg") && dbg.contains("fleet"));
 }
