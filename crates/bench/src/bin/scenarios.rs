@@ -1,25 +1,79 @@
 //! Runs the bundled scenario catalog end to end through the unified
 //! Scenario API: every deployment shape the reproduction ships (DNS
-//! day, 64-server fleet, mixed generations, per-group QoS split,
-//! race-vs-SleepScale A/B, analytic cross-check, composed-mix packing)
-//! as one declarative table.
+//! day, 64-server fleets, mixed generations, per-group QoS split,
+//! race-vs-SleepScale A/B, analytic cross-check, composed-mix packing,
+//! class-tagged mixes, flash-crowd day) as one declarative table.
 //!
 //! ```sh
 //! cargo run --release -p sleepscale-bench --bin scenarios
 //! cargo run --release -p sleepscale-bench --bin scenarios -- --quick
+//! cargo run --release -p sleepscale-bench --bin scenarios -- --list
+//! cargo run --release -p sleepscale-bench --bin scenarios -- --only dns-mail-tagged-mix
 //! ```
 //!
 //! `--quick` runs every scenario in its reduced form (truncated
-//! horizon, quarter-size groups) — the CI smoke gate. Exits non-zero
-//! if any scenario fails validation, errors mid-run, or finishes
-//! QoS-infeasible (a panic inside a backend also exits non-zero).
+//! horizon, quarter-size groups) — the CI smoke gate. `--list` prints
+//! the catalog without running anything; `--only <name>` (repeatable)
+//! restricts the run to the named scenarios. Exits non-zero if any
+//! scenario fails validation, errors mid-run, or finishes
+//! QoS-infeasible — including any *per-class* p95 budget violation —
+//! or if `--only` names an unknown scenario.
 
-use sleepscale_scenario::{catalog, ScenarioRunner};
+use sleepscale_scenario::{catalog, Scenario, ScenarioRunner, WorkloadSource};
 use std::time::Instant;
 
+fn workload_label(scenario: &Scenario) -> String {
+    match &scenario.workload {
+        WorkloadSource::Dns => "DNS".into(),
+        WorkloadSource::Mail => "Mail".into(),
+        WorkloadSource::Google => "Google".into(),
+        WorkloadSource::Custom(spec) => format!("custom({})", spec.name()),
+        WorkloadSource::Mix(parts) => format!("mix[{}]", parts.len()),
+        WorkloadSource::Tagged(model) => {
+            let names: Vec<&str> = model.classes.iter().map(|c| c.name.as_str()).collect();
+            format!("tagged[{}]", names.join("+"))
+        }
+    }
+}
+
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scenarios = catalog::catalog();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let only: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--only")
+        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+        .collect();
+
+    let mut scenarios = catalog::catalog();
+    if list {
+        println!("{:<24} {:>7} {:>8} {:>8}  workload", "scenario", "servers", "minutes", "classes");
+        for s in &scenarios {
+            let classes = s.workload.traffic_model().map_or(0, |m| m.classes.len());
+            println!(
+                "{:<24} {:>7} {:>8} {:>8}  {}",
+                s.name,
+                s.total_servers(),
+                s.load.minutes(),
+                classes,
+                workload_label(s)
+            );
+        }
+        return Ok(());
+    }
+    if !only.is_empty() {
+        let known: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+        for name in &only {
+            if !known.iter().any(|k| k == name) {
+                eprintln!("unknown scenario '{name}'; the catalog has: {}", known.join(", "));
+                std::process::exit(1);
+            }
+        }
+        scenarios.retain(|s| only.contains(&s.name.as_str()));
+    }
+
     println!(
         "== scenario catalog: {} scenarios{} ==",
         scenarios.len(),
@@ -91,9 +145,37 @@ fn main() -> std::io::Result<()> {
                 );
             }
         }
+        // Per-class slices for tagged scenarios — who the traffic is.
+        for class in report.classes() {
+            println!(
+                "  ├ {:<21} {:>7} {:>9}   p95 {:>7.1} ms ({:.1}×µ, budget {})  {:>6.0} J{}",
+                class.name,
+                format!("class{}", class.class),
+                class.jobs,
+                class.p95_response_seconds * 1e3,
+                class.normalized_p95,
+                class.p95_budget.map_or("—".into(), |b| format!("{b:.1}×")),
+                class.energy_joules,
+                if class.qos_ok { "" } else { "  — VIOLATED" }
+            );
+        }
         if !report.qos_ok() {
             failures.push(format!("{name}: QoS-infeasible result"));
         }
+        // Per-class p95/energy as packed `name:value` pair columns —
+        // class counts vary per scenario, so the CSV stays rectangular.
+        let class_p95 = report
+            .classes()
+            .iter()
+            .map(|c| format!("{}:{:.4}", c.name, c.p95_response_seconds * 1e3))
+            .collect::<Vec<_>>()
+            .join("|");
+        let class_energy = report
+            .classes()
+            .iter()
+            .map(|c| format!("{}:{:.2}", c.name, c.energy_joules))
+            .collect::<Vec<_>>()
+            .join("|");
         rows.push(vec![
             name,
             report.backend().label().to_string(),
@@ -106,6 +188,8 @@ fn main() -> std::io::Result<()> {
             format!("{:.3}", cache.hit_rate()),
             format!("{:.3}", warm.warm_rate()),
             (report.qos_ok() as u8).to_string(),
+            class_p95,
+            class_energy,
         ]);
     }
 
@@ -123,6 +207,8 @@ fn main() -> std::io::Result<()> {
             "cache_hit_rate",
             "warm_rate",
             "qos_ok",
+            "class_p95_ms",
+            "class_energy_j",
         ],
         &rows,
     )?;

@@ -414,6 +414,12 @@ impl Cluster {
         // Fleet-wide response statistics stream into O(1) state; no
         // O(total-jobs) sample vector, whatever the fleet-day size.
         let mut fleet_responses = StreamingSummary::new();
+        // Per-class slices only arm for genuinely multi-class streams;
+        // untagged fleets (and single-class tagged ones, whose class
+        // *is* the default) skip the per-job class accounting and
+        // report empty slices — byte-identical to the pre-tag engine.
+        let tagged = jobs.is_tagged();
+        let mut class_responses: Vec<StreamingSummary> = Vec::new();
         // Borrowed cursor over the cluster-wide stream: the dispatch
         // loop consumes arrivals in time order without cloning the
         // remaining stream at epoch boundaries.
@@ -489,6 +495,13 @@ impl Cluster {
                 });
                 let record = routed.expect("one arrival produces one record");
                 fleet_responses.push(record.response());
+                if tagged {
+                    let c = job.class().as_index();
+                    if c >= class_responses.len() {
+                        class_responses.resize_with(c + 1, StreamingSummary::new);
+                    }
+                    class_responses[c].push(record.response());
+                }
                 slot.response_sum += record.response();
                 slot.all_jobs += 1;
                 slot.epoch_work += record.size;
@@ -539,6 +552,7 @@ impl Cluster {
             group_names,
             summaries,
             fleet_responses,
+            class_responses,
             horizon,
             self.config.runtime_for(0).mean_service(),
         ))
@@ -773,6 +787,40 @@ mod tests {
         assert!(err.to_string().contains("routed job"), "{err}");
         // The cluster is still usable after the failed run.
         assert!(cluster.run(&trace, &jobs, &mut RoundRobin::new()).is_ok());
+    }
+
+    /// Class tags flow through the fleet: a multi-class stream yields
+    /// per-class response slices that partition the fleet total, while
+    /// untagged (and single-class tagged) streams keep the slices
+    /// empty — and tagging jobs with the default class changes nothing.
+    #[test]
+    fn class_slices_partition_fleet_responses() {
+        use sleepscale_sim::{pack_id, ClassId};
+        let (config, trace, jobs) = setup(3, 45, 54);
+        let untagged = run_with(&mut RoundRobin::new(), &config, &trace, &jobs);
+        assert!(untagged.class_responses().is_empty(), "untagged fleets report no slices");
+
+        // Re-tag the same stream: alternate jobs class 1 / class 2.
+        let tagged_jobs: Vec<Job> = jobs
+            .jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, j)| Job { id: pack_id(j.id, ClassId(1 + (i % 2) as u16)), ..*j })
+            .collect();
+        let tagged_stream = JobStream::new(tagged_jobs).unwrap();
+        let tagged = run_with(&mut RoundRobin::new(), &config, &trace, &tagged_stream);
+        let slices = tagged.class_responses();
+        assert_eq!(slices.len(), 3, "slices indexed by class id, 0 empty");
+        assert_eq!(slices[0].count(), 0);
+        assert_eq!(
+            slices.iter().map(|s| s.count()).sum::<u64>(),
+            tagged.responses().count(),
+            "class slices partition the fleet responses"
+        );
+        // The tag is invisible to the simulation itself: aggregate
+        // statistics equal the untagged run's.
+        assert_eq!(tagged.responses(), untagged.responses());
+        assert_eq!(tagged.total_energy_joules(), untagged.total_energy_joules());
     }
 
     /// The parallel epoch phases are thread-count invariant: pinning 1,

@@ -44,6 +44,7 @@ pub struct ClusterReport {
     group_names: Vec<String>,
     servers: Vec<ServerSummary>,
     responses: StreamingSummary,
+    class_responses: Vec<StreamingSummary>,
     horizon_seconds: f64,
     mean_service: f64,
 }
@@ -54,10 +55,19 @@ impl ClusterReport {
         group_names: Vec<String>,
         servers: Vec<ServerSummary>,
         responses: StreamingSummary,
+        class_responses: Vec<StreamingSummary>,
         horizon_seconds: f64,
         mean_service: f64,
     ) -> ClusterReport {
-        ClusterReport { dispatcher, group_names, servers, responses, horizon_seconds, mean_service }
+        ClusterReport {
+            dispatcher,
+            group_names,
+            servers,
+            responses,
+            class_responses,
+            horizon_seconds,
+            mean_service,
+        }
     }
 
     /// The dispatcher used.
@@ -120,6 +130,16 @@ impl ClusterReport {
     /// sketched quantiles).
     pub fn responses(&self) -> &StreamingSummary {
         &self.responses
+    }
+
+    /// Per-traffic-class response summaries, indexed by
+    /// [`ClassId`](sleepscale_sim::ClassId) — **empty for untagged
+    /// fleets** (per-class accounting only arms on multi-class
+    /// streams; a single-class stream's "class 0" slice *is*
+    /// [`ClusterReport::responses`], and leaving it empty keeps
+    /// single-class tagged runs byte-identical to untagged ones).
+    pub fn class_responses(&self) -> &[StreamingSummary] {
+        &self.class_responses
     }
 
     /// Job-weighted mean response across the fleet, seconds.
@@ -197,6 +217,7 @@ mod tests {
             vec!["fleet".into()],
             vec![server(0, 0, 10, 100.0), server(1, 0, 10, 50.0)],
             responses(20, 0.2),
+            Vec::new(),
             100.0,
             0.194,
         );
@@ -214,6 +235,7 @@ mod tests {
             vec!["xeon".into(), "atom".into()],
             vec![server(0, 0, 10, 100.0), server(1, 0, 30, 90.0), server(2, 1, 20, 40.0)],
             responses(60, 0.2),
+            Vec::new(),
             100.0,
             0.194,
         );
@@ -233,6 +255,7 @@ mod tests {
             vec!["fleet".into()],
             vec![server(0, 0, 10, 1.0), server(1, 0, 10, 1.0)],
             responses(20, 0.1),
+            Vec::new(),
             1.0,
             0.1,
         );
@@ -242,6 +265,7 @@ mod tests {
             vec!["fleet".into()],
             vec![server(0, 0, 20, 1.0), server(1, 0, 0, 1.0)],
             responses(20, 0.1),
+            Vec::new(),
             1.0,
             0.1,
         );

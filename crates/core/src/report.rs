@@ -50,6 +50,7 @@ pub struct RunReport {
     horizon_seconds: f64,
     wakes_from: Vec<(SystemState, u64)>,
     responses: StreamingSummary,
+    class_responses: Vec<StreamingSummary>,
 }
 
 impl RunReport {
@@ -66,6 +67,7 @@ impl RunReport {
         horizon_seconds: f64,
         wakes_from: Vec<(SystemState, u64)>,
         responses: StreamingSummary,
+        class_responses: Vec<StreamingSummary>,
     ) -> RunReport {
         RunReport {
             strategy,
@@ -79,6 +81,7 @@ impl RunReport {
             horizon_seconds,
             wakes_from,
             responses,
+            class_responses,
         }
     }
 
@@ -137,6 +140,16 @@ impl RunReport {
     /// scenario-level reports fold per-run results into.
     pub fn responses(&self) -> &StreamingSummary {
         &self.responses
+    }
+
+    /// Per-traffic-class response summaries, indexed by
+    /// [`ClassId`](sleepscale_sim::ClassId) — **empty for untagged
+    /// runs** (a stream whose jobs all carry the default class keeps
+    /// per-class accounting switched off entirely, which is what makes
+    /// a single-class tagged run byte-identical to the untagged path;
+    /// its "class 0" slice *is* [`RunReport::responses`]).
+    pub fn class_responses(&self) -> &[StreamingSummary] {
+        &self.class_responses
     }
 
     /// How often each sleep program was deployed, as
@@ -213,6 +226,7 @@ mod tests {
             3600.0,
             vec![(SystemState::C6_S0I, 42)],
             StreamingSummary::new(),
+            Vec::new(),
         )
     }
 

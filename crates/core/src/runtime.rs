@@ -204,6 +204,12 @@ pub fn run(
     let mut online = OnlineSim::new(env.clone(), epoch_seconds);
     let mut epochs = Vec::with_capacity(n_epochs);
     let mut responses: Vec<f64> = Vec::new();
+    // Per-class accounting only switches on for genuinely multi-class
+    // streams (any non-default tag): untagged runs — and single-class
+    // tagged runs, whose one class *is* the default — skip it
+    // entirely, keeping the hot path and the report bytes unchanged.
+    let tagged = jobs.is_tagged();
+    let mut class_responses: Vec<StreamingSummary> = Vec::new();
     // The epoch loop borrows each batch from the ground-truth stream;
     // no per-epoch clone of the remaining jobs.
     let mut cursor = jobs.cursor();
@@ -217,6 +223,15 @@ pub fn run(
         let now = cursor.take_before(epoch_end);
         let out = online.run_epoch(now, &policy, epoch_end);
         responses.extend(out.records().iter().map(JobRecord::response));
+        if tagged {
+            for r in out.records() {
+                let c = r.class().as_index();
+                if c >= class_responses.len() {
+                    class_responses.resize_with(c + 1, StreamingSummary::new);
+                }
+                class_responses[c].push(r.response());
+            }
+        }
 
         let realized_rho = (start_minute..end_minute).map(|m| trace.at(m)).sum::<f64>()
             / (end_minute - start_minute).max(1) as f64;
@@ -281,6 +296,7 @@ pub fn run(
         horizon,
         wakes_from,
         streaming,
+        class_responses,
     ))
 }
 
@@ -370,6 +386,39 @@ mod tests {
         assert!(!hist.is_empty());
         let total: usize = hist.iter().map(|(_, n)| n).sum();
         assert_eq!(total, report.epochs().len());
+    }
+
+    /// Tagged streams produce per-class response slices that partition
+    /// the run's responses; untagged streams keep the slices empty and
+    /// the report bytes unchanged.
+    #[test]
+    fn tagged_runs_slice_responses_per_class() {
+        use sleepscale_sim::{pack_id, ClassId, Job};
+        let (trace, jobs, config) = setup(1, 25);
+        let env = SimEnv::xeon_cpu_bound();
+        let mut s = FixedPolicyStrategy::new(Policy::full_speed_no_sleep());
+        let untagged = run(&trace, &jobs, &mut s, &env, &config).unwrap();
+        assert!(untagged.class_responses().is_empty());
+
+        let tagged_jobs: Vec<Job> = jobs
+            .jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, j)| Job { id: pack_id(j.id, ClassId((i % 3) as u16)), ..*j })
+            .collect();
+        let tagged_stream = sleepscale_sim::JobStream::new(tagged_jobs).unwrap();
+        let mut s = FixedPolicyStrategy::new(Policy::full_speed_no_sleep());
+        let tagged = run(&trace, &tagged_stream, &mut s, &env, &config).unwrap();
+        let slices = tagged.class_responses();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(
+            slices.iter().map(|c| c.count()).sum::<u64>(),
+            tagged.responses().count(),
+            "class slices partition the responses"
+        );
+        // Tags are invisible to the simulation itself.
+        assert_eq!(tagged.responses(), untagged.responses());
+        assert_eq!(tagged.energy_joules(), untagged.energy_joules());
     }
 
     #[test]

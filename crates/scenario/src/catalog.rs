@@ -9,6 +9,7 @@ use sleepscale::{QosConstraint, StrategySpec};
 use sleepscale_cluster::ServerGroup;
 use sleepscale_power::{presets, FrequencyScaling};
 use sleepscale_sim::SimEnv;
+use sleepscale_traffic::{ArrivalModulator, TrafficClass, TrafficModel};
 use sleepscale_workloads::WorkloadSpec;
 
 /// The paper's Section 6 evaluation day: one Xeon server under the
@@ -150,16 +151,107 @@ pub fn mixed_workload_packed() -> Scenario {
     scenario
 }
 
+/// The tagged twin of [`mixed_workload_packed`]'s population: DNS and
+/// Mail as *class-tagged* streams (sizes drawn per class, arrivals
+/// interleaved 2:1) on a shared fleet, each class judged against its
+/// own normalized-p95 budget — the per-component response question
+/// `WorkloadSource::Mix`'s moment composition cannot answer. The
+/// interactive class holds a tight budget while batch rides an order
+/// of magnitude looser.
+pub fn dns_mail_tagged() -> Scenario {
+    let mut scenario = Scenario::new(
+        "dns-mail-tagged-mix",
+        WorkloadSource::Tagged(TrafficModel {
+            classes: vec![
+                TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0).with_p95_budget(8.0),
+                TrafficClass::new("batch", WorkloadSpec::mail(), 1.0).with_p95_budget(60.0),
+            ],
+        }),
+        LoadSchedule::Constant { rho: 0.3, minutes: 180 },
+    );
+    scenario.fleet = vec![ServerGroup::new("shared", 8, StrategySpec::sleepscale())];
+    scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+    scenario.eval_jobs = 300;
+    scenario.seed = 35;
+    scenario
+}
+
+/// A flash-crowd day: an interactive class whose arrival rate bursts
+/// to 3× for a 40-minute window (the crowd) over a batch class with a
+/// gentle diurnal swing of its own — per-class arrival shaping on one
+/// fleet, with the interactive class still held to its p95 budget
+/// *through the burst*.
+pub fn flash_crowd_day() -> Scenario {
+    let mut scenario = Scenario::new(
+        "flash-crowd-day",
+        WorkloadSource::Tagged(TrafficModel {
+            classes: vec![
+                TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0)
+                    .with_p95_budget(8.0)
+                    // Inside the first 90 minutes so the `--quick`
+                    // (truncated) form still exercises the burst.
+                    .with_modulator(ArrivalModulator::Burst {
+                        start_minute: 40,
+                        end_minute: 80,
+                        factor: 3.0,
+                    }),
+                TrafficClass::new("batch", WorkloadSpec::mail(), 1.0)
+                    .with_p95_budget(60.0)
+                    .with_modulator(ArrivalModulator::Diurnal { amplitude: 0.4, peak_minute: 120 }),
+            ],
+        }),
+        LoadSchedule::Constant { rho: 0.2, minutes: 240 },
+    );
+    // The guard band (α = 0.35, the paper's evaluated value) is what
+    // lets the per-server controllers absorb the unpredicted 3× crowd
+    // without riding a multi-epoch backlog transient.
+    scenario.fleet = vec![ServerGroup {
+        over_provisioning: 0.35,
+        ..ServerGroup::new("shared", 8, StrategySpec::sleepscale())
+    }];
+    scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+    scenario.eval_jobs = 300;
+    scenario.seed = 36;
+    scenario
+}
+
+/// The tuned 64-server deployment the ROADMAP asked for next to the
+/// preserved [`fleet64`] throughput recipe: same fleet, same diurnal
+/// morning-to-peak window, but characterized deeply (`eval_jobs`
+/// 1 200) with the paper's evaluated guard band (α = 0.35) — and held
+/// to the *nominal* QoS budget (`qos_slack = 1.0`) through the peak,
+/// not the wide slack the parity recipe declares for itself.
+pub fn fleet64_tuned() -> Scenario {
+    let mut scenario = Scenario::new(
+        "fleet-64-tuned",
+        WorkloadSource::Dns,
+        LoadSchedule::EmailStoreDay { seed: 7, start_minute: 480, end_minute: 840 },
+    );
+    scenario.fleet = vec![ServerGroup {
+        over_provisioning: 0.35,
+        ..ServerGroup::new("fleet", 64, StrategySpec::sleepscale())
+    }];
+    scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+    scenario.eval_jobs = 1_200;
+    scenario.dist_samples = 8_000;
+    scenario.seed = 2_203;
+    scenario.qos_slack = 1.0;
+    scenario
+}
+
 /// Every bundled scenario, in catalog order.
 pub fn catalog() -> Vec<Scenario> {
     vec![
         dns_day(),
         dns_day_analytic(),
         fleet64(),
+        fleet64_tuned(),
         mixed_generations(),
         qos_split(),
         race_vs_sleepscale(),
         mixed_workload_packed(),
+        dns_mail_tagged(),
+        flash_crowd_day(),
     ]
 }
 
@@ -171,7 +263,7 @@ mod tests {
     #[test]
     fn catalog_has_the_promised_shapes_and_validates() {
         let all = catalog();
-        assert!(all.len() >= 6);
+        assert!(all.len() >= 10);
         // Unique names.
         let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
@@ -193,6 +285,42 @@ mod tests {
         assert_eq!(s.eval_jobs, 300);
         assert_eq!(s.load.minutes(), 360);
         assert_eq!(s.dispatcher, DispatcherSpec::JoinShortestBacklog);
+    }
+
+    /// The acceptance shape for the traffic subsystem: the tagged
+    /// DNS+Mail catalog scenario reports *distinct* per-class p95s and
+    /// the interactive class meets its own QoS target.
+    #[test]
+    fn tagged_mix_scenario_reports_distinct_per_class_p95s() {
+        let report = ScenarioRunner::new(dns_mail_tagged().quick()).unwrap().run().unwrap();
+        let classes = report.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].name, "interactive");
+        assert!(classes.iter().all(|c| c.jobs > 0));
+        let rel = (classes[0].p95_response_seconds - classes[1].p95_response_seconds).abs()
+            / classes[0].p95_response_seconds;
+        assert!(
+            rel > 0.02,
+            "per-class p95s should be distinct: {} vs {}",
+            classes[0].p95_response_seconds,
+            classes[1].p95_response_seconds
+        );
+        assert!(classes[0].qos_ok, "interactive must meet its own budget: {classes:?}");
+        assert!(report.qos_ok(), "{classes:?}");
+    }
+
+    /// The tuned 64-server deployment holds the *nominal* budget
+    /// (slack 1.0) — the preserved throughput recipe needed 3.0.
+    #[test]
+    fn fleet64_tuned_declares_the_nominal_budget() {
+        let s = fleet64_tuned();
+        assert_eq!(s.total_servers(), 64);
+        assert_eq!(s.qos_slack, 1.0);
+        assert!(s.eval_jobs > fleet64().eval_jobs);
+        assert!(s.fleet[0].over_provisioning > 0.0);
+        // The preserved recipe is untouched.
+        assert_eq!(fleet64().qos_slack, 3.0);
+        assert_eq!(fleet64().fleet[0].over_provisioning, 0.0);
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod catalog;
 mod runner;
 mod scenario;
 
-pub use runner::{Backend, GroupReport, ScenarioReport, ScenarioRunner};
+pub use runner::{Backend, ClassReport, GroupReport, ScenarioReport, ScenarioRunner};
 pub use scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, WorkloadSource};
 
 /// Convenient glob-import surface (includes the upstream types a
@@ -81,11 +81,12 @@ pub use scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, Workloa
 pub mod prelude {
     pub use crate::catalog;
     pub use crate::{
-        Backend, DispatcherSpec, GroupReport, LoadSchedule, MixComponent, Scenario, ScenarioReport,
-        ScenarioRunner, WorkloadSource,
+        Backend, ClassReport, DispatcherSpec, GroupReport, LoadSchedule, MixComponent, Scenario,
+        ScenarioReport, ScenarioRunner, WorkloadSource,
     };
     pub use sleepscale::{CandidateSpec, PredictorSpec, QosConstraint, SearchMode, StrategySpec};
     pub use sleepscale_cluster::ServerGroup;
     pub use sleepscale_power::{presets, FrequencyScaling};
-    pub use sleepscale_sim::SimEnv;
+    pub use sleepscale_sim::{ClassId, SimEnv};
+    pub use sleepscale_traffic::{ArrivalModulator, TrafficClass, TrafficModel};
 }

@@ -1,10 +1,11 @@
-use crate::scenario::Scenario;
+use crate::scenario::{traffic_to_core, Scenario, WorkloadSource};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use sleepscale::{CacheStats, CoreError, RunReport, RuntimeConfig, StrategySpec, WarmStartStats};
 use sleepscale_cluster::{Cluster, ClusterConfig, ClusterReport};
 use sleepscale_dist::StreamingSummary;
 use sleepscale_sim::JobStream;
+use sleepscale_traffic::replay_traffic;
 use sleepscale_workloads::{
     replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
 };
@@ -59,14 +60,47 @@ pub struct GroupReport {
     pub cache: CacheStats,
 }
 
-/// The unified result of running a [`Scenario`]: per-group slices, the
-/// backend's native report, the merged streaming response summary, and
-/// the characterization-cache / warm-start telemetry.
+/// One traffic class's slice of a scenario result (only populated for
+/// [`WorkloadSource::Tagged`] scenarios, in declared class order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// The class's display name.
+    pub name: String,
+    /// The class tag index.
+    pub class: u16,
+    /// Jobs of this class completed.
+    pub jobs: usize,
+    /// The class's mean response, seconds.
+    pub mean_response_seconds: f64,
+    /// The class's 95th-percentile response, seconds (sketched to
+    /// ±0.5% relative).
+    pub p95_response_seconds: f64,
+    /// p95 normalized by the *class's own* mean service time — the
+    /// unit its QoS budget is written in.
+    pub normalized_p95: f64,
+    /// The class's declared normalized-p95 budget (`None` =
+    /// unconstrained).
+    pub p95_budget: Option<f64>,
+    /// Whether the class met its budget within the scenario's
+    /// `qos_slack` (vacuously true with no budget or no jobs).
+    pub qos_ok: bool,
+    /// The class's share of the offered full-speed work (its energy
+    /// attribution key).
+    pub work_share: f64,
+    /// Fleet energy attributed to the class by work share, joules.
+    pub energy_joules: f64,
+}
+
+/// The unified result of running a [`Scenario`]: per-group and
+/// per-traffic-class slices, the backend's native report, the merged
+/// streaming response summary, and the characterization-cache /
+/// warm-start telemetry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioReport {
     scenario: String,
     backend: Backend,
     groups: Vec<GroupReport>,
+    classes: Vec<ClassReport>,
     run: Option<RunReport>,
     cluster: Option<ClusterReport>,
     responses: StreamingSummary,
@@ -90,6 +124,12 @@ impl ScenarioReport {
     /// Per-group slices, in fleet order.
     pub fn groups(&self) -> &[GroupReport] {
         &self.groups
+    }
+
+    /// Per-traffic-class slices, in declared class order (empty unless
+    /// the scenario's workload is [`WorkloadSource::Tagged`]).
+    pub fn classes(&self) -> &[ClassReport] {
+        &self.classes
     }
 
     /// The single-server backend's native report, when that backend
@@ -146,9 +186,10 @@ impl ScenarioReport {
         self.horizon_seconds
     }
 
-    /// Whether every group stayed within its QoS slack.
+    /// Whether every group stayed within its QoS slack *and* every
+    /// declared traffic class met its own p95 budget.
     pub fn qos_ok(&self) -> bool {
-        self.groups.iter().all(|g| g.qos_ok)
+        self.groups.iter().all(|g| g.qos_ok) && self.classes.iter().all(|c| c.qos_ok)
     }
 
     /// Characterization-cache counters summed over the fleet.
@@ -263,9 +304,10 @@ impl ScenarioRunner {
     /// Materializes the scenario's deterministic inputs: resolved
     /// workload statistics, the scaled utilization trace, and the
     /// cluster-wide ground-truth job stream (arrival rate carries the
-    /// fleet factor). Exposed so comparison harnesses (e.g. the
-    /// `cluster_scale` parity gate) can feed the *same* inputs to a
-    /// reference engine.
+    /// fleet factor; [`WorkloadSource::Tagged`] scenarios draw every
+    /// job from its own class's tables and tag it). Exposed so
+    /// comparison harnesses (e.g. the `cluster_scale` parity gate) can
+    /// feed the *same* inputs to a reference engine.
     ///
     /// # Errors
     ///
@@ -274,13 +316,24 @@ impl ScenarioRunner {
         let spec = self.scenario.workload.resolve()?;
         let trace = self.scenario.load.build(self.scenario.arrival_scale)?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.scenario.seed);
-        let dists = WorkloadDistributions::empirical(&spec, self.scenario.dist_samples, &mut rng)?;
-        let jobs = replay_trace(
-            &trace,
-            &dists,
-            &ReplayConfig::for_fleet(self.scenario.total_servers()),
-            &mut rng,
-        )?;
+        let replay_config = ReplayConfig::for_fleet(self.scenario.total_servers());
+        let jobs = match &self.scenario.workload {
+            // The tagged path consumes the RNG in the same order as
+            // the untagged one (per-class tables, then replay), so a
+            // single-class model materializes byte-identical inputs.
+            WorkloadSource::Tagged(model) => {
+                let tables = model
+                    .empirical_tables(self.scenario.dist_samples, &mut rng)
+                    .map_err(traffic_to_core)?;
+                replay_traffic(&trace, model, &tables, &replay_config, &mut rng)
+                    .map_err(traffic_to_core)?
+            }
+            _ => {
+                let dists =
+                    WorkloadDistributions::empirical(&spec, self.scenario.dist_samples, &mut rng)?;
+                replay_trace(&trace, &dists, &replay_config, &mut rng)?
+            }
+        };
         Ok((spec, trace, jobs))
     }
 
@@ -335,6 +388,68 @@ impl ScenarioRunner {
         }
     }
 
+    /// Per-class slices for tagged scenarios: zips the declared classes
+    /// with the run's per-class response summaries (a single-class
+    /// model's only class *is* the overall summary — engines leave the
+    /// slices empty for effectively single-class streams) and
+    /// attributes fleet energy to classes by their share of the offered
+    /// full-speed work.
+    fn class_reports(
+        &self,
+        jobs: &JobStream,
+        slices: &[StreamingSummary],
+        overall: &StreamingSummary,
+        total_energy: f64,
+    ) -> Vec<ClassReport> {
+        let Some(model) = self.scenario.workload.traffic_model() else {
+            return Vec::new();
+        };
+        let mut work = vec![0.0_f64; model.classes.len()];
+        let mut total_work = 0.0_f64;
+        for job in jobs.jobs() {
+            if let Some(w) = work.get_mut(job.class().as_index()) {
+                *w += job.size;
+            }
+            total_work += job.size;
+        }
+        let empty = StreamingSummary::new();
+        model
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, class)| {
+                let summary: &StreamingSummary = if slices.is_empty() {
+                    if i == 0 {
+                        overall
+                    } else {
+                        &empty
+                    }
+                } else {
+                    slices.get(i).unwrap_or(&empty)
+                };
+                let jobs_n = summary.count() as usize;
+                let p95 = summary.p95();
+                let normalized_p95 = p95 / class.spec.service_mean();
+                let qos_ok = class
+                    .p95_budget
+                    .is_none_or(|b| jobs_n == 0 || normalized_p95 <= b * self.scenario.qos_slack);
+                let work_share = if total_work > 0.0 { work[i] / total_work } else { 0.0 };
+                ClassReport {
+                    name: class.name.clone(),
+                    class: i as u16,
+                    jobs: jobs_n,
+                    mean_response_seconds: summary.mean(),
+                    p95_response_seconds: p95,
+                    normalized_p95,
+                    p95_budget: class.p95_budget,
+                    qos_ok,
+                    work_share,
+                    energy_joules: total_energy * work_share,
+                }
+            })
+            .collect()
+    }
+
     fn run_single(
         &self,
         spec: &WorkloadSpec,
@@ -375,10 +490,17 @@ impl ScenarioRunner {
             energy_joules: report.energy_joules(),
             cache,
         };
+        let classes = self.class_reports(
+            jobs,
+            report.class_responses(),
+            report.responses(),
+            report.energy_joules(),
+        );
         Ok(ScenarioReport {
             scenario: self.scenario.name.clone(),
             backend,
             groups: vec![group_report],
+            classes,
             responses: report.responses().clone(),
             mean_service: spec.service_mean(),
             horizon_seconds: report.horizon_seconds(),
@@ -423,10 +545,17 @@ impl ScenarioRunner {
                 }
             })
             .collect();
+        let classes = self.class_reports(
+            jobs,
+            report.class_responses(),
+            report.responses(),
+            report.total_energy_joules(),
+        );
         Ok(ScenarioReport {
             scenario: self.scenario.name.clone(),
             backend: Backend::Cluster,
             groups,
+            classes,
             responses: report.responses().clone(),
             mean_service: spec.service_mean(),
             horizon_seconds: report.horizon_seconds(),
@@ -547,6 +676,78 @@ mod tests {
         let mut bad_window = small_single();
         bad_window.load = LoadSchedule::EmailStoreDay { seed: 1, start_minute: 9, end_minute: 9 };
         assert!(ScenarioRunner::new(bad_window).is_err());
+    }
+
+    /// The tentpole's scenario-level parity: a single-class tagged
+    /// workload reproduces the untagged source's whole runtime path
+    /// byte for byte — same inputs, same native report, same groups —
+    /// and only *adds* the declared-class overlay.
+    #[test]
+    fn single_class_tagged_scenario_is_byte_identical_to_untagged() {
+        use sleepscale_traffic::TrafficModel;
+        use sleepscale_workloads::WorkloadSpec;
+        for fleet_servers in [1usize, 3] {
+            let mut untagged = small_single();
+            let mut tagged = small_single();
+            tagged.workload = WorkloadSource::Tagged(TrafficModel::single(WorkloadSpec::dns()));
+            if fleet_servers > 1 {
+                for s in [&mut untagged, &mut tagged] {
+                    s.fleet =
+                        vec![ServerGroup::new("fleet", fleet_servers, StrategySpec::sleepscale())];
+                }
+            }
+            let a = ScenarioRunner::new(untagged).unwrap().run().unwrap();
+            let b = ScenarioRunner::new(tagged).unwrap().run().unwrap();
+            assert_eq!(a.run_report(), b.run_report(), "{fleet_servers} servers");
+            assert_eq!(a.cluster_report(), b.cluster_report(), "{fleet_servers} servers");
+            assert_eq!(a.responses(), b.responses());
+            assert_eq!(a.groups(), b.groups());
+            assert_eq!(a.cache_stats(), b.cache_stats());
+            // The tagged run overlays its one declared class, whose
+            // slice is the whole run.
+            assert!(a.classes().is_empty());
+            assert_eq!(b.classes().len(), 1);
+            assert_eq!(b.classes()[0].jobs, a.total_jobs());
+            assert!((b.classes()[0].work_share - 1.0).abs() < 1e-12);
+            assert!(b.qos_ok());
+        }
+    }
+
+    /// A two-class tagged fleet reports distinct per-class p95s and
+    /// judges each class against its own budget.
+    #[test]
+    fn two_class_tagged_scenario_slices_by_class() {
+        use sleepscale_traffic::{TrafficClass, TrafficModel};
+        use sleepscale_workloads::WorkloadSpec;
+        let mut scenario = small_fleet();
+        scenario.workload = WorkloadSource::Tagged(
+            TrafficModel::new(vec![
+                TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0).with_p95_budget(40.0),
+                TrafficClass::new("batch", WorkloadSpec::mail(), 1.0).with_p95_budget(120.0),
+            ])
+            .unwrap(),
+        );
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        let classes = report.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(
+            classes.iter().map(|c| c.jobs).sum::<usize>(),
+            report.total_jobs(),
+            "class slices partition the scenario's jobs"
+        );
+        assert!(classes[0].jobs > classes[1].jobs, "weights drive the split");
+        assert!(
+            (classes[0].p95_response_seconds - classes[1].p95_response_seconds).abs()
+                > 1e-3 * classes[0].p95_response_seconds,
+            "distinct populations must show distinct p95s: {} vs {}",
+            classes[0].p95_response_seconds,
+            classes[1].p95_response_seconds
+        );
+        let share_sum: f64 = classes.iter().map(|c| c.work_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        let energy_sum: f64 = classes.iter().map(|c| c.energy_joules).sum();
+        assert!((energy_sum - report.energy_joules()).abs() / report.energy_joules() < 1e-9);
+        assert!(report.qos_ok(), "{classes:?}");
     }
 
     #[test]

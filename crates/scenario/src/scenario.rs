@@ -3,10 +3,22 @@ use sleepscale::{CoreError, StrategySpec};
 use sleepscale_cluster::{
     Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin, ServerGroup,
 };
+use sleepscale_traffic::{TrafficError, TrafficModel};
 use sleepscale_workloads::{traces, UtilizationTrace, WorkloadSpec};
 
+/// Maps traffic-subsystem errors onto the runner's error type: shape
+/// problems become configuration errors, propagated layers keep their
+/// identity.
+pub(crate) fn traffic_to_core(e: TrafficError) -> CoreError {
+    match e {
+        TrafficError::Workload(e) => CoreError::Workload(e),
+        TrafficError::Stream(e) => CoreError::Workload(e.into()),
+        other => CoreError::InvalidConfig { reason: other.to_string() },
+    }
+}
+
 /// What the jobs look like: a Table-5 row, custom moments, or a
-/// weighted mix of populations.
+/// weighted mix of populations (moment-composed or class-tagged).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSource {
     /// Table 5, DNS row.
@@ -24,6 +36,15 @@ pub enum WorkloadSource {
     /// exactly the statistic Table 5 publishes for its own mixed live
     /// traces.
     Mix(Vec<MixComponent>),
+    /// A *class-tagged* mixture: every job is drawn from its own
+    /// class's distributions (sizes per class, arrivals interleaved by
+    /// weight, per-class burst/diurnal modulators) and carries a
+    /// [`ClassId`](sleepscale_sim::ClassId) tag through the whole run,
+    /// so the report answers per-class response questions — including
+    /// per-class p95 QoS targets — that [`WorkloadSource::Mix`]'s
+    /// moment-level composition cannot. A single-class model is
+    /// byte-identical to the equivalent untagged source.
+    Tagged(TrafficModel),
 }
 
 /// One component of a [`WorkloadSource::Mix`].
@@ -91,6 +112,18 @@ impl WorkloadSource {
                 let name = components.iter().map(|c| c.spec.name()).collect::<Vec<_>>().join("+");
                 Ok(WorkloadSpec::new(format!("mix({name})"), ia_mean, ia_cv, sv_mean, sv_cv)?)
             }
+            // The tagged model validates itself and composes with the
+            // same moment formula `Mix` uses (single-class models
+            // resolve to their class's spec verbatim).
+            WorkloadSource::Tagged(model) => model.composed_spec().map_err(traffic_to_core),
+        }
+    }
+
+    /// The declared traffic model, when this source is class-tagged.
+    pub fn traffic_model(&self) -> Option<&TrafficModel> {
+        match self {
+            WorkloadSource::Tagged(model) => Some(model),
+            _ => None,
         }
     }
 }

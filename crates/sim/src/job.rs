@@ -1,5 +1,41 @@
 use crate::error::SimError;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A traffic-class tag: which request population a job belongs to
+/// (interactive vs batch, DNS vs Mail, …).
+///
+/// Class 0 is the *default* class — the untagged world every
+/// single-population stream lives in. Tags ride in the high 16 bits of
+/// [`Job::id`] ([`Job::with_class`]), so tagging costs the simulator
+/// nothing: the engine never looks at the tag, records inherit it
+/// through the id, and an untagged stream (all ids below 2⁴⁸) is
+/// bit-for-bit the same data it always was.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// The default (untagged) class.
+    pub const DEFAULT: ClassId = ClassId(0);
+
+    /// The class as a slice index.
+    pub fn as_index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// Bits of [`Job::id`] reserved for the sequence number; the class tag
+/// occupies the 16 bits above them.
+pub const SEQUENCE_BITS: u32 = 48;
+const SEQUENCE_MASK: u64 = (1 << SEQUENCE_BITS) - 1;
 
 /// One job: its arrival instant and its *size* — the service time it
 /// would need at full speed (`f = 1`).
@@ -9,14 +45,43 @@ use serde::{Deserialize, Serialize};
 /// [`sleepscale_power::FrequencyScaling`] law, which keeps a single job
 /// stream reusable across the whole frequency sweep (common random
 /// numbers, as the paper's smooth bowls require).
+///
+/// `id` packs a stream sequence number (low 48 bits) with an optional
+/// traffic-class tag (high 16 bits, see [`ClassId`]); untagged streams
+/// simply use sequence numbers as ids, exactly as before tags existed.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Job {
-    /// Sequence number within the stream.
+    /// Sequence number within the stream (low 48 bits), plus the
+    /// traffic-class tag (high 16 bits).
     pub id: u64,
     /// Arrival time in seconds from the stream origin.
     pub arrival: f64,
     /// Full-speed service requirement in seconds.
     pub size: f64,
+}
+
+impl Job {
+    /// The job's traffic class (0 for untagged jobs).
+    pub fn class(&self) -> ClassId {
+        ClassId((self.id >> SEQUENCE_BITS) as u16)
+    }
+
+    /// The job's sequence number within its stream.
+    pub fn sequence(&self) -> u64 {
+        self.id & SEQUENCE_MASK
+    }
+
+    /// The same job re-tagged with `class` (the sequence number is
+    /// preserved).
+    pub fn with_class(self, class: ClassId) -> Job {
+        Job { id: (self.id & SEQUENCE_MASK) | ((class.0 as u64) << SEQUENCE_BITS), ..self }
+    }
+}
+
+/// Packs a sequence number and class tag into a [`Job::id`].
+pub fn pack_id(sequence: u64, class: ClassId) -> u64 {
+    debug_assert!(sequence <= SEQUENCE_MASK, "sequence {sequence} overflows 48 bits");
+    (sequence & SEQUENCE_MASK) | ((class.0 as u64) << SEQUENCE_BITS)
 }
 
 /// The completed-job record the engine emits: everything needed for
@@ -49,6 +114,13 @@ impl JobRecord {
     /// Time spent waiting before service began.
     pub fn waiting(&self) -> f64 {
         self.start - self.arrival
+    }
+
+    /// The originating job's traffic class (0 for untagged jobs) — the
+    /// tag rides through the engine inside the id, so per-class
+    /// response accounting costs the simulation itself nothing.
+    pub fn class(&self) -> ClassId {
+        ClassId((self.id >> SEQUENCE_BITS) as u16)
     }
 }
 
@@ -88,10 +160,28 @@ impl JobStream {
     ///
     /// Same as [`JobStream::new`].
     pub fn from_log(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<JobStream, SimError> {
-        let jobs = pairs
+        // `pack_id(i, ClassId::DEFAULT) == i`, so delegating to the
+        // tagged form keeps untagged ids plain sequence numbers —
+        // one stream-assembly implementation, not two.
+        JobStream::from_tagged_log(pairs.into_iter().map(|(a, s)| (a, s, ClassId::DEFAULT)))
+    }
+
+    /// Builds from `(arrival, size, class)` triples — the class-tagged
+    /// form of [`JobStream::from_log`]: sequence numbers are assigned in
+    /// order and the tag is packed into the id's high bits. A stream
+    /// whose triples all carry [`ClassId::DEFAULT`] is byte-identical to
+    /// the untagged `from_log` stream of the same pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobStream::new`].
+    pub fn from_tagged_log(
+        triples: impl IntoIterator<Item = (f64, f64, ClassId)>,
+    ) -> Result<JobStream, SimError> {
+        let jobs = triples
             .into_iter()
             .enumerate()
-            .map(|(i, (arrival, size))| Job { id: i as u64, arrival, size })
+            .map(|(i, (arrival, size, class))| Job { id: pack_id(i as u64, class), arrival, size })
             .collect();
         JobStream::new(jobs)
     }
@@ -144,6 +234,22 @@ impl JobStream {
     /// Last arrival instant (0 when empty).
     pub fn last_arrival(&self) -> f64 {
         self.jobs.last().map_or(0.0, |j| j.arrival)
+    }
+
+    /// The highest traffic-class tag in the stream
+    /// ([`ClassId::DEFAULT`] when empty or untagged). One scan; run
+    /// loops call this once up front and skip per-class accounting
+    /// entirely when it returns the default class, which is what keeps
+    /// the untagged hot path untouched.
+    pub fn max_class(&self) -> ClassId {
+        self.jobs.iter().map(Job::class).max().unwrap_or(ClassId::DEFAULT)
+    }
+
+    /// True when any job carries a non-default class tag
+    /// (short-circuits on the first tagged job, so checking a tagged
+    /// stream is O(1)).
+    pub fn is_tagged(&self) -> bool {
+        self.jobs.iter().any(|j| j.class() != ClassId::DEFAULT)
     }
 
     /// Returns a copy with every inter-arrival gap multiplied by `factor`
@@ -200,9 +306,23 @@ impl JobStream {
         &mut self,
         pairs: impl IntoIterator<Item = (f64, f64)>,
     ) -> Result<(), SimError> {
+        self.refill_from_tagged_log(pairs.into_iter().map(|(a, s)| (a, s, ClassId::DEFAULT)))
+    }
+
+    /// [`JobStream::refill_from_log`] over `(arrival, size, class)`
+    /// triples — the tagged replay path. All-default-class input
+    /// produces exactly the untagged refill.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobStream::new`]; on error the stream is left empty.
+    pub fn refill_from_tagged_log(
+        &mut self,
+        triples: impl IntoIterator<Item = (f64, f64, ClassId)>,
+    ) -> Result<(), SimError> {
         self.jobs.clear();
-        self.jobs.extend(pairs.into_iter().enumerate().map(|(i, (arrival, size))| Job {
-            id: i as u64,
+        self.jobs.extend(triples.into_iter().enumerate().map(|(i, (arrival, size, class))| Job {
+            id: pack_id(i as u64, class),
             arrival,
             size,
         }));
@@ -409,6 +529,71 @@ mod tests {
         // Invalid input empties the stream rather than leaving stale jobs.
         assert!(s.refill_from_log([(2.0, 0.1), (1.0, 0.1)]).is_err());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn class_tags_pack_into_ids() {
+        let j = Job { id: 5, arrival: 1.0, size: 0.1 };
+        assert_eq!(j.class(), ClassId::DEFAULT);
+        assert_eq!(j.sequence(), 5);
+        let tagged = j.with_class(ClassId(3));
+        assert_eq!(tagged.class(), ClassId(3));
+        assert_eq!(tagged.sequence(), 5);
+        assert_eq!(tagged.arrival, j.arrival);
+        // Re-tagging with the default class restores the original id.
+        assert_eq!(tagged.with_class(ClassId::DEFAULT), j);
+        assert_eq!(pack_id(7, ClassId(2)), (2 << SEQUENCE_BITS) | 7);
+    }
+
+    #[test]
+    fn tagged_log_round_trips_and_default_matches_untagged() {
+        let untagged = JobStream::from_log([(0.0, 0.1), (1.0, 0.2)]).unwrap();
+        let default_tagged = JobStream::from_tagged_log([
+            (0.0, 0.1, ClassId::DEFAULT),
+            (1.0, 0.2, ClassId::DEFAULT),
+        ])
+        .unwrap();
+        assert_eq!(untagged, default_tagged, "default-class tagging is the identity");
+        assert_eq!(untagged.max_class(), ClassId::DEFAULT);
+        assert!(!untagged.is_tagged());
+
+        let mixed = JobStream::from_tagged_log([
+            (0.0, 0.1, ClassId(1)),
+            (1.0, 0.2, ClassId::DEFAULT),
+            (2.0, 0.3, ClassId(4)),
+        ])
+        .unwrap();
+        assert!(mixed.is_tagged());
+        assert_eq!(mixed.max_class(), ClassId(4));
+        assert_eq!(mixed.jobs()[0].class(), ClassId(1));
+        assert_eq!(mixed.jobs()[0].sequence(), 0);
+        assert_eq!(mixed.jobs()[2].sequence(), 2);
+
+        let mut reused = JobStream::default();
+        reused.refill_from_tagged_log([(0.0, 0.1, ClassId(1)), (1.0, 0.2, ClassId(2))]).unwrap();
+        assert_eq!(reused.jobs()[1].class(), ClassId(2));
+        // Invalid input empties the stream, as with the untagged refill.
+        assert!(reused.refill_from_tagged_log([(2.0, 0.1, ClassId(1))]).is_ok());
+        assert!(reused
+            .refill_from_tagged_log([(2.0, 0.1, ClassId(1)), (1.0, 0.1, ClassId(1))])
+            .is_err());
+        assert!(reused.is_empty());
+    }
+
+    #[test]
+    fn record_class_follows_job_id() {
+        let r = JobRecord {
+            id: pack_id(12, ClassId(9)),
+            arrival: 0.0,
+            start: 0.0,
+            departure: 1.0,
+            size: 1.0,
+            service: 1.0,
+            wake: 0.0,
+        };
+        assert_eq!(r.class(), ClassId(9));
+        assert_eq!(ClassId(9).as_index(), 9);
+        assert_eq!(ClassId(9).to_string(), "class9");
     }
 
     #[test]

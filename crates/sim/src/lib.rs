@@ -68,7 +68,7 @@ pub use engine::{
 };
 pub use env::SimEnv;
 pub use error::SimError;
-pub use job::{Job, JobCursor, JobRecord, JobStream};
+pub use job::{pack_id, ClassId, Job, JobCursor, JobRecord, JobStream, SEQUENCE_BITS};
 pub use ledger::EnergyLedger;
 pub use outcome::{EpochOutcome, Residency, SimOutcome};
 
@@ -77,8 +77,8 @@ pub mod prelude {
     pub use crate::generator;
     pub use crate::sweep;
     pub use crate::{
-        simulate, simulate_summary, simulate_summary_into, CarryState, EnergyLedger, EpochOutcome,
-        Job, JobCursor, JobRecord, JobStream, OnlineSim, Residency, SimEnv, SimError, SimOutcome,
-        SimScratch,
+        simulate, simulate_summary, simulate_summary_into, CarryState, ClassId, EnergyLedger,
+        EpochOutcome, Job, JobCursor, JobRecord, JobStream, OnlineSim, Residency, SimEnv, SimError,
+        SimOutcome, SimScratch,
     };
 }

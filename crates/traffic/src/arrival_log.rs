@@ -1,0 +1,191 @@
+//! External arrival-trace ingestion: parse a CSV arrival log into a
+//! class-tagged [`JobStream`] (and write one back out), so measured
+//! traces from real front-ends can drive the simulator directly
+//! instead of passing through a synthetic distribution fit.
+//!
+//! The format is one job per line, `arrival_seconds,size_seconds`
+//! with an optional third `class` column holding either a class name
+//! (mapped to tags in order of first appearance) or a bare tag index.
+//! Blank lines and `#` comments are skipped; a header line whose first
+//! field is `arrival` is skipped too. Rows may arrive unsorted —
+//! ingestion sorts by arrival (stable, so equal instants keep file
+//! order) before sequencing ids.
+
+use crate::error::TrafficError;
+use sleepscale_sim::{pack_id, ClassId, Job, JobStream};
+use std::fmt::Write as _;
+
+/// A parsed arrival log: the tagged stream plus the class-name table
+/// its tags index into (`names[i]` is the display name of
+/// [`ClassId`]`(i)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalLog {
+    /// The class-tagged, arrival-ordered job stream.
+    pub stream: JobStream,
+    /// Class display names, in tag order. A log without a class column
+    /// gets the single name `"all"`.
+    pub class_names: Vec<String>,
+}
+
+/// Parses a CSV arrival log (see the module docs for the format).
+///
+/// # Errors
+///
+/// Returns [`TrafficError::InvalidLog`] (with the offending line
+/// number) for malformed rows, non-finite fields, or more classes than
+/// the 16-bit tag space holds; and propagates stream validation
+/// errors.
+pub fn parse_csv(text: &str) -> Result<ArrivalLog, TrafficError> {
+    let mut rows: Vec<(f64, f64, u16)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',').map(str::trim);
+        let first = fields.next().unwrap_or("");
+        if rows.is_empty() && first.eq_ignore_ascii_case("arrival") {
+            continue; // header
+        }
+        let bad = |what: &str| TrafficError::InvalidLog {
+            reason: format!("line {}: {what} in '{line}'", lineno + 1),
+        };
+        let arrival: f64 = first.parse().map_err(|_| bad("unparsable arrival"))?;
+        let size: f64 = fields
+            .next()
+            .ok_or_else(|| bad("missing size column"))?
+            .parse()
+            .map_err(|_| bad("unparsable size"))?;
+        if !arrival.is_finite() || arrival < 0.0 {
+            return Err(bad("arrival must be finite and >= 0"));
+        }
+        if !size.is_finite() || size < 0.0 {
+            return Err(bad("size must be finite and >= 0"));
+        }
+        let class = match fields.next() {
+            None | Some("") => {
+                if names.is_empty() {
+                    names.push("all".into());
+                }
+                0
+            }
+            Some(label) => {
+                // A bare integer is a tag index; anything else is a
+                // name mapped in order of first appearance. An integer
+                // too large for the tag space is an error, not a name.
+                if let Ok(tag) = label.parse::<u16>() {
+                    while names.len() <= tag as usize {
+                        names.push(format!("class{}", names.len()));
+                    }
+                    tag
+                } else if label.chars().all(|c| c.is_ascii_digit()) {
+                    return Err(bad("numeric class tag exceeds the 16-bit tag space"));
+                } else {
+                    match names.iter().position(|n| n == label) {
+                        Some(i) => i as u16,
+                        None => {
+                            if names.len() > u16::MAX as usize {
+                                return Err(bad("more classes than the 16-bit tag space"));
+                            }
+                            names.push(label.to_string());
+                            (names.len() - 1) as u16
+                        }
+                    }
+                }
+            }
+        };
+        rows.push((arrival, size, class));
+    }
+    if names.is_empty() {
+        names.push("all".into());
+    }
+    // Stable sort: measured logs are usually ordered already, and equal
+    // instants keep their file order.
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrivals"));
+    let jobs = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, (arrival, size, class))| Job {
+            id: pack_id(i as u64, ClassId(class)),
+            arrival,
+            size,
+        })
+        .collect();
+    Ok(ArrivalLog { stream: JobStream::new(jobs)?, class_names: names })
+}
+
+/// Renders a tagged stream back to the CSV format [`parse_csv`] reads
+/// (header included) — the round-trip partner for exporting simulator
+/// inputs.
+pub fn to_csv(log: &ArrivalLog) -> String {
+    let mut out = String::from("arrival,size,class\n");
+    for job in log.stream.jobs() {
+        let class = job.class().as_index();
+        let name = log.class_names.get(class).map(String::as_str).unwrap_or("all");
+        let _ = writeln!(out, "{},{},{}", job.arrival, job.size, name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_named_classes_and_sorts() {
+        let log = parse_csv(
+            "# measured front-end trace\n\
+             arrival,size,class\n\
+             0.5,0.2,interactive\n\
+             0.1,0.3,batch\n\
+             \n\
+             0.9,0.1,interactive\n",
+        )
+        .unwrap();
+        assert_eq!(log.class_names, ["interactive", "batch"]);
+        assert_eq!(log.stream.len(), 3);
+        // Sorted by arrival; the batch row moved first.
+        assert_eq!(log.stream.jobs()[0].arrival, 0.1);
+        assert_eq!(log.stream.jobs()[0].class(), ClassId(1));
+        assert_eq!(log.stream.jobs()[1].class(), ClassId(0));
+        assert!(log.stream.jobs().iter().enumerate().all(|(i, j)| j.sequence() == i as u64));
+    }
+
+    #[test]
+    fn two_column_logs_are_untagged() {
+        let log = parse_csv("0.0,0.1\n1.0,0.2\n").unwrap();
+        assert_eq!(log.class_names, ["all"]);
+        assert!(!log.stream.is_tagged());
+        assert_eq!(log.stream.jobs()[1].id, 1);
+    }
+
+    #[test]
+    fn numeric_class_column_is_a_tag_index() {
+        let log = parse_csv("0.0,0.1,2\n1.0,0.2,0\n").unwrap();
+        assert_eq!(log.stream.jobs()[0].class(), ClassId(2));
+        assert_eq!(log.stream.jobs()[1].class(), ClassId(0));
+        assert_eq!(log.class_names.len(), 3, "names backfilled up to the highest tag");
+    }
+
+    #[test]
+    fn round_trips_through_csv() {
+        let original = parse_csv("0.0,0.25,web\n1.5,0.5,batch\n2.0,0.125,web\n").unwrap();
+        let again = parse_csv(&to_csv(&original)).unwrap();
+        assert_eq!(again, original);
+    }
+
+    #[test]
+    fn malformed_rows_name_their_line() {
+        let err = parse_csv("0.0,0.1\nnope,0.2\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_csv("0.0\n").unwrap_err();
+        assert!(err.to_string().contains("missing size"), "{err}");
+        // An out-of-range numeric tag is rejected, not re-tagged as a
+        // name.
+        let err = parse_csv("0.0,0.1,70000\n").unwrap_err();
+        assert!(err.to_string().contains("16-bit tag space"), "{err}");
+        assert!(parse_csv("0.0,-1.0\n").is_err());
+        assert!(parse_csv("-1.0,0.1\n").is_err());
+    }
+}

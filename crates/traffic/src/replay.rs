@@ -1,0 +1,259 @@
+//! Class-tagged trace replay: the tagged-draw counterpart of
+//! [`sleepscale_workloads::replay_trace`].
+//!
+//! Each class replays the utilization schedule through its *own*
+//! inter-arrival and service tables (its share of the offered load is
+//! its job-count weight times its size share), and the per-class
+//! streams are interleaved into one arrival-ordered stream whose jobs
+//! carry their class tag. A single-class model consumes the RNG in
+//! exactly the order `replay_trace` does and tags everything with the
+//! default class, so its stream is **byte-identical** to the untagged
+//! replay of the same spec — the parity the `multiclass` gate pins.
+
+use crate::error::TrafficError;
+use crate::model::TrafficModel;
+use rand::RngCore;
+use sleepscale_sim::{pack_id, ClassId, Job, JobStream};
+use sleepscale_workloads::{ReplayConfig, UtilizationTrace, WorkloadDistributions};
+
+impl TrafficModel {
+    /// Synthesizes one BigHouse-substitute empirical table pair per
+    /// class, in class order, from a single RNG — the tagged
+    /// counterpart of `WorkloadDistributions::empirical` over a
+    /// composed spec (and, for a single-class model, exactly that call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-validation and fitting errors.
+    pub fn empirical_tables(
+        &self,
+        table_size: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<WorkloadDistributions>, TrafficError> {
+        self.validate()?;
+        self.classes
+            .iter()
+            .map(|c| WorkloadDistributions::empirical(&c.spec, table_size, rng).map_err(Into::into))
+            .collect()
+    }
+}
+
+/// Builds the class-tagged ground-truth job stream for a utilization
+/// trace: class `i` draws arrivals and sizes from `tables[i]`
+/// (sampling the RNG one full class at a time, in class order), its
+/// per-minute arrival rate is `weightᵢ · ρ(m) · modulatorᵢ(m)` of the
+/// mixture's total, and the interleaved stream tags every job with its
+/// class.
+///
+/// The trace's `ρ(m)` stays the *mixture's* offered utilization: the
+/// per-class target inter-arrival is chosen so the classes' offered
+/// work sums back to `ρ(m) · rate_multiplier` when every modulator is
+/// 1 (bursts deliberately push beyond the schedule — that is what a
+/// flash crowd is).
+///
+/// # Errors
+///
+/// Returns [`TrafficError::InvalidModel`] when `tables` does not match
+/// the model's classes, and propagates stream-assembly errors.
+pub fn replay_traffic(
+    trace: &UtilizationTrace,
+    model: &TrafficModel,
+    tables: &[WorkloadDistributions],
+    config: &ReplayConfig,
+    rng: &mut dyn RngCore,
+) -> Result<JobStream, TrafficError> {
+    model.validate()?;
+    if tables.len() != model.classes.len() {
+        return Err(TrafficError::InvalidModel {
+            reason: format!(
+                "{} distribution tables for {} classes — synthesize with \
+                 TrafficModel::empirical_tables",
+                tables.len(),
+                model.classes.len()
+            ),
+        });
+    }
+    let weights = model.normalized_weights();
+    let mix_mean = model.composed_spec()?.service_mean();
+
+    // Per-class passes: each class walks the whole trace with its own
+    // arrival clock, exactly the `replay_trace` loop over its own
+    // tables. Classes consume the shared RNG sequentially (class 0's
+    // whole day, then class 1's, …), which is what makes the
+    // single-class model consume it identically to the untagged path.
+    let mut per_class: Vec<Vec<(f64, f64)>> = Vec::with_capacity(model.classes.len());
+    for (c, class) in model.classes.iter().enumerate() {
+        let dists = &tables[c];
+        let ia = dists.interarrival();
+        let sv = dists.service();
+        let ia_mean = ia.mean();
+        let sv_scale = class.spec.service_mean() / sv.mean().max(1e-300);
+        // The class's share of the mixture's offered *work* is its
+        // job-count weight times its size share.
+        let share = weights[c] * class.spec.service_mean() / mix_mean;
+
+        let mut pairs = Vec::new();
+        let mut t = 0.0_f64;
+        for (m, &rho) in trace.values().iter().enumerate() {
+            let sample_start = m as f64 * config.seconds_per_sample;
+            let sample_end = sample_start + config.seconds_per_sample;
+            let rho_class = rho * share * class.rate_factor(m);
+            if rho_class < config.min_utilization {
+                // No arrivals this sample; restart the arrival clock at
+                // the next sample boundary if it fell behind.
+                t = t.max(sample_end);
+                continue;
+            }
+            let target_ia =
+                class.spec.service_mean() / (rho_class * config.rate_multiplier.max(1e-9));
+            let scale = target_ia / ia_mean;
+            if t < sample_start {
+                t = sample_start;
+            }
+            loop {
+                let gap = ia.sample(rng) * scale;
+                let next = t + gap;
+                if next >= sample_end {
+                    // The gap crosses into the next sample: carry the
+                    // clock forward so bursts don't pile up at
+                    // boundaries.
+                    t = next;
+                    break;
+                }
+                t = next;
+                pairs.push((t, sv.sample(rng) * sv_scale));
+            }
+        }
+        per_class.push(pairs);
+    }
+
+    // Interleave the per-class streams by arrival (ties go to the
+    // lower class index — deterministic), assigning global sequence
+    // numbers and packing each job's class tag into its id.
+    let total: usize = per_class.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    let mut idx = vec![0usize; per_class.len()];
+    let mut seq = 0u64;
+    while seq < total as u64 {
+        let mut best = usize::MAX;
+        for (c, pairs) in per_class.iter().enumerate() {
+            if idx[c] < pairs.len()
+                && (best == usize::MAX || pairs[idx[c]].0 < per_class[best][idx[best]].0)
+            {
+                best = c;
+            }
+        }
+        let (arrival, size) = per_class[best][idx[best]];
+        merged.push(Job { id: pack_id(seq, ClassId(best as u16)), arrival, size });
+        idx[best] += 1;
+        seq += 1;
+    }
+    JobStream::new(merged).map_err(TrafficError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ArrivalModulator, TrafficClass};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sleepscale_workloads::{replay_trace, WorkloadSpec};
+
+    /// The heart of the tentpole's parity guarantee: a single-class
+    /// tagged replay is byte-identical to the untagged replay of the
+    /// same spec under the same seed.
+    #[test]
+    fn single_class_replay_matches_untagged_byte_for_byte() {
+        for spec in [WorkloadSpec::dns(), WorkloadSpec::mail()] {
+            let trace = sleepscale_workloads::traces::email_store(1, 5).window(400, 520);
+            let config = ReplayConfig::for_fleet(3);
+
+            let mut rng = StdRng::seed_from_u64(99);
+            let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+            let untagged = replay_trace(&trace, &dists, &config, &mut rng).unwrap();
+
+            let model = TrafficModel::single(spec.clone());
+            let mut rng = StdRng::seed_from_u64(99);
+            let tables = model.empirical_tables(4_000, &mut rng).unwrap();
+            let tagged = replay_traffic(&trace, &model, &tables, &config, &mut rng).unwrap();
+
+            assert_eq!(tagged, untagged, "{}: tagged single-class stream drifted", spec.name());
+            assert!(!tagged.is_tagged());
+        }
+    }
+
+    #[test]
+    fn two_class_stream_interleaves_by_weight_and_draws_per_class_sizes() {
+        let model = TrafficModel::new(vec![
+            TrafficClass::new("dns", WorkloadSpec::dns(), 2.0),
+            TrafficClass::new("mail", WorkloadSpec::mail(), 1.0),
+        ])
+        .unwrap();
+        let trace = UtilizationTrace::constant(0.4, 240).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let tables = model.empirical_tables(8_000, &mut rng).unwrap();
+        let jobs =
+            replay_traffic(&trace, &model, &tables, &ReplayConfig::default(), &mut rng).unwrap();
+        assert!(jobs.is_tagged());
+
+        let (mut counts, mut size_sums) = ([0usize; 2], [0.0f64; 2]);
+        for job in jobs.jobs() {
+            let c = job.class().as_index();
+            assert!(c < 2);
+            counts[c] += 1;
+            size_sums[c] += job.size;
+        }
+        // Job-count shares follow the weights.
+        let share = counts[0] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((share - 2.0 / 3.0).abs() < 0.04, "dns share {share}");
+        // Sizes come from each class's own service law, not the
+        // moment-composed mixture.
+        let dns_mean = size_sums[0] / counts[0] as f64;
+        let mail_mean = size_sums[1] / counts[1] as f64;
+        assert!((dns_mean - 0.194).abs() / 0.194 < 0.1, "dns mean size {dns_mean}");
+        assert!((mail_mean - 0.092).abs() / 0.092 < 0.1, "mail mean size {mail_mean}");
+        // Offered work matches the schedule: total work / horizon ≈ ρ.
+        let rho = jobs.jobs().iter().map(|j| j.size).sum::<f64>() / (240.0 * 60.0);
+        assert!((rho - 0.4).abs() < 0.04, "measured ρ {rho}");
+    }
+
+    #[test]
+    fn burst_modulator_concentrates_a_class_into_its_window() {
+        let model = TrafficModel::new(vec![
+            TrafficClass::new("steady", WorkloadSpec::dns(), 1.0),
+            TrafficClass::new("crowd", WorkloadSpec::dns(), 1.0).with_modulator(
+                ArrivalModulator::Burst { start_minute: 60, end_minute: 120, factor: 4.0 },
+            ),
+        ])
+        .unwrap();
+        let trace = UtilizationTrace::constant(0.3, 180).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let tables = model.empirical_tables(6_000, &mut rng).unwrap();
+        let jobs =
+            replay_traffic(&trace, &model, &tables, &ReplayConfig::default(), &mut rng).unwrap();
+        let in_window = |j: &Job| (3600.0..7200.0).contains(&j.arrival);
+        let crowd: Vec<&Job> = jobs.jobs().iter().filter(|j| j.class() == ClassId(1)).collect();
+        let steady: Vec<&Job> = jobs.jobs().iter().filter(|j| j.class() == ClassId(0)).collect();
+        let crowd_in = crowd.iter().filter(|j| in_window(j)).count() as f64 / crowd.len() as f64;
+        let steady_in = steady.iter().filter(|j| in_window(j)).count() as f64 / steady.len() as f64;
+        // The window is 1/3 of the horizon at 4× rate: 4/(4+2) of the
+        // bursting class lands inside vs 1/3 of the steady class.
+        assert!((steady_in - 1.0 / 3.0).abs() < 0.05, "steady in-window share {steady_in}");
+        assert!((crowd_in - 4.0 / 6.0).abs() < 0.07, "crowd in-window share {crowd_in}");
+    }
+
+    #[test]
+    fn table_count_mismatch_is_rejected() {
+        let model = TrafficModel::single(WorkloadSpec::dns());
+        let trace = UtilizationTrace::constant(0.2, 10).unwrap();
+        let err = replay_traffic(
+            &trace,
+            &model,
+            &[],
+            &ReplayConfig::default(),
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("distribution tables"), "{err}");
+    }
+}

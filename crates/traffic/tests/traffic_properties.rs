@@ -1,0 +1,99 @@
+//! Property suite tying the tagged-draw subsystem to the old
+//! moment-composed `Mix` semantics: a tagged mixture's *realized*
+//! per-stream moments must converge to what `mix_moments` composes
+//! from the class statistics — the two representations describe the
+//! same population, they just differ in whether identity survives.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sleepscale_dist::Moments;
+use sleepscale_traffic::{mix_moments, replay_traffic, TrafficClass, TrafficModel};
+use sleepscale_workloads::{ReplayConfig, UtilizationTrace, WorkloadSpec};
+
+fn realized_size_moments(model: &TrafficModel, seed: u64) -> (Moments, Vec<Moments>) {
+    let trace = UtilizationTrace::constant(0.5, 180).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tables = model.empirical_tables(6_000, &mut rng).unwrap();
+    let jobs = replay_traffic(&trace, model, &tables, &ReplayConfig::default(), &mut rng).unwrap();
+    let mut overall = Moments::new();
+    let mut per_class = vec![Moments::new(); model.len()];
+    for job in jobs.jobs() {
+        overall.push(job.size);
+        per_class[job.class().as_index()].push(job.size);
+    }
+    (overall, per_class)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A two-class tagged stream's realized size mean and Cv converge
+    /// to the moment-level composition `WorkloadSource::Mix` would
+    /// have collapsed the classes into, while each class's own sizes
+    /// still follow its own spec — the moment identity the subsystem
+    /// must preserve and the per-class identity it must add.
+    #[test]
+    fn tagged_mixture_converges_to_mix_moments(
+        mean_a in 0.05_f64..0.4,
+        mean_b in 0.05_f64..0.4,
+        cv_a in 0.5_f64..2.0,
+        cv_b in 0.5_f64..2.0,
+        weight_a in 0.25_f64..4.0,
+        seed in 0_u64..1_000,
+    ) {
+        let spec_a = WorkloadSpec::new("a", 1.0, 1.0, mean_a, cv_a).unwrap();
+        let spec_b = WorkloadSpec::new("b", 1.0, 1.0, mean_b, cv_b).unwrap();
+        let model = TrafficModel::new(vec![
+            TrafficClass::new("a", spec_a, weight_a),
+            TrafficClass::new("b", spec_b, 1.0),
+        ]).unwrap();
+
+        let w = weight_a / (weight_a + 1.0);
+        let (mix_mean, mix_cv) =
+            mix_moments(&[(w, mean_a, cv_a), (1.0 - w, mean_b, cv_b)]);
+        // The model's own composition is the same formula.
+        let composed = model.composed_spec().unwrap();
+        prop_assert!((composed.service_mean() - mix_mean).abs() / mix_mean < 1e-12);
+        prop_assert!((composed.service_cv() - mix_cv).abs() / mix_cv.max(1e-9) < 1e-9);
+
+        let (overall, per_class) = realized_size_moments(&model, seed);
+        prop_assert!(overall.count() > 5_000, "only {} jobs realized", overall.count());
+        // Realized mixture moments sit near the composition (empirical
+        // tables + finite streams: allow a few Monte-Carlo percent).
+        prop_assert!(
+            (overall.mean() - mix_mean).abs() / mix_mean < 0.08,
+            "realized mixture mean {} vs composed {mix_mean}", overall.mean()
+        );
+        prop_assert!(
+            (overall.cv() - mix_cv).abs() / mix_cv.max(0.5) < 0.2,
+            "realized mixture Cv {} vs composed {mix_cv}", overall.cv()
+        );
+        // Per-class sizes follow each class's own law — the identity
+        // the moment-composed Mix erases.
+        prop_assert!((per_class[0].mean() - mean_a).abs() / mean_a < 0.12,
+            "class a mean {} vs {mean_a}", per_class[0].mean());
+        prop_assert!((per_class[1].mean() - mean_b).abs() / mean_b < 0.12,
+            "class b mean {} vs {mean_b}", per_class[1].mean());
+        // And the job-count split follows the weights.
+        let share = per_class[0].count() as f64 / overall.count() as f64;
+        prop_assert!((share - w).abs() < 0.06, "class a share {share} vs weight {w}");
+    }
+
+    /// Replay is a pure function of (model, trace, seed): repeated
+    /// generation is byte-identical.
+    #[test]
+    fn tagged_replay_is_reproducible(seed in 0_u64..1_000) {
+        let model = TrafficModel::new(vec![
+            TrafficClass::new("dns", WorkloadSpec::dns(), 2.0),
+            TrafficClass::new("mail", WorkloadSpec::mail(), 1.0),
+        ]).unwrap();
+        let trace = UtilizationTrace::constant(0.3, 45).unwrap();
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tables = model.empirical_tables(2_000, &mut rng).unwrap();
+            replay_traffic(&trace, &model, &tables, &ReplayConfig::default(), &mut rng).unwrap()
+        };
+        prop_assert_eq!(make(), make());
+    }
+}

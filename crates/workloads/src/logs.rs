@@ -4,7 +4,7 @@
 
 use crate::error::WorkloadError;
 use serde::{Deserialize, Serialize};
-use sleepscale_sim::{JobRecord, JobStream};
+use sleepscale_sim::{ClassId, JobRecord, JobStream};
 use std::collections::VecDeque;
 
 /// A bounded log of `(inter-arrival gap, full-speed size)` observations.
@@ -29,6 +29,7 @@ pub struct JobLog {
     capacity: usize,
     interarrivals: VecDeque<f64>,
     sizes: VecDeque<f64>,
+    classes: VecDeque<u16>,
     last_arrival: Option<f64>,
 }
 
@@ -40,26 +41,38 @@ impl JobLog {
             capacity,
             interarrivals: VecDeque::with_capacity(capacity),
             sizes: VecDeque::with_capacity(capacity),
+            classes: VecDeque::with_capacity(capacity),
             last_arrival: None,
         }
     }
 
-    /// Records one observation directly.
+    /// Records one observation directly (default traffic class).
     pub fn push(&mut self, interarrival: f64, size: f64) {
+        self.push_tagged(interarrival, size, ClassId::DEFAULT);
+    }
+
+    /// Records one class-tagged observation. The tag rides along so a
+    /// replay of a mixed log preserves each job's population identity
+    /// (sizes are stored per job, so the replay was already
+    /// per-class-correct at the sample level — the tag keeps *who* each
+    /// sample was).
+    pub fn push_tagged(&mut self, interarrival: f64, size: f64, class: ClassId) {
         if !interarrival.is_finite() || interarrival < 0.0 || !size.is_finite() || size <= 0.0 {
             return; // Ignore degenerate observations rather than poison the log.
         }
         if self.interarrivals.len() == self.capacity {
             self.interarrivals.pop_front();
             self.sizes.pop_front();
+            self.classes.pop_front();
         }
         self.interarrivals.push_back(interarrival);
         self.sizes.push_back(size);
+        self.classes.push_back(class.0);
     }
 
     /// Ingests an epoch's completed-job records, deriving inter-arrival
     /// gaps from consecutive arrivals (carrying the last arrival across
-    /// epochs).
+    /// epochs). Class tags are taken from the records' ids.
     pub fn extend_from_records(&mut self, records: &[JobRecord]) {
         for r in records {
             let gap = match self.last_arrival {
@@ -68,7 +81,7 @@ impl JobLog {
             };
             self.last_arrival = Some(r.arrival);
             if gap > 0.0 {
-                self.push(gap, r.size);
+                self.push_tagged(gap, r.size, r.class());
             }
         }
     }
@@ -167,12 +180,15 @@ impl JobLog {
         let replay_implied = size_sum / ia_sum;
         let scale = replay_implied / target_rho;
         let mut t = 0.0;
-        let pairs = (0..n).map(|i| {
+        let triples = (0..n).map(|i| {
             let idx = i % len;
             t += self.interarrivals[idx] * scale;
-            (t, self.sizes[idx])
+            (t, self.sizes[idx], ClassId(self.classes[idx]))
         });
-        out.refill_from_log(pairs).map_err(WorkloadError::from)
+        // An all-default-class log produces exactly the ids the untagged
+        // refill would have assigned, so tagging is invisible to
+        // single-population replay.
+        out.refill_from_tagged_log(triples).map_err(WorkloadError::from)
     }
 
     /// A coarse fingerprint of the log's replay-relevant statistics:
@@ -345,6 +361,46 @@ mod tests {
             d.push(1.0 + 0.001 * (i % 5) as f64, 0.2);
         }
         assert_ne!(a.coarse_signature(), d.coarse_signature());
+    }
+
+    #[test]
+    fn tagged_log_replays_class_identity() {
+        let mut log = JobLog::new(16);
+        for i in 0..8 {
+            let class = if i % 2 == 0 { ClassId(1) } else { ClassId(2) };
+            log.push_tagged(1.0, if class == ClassId(1) { 0.3 } else { 0.1 }, class);
+        }
+        let stream = log.replay(16, 0.2).unwrap();
+        assert!(stream.is_tagged());
+        for (i, job) in stream.jobs().iter().enumerate() {
+            let expect = if i % 2 == 0 { ClassId(1) } else { ClassId(2) };
+            assert_eq!(job.class(), expect, "replay cycles tags with the observations");
+            assert_eq!(job.sequence(), i as u64);
+        }
+        // Class tags flow from record ids into the log.
+        let mut from_records = JobLog::new(8);
+        let mut r1 = record(1.0, 0.2);
+        r1.id = sleepscale_sim::pack_id(0, ClassId(3));
+        let mut r2 = record(2.0, 0.2);
+        r2.id = sleepscale_sim::pack_id(1, ClassId(5));
+        from_records.extend_from_records(&[r1, r2]);
+        assert_eq!(from_records.len(), 1); // first record only sets the clock
+        let replayed = from_records.replay(2, 0.1).unwrap();
+        assert!(replayed.jobs().iter().all(|j| j.class() == ClassId(5)));
+    }
+
+    #[test]
+    fn untagged_log_replay_is_byte_identical_to_before_tags() {
+        // `push` (untagged) must produce replay streams whose ids are
+        // plain sequence numbers — the characterization hot path sees
+        // the exact bytes it saw before class tags existed.
+        let mut log = JobLog::new(32);
+        for i in 0..20 {
+            log.push(1.0 + 0.01 * (i % 5) as f64, 0.2);
+        }
+        let stream = log.replay(50, 0.4).unwrap();
+        assert!(!stream.is_tagged());
+        assert!(stream.jobs().iter().enumerate().all(|(i, j)| j.id == i as u64));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`sleepscale_sim`] — the FCFS queueing simulator (paper Algorithm 1).
 //! * [`sleepscale_analytic`] — closed-form M/M/1-with-sleep results (appendix).
 //! * [`sleepscale_workloads`] — Table-5 workloads, utilization traces, replay.
+//! * [`sleepscale_traffic`] — class-tagged traffic: multi-class job streams
+//!   drawn per component, burst/diurnal arrival modulators, CSV arrival logs.
 //! * [`sleepscale_predict`] — utilization predictors (paper Algorithm 2).
 //! * [`sleepscale`] — the policy manager, runtime, and baseline strategies.
 //! * [`sleepscale_cluster`] — multi-server scale-out behind pluggable
@@ -27,6 +29,7 @@ pub use sleepscale_power;
 pub use sleepscale_predict;
 pub use sleepscale_scenario;
 pub use sleepscale_sim;
+pub use sleepscale_traffic;
 pub use sleepscale_workloads;
 
 /// Convenience re-exports for examples and tests.
@@ -41,5 +44,6 @@ pub mod prelude {
     pub use sleepscale_predict::prelude::*;
     pub use sleepscale_scenario::prelude::*;
     pub use sleepscale_sim::prelude::*;
+    pub use sleepscale_traffic::prelude::*;
     pub use sleepscale_workloads::prelude::*;
 }

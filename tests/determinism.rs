@@ -177,6 +177,55 @@ fn heterogeneous_fleet_scenario_is_thread_count_invariant() {
     }
 }
 
+/// A class-tagged two-class fleet scenario is thread-count invariant:
+/// the per-class response slices (and everything else in the report)
+/// are byte-identical for every worker count — tagging adds reporting
+/// axes, never schedule dependence.
+#[test]
+fn tagged_fleet_scenario_is_thread_count_invariant() {
+    let mut scenario = Scenario {
+        eval_jobs: 250,
+        dist_samples: 4_000,
+        seed: 85,
+        dispatcher: DispatcherSpec::JoinShortestBacklog,
+        ..Scenario::new(
+            "tagged-invariance",
+            WorkloadSource::Tagged(
+                TrafficModel::new(vec![
+                    TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0)
+                        .with_p95_budget(40.0),
+                    TrafficClass::new("batch", WorkloadSpec::mail(), 1.0),
+                ])
+                .unwrap(),
+            ),
+            LoadSchedule::EmailStoreDay { seed: 7, start_minute: 540, end_minute: 620 },
+        )
+    };
+    scenario.fleet = vec![ServerGroup::new("shared", 4, StrategySpec::sleepscale())];
+    let run_pinned = |threads: usize| {
+        let mut pinned = scenario.clone();
+        pinned.threads = threads;
+        ScenarioRunner::new(pinned).unwrap().run().unwrap()
+    };
+    let reference = run_pinned(1);
+    assert_eq!(reference.classes().len(), 2);
+    assert_eq!(
+        reference.classes().iter().map(|c| c.jobs).sum::<usize>(),
+        reference.total_jobs(),
+        "class slices partition the fleet's jobs"
+    );
+    assert_eq!(reference.cache_stats().evictions, 0, "invariance needs the no-eviction regime");
+    for threads in [2, 3, 8] {
+        let run = run_pinned(threads);
+        assert_eq!(
+            run.cluster_report(),
+            reference.cluster_report(),
+            "threads={threads} diverged from the serial fleet (class slices included)"
+        );
+        assert_eq!(run.classes(), reference.classes(), "threads={threads} changed class slices");
+    }
+}
+
 /// The full runtime loop is a pure function of (trace, jobs, config,
 /// seed): repeated runs produce byte-identical `RunReport`s, including
 /// every epoch's selection metadata.
