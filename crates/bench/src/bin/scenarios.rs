@@ -159,6 +159,18 @@ fn main() -> std::io::Result<()> {
                 if class.qos_ok { "" } else { "  — VIOLATED" }
             );
         }
+        // Exact energy split + proportionality analytics (tentpole view):
+        // active is tagged by the running job, idle is the explicit
+        // line item, EP per Subramaniam–Feng when the curve is defined.
+        if let Some(e) = report.energy_proportionality() {
+            println!(
+                "  ├ energy: active {:>9.0} J, idle {:>9.0} J  (EP {:.3}, dyn range {:.3})",
+                report.active_energy_joules(),
+                report.idle_energy_joules(),
+                e.ep_score,
+                e.dynamic_range
+            );
+        }
         if !report.qos_ok() {
             failures.push(format!("{name}: QoS-infeasible result"));
         }
@@ -176,6 +188,15 @@ fn main() -> std::io::Result<()> {
             .map(|c| format!("{}:{:.2}", c.name, c.energy_joules))
             .collect::<Vec<_>>()
             .join("|");
+        let class_active = report
+            .classes()
+            .iter()
+            .map(|c| format!("{}:{:.2}", c.name, c.active_energy_joules))
+            .collect::<Vec<_>>()
+            .join("|");
+        // Fleet-level energy-proportionality analytics from the exact
+        // ledger split (blank when undefined, e.g. a zero-work run).
+        let ep = report.energy_proportionality();
         rows.push(vec![
             name,
             report.backend().label().to_string(),
@@ -185,11 +206,16 @@ fn main() -> std::io::Result<()> {
             format!("{:.4}", report.normalized_mean_response()),
             format!("{:.4}", report.p95_response_seconds() * 1e3),
             format!("{:.2}", report.avg_power_watts()),
+            format!("{:.2}", report.active_energy_joules()),
+            format!("{:.2}", report.idle_energy_joules()),
+            ep.map_or(String::new(), |e| format!("{:.4}", e.ep_score)),
+            ep.map_or(String::new(), |e| format!("{:.4}", e.dynamic_range)),
             format!("{:.3}", cache.hit_rate()),
             format!("{:.3}", warm.warm_rate()),
             (report.qos_ok() as u8).to_string(),
             class_p95,
             class_energy,
+            class_active,
         ]);
     }
 
@@ -204,11 +230,16 @@ fn main() -> std::io::Result<()> {
             "norm_response",
             "p95_ms",
             "fleet_w",
+            "active_j",
+            "idle_j",
+            "ep_score",
+            "dyn_range",
             "cache_hit_rate",
             "warm_rate",
             "qos_ok",
             "class_p95_ms",
             "class_energy_j",
+            "class_active_j",
         ],
         &rows,
     )?;

@@ -7,7 +7,7 @@ use sleepscale::{
     DEFAULT_CACHE_CAPACITY,
 };
 use sleepscale_dist::StreamingSummary;
-use sleepscale_power::Policy;
+use sleepscale_power::{ep, Policy, PowerSample};
 use sleepscale_sim::{JobRecord, JobStream, OnlineSim, SimEnv};
 use sleepscale_workloads::UtilizationTrace;
 use std::collections::HashSet;
@@ -526,17 +526,52 @@ impl Cluster {
             par_each(slots.iter_mut().collect(), threads, &close)?;
         }
 
-        // Close trailing idle periods and summarize.
+        // Close trailing idle periods and summarize. This loop is the
+        // deterministic merge point for the energy split: it runs
+        // serially in slot order over per-slot ledgers, so the merged
+        // per-class and per-bucket bytes are thread-count invariant.
         let trace_end = total_minutes as f64 * 60.0;
         let horizon = slots.iter().map(|s| s.sim.state().free_time()).fold(trace_end, f64::max);
         self.last_warm = WarmStartStats::default();
+        let n_groups = self.config.groups().len();
         let mut summaries = Vec::with_capacity(n);
+        let mut class_active: Vec<f64> = Vec::new();
+        let mut fleet_busy: Vec<f64> = Vec::new();
+        let mut fleet_energy: Vec<f64> = Vec::new();
+        let mut group_busy: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
+        let mut group_energy: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
+        let mut bucket_width = 0.0;
         for (i, slot) in slots.into_iter().enumerate() {
             self.last_warm.merge(slot.strategy.warm_start_stats());
             let jobs_done = slot.all_jobs;
             let mean_response =
                 if jobs_done == 0 { 0.0 } else { slot.response_sum / jobs_done as f64 };
             let (ledger, ..) = slot.sim.finish(horizon);
+            bucket_width = ledger.bucket_width();
+            for (c, &e) in ledger.active_energy_by_class().iter().enumerate() {
+                if c >= class_active.len() {
+                    class_active.resize(c + 1, 0.0);
+                }
+                class_active[c] += e;
+            }
+            let buckets = ledger.bucket_count();
+            if fleet_busy.len() < buckets {
+                fleet_busy.resize(buckets, 0.0);
+                fleet_energy.resize(buckets, 0.0);
+            }
+            let (g_busy, g_energy) = (&mut group_busy[slot.group], &mut group_energy[slot.group]);
+            if g_busy.len() < buckets {
+                g_busy.resize(buckets, 0.0);
+                g_energy.resize(buckets, 0.0);
+            }
+            for b in 0..buckets {
+                let busy = ledger.bucket_busy_seconds(b);
+                let energy = ledger.bucket_energy(b).as_joules();
+                fleet_busy[b] += busy;
+                fleet_energy[b] += energy;
+                g_busy[b] += busy;
+                g_energy[b] += energy;
+            }
             summaries.push(ServerSummary {
                 index: i,
                 group: slot.group,
@@ -544,8 +579,31 @@ impl Cluster {
                 mean_response,
                 avg_power: ledger.total_energy().as_joules() / horizon,
                 energy_joules: ledger.total_energy().as_joules(),
+                active_energy_joules: ledger.active_energy().as_joules(),
+                ep: ep::analyze(&ledger.power_samples()),
             });
         }
+        // Merged utilization→power samples: utilization is busy time
+        // over pooled capacity (k servers × bucket width), power the
+        // pooled bucket energy over the bucket width.
+        let to_samples = |busy: &[f64], energy: &[f64], servers: usize| -> Vec<PowerSample> {
+            let capacity = servers.max(1) as f64 * bucket_width;
+            busy.iter()
+                .zip(energy)
+                .map(|(&b, &e)| PowerSample {
+                    utilization: (b / capacity).clamp(0.0, 1.0),
+                    watts: e / bucket_width,
+                })
+                .collect()
+        };
+        let fleet_samples = to_samples(&fleet_busy, &fleet_energy, n);
+        let group_samples: Vec<Vec<PowerSample>> = self
+            .config
+            .groups()
+            .iter()
+            .enumerate()
+            .map(|(g, spec)| to_samples(&group_busy[g], &group_energy[g], spec.count))
+            .collect();
         let group_names = self.config.groups().iter().map(|g| g.name.clone()).collect();
         Ok(ClusterReport::new(
             dispatcher.name(),
@@ -555,7 +613,8 @@ impl Cluster {
             class_responses,
             horizon,
             self.config.runtime_for(0).mean_service(),
-        ))
+        )
+        .with_energy_split(class_active, fleet_samples, group_samples))
     }
 }
 
@@ -821,6 +880,24 @@ mod tests {
         // statistics equal the untagged run's.
         assert_eq!(tagged.responses(), untagged.responses());
         assert_eq!(tagged.total_energy_joules(), untagged.total_energy_joules());
+        // Energy attribution is exact: tags only split the active
+        // energy, whose total (and the fleet's idle remainder and
+        // utilization→power samples) matches the untagged bytes.
+        assert_eq!(tagged.active_energy_joules(), untagged.active_energy_joules());
+        assert_eq!(tagged.power_samples(), untagged.power_samples());
+        assert_eq!(untagged.class_active_energy().len(), 1, "untagged: all active under tag 0");
+        let energy_slices = tagged.class_active_energy();
+        assert_eq!(energy_slices.len(), 3);
+        assert_eq!(energy_slices[0], 0.0, "no class-0 jobs, no class-0 energy");
+        assert!(energy_slices[1] > 0.0 && energy_slices[2] > 0.0);
+        let rebuilt: f64 = energy_slices.iter().sum();
+        assert!((rebuilt - tagged.active_energy_joules()).abs() < 1e-6);
+        assert!(
+            (tagged.active_energy_joules() + tagged.idle_energy_joules()
+                - tagged.total_energy_joules())
+            .abs()
+                < 1e-6
+        );
     }
 
     /// The parallel epoch phases are thread-count invariant: pinning 1,

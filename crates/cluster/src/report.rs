@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 use sleepscale_dist::StreamingSummary;
+use sleepscale_power::{ep, EnergyProportionality, PowerSample};
 
 /// One server's aggregate over a cluster run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -17,6 +18,20 @@ pub struct ServerSummary {
     pub avg_power: f64,
     /// Its total energy, joules.
     pub energy_joules: f64,
+    /// The slice of [`ServerSummary::energy_joules`] spent serving
+    /// jobs, exactly attributed by its engine's ledger.
+    pub active_energy_joules: f64,
+    /// Its energy-proportionality summary over per-bucket samples
+    /// (`None` when undefined — e.g. a server that never served).
+    pub ep: Option<EnergyProportionality>,
+}
+
+impl ServerSummary {
+    /// Idle-side energy (idle, sleep, and wake-up intervals): always
+    /// `total − active`, so the two line items reproduce the total.
+    pub fn idle_energy_joules(&self) -> f64 {
+        self.energy_joules - self.active_energy_joules
+    }
 }
 
 /// One server group's aggregate over a cluster run (all the group's
@@ -35,6 +50,19 @@ pub struct GroupSummary {
     pub avg_power: f64,
     /// Total energy across the group, joules.
     pub energy_joules: f64,
+    /// Active (serving) energy across the group, joules.
+    pub active_energy_joules: f64,
+    /// The group's energy-proportionality summary, computed over
+    /// bucket samples merged across the group's servers (`None` when
+    /// undefined).
+    pub ep: Option<EnergyProportionality>,
+}
+
+impl GroupSummary {
+    /// Idle-side energy across the group: `total − active`.
+    pub fn idle_energy_joules(&self) -> f64 {
+        self.energy_joules - self.active_energy_joules
+    }
 }
 
 /// Fleet-level result of a cluster run.
@@ -47,6 +75,9 @@ pub struct ClusterReport {
     class_responses: Vec<StreamingSummary>,
     horizon_seconds: f64,
     mean_service: f64,
+    class_active_energy: Vec<f64>,
+    power_samples: Vec<PowerSample>,
+    group_power_samples: Vec<Vec<PowerSample>>,
 }
 
 impl ClusterReport {
@@ -67,7 +98,26 @@ impl ClusterReport {
             class_responses,
             horizon_seconds,
             mean_service,
+            class_active_energy: Vec::new(),
+            power_samples: Vec::new(),
+            group_power_samples: Vec::new(),
         }
+    }
+
+    /// Attaches the fleet's exact energy split: per-class active energy
+    /// (merged elementwise across servers in the deterministic
+    /// summary pass) plus fleet- and group-level utilization→power
+    /// samples.
+    pub(crate) fn with_energy_split(
+        mut self,
+        class_active_energy: Vec<f64>,
+        power_samples: Vec<PowerSample>,
+        group_power_samples: Vec<Vec<PowerSample>>,
+    ) -> ClusterReport {
+        self.class_active_energy = class_active_energy;
+        self.power_samples = power_samples;
+        self.group_power_samples = group_power_samples;
+        self
     }
 
     /// The dispatcher used.
@@ -100,6 +150,8 @@ impl ClusterReport {
                     mean_response: 0.0,
                     avg_power: 0.0,
                     energy_joules: 0.0,
+                    active_energy_joules: 0.0,
+                    ep: self.group_power_samples.get(g).and_then(|s| ep::analyze(s)),
                 };
                 for s in members {
                     summary.servers += 1;
@@ -107,6 +159,7 @@ impl ClusterReport {
                     summary.mean_response += s.mean_response * s.jobs as f64;
                     summary.avg_power += s.avg_power;
                     summary.energy_joules += s.energy_joules;
+                    summary.active_energy_joules += s.active_energy_joules;
                 }
                 if summary.jobs > 0 {
                     summary.mean_response /= summary.jobs as f64;
@@ -168,6 +221,50 @@ impl ClusterReport {
         self.servers.iter().map(|s| s.energy_joules).sum()
     }
 
+    /// Fleet-wide active (serving) energy, joules.
+    pub fn active_energy_joules(&self) -> f64 {
+        self.servers.iter().map(|s| s.active_energy_joules).sum()
+    }
+
+    /// Fleet-wide idle-side energy (idle, sleep, wake-up), joules.
+    pub fn idle_energy_joules(&self) -> f64 {
+        self.servers.iter().map(|s| s.idle_energy_joules()).sum()
+    }
+
+    /// Fleet-wide per-class active energy in joules, indexed by class
+    /// tag — the exact attribution the scenario layer reports. Merged
+    /// elementwise across servers in the deterministic summary pass,
+    /// so the bytes are thread-count invariant. Always populated (a
+    /// one-entry vector for untagged fleets).
+    pub fn class_active_energy(&self) -> &[f64] {
+        &self.class_active_energy
+    }
+
+    /// Fleet-level `(utilization, power)` samples, one per ledger
+    /// bucket: utilization is busy-seconds summed over servers divided
+    /// by fleet capacity, power is the fleet's summed bucket power.
+    pub fn power_samples(&self) -> &[PowerSample] {
+        &self.power_samples
+    }
+
+    /// Group-level `(utilization, power)` samples for group `g`
+    /// (empty for an out-of-range index).
+    pub fn group_power_samples(&self, g: usize) -> &[PowerSample] {
+        self.group_power_samples.get(g).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Fleet-level energy-proportionality summary (`None` when
+    /// undefined).
+    pub fn energy_proportionality(&self) -> Option<EnergyProportionality> {
+        ep::analyze(&self.power_samples)
+    }
+
+    /// The fleet's utilization→power curve, binned into `bins`
+    /// fixed-width utilization bins.
+    pub fn utilization_power_curve(&self, bins: usize) -> Vec<PowerSample> {
+        ep::utilization_power_curve(&self.power_samples, bins)
+    }
+
     /// The run's horizon, seconds.
     pub fn horizon_seconds(&self) -> f64 {
         self.horizon_seconds
@@ -199,6 +296,8 @@ mod tests {
             mean_response: 0.2,
             avg_power: power,
             energy_joules: power * 100.0,
+            active_energy_joules: power * 60.0,
+            ep: None,
         }
     }
 
@@ -226,6 +325,44 @@ mod tests {
         assert_eq!(r.n_servers(), 2);
         assert_eq!(r.total_jobs(), 20);
         assert!((r.normalized_mean_response() - 0.2 / 0.194).abs() < 1e-9);
+        // The active/idle line items partition the fleet total.
+        assert_eq!(r.active_energy_joules(), 9_000.0);
+        assert_eq!(r.idle_energy_joules(), 6_000.0);
+        assert!(
+            (r.active_energy_joules() + r.idle_energy_joules() - r.total_energy_joules()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn energy_split_threads_through_groups() {
+        let samples = vec![
+            PowerSample { utilization: 0.2, watts: 100.0 },
+            PowerSample { utilization: 0.8, watts: 220.0 },
+        ];
+        let r = ClusterReport::new(
+            "rr".into(),
+            vec!["fleet".into()],
+            vec![server(0, 0, 10, 100.0), server(1, 0, 10, 50.0)],
+            responses(20, 0.2),
+            Vec::new(),
+            100.0,
+            0.194,
+        )
+        .with_energy_split(vec![7_000.0, 2_000.0], samples.clone(), vec![samples.clone()]);
+        assert_eq!(r.class_active_energy(), [7_000.0, 2_000.0]);
+        let by_class: f64 = r.class_active_energy().iter().sum();
+        assert!((by_class - r.active_energy_joules()).abs() < 1e-9);
+        assert_eq!(r.power_samples(), samples.as_slice());
+        assert_eq!(r.group_power_samples(0), samples.as_slice());
+        assert!(r.group_power_samples(9).is_empty());
+        let fleet_ep = r.energy_proportionality().unwrap();
+        assert_eq!(fleet_ep.peak_watts, 220.0);
+        let groups = r.group_summaries();
+        assert_eq!(groups[0].ep, Some(fleet_ep), "one group == the fleet");
+        assert_eq!(groups[0].active_energy_joules, 9_000.0);
+        assert_eq!(groups[0].idle_energy_joules(), 6_000.0);
+        assert_eq!(r.utilization_power_curve(5).len(), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 use sleepscale_dist::StreamingSummary;
-use sleepscale_power::SystemState;
+use sleepscale_power::{ep, EnergyProportionality, PowerSample, SystemState};
 
 /// One epoch's record in a runtime evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,6 +51,9 @@ pub struct RunReport {
     wakes_from: Vec<(SystemState, u64)>,
     responses: StreamingSummary,
     class_responses: Vec<StreamingSummary>,
+    active_energy_joules: f64,
+    class_active_energy: Vec<f64>,
+    power_samples: Vec<PowerSample>,
 }
 
 impl RunReport {
@@ -82,7 +85,25 @@ impl RunReport {
             wakes_from,
             responses,
             class_responses,
+            active_energy_joules: 0.0,
+            class_active_energy: Vec::new(),
+            power_samples: Vec::new(),
         }
+    }
+
+    /// Attaches the ledger's exact energy split: total active (serving)
+    /// energy, its per-class slices, and the per-bucket
+    /// utilization→power samples.
+    pub(crate) fn with_energy_split(
+        mut self,
+        active_energy_joules: f64,
+        class_active_energy: Vec<f64>,
+        power_samples: Vec<PowerSample>,
+    ) -> RunReport {
+        self.active_energy_joules = active_energy_joules;
+        self.class_active_energy = class_active_energy;
+        self.power_samples = power_samples;
+        self
     }
 
     /// Strategy display name.
@@ -123,6 +144,47 @@ impl RunReport {
     /// Total energy, joules.
     pub fn energy_joules(&self) -> f64 {
         self.energy_joules
+    }
+
+    /// Active (serving) energy in joules: the slice of
+    /// [`RunReport::energy_joules`] spent executing jobs, exactly
+    /// attributed by the engine's ledger.
+    pub fn active_energy_joules(&self) -> f64 {
+        self.active_energy_joules
+    }
+
+    /// Idle-side energy in joules — idle, sleep, and wake-up intervals
+    /// that belong to no job. Defined as `total − active`, so the two
+    /// line items always reproduce the total.
+    pub fn idle_energy_joules(&self) -> f64 {
+        self.energy_joules - self.active_energy_joules
+    }
+
+    /// Per-class active energy in joules, indexed by class tag. For an
+    /// untagged (or effectively single-class) run this is a one-entry
+    /// vector holding all active energy under tag 0 — unlike response
+    /// slices, energy attribution is always on, because the tagged and
+    /// untagged ledger paths are byte-identical.
+    pub fn class_active_energy(&self) -> &[f64] {
+        &self.class_active_energy
+    }
+
+    /// Per-bucket `(utilization, average power)` samples from the
+    /// energy ledger — the measured utilization→power relationship.
+    pub fn power_samples(&self) -> &[PowerSample] {
+        &self.power_samples
+    }
+
+    /// Energy-proportionality summary over this run's power samples
+    /// (`None` when undefined — e.g. a run that never served a job).
+    pub fn energy_proportionality(&self) -> Option<EnergyProportionality> {
+        ep::analyze(&self.power_samples)
+    }
+
+    /// The run's utilization→power curve, binned into `bins`
+    /// fixed-width utilization bins.
+    pub fn utilization_power_curve(&self, bins: usize) -> Vec<PowerSample> {
+        ep::utilization_power_curve(&self.power_samples, bins)
     }
 
     /// Evaluation horizon, seconds.
@@ -257,5 +319,33 @@ mod tests {
         assert_eq!(r.mean_prediction_error(), 0.0);
         assert!(r.program_histogram().is_empty());
         assert_eq!(r.wakes_from()[0].1, 42);
+    }
+
+    /// The energy split's two line items always reproduce the total,
+    /// and the EP summary comes straight from the attached samples.
+    #[test]
+    fn energy_split_line_items_sum_to_total() {
+        let samples = vec![
+            PowerSample { utilization: 0.0, watts: 30.0 },
+            PowerSample { utilization: 0.5, watts: 150.0 },
+            PowerSample { utilization: 1.0, watts: 250.0 },
+        ];
+        let r = report(vec![epoch(0, "C6S3", 0.2, 0.3)]).with_energy_split(
+            600.0,
+            vec![400.0, 200.0],
+            samples,
+        );
+        assert_eq!(r.active_energy_joules(), 600.0);
+        assert_eq!(r.idle_energy_joules(), 400.0);
+        assert!(
+            (r.active_energy_joules() + r.idle_energy_joules() - r.energy_joules()).abs() < 1e-12
+        );
+        assert_eq!(r.class_active_energy(), [400.0, 200.0]);
+        let ep = r.energy_proportionality().unwrap();
+        assert_eq!(ep.peak_watts, 250.0);
+        assert_eq!(ep.idle_watts, 30.0);
+        assert_eq!(r.utilization_power_curve(4).len(), 3);
+        // Without samples the metric is undefined, not fabricated.
+        assert!(report(vec![]).energy_proportionality().is_none());
     }
 }

@@ -297,6 +297,11 @@ pub fn run(
         wakes_from,
         streaming,
         class_responses,
+    )
+    .with_energy_split(
+        ledger.active_energy().as_joules(),
+        ledger.active_energy_by_class().to_vec(),
+        ledger.power_samples(),
     ))
 }
 
@@ -419,6 +424,21 @@ mod tests {
         // Tags are invisible to the simulation itself.
         assert_eq!(tagged.responses(), untagged.responses());
         assert_eq!(tagged.energy_joules(), untagged.energy_joules());
+        // The ledger's active energy is the same bytes either way; tags
+        // only split it. Class slices must rebuild the active total.
+        assert_eq!(tagged.active_energy_joules(), untagged.active_energy_joules());
+        assert_eq!(untagged.class_active_energy().len(), 1);
+        assert_eq!(tagged.class_active_energy().len(), 3);
+        let rebuilt: f64 = tagged.class_active_energy().iter().sum();
+        assert!((rebuilt - tagged.active_energy_joules()).abs() < 1e-6);
+        assert!(
+            (tagged.active_energy_joules() + tagged.idle_energy_joules() - tagged.energy_joules())
+                .abs()
+                < 1e-9
+        );
+        assert!(tagged.active_energy_joules() > 0.0);
+        assert_eq!(tagged.power_samples(), untagged.power_samples());
+        assert!(tagged.energy_proportionality().is_some());
     }
 
     #[test]

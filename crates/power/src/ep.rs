@@ -1,0 +1,157 @@
+//! Energy-proportionality analytics (Subramaniam & Feng).
+//!
+//! An ideally proportional server draws power linearly in utilization,
+//! from zero at idle to peak at full load. Real servers draw a large
+//! constant floor, so the measured utilization→power curve sits above
+//! the ideal diagonal. This module quantifies the gap from a set of
+//! [`PowerSample`]s (one per ledger bucket in practice):
+//!
+//! * **EP score** — `1 − Σ(p_norm − u) / Σu` over samples with
+//!   `p_norm = watts / peak`: the area between the measured curve and
+//!   the ideal diagonal, normalized by the area under the diagonal.
+//!   1.0 is perfectly proportional; 0.0 means the server burns peak
+//!   power regardless of load; sleep states push the score up.
+//! * **Dynamic range** — `(peak − idle) / peak`, the fraction of peak
+//!   power that actually responds to load.
+//! * **Utilization→power curve** — samples bucketed into fixed-width
+//!   utilization bins, averaging watts per bin, for plotting against
+//!   the SPECpower-style staircase.
+
+use serde::{Deserialize, Serialize};
+
+/// One observation of the utilization→power relationship: the busy
+/// fraction of an interval and the average power drawn over it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Fraction of the interval spent serving jobs, in `[0, 1]`.
+    pub utilization: f64,
+    /// Average power over the interval, in watts.
+    pub watts: f64,
+}
+
+/// Energy-proportionality summary of a sample set (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyProportionality {
+    /// `1 − Σ(p_norm − u)/Σu`: 1.0 is ideal, 0.0 is a flat power draw.
+    pub ep_score: f64,
+    /// `(peak − idle)/peak`: the load-responsive fraction of peak power.
+    pub dynamic_range: f64,
+    /// Lowest per-sample average power observed, in watts.
+    pub idle_watts: f64,
+    /// Highest per-sample average power observed, in watts.
+    pub peak_watts: f64,
+}
+
+/// Computes the EP summary over `samples`.
+///
+/// Returns `None` when the metric is undefined: no samples, no positive
+/// power (peak would be zero), or zero total utilization (the EP score
+/// divides by `Σu`; an always-idle server has no proportionality to
+/// measure).
+pub fn analyze(samples: &[PowerSample]) -> Option<EnergyProportionality> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut peak = f64::NEG_INFINITY;
+    let mut idle = f64::INFINITY;
+    let mut u_sum = 0.0;
+    for s in samples {
+        peak = peak.max(s.watts);
+        idle = idle.min(s.watts);
+        u_sum += s.utilization;
+    }
+    if peak <= 0.0 || u_sum <= 0.0 {
+        return None;
+    }
+    let gap: f64 = samples.iter().map(|s| s.watts / peak - s.utilization).sum();
+    Some(EnergyProportionality {
+        ep_score: 1.0 - gap / u_sum,
+        dynamic_range: (peak - idle) / peak,
+        idle_watts: idle,
+        peak_watts: peak,
+    })
+}
+
+/// Bins `samples` into `bins` fixed-width utilization bins over `[0, 1]`
+/// and averages the watts in each, returning one representative
+/// [`PowerSample`] per non-empty bin (utilization at the bin center),
+/// in increasing-utilization order.
+///
+/// Returns an empty vector when `bins == 0` or `samples` is empty.
+pub fn utilization_power_curve(samples: &[PowerSample], bins: usize) -> Vec<PowerSample> {
+    if bins == 0 || samples.is_empty() {
+        return Vec::new();
+    }
+    let mut watt_sum = vec![0.0_f64; bins];
+    let mut count = vec![0usize; bins];
+    for s in samples {
+        let b = ((s.utilization * bins as f64) as usize).min(bins - 1);
+        watt_sum[b] += s.watts;
+        count[b] += 1;
+    }
+    (0..bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| PowerSample {
+            utilization: (b as f64 + 0.5) / bins as f64,
+            watts: watt_sum[b] / count[b] as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(u: f64, w: f64) -> PowerSample {
+        PowerSample { utilization: u, watts: w }
+    }
+
+    #[test]
+    fn ideal_server_scores_one() {
+        // Power exactly linear in utilization, zero idle floor.
+        let samples: Vec<_> = (0..=10).map(|i| s(i as f64 / 10.0, i as f64 * 25.0)).collect();
+        let ep = analyze(&samples).unwrap();
+        assert!((ep.ep_score - 1.0).abs() < 1e-12, "{}", ep.ep_score);
+        assert!((ep.dynamic_range - 1.0).abs() < 1e-12);
+        assert_eq!(ep.peak_watts, 250.0);
+        assert_eq!(ep.idle_watts, 0.0);
+    }
+
+    #[test]
+    fn flat_draw_scores_poorly() {
+        // Constant peak power at every load: p_norm − u sums to
+        // Σ(1 − u), so the score is 1 − Σ(1−u)/Σu.
+        let samples = [s(0.0, 250.0), s(0.5, 250.0), s(1.0, 250.0)];
+        let ep = analyze(&samples).unwrap();
+        let expect = 1.0 - (1.0 + 0.5 + 0.0) / 1.5;
+        assert!((ep.ep_score - expect).abs() < 1e-12);
+        assert_eq!(ep.dynamic_range, 0.0);
+    }
+
+    #[test]
+    fn undefined_cases_are_none() {
+        assert!(analyze(&[]).is_none());
+        assert!(analyze(&[s(0.0, 0.0)]).is_none(), "no positive power");
+        assert!(analyze(&[s(0.0, 100.0)]).is_none(), "zero total utilization");
+    }
+
+    #[test]
+    fn curve_bins_and_averages() {
+        let samples = [s(0.05, 10.0), s(0.08, 30.0), s(0.95, 100.0)];
+        let curve = utilization_power_curve(&samples, 10);
+        assert_eq!(curve.len(), 2);
+        assert!((curve[0].utilization - 0.05).abs() < 1e-12);
+        assert!((curve[0].watts - 20.0).abs() < 1e-12);
+        assert!((curve[1].utilization - 0.95).abs() < 1e-12);
+        assert!((curve[1].watts - 100.0).abs() < 1e-12);
+        assert!(utilization_power_curve(&samples, 0).is_empty());
+        assert!(utilization_power_curve(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn full_utilization_lands_in_last_bin() {
+        let curve = utilization_power_curve(&[s(1.0, 50.0)], 4);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].utilization - 0.875).abs() < 1e-12);
+    }
+}

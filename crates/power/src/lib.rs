@@ -48,6 +48,7 @@
 
 mod cpu;
 mod dvfs;
+pub mod ep;
 mod error;
 mod platform;
 mod policy;
@@ -59,6 +60,7 @@ mod units;
 
 pub use cpu::{CpuPowerModel, CpuState, VoltageLaw};
 pub use dvfs::{Frequency, FrequencyGrid};
+pub use ep::{EnergyProportionality, PowerSample};
 pub use error::PowerError;
 pub use platform::{Component, PlatformPowerModel, PlatformState};
 pub use policy::Policy;

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use sleepscale::{CacheStats, CoreError, RunReport, RuntimeConfig, StrategySpec, WarmStartStats};
 use sleepscale_cluster::{Cluster, ClusterConfig, ClusterReport};
 use sleepscale_dist::StreamingSummary;
+use sleepscale_power::{ep, EnergyProportionality, PowerSample};
 use sleepscale_sim::JobStream;
 use sleepscale_traffic::replay_traffic;
 use sleepscale_workloads::{
@@ -55,9 +56,23 @@ pub struct GroupReport {
     pub avg_power_watts: f64,
     /// Total energy across the group, joules.
     pub energy_joules: f64,
+    /// Active (serving) energy across the group, joules — the ledger's
+    /// exact attribution (the remainder is idle-side energy).
+    pub active_energy_joules: f64,
+    /// The group's energy-proportionality summary over bucket samples
+    /// merged across its servers (`None` when undefined).
+    pub ep: Option<EnergyProportionality>,
     /// The group's characterization-cache counters (zero for unmanaged
     /// strategies, which never characterize).
     pub cache: CacheStats,
+}
+
+impl GroupReport {
+    /// Idle-side energy across the group (idle, sleep, wake-up):
+    /// `total − active`, so the two line items reproduce the total.
+    pub fn idle_energy_joules(&self) -> f64 {
+        self.energy_joules - self.active_energy_joules
+    }
 }
 
 /// One traffic class's slice of a scenario result (only populated for
@@ -84,11 +99,23 @@ pub struct ClassReport {
     /// Whether the class met its budget within the scenario's
     /// `qos_slack` (vacuously true with no budget or no jobs).
     pub qos_ok: bool,
-    /// The class's share of the offered full-speed work (its energy
-    /// attribution key).
+    /// The class's share of the offered full-speed work. Kept as the
+    /// *legacy* attribution key for comparison: it ignores which
+    /// frequencies actually served the class, so it diverges from the
+    /// exact ledger split whenever a class's arrivals correlate with
+    /// the deployed frequency (the `energy` gate demonstrates this).
     pub work_share: f64,
-    /// Fleet energy attributed to the class by work share, joules.
+    /// Fleet energy attributed to the class, joules — the "idle
+    /// apportioned by active share" view: the class's exact active
+    /// energy plus a slice of the fleet's idle-side energy in
+    /// proportion to its active share. Summing this over classes (plus
+    /// nothing else) reproduces fleet energy whenever any work was
+    /// served; for a zero-work run every class reports 0 and the whole
+    /// fleet total is the idle line item.
     pub energy_joules: f64,
+    /// The "active only" view: energy the class's jobs were actually
+    /// served with, exactly attributed by the engine ledgers, joules.
+    pub active_energy_joules: f64,
 }
 
 /// The unified result of running a [`Scenario`]: per-group and
@@ -179,6 +206,43 @@ impl ScenarioReport {
     /// Total fleet energy, joules.
     pub fn energy_joules(&self) -> f64 {
         self.groups.iter().map(|g| g.energy_joules).sum()
+    }
+
+    /// Fleet-wide active (serving) energy, joules.
+    pub fn active_energy_joules(&self) -> f64 {
+        self.groups.iter().map(|g| g.active_energy_joules).sum()
+    }
+
+    /// The explicit idle line item: fleet energy spent in idle, sleep,
+    /// and wake-up intervals that belong to no job, joules. Together
+    /// with [`ScenarioReport::active_energy_joules`] this reproduces
+    /// [`ScenarioReport::energy_joules`]; per-class `energy_joules`
+    /// apportions it by active share, so class totals stay consistent
+    /// even for zero-work runs (where it is the whole fleet energy).
+    pub fn idle_energy_joules(&self) -> f64 {
+        self.groups.iter().map(|g| g.idle_energy_joules()).sum()
+    }
+
+    /// Fleet-level `(utilization, power)` samples from the backend's
+    /// native report, one per ledger bucket.
+    pub fn power_samples(&self) -> &[PowerSample] {
+        match (&self.run, &self.cluster) {
+            (Some(r), _) => r.power_samples(),
+            (_, Some(c)) => c.power_samples(),
+            _ => &[],
+        }
+    }
+
+    /// Fleet-level energy-proportionality summary (`None` when
+    /// undefined — e.g. a run that never served a job).
+    pub fn energy_proportionality(&self) -> Option<EnergyProportionality> {
+        ep::analyze(self.power_samples())
+    }
+
+    /// The fleet's utilization→power curve, binned into `bins`
+    /// fixed-width utilization bins.
+    pub fn utilization_power_curve(&self, bins: usize) -> Vec<PowerSample> {
+        ep::utilization_power_curve(self.power_samples(), bins)
     }
 
     /// The run's horizon, seconds.
@@ -392,14 +456,19 @@ impl ScenarioRunner {
     /// with the run's per-class response summaries (a single-class
     /// model's only class *is* the overall summary — engines leave the
     /// slices empty for effectively single-class streams) and
-    /// attributes fleet energy to classes by their share of the offered
-    /// full-speed work.
+    /// attributes energy to classes *exactly*, from the ledgers'
+    /// per-class active energy. Each class reports both views: its
+    /// active-only energy, and active plus a slice of the fleet's
+    /// idle-side energy apportioned by active share (so the class
+    /// column still sums to fleet energy). The offered-work share is
+    /// kept as the legacy comparison key.
     fn class_reports(
         &self,
         jobs: &JobStream,
         slices: &[StreamingSummary],
         overall: &StreamingSummary,
         total_energy: f64,
+        class_active: &[f64],
     ) -> Vec<ClassReport> {
         let Some(model) = self.scenario.workload.traffic_model() else {
             return Vec::new();
@@ -412,6 +481,8 @@ impl ScenarioRunner {
             }
             total_work += job.size;
         }
+        let active_total: f64 = class_active.iter().sum();
+        let idle_energy = total_energy - active_total;
         let empty = StreamingSummary::new();
         model
             .classes
@@ -434,6 +505,16 @@ impl ScenarioRunner {
                     .p95_budget
                     .is_none_or(|b| jobs_n == 0 || normalized_p95 <= b * self.scenario.qos_slack);
                 let work_share = if total_work > 0.0 { work[i] / total_work } else { 0.0 };
+                let active = class_active.get(i).copied().unwrap_or(0.0);
+                // Idle energy is apportioned by *active* share. A
+                // zero-work run has no active share to apportion by:
+                // every class reports 0 and the fleet total shows up
+                // as the report's explicit idle line item instead.
+                let energy_joules = if active_total > 0.0 {
+                    active + idle_energy * (active / active_total)
+                } else {
+                    0.0
+                };
                 ClassReport {
                     name: class.name.clone(),
                     class: i as u16,
@@ -444,7 +525,8 @@ impl ScenarioRunner {
                     p95_budget: class.p95_budget,
                     qos_ok,
                     work_share,
-                    energy_joules: total_energy * work_share,
+                    energy_joules,
+                    active_energy_joules: active,
                 }
             })
             .collect()
@@ -488,6 +570,8 @@ impl ScenarioRunner {
             qos_ok: report.total_jobs() == 0 || norm <= budget * self.scenario.qos_slack,
             avg_power_watts: report.avg_power_watts(),
             energy_joules: report.energy_joules(),
+            active_energy_joules: report.active_energy_joules(),
+            ep: report.energy_proportionality(),
             cache,
         };
         let classes = self.class_reports(
@@ -495,6 +579,7 @@ impl ScenarioRunner {
             report.class_responses(),
             report.responses(),
             report.energy_joules(),
+            report.class_active_energy(),
         );
         Ok(ScenarioReport {
             scenario: self.scenario.name.clone(),
@@ -541,6 +626,8 @@ impl ScenarioRunner {
                     qos_ok: summary.jobs == 0 || norm <= budget * self.scenario.qos_slack,
                     avg_power_watts: summary.avg_power,
                     energy_joules: summary.energy_joules,
+                    active_energy_joules: summary.active_energy_joules,
+                    ep: summary.ep,
                     cache,
                 }
             })
@@ -550,6 +637,7 @@ impl ScenarioRunner {
             report.class_responses(),
             report.responses(),
             report.total_energy_joules(),
+            report.class_active_energy(),
         );
         Ok(ScenarioReport {
             scenario: self.scenario.name.clone(),
@@ -709,6 +797,15 @@ mod tests {
             assert_eq!(b.classes().len(), 1);
             assert_eq!(b.classes()[0].jobs, a.total_jobs());
             assert!((b.classes()[0].work_share - 1.0).abs() < 1e-12);
+            // One class owns all active energy, so its apportioned
+            // view is the whole fleet energy.
+            assert_eq!(b.classes()[0].active_energy_joules, a.active_energy_joules());
+            assert!(
+                (b.classes()[0].energy_joules - a.energy_joules()).abs() < 1e-9 * a.energy_joules(),
+                "{fleet_servers} servers"
+            );
+            assert_eq!(a.power_samples(), b.power_samples());
+            assert_eq!(a.energy_proportionality(), b.energy_proportionality());
             assert!(b.qos_ok());
         }
     }
@@ -745,9 +842,68 @@ mod tests {
         );
         let share_sum: f64 = classes.iter().map(|c| c.work_share).sum();
         assert!((share_sum - 1.0).abs() < 1e-9);
+        // The apportioned view still sums to fleet energy (active
+        // totals plus the whole idle remainder), and the active-only
+        // view sums to the fleet's active energy.
         let energy_sum: f64 = classes.iter().map(|c| c.energy_joules).sum();
         assert!((energy_sum - report.energy_joules()).abs() / report.energy_joules() < 1e-9);
+        let active_sum: f64 = classes.iter().map(|c| c.active_energy_joules).sum();
+        assert!(
+            (active_sum - report.active_energy_joules()).abs() / report.active_energy_joules()
+                < 1e-9
+        );
+        assert!(classes.iter().all(|c| c.active_energy_joules > 0.0));
+        assert!(
+            classes.iter().all(|c| c.energy_joules > c.active_energy_joules),
+            "apportioned idle energy is strictly additive on a fleet that ever idles"
+        );
+        assert!(
+            (report.active_energy_joules() + report.idle_energy_joules() - report.energy_joules())
+                .abs()
+                < 1e-6
+        );
+        assert!(report.energy_proportionality().is_some());
         assert!(report.qos_ok(), "{classes:?}");
+    }
+
+    /// Satellite regression: a zero-work (zero-load) tagged scenario
+    /// used to report class shares summing to 0 while fleet energy was
+    /// nonzero, with nothing accounting for the difference. Now the
+    /// classes report zero energy and the whole fleet total is the
+    /// explicit idle line item.
+    #[test]
+    fn zero_work_scenario_reports_energy_as_the_idle_line_item() {
+        use sleepscale_traffic::{TrafficClass, TrafficModel};
+        use sleepscale_workloads::WorkloadSpec;
+        let mut scenario = small_single();
+        scenario.load = LoadSchedule::Constant { rho: 0.0, minutes: 30 };
+        scenario.workload = WorkloadSource::Tagged(
+            TrafficModel::new(vec![
+                TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0).with_p95_budget(40.0),
+                TrafficClass::new("batch", WorkloadSpec::mail(), 1.0),
+            ])
+            .unwrap(),
+        );
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        assert_eq!(report.total_jobs(), 0);
+        assert!(report.energy_joules() > 0.0, "an idle server still burns power");
+        assert_eq!(report.active_energy_joules(), 0.0);
+        assert!((report.idle_energy_joules() - report.energy_joules()).abs() < 1e-9);
+        let classes = report.classes();
+        assert_eq!(classes.len(), 2);
+        for c in classes {
+            assert_eq!(c.jobs, 0);
+            assert_eq!(c.work_share, 0.0);
+            assert_eq!(c.active_energy_joules, 0.0);
+            assert_eq!(c.energy_joules, 0.0, "no active share to apportion idle energy by");
+            assert!(c.qos_ok, "zero-work classes are vacuously within budget");
+        }
+        // The accounting identity: class energies plus the idle line
+        // item reproduce fleet energy exactly.
+        let class_sum: f64 = classes.iter().map(|c| c.energy_joules).sum();
+        assert!((class_sum + report.idle_energy_joules() - report.energy_joules()).abs() < 1e-9);
+        // A fleet that never serves has no measurable proportionality.
+        assert!(report.energy_proportionality().is_none());
     }
 
     #[test]

@@ -149,7 +149,10 @@ impl OnlineSim {
 
         let service = job.size * self.env.scaling().service_multiplier(f);
         let departure = start + service;
-        self.ledger.add_segment(start, departure, active_watts);
+        // Serving time is the only energy a job owns: the segment is
+        // tagged with its class (tag 0 for untagged streams), while
+        // wake-up above and idle gaps stay untagged idle-side energy.
+        self.ledger.add_active_segment(start, departure, active_watts, job.class());
         self.residency.add_serving(service);
         self.state.free_time = departure;
         // The idle program is the serving policy's; skip the clone when

@@ -79,9 +79,22 @@ impl Job {
 }
 
 /// Packs a sequence number and class tag into a [`Job::id`].
+///
+/// # Panics
+///
+/// Panics if `sequence` does not fit in the 48-bit sequence space — a
+/// release-mode silent wrap would bleed sequence bits into the class
+/// tag and misattribute every per-class statistic downstream. Streams
+/// that might exceed 2^48 jobs must use [`try_pack_id`].
 pub fn pack_id(sequence: u64, class: ClassId) -> u64 {
-    debug_assert!(sequence <= SEQUENCE_MASK, "sequence {sequence} overflows 48 bits");
+    assert!(sequence <= SEQUENCE_MASK, "sequence {sequence} overflows 48 bits");
     (sequence & SEQUENCE_MASK) | ((class.0 as u64) << SEQUENCE_BITS)
+}
+
+/// Checked [`pack_id`]: `None` when `sequence` overflows the 48-bit
+/// sequence space instead of panicking.
+pub fn try_pack_id(sequence: u64, class: ClassId) -> Option<u64> {
+    (sequence <= SEQUENCE_MASK).then_some(sequence | ((class.0 as u64) << SEQUENCE_BITS))
 }
 
 /// The completed-job record the engine emits: everything needed for
@@ -543,6 +556,23 @@ mod tests {
         // Re-tagging with the default class restores the original id.
         assert_eq!(tagged.with_class(ClassId::DEFAULT), j);
         assert_eq!(pack_id(7, ClassId(2)), (2 << SEQUENCE_BITS) | 7);
+    }
+
+    /// A sequence past 2^48 would bleed into the class bits; packing it
+    /// is a hard error in every build profile, and the checked variant
+    /// reports it as `None`.
+    #[test]
+    #[should_panic(expected = "overflows 48 bits")]
+    fn pack_id_overflow_is_a_hard_error() {
+        pack_id(SEQUENCE_MASK + 1, ClassId(1));
+    }
+
+    #[test]
+    fn try_pack_id_checks_the_sequence_space() {
+        assert_eq!(try_pack_id(7, ClassId(2)), Some(pack_id(7, ClassId(2))));
+        assert_eq!(try_pack_id(SEQUENCE_MASK, ClassId(0)), Some(SEQUENCE_MASK));
+        assert_eq!(try_pack_id(SEQUENCE_MASK + 1, ClassId(0)), None);
+        assert_eq!(try_pack_id(u64::MAX, ClassId(9)), None);
     }
 
     #[test]

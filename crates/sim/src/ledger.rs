@@ -1,5 +1,6 @@
+use crate::job::ClassId;
 use serde::{Deserialize, Serialize};
-use sleepscale_power::{Joules, Watts};
+use sleepscale_power::{ep::PowerSample, Joules, Watts};
 
 /// Integrates piecewise-constant power segments into fixed-width time
 /// buckets.
@@ -10,6 +11,19 @@ use sleepscale_power::{Joules, Watts};
 /// known once the *next* arrival appears, possibly epochs later); the
 /// ledger splits each segment exactly across the buckets it covers, so
 /// per-epoch average power is exact regardless of emission order.
+///
+/// Segments come in two flavours. *Active* segments
+/// ([`EnergyLedger::add_active_segment`]) are service intervals tagged
+/// with the running job's [`ClassId`]; the ledger additionally
+/// attributes their energy to a per-class total and their duration to
+/// per-bucket busy-seconds (the utilization axis of the
+/// energy-proportionality curve). Untagged segments
+/// ([`EnergyLedger::add_segment`]) cover idle, sleep, and wake-up
+/// intervals that belong to no class; their energy lands only in the
+/// shared total and buckets, and is reported as the idle line item
+/// ([`EnergyLedger::idle_energy`]). Both flavours feed `total` and the
+/// buckets through the identical arithmetic, so tagging never changes
+/// the total-energy bytes.
 ///
 /// ```
 /// use sleepscale_sim::EnergyLedger;
@@ -25,6 +39,12 @@ pub struct EnergyLedger {
     buckets: Vec<f64>,
     total: f64,
     end_of_time: f64,
+    /// Seconds of each bucket spent serving jobs (active segments only).
+    busy_buckets: Vec<f64>,
+    /// Active (serving) energy per class tag, indexed by `ClassId`.
+    active_by_class: Vec<f64>,
+    /// Total active (serving) energy across all classes.
+    active_total: f64,
 }
 
 impl EnergyLedger {
@@ -38,16 +58,66 @@ impl EnergyLedger {
             bucket_width.is_finite() && bucket_width > 0.0,
             "bucket width must be finite and > 0"
         );
-        EnergyLedger { bucket_width, buckets: Vec::new(), total: 0.0, end_of_time: 0.0 }
+        EnergyLedger {
+            bucket_width,
+            buckets: Vec::new(),
+            total: 0.0,
+            end_of_time: 0.0,
+            busy_buckets: Vec::new(),
+            active_by_class: Vec::new(),
+            active_total: 0.0,
+        }
     }
 
-    /// Adds a constant-power segment `[start, end)`.
+    /// Adds an untagged constant-power segment `[start, end)` — idle,
+    /// sleep, or wake-up time that belongs to no job class.
     ///
     /// Zero- or negative-length segments are ignored.
     pub fn add_segment(&mut self, start: f64, end: f64, watts: Watts) {
+        self.integrate(start, end, watts);
+    }
+
+    /// Adds an *active* (serving) segment `[start, end)` attributed to
+    /// `class`: besides the shared total/bucket accounting — identical,
+    /// operation for operation, to [`EnergyLedger::add_segment`] — the
+    /// energy is credited to the class's active total and the duration
+    /// to per-bucket busy-seconds.
+    ///
+    /// Zero- or negative-length segments are ignored.
+    pub fn add_active_segment(&mut self, start: f64, end: f64, watts: Watts, class: ClassId) {
+        let Some(p) = self.integrate(start, end, watts) else {
+            return;
+        };
+        self.active_total += p * (end - start);
+        let index = class.as_index();
+        if self.active_by_class.len() <= index {
+            self.active_by_class.resize(index + 1, 0.0);
+        }
+        self.active_by_class[index] += p * (end - start);
+        let first = (start / self.bucket_width).floor() as usize;
+        let last = (end / self.bucket_width).ceil() as usize;
+        if self.busy_buckets.len() < last {
+            self.busy_buckets.resize(last, 0.0);
+        }
+        for b in first..last {
+            let b_start = b as f64 * self.bucket_width;
+            let b_end = b_start + self.bucket_width;
+            let overlap = end.min(b_end) - start.max(b_start);
+            if overlap > 0.0 {
+                self.busy_buckets[b] += overlap;
+            }
+        }
+    }
+
+    /// The shared total/bucket integration both segment flavours run.
+    /// Returns the power in watts when the segment was accepted, `None`
+    /// for degenerate segments. The float-operation stream on `total`,
+    /// `end_of_time`, and `buckets` is the byte-determinism contract:
+    /// tagged and untagged paths must produce identical totals.
+    fn integrate(&mut self, start: f64, end: f64, watts: Watts) -> Option<f64> {
         let duration = end - start;
         if duration.is_nan() || duration <= 0.0 {
-            return;
+            return None;
         }
         let p = watts.as_watts();
         self.total += p * (end - start);
@@ -65,6 +135,7 @@ impl EnergyLedger {
                 self.buckets[b] += p * overlap;
             }
         }
+        Some(p)
     }
 
     /// Energy accumulated in bucket `i` (zero for untouched buckets).
@@ -95,6 +166,59 @@ impl EnergyLedger {
     /// The bucket width in seconds.
     pub fn bucket_width(&self) -> f64 {
         self.bucket_width
+    }
+
+    /// Total active (serving) energy across all classes.
+    pub fn active_energy(&self) -> Joules {
+        Joules::new(self.active_total)
+    }
+
+    /// Energy not attributable to any job: idle, sleep, and wake-up
+    /// segments. Defined as `total − active`, so
+    /// `active_energy() + idle_energy()` reproduces
+    /// [`EnergyLedger::total_energy`] up to one rounding step.
+    pub fn idle_energy(&self) -> Joules {
+        Joules::new(self.total - self.active_total)
+    }
+
+    /// Active energy credited to class `class` (zero for untouched
+    /// tags).
+    pub fn class_active_energy(&self, class: ClassId) -> Joules {
+        Joules::new(self.active_by_class.get(class.as_index()).copied().unwrap_or(0.0))
+    }
+
+    /// Per-class active energy in joules, indexed by class tag. The
+    /// length is one past the highest tag that served a job (empty if
+    /// none did).
+    pub fn active_energy_by_class(&self) -> &[f64] {
+        &self.active_by_class
+    }
+
+    /// Seconds of bucket `i` spent serving jobs (zero for untouched
+    /// buckets). Wake-up and pre-`τ_1` active idle are *not* busy time —
+    /// they draw active power without doing work, which is exactly the
+    /// non-proportionality the EP analytics measure.
+    pub fn bucket_busy_seconds(&self, i: usize) -> f64 {
+        self.busy_buckets.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Busy fraction of bucket `i`, in `[0, 1]`.
+    pub fn bucket_utilization(&self, i: usize) -> f64 {
+        (self.bucket_busy_seconds(i) / self.bucket_width).clamp(0.0, 1.0)
+    }
+
+    /// One `(utilization, average power)` sample per bucket — the raw
+    /// material for [`sleepscale_power::ep::analyze`] and the
+    /// utilization→power curve. The final bucket may extend past the
+    /// last segment; its utilization and power are both averaged over
+    /// the full width, so the sample stays self-consistent.
+    pub fn power_samples(&self) -> Vec<PowerSample> {
+        (0..self.buckets.len())
+            .map(|i| PowerSample {
+                utilization: self.bucket_utilization(i),
+                watts: self.bucket_power(i).as_watts(),
+            })
+            .collect()
     }
 }
 
@@ -151,5 +275,66 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn zero_width_panics() {
         EnergyLedger::new(0.0);
+    }
+
+    /// Tagged and untagged segments feed `total`/buckets through the
+    /// identical arithmetic: interleaving them in either flavour gives
+    /// byte-identical totals.
+    #[test]
+    fn active_segments_do_not_change_total_bytes() {
+        let segments = [(0.0, 3.3, 250.0), (3.3, 9.1, 28.1), (9.1, 14.0, 213.5)];
+        let mut untagged = EnergyLedger::new(5.0);
+        let mut tagged = EnergyLedger::new(5.0);
+        for &(s, e, w) in &segments {
+            untagged.add_segment(s, e, Watts::new(w));
+            tagged.add_active_segment(s, e, Watts::new(w), ClassId(3));
+        }
+        assert_eq!(untagged.total_energy(), tagged.total_energy());
+        assert_eq!(untagged.end_of_time(), tagged.end_of_time());
+        for i in 0..untagged.bucket_count() {
+            assert_eq!(untagged.bucket_energy(i), tagged.bucket_energy(i));
+        }
+    }
+
+    #[test]
+    fn active_energy_splits_by_class() {
+        let mut l = EnergyLedger::new(10.0);
+        l.add_active_segment(0.0, 2.0, Watts::new(100.0), ClassId(0));
+        l.add_active_segment(2.0, 3.0, Watts::new(100.0), ClassId(2));
+        l.add_segment(3.0, 10.0, Watts::new(10.0)); // idle: no class
+        assert!((l.active_energy().as_joules() - 300.0).abs() < 1e-9);
+        assert!((l.idle_energy().as_joules() - 70.0).abs() < 1e-9);
+        assert!((l.class_active_energy(ClassId(0)).as_joules() - 200.0).abs() < 1e-9);
+        assert_eq!(l.class_active_energy(ClassId(1)), Joules::ZERO);
+        assert!((l.class_active_energy(ClassId(2)).as_joules() - 100.0).abs() < 1e-9);
+        assert_eq!(l.class_active_energy(ClassId(7)), Joules::ZERO);
+        assert_eq!(l.active_energy_by_class().len(), 3);
+        let by_class: f64 = l.active_energy_by_class().iter().sum();
+        assert!((by_class - l.active_energy().as_joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_seconds_track_serving_only() {
+        let mut l = EnergyLedger::new(10.0);
+        l.add_active_segment(5.0, 15.0, Watts::new(250.0), ClassId(0));
+        l.add_segment(15.0, 30.0, Watts::new(28.1)); // idle: not busy
+        assert!((l.bucket_busy_seconds(0) - 5.0).abs() < 1e-12);
+        assert!((l.bucket_busy_seconds(1) - 5.0).abs() < 1e-12);
+        assert_eq!(l.bucket_busy_seconds(2), 0.0);
+        assert!((l.bucket_utilization(0) - 0.5).abs() < 1e-12);
+        let samples = l.power_samples();
+        assert_eq!(samples.len(), l.bucket_count());
+        assert!((samples[0].utilization - 0.5).abs() < 1e-12);
+        assert!((samples[0].watts - l.bucket_power(0).as_watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_active_segments_ignored() {
+        let mut l = EnergyLedger::new(1.0);
+        l.add_active_segment(5.0, 5.0, Watts::new(100.0), ClassId(1));
+        l.add_active_segment(5.0, 4.0, Watts::new(100.0), ClassId(1));
+        assert_eq!(l.total_energy(), Joules::ZERO);
+        assert_eq!(l.active_energy(), Joules::ZERO);
+        assert!(l.active_energy_by_class().is_empty());
     }
 }

@@ -68,7 +68,7 @@ pub use engine::{
 };
 pub use env::SimEnv;
 pub use error::SimError;
-pub use job::{pack_id, ClassId, Job, JobCursor, JobRecord, JobStream, SEQUENCE_BITS};
+pub use job::{pack_id, try_pack_id, ClassId, Job, JobCursor, JobRecord, JobStream, SEQUENCE_BITS};
 pub use ledger::EnergyLedger;
 pub use outcome::{EpochOutcome, Residency, SimOutcome};
 

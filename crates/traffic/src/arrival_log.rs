@@ -13,6 +13,7 @@
 
 use crate::error::TrafficError;
 use sleepscale_sim::{pack_id, ClassId, Job, JobStream};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// A parsed arrival log: the tagged stream plus the class-name table
@@ -38,6 +39,15 @@ pub struct ArrivalLog {
 pub fn parse_csv(text: &str) -> Result<ArrivalLog, TrafficError> {
     let mut rows: Vec<(f64, f64, u16)> = Vec::new();
     let mut names: Vec<String> = Vec::new();
+    // Interning index over `names` — O(1) per row where a linear scan
+    // made wide logs (up to the full 65,536-tag space) quadratic. The
+    // first tag a name maps to wins, matching the old first-occurrence
+    // scan for backfilled placeholder names.
+    let mut index: HashMap<String, u16> = HashMap::new();
+    fn intern(names: &mut Vec<String>, index: &mut HashMap<String, u16>, name: String) {
+        index.entry(name.clone()).or_insert(names.len() as u16);
+        names.push(name);
+    }
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -66,7 +76,7 @@ pub fn parse_csv(text: &str) -> Result<ArrivalLog, TrafficError> {
         let class = match fields.next() {
             None | Some("") => {
                 if names.is_empty() {
-                    names.push("all".into());
+                    intern(&mut names, &mut index, "all".into());
                 }
                 0
             }
@@ -76,19 +86,20 @@ pub fn parse_csv(text: &str) -> Result<ArrivalLog, TrafficError> {
                 // too large for the tag space is an error, not a name.
                 if let Ok(tag) = label.parse::<u16>() {
                     while names.len() <= tag as usize {
-                        names.push(format!("class{}", names.len()));
+                        let placeholder = format!("class{}", names.len());
+                        intern(&mut names, &mut index, placeholder);
                     }
                     tag
                 } else if label.chars().all(|c| c.is_ascii_digit()) {
                     return Err(bad("numeric class tag exceeds the 16-bit tag space"));
                 } else {
-                    match names.iter().position(|n| n == label) {
-                        Some(i) => i as u16,
+                    match index.get(label) {
+                        Some(&i) => i,
                         None => {
                             if names.len() > u16::MAX as usize {
                                 return Err(bad("more classes than the 16-bit tag space"));
                             }
-                            names.push(label.to_string());
+                            intern(&mut names, &mut index, label.to_string());
                             (names.len() - 1) as u16
                         }
                     }
@@ -101,8 +112,10 @@ pub fn parse_csv(text: &str) -> Result<ArrivalLog, TrafficError> {
         names.push("all".into());
     }
     // Stable sort: measured logs are usually ordered already, and equal
-    // instants keep their file order.
-    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrivals"));
+    // instants keep their file order. `total_cmp` is a total order, so
+    // there is no panic path here even if the finiteness validation
+    // above ever changes.
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
     let jobs = rows
         .into_iter()
         .enumerate()
@@ -187,5 +200,41 @@ mod tests {
         assert!(err.to_string().contains("16-bit tag space"), "{err}");
         assert!(parse_csv("0.0,-1.0\n").is_err());
         assert!(parse_csv("-1.0,0.1\n").is_err());
+    }
+
+    #[test]
+    fn non_finite_fields_are_errors_not_panics() {
+        // `NaN`/`inf` parse as valid f64s, so they must be caught by
+        // validation (never reaching the sort) rather than by a panic.
+        for text in ["NaN,0.1\n", "nan,0.1\n", "inf,0.1\n", "0.0,NaN\n", "0.0,-inf\n"] {
+            let err = parse_csv(text).unwrap_err();
+            assert!(err.to_string().contains("finite"), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn placeholder_names_alias_their_numeric_tags() {
+        // A backfilled placeholder (`class1`) is a real name: a later
+        // literal `class1` label maps to the same tag, as the old
+        // first-occurrence scan guaranteed.
+        let log = parse_csv("0.0,0.1,2\n1.0,0.2,class1\n").unwrap();
+        assert_eq!(log.stream.jobs()[1].class(), ClassId(1));
+        assert_eq!(log.class_names.len(), 3);
+    }
+
+    #[test]
+    fn class_table_stops_exactly_at_the_tag_space() {
+        // 65,536 distinct names fill the 16-bit tag space exactly...
+        let mut text = String::new();
+        for i in 0..=u16::MAX as u32 {
+            let _ = writeln!(text, "{i}.0,0.1,name{i}");
+        }
+        let log = parse_csv(&text).unwrap();
+        assert_eq!(log.class_names.len(), u16::MAX as usize + 1);
+        assert_eq!(log.stream.jobs().last().unwrap().class(), ClassId(u16::MAX));
+        // ...and the 65,537th is an error, not a wrapped tag.
+        let _ = writeln!(text, "70000.0,0.1,one-too-many");
+        let err = parse_csv(&text).unwrap_err();
+        assert!(err.to_string().contains("more classes"), "{err}");
     }
 }

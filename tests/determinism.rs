@@ -214,6 +214,13 @@ fn tagged_fleet_scenario_is_thread_count_invariant() {
         reference.total_jobs(),
         "class slices partition the fleet's jobs"
     );
+    // PR-6: the exact energy attribution is part of the invariance
+    // contract — both classes carry real active energy, and the active
+    // + idle line items reproduce the fleet total.
+    assert!(reference.classes().iter().all(|c| c.active_energy_joules > 0.0));
+    assert!(reference.active_energy_joules() > 0.0);
+    let line_items = reference.active_energy_joules() + reference.idle_energy_joules();
+    assert!((line_items - reference.energy_joules()).abs() <= 1e-9 * reference.energy_joules());
     assert_eq!(reference.cache_stats().evictions, 0, "invariance needs the no-eviction regime");
     for threads in [2, 3, 8] {
         let run = run_pinned(threads);
@@ -223,6 +230,18 @@ fn tagged_fleet_scenario_is_thread_count_invariant() {
             "threads={threads} diverged from the serial fleet (class slices included)"
         );
         assert_eq!(run.classes(), reference.classes(), "threads={threads} changed class slices");
+        // Byte-equality of the class-tagged energy slices and the
+        // fleet-level split, independent of worker count.
+        assert_eq!(
+            run.active_energy_joules().to_bits(),
+            reference.active_energy_joules().to_bits(),
+            "threads={threads} changed active-energy bytes"
+        );
+        let (a, b): (Vec<u64>, Vec<u64>) = (
+            run.classes().iter().map(|c| c.active_energy_joules.to_bits()).collect(),
+            reference.classes().iter().map(|c| c.active_energy_joules.to_bits()).collect(),
+        );
+        assert_eq!(a, b, "threads={threads} changed class-slice energy bytes");
     }
 }
 
