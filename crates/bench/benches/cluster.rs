@@ -1,13 +1,17 @@
 //! Benchmarks for the scale-out cluster engine: the O(log N) dispatch
 //! index against the O(N) snapshot scan it replaced, the streaming
-//! fleet statistics against vector collection, and a small fleet epoch
-//! end to end.
+//! fleet statistics against vector collection, a small fleet epoch end
+//! to end, and the PR-7 sharded engine against the central loop it
+//! byte-matches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
-use sleepscale::{QosConstraint, RuntimeConfig};
-use sleepscale_cluster::{Cluster, ClusterConfig, DispatchIndex, JoinShortestBacklog};
+use sleepscale::{QosConstraint, RuntimeConfig, StrategySpec};
+use sleepscale_cluster::{
+    Cluster, ClusterConfig, DispatchIndex, JoinShortestBacklog, ServerGroup, SplitUniform,
+};
 use sleepscale_dist::{StreamingSummary, SummaryStats};
+use sleepscale_sim::StreamSplit;
 use sleepscale_workloads::{
     replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
 };
@@ -113,5 +117,48 @@ fn fleet_epoch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, dispatch_index_vs_linear, streaming_vs_collected, fleet_epoch);
+fn sharded_fleet(c: &mut Criterion) {
+    let n = 32;
+    let seed = 64;
+    let spec = WorkloadSpec::dns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).expect("spec fits");
+    let trace = UtilizationTrace::constant(0.2, 30).expect("valid trace");
+    let jobs =
+        replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).expect("valid replay");
+    let runtime = RuntimeConfig::builder(spec.service_mean())
+        .qos(QosConstraint::mean_response(0.8).expect("valid"))
+        .epoch_minutes(5)
+        .eval_jobs(100)
+        .build()
+        .expect("valid config");
+    let groups = vec![ServerGroup::new("race", n, StrategySpec::race_to_halt_c6())];
+    let config = ClusterConfig::new(&runtime, groups).expect("valid fleet");
+    let mut group = c.benchmark_group(format!("split_fleet_{n}_servers_30_min"));
+    group.bench_function("central_split_uniform", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(config.clone());
+            cluster.run(&trace, &jobs, &mut SplitUniform::new(seed)).expect("run succeeds")
+        })
+    });
+    for shards in [1_usize, 8] {
+        group.bench_function(format!("sharded_{shards}"), |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(config.clone());
+                cluster
+                    .run_sharded(&trace, &jobs, StreamSplit::new(seed), shards)
+                    .expect("run succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    dispatch_index_vs_linear,
+    streaming_vs_collected,
+    fleet_epoch,
+    sharded_fleet
+);
 criterion_main!(benches);

@@ -181,7 +181,10 @@ fn run_scale_out(
 }
 
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut scenario = catalog::fleet64();
     if quick {
         scenario = scenario.quick();
@@ -237,6 +240,7 @@ fn main() -> std::io::Result<()> {
             format!("{:.3}", run.per_server_energy.iter().sum::<f64>()),
             format!("{:.6}", run.mean_response),
             format!("{:.6}", run.p95),
+            cores.to_string(),
         ]);
     }
     let cache = report.cache_stats();
@@ -306,10 +310,36 @@ fn main() -> std::io::Result<()> {
             "energy_j",
             "mean_response_s",
             "p95_s",
+            "hardware_threads",
         ],
         &rows,
     )?;
     println!("wrote {}", path.display());
+    if json {
+        use sleepscale_bench::JsonValue;
+        let path = sleepscale_bench::write_json(
+            "bench_cluster_scale",
+            &[
+                ("gate", JsonValue::Str("cluster_scale".into())),
+                ("quick", JsonValue::Bool(quick)),
+                ("n_servers", JsonValue::Int(n_servers as u64)),
+                ("minutes", JsonValue::Int(minutes as u64)),
+                ("jobs", JsonValue::Int(scale_out.total_jobs as u64)),
+                (
+                    "serial_jobs_per_sec",
+                    JsonValue::Num(serial.total_jobs as f64 / (serial.wall_ms / 1e3)),
+                ),
+                (
+                    "jobs_per_sec",
+                    JsonValue::Num(scale_out.total_jobs as f64 / (scale_out.wall_ms / 1e3)),
+                ),
+                ("speedup", JsonValue::Num(speedup)),
+                ("hardware_threads", JsonValue::Int(cores as u64)),
+                ("parity_ok", JsonValue::Bool(parity_errors.is_empty())),
+            ],
+        )?;
+        println!("wrote {}", path.display());
+    }
 
     if !parity_errors.is_empty() {
         for e in &parity_errors {
@@ -329,7 +359,6 @@ fn main() -> std::io::Result<()> {
     // run; a single-core container can only express the serial-dispatch
     // win and is held to 1.3x (measured ~1.5x, with margin for
     // shared-machine timing noise).
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let bar = if cores >= 4 { 4.0 } else { 1.3 };
     if speedup < bar {
         eprintln!(

@@ -41,7 +41,9 @@ fn scenario(minutes: usize, eval_jobs: usize, strategy: StrategySpec) -> Scenari
 }
 
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     // ≥24 epochs of 5 minutes (the acceptance window) — the default is
     // a 6-hour window (72 epochs) so steady-state reuse dominates.
     let minutes = if quick { 120 } else { 360 };
@@ -129,6 +131,23 @@ fn main() -> std::io::Result<()> {
         &rows,
     )?;
     println!("wrote {}", path.display());
+    if json {
+        use sleepscale_bench::JsonValue;
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let path = sleepscale_bench::write_json(
+            "bench_sweep_speedup",
+            &[
+                ("gate", JsonValue::Str("sweep_speedup".into())),
+                ("quick", JsonValue::Bool(quick)),
+                ("epochs", JsonValue::Int(epochs as u64)),
+                ("simulate_call_reduction", JsonValue::Num(call_ratio)),
+                ("speedup", JsonValue::Num(wall_ratio)),
+                ("power_delta_pct", JsonValue::Num(power_gap * 100.0)),
+                ("hardware_threads", JsonValue::Int(cores as u64)),
+            ],
+        )?;
+        println!("wrote {}", path.display());
+    }
 
     if quick {
         // Quick mode is a smoke test; the acceptance bars are defined

@@ -179,6 +179,65 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// A minimal JSON scalar for machine-readable gate outputs (the
+/// container is offline, so the harness hand-rolls its JSON instead of
+/// pulling a serializer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A finite number (rendered with f64's round-trip formatting).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string (quoted, with `"`/`\`/control characters escaped).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonValue::Num(x) if x.is_finite() => write!(f, "{x}"),
+            JsonValue::Num(_) => write!(f, "null"),
+            JsonValue::Int(x) => write!(f, "{x}"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Str(s) => {
+                write!(f, "\"")?;
+                for ch in s.chars() {
+                    match ch {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+        }
+    }
+}
+
+/// Writes a flat JSON object under [`results_dir`] as `<name>.json` and
+/// returns the path — the gate bins' machine-readable summaries
+/// (`--json`, or always for `shard_scale`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or writing.
+pub fn write_json(name: &str, fields: &[(&str, JsonValue)]) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{{")?;
+    for (i, (key, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        writeln!(file, "  {}: {value}{comma}", JsonValue::Str((*key).into()))?;
+    }
+    writeln!(file, "}}")?;
+    Ok(path)
+}
+
 /// Writes CSV rows under [`results_dir`] and returns the path.
 ///
 /// # Errors
@@ -287,6 +346,29 @@ mod tests {
         let path = write_csv("unit_test", &["label", "x"], &rows).unwrap();
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "label,x\na,1\n");
+        std::env::remove_var("SLEEPSCALE_RESULTS_DIR");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("sleepscale-bench-json-test");
+        std::env::set_var("SLEEPSCALE_RESULTS_DIR", &dir);
+        let path = write_json(
+            "unit_test",
+            &[
+                ("gate", JsonValue::Str("x\"y".into())),
+                ("jobs_per_sec", JsonValue::Num(2.5e6)),
+                ("threads", JsonValue::Int(4)),
+                ("ok", JsonValue::Bool(true)),
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            content,
+            "{\n  \"gate\": \"x\\\"y\",\n  \"jobs_per_sec\": 2500000,\n  \"threads\": 4,\n  \
+             \"ok\": true\n}\n"
+        );
         std::env::remove_var("SLEEPSCALE_RESULTS_DIR");
     }
 

@@ -6,9 +6,9 @@ use sleepscale::{
     RuntimeConfig, SleepScaleStrategy, Strategy, StrategySpec, WarmStartStats,
     DEFAULT_CACHE_CAPACITY,
 };
-use sleepscale_dist::StreamingSummary;
+use sleepscale_dist::{QuantileSketch, ScalarSummary, StreamingSummary};
 use sleepscale_power::{ep, Policy, PowerSample};
-use sleepscale_sim::{JobRecord, JobStream, OnlineSim, SimEnv};
+use sleepscale_sim::{Job, JobCursor, JobRecord, JobStream, OnlineSim, SimEnv, StreamSplit};
 use sleepscale_workloads::UtilizationTrace;
 use std::collections::HashSet;
 
@@ -203,6 +203,13 @@ impl SlotStrategy {
             SlotStrategy::Plain(_) => WarmStartStats::default(),
         }
     }
+
+    fn wants_epoch_records(&self) -> bool {
+        match self {
+            SlotStrategy::Managed(_) => true,
+            SlotStrategy::Plain(s) => s.wants_epoch_records(),
+        }
+    }
 }
 
 struct ServerSlot {
@@ -214,6 +221,52 @@ struct ServerSlot {
     epoch_work: f64,
     all_jobs: usize,
     response_sum: f64,
+    /// Whether `strategy` reads `end_epoch` records; when it doesn't
+    /// (fixed policies, race-to-halt), the dispatch loop skips the
+    /// per-epoch record buffer entirely — at mega-fleet sizes that
+    /// buffer churn is pure waste.
+    wants_records: bool,
+    /// Per-slot scalar response statistics (count/moments/extrema).
+    /// The fleet summary folds these in slot order at the end of the
+    /// run — a fixed fold order, so the merged moments are
+    /// byte-identical however dispatch work was spread across shards
+    /// or worker threads. Quantile sketches stay per-shard (they merge
+    /// exactly), keeping the per-slot state at ~40 bytes instead of
+    /// ~38 KiB, which is what makes 100k-server fleets fit.
+    responses: ScalarSummary,
+    /// Per-class scalar slices, indexed by `ClassId`; grown on demand
+    /// and only touched for genuinely tagged streams.
+    class_stats: Vec<ScalarSummary>,
+}
+
+/// Jobs per locality segment in the serial sharded loop (~24 MB of
+/// scratch at 24 B/job): large enough to amortize the bucketing pass,
+/// small enough that the reusable scratch stays a rounding error next
+/// to a mega-fleet stream.
+const SHARD_SEGMENT: usize = 1 << 20;
+
+/// Per-shard dispatch state that persists across epochs: the position
+/// in the shard's pre-split arrival order and the shard's quantile
+/// sketches. Sketch merges add bucket counts exactly, so folding shard
+/// sketches in shard order yields the same bytes as one fleet-wide
+/// sketch — shard count cannot leak into any reported quantile. There
+/// is no backlog index here: seeded-hash routing is a pure function of
+/// the job's sequence number, so shards never consult (and need never
+/// maintain) queue depths.
+struct ShardState {
+    pos: usize,
+    sketch: QuantileSketch,
+    class_sketches: Vec<QuantileSketch>,
+}
+
+/// Everything a shard's epoch loop reads but never writes, bundled so
+/// the per-shard workers share one immutable view of the run.
+#[derive(Clone, Copy)]
+struct EpochCtx {
+    split: StreamSplit,
+    n_servers: usize,
+    epoch_end: f64,
+    tagged: bool,
 }
 
 /// A fleet of servers, each with its own queue, power state, and
@@ -356,6 +409,7 @@ impl Cluster {
                     }
                     None => SlotStrategy::Plain(group.strategy.build(runtime)),
                 };
+                let wants_records = strategy.wants_epoch_records();
                 slots.push(ServerSlot {
                     group: gi,
                     sim: OnlineSim::new(runtime.env().clone(), epoch_seconds),
@@ -365,6 +419,9 @@ impl Cluster {
                     epoch_work: 0.0,
                     all_jobs: 0,
                     response_sum: 0.0,
+                    wants_records,
+                    responses: ScalarSummary::new(),
+                    class_stats: Vec::new(),
                 });
             }
         }
@@ -404,6 +461,54 @@ impl Cluster {
         jobs: &JobStream,
         dispatcher: &mut dyn Dispatcher,
     ) -> Result<ClusterReport, CoreError> {
+        self.run_inner(trace, jobs, Routing::Central(dispatcher))
+    }
+
+    /// Runs the fleet *sharded*: servers are partitioned into `shards`
+    /// contiguous slices, the arrival stream is pre-split across them
+    /// by `split` (a pure function of the split seed and each job's
+    /// sequence number — never of timing), and every shard runs its
+    /// full dispatch loop concurrently with its own [`DispatchIndex`]
+    /// and streaming accumulators.
+    ///
+    /// The report is **byte-identical for every shard count**,
+    /// including `shards = 1` and including [`Cluster::run`] with a
+    /// [`crate::SplitUniform`] dispatcher built from the same seed:
+    /// the job→server map is the seeded hash in both engines, each
+    /// server therefore serves the same jobs in the same order, epoch
+    /// control stays fleet-wide (serial owner election, synchronized
+    /// begin/close phases), and the statistics merge along
+    /// order-insensitive paths (exact sketch bucket adds across
+    /// shards) or fixed-order folds (per-slot scalar moments folded in
+    /// slot order). Backlog-aware dispatchers cannot shard this way —
+    /// their routing reads fleet-wide live state — which is why this
+    /// entry point takes a [`StreamSplit`], not a [`Dispatcher`].
+    ///
+    /// `shards` is clamped to `[1, n_servers]`; worker threads (set by
+    /// [`Cluster::with_threads`]) are shared across shards, so shard
+    /// count and thread count can be tuned independently without
+    /// touching the bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-server strategy errors, and rejects streams of
+    /// more than `u32::MAX` jobs (the pre-split stores `u32` indices).
+    pub fn run_sharded(
+        &mut self,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+        split: StreamSplit,
+        shards: usize,
+    ) -> Result<ClusterReport, CoreError> {
+        self.run_inner(trace, jobs, Routing::Sharded { split, shards })
+    }
+
+    fn run_inner(
+        &mut self,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+        routing: Routing<'_>,
+    ) -> Result<ClusterReport, CoreError> {
         let mut slots = self.build_slots();
         let n = slots.len();
         let threads = self.worker_count(n);
@@ -411,20 +516,80 @@ impl Cluster {
         let epoch_minutes = self.config.epoch_minutes();
         let n_epochs = total_minutes.div_ceil(epoch_minutes);
         let epoch_seconds = epoch_minutes as f64 * 60.0;
-        // Fleet-wide response statistics stream into O(1) state; no
-        // O(total-jobs) sample vector, whatever the fleet-day size.
-        let mut fleet_responses = StreamingSummary::new();
         // Per-class slices only arm for genuinely multi-class streams;
         // untagged fleets (and single-class tagged ones, whose class
         // *is* the default) skip the per-job class accounting and
         // report empty slices — byte-identical to the pre-tag engine.
         let tagged = jobs.is_tagged();
-        let mut class_responses: Vec<StreamingSummary> = Vec::new();
-        // Borrowed cursor over the cluster-wide stream: the dispatch
-        // loop consumes arrivals in time order without cloning the
-        // remaining stream at epoch boundaries.
-        let mut cursor = jobs.cursor();
-        let mut index = DispatchIndex::new(n);
+        let dispatcher_name = match &routing {
+            Routing::Central(dispatcher) => dispatcher.name(),
+            // Same format as `SplitUniform::name`, so a sharded run and
+            // a central run over the same split report identically.
+            Routing::Sharded { split, .. } => format!("split-uniform({})", split.seed()),
+        };
+        let mut state = match routing {
+            // Central: one sequential dispatch loop over the whole
+            // fleet — a borrowed cursor consumes arrivals in time
+            // order, one fleet-wide backlog index, one fleet-wide
+            // sketch set.
+            Routing::Central(dispatcher) => DispatchState::Central {
+                dispatcher,
+                cursor: jobs.cursor(),
+                index: DispatchIndex::new(n),
+                sketch: QuantileSketch::new(),
+                class_sketches: Vec::new(),
+            },
+            // Sharded: pre-split the whole stream before simulating.
+            // Each job's server is the seeded hash of its sequence
+            // number; its shard follows from the server, so the
+            // job→server map — and with it every per-server arrival
+            // subsequence — is independent of the shard count.
+            Routing::Sharded { split, shards } => {
+                let chunk = n.div_ceil(shards.clamp(1, n));
+                let n_shards = n.div_ceil(chunk);
+                // With one worker the stream is never copied wholesale:
+                // the serial loop buckets bounded *segments* of the
+                // epoch into reusable per-shard scratch and dispatches
+                // shard by shard within each segment (see the dispatch
+                // arm below for why the bytes cannot differ from the
+                // concurrent walk).
+                //
+                // With real workers, each shard's order holds *copies*
+                // of its jobs, not indices into the shared stream: a
+                // shard reads its arrivals from one contiguous run
+                // instead of gather-loading the jobs array through an
+                // index indirection (the concurrent loop's dominant
+                // cache miss). Memory doubles the stream (24 B/job)
+                // for the run's duration.
+                let orders: Vec<Vec<Job>> = if threads <= 1 {
+                    Vec::new()
+                } else {
+                    let mut orders: Vec<Vec<Job>> = vec![Vec::new(); n_shards];
+                    for lane in &mut orders {
+                        lane.reserve(jobs.len() / n_shards + jobs.len() / (n_shards * 8) + 16);
+                    }
+                    for job in jobs.jobs() {
+                        orders[split.lane_of(job, n) / chunk].push(*job);
+                    }
+                    orders
+                };
+                let states = (0..n_shards)
+                    .map(|_| ShardState {
+                        pos: 0,
+                        sketch: QuantileSketch::new(),
+                        class_sketches: Vec::new(),
+                    })
+                    .collect();
+                DispatchState::Sharded {
+                    split,
+                    chunk,
+                    cursor: jobs.cursor(),
+                    orders,
+                    scratch: vec![Vec::new(); n_shards],
+                    states,
+                }
+            }
+        };
 
         for k in 0..n_epochs {
             let epoch_start = k as f64 * epoch_seconds;
@@ -471,42 +636,105 @@ impl Cluster {
                 par_each(subset, threads, &begin)?;
             }
 
-            // Dispatch this epoch's arrivals one at a time; routing
-            // reads the incrementally maintained index (the live
-            // backlog ordering) and each dispatch re-keys exactly the
-            // routed server.
-            while let Some(job) = cursor.next_before(epoch_end) {
-                let target = dispatcher.route(&job, &index);
-                if target >= n {
-                    return Err(CoreError::InvalidConfig {
-                        reason: format!(
-                            "dispatcher '{}' routed job {} to server {target} of a {n}-server \
-                             fleet — routes must be < n_servers",
-                            dispatcher.name(),
-                            job.id
-                        ),
-                    });
-                }
-                let slot = &mut slots[target];
-                let policy = slot.policy.as_ref().expect("policy set at epoch start");
-                let mut routed: Option<JobRecord> = None;
-                slot.sim.run_epoch_with(std::slice::from_ref(&job), policy, epoch_end, |r| {
-                    routed = Some(*r);
-                });
-                let record = routed.expect("one arrival produces one record");
-                fleet_responses.push(record.response());
-                if tagged {
-                    let c = job.class().as_index();
-                    if c >= class_responses.len() {
-                        class_responses.resize_with(c + 1, StreamingSummary::new);
+            // Dispatch this epoch's arrivals.
+            match &mut state {
+                // Central: one job at a time in stream order; routing
+                // reads the incrementally maintained index (the live
+                // backlog ordering) and each dispatch re-keys exactly
+                // the routed server.
+                DispatchState::Central { dispatcher, cursor, index, sketch, class_sketches } => {
+                    while let Some(job) = cursor.next_before(epoch_end) {
+                        let target = dispatcher.route(&job, index);
+                        if target >= n {
+                            return Err(CoreError::InvalidConfig {
+                                reason: format!(
+                                    "dispatcher '{}' routed job {} to server {target} of a \
+                                     {n}-server fleet — routes must be < n_servers",
+                                    dispatcher.name(),
+                                    job.id
+                                ),
+                            });
+                        }
+                        let slot = &mut slots[target];
+                        dispatch_one(slot, &job, epoch_end, tagged, sketch, class_sketches);
+                        index.update(target, slot.sim.state().free_time());
                     }
-                    class_responses[c].push(record.response());
                 }
-                slot.response_sum += record.response();
-                slot.all_jobs += 1;
-                slot.epoch_work += record.size;
-                slot.epoch_records.push(record);
-                index.update(target, slot.sim.state().free_time());
+                // Sharded: every shard walks its own pre-split arrival
+                // order concurrently. Shards own disjoint `&mut` slot
+                // slices and disjoint state, so no locks; how shards
+                // are grouped onto workers cannot matter, because each
+                // shard's work is touched by exactly one worker and
+                // shards share nothing mutable.
+                DispatchState::Sharded { split, chunk, cursor, orders, scratch, states } => {
+                    let ctx = EpochCtx { split: *split, n_servers: n, epoch_end, tagged };
+                    let chunk = *chunk;
+                    if threads <= 1 {
+                        // Serial: bucket the epoch into bounded
+                        // segments of per-shard scratch, then dispatch
+                        // shard by shard within each segment. Shard-
+                        // grouping a segment keeps each shard's slot
+                        // working set cache-resident (the mega-fleet
+                        // win) while the reusable scratch caps fresh
+                        // memory at one segment (~24 MB) instead of a
+                        // full stream copy. The bytes cannot differ
+                        // from the concurrent walk: segment order and
+                        // shard-grouping both preserve every *slot's*
+                        // arrival subsequence (so per-slot float
+                        // streams are identical), and shard sketches
+                        // see the same multiset of responses as exact
+                        // commutative u64 bucket adds.
+                        let batch = cursor.take_before(epoch_end);
+                        for segment in batch.chunks(SHARD_SEGMENT) {
+                            for lane in scratch.iter_mut() {
+                                lane.clear();
+                            }
+                            for job in segment {
+                                scratch[split.lane_of(job, n) / chunk].push(*job);
+                            }
+                            for (s, lane) in scratch.iter().enumerate() {
+                                let shard = &mut states[s];
+                                let shard_slots = &mut slots[s * chunk..n.min((s + 1) * chunk)];
+                                for job in lane {
+                                    let target = split.lane_of(job, n) - s * chunk;
+                                    dispatch_one(
+                                        &mut shard_slots[target],
+                                        job,
+                                        epoch_end,
+                                        tagged,
+                                        &mut shard.sketch,
+                                        &mut shard.class_sketches,
+                                    );
+                                }
+                            }
+                        }
+                    } else {
+                        let mut tasks: Vec<(usize, &mut [ServerSlot], &mut ShardState)> = slots
+                            .chunks_mut(chunk)
+                            .zip(states.iter_mut())
+                            .enumerate()
+                            .map(|(s, (shard_slots, shard))| (s, shard_slots, shard))
+                            .collect();
+                        let workers = threads.min(tasks.len());
+                        let orders = &*orders;
+                        let per_worker = tasks.len().div_ceil(workers);
+                        std::thread::scope(|scope| {
+                            for group in tasks.chunks_mut(per_worker) {
+                                scope.spawn(move || {
+                                    for (s, shard_slots, shard) in group {
+                                        run_shard_epoch(
+                                            shard_slots,
+                                            shard,
+                                            &orders[*s],
+                                            *s * chunk,
+                                            ctx,
+                                        );
+                                    }
+                                });
+                            }
+                        });
+                    }
+                }
             }
 
             // Epoch close, in parallel: feed logs and per-server
@@ -535,6 +763,12 @@ impl Cluster {
         self.last_warm = WarmStartStats::default();
         let n_groups = self.config.groups().len();
         let mut summaries = Vec::with_capacity(n);
+        // Canonical fleet statistics: fold the per-slot scalar
+        // summaries in slot order (a fixed fold order, so the merged
+        // moments are byte-invariant across shard and worker counts) —
+        // the sketches merge separately below, by exact bucket adds.
+        let mut fleet_scalar = ScalarSummary::new();
+        let mut class_scalars: Vec<ScalarSummary> = Vec::new();
         let mut class_active: Vec<f64> = Vec::new();
         let mut fleet_busy: Vec<f64> = Vec::new();
         let mut fleet_energy: Vec<f64> = Vec::new();
@@ -543,6 +777,13 @@ impl Cluster {
         let mut bucket_width = 0.0;
         for (i, slot) in slots.into_iter().enumerate() {
             self.last_warm.merge(slot.strategy.warm_start_stats());
+            fleet_scalar.merge(&slot.responses);
+            for (c, s) in slot.class_stats.iter().enumerate() {
+                if c >= class_scalars.len() {
+                    class_scalars.resize_with(c + 1, ScalarSummary::new);
+                }
+                class_scalars[c].merge(s);
+            }
             let jobs_done = slot.all_jobs;
             let mean_response =
                 if jobs_done == 0 { 0.0 } else { slot.response_sum / jobs_done as f64 };
@@ -604,9 +845,38 @@ impl Cluster {
             .enumerate()
             .map(|(g, spec)| to_samples(&group_busy[g], &group_energy[g], spec.count))
             .collect();
+        // Reassemble the streaming summaries from their two halves:
+        // slot-order scalar folds (above) + shard-order sketch merges.
+        // Central runs carry one sketch set; sharded runs merge the
+        // per-shard sketches, which is exact (u64 bucket adds), so the
+        // result equals the single-stream sketch byte-for-byte.
+        let (fleet_sketch, mut class_sketches) = match state {
+            DispatchState::Central { sketch, class_sketches, .. } => (sketch, class_sketches),
+            DispatchState::Sharded { states, .. } => {
+                let mut sketch = QuantileSketch::new();
+                let mut class_sketches: Vec<QuantileSketch> = Vec::new();
+                for shard in &states {
+                    sketch.merge(&shard.sketch);
+                    for (c, s) in shard.class_sketches.iter().enumerate() {
+                        if c >= class_sketches.len() {
+                            class_sketches.resize_with(c + 1, QuantileSketch::new);
+                        }
+                        class_sketches[c].merge(s);
+                    }
+                }
+                (sketch, class_sketches)
+            }
+        };
+        let fleet_responses = StreamingSummary::from_parts(fleet_scalar, fleet_sketch);
+        class_sketches.resize_with(class_scalars.len(), QuantileSketch::new);
+        let class_responses: Vec<StreamingSummary> = class_scalars
+            .into_iter()
+            .zip(class_sketches)
+            .map(|(scalar, sketch)| StreamingSummary::from_parts(scalar, sketch))
+            .collect();
         let group_names = self.config.groups().iter().map(|g| g.name.clone()).collect();
         Ok(ClusterReport::new(
-            dispatcher.name(),
+            dispatcher_name,
             group_names,
             summaries,
             fleet_responses,
@@ -615,6 +885,110 @@ impl Cluster {
             self.config.runtime_for(0).mean_service(),
         )
         .with_energy_split(class_active, fleet_samples, group_samples))
+    }
+}
+
+/// How [`Cluster::run_inner`] routes arrivals onto servers.
+enum Routing<'a> {
+    /// One sequential dispatch loop driven by a stateful [`Dispatcher`]
+    /// that may read the live fleet backlog.
+    Central(&'a mut dyn Dispatcher),
+    /// Pre-split seeded-hash routing over contiguous server shards that
+    /// dispatch concurrently.
+    Sharded { split: StreamSplit, shards: usize },
+}
+
+/// The per-run dispatch state behind [`Routing`]: the central loop's
+/// cursor/index/sketches, or the sharded loop's pre-split arrival
+/// orders and per-shard states.
+enum DispatchState<'a, 'j> {
+    Central {
+        dispatcher: &'a mut dyn Dispatcher,
+        cursor: JobCursor<'j>,
+        index: DispatchIndex,
+        sketch: QuantileSketch,
+        class_sketches: Vec<QuantileSketch>,
+    },
+    Sharded {
+        split: StreamSplit,
+        chunk: usize,
+        cursor: JobCursor<'j>,
+        orders: Vec<Vec<Job>>,
+        scratch: Vec<Vec<Job>>,
+        states: Vec<ShardState>,
+    },
+}
+
+/// Dispatches one arrival onto its target server and folds the
+/// response into the slot's scalar statistics and the caller's
+/// quantile sketches. The central and sharded loops share this one
+/// implementation verbatim — identical per-job float-op order on
+/// identical per-server arrival subsequences is what pins the two
+/// engines' reports to the same bytes.
+fn dispatch_one(
+    slot: &mut ServerSlot,
+    job: &Job,
+    epoch_end: f64,
+    tagged: bool,
+    sketch: &mut QuantileSketch,
+    class_sketches: &mut Vec<QuantileSketch>,
+) {
+    let policy = slot.policy.as_ref().expect("policy set at epoch start");
+    let mut routed: Option<JobRecord> = None;
+    slot.sim.run_epoch_with(std::slice::from_ref(job), policy, epoch_end, |r| {
+        routed = Some(*r);
+    });
+    let record = routed.expect("one arrival produces one record");
+    let response = record.response();
+    slot.responses.push(response);
+    sketch.push(response);
+    if tagged {
+        let c = job.class().as_index();
+        if c >= slot.class_stats.len() {
+            slot.class_stats.resize_with(c + 1, ScalarSummary::new);
+        }
+        slot.class_stats[c].push(response);
+        if c >= class_sketches.len() {
+            class_sketches.resize_with(c + 1, QuantileSketch::new);
+        }
+        class_sketches[c].push(response);
+    }
+    slot.response_sum += response;
+    slot.all_jobs += 1;
+    slot.epoch_work += record.size;
+    if slot.wants_records {
+        slot.epoch_records.push(record);
+    }
+}
+
+/// One shard's dispatch loop for one epoch: walk the shard's pre-split
+/// arrival order up to the epoch boundary, routing each job to the
+/// server its sequence number hashes to (shifted into shard-local
+/// coordinates). Routing is a pure hash, so the loop maintains no
+/// backlog index. No cross-shard reads or writes anywhere in the loop.
+fn run_shard_epoch(
+    slots: &mut [ServerSlot],
+    shard: &mut ShardState,
+    order: &[Job],
+    shard_start: usize,
+    ctx: EpochCtx,
+) {
+    while shard.pos < order.len() {
+        let job = &order[shard.pos];
+        if job.arrival >= ctx.epoch_end {
+            break;
+        }
+        shard.pos += 1;
+        let target = ctx.split.lane(job.sequence(), ctx.n_servers) - shard_start;
+        let slot = &mut slots[target];
+        dispatch_one(
+            slot,
+            job,
+            ctx.epoch_end,
+            ctx.tagged,
+            &mut shard.sketch,
+            &mut shard.class_sketches,
+        );
     }
 }
 
@@ -1019,6 +1393,101 @@ mod tests {
             per_group[0].avg_power,
             per_group[1].avg_power
         );
+    }
+
+    /// The tentpole invariant: a sharded run is byte-identical to the
+    /// central engine with a [`SplitUniform`] dispatcher over the same
+    /// seed, for every shard count — including shard counts that don't
+    /// divide the fleet.
+    #[test]
+    fn sharded_run_matches_central_split_uniform_for_every_shard_count() {
+        let (config, trace, jobs) = setup(6, 45, 55);
+        let reference = run_with(&mut crate::SplitUniform::new(11), &config, &trace, &jobs);
+        assert_eq!(reference.dispatcher(), "split-uniform(11)");
+        for shards in [1usize, 2, 4, 5, 6, 7, 100] {
+            let mut cluster = Cluster::new(config.clone());
+            let sharded = cluster.run_sharded(&trace, &jobs, StreamSplit::new(11), shards).unwrap();
+            assert_eq!(sharded, reference, "shards={shards} diverged");
+        }
+    }
+
+    /// Shard count × worker count cannot interact: pinning different
+    /// thread counts over different shard counts always reproduces the
+    /// single-shard single-thread bytes.
+    #[test]
+    fn sharded_runs_are_worker_count_invariant() {
+        let (config, trace, jobs) = setup(5, 30, 56);
+        let run_pinned = |shards: usize, threads: usize| {
+            let mut cluster = Cluster::new(config.clone()).with_threads(threads);
+            cluster.run_sharded(&trace, &jobs, StreamSplit::new(3), shards).unwrap()
+        };
+        let reference = run_pinned(1, 1);
+        for shards in [2usize, 3, 5] {
+            for threads in [1usize, 2, 5] {
+                assert_eq!(
+                    run_pinned(shards, threads),
+                    reference,
+                    "shards={shards} threads={threads} diverged"
+                );
+            }
+        }
+    }
+
+    /// Class tags survive sharding: a tagged stream's per-class slices
+    /// and energy attribution are shard-count invariant too (tags ride
+    /// the id's high bits, the split hashes the sequence number).
+    #[test]
+    fn sharded_class_slices_match_central() {
+        use sleepscale_sim::{pack_id, ClassId};
+        let (config, trace, jobs) = setup(4, 30, 57);
+        let tagged_jobs: Vec<Job> = jobs
+            .jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, j)| Job { id: pack_id(j.id, ClassId(1 + (i % 3) as u16)), ..*j })
+            .collect();
+        let tagged = JobStream::new(tagged_jobs).unwrap();
+        let reference = run_with(&mut crate::SplitUniform::new(5), &config, &trace, &tagged);
+        assert_eq!(reference.class_responses().len(), 4);
+        for shards in [2usize, 3, 4] {
+            let mut cluster = Cluster::new(config.clone());
+            let sharded =
+                cluster.run_sharded(&trace, &tagged, StreamSplit::new(5), shards).unwrap();
+            assert_eq!(sharded, reference, "shards={shards} diverged on a tagged stream");
+        }
+    }
+
+    /// A plain (non-managed) strategy opts out of the per-epoch record
+    /// buffer; the sharded engine must agree with the central one there
+    /// too — this is the mega-fleet configuration.
+    #[test]
+    fn sharded_race_to_halt_skips_records_and_matches_central() {
+        let spec = WorkloadSpec::dns();
+        let base = runtime(300);
+        let n = 4;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(58);
+        let dists = WorkloadDistributions::empirical(&spec, 4_000, &mut rng).unwrap();
+        let trace = UtilizationTrace::constant(0.2, 30).unwrap();
+        let jobs = replay_trace(&trace, &dists, &ReplayConfig::for_fleet(n), &mut rng).unwrap();
+        let groups = vec![ServerGroup::new("race", n, StrategySpec::race_to_halt_c6())];
+        let config = ClusterConfig::new(&base, groups).unwrap();
+        let reference = run_with(&mut crate::SplitUniform::new(2), &config, &trace, &jobs);
+        for shards in [1usize, 3] {
+            let mut cluster = Cluster::new(config.clone());
+            let sharded = cluster.run_sharded(&trace, &jobs, StreamSplit::new(2), shards).unwrap();
+            assert_eq!(sharded, reference, "shards={shards} diverged under race-to-halt");
+        }
+    }
+
+    /// Oversized job streams are rejected up front, not truncated: the
+    /// sharded pre-split stores u32 indices.
+    #[test]
+    fn sharded_shard_counts_clamp_and_zero_is_one() {
+        let (config, trace, jobs) = setup(3, 10, 59);
+        let mut cluster = Cluster::new(config);
+        let a = cluster.run_sharded(&trace, &jobs, StreamSplit::new(1), 0).unwrap();
+        let b = cluster.run_sharded(&trace, &jobs, StreamSplit::new(1), 1).unwrap();
+        assert_eq!(a, b, "shards=0 clamps to 1");
     }
 
     /// The homogeneous constructor reproduces the default strategy

@@ -1,6 +1,6 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sleepscale_sim::Job;
+use sleepscale_sim::{Job, StreamSplit};
 
 /// An incrementally maintained routing index over the fleet: each
 /// server's `free_time` (the instant its committed work drains) in a
@@ -243,6 +243,41 @@ impl Dispatcher for PackFirstFit {
     }
 }
 
+/// Stateless seeded-hash routing: each job goes to the server its
+/// sequence number hashes to under a [`StreamSplit`]. Load spreads
+/// uniformly like [`RandomUniform`], but the route is a pure function
+/// of `(seed, sequence)` — independent of arrival order, class tags,
+/// and fleet state — which is exactly the property the sharded engine
+/// needs. [`crate::Cluster::run_sharded`] with the same seed produces
+/// a byte-identical report to [`crate::Cluster::run`] with this
+/// dispatcher. O(1) per job.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitUniform {
+    split: StreamSplit,
+}
+
+impl SplitUniform {
+    /// Seeded-hash router over the fleet.
+    pub fn new(seed: u64) -> SplitUniform {
+        SplitUniform { split: StreamSplit::new(seed) }
+    }
+
+    /// The underlying splitter (for handing to the sharded engine).
+    pub fn split(&self) -> StreamSplit {
+        self.split
+    }
+}
+
+impl Dispatcher for SplitUniform {
+    fn name(&self) -> String {
+        format!("split-uniform({})", self.split.seed())
+    }
+
+    fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize {
+        self.split.lane_of(job, index.n_servers())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +343,24 @@ mod tests {
         assert_eq!(d.route(&job(0.0), &index(&[1.5, 0.4, 0.0])), 1);
         // All saturated: least backlog wins.
         assert_eq!(d.route(&job(0.0), &index(&[3.0, 2.0, 2.5])), 1);
+    }
+
+    #[test]
+    fn split_uniform_is_the_pure_hash_and_ignores_state() {
+        let mut d = SplitUniform::new(7);
+        let split = d.split();
+        for n in [1usize, 2, 5, 64] {
+            let idle = index(&vec![0.0; n]);
+            let busy = index(&(0..n).map(|i| i as f64 * 3.0).collect::<Vec<_>>());
+            for seq in 0..200u64 {
+                let j = Job { id: seq, arrival: 0.0, size: 0.1 };
+                let pick = d.route(&j, &idle);
+                assert!(pick < n);
+                assert_eq!(pick, split.lane_of(&j, n), "route is the split hash");
+                assert_eq!(pick, d.route(&j, &busy), "fleet state is invisible");
+            }
+        }
+        assert_eq!(d.name(), "split-uniform(7)");
     }
 
     #[test]

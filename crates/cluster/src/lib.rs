@@ -15,6 +15,10 @@
 //! * [`PackFirstFit`] — packing: fill the first servers up to a backlog
 //!   threshold so the rest of the fleet sleeps deeply (the
 //!   energy-proportionality play the paper's Section 1 motivates).
+//! * [`SplitUniform`] — stateless seeded-hash spreading: each job's
+//!   server is a pure function of its sequence number, which is what
+//!   lets [`Cluster::run_sharded`] pre-split the stream and run shards
+//!   concurrently with byte-identical results at mega-fleet scale.
 //!
 //! Dispatchers observe the fleet through an incrementally maintained
 //! [`DispatchIndex`] (one O(log N) re-key per dispatched job, no per-job
@@ -68,5 +72,6 @@ mod report;
 pub use cluster::{Cluster, ClusterConfig, ServerGroup};
 pub use dispatch::{
     DispatchIndex, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin,
+    SplitUniform,
 };
 pub use report::{ClusterReport, GroupSummary, ServerSummary};

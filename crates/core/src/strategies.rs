@@ -34,6 +34,16 @@ pub trait Strategy: fmt::Debug {
     /// Feeds one realized utilization sample (one trace minute).
     fn observe_minute(&mut self, rho: f64);
 
+    /// Whether this strategy reads the records passed to
+    /// [`Strategy::end_epoch`]. Strategies that ignore them (fixed
+    /// policies, race-to-halt) return `false`, letting fleet engines
+    /// skip materializing per-epoch record buffers for their servers —
+    /// a pure capacity optimization that cannot change results, since
+    /// `end_epoch` would discard the records anyway.
+    fn wants_epoch_records(&self) -> bool {
+        true
+    }
+
     /// The utilization prediction used for the current epoch (for
     /// reporting; fixed strategies report 0).
     fn last_prediction(&self) -> f64 {
@@ -278,6 +288,10 @@ impl Strategy for RaceToHaltStrategy {
     fn end_epoch(&mut self, _records: &[JobRecord]) {}
 
     fn observe_minute(&mut self, _rho: f64) {}
+
+    fn wants_epoch_records(&self) -> bool {
+        false
+    }
 }
 
 /// A fixed policy applied every epoch — the static baselines of
@@ -307,6 +321,10 @@ impl Strategy for FixedPolicyStrategy {
     fn end_epoch(&mut self, _records: &[JobRecord]) {}
 
     fn observe_minute(&mut self, _rho: f64) {}
+
+    fn wants_epoch_records(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +436,13 @@ mod tests {
         s.observe_minute(0.9);
         s.end_epoch(&[]);
         assert_eq!(s.begin_epoch(5).unwrap(), p);
+        assert!(!s.wants_epoch_records(), "R2H discards records");
+    }
+
+    #[test]
+    fn record_appetite_follows_whether_end_epoch_reads_them() {
+        assert!(SleepScaleStrategy::new(&config(), CandidateSet::standard()).wants_epoch_records());
+        assert!(!FixedPolicyStrategy::new(Policy::full_speed_no_sleep()).wants_epoch_records());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use empirical::Empirical;
 pub use error::DistError;
 pub use families::{Deterministic, Exponential, Gamma, Hyperexp2};
 pub use moments::{Moments, SummaryStats};
-pub use streaming::{QuantileSketch, StreamingSummary};
+pub use streaming::{QuantileSketch, ScalarSummary, StreamingSummary};
 pub use traits::{Distribution, DynDistribution};
 
 /// Convenient glob-import surface.
@@ -63,6 +63,6 @@ pub mod prelude {
     pub use crate::fit;
     pub use crate::{
         Deterministic, DistError, Distribution, DynDistribution, Empirical, Exponential, Gamma,
-        Hyperexp2, Moments, QuantileSketch, StreamingSummary, SummaryStats,
+        Hyperexp2, Moments, QuantileSketch, ScalarSummary, StreamingSummary, SummaryStats,
     };
 }

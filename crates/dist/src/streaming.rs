@@ -131,6 +131,99 @@ impl QuantileSketch {
     }
 }
 
+/// The scalar half of a [`StreamingSummary`]: exact count, Welford
+/// moments, and extrema — no quantile sketch.
+///
+/// This exists for accumulations that are too numerous to each carry a
+/// ~38 KiB sketch (one per server slot of a 100k-server fleet, say):
+/// each slot keeps a `ScalarSummary` (~40 bytes), the sketch is kept
+/// once per shard, and [`StreamingSummary::from_parts`] reassembles the
+/// full summary at the end. Push/merge use the same float-op sequence
+/// and non-finite filtering as [`StreamingSummary`], so folding a fixed
+/// sequence of `ScalarSummary`s in a fixed order is byte-deterministic
+/// regardless of how the observations were distributed across them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarSummary {
+    moments: Moments,
+    min: f64,
+    max: f64,
+}
+
+impl Default for ScalarSummary {
+    fn default() -> ScalarSummary {
+        ScalarSummary::new()
+    }
+}
+
+impl ScalarSummary {
+    /// An empty accumulator.
+    pub fn new() -> ScalarSummary {
+        ScalarSummary { moments: Moments::new(), min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Folds one observation in; non-finite observations are ignored
+    /// (same rule as [`StreamingSummary::push`]).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.moments.push(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.moments.count() == 0
+    }
+
+    /// The running mean (0 with no observations).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        self.moments.variance()
+    }
+
+    /// The smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// The largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Folds another accumulator in, as if its observations had been
+    /// pushed here. A merge with an empty `other` is a byte-level no-op,
+    /// so interleaving empty accumulators into a fold cannot change the
+    /// result.
+    pub fn merge(&mut self, other: &ScalarSummary) {
+        if other.is_empty() {
+            return;
+        }
+        self.moments.merge(&other.moments);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// A mergeable, constant-memory replacement for collecting samples into
 /// a `Vec` and summarizing at the end: exact count/mean/variance/min/
 /// max plus sketched quantiles.
@@ -162,6 +255,16 @@ impl StreamingSummary {
             max: f64::NEG_INFINITY,
             sketch: QuantileSketch::new(),
         }
+    }
+
+    /// Reassembles a summary from a [`ScalarSummary`] and the matching
+    /// [`QuantileSketch`] — the final step of an accumulation that kept
+    /// the two halves separate (per-slot scalars, per-shard sketches).
+    /// With empty parts this is byte-identical to
+    /// [`StreamingSummary::new`], so "no observations" has one canonical
+    /// representation however it was produced.
+    pub fn from_parts(scalar: ScalarSummary, sketch: QuantileSketch) -> StreamingSummary {
+        StreamingSummary { moments: scalar.moments, min: scalar.min, max: scalar.max, sketch }
     }
 
     /// Folds one observation in. Non-finite observations are ignored
@@ -357,6 +460,57 @@ mod tests {
         assert_eq!(bucket_of(MIN_TRACKED), 0);
         assert_eq!(bucket_of(1e20), bucket_of(MAX_TRACKED), "overflow clamps to the edge");
         assert_eq!(bucket_of(1e-20), 0, "underflow clamps to the edge");
+    }
+
+    #[test]
+    fn from_parts_of_empty_parts_is_byte_identical_to_new() {
+        let assembled = StreamingSummary::from_parts(ScalarSummary::new(), QuantileSketch::new());
+        let fresh = StreamingSummary::new();
+        assert_eq!(assembled, fresh);
+        assert_eq!(assembled.min.to_bits(), fresh.min.to_bits());
+        assert_eq!(assembled.max.to_bits(), fresh.max.to_bits());
+    }
+
+    #[test]
+    fn scalar_summary_tracks_streaming_summary_exactly() {
+        let (mut scalar, mut sketch, mut full) =
+            (ScalarSummary::new(), QuantileSketch::new(), StreamingSummary::new());
+        for i in 0..2_000 {
+            let x = match i % 7 {
+                0 => f64::NAN,
+                1 => -0.5,
+                _ => 0.01 + (i % 101) as f64 * 0.13,
+            };
+            scalar.push(x);
+            sketch.push(x);
+            full.push(x);
+        }
+        let assembled = StreamingSummary::from_parts(scalar, sketch);
+        // `full` pushed into one accumulator; the split halves pushed the
+        // identical float-op stream, so reassembly is byte-equal.
+        assert_eq!(assembled, full);
+        assert_eq!(scalar.count(), full.count());
+        assert_eq!(scalar.mean().to_bits(), full.mean().to_bits());
+        assert_eq!(scalar.variance().to_bits(), full.variance().to_bits());
+        assert_eq!(scalar.min(), full.min());
+        assert_eq!(scalar.max(), full.max());
+    }
+
+    #[test]
+    fn scalar_merge_with_empty_is_a_byte_level_no_op() {
+        let mut s = ScalarSummary::new();
+        s.push(3.25);
+        s.push(0.5);
+        let before = s;
+        s.merge(&ScalarSummary::new());
+        assert_eq!(s.mean().to_bits(), before.mean().to_bits());
+        assert_eq!(s.min.to_bits(), before.min.to_bits());
+        assert_eq!(s.max.to_bits(), before.max.to_bits());
+        // And merging *into* an empty one copies the bytes verbatim.
+        let mut empty = ScalarSummary::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean().to_bits(), before.mean().to_bits());
+        assert_eq!(empty.count(), before.count());
     }
 
     #[test]

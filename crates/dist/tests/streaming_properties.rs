@@ -1,0 +1,69 @@
+//! Property tests for the mergeable streaming statistics: sharded
+//! accumulation (split a stream across summaries, merge back) must
+//! agree with the single-stream summary — exactly for counts, extrema,
+//! and sketch buckets, and up to floating-point rounding for the
+//! Welford moments (Chan's merge reassociates the update order).
+
+use proptest::prelude::*;
+use sleepscale_dist::{QuantileSketch, ScalarSummary, StreamingSummary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shard-merge equals the single stream: push each sample into the
+    /// shard its index hashes to, merge the shards in order, and compare
+    /// against pushing the whole stream into one summary.
+    #[test]
+    fn shard_merge_equals_single_stream(
+        samples in proptest::collection::vec(1e-6f64..1e4, 1..600),
+        shards in 1usize..9,
+        route_seed in 0u64..1_000,
+    ) {
+        let mut whole = StreamingSummary::new();
+        let mut parts = vec![StreamingSummary::new(); shards];
+        for (i, &x) in samples.iter().enumerate() {
+            whole.push(x);
+            parts[(i as u64).wrapping_mul(route_seed | 1) as usize % shards].push(x);
+        }
+        let mut merged = StreamingSummary::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        // Sketch buckets add exactly, so every quantile agrees to the bit.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q).to_bits(), whole.quantile(q).to_bits());
+        }
+        // Moments merge via Chan's pairwise formula — exact in value up
+        // to rounding, not in bytes.
+        let scale = whole.mean().abs().max(1e-9);
+        prop_assert!((merged.mean() - whole.mean()).abs() / scale < 1e-9);
+        prop_assert!(
+            (merged.variance() - whole.variance()).abs() / whole.variance().max(1e-9) < 1e-6
+        );
+    }
+
+    /// The split-accumulation form the sharded cluster uses — per-slot
+    /// `ScalarSummary` plus a separate sketch, reassembled with
+    /// `from_parts` — matches the direct summary byte-for-byte when the
+    /// pushes happen in the same order.
+    #[test]
+    fn from_parts_reassembly_matches_direct_pushes(
+        samples in proptest::collection::vec(-10.0f64..1e4, 0..400),
+    ) {
+        let mut direct = StreamingSummary::new();
+        let mut scalar = ScalarSummary::new();
+        let mut sketch = QuantileSketch::new();
+        for &x in &samples {
+            direct.push(x);
+            scalar.push(x);
+            sketch.push(x);
+        }
+        let assembled = StreamingSummary::from_parts(scalar, sketch);
+        prop_assert_eq!(&assembled, &direct);
+        prop_assert_eq!(assembled.mean().to_bits(), direct.mean().to_bits());
+        prop_assert_eq!(assembled.p95().to_bits(), direct.p95().to_bits());
+    }
+}

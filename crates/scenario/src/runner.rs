@@ -5,7 +5,7 @@ use sleepscale::{CacheStats, CoreError, RunReport, RuntimeConfig, StrategySpec, 
 use sleepscale_cluster::{Cluster, ClusterConfig, ClusterReport};
 use sleepscale_dist::StreamingSummary;
 use sleepscale_power::{ep, EnergyProportionality, PowerSample};
-use sleepscale_sim::JobStream;
+use sleepscale_sim::{JobStream, StreamSplit};
 use sleepscale_traffic::replay_traffic;
 use sleepscale_workloads::{
     replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
@@ -352,6 +352,30 @@ impl ScenarioRunner {
                 ),
             });
         }
+        if scenario.shards == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("scenario '{}': shards must be >= 1", scenario.name),
+            });
+        }
+        if scenario.shards > 1 {
+            if scenario.dispatcher.split_seed().is_none() {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "scenario '{}': sharded runs require the SplitUniform dispatcher \
+                         (stateful dispatchers read fleet-wide live state and cannot shard)",
+                        scenario.name
+                    ),
+                });
+            }
+            if scenario.total_servers() == 1 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "scenario '{}': sharding needs a multi-server fleet",
+                        scenario.name
+                    ),
+                });
+            }
+        }
         // Workload and load-window shape errors surface at validation
         // (cheap checks only — the trace itself is synthesized once,
         // by `inputs`, at run time).
@@ -605,8 +629,19 @@ impl ScenarioRunner {
     ) -> Result<ScenarioReport, CoreError> {
         let config = ClusterConfig::new(base, self.scenario.fleet.clone())?;
         let mut cluster = Cluster::new(config).with_threads(self.scenario.threads);
-        let mut dispatcher = self.scenario.dispatcher.build();
-        let report = cluster.run(trace, jobs, dispatcher.as_mut())?;
+        // Sharded scenarios take the concurrent engine; validation
+        // guarantees the dispatcher is shardable. Byte-identical to the
+        // central path for every shard count, so `shards` is a pure
+        // throughput knob.
+        let report = match (self.scenario.shards, self.scenario.dispatcher.split_seed()) {
+            (shards, Some(seed)) if shards > 1 => {
+                cluster.run_sharded(trace, jobs, StreamSplit::new(seed), shards)?
+            }
+            _ => {
+                let mut dispatcher = self.scenario.dispatcher.build();
+                cluster.run(trace, jobs, dispatcher.as_mut())?
+            }
+        };
         let per_group_cache = cluster.group_characterization_stats();
         let groups = report
             .group_summaries()
@@ -904,6 +939,42 @@ mod tests {
         assert!((class_sum + report.idle_energy_joules() - report.energy_joules()).abs() < 1e-9);
         // A fleet that never serves has no measurable proportionality.
         assert!(report.energy_proportionality().is_none());
+    }
+
+    /// The sharded scenario path reproduces the central SplitUniform
+    /// path byte for byte — `shards` is a pure throughput knob.
+    #[test]
+    fn sharded_scenario_matches_central_split_uniform() {
+        let mut central = small_fleet();
+        central.dispatcher = DispatcherSpec::SplitUniform { seed: 17 };
+        let reference = ScenarioRunner::new(central.clone()).unwrap().run().unwrap();
+        for shards in [2usize, 3] {
+            let mut sharded = central.clone();
+            sharded.shards = shards;
+            let report = ScenarioRunner::new(sharded).unwrap().run().unwrap();
+            assert_eq!(report.cluster_report(), reference.cluster_report(), "shards={shards}");
+            assert_eq!(report.groups(), reference.groups());
+            assert_eq!(report.responses(), reference.responses());
+        }
+    }
+
+    /// Shard-shape errors surface at validation, not mid-run.
+    #[test]
+    fn shard_validation_rejects_bad_shapes() {
+        let mut zero = small_fleet();
+        zero.shards = 0;
+        assert!(ScenarioRunner::new(zero).unwrap_err().to_string().contains("shards"));
+
+        let mut stateful = small_fleet();
+        stateful.shards = 2; // dispatcher is RoundRobin
+        let err = ScenarioRunner::new(stateful).unwrap_err();
+        assert!(err.to_string().contains("SplitUniform"), "{err}");
+
+        let mut single = small_single();
+        single.dispatcher = DispatcherSpec::SplitUniform { seed: 1 };
+        single.shards = 2;
+        let err = ScenarioRunner::new(single).unwrap_err();
+        assert!(err.to_string().contains("multi-server"), "{err}");
     }
 
     #[test]

@@ -2,6 +2,7 @@ use serde::{Deserialize, Serialize};
 use sleepscale::{CoreError, StrategySpec};
 use sleepscale_cluster::{
     Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin, ServerGroup,
+    SplitUniform,
 };
 use sleepscale_traffic::{TrafficError, TrafficModel};
 use sleepscale_workloads::{traces, UtilizationTrace, WorkloadSpec};
@@ -298,6 +299,14 @@ pub enum DispatcherSpec {
         /// Per-server backlog threshold, seconds.
         backlog_seconds: f64,
     },
+    /// Stateless seeded-hash routing: each job's server is a pure
+    /// function of `(seed, sequence)`. The only dispatcher the sharded
+    /// engine (`shards > 1`) supports — it is the routing rule shards
+    /// evaluate independently.
+    SplitUniform {
+        /// Split seed.
+        seed: u64,
+    },
 }
 
 impl DispatcherSpec {
@@ -310,6 +319,16 @@ impl DispatcherSpec {
             DispatcherSpec::PackFirstFit { backlog_seconds } => {
                 Box::new(PackFirstFit::new(*backlog_seconds))
             }
+            DispatcherSpec::SplitUniform { seed } => Box::new(SplitUniform::new(*seed)),
+        }
+    }
+
+    /// The split seed when this spec is shardable (seeded-hash
+    /// routing), `None` for the stateful dispatchers.
+    pub fn split_seed(&self) -> Option<u64> {
+        match self {
+            DispatcherSpec::SplitUniform { seed } => Some(*seed),
+            _ => None,
         }
     }
 }
@@ -336,6 +355,11 @@ pub struct Scenario {
     pub fleet: Vec<ServerGroup>,
     /// How arrivals are split across the fleet.
     pub dispatcher: DispatcherSpec,
+    /// Shards for the concurrent fleet engine (1 = the central
+    /// dispatch loop). More than one shard requires a
+    /// [`DispatcherSpec::SplitUniform`] dispatcher and a multi-server
+    /// fleet; results are byte-identical for every shard count.
+    pub shards: usize,
     /// The policy update interval `T`, minutes.
     pub epoch_minutes: usize,
     /// Jobs replayed per candidate characterization.
@@ -367,6 +391,7 @@ impl Scenario {
             arrival_scale: 1.0,
             fleet: vec![ServerGroup::new("server", 1, StrategySpec::sleepscale())],
             dispatcher: DispatcherSpec::JoinShortestBacklog,
+            shards: 1,
             epoch_minutes: 5,
             eval_jobs: 800,
             dist_samples: 8_000,

@@ -127,18 +127,26 @@ impl OnlineSim {
             // the sleep ladder of the policy in effect back then.
             let gap_start = self.state.free_time;
             let gap = job.arrival - gap_start;
-            let (program, idle_freq) = match &self.state.idle {
-                Some((p, fr)) => (p.clone(), *fr),
-                None => (policy.program().clone(), f),
+            // Move the installed idle program out rather than cloning
+            // it: idle arrivals dominate low-ρ fleets, and a per-job
+            // `SleepProgram` clone (a heap `Vec`) is the dispatch
+            // engine's hottest allocation. The program is restored
+            // untouched below.
+            let installed = self.state.idle.take();
+            let (program, idle_freq) = match &installed {
+                Some((p, fr)) => (p, *fr),
+                None => (policy.program(), f),
             };
-            self.emit_idle(gap_start, gap, &program, idle_freq);
+            self.emit_idle(gap_start, gap, program, idle_freq);
             match program.stage_at(gap) {
                 Some(stage) => {
                     wake = stage.wake_latency();
-                    self.count_wake(stage.state());
+                    let state = stage.state();
+                    self.count_wake(state);
                 }
                 None => self.wakes_without_sleep += 1,
             }
+            self.state.idle = installed;
             // Wake-up runs at the *new* policy's active power.
             self.ledger.add_segment(job.arrival, job.arrival + wake, active_watts);
             self.residency.add_waking(wake);

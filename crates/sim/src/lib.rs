@@ -61,6 +61,7 @@ pub mod generator;
 mod job;
 mod ledger;
 mod outcome;
+mod split;
 pub mod sweep;
 
 pub use engine::{
@@ -71,6 +72,7 @@ pub use error::SimError;
 pub use job::{pack_id, try_pack_id, ClassId, Job, JobCursor, JobRecord, JobStream, SEQUENCE_BITS};
 pub use ledger::EnergyLedger;
 pub use outcome::{EpochOutcome, Residency, SimOutcome};
+pub use split::StreamSplit;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -79,6 +81,6 @@ pub mod prelude {
     pub use crate::{
         simulate, simulate_summary, simulate_summary_into, CarryState, ClassId, EnergyLedger,
         EpochOutcome, Job, JobCursor, JobRecord, JobStream, OnlineSim, Residency, SimEnv, SimError,
-        SimOutcome, SimScratch,
+        SimOutcome, SimScratch, StreamSplit,
     };
 }

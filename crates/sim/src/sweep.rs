@@ -69,11 +69,26 @@ pub fn evaluate_policies_with_threads(
     }
 
     let mut results: Vec<Option<PolicyEvaluation>> = vec![None; policies.len()];
-    let chunk_len = policies.len().div_ceil(threads.min(policies.len()));
+    // Per-worker sizing, not a uniform ceil: with `len/threads` per
+    // worker and the remainder spread one-each over the first workers,
+    // every worker gets work. (Uniform `ceil(len/threads)` chunks can
+    // leave a trailing fraction of the pool idle — e.g. 17 candidates
+    // over 16 workers makes nine 2-chunks and seven idle threads.)
+    // The index→chunk map depends only on `len` and `threads`, and each
+    // index is evaluated exactly once, so results stay byte-identical
+    // for every worker count.
+    let workers = threads.min(policies.len());
+    let base = policies.len() / workers;
+    let remainder = policies.len() % workers;
     std::thread::scope(|scope| {
-        for (policy_chunk, result_chunk) in
-            policies.chunks(chunk_len).zip(results.chunks_mut(chunk_len))
-        {
+        let mut rest_p = policies;
+        let mut rest_r = &mut results[..];
+        for w in 0..workers {
+            let take = base + usize::from(w < remainder);
+            let (policy_chunk, tail_p) = rest_p.split_at(take);
+            let (result_chunk, tail_r) = rest_r.split_at_mut(take);
+            rest_p = tail_p;
+            rest_r = tail_r;
             scope.spawn(move || {
                 let mut scratch = SimScratch::new();
                 for (policy, slot) in policy_chunk.iter().zip(result_chunk.iter_mut()) {
@@ -167,6 +182,33 @@ mod tests {
         for threads in [2, 3, 7, 16] {
             let run = evaluate_policies_with_threads(&jobs, &policies, &env, threads);
             assert_eq!(run, reference, "threads={threads} diverged");
+        }
+    }
+
+    /// Satellite regression: candidate counts that sit awkwardly
+    /// against the worker count (prime sizes, counts just above the
+    /// worker count, fewer candidates than workers) still produce
+    /// thread-count-invariant bytes under the base+remainder split.
+    #[test]
+    fn skewed_candidate_counts_stay_thread_count_invariant() {
+        let jobs = workload();
+        let env = SimEnv::xeon_cpu_bound();
+        let programs = presets::standard_programs();
+        for n_policies in [2usize, 5, 17, 23] {
+            let policies: Vec<Policy> = (0..n_policies)
+                .map(|i| {
+                    let f = 0.3 + 0.7 * i as f64 / n_policies as f64;
+                    Policy::new(
+                        sleepscale_power::Frequency::new(f).unwrap(),
+                        programs[i % programs.len()].clone(),
+                    )
+                })
+                .collect();
+            let reference = evaluate_policies_with_threads(&jobs, &policies, &env, 1);
+            for threads in [2, 3, 16, 40] {
+                let run = evaluate_policies_with_threads(&jobs, &policies, &env, threads);
+                assert_eq!(run, reference, "{n_policies} candidates × {threads} threads diverged");
+            }
         }
     }
 

@@ -1,0 +1,70 @@
+//! Property tests for the deterministic arrival-stream splitter: the
+//! sharded engine's correctness rests on the split being a partition
+//! (every job in exactly one lane, arrival order preserved within each
+//! lane) for arbitrary streams — tagged or untagged — and lane counts.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sleepscale_sim::{generator, ClassId, Job, JobStream, StreamSplit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The split is a partition: indices across lanes are disjoint,
+    /// cover the whole stream, and are strictly increasing within each
+    /// lane (stream order). Holds for any seed, lane count, and stream.
+    #[test]
+    fn split_is_a_partition_preserving_order(
+        n_jobs in 0usize..2_000,
+        lanes in 1usize..16,
+        split_seed in 0u64..1_000_000,
+        stream_seed in 0u64..100_000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(stream_seed);
+        let jobs = generator::generate_poisson_exp(n_jobs.max(1), 0.3, 0.194, &mut rng).unwrap();
+        let jobs = &jobs.jobs()[..n_jobs.min(jobs.len())];
+        let split = StreamSplit::new(split_seed);
+        let parts = split.partition(jobs, lanes);
+        prop_assert_eq!(parts.len(), lanes);
+
+        let mut seen = vec![0u32; jobs.len()];
+        for part in &parts {
+            let mut prev: Option<u32> = None;
+            for &i in part {
+                seen[i as usize] += 1;
+                prop_assert!(prev.is_none_or(|p| p < i), "within-lane order broken");
+                prev = Some(i);
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "not a partition");
+
+        // And each index's lane agrees with the pure routing function.
+        for (lane, part) in parts.iter().enumerate() {
+            for &i in part {
+                prop_assert_eq!(split.lane_of(&jobs[i as usize], lanes), lane);
+            }
+        }
+    }
+
+    /// Tagging a stream with arbitrary traffic classes changes no job's
+    /// lane: the router reads the sequence number, not the id.
+    #[test]
+    fn class_tags_are_invisible_to_the_split(
+        n_jobs in 1usize..500,
+        lanes in 1usize..12,
+        split_seed in 0u64..1_000_000,
+        classes in proptest::collection::vec(0u16..8, 1..500),
+    ) {
+        let untagged: Vec<Job> =
+            (0..n_jobs).map(|i| Job { id: i as u64, arrival: i as f64, size: 0.1 }).collect();
+        let tagged: Vec<Job> = untagged
+            .iter()
+            .enumerate()
+            .map(|(i, j)| j.with_class(ClassId(classes[i % classes.len()])))
+            .collect();
+        let split = StreamSplit::new(split_seed);
+        prop_assert_eq!(split.partition(&untagged, lanes), split.partition(&tagged, lanes));
+        let s = JobStream::new(tagged).unwrap();
+        prop_assert!(s.len() == n_jobs); // keep the stream constructor exercised
+    }
+}

@@ -245,6 +245,103 @@ fn tagged_fleet_scenario_is_thread_count_invariant() {
     }
 }
 
+/// PR-7 tentpole: the sharded fleet engine is invariant across the
+/// full shard-count × worker-count grid. Every (shards, threads) cell
+/// must reproduce the central `SplitUniform` run byte-for-byte — the
+/// split is a pure function of (seed, job sequence), shard membership
+/// is a pure function of the split, and each shard's dispatch loop is
+/// the serial engine over its own slice.
+#[test]
+fn sharded_fleet_is_shard_and_thread_count_invariant() {
+    let scenario = Scenario {
+        eval_jobs: 250,
+        dist_samples: 4_000,
+        seed: 86,
+        dispatcher: DispatcherSpec::SplitUniform { seed: 21 },
+        fleet: vec![ServerGroup::new("fleet", 6, StrategySpec::sleepscale())],
+        ..Scenario::new(
+            "shard-invariance",
+            WorkloadSource::Dns,
+            LoadSchedule::EmailStoreDay { seed: 7, start_minute: 540, end_minute: 600 },
+        )
+    };
+    let run_pinned = |shards: usize, threads: usize| {
+        let mut pinned = scenario.clone();
+        pinned.shards = shards;
+        pinned.threads = threads;
+        ScenarioRunner::new(pinned).unwrap().run().unwrap()
+    };
+    // shards=1 routes through the central dispatcher loop — the
+    // pre-sharding engine is the reference every grid cell must match.
+    let reference = run_pinned(1, 1);
+    assert_eq!(reference.total_jobs(), reference.groups().iter().map(|g| g.jobs).sum::<usize>());
+    assert_eq!(reference.cache_stats().evictions, 0, "invariance needs the no-eviction regime");
+    for shards in [2, 3, 5] {
+        for threads in [1, 2, 5] {
+            let run = run_pinned(shards, threads);
+            assert_eq!(
+                run.cluster_report(),
+                reference.cluster_report(),
+                "shards={shards} threads={threads} diverged from the central engine"
+            );
+            assert_eq!(
+                run.energy_joules().to_bits(),
+                reference.energy_joules().to_bits(),
+                "shards={shards} threads={threads} changed energy bytes"
+            );
+        }
+    }
+}
+
+/// Sharding a *class-tagged* stream preserves the per-class response
+/// and energy slices byte-for-byte: tagged accumulators merge in slot
+/// and shard order, so the reporting axes stay schedule-independent.
+#[test]
+fn sharded_tagged_fleet_matches_central_bytes() {
+    let scenario = Scenario {
+        eval_jobs: 250,
+        dist_samples: 4_000,
+        seed: 87,
+        dispatcher: DispatcherSpec::SplitUniform { seed: 33 },
+        fleet: vec![ServerGroup::new("shared", 4, StrategySpec::sleepscale())],
+        ..Scenario::new(
+            "shard-tagged-invariance",
+            WorkloadSource::Tagged(
+                TrafficModel::new(vec![
+                    TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0)
+                        .with_p95_budget(40.0),
+                    TrafficClass::new("batch", WorkloadSpec::mail(), 1.0),
+                ])
+                .unwrap(),
+            ),
+            LoadSchedule::EmailStoreDay { seed: 7, start_minute: 540, end_minute: 620 },
+        )
+    };
+    let run_pinned = |shards: usize, threads: usize| {
+        let mut pinned = scenario.clone();
+        pinned.shards = shards;
+        pinned.threads = threads;
+        ScenarioRunner::new(pinned).unwrap().run().unwrap()
+    };
+    let reference = run_pinned(1, 1);
+    assert_eq!(reference.classes().len(), 2);
+    assert!(reference.classes().iter().all(|c| c.jobs > 0));
+    for (shards, threads) in [(2, 1), (3, 2), (4, 5)] {
+        let run = run_pinned(shards, threads);
+        assert_eq!(
+            run.cluster_report(),
+            reference.cluster_report(),
+            "shards={shards} threads={threads} diverged (class slices included)"
+        );
+        assert_eq!(run.classes(), reference.classes(), "shards={shards} changed class slices");
+        let (a, b): (Vec<u64>, Vec<u64>) = (
+            run.classes().iter().map(|c| c.active_energy_joules.to_bits()).collect(),
+            reference.classes().iter().map(|c| c.active_energy_joules.to_bits()).collect(),
+        );
+        assert_eq!(a, b, "shards={shards} threads={threads} changed class energy bytes");
+    }
+}
+
 /// The full runtime loop is a pure function of (trace, jobs, config,
 /// seed): repeated runs produce byte-identical `RunReport`s, including
 /// every epoch's selection metadata.
