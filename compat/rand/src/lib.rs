@@ -209,6 +209,24 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state words, for journaling. Together
+        /// with [`StdRng::from_state_words`] this round-trips the
+        /// generator exactly: a restored generator continues the draw
+        /// stream from where the snapshot was taken.
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from previously captured state words.
+        ///
+        /// Unlike [`SeedableRng::from_seed`] this performs no all-zero
+        /// nudge: an in-flight generator can never reach the all-zero
+        /// state (it is a fixed point the seeding path already avoids),
+        /// so captured words are restored verbatim.
+        pub fn from_state_words(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+
         fn step(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
@@ -249,6 +267,12 @@ pub mod rngs {
             StdRng { s }
         }
     }
+
+    // Marker-serializable (DESIGN.md §7): the state words are exposed
+    // via `state_words`/`from_state_words`, so any realized format can
+    // round-trip the generator.
+    impl serde::Serialize for StdRng {}
+    impl<'de> serde::Deserialize<'de> for StdRng {}
 }
 
 #[cfg(test)]
@@ -312,6 +336,26 @@ mod tests {
         let a = dyn_rng.next_u64();
         let b = dyn_rng.next_u64();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_words_round_trip_continues_draw_stream() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        // Burn an arbitrary prefix so the captured state is mid-stream.
+        for _ in 0..37 {
+            rng.next_u64();
+        }
+        let words = rng.state_words();
+        let mut restored = StdRng::from_state_words(words);
+        assert_eq!(restored, rng);
+        // The restored generator continues the exact draw stream —
+        // including the f64 path the simulators sample through.
+        for _ in 0..256 {
+            assert_eq!(restored.next_u64(), rng.next_u64());
+        }
+        let a: f64 = restored.gen();
+        let b: f64 = rng.gen();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -302,7 +302,10 @@ fn main() -> std::io::Result<()> {
     record("zero-work-idle", check_zero_work());
     record("exact-vs-work-share", check_divergence(quick));
 
-    let path = sleepscale_bench::write_csv("energy", &["check", "ok", "detail"], &rows)?;
+    let path = sleepscale_bench::require_io(
+        "writing energy.csv",
+        sleepscale_bench::write_csv("energy", &["check", "ok", "detail"], &rows),
+    );
     println!("\nwrote {}", path.display());
     if failed {
         eprintln!("ENERGY GATE FAILED");

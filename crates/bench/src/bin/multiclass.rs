@@ -180,7 +180,10 @@ fn main() -> std::io::Result<()> {
     record("two-class-qos", check_two_class_qos(quick));
     record("flash-crowd-qos", check_flash_crowd(quick));
 
-    let path = sleepscale_bench::write_csv("multiclass", &["check", "ok", "detail"], &rows)?;
+    let path = sleepscale_bench::require_io(
+        "writing multiclass.csv",
+        sleepscale_bench::write_csv("multiclass", &["check", "ok", "detail"], &rows),
+    );
     println!("\nwrote {}", path.display());
     if failed {
         eprintln!("MULTICLASS GATE FAILED");

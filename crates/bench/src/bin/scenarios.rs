@@ -219,30 +219,33 @@ fn main() -> std::io::Result<()> {
         ]);
     }
 
-    let path = sleepscale_bench::write_csv(
-        "scenarios",
-        &[
-            "scenario",
-            "backend",
-            "servers",
-            "jobs",
-            "wall_ms",
-            "norm_response",
-            "p95_ms",
-            "fleet_w",
-            "active_j",
-            "idle_j",
-            "ep_score",
-            "dyn_range",
-            "cache_hit_rate",
-            "warm_rate",
-            "qos_ok",
-            "class_p95_ms",
-            "class_energy_j",
-            "class_active_j",
-        ],
-        &rows,
-    )?;
+    let path = sleepscale_bench::require_io(
+        "writing scenarios.csv",
+        sleepscale_bench::write_csv(
+            "scenarios",
+            &[
+                "scenario",
+                "backend",
+                "servers",
+                "jobs",
+                "wall_ms",
+                "norm_response",
+                "p95_ms",
+                "fleet_w",
+                "active_j",
+                "idle_j",
+                "ep_score",
+                "dyn_range",
+                "cache_hit_rate",
+                "warm_rate",
+                "qos_ok",
+                "class_p95_ms",
+                "class_energy_j",
+                "class_active_j",
+            ],
+            &rows,
+        ),
+    );
     println!("\nwrote {}", path.display());
 
     // The analytic cross-check reads off the table: compare the

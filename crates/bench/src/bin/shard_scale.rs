@@ -24,7 +24,7 @@
 
 use rand::SeedableRng;
 use sleepscale::{QosConstraint, RuntimeConfig, StrategySpec};
-use sleepscale_bench::{write_csv, write_json, JsonValue};
+use sleepscale_bench::{require_io, write_csv, write_json, JsonValue};
 use sleepscale_cluster::{Cluster, ClusterConfig, ClusterReport, ServerGroup, SplitUniform};
 use sleepscale_scenario::{catalog, DispatcherSpec, ScenarioRunner};
 use sleepscale_sim::StreamSplit;
@@ -202,45 +202,51 @@ fn main() -> std::io::Result<()> {
             cores.to_string(),
         ]);
     }
-    let path = write_csv(
-        "shard_scale",
-        &[
-            "phase",
-            "n_servers",
-            "shards",
-            "minutes",
-            "jobs",
-            "wall_ms",
-            "jobs_per_sec",
-            "parity_ok",
-            "hardware_threads",
-        ],
-        &rows,
-    )?;
+    let path = require_io(
+        "writing shard_scale.csv",
+        write_csv(
+            "shard_scale",
+            &[
+                "phase",
+                "n_servers",
+                "shards",
+                "minutes",
+                "jobs",
+                "wall_ms",
+                "jobs_per_sec",
+                "parity_ok",
+                "hardware_threads",
+            ],
+            &rows,
+        ),
+    );
     println!("wrote {}", path.display());
 
     let throughput_ok = quick || mega_jobs_per_sec >= bar;
-    let path = write_json(
-        "bench_shard_scale",
-        &[
-            ("gate", JsonValue::Str("shard_scale".into())),
-            ("quick", JsonValue::Bool(quick)),
-            ("parity_n_servers", JsonValue::Int(n_servers as u64)),
-            (
-                "parity_shard_counts",
-                JsonValue::Str(
-                    shard_counts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+    let path = require_io(
+        "writing bench_shard_scale.json",
+        write_json(
+            "bench_shard_scale",
+            &[
+                ("gate", JsonValue::Str("shard_scale".into())),
+                ("quick", JsonValue::Bool(quick)),
+                ("parity_n_servers", JsonValue::Int(n_servers as u64)),
+                (
+                    "parity_shard_counts",
+                    JsonValue::Str(
+                        shard_counts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+                    ),
                 ),
-            ),
-            ("parity_ok", JsonValue::Bool(parity_ok)),
-            ("mega_servers", JsonValue::Int(if quick { 0 } else { mega_servers as u64 })),
-            ("mega_jobs", JsonValue::Int(mega_jobs as u64)),
-            ("jobs_per_sec", JsonValue::Num(mega_jobs_per_sec)),
-            ("bar_jobs_per_sec", JsonValue::Num(if quick { 0.0 } else { bar })),
-            ("hardware_threads", JsonValue::Int(cores as u64)),
-            ("ok", JsonValue::Bool(parity_ok && throughput_ok)),
-        ],
-    )?;
+                ("parity_ok", JsonValue::Bool(parity_ok)),
+                ("mega_servers", JsonValue::Int(if quick { 0 } else { mega_servers as u64 })),
+                ("mega_jobs", JsonValue::Int(mega_jobs as u64)),
+                ("jobs_per_sec", JsonValue::Num(mega_jobs_per_sec)),
+                ("bar_jobs_per_sec", JsonValue::Num(if quick { 0.0 } else { bar })),
+                ("hardware_threads", JsonValue::Int(cores as u64)),
+                ("ok", JsonValue::Bool(parity_ok && throughput_ok)),
+            ],
+        ),
+    );
     println!("wrote {}", path.display());
 
     if !parity_ok {

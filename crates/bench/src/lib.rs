@@ -238,6 +238,21 @@ pub fn write_json(name: &str, fields: &[(&str, JsonValue)]) -> std::io::Result<P
     Ok(path)
 }
 
+/// Unwraps a gate bin's result-file write, degrading gracefully when
+/// the output location is unusable (read-only `results/`, bad
+/// `SLEEPSCALE_RESULTS_DIR`, full disk): one diagnostic line on stderr
+/// and a non-zero exit instead of a panic backtrace, so CI logs state
+/// the actual problem.
+pub fn require_io<T>(what: &str, result: std::io::Result<T>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("FATAL: {what}: {e} (is SLEEPSCALE_RESULTS_DIR writable?)");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Writes CSV rows under [`results_dir`] and returns the path.
 ///
 /// # Errors

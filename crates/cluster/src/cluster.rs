@@ -461,7 +461,37 @@ impl Cluster {
         jobs: &JobStream,
         dispatcher: &mut dyn Dispatcher,
     ) -> Result<ClusterReport, CoreError> {
-        self.run_inner(trace, jobs, Routing::Central(dispatcher))
+        Ok(self
+            .run_inner(trace, jobs, Routing::Central(dispatcher), None, None)?
+            .expect("run without a checkpoint sink always completes"))
+    }
+
+    /// The checkpoint-aware form of [`Cluster::run`]: same engine, but
+    /// optionally seeded from a prior epoch-boundary snapshot and
+    /// optionally emitting one snapshot per completed epoch (see
+    /// [`sleepscale::run_resumable`] for the sink/resume contract).
+    ///
+    /// The snapshot captures every per-slot simulator, strategy memory,
+    /// the group caches, the dispatcher's routing state, and the fleet
+    /// statistics, so a resumed run is byte-identical to the
+    /// uninterrupted one. The dispatcher must be freshly constructed
+    /// from the same configuration that produced the snapshot; worker
+    /// thread counts may differ freely between the runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy/dispatcher errors, sink errors, and
+    /// [`CoreError::Checkpoint`] for malformed `resume_from` bytes or a
+    /// snapshot taken under different routing.
+    pub fn run_checkpointed(
+        &mut self,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+        dispatcher: &mut dyn Dispatcher,
+        resume_from: Option<&[u8]>,
+        sink: Option<sleepscale::CheckpointSink<'_>>,
+    ) -> Result<Option<ClusterReport>, CoreError> {
+        self.run_inner(trace, jobs, Routing::Central(dispatcher), resume_from, sink)
     }
 
     /// Runs the fleet *sharded*: servers are partitioned into `shards`
@@ -500,7 +530,33 @@ impl Cluster {
         split: StreamSplit,
         shards: usize,
     ) -> Result<ClusterReport, CoreError> {
-        self.run_inner(trace, jobs, Routing::Sharded { split, shards })
+        Ok(self
+            .run_inner(trace, jobs, Routing::Sharded { split, shards }, None, None)?
+            .expect("run without a checkpoint sink always completes"))
+    }
+
+    /// The checkpoint-aware form of [`Cluster::run_sharded`] (see
+    /// [`Cluster::run_checkpointed`] for the sink/resume contract).
+    /// Resuming requires the same split seed and shard count the
+    /// snapshot was taken under (shard count shapes the per-shard
+    /// sketch state, even though it never shapes the report bytes);
+    /// worker thread counts may differ freely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy errors, sink errors, and
+    /// [`CoreError::Checkpoint`] for malformed `resume_from` bytes or a
+    /// shard-count/routing mismatch.
+    pub fn run_sharded_checkpointed(
+        &mut self,
+        trace: &UtilizationTrace,
+        jobs: &JobStream,
+        split: StreamSplit,
+        shards: usize,
+        resume_from: Option<&[u8]>,
+        sink: Option<sleepscale::CheckpointSink<'_>>,
+    ) -> Result<Option<ClusterReport>, CoreError> {
+        self.run_inner(trace, jobs, Routing::Sharded { split, shards }, resume_from, sink)
     }
 
     fn run_inner(
@@ -508,7 +564,9 @@ impl Cluster {
         trace: &UtilizationTrace,
         jobs: &JobStream,
         routing: Routing<'_>,
-    ) -> Result<ClusterReport, CoreError> {
+        resume_from: Option<&[u8]>,
+        mut sink: Option<sleepscale::CheckpointSink<'_>>,
+    ) -> Result<Option<ClusterReport>, CoreError> {
         let mut slots = self.build_slots();
         let n = slots.len();
         let threads = self.worker_count(n);
@@ -591,7 +649,106 @@ impl Cluster {
             }
         };
 
-        for k in 0..n_epochs {
+        let mut start_epoch = 0;
+        if let Some(bytes) = resume_from {
+            use sleepscale_journal::{ByteReader, CodecError, Snapshot};
+            let mut r = ByteReader::new(bytes);
+            let done = r.get_usize()?;
+            if done >= n_epochs {
+                return Err(CoreError::Checkpoint {
+                    reason: format!("snapshot is at epoch {done} but the run has only {n_epochs}"),
+                });
+            }
+            for slot in slots.iter_mut() {
+                let tag = r.get_u8()?;
+                let runtime = self.config.runtime_for(slot.group);
+                slot.sim = OnlineSim::restore_state(runtime.env().clone(), &mut r)?;
+                match (&mut slot.strategy, tag) {
+                    (SlotStrategy::Managed(s), 0) => s.restore_checkpoint(&mut r, false)?,
+                    (SlotStrategy::Plain(s), 1) => s.restore_state(&mut r)?,
+                    (_, tag) => {
+                        return Err(CodecError::Invalid(format!(
+                            "slot strategy kind tag {tag} disagrees with the fleet configuration"
+                        ))
+                        .into());
+                    }
+                }
+                slot.all_jobs = r.get_usize()?;
+                slot.response_sum = r.get_f64()?;
+                slot.responses = ScalarSummary::restore(&mut r)?;
+                slot.class_stats = Vec::restore(&mut r)?;
+            }
+            for cache in &self.caches {
+                cache.restore_state(&mut r)?;
+            }
+            // The boundary the snapshot was sealed at, spelled exactly
+            // as the epoch loop computes it (the stream fast-forwards
+            // below compare against it bit-for-bit).
+            let resumed_end = done as f64 * epoch_seconds + epoch_seconds;
+            let mode = r.get_u8()?;
+            match &mut state {
+                DispatchState::Central { dispatcher, cursor, index, sketch, class_sketches } => {
+                    if mode != 0 {
+                        return Err(CoreError::Checkpoint {
+                            reason: "snapshot was taken under sharded routing".into(),
+                        });
+                    }
+                    cursor.seek(r.get_usize()?);
+                    dispatcher.restore_state(&mut r)?;
+                    *sketch = QuantileSketch::restore(&mut r)?;
+                    *class_sketches = Vec::restore(&mut r)?;
+                    // The index mirrors each slot's committed-work
+                    // horizon at every instant; rebuild it from the
+                    // restored simulators.
+                    for (i, slot) in slots.iter().enumerate() {
+                        index.update(i, slot.sim.state().free_time());
+                    }
+                }
+                DispatchState::Sharded { cursor, orders, states, .. } => {
+                    if mode != 1 {
+                        return Err(CoreError::Checkpoint {
+                            reason: "snapshot was taken under central routing".into(),
+                        });
+                    }
+                    let n_shards = r.get_usize()?;
+                    if n_shards != states.len() {
+                        return Err(CoreError::Checkpoint {
+                            reason: format!(
+                                "snapshot has {n_shards} shards but this run has {} — resume \
+                                 with the shard count the snapshot was taken under",
+                                states.len()
+                            ),
+                        });
+                    }
+                    for shard in states.iter_mut() {
+                        shard.sketch = QuantileSketch::restore(&mut r)?;
+                        shard.class_sketches = Vec::restore(&mut r)?;
+                    }
+                    // Stream positions are not stored: the serial and
+                    // threaded walks advance different position sets,
+                    // and the kill and the resume may use different
+                    // worker counts. Both sets are pure functions of
+                    // the sealed boundary, so fast-forward each to the
+                    // first arrival at or past it.
+                    cursor.seek(jobs.jobs().partition_point(|j| j.arrival < resumed_end));
+                    for (s, shard) in states.iter_mut().enumerate() {
+                        shard.pos = orders
+                            .get(s)
+                            .map_or(0, |o| o.partition_point(|j| j.arrival < resumed_end));
+                    }
+                }
+            }
+            if !r.is_empty() {
+                return Err(CodecError::Invalid(format!(
+                    "{} trailing bytes after fleet snapshot",
+                    r.remaining()
+                ))
+                .into());
+            }
+            start_epoch = done + 1;
+        }
+
+        for k in start_epoch..n_epochs {
             let epoch_start = k as f64 * epoch_seconds;
             let epoch_end = epoch_start + epoch_seconds;
 
@@ -752,6 +909,57 @@ impl Cluster {
                 Ok(())
             };
             par_each(slots.iter_mut().collect(), threads, &close)?;
+
+            if let Some(sink) = sink.as_deref_mut() {
+                use sleepscale_journal::{ByteWriter, Snapshot};
+                let mut w = ByteWriter::new();
+                w.put_usize(k);
+                for slot in slots.iter() {
+                    match &slot.strategy {
+                        SlotStrategy::Managed(s) => {
+                            w.put_u8(0);
+                            slot.sim.snapshot_state(&mut w);
+                            // Group caches are shared; snapshotted once
+                            // per group below, not once per slot.
+                            s.snapshot_checkpoint(&mut w, false);
+                        }
+                        SlotStrategy::Plain(s) => {
+                            w.put_u8(1);
+                            slot.sim.snapshot_state(&mut w);
+                            s.snapshot_state(&mut w);
+                        }
+                    }
+                    w.put_usize(slot.all_jobs);
+                    w.put_f64(slot.response_sum);
+                    slot.responses.snapshot(&mut w);
+                    slot.class_stats.snapshot(&mut w);
+                }
+                for cache in &self.caches {
+                    cache.snapshot_state(&mut w);
+                }
+                match &state {
+                    DispatchState::Central {
+                        dispatcher, cursor, sketch, class_sketches, ..
+                    } => {
+                        w.put_u8(0);
+                        w.put_usize(cursor.position());
+                        dispatcher.snapshot_state(&mut w);
+                        sketch.snapshot(&mut w);
+                        class_sketches.snapshot(&mut w);
+                    }
+                    DispatchState::Sharded { states, .. } => {
+                        w.put_u8(1);
+                        w.put_usize(states.len());
+                        for shard in states {
+                            shard.sketch.snapshot(&mut w);
+                            shard.class_sketches.snapshot(&mut w);
+                        }
+                    }
+                }
+                if !sink(k, w.as_bytes())? {
+                    return Ok(None);
+                }
+            }
         }
 
         // Close trailing idle periods and summarize. This loop is the
@@ -875,16 +1083,18 @@ impl Cluster {
             .map(|(scalar, sketch)| StreamingSummary::from_parts(scalar, sketch))
             .collect();
         let group_names = self.config.groups().iter().map(|g| g.name.clone()).collect();
-        Ok(ClusterReport::new(
-            dispatcher_name,
-            group_names,
-            summaries,
-            fleet_responses,
-            class_responses,
-            horizon,
-            self.config.runtime_for(0).mean_service(),
-        )
-        .with_energy_split(class_active, fleet_samples, group_samples))
+        Ok(Some(
+            ClusterReport::new(
+                dispatcher_name,
+                group_names,
+                summaries,
+                fleet_responses,
+                class_responses,
+                horizon,
+                self.config.runtime_for(0).mean_service(),
+            )
+            .with_energy_split(class_active, fleet_samples, group_samples),
+        ))
     }
 }
 
@@ -1488,6 +1698,105 @@ mod tests {
         let a = cluster.run_sharded(&trace, &jobs, StreamSplit::new(1), 0).unwrap();
         let b = cluster.run_sharded(&trace, &jobs, StreamSplit::new(1), 1).unwrap();
         assert_eq!(a, b, "shards=0 clamps to 1");
+    }
+
+    /// Kill-at-every-epoch × resume is byte-identical to the
+    /// uninterrupted fleet run, under central routing with a stateful
+    /// dispatcher (the round-robin pointer must survive the snapshot).
+    #[test]
+    fn central_kill_and_resume_reproduces_uninterrupted_run() {
+        let (config, trace, jobs) = setup(3, 30, 60);
+        let mut reference_cluster = Cluster::new(config.clone());
+        let reference = reference_cluster.run(&trace, &jobs, &mut RoundRobin::new()).unwrap();
+        let n_epochs = 6; // 30 min / 5 min
+        for kill_at in 0..n_epochs - 1 {
+            let mut snapshot: Option<Vec<u8>> = None;
+            let mut sink = |epoch: usize, bytes: &[u8]| {
+                if epoch == kill_at {
+                    snapshot = Some(bytes.to_vec());
+                    Ok(false)
+                } else {
+                    Ok(true)
+                }
+            };
+            let mut cluster = Cluster::new(config.clone());
+            let killed = cluster
+                .run_checkpointed(&trace, &jobs, &mut RoundRobin::new(), None, Some(&mut sink))
+                .unwrap();
+            assert!(killed.is_none());
+            let snapshot = snapshot.unwrap();
+            let mut resumed_cluster = Cluster::new(config.clone());
+            let resumed = resumed_cluster
+                .run_checkpointed(&trace, &jobs, &mut RoundRobin::new(), Some(&snapshot), None)
+                .unwrap()
+                .unwrap();
+            assert_eq!(resumed, reference, "kill at {kill_at} diverged");
+        }
+    }
+
+    /// Sharded kill/resume: thread counts may differ between the killed
+    /// run and the resume, and the result still matches the
+    /// uninterrupted bytes (positions are fast-forwarded canonically,
+    /// not replayed from whichever walk the killed run used).
+    #[test]
+    fn sharded_kill_and_resume_is_thread_count_agnostic() {
+        let (config, trace, jobs) = setup(5, 30, 61);
+        let mut reference_cluster = Cluster::new(config.clone());
+        let reference =
+            reference_cluster.run_sharded(&trace, &jobs, StreamSplit::new(11), 2).unwrap();
+        for (kill_threads, resume_threads) in [(1usize, 4usize), (4, 1)] {
+            let kill_at = 2;
+            let mut snapshot: Option<Vec<u8>> = None;
+            let mut sink = |epoch: usize, bytes: &[u8]| {
+                if epoch == kill_at {
+                    snapshot = Some(bytes.to_vec());
+                    Ok(false)
+                } else {
+                    Ok(true)
+                }
+            };
+            let mut cluster = Cluster::new(config.clone()).with_threads(kill_threads);
+            cluster
+                .run_sharded_checkpointed(
+                    &trace,
+                    &jobs,
+                    StreamSplit::new(11),
+                    2,
+                    None,
+                    Some(&mut sink),
+                )
+                .unwrap();
+            let snapshot = snapshot.unwrap();
+            let mut resumed_cluster = Cluster::new(config.clone()).with_threads(resume_threads);
+            let resumed = resumed_cluster
+                .run_sharded_checkpointed(
+                    &trace,
+                    &jobs,
+                    StreamSplit::new(11),
+                    2,
+                    Some(&snapshot),
+                    None,
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                resumed, reference,
+                "kill under {kill_threads} threads, resume under {resume_threads} diverged"
+            );
+            // A shard-count mismatch on resume is a typed error.
+            let mut wrong = Cluster::new(config.clone());
+            let err = wrong
+                .run_sharded_checkpointed(
+                    &trace,
+                    &jobs,
+                    StreamSplit::new(11),
+                    3,
+                    Some(&snapshot),
+                    None,
+                )
+                .unwrap_err();
+            assert!(err.to_string().contains("shards"), "{err}");
+        }
     }
 
     /// The homogeneous constructor reproduces the default strategy

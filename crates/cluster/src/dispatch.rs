@@ -140,6 +140,30 @@ pub trait Dispatcher: std::fmt::Debug {
     /// `< index.n_servers()`; the cluster engine rejects out-of-range
     /// routes as a dispatcher bug rather than clamping them.
     fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize;
+
+    /// Serializes this dispatcher's mutable routing state for
+    /// checkpointing. Stateless dispatchers (shortest-backlog, packing,
+    /// seeded-hash) keep the default no-op; anything whose route depends
+    /// on dispatch history (a round-robin pointer, an RNG) must
+    /// override both hooks or resumed runs will diverge.
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`Dispatcher::snapshot_state`] into a
+    /// freshly constructed dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sleepscale_journal::CodecError`] on truncated or
+    /// malformed bytes.
+    fn restore_state(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Cycles through servers in order — the classic spreading baseline.
@@ -166,6 +190,18 @@ impl Dispatcher for RoundRobin {
         self.next = self.next.wrapping_add(1);
         i
     }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_usize(self.next);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        self.next = r.get_usize()?;
+        Ok(())
+    }
 }
 
 /// Uniform random routing (seeded, reproducible). O(1) per job.
@@ -188,6 +224,20 @@ impl Dispatcher for RandomUniform {
 
     fn route(&mut self, _job: &Job, index: &DispatchIndex) -> usize {
         self.rng.gen_range(0..index.n_servers())
+    }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        use sleepscale_journal::Snapshot;
+        self.rng.snapshot(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        use sleepscale_journal::Snapshot;
+        self.rng = StdRng::restore(r)?;
+        Ok(())
     }
 }
 

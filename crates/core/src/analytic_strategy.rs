@@ -136,6 +136,26 @@ impl Strategy for AnalyticStrategy {
     fn last_selection(&self) -> Option<&Selection> {
         self.last_selection.as_ref()
     }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        use sleepscale_journal::Snapshot;
+        sleepscale_predict::snapshot_predictor(self.predictor.as_ref(), w);
+        self.last_epoch_mean_delay.snapshot(w);
+        w.put_f64(self.last_prediction);
+        self.last_selection.snapshot(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        use sleepscale_journal::Snapshot;
+        self.predictor = sleepscale_predict::restore_predictor(r)?;
+        self.last_epoch_mean_delay = Option::restore(r)?;
+        self.last_prediction = r.get_f64()?;
+        self.last_selection = Option::restore(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

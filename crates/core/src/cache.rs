@@ -174,6 +174,78 @@ impl CharacterizationCache {
         inner.misses = 0;
         inner.evictions = 0;
     }
+
+    /// Serializes contents and counters for checkpointing. Entries are
+    /// written in insertion (`order`) sequence — never by iterating the
+    /// hash map — so the bytes are deterministic across runs and builds.
+    pub fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        use sleepscale_journal::Snapshot;
+        let inner = self.inner.lock().expect("cache lock is never poisoned");
+        w.put_usize(inner.capacity);
+        w.put_u64(inner.hits);
+        w.put_u64(inner.misses);
+        w.put_u64(inner.evictions);
+        w.put_usize(inner.order.len());
+        for key in &inner.order {
+            key.snapshot(w);
+            inner.map[key].snapshot(w);
+        }
+    }
+
+    /// Replaces this cache's contents and counters from a
+    /// [`CharacterizationCache::snapshot_state`] record. Mutates through
+    /// the shared handle, so every clone observes the restored state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sleepscale_journal::CodecError`] on truncated or
+    /// malformed bytes; the cache is left unchanged in that case.
+    pub fn restore_state(
+        &self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        use sleepscale_journal::Snapshot;
+        let capacity = r.get_usize()?.max(1);
+        let hits = r.get_u64()?;
+        let misses = r.get_u64()?;
+        let evictions = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > capacity {
+            return Err(sleepscale_journal::CodecError::Invalid(format!(
+                "cache snapshot holds {n} entries but capacity is {capacity}"
+            )));
+        }
+        let mut map = HashMap::with_capacity(n.min(1024));
+        let mut order = VecDeque::new();
+        for _ in 0..n {
+            let key = CacheKey::restore(r)?;
+            let selection = Selection::restore(r)?;
+            if map.insert(key, selection).is_none() {
+                order.push_back(key);
+            }
+        }
+        let mut inner = self.inner.lock().expect("cache lock is never poisoned");
+        *inner = CacheInner { map, order, capacity, hits, misses, evictions };
+        Ok(())
+    }
+}
+
+impl sleepscale_journal::Snapshot for CacheKey {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_u32(self.rho_bucket);
+        w.put_u64(self.log_signature);
+        self.search.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<CacheKey, sleepscale_journal::CodecError> {
+        Ok(CacheKey {
+            rho_bucket: r.get_u32()?,
+            log_signature: r.get_u64()?,
+            search: SearchMode::restore(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +314,67 @@ mod tests {
         assert_eq!(cache.stats().evictions, 1, "evictions are counted");
         cache.clear();
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// PR 8 round-trip property: snapshot → restore into a fresh
+        /// cache → snapshot reproduces the original bytes exactly, with
+        /// counters, occupancy, and insertion order all intact.
+        #[test]
+        fn snapshot_round_trip_is_byte_equal(
+            entries in proptest::collection::vec((0u32..64, 0u64..1_000, 20.0f64..200.0, 0u8..2), 0..24),
+            probes in proptest::collection::vec((0u32..64, 0u64..1_000), 0..12),
+        ) {
+            use sleepscale_journal::{ByteReader, ByteWriter};
+            let cache = CharacterizationCache::new(16);
+            for &(rho_bucket, log_signature, power, mode) in &entries {
+                let search =
+                    if mode == 0 { SearchMode::CoarseToFine } else { SearchMode::Exhaustive };
+                let k = CacheKey { rho_bucket, log_signature, search };
+                let _ = cache.get(&k);
+                cache.insert(k, selection(power));
+            }
+            // Extra lookups move the hit/miss counters independently of
+            // the contents, so they must survive the trip too.
+            for &(rho_bucket, log_signature) in &probes {
+                let _ = cache.get(&key(rho_bucket, log_signature));
+            }
+            let mut w = ByteWriter::new();
+            cache.snapshot_state(&mut w);
+            let bytes = w.into_bytes();
+            let restored = CharacterizationCache::new(1);
+            restored
+                .restore_state(&mut ByteReader::new(&bytes))
+                .expect("snapshot bytes decode");
+            let mut w2 = ByteWriter::new();
+            restored.snapshot_state(&mut w2);
+            prop_assert_eq!(&bytes, &w2.into_bytes());
+            prop_assert_eq!(restored.stats(), cache.stats());
+        }
+
+        /// Truncated snapshot bytes are a typed decode error and leave
+        /// the target cache exactly as it was — never a panic, never a
+        /// half-restored cache.
+        #[test]
+        fn truncated_snapshot_is_an_error_and_leaves_cache_intact(cut in 0usize..10_000) {
+            use sleepscale_journal::{ByteReader, ByteWriter};
+            let cache = CharacterizationCache::new(8);
+            cache.insert(key(1, 2), selection(50.0));
+            cache.insert(key(3, 4), selection(60.0));
+            let mut w = ByteWriter::new();
+            cache.snapshot_state(&mut w);
+            let bytes = w.into_bytes();
+            let cut = cut % bytes.len();
+            let target = CharacterizationCache::new(8);
+            target.insert(key(9, 9), selection(70.0));
+            let before = target.stats();
+            prop_assert!(target.restore_state(&mut ByteReader::new(&bytes[..cut])).is_err());
+            prop_assert_eq!(target.stats(), before);
+            prop_assert_eq!(target.get(&key(9, 9)).map(|s| s.predicted_power), Some(70.0));
+        }
     }
 }

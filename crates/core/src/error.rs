@@ -20,6 +20,15 @@ pub enum CoreError {
     Workload(sleepscale_workloads::WorkloadError),
     /// Propagated power-model error.
     Power(sleepscale_power::PowerError),
+    /// A checkpoint/resume operation failed: journal I/O, corrupt
+    /// snapshot bytes, or a header mismatch (schema/seed/config). The
+    /// reason preserves the journal error's Display form, whose stable
+    /// substrings ("schema mismatch", "seed mismatch", "config
+    /// mismatch") callers may match on.
+    Checkpoint {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::NoFeasiblePolicy { reason } => write!(f, "no feasible policy: {reason}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),
             CoreError::Power(e) => write!(f, "power model error: {e}"),
+            CoreError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
         }
     }
 }
@@ -52,6 +62,18 @@ impl From<sleepscale_workloads::WorkloadError> for CoreError {
 impl From<sleepscale_power::PowerError> for CoreError {
     fn from(e: sleepscale_power::PowerError) -> CoreError {
         CoreError::Power(e)
+    }
+}
+
+impl From<sleepscale_journal::JournalError> for CoreError {
+    fn from(e: sleepscale_journal::JournalError) -> CoreError {
+        CoreError::Checkpoint { reason: e.to_string() }
+    }
+}
+
+impl From<sleepscale_journal::CodecError> for CoreError {
+    fn from(e: sleepscale_journal::CodecError) -> CoreError {
+        CoreError::Checkpoint { reason: e.to_string() }
     }
 }
 

@@ -525,6 +525,114 @@ impl PolicyManager {
     }
 }
 
+impl sleepscale_journal::Snapshot for SearchMode {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_u8(match self {
+            SearchMode::Exhaustive => 0,
+            SearchMode::CoarseToFine => 1,
+        });
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<SearchMode, sleepscale_journal::CodecError> {
+        match r.get_u8()? {
+            0 => Ok(SearchMode::Exhaustive),
+            1 => Ok(SearchMode::CoarseToFine),
+            other => Err(sleepscale_journal::CodecError::Invalid(format!(
+                "unknown search mode tag {other}"
+            ))),
+        }
+    }
+}
+
+impl sleepscale_journal::Snapshot for Selection {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.policy.snapshot(w);
+        w.put_f64(self.predicted_power);
+        w.put_f64(self.predicted_norm_response);
+        w.put_bool(self.feasible);
+        w.put_usize(self.evaluated);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Selection, sleepscale_journal::CodecError> {
+        Ok(Selection {
+            policy: Policy::restore(r)?,
+            predicted_power: r.get_f64()?,
+            predicted_norm_response: r.get_f64()?,
+            feasible: r.get_bool()?,
+            evaluated: r.get_usize()?,
+        })
+    }
+}
+
+impl sleepscale_journal::Snapshot for WarmStartStats {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_u64(self.warm);
+        w.put_u64(self.searches);
+        w.put_u64(self.boundary_hits);
+        w.put_u64(self.boundary_searches);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<WarmStartStats, sleepscale_journal::CodecError> {
+        Ok(WarmStartStats {
+            warm: r.get_u64()?,
+            searches: r.get_u64()?,
+            boundary_hits: r.get_u64()?,
+            boundary_searches: r.get_u64()?,
+        })
+    }
+}
+
+impl sleepscale_journal::Snapshot for WarmStart {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.bottoms.snapshot(w);
+        self.boundaries.snapshot(w);
+        self.stats.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<WarmStart, sleepscale_journal::CodecError> {
+        Ok(WarmStart {
+            bottoms: Vec::restore(r)?,
+            boundaries: Vec::restore(r)?,
+            stats: WarmStartStats::restore(r)?,
+        })
+    }
+}
+
+impl PolicyManager {
+    /// Serializes the cross-epoch warm-start memory (bowl bottoms,
+    /// feasibility boundaries, counters) for checkpointing. The shared
+    /// characterization cache is snapshotted separately — once per
+    /// handle, not once per manager.
+    pub fn snapshot_warm(&self, w: &mut sleepscale_journal::ByteWriter) {
+        use sleepscale_journal::Snapshot;
+        self.warm.snapshot(w);
+    }
+
+    /// Restores the warm-start memory written by
+    /// [`PolicyManager::snapshot_warm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sleepscale_journal::CodecError`] on malformed bytes;
+    /// the manager keeps its previous memory in that case.
+    pub fn restore_warm(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        use sleepscale_journal::Snapshot;
+        self.warm = WarmStart::restore(r)?;
+        Ok(())
+    }
+}
+
 /// The grid index whose frequency is closest to `f` — how a remembered
 /// bowl-bottom frequency re-anchors on a grid that shifted with the
 /// predicted utilization. The grid is ascending, so this is a binary
@@ -938,5 +1046,70 @@ mod tests {
             0,
         )
         .is_err());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// PR 8 round-trip property for the warm-start memory: an
+        /// arbitrary mix of remembered and absent per-program bottoms
+        /// and boundaries re-serializes byte-for-byte after restore —
+        /// including the `None` holes, which a resumed run must *not*
+        /// mistake for freshly-searchable programs.
+        #[test]
+        fn warm_start_snapshot_round_trip_is_byte_equal(
+            bottoms in proptest::collection::vec((0.3f64..3.0, 0u8..2), 0..8),
+            boundaries in proptest::collection::vec((0.3f64..3.0, 0u8..2), 0..8),
+            counters in (0u64..500, 0u64..500, 0u64..500, 0u64..500),
+        ) {
+            use sleepscale_journal::{ByteReader, ByteWriter, Snapshot};
+            let hole = |entries: &[(f64, u8)]| -> Vec<Option<f64>> {
+                entries.iter().map(|&(f, keep)| (keep == 1).then_some(f)).collect()
+            };
+            let warm = WarmStart {
+                bottoms: hole(&bottoms),
+                boundaries: hole(&boundaries),
+                stats: WarmStartStats {
+                    warm: counters.0,
+                    searches: counters.1,
+                    boundary_hits: counters.2,
+                    boundary_searches: counters.3,
+                },
+            };
+            let mut w = ByteWriter::new();
+            warm.snapshot(&mut w);
+            let bytes = w.into_bytes();
+            let restored =
+                WarmStart::restore(&mut ByteReader::new(&bytes)).expect("snapshot bytes decode");
+            let mut w2 = ByteWriter::new();
+            restored.snapshot(&mut w2);
+            prop_assert_eq!(&bytes, &w2.into_bytes());
+            prop_assert_eq!(restored.stats, warm.stats);
+            prop_assert_eq!(restored.bottoms.len(), warm.bottoms.len());
+        }
+
+        /// Truncated warm-start bytes are a typed error, and a manager
+        /// fed them keeps its previous memory instead of panicking.
+        #[test]
+        fn truncated_warm_start_is_an_error_not_a_panic(cut in 0usize..10_000) {
+            use sleepscale_journal::{ByteReader, ByteWriter, Snapshot};
+            let warm = WarmStart {
+                bottoms: vec![Some(1.2), None, Some(2.0)],
+                boundaries: vec![None, Some(1.6), None],
+                stats: WarmStartStats {
+                    warm: 3,
+                    searches: 5,
+                    boundary_hits: 1,
+                    boundary_searches: 2,
+                },
+            };
+            let mut w = ByteWriter::new();
+            warm.snapshot(&mut w);
+            let bytes = w.into_bytes();
+            let cut = cut % bytes.len();
+            prop_assert!(WarmStart::restore(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
     }
 }

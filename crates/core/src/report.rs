@@ -35,6 +35,44 @@ pub struct EpochReport {
     pub backlog_seconds: f64,
 }
 
+impl sleepscale_journal::Snapshot for EpochReport {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_usize(self.epoch);
+        w.put_usize(self.start_minute);
+        w.put_f64(self.predicted_rho);
+        w.put_f64(self.realized_rho);
+        w.put_str(&self.policy_label);
+        w.put_f64(self.frequency);
+        w.put_str(&self.program_label);
+        w.put_bool(self.feasible);
+        w.put_usize(self.evaluated);
+        w.put_usize(self.arrivals);
+        w.put_f64(self.mean_response);
+        w.put_f64(self.power_watts);
+        w.put_f64(self.backlog_seconds);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<EpochReport, sleepscale_journal::CodecError> {
+        Ok(EpochReport {
+            epoch: r.get_usize()?,
+            start_minute: r.get_usize()?,
+            predicted_rho: r.get_f64()?,
+            realized_rho: r.get_f64()?,
+            policy_label: r.get_string()?,
+            frequency: r.get_f64()?,
+            program_label: r.get_string()?,
+            feasible: r.get_bool()?,
+            evaluated: r.get_usize()?,
+            arrivals: r.get_usize()?,
+            mean_response: r.get_f64()?,
+            power_watts: r.get_f64()?,
+            backlog_seconds: r.get_f64()?,
+        })
+    }
+}
+
 /// Aggregate result of a runtime evaluation over a trace —
 /// what Figures 8–10 report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

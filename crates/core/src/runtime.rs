@@ -196,6 +196,46 @@ pub fn run(
     env: &SimEnv,
     config: &RuntimeConfig,
 ) -> Result<RunReport, CoreError> {
+    Ok(run_resumable(trace, jobs, strategy, env, config, None, None)?
+        .expect("run without a checkpoint sink always completes"))
+}
+
+/// A checkpoint sink: called after each completed epoch `k` with the
+/// serialized loop state. Return `Ok(false)` to stop the run at that
+/// boundary (fault injection); `Ok(true)` to continue.
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(usize, &[u8]) -> Result<bool, CoreError>;
+
+/// The checkpoint-aware form of [`run`]: same loop, but optionally
+/// seeded from a prior epoch-boundary snapshot and optionally emitting
+/// one snapshot per completed epoch.
+///
+/// `resume_from` is the payload a previous run's `sink` received at some
+/// boundary: the loop restores the full mid-run state (simulator
+/// carry-over, energy ledger, job-stream position, accumulated report
+/// rows, strategy memory) and continues from the *next* epoch. The
+/// strategy must be freshly constructed from the same configuration that
+/// produced the snapshot. `sink` (when present) receives the serialized
+/// state after every completed epoch; returning `Ok(false)` abandons the
+/// run at that boundary and `run_resumable` returns `Ok(None)`.
+///
+/// A completed resume is byte-identical to the uninterrupted run: the
+/// snapshot captures everything the remaining epochs read.
+///
+/// # Errors
+///
+/// Propagates strategy errors, sink errors, and
+/// [`CoreError::Checkpoint`] for malformed `resume_from` bytes.
+pub fn run_resumable(
+    trace: &UtilizationTrace,
+    jobs: &JobStream,
+    strategy: &mut dyn Strategy,
+    env: &SimEnv,
+    config: &RuntimeConfig,
+    resume_from: Option<&[u8]>,
+    mut sink: Option<CheckpointSink<'_>>,
+) -> Result<Option<RunReport>, CoreError> {
+    use sleepscale_journal::{ByteReader, ByteWriter, CodecError, Snapshot};
+
     let t_minutes = config.epoch_minutes();
     let epoch_seconds = t_minutes as f64 * 60.0;
     let total_minutes = trace.len();
@@ -214,7 +254,32 @@ pub fn run(
     // no per-epoch clone of the remaining jobs.
     let mut cursor = jobs.cursor();
 
-    for k in 0..n_epochs {
+    let mut start_epoch = 0;
+    if let Some(bytes) = resume_from {
+        let mut r = ByteReader::new(bytes);
+        let done = r.get_usize()?;
+        if done >= n_epochs {
+            return Err(CoreError::Checkpoint {
+                reason: format!("snapshot is at epoch {done} but the run has only {n_epochs}"),
+            });
+        }
+        online = OnlineSim::restore_state(env.clone(), &mut r)?;
+        epochs = Vec::restore(&mut r)?;
+        responses = Vec::restore(&mut r)?;
+        class_responses = Vec::restore(&mut r)?;
+        cursor.seek(r.get_usize()?);
+        strategy.restore_state(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after run snapshot",
+                r.remaining()
+            ))
+            .into());
+        }
+        start_epoch = done + 1;
+    }
+
+    for k in start_epoch..n_epochs {
         let policy = strategy.begin_epoch(k)?;
         let start_minute = k * t_minutes;
         let end_minute = (start_minute + t_minutes).min(total_minutes);
@@ -262,6 +327,20 @@ pub fn run(
         for m in start_minute..end_minute {
             strategy.observe_minute((trace.at(m) + pressure).min(0.97));
         }
+
+        if let Some(sink) = sink.as_deref_mut() {
+            let mut w = ByteWriter::new();
+            w.put_usize(k);
+            online.snapshot_state(&mut w);
+            epochs.snapshot(&mut w);
+            responses.snapshot(&mut w);
+            class_responses.snapshot(&mut w);
+            w.put_usize(cursor.position());
+            strategy.snapshot_state(&mut w);
+            if !sink(k, w.as_bytes())? {
+                return Ok(None);
+            }
+        }
     }
 
     // Close the trace and distribute per-epoch power from the ledger.
@@ -284,24 +363,26 @@ pub fn run(
         Some(s) => (s.count(), s.mean(), s.p95()),
         None => (0, 0.0, 0.0),
     };
-    Ok(RunReport::new(
-        strategy.name(),
-        epochs,
-        total_jobs,
-        mean_response,
-        p95,
-        config.mean_service(),
-        ledger.total_energy().as_joules() / horizon,
-        ledger.total_energy().as_joules(),
-        horizon,
-        wakes_from,
-        streaming,
-        class_responses,
-    )
-    .with_energy_split(
-        ledger.active_energy().as_joules(),
-        ledger.active_energy_by_class().to_vec(),
-        ledger.power_samples(),
+    Ok(Some(
+        RunReport::new(
+            strategy.name(),
+            epochs,
+            total_jobs,
+            mean_response,
+            p95,
+            config.mean_service(),
+            ledger.total_energy().as_joules() / horizon,
+            ledger.total_energy().as_joules(),
+            horizon,
+            wakes_from,
+            streaming,
+            class_responses,
+        )
+        .with_energy_split(
+            ledger.active_energy().as_joules(),
+            ledger.active_energy_by_class().to_vec(),
+            ledger.power_samples(),
+        ),
     ))
 }
 
@@ -439,6 +520,62 @@ mod tests {
         assert!(tagged.active_energy_joules() > 0.0);
         assert_eq!(tagged.power_samples(), untagged.power_samples());
         assert!(tagged.energy_proportionality().is_some());
+    }
+
+    /// Killing the loop at any epoch boundary and resuming from the
+    /// snapshot must reproduce the uninterrupted run exactly, including
+    /// the managed strategy's predictor, log, warm-start, and cache
+    /// memory.
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_run() {
+        let (trace, jobs, config) = setup(2, 26);
+        let env = SimEnv::xeon_cpu_bound();
+        let build = || SleepScaleStrategy::new(&config, CandidateSet::standard()).with_alpha(0.35);
+        let mut s = build();
+        let reference = run(&trace, &jobs, &mut s, &env, &config).unwrap();
+        let n = reference.epochs().len();
+        for kill_at in [0, n / 2, n - 2] {
+            let mut snapshot: Option<Vec<u8>> = None;
+            let mut sink = |epoch: usize, bytes: &[u8]| {
+                if epoch == kill_at {
+                    snapshot = Some(bytes.to_vec());
+                    Ok(false)
+                } else {
+                    Ok(true)
+                }
+            };
+            let mut first = build();
+            let killed =
+                run_resumable(&trace, &jobs, &mut first, &env, &config, None, Some(&mut sink))
+                    .unwrap();
+            assert!(killed.is_none(), "kill at {kill_at} should abandon the run");
+            let snapshot = snapshot.expect("sink sees every boundary");
+            let mut second = build();
+            let resumed =
+                run_resumable(&trace, &jobs, &mut second, &env, &config, Some(&snapshot), None)
+                    .unwrap()
+                    .expect("resume without a sink completes");
+            assert_eq!(resumed, reference, "kill at {kill_at} diverged");
+            assert_eq!(
+                format!("{resumed:?}"),
+                format!("{reference:?}"),
+                "kill at {kill_at} diverged in debug form"
+            );
+        }
+    }
+
+    /// Malformed or truncated resume bytes surface as typed checkpoint
+    /// errors, never panics.
+    #[test]
+    fn resume_from_garbage_is_a_typed_error() {
+        let (trace, jobs, config) = setup(1, 27);
+        let env = SimEnv::xeon_cpu_bound();
+        let mut s = FixedPolicyStrategy::new(Policy::full_speed_no_sleep());
+        for bytes in [&[][..], &[7, 0, 0, 0, 0, 0, 0, 0, 1, 2][..]] {
+            let err = run_resumable(&trace, &jobs, &mut s, &env, &config, Some(bytes), None)
+                .expect_err("garbage must not restore");
+            assert!(matches!(err, CoreError::Checkpoint { .. }), "got {err}");
+        }
     }
 
     #[test]

@@ -55,6 +55,29 @@ pub trait Strategy: fmt::Debug {
     fn last_selection(&self) -> Option<&Selection> {
         None
     }
+
+    /// Serializes this strategy's mutable cross-epoch state for
+    /// checkpointing. Stateless strategies (fixed policy, race-to-halt)
+    /// keep the default no-op: their construction-time fields are
+    /// rebuilt from configuration on resume.
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`Strategy::snapshot_state`] into a
+    /// freshly constructed strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sleepscale_journal::CodecError`] on truncated or
+    /// malformed bytes.
+    fn restore_state(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// The full SleepScale strategy (Section 5): predictor + job log +
@@ -184,6 +207,71 @@ impl SleepScaleStrategy {
         self.manager.cache().map(CharacterizationCache::stats)
     }
 
+    /// Serializes every mutable cross-epoch field for checkpointing.
+    ///
+    /// `include_cache` controls whether the manager's shared
+    /// characterization cache rides along: single-server runs pass
+    /// `true` (the strategy owns its cache), while fleet engines pass
+    /// `false` and snapshot each *group's* shared cache exactly once —
+    /// otherwise N slots would write N redundant copies and the restore
+    /// order would matter. The `planned` memo is deliberately excluded:
+    /// it is always `None` at epoch boundaries.
+    pub fn snapshot_checkpoint(&self, w: &mut sleepscale_journal::ByteWriter, include_cache: bool) {
+        use sleepscale_journal::Snapshot;
+        sleepscale_predict::snapshot_predictor(self.predictor.as_ref(), w);
+        self.log.snapshot(w);
+        self.last_epoch_mean_delay.snapshot(w);
+        w.put_f64(self.last_prediction);
+        self.last_selection.snapshot(w);
+        self.manager.snapshot_warm(w);
+        if include_cache {
+            let cache = self.manager.cache();
+            w.put_bool(cache.is_some());
+            if let Some(cache) = cache {
+                cache.snapshot_state(w);
+            }
+        }
+    }
+
+    /// Restores state written by
+    /// [`SleepScaleStrategy::snapshot_checkpoint`] with the same
+    /// `include_cache` flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sleepscale_journal::CodecError`] on malformed bytes or
+    /// when the snapshot's cache-presence flag disagrees with this
+    /// strategy's configuration.
+    pub fn restore_checkpoint(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+        include_cache: bool,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        use sleepscale_journal::Snapshot;
+        self.predictor = sleepscale_predict::restore_predictor(r)?;
+        self.log = JobLog::restore(r)?;
+        self.last_epoch_mean_delay = Option::restore(r)?;
+        self.last_prediction = r.get_f64()?;
+        self.last_selection = Option::restore(r)?;
+        self.manager.restore_warm(r)?;
+        if include_cache {
+            let had_cache = r.get_bool()?;
+            match (had_cache, self.manager.cache()) {
+                (true, Some(cache)) => cache.restore_state(r)?,
+                (false, None) => {}
+                (snapshotted, _) => {
+                    return Err(sleepscale_journal::CodecError::Invalid(format!(
+                        "cache presence mismatch: snapshot {} a cache, strategy {}",
+                        if snapshotted { "carries" } else { "lacks" },
+                        if snapshotted { "has none" } else { "has one" },
+                    )));
+                }
+            }
+        }
+        self.planned = None;
+        Ok(())
+    }
+
     /// The cold-start policy: full speed (safe for response) with the
     /// candidate set's *deepest* program (safe for power — a server that
     /// never receives work must not idle at operating power; in a
@@ -253,6 +341,17 @@ impl Strategy for SleepScaleStrategy {
 
     fn last_selection(&self) -> Option<&Selection> {
         self.last_selection.as_ref()
+    }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.snapshot_checkpoint(w, true);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<(), sleepscale_journal::CodecError> {
+        self.restore_checkpoint(r, true)
     }
 }
 

@@ -84,6 +84,20 @@ impl Moments {
     }
 }
 
+impl sleepscale_journal::Snapshot for Moments {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Moments, sleepscale_journal::CodecError> {
+        Ok(Moments { n: r.get_u64()?, mean: r.get_f64()?, m2: r.get_f64()? })
+    }
+}
+
 /// Order statistics over a frozen set of samples: mean, percentiles,
 /// and exceedance fractions.
 ///

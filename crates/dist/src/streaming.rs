@@ -14,6 +14,7 @@
 
 use crate::moments::Moments;
 use serde::{Deserialize, Serialize};
+use sleepscale_journal::Snapshot;
 
 /// Relative half-width of the sketch's geometric buckets: quantile
 /// estimates are within ±0.5% of the true sample value.
@@ -131,6 +132,56 @@ impl QuantileSketch {
     }
 }
 
+impl Snapshot for QuantileSketch {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        // Canonical sparse form: the dense grid is ~4.9k slots, nearly
+        // all zero in practice, so only non-zero slots travel
+        // (ascending slot order — one canonical byte string per value).
+        w.put_usize(self.counts.len());
+        let non_zero = self.counts.iter().filter(|&&n| n != 0).count();
+        w.put_usize(non_zero);
+        for (slot, &n) in self.counts.iter().enumerate() {
+            if n != 0 {
+                w.put_u32(slot as u32);
+                w.put_u64(n);
+            }
+        }
+        w.put_u64(self.non_positive);
+        w.put_u64(self.total);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<QuantileSketch, sleepscale_journal::CodecError> {
+        let len = r.get_usize()?;
+        let mut sketch = QuantileSketch::new();
+        if len != sketch.counts.len() {
+            return Err(sleepscale_journal::CodecError::Invalid(format!(
+                "sketch grid of {len} slots, this build uses {}",
+                sketch.counts.len()
+            )));
+        }
+        let non_zero = r.get_usize()?;
+        let mut prev: Option<u32> = None;
+        for _ in 0..non_zero {
+            let slot = r.get_u32()?;
+            if prev.is_some_and(|p| slot <= p) {
+                return Err(sleepscale_journal::CodecError::Invalid(
+                    "sketch slots out of order".into(),
+                ));
+            }
+            prev = Some(slot);
+            let n = r.get_u64()?;
+            *sketch.counts.get_mut(slot as usize).ok_or_else(|| {
+                sleepscale_journal::CodecError::Invalid(format!("sketch slot {slot} out of range"))
+            })? = n;
+        }
+        sketch.non_positive = r.get_u64()?;
+        sketch.total = r.get_u64()?;
+        Ok(sketch)
+    }
+}
+
 /// The scalar half of a [`StreamingSummary`]: exact count, Welford
 /// moments, and extrema — no quantile sketch.
 ///
@@ -221,6 +272,21 @@ impl ScalarSummary {
         self.moments.merge(&other.moments);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl Snapshot for ScalarSummary {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.moments.snapshot(w);
+        // Raw bits: an empty accumulator's ±∞ sentinels must survive.
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<ScalarSummary, sleepscale_journal::CodecError> {
+        Ok(ScalarSummary { moments: Moments::restore(r)?, min: r.get_f64()?, max: r.get_f64()? })
     }
 }
 
@@ -344,6 +410,26 @@ impl StreamingSummary {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.sketch.merge(&other.sketch);
+    }
+}
+
+impl Snapshot for StreamingSummary {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.moments.snapshot(w);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+        self.sketch.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<StreamingSummary, sleepscale_journal::CodecError> {
+        Ok(StreamingSummary {
+            moments: Moments::restore(r)?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+            sketch: QuantileSketch::restore(r)?,
+        })
     }
 }
 

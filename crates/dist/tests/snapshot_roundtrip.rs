@@ -1,0 +1,91 @@
+//! Serde round-trip properties for the streaming-statistics snapshot
+//! types (PR 8): snapshot → restore → snapshot must reproduce the
+//! original bytes exactly — the journal's byte-for-byte resume
+//! guarantee bottoms out here — and a truncated byte stream must be a
+//! typed [`CodecError`], never a panic.
+
+use proptest::prelude::*;
+use sleepscale_dist::{QuantileSketch, ScalarSummary, StreamingSummary};
+use sleepscale_journal::{ByteReader, ByteWriter, Snapshot};
+
+fn snapshot_bytes<T: Snapshot>(value: &T) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    value.snapshot(&mut w);
+    w.into_bytes()
+}
+
+fn restore_from<T: Snapshot>(bytes: &[u8]) -> Result<T, sleepscale_journal::CodecError> {
+    T::restore(&mut ByteReader::new(bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ScalarSummary: Welford moments and extrema survive the codec
+    /// bit-exactly, so re-serialization is byte-equal.
+    #[test]
+    fn scalar_summary_round_trip_is_byte_equal(
+        samples in proptest::collection::vec(1e-6f64..1e4, 0..400),
+    ) {
+        let mut summary = ScalarSummary::new();
+        for &x in &samples {
+            summary.push(x);
+        }
+        let bytes = snapshot_bytes(&summary);
+        let restored: ScalarSummary = restore_from(&bytes).expect("snapshot bytes decode");
+        prop_assert_eq!(&bytes, &snapshot_bytes(&restored));
+        prop_assert_eq!(restored.count(), summary.count());
+        prop_assert_eq!(restored.mean().to_bits(), summary.mean().to_bits());
+    }
+
+    /// QuantileSketch: every log-spaced bucket count survives, so every
+    /// quantile read off the restored sketch agrees to the bit.
+    #[test]
+    fn quantile_sketch_round_trip_is_byte_equal(
+        samples in proptest::collection::vec(1e-6f64..1e4, 0..400),
+    ) {
+        let mut sketch = QuantileSketch::new();
+        for &x in &samples {
+            sketch.push(x);
+        }
+        let bytes = snapshot_bytes(&sketch);
+        let restored: QuantileSketch = restore_from(&bytes).expect("snapshot bytes decode");
+        prop_assert_eq!(&bytes, &snapshot_bytes(&restored));
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            prop_assert_eq!(restored.quantile(q).to_bits(), sketch.quantile(q).to_bits());
+        }
+    }
+
+    /// StreamingSummary (the composite the reports carry): byte-equal
+    /// re-serialization, and the restored summary answers identically.
+    #[test]
+    fn streaming_summary_round_trip_is_byte_equal(
+        samples in proptest::collection::vec(1e-6f64..1e4, 0..400),
+    ) {
+        let mut summary = StreamingSummary::new();
+        for &x in &samples {
+            summary.push(x);
+        }
+        let bytes = snapshot_bytes(&summary);
+        let restored: StreamingSummary = restore_from(&bytes).expect("snapshot bytes decode");
+        prop_assert_eq!(&bytes, &snapshot_bytes(&restored));
+        prop_assert_eq!(restored.count(), summary.count());
+        prop_assert_eq!(restored.p95().to_bits(), summary.p95().to_bits());
+    }
+
+    /// Cutting the snapshot short at ANY byte is a typed decode error —
+    /// the codec never panics and never fabricates a summary.
+    #[test]
+    fn truncated_snapshot_is_an_error_not_a_panic(
+        samples in proptest::collection::vec(1e-6f64..1e4, 1..50),
+        cut in 0usize..10_000,
+    ) {
+        let mut summary = StreamingSummary::new();
+        for &x in &samples {
+            summary.push(x);
+        }
+        let bytes = snapshot_bytes(&summary);
+        let cut = cut % bytes.len();
+        prop_assert!(restore_from::<StreamingSummary>(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Torn-write injectors for the fault-injection harness.
+//!
+//! These simulate the two ways a crash damages an append-only file:
+//! the tail never fully reached the disk (truncation), or a sector
+//! was half-written (byte corruption). Both target the *tail* because
+//! that is what a crash during `append` can actually produce; the
+//! header-damage cases in the gate rewrite bytes directly.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Shortens the file by `bytes` (saturating at zero length),
+/// simulating an append that never hit the platter.
+pub fn truncate_tail(path: &Path, bytes: u64) -> std::io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    let len = file.metadata()?.len();
+    file.set_len(len.saturating_sub(bytes))?;
+    file.sync_data()
+}
+
+/// Flips every bit of the byte `offset_from_end` positions before the
+/// end of the file (0 = the last byte), simulating a half-written
+/// sector. Returns an error if the file is too short.
+pub fn corrupt_tail(path: &Path, offset_from_end: u64) -> std::io::Result<()> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if offset_from_end >= len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("offset {offset_from_end} beyond file of {len} bytes"),
+        ));
+    }
+    let pos = len - 1 - offset_from_end;
+    file.seek(SeekFrom::Start(pos))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0xFF;
+    file.seek(SeekFrom::Start(pos))?;
+    file.write_all(&byte)?;
+    file.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sleepscale-fault-test-{}-{name}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn truncate_shortens_and_saturates() {
+        let path = temp_path("trunc");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        truncate_tail(&path, 2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3]);
+        truncate_tail(&path, 100).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_flips_one_byte() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, [0u8, 0, 0]).unwrap();
+        corrupt_tail(&path, 1).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0, 0xFF, 0]);
+        assert!(corrupt_tail(&path, 3).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

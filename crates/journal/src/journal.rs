@@ -1,0 +1,422 @@
+//! The on-disk epoch-boundary journal.
+//!
+//! # Format (schema version 1)
+//!
+//! ```text
+//! header  (32 bytes):
+//!   magic              4 bytes   b"SSJ1"
+//!   schema_version     u32 LE
+//!   seed               u64 LE    scenario RNG seed
+//!   config_fingerprint u64 LE    FNV-1a 64 of the scenario debug form
+//!   header_checksum    u64 LE    FNV-1a 64 of the 24 bytes above
+//! records (repeated):
+//!   len                u32 LE    payload length in bytes
+//!   payload_checksum   u64 LE    FNV-1a 64 of the payload
+//!   payload            len bytes
+//! ```
+//!
+//! The length + checksum frame *is* the seal: a record is committed
+//! once its frame is fully on disk (`append` flushes and fsyncs before
+//! returning), and a torn tail — a partial frame or a payload whose
+//! checksum does not match — is detected on open and truncated away so
+//! the run resumes from the last sealed record. Records are
+//! self-contained full snapshots, so only the last good one matters.
+
+use crate::codec::CodecError;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Journal magic bytes (`SSJ` + format generation).
+pub const MAGIC: [u8; 4] = *b"SSJ1";
+
+/// Bytes occupied by the fixed header.
+pub const HEADER_LEN: u64 = 32;
+
+/// Bytes of framing preceding each record payload (len + checksum).
+pub const FRAME_LEN: u64 = 12;
+
+/// FNV-1a 64-bit hash — the journal's checksum and the scenario
+/// config fingerprint. Not cryptographic; it guards against torn
+/// writes and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Identity of a run: what must match for a resume to be legal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Snapshot schema version; bumped whenever any snapshot layout
+    /// changes. Resume across versions is rejected, never guessed.
+    pub schema_version: u32,
+    /// The scenario's RNG seed.
+    pub seed: u64,
+    /// FNV-1a 64 fingerprint of the full scenario configuration.
+    pub config_fingerprint: u64,
+}
+
+/// A journal failure, typed so callers can distinguish "wrong run"
+/// from "damaged file" from plain I/O.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not a SleepScale journal (or its header is torn).
+    BadMagic,
+    /// The journal was written by a different snapshot schema.
+    SchemaMismatch {
+        /// Version recorded in the journal header.
+        found: u32,
+        /// Version this binary expects.
+        expected: u32,
+    },
+    /// The journal belongs to a run with a different RNG seed.
+    SeedMismatch {
+        /// Seed recorded in the journal header.
+        found: u64,
+        /// Seed of the scenario attempting to resume.
+        expected: u64,
+    },
+    /// The journal belongs to a different scenario configuration.
+    ConfigMismatch {
+        /// Fingerprint recorded in the journal header.
+        found: u64,
+        /// Fingerprint of the scenario attempting to resume.
+        expected: u64,
+    },
+    /// Structural damage beyond what tail truncation can repair.
+    Corrupt(String),
+    /// A sealed payload failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadMagic => write!(f, "not a SleepScale journal (bad magic)"),
+            JournalError::SchemaMismatch { found, expected } => {
+                write!(f, "schema mismatch: journal v{found}, this binary expects v{expected}")
+            }
+            JournalError::SeedMismatch { found, expected } => {
+                write!(f, "seed mismatch: journal seed {found}, scenario seed {expected}")
+            }
+            JournalError::ConfigMismatch { found, expected } => write!(
+                f,
+                "config mismatch: journal fingerprint {found:#018x}, \
+                 scenario fingerprint {expected:#018x}"
+            ),
+            JournalError::Corrupt(reason) => write!(f, "corrupt journal: {reason}"),
+            JournalError::Codec(e) => write!(f, "journal payload decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+impl From<CodecError> for JournalError {
+    fn from(e: CodecError) -> JournalError {
+        JournalError::Codec(e)
+    }
+}
+
+fn encode_header(meta: &JournalMeta) -> [u8; HEADER_LEN as usize] {
+    let mut header = [0u8; HEADER_LEN as usize];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..8].copy_from_slice(&meta.schema_version.to_le_bytes());
+    header[8..16].copy_from_slice(&meta.seed.to_le_bytes());
+    header[16..24].copy_from_slice(&meta.config_fingerprint.to_le_bytes());
+    let checksum = fnv1a64(&header[0..24]);
+    header[24..32].copy_from_slice(&checksum.to_le_bytes());
+    header
+}
+
+/// An open, append-ready journal file.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    records: u64,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal at `path` and writes its
+    /// header durably.
+    pub fn create(path: &Path, meta: &JournalMeta) -> Result<Journal, JournalError> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.write_all(&encode_header(meta))?;
+        file.sync_data()?;
+        Ok(Journal { file, records: 0 })
+    }
+
+    /// Opens an existing journal for resume.
+    ///
+    /// Validates the header against `expected` (typed errors on any
+    /// mismatch), then scans the record stream. The scan stops at the
+    /// first torn or checksum-failing frame, the file is truncated to
+    /// the end of the last good record, and that record's payload is
+    /// returned — `None` when no record survived, meaning the run
+    /// restarts from scratch under the same header.
+    pub fn open_resume(
+        path: &Path,
+        expected: &JournalMeta,
+    ) -> Result<(Journal, Option<Vec<u8>>), JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN as usize || bytes[0..4] != MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let stored_checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        if stored_checksum != fnv1a64(&bytes[0..24]) {
+            return Err(JournalError::Corrupt("header checksum mismatch".into()));
+        }
+        let found = JournalMeta {
+            schema_version: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            seed: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            config_fingerprint: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+        };
+        if found.schema_version != expected.schema_version {
+            return Err(JournalError::SchemaMismatch {
+                found: found.schema_version,
+                expected: expected.schema_version,
+            });
+        }
+        if found.seed != expected.seed {
+            return Err(JournalError::SeedMismatch { found: found.seed, expected: expected.seed });
+        }
+        if found.config_fingerprint != expected.config_fingerprint {
+            return Err(JournalError::ConfigMismatch {
+                found: found.config_fingerprint,
+                expected: expected.config_fingerprint,
+            });
+        }
+
+        // Scan sealed records; stop at the first damaged frame.
+        let mut good_end = HEADER_LEN as usize;
+        let mut last_payload = None;
+        let mut records = 0u64;
+        let mut pos = good_end;
+        while bytes.len() - pos >= FRAME_LEN as usize {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+            let payload_start = pos + FRAME_LEN as usize;
+            if bytes.len() - payload_start < len {
+                break; // torn tail: frame promises more bytes than exist
+            }
+            let payload = &bytes[payload_start..payload_start + len];
+            if fnv1a64(payload) != checksum {
+                break; // bit rot or torn payload
+            }
+            pos = payload_start + len;
+            good_end = pos;
+            last_payload = Some(payload.to_vec());
+            records += 1;
+        }
+        if good_end < bytes.len() {
+            file.set_len(good_end as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good_end as u64))?;
+        Ok((Journal { file, records }, last_payload))
+    }
+
+    /// Appends one sealed record and makes it durable before
+    /// returning: after `append` succeeds, a crash at any later point
+    /// leaves this record recoverable.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| JournalError::Corrupt("record exceeds u32 length frame".into()))?;
+        let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Sealed records currently in the journal.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Deterministic fault-injection plan: at which epoch boundary (if
+/// any) the run should abort after committing its record. Epochs are
+/// 0-indexed; `after_epoch(k)` means "journal epoch k, then die".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KillPlan {
+    kill_after: Option<usize>,
+}
+
+impl KillPlan {
+    /// Never aborts — the run completes and stays journaled.
+    pub fn never() -> KillPlan {
+        KillPlan::default()
+    }
+
+    /// Aborts immediately after the record for epoch `k` commits.
+    pub fn after_epoch(k: usize) -> KillPlan {
+        KillPlan { kill_after: Some(k) }
+    }
+
+    /// Whether the run should abort after this epoch's record.
+    pub fn should_kill(&self, epoch: usize) -> bool {
+        self.kill_after == Some(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sleepscale-journal-test-{}-{name}.ssj", std::process::id()));
+        p
+    }
+
+    fn meta() -> JournalMeta {
+        JournalMeta { schema_version: 1, seed: 42, config_fingerprint: 0xFEED }
+    }
+
+    #[test]
+    fn create_append_resume_returns_last_record() {
+        let path = temp_path("basic");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        j.append(b"epoch-0").unwrap();
+        j.append(b"epoch-1").unwrap();
+        j.append(b"epoch-2").unwrap();
+        drop(j);
+        let (j, last) = Journal::open_resume(&path, &meta()).unwrap();
+        assert_eq!(j.records(), 3);
+        assert_eq!(last.as_deref(), Some(&b"epoch-2"[..]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_journal_resumes_from_scratch() {
+        let path = temp_path("empty");
+        Journal::create(&path, &meta()).unwrap();
+        let (j, last) = Journal::open_resume(&path, &meta()).unwrap();
+        assert_eq!(j.records(), 0);
+        assert!(last.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_sealed_record() {
+        let path = temp_path("torn");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        j.append(b"epoch-0").unwrap();
+        j.append(b"epoch-1-longer-payload").unwrap();
+        drop(j);
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Rip off the last few bytes of the second record.
+        crate::fault::truncate_tail(&path, 5).unwrap();
+        let (j, last) = Journal::open_resume(&path, &meta()).unwrap();
+        assert_eq!(j.records(), 1);
+        assert_eq!(last.as_deref(), Some(&b"epoch-0"[..]));
+        assert!(std::fs::metadata(&path).unwrap().len() < full);
+        // A resume after truncation can keep appending.
+        let mut j = j;
+        j.append(b"epoch-1-retry").unwrap();
+        let (_, last) = Journal::open_resume(&path, &meta()).unwrap();
+        assert_eq!(last.as_deref(), Some(&b"epoch-1-retry"[..]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_byte_truncates() {
+        let path = temp_path("flip");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        j.append(b"epoch-0").unwrap();
+        j.append(b"epoch-1").unwrap();
+        drop(j);
+        // Flip a byte inside the final payload.
+        crate::fault::corrupt_tail(&path, 2).unwrap();
+        let (j, last) = Journal::open_resume(&path, &meta()).unwrap();
+        assert_eq!(j.records(), 1);
+        assert_eq!(last.as_deref(), Some(&b"epoch-0"[..]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_mismatches_are_typed() {
+        let path = temp_path("mismatch");
+        Journal::create(&path, &meta()).unwrap();
+        let wrong_seed = JournalMeta { seed: 43, ..meta() };
+        assert!(matches!(
+            Journal::open_resume(&path, &wrong_seed),
+            Err(JournalError::SeedMismatch { found: 42, expected: 43 })
+        ));
+        let wrong_schema = JournalMeta { schema_version: 2, ..meta() };
+        assert!(matches!(
+            Journal::open_resume(&path, &wrong_schema),
+            Err(JournalError::SchemaMismatch { found: 1, expected: 2 })
+        ));
+        let wrong_config = JournalMeta { config_fingerprint: 0xBEEF, ..meta() };
+        assert!(matches!(
+            Journal::open_resume(&path, &wrong_config),
+            Err(JournalError::ConfigMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn damaged_header_is_rejected_not_truncated() {
+        let path = temp_path("header");
+        Journal::create(&path, &meta()).unwrap();
+        // Corrupt a header byte (seed field).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Journal::open_resume(&path, &meta()), Err(JournalError::Corrupt(_))));
+        // A file shorter than the header, or with wrong magic, is BadMagic.
+        std::fs::write(&path, b"nope").unwrap();
+        assert!(matches!(Journal::open_resume(&path, &meta()), Err(JournalError::BadMagic)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kill_plan_semantics() {
+        assert!(!KillPlan::never().should_kill(0));
+        assert!(!KillPlan::never().should_kill(999));
+        let plan = KillPlan::after_epoch(3);
+        assert!(!plan.should_kill(2));
+        assert!(plan.should_kill(3));
+        assert!(!plan.should_kill(4));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

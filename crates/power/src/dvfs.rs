@@ -67,6 +67,19 @@ impl fmt::Display for Frequency {
     }
 }
 
+impl sleepscale_journal::Snapshot for Frequency {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_f64(self.0);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Frequency, sleepscale_journal::CodecError> {
+        Frequency::new(r.get_f64()?)
+            .map_err(|e| sleepscale_journal::CodecError::Invalid(e.to_string()))
+    }
+}
+
 impl Eq for Frequency {}
 
 #[allow(clippy::derive_ord_xor_partial_ord)]

@@ -1,6 +1,7 @@
 use crate::dvfs::Frequency;
 use crate::sleep::SleepProgram;
 use serde::{Deserialize, Serialize};
+use sleepscale_journal::Snapshot;
 use std::fmt;
 
 /// A joint power-management policy: the DVFS operating [`Frequency`] plus
@@ -67,6 +68,21 @@ impl Policy {
 impl fmt::Display for Policy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.label())
+    }
+}
+
+impl Snapshot for Policy {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.frequency.snapshot(w);
+        self.program.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Policy, sleepscale_journal::CodecError> {
+        let frequency = Frequency::restore(r)?;
+        let program = SleepProgram::restore(r)?;
+        Ok(Policy::new(frequency, program))
     }
 }
 

@@ -187,6 +187,38 @@ impl fmt::Display for SleepProgram {
     }
 }
 
+impl sleepscale_journal::Snapshot for SleepStage {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.state.snapshot(w);
+        w.put_f64(self.enter_after);
+        w.put_f64(self.wake_latency);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<SleepStage, sleepscale_journal::CodecError> {
+        let state = SystemState::restore(r)?;
+        let enter_after = r.get_f64()?;
+        let wake_latency = r.get_f64()?;
+        SleepStage::new(state, enter_after, wake_latency)
+            .map_err(|e| sleepscale_journal::CodecError::Invalid(e.to_string()))
+    }
+}
+
+impl sleepscale_journal::Snapshot for SleepProgram {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.stages.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<SleepProgram, sleepscale_journal::CodecError> {
+        let stages = Vec::<SleepStage>::restore(r)?;
+        SleepProgram::new(stages)
+            .map_err(|e| sleepscale_journal::CodecError::Invalid(e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,6 +101,33 @@ impl fmt::Display for SystemState {
     }
 }
 
+impl sleepscale_journal::Snapshot for SystemState {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        // Both halves serialize as their position in the canonical
+        // ladder (CpuState depth doubles as that index).
+        w.put_u8(self.cpu.depth());
+        let platform =
+            PlatformState::ALL.iter().position(|p| *p == self.platform).unwrap_or_default();
+        w.put_u8(platform as u8);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<SystemState, sleepscale_journal::CodecError> {
+        let cpu_idx = r.get_u8()? as usize;
+        let platform_idx = r.get_u8()? as usize;
+        let cpu = *CpuState::ALL.get(cpu_idx).ok_or_else(|| {
+            sleepscale_journal::CodecError::Invalid(format!("cpu state index {cpu_idx}"))
+        })?;
+        let platform = *PlatformState::ALL.get(platform_idx).ok_or_else(|| {
+            sleepscale_journal::CodecError::Invalid(format!("platform state index {platform_idx}"))
+        })?;
+        // Checked construction re-validates Table 3 legality.
+        SystemState::new(cpu, platform)
+            .map_err(|e| sleepscale_journal::CodecError::Invalid(e.to_string()))
+    }
+}
+
 /// Whole-system power model: CPU model + platform model.
 ///
 /// The power of a combined state is the sum of its halves (Section 3.1).

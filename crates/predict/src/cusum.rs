@@ -91,6 +91,32 @@ impl Cusum {
     }
 }
 
+impl sleepscale_journal::Snapshot for Cusum {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_f64(self.slack);
+        w.put_f64(self.threshold);
+        w.put_f64(self.mean);
+        w.put_f64(self.dev);
+        w.put_f64(self.pos);
+        w.put_f64(self.neg);
+        w.put_u64(self.samples);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Cusum, sleepscale_journal::CodecError> {
+        Ok(Cusum {
+            slack: r.get_f64()?,
+            threshold: r.get_f64()?,
+            mean: r.get_f64()?,
+            dev: r.get_f64()?,
+            pos: r.get_f64()?,
+            neg: r.get_f64()?,
+            samples: r.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

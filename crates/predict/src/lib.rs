@@ -60,6 +60,48 @@ pub trait Predictor: std::fmt::Debug + Send {
 
     /// Short name used in figures (e.g. `"LC"`, `"LMS"`, `"NP"`).
     fn name(&self) -> &'static str;
+
+    /// Serializes the predictor's adaptive state for checkpointing.
+    /// The default writes nothing — a stateless predictor resumes fresh.
+    /// Pair with [`restore_predictor`], which dispatches on
+    /// [`Predictor::name`].
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        let _ = w;
+    }
+}
+
+/// Writes `p`'s name tag followed by its adaptive state, so
+/// [`restore_predictor`] can rebuild the concrete type behind the trait
+/// object.
+pub fn snapshot_predictor(p: &dyn Predictor, w: &mut sleepscale_journal::ByteWriter) {
+    w.put_str(p.name());
+    p.snapshot_state(w);
+}
+
+/// Rebuilds a boxed predictor from a [`snapshot_predictor`] record.
+///
+/// # Errors
+///
+/// Returns [`sleepscale_journal::CodecError::Invalid`] for an unknown
+/// name tag or malformed state bytes — corrupt checkpoints surface as
+/// typed errors, never panics.
+pub fn restore_predictor(
+    r: &mut sleepscale_journal::ByteReader<'_>,
+) -> Result<Box<dyn Predictor>, sleepscale_journal::CodecError> {
+    use sleepscale_journal::Snapshot;
+    let name = r.get_string()?;
+    Ok(match name.as_str() {
+        "NP" => Box::new(NaivePrevious::restore(r)?),
+        "MA" => Box::new(MovingAverage::restore(r)?),
+        "Offline" => Box::new(Offline::restore(r)?),
+        "LMS" => Box::new(Lms::restore(r)?),
+        "LC" => Box::new(LmsCusum::restore(r)?),
+        other => {
+            return Err(sleepscale_journal::CodecError::Invalid(format!(
+                "unknown predictor tag {other:?}"
+            )))
+        }
+    })
 }
 
 /// Convenient glob-import surface.

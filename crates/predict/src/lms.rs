@@ -89,6 +89,34 @@ impl Predictor for Lms {
     fn name(&self) -> &'static str {
         "LMS"
     }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        sleepscale_journal::Snapshot::snapshot(self, w);
+    }
+}
+
+impl sleepscale_journal::Snapshot for Lms {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_usize(self.order);
+        w.put_f64(self.step);
+        self.weights.snapshot(w);
+        self.history.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Lms, sleepscale_journal::CodecError> {
+        let order = r.get_usize()?;
+        if order == 0 {
+            return Err(sleepscale_journal::CodecError::Invalid("LMS order must be >= 1".into()));
+        }
+        Ok(Lms {
+            order,
+            step: r.get_f64()?,
+            weights: Vec::restore(r)?,
+            history: VecDeque::restore(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

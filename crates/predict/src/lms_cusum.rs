@@ -104,6 +104,42 @@ impl Predictor for LmsCusum {
     fn name(&self) -> &'static str {
         "LC"
     }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        sleepscale_journal::Snapshot::snapshot(self, w);
+    }
+}
+
+impl sleepscale_journal::Snapshot for LmsCusum {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_usize(self.hist);
+        w.put_f64(self.step);
+        w.put_usize(self.p);
+        self.weights.snapshot(w);
+        self.history.snapshot(w);
+        self.detector.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<LmsCusum, sleepscale_journal::CodecError> {
+        let hist = r.get_usize()?;
+        let step = r.get_f64()?;
+        let p = r.get_usize()?;
+        if hist == 0 || p == 0 || p > hist {
+            return Err(sleepscale_journal::CodecError::Invalid(format!(
+                "LMS+CUSUM look-back p={p} must satisfy 1 <= p <= hist={hist}"
+            )));
+        }
+        Ok(LmsCusum {
+            hist,
+            step,
+            p,
+            weights: Vec::restore(r)?,
+            history: VecDeque::restore(r)?,
+            detector: Cusum::restore(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@ impl Predictor for NaivePrevious {
     fn name(&self) -> &'static str {
         "NP"
     }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        sleepscale_journal::Snapshot::snapshot(self, w);
+    }
 }
 
 /// Fixed-weight moving average over the last `window` samples — the
@@ -66,6 +70,10 @@ impl Predictor for MovingAverage {
     fn name(&self) -> &'static str {
         "MA"
     }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        sleepscale_journal::Snapshot::snapshot(self, w);
+    }
 }
 
 /// The genie-aided offline predictor: knows the true future utilization
@@ -96,6 +104,54 @@ impl Predictor for Offline {
 
     fn name(&self) -> &'static str {
         "Offline"
+    }
+
+    fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        sleepscale_journal::Snapshot::snapshot(self, w);
+    }
+}
+
+impl sleepscale_journal::Snapshot for NaivePrevious {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.last.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<NaivePrevious, sleepscale_journal::CodecError> {
+        Ok(NaivePrevious { last: Option::restore(r)? })
+    }
+}
+
+impl sleepscale_journal::Snapshot for MovingAverage {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_usize(self.window);
+        self.history.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<MovingAverage, sleepscale_journal::CodecError> {
+        let window = r.get_usize()?;
+        if window == 0 {
+            return Err(sleepscale_journal::CodecError::Invalid(
+                "moving-average window must be >= 1".into(),
+            ));
+        }
+        Ok(MovingAverage { window, history: VecDeque::restore(r)? })
+    }
+}
+
+impl sleepscale_journal::Snapshot for Offline {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        self.future.snapshot(w);
+        w.put_usize(self.clock);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Offline, sleepscale_journal::CodecError> {
+        Ok(Offline { future: Vec::restore(r)?, clock: r.get_usize()? })
     }
 }
 

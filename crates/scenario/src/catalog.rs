@@ -239,6 +239,67 @@ pub fn fleet64_tuned() -> Scenario {
     scenario
 }
 
+/// The checkpoint/resume gate's single-server scenario: one Xeon under
+/// the full runtime over a short constant-load window — 6 five-minute
+/// epochs, so kill-at-every-boundary × resume stays cheap while still
+/// crossing enough boundaries to catch cross-epoch state (predictor
+/// history, warm starts, ledger carry-over) that a one-epoch run would
+/// hide.
+pub fn resume_single() -> Scenario {
+    let mut scenario = Scenario::new(
+        "resume-single",
+        WorkloadSource::Dns,
+        LoadSchedule::Constant { rho: 0.25, minutes: 30 },
+    );
+    scenario.eval_jobs = 200;
+    scenario.dist_samples = 4_000;
+    scenario.seed = 81;
+    scenario
+}
+
+/// The checkpoint/resume gate's sharded-fleet scenario: 8 servers
+/// behind seeded-hash routing, evaluated as 2 shards — the backend
+/// whose resume must stay byte-identical across *different* worker
+/// thread counts on either side of the kill (shard cursors are
+/// re-derived from the epoch clock, never stored).
+pub fn resume_fleet_sharded() -> Scenario {
+    let mut scenario = Scenario::new(
+        "resume-fleet-sharded",
+        WorkloadSource::Dns,
+        LoadSchedule::Constant { rho: 0.25, minutes: 30 },
+    );
+    scenario.fleet = vec![ServerGroup::new("fleet", 8, StrategySpec::sleepscale())];
+    scenario.dispatcher = DispatcherSpec::SplitUniform { seed: 17 };
+    scenario.shards = 2;
+    scenario.eval_jobs = 200;
+    scenario.dist_samples = 4_000;
+    scenario.seed = 82;
+    scenario
+}
+
+/// The checkpoint/resume gate's tagged-stream scenario: two declared
+/// classes on a small fleet behind round-robin — per-class response
+/// sketches *and* the dispatcher's own cursor must survive the kill
+/// for the resumed report's class slices to land byte-identical.
+pub fn resume_tagged() -> Scenario {
+    let mut scenario = Scenario::new(
+        "resume-tagged",
+        WorkloadSource::Tagged(TrafficModel {
+            classes: vec![
+                TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0).with_p95_budget(20.0),
+                TrafficClass::new("batch", WorkloadSpec::mail(), 1.0).with_p95_budget(120.0),
+            ],
+        }),
+        LoadSchedule::Constant { rho: 0.25, minutes: 30 },
+    );
+    scenario.fleet = vec![ServerGroup::new("shared", 2, StrategySpec::sleepscale())];
+    scenario.dispatcher = DispatcherSpec::RoundRobin;
+    scenario.eval_jobs = 200;
+    scenario.dist_samples = 4_000;
+    scenario.seed = 83;
+    scenario
+}
+
 /// Every bundled scenario, in catalog order.
 pub fn catalog() -> Vec<Scenario> {
     vec![
@@ -252,6 +313,9 @@ pub fn catalog() -> Vec<Scenario> {
         mixed_workload_packed(),
         dns_mail_tagged(),
         flash_crowd_day(),
+        resume_single(),
+        resume_fleet_sharded(),
+        resume_tagged(),
     ]
 }
 
@@ -275,6 +339,19 @@ mod tests {
             ScenarioRunner::new(scenario.clone()).unwrap_or_else(|e| panic!("{name}: {e}"));
             ScenarioRunner::new(scenario.quick()).unwrap_or_else(|e| panic!("{name} quick: {e}"));
         }
+    }
+
+    /// The resume trio covers the gate's whole matrix: single-server,
+    /// sharded fleet, and a tagged stream — each crossing several epoch
+    /// boundaries so cross-epoch state actually matters.
+    #[test]
+    fn resume_scenarios_cover_the_gate_matrix() {
+        for s in [resume_single(), resume_fleet_sharded(), resume_tagged()] {
+            assert!(s.load.minutes() / s.epoch_minutes >= 4, "{}", s.name);
+        }
+        assert_eq!(resume_single().total_servers(), 1);
+        assert!(resume_fleet_sharded().shards > 1);
+        assert!(resume_tagged().workload.traffic_model().is_some());
     }
 
     #[test]

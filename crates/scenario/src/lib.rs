@@ -73,7 +73,9 @@ pub mod catalog;
 mod runner;
 mod scenario;
 
-pub use runner::{Backend, ClassReport, GroupReport, ScenarioReport, ScenarioRunner};
+pub use runner::{
+    Backend, ClassReport, GroupReport, ScenarioReport, ScenarioRunner, JOURNAL_SCHEMA_VERSION,
+};
 pub use scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, WorkloadSource};
 
 /// Convenient glob-import surface (includes the upstream types a
@@ -86,6 +88,7 @@ pub mod prelude {
     };
     pub use sleepscale::{CandidateSpec, PredictorSpec, QosConstraint, SearchMode, StrategySpec};
     pub use sleepscale_cluster::ServerGroup;
+    pub use sleepscale_journal::{JournalError, KillPlan};
     pub use sleepscale_power::{presets, FrequencyScaling};
     pub use sleepscale_sim::{ClassId, SimEnv};
     pub use sleepscale_traffic::{ArrivalModulator, TrafficClass, TrafficModel};

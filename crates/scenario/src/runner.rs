@@ -4,12 +4,20 @@ use serde::{Deserialize, Serialize};
 use sleepscale::{CacheStats, CoreError, RunReport, RuntimeConfig, StrategySpec, WarmStartStats};
 use sleepscale_cluster::{Cluster, ClusterConfig, ClusterReport};
 use sleepscale_dist::StreamingSummary;
+use sleepscale_journal::{fnv1a64, Journal, JournalMeta, KillPlan};
 use sleepscale_power::{ep, EnergyProportionality, PowerSample};
 use sleepscale_sim::{JobStream, StreamSplit};
 use sleepscale_traffic::replay_traffic;
 use sleepscale_workloads::{
     replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
 };
+use std::path::Path;
+
+/// The snapshot schema version this binary writes into (and accepts
+/// from) journal headers. Bump whenever any `Snapshot` layout anywhere
+/// in the engine changes — a resume across versions is rejected with a
+/// typed error, never guessed at.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
 
 /// Which engine a scenario ran on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -469,10 +477,96 @@ impl ScenarioRunner {
         jobs: &JobStream,
     ) -> Result<ScenarioReport, CoreError> {
         let base = self.base_runtime(spec)?;
-        if self.scenario.total_servers() == 1 {
-            self.run_single(spec, trace, jobs, &base)
+        let report = if self.scenario.total_servers() == 1 {
+            self.run_single(spec, trace, jobs, &base, None, None)?
         } else {
-            self.run_cluster(spec, trace, jobs, &base)
+            self.run_cluster(spec, trace, jobs, &base, None, None)?
+        };
+        Ok(report.expect("a run without a checkpoint sink always completes"))
+    }
+
+    /// FNV-1a 64 fingerprint of the scenario's full configuration (the
+    /// debug form covers every field, the fleet and workload included).
+    /// Written into the journal header so resuming against a reshaped
+    /// scenario is a typed error instead of silent divergence.
+    pub fn config_fingerprint(&self) -> u64 {
+        fnv1a64(format!("{:?}", self.scenario).as_bytes())
+    }
+
+    fn journal_meta(&self) -> JournalMeta {
+        JournalMeta {
+            schema_version: JOURNAL_SCHEMA_VERSION,
+            seed: self.scenario.seed,
+            config_fingerprint: self.config_fingerprint(),
+        }
+    }
+
+    /// Runs the scenario with epoch-boundary checkpointing into the
+    /// journal at `path` — created fresh, or resumed if a journal from
+    /// an earlier killed attempt of the *same* run already sits there.
+    /// After every completed epoch the engine's full state is committed
+    /// as one sealed, checksummed record; `kill` injects a
+    /// deterministic crash after its epoch's record commits and makes
+    /// the call return `Ok(None)` (the fault-injection path the
+    /// `resume` gate drives — [`KillPlan::never`] always completes).
+    ///
+    /// # Errors
+    ///
+    /// Journal header mismatches (schema version, seed, config
+    /// fingerprint) and payload decode failures surface as
+    /// [`CoreError::Checkpoint`]; input and backend errors propagate
+    /// unchanged.
+    pub fn run_checkpointed(
+        &self,
+        path: &Path,
+        kill: KillPlan,
+    ) -> Result<Option<ScenarioReport>, CoreError> {
+        let meta = self.journal_meta();
+        let (journal, resume) = if path.exists() {
+            Journal::open_resume(path, &meta)?
+        } else {
+            (Journal::create(path, &meta)?, None)
+        };
+        self.drive_checkpointed(journal, resume, kill)
+    }
+
+    /// Resumes a killed checkpointed run from its journal and drives it
+    /// to completion: a torn tail is truncated to the last sealed
+    /// record, state is restored from that record (or the run restarts
+    /// from scratch when none survived), and the remaining epochs run —
+    /// appending to the same journal, so kills can chain — producing a
+    /// report byte-identical to an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] when the journal was written by a
+    /// different schema version, seed, or scenario shape, or its last
+    /// sealed record fails to decode; backend errors propagate
+    /// unchanged.
+    pub fn resume(&self, path: &Path) -> Result<ScenarioReport, CoreError> {
+        let meta = self.journal_meta();
+        let (journal, resume) = Journal::open_resume(path, &meta)?;
+        Ok(self
+            .drive_checkpointed(journal, resume, KillPlan::never())?
+            .expect("a checkpointed run without a kill plan always completes"))
+    }
+
+    fn drive_checkpointed(
+        &self,
+        mut journal: Journal,
+        resume: Option<Vec<u8>>,
+        kill: KillPlan,
+    ) -> Result<Option<ScenarioReport>, CoreError> {
+        let (spec, trace, jobs) = self.inputs()?;
+        let base = self.base_runtime(&spec)?;
+        let mut sink = |epoch: usize, payload: &[u8]| -> Result<bool, CoreError> {
+            journal.append(payload)?;
+            Ok(!kill.should_kill(epoch))
+        };
+        if self.scenario.total_servers() == 1 {
+            self.run_single(&spec, &trace, &jobs, &base, resume.as_deref(), Some(&mut sink))
+        } else {
+            self.run_cluster(&spec, &trace, &jobs, &base, resume.as_deref(), Some(&mut sink))
         }
     }
 
@@ -562,7 +656,9 @@ impl ScenarioRunner {
         trace: &UtilizationTrace,
         jobs: &JobStream,
         base: &RuntimeConfig,
-    ) -> Result<ScenarioReport, CoreError> {
+        resume_from: Option<&[u8]>,
+        sink: Option<sleepscale::CheckpointSink<'_>>,
+    ) -> Result<Option<ScenarioReport>, CoreError> {
         let group = &self.scenario.fleet[0];
         let backend = if matches!(group.strategy, StrategySpec::Analytic { .. }) {
             Backend::Analytic
@@ -573,12 +669,34 @@ impl ScenarioRunner {
         // cache/warm telemetry survives into the report.
         let (report, cache, warm) = match group.strategy.build_managed(base) {
             Some(mut managed) => {
-                let report = sleepscale::run(trace, jobs, &mut managed, base.env(), base)?;
+                let Some(report) = sleepscale::run_resumable(
+                    trace,
+                    jobs,
+                    &mut managed,
+                    base.env(),
+                    base,
+                    resume_from,
+                    sink,
+                )?
+                else {
+                    return Ok(None);
+                };
                 (report, managed.cache_stats().unwrap_or_default(), managed.warm_start_stats())
             }
             None => {
                 let mut strategy = group.strategy.build(base);
-                let report = sleepscale::run(trace, jobs, strategy.as_mut(), base.env(), base)?;
+                let Some(report) = sleepscale::run_resumable(
+                    trace,
+                    jobs,
+                    strategy.as_mut(),
+                    base.env(),
+                    base,
+                    resume_from,
+                    sink,
+                )?
+                else {
+                    return Ok(None);
+                };
                 (report, CacheStats::default(), WarmStartStats::default())
             }
         };
@@ -605,7 +723,7 @@ impl ScenarioRunner {
             report.energy_joules(),
             report.class_active_energy(),
         );
-        Ok(ScenarioReport {
+        Ok(Some(ScenarioReport {
             scenario: self.scenario.name.clone(),
             backend,
             groups: vec![group_report],
@@ -617,7 +735,7 @@ impl ScenarioRunner {
             warm,
             run: Some(report),
             cluster: None,
-        })
+        }))
     }
 
     fn run_cluster(
@@ -626,7 +744,9 @@ impl ScenarioRunner {
         trace: &UtilizationTrace,
         jobs: &JobStream,
         base: &RuntimeConfig,
-    ) -> Result<ScenarioReport, CoreError> {
+        resume_from: Option<&[u8]>,
+        sink: Option<sleepscale::CheckpointSink<'_>>,
+    ) -> Result<Option<ScenarioReport>, CoreError> {
         let config = ClusterConfig::new(base, self.scenario.fleet.clone())?;
         let mut cluster = Cluster::new(config).with_threads(self.scenario.threads);
         // Sharded scenarios take the concurrent engine; validation
@@ -634,13 +754,21 @@ impl ScenarioRunner {
         // central path for every shard count, so `shards` is a pure
         // throughput knob.
         let report = match (self.scenario.shards, self.scenario.dispatcher.split_seed()) {
-            (shards, Some(seed)) if shards > 1 => {
-                cluster.run_sharded(trace, jobs, StreamSplit::new(seed), shards)?
-            }
+            (shards, Some(seed)) if shards > 1 => cluster.run_sharded_checkpointed(
+                trace,
+                jobs,
+                StreamSplit::new(seed),
+                shards,
+                resume_from,
+                sink,
+            )?,
             _ => {
                 let mut dispatcher = self.scenario.dispatcher.build();
-                cluster.run(trace, jobs, dispatcher.as_mut())?
+                cluster.run_checkpointed(trace, jobs, dispatcher.as_mut(), resume_from, sink)?
             }
+        };
+        let Some(report) = report else {
+            return Ok(None);
         };
         let per_group_cache = cluster.group_characterization_stats();
         let groups = report
@@ -674,7 +802,7 @@ impl ScenarioRunner {
             report.total_energy_joules(),
             report.class_active_energy(),
         );
-        Ok(ScenarioReport {
+        Ok(Some(ScenarioReport {
             scenario: self.scenario.name.clone(),
             backend: Backend::Cluster,
             groups,
@@ -686,7 +814,7 @@ impl ScenarioRunner {
             warm: cluster.warm_start_stats(),
             run: None,
             cluster: Some(report),
-        })
+        }))
     }
 }
 
@@ -975,6 +1103,69 @@ mod tests {
         single.shards = 2;
         let err = ScenarioRunner::new(single).unwrap_err();
         assert!(err.to_string().contains("multi-server"), "{err}");
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sleepscale-runner-test-{}-{name}.ssj", std::process::id()));
+        p
+    }
+
+    /// The tentpole at scenario level: an uninterrupted checkpointed
+    /// run equals the plain run, and kill-then-resume equals both —
+    /// byte for byte, on the single-server and cluster backends.
+    #[test]
+    fn checkpointed_kill_and_resume_is_byte_identical() {
+        for scenario in [small_single(), small_fleet()] {
+            let runner = ScenarioRunner::new(scenario).unwrap();
+            let reference = runner.run().unwrap();
+            let path = journal_path(&format!("kill-{}", runner.scenario().name));
+            let _ = std::fs::remove_file(&path);
+            let full = runner.run_checkpointed(&path, KillPlan::never()).unwrap().unwrap();
+            assert_eq!(full, reference, "{}: uninterrupted checkpointed run", full.scenario());
+            // Kill after epoch 2 of 6, then resume to completion.
+            std::fs::remove_file(&path).unwrap();
+            assert!(runner.run_checkpointed(&path, KillPlan::after_epoch(2)).unwrap().is_none());
+            let resumed = runner.resume(&path).unwrap();
+            assert_eq!(resumed, reference);
+            assert_eq!(format!("{resumed:?}"), format!("{reference:?}"), "bit-exact debug form");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    /// A torn journal tail (simulated mid-write crash) truncates to the
+    /// last sealed epoch and the resume still lands byte-identical.
+    #[test]
+    fn torn_journal_tail_resumes_from_last_sealed_epoch() {
+        let runner = ScenarioRunner::new(small_single()).unwrap();
+        let reference = runner.run().unwrap();
+        let path = journal_path("torn");
+        let _ = std::fs::remove_file(&path);
+        assert!(runner.run_checkpointed(&path, KillPlan::after_epoch(3)).unwrap().is_none());
+        sleepscale_journal::fault::truncate_tail(&path, 7).unwrap();
+        let resumed = runner.resume(&path).unwrap();
+        assert_eq!(resumed, reference);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Resuming under the wrong seed or a reshaped scenario is a typed
+    /// error, never a silently diverging run.
+    #[test]
+    fn resume_rejects_mismatched_seed_and_config() {
+        let runner = ScenarioRunner::new(small_single()).unwrap();
+        let path = journal_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        assert!(runner.run_checkpointed(&path, KillPlan::after_epoch(0)).unwrap().is_none());
+        let mut reseeded = small_single();
+        reseeded.seed += 1;
+        let err = ScenarioRunner::new(reseeded).unwrap().resume(&path).unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint { .. }), "{err}");
+        assert!(err.to_string().contains("seed mismatch"), "{err}");
+        let mut reshaped = small_single();
+        reshaped.eval_jobs += 1;
+        let err = ScenarioRunner::new(reshaped).unwrap().resume(&path).unwrap_err();
+        assert!(err.to_string().contains("config mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -34,6 +34,19 @@ impl CarryState {
     }
 }
 
+impl sleepscale_journal::Snapshot for CarryState {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_f64(self.free_time);
+        self.idle.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<CarryState, sleepscale_journal::CodecError> {
+        Ok(CarryState { free_time: r.get_f64()?, idle: Option::restore(r)? })
+    }
+}
+
 /// Incremental FCFS + sleep-states simulator (the paper's Algorithm 1,
 /// exact-event version).
 ///
@@ -263,6 +276,40 @@ impl OnlineSim {
     /// Jobs completed so far.
     pub fn jobs_done(&self) -> usize {
         self.jobs_done
+    }
+
+    /// Serializes the full mid-run state — ledger, carry state, residency,
+    /// and wake counters — for checkpointing. The environment is *not*
+    /// written; resumes rebuild it from configuration and pass it to
+    /// [`OnlineSim::restore_state`].
+    pub fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
+        use sleepscale_journal::Snapshot;
+        self.ledger.snapshot(w);
+        self.state.snapshot(w);
+        self.residency.snapshot(w);
+        self.wakes_from.snapshot(w);
+        w.put_u64(self.wakes_without_sleep);
+        w.put_usize(self.jobs_done);
+    }
+
+    /// Rebuilds a simulator from a [`OnlineSim::snapshot_state`] record
+    /// and a freshly constructed environment. Draws from the same codec
+    /// error discipline as every [`sleepscale_journal::Snapshot`] impl:
+    /// corrupt input yields a typed error, never a panic.
+    pub fn restore_state(
+        env: SimEnv,
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<OnlineSim, sleepscale_journal::CodecError> {
+        use sleepscale_journal::Snapshot;
+        Ok(OnlineSim {
+            env,
+            ledger: EnergyLedger::restore(r)?,
+            state: CarryState::restore(r)?,
+            residency: Residency::restore(r)?,
+            wakes_from: Vec::restore(r)?,
+            wakes_without_sleep: r.get_u64()?,
+            jobs_done: r.get_usize()?,
+        })
     }
 }
 

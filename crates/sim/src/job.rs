@@ -424,6 +424,18 @@ impl<'a> JobCursor<'a> {
     pub fn is_finished(&self) -> bool {
         self.pos == self.jobs.len()
     }
+
+    /// Number of jobs consumed so far — the cursor's resume point for
+    /// checkpointing.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Fast-forwards (or rewinds) the cursor to `pos` consumed jobs,
+    /// clamped to the stream length.
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.jobs.len());
+    }
 }
 
 impl IntoIterator for JobStream {

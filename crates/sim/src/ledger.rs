@@ -222,6 +222,38 @@ impl EnergyLedger {
     }
 }
 
+impl sleepscale_journal::Snapshot for EnergyLedger {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_f64(self.bucket_width);
+        self.buckets.snapshot(w);
+        w.put_f64(self.total);
+        w.put_f64(self.end_of_time);
+        self.busy_buckets.snapshot(w);
+        self.active_by_class.snapshot(w);
+        w.put_f64(self.active_total);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<EnergyLedger, sleepscale_journal::CodecError> {
+        let bucket_width = r.get_f64()?;
+        if !bucket_width.is_finite() || bucket_width <= 0.0 {
+            return Err(sleepscale_journal::CodecError::Invalid(format!(
+                "ledger bucket width {bucket_width} must be finite and > 0"
+            )));
+        }
+        Ok(EnergyLedger {
+            bucket_width,
+            buckets: Vec::restore(r)?,
+            total: r.get_f64()?,
+            end_of_time: r.get_f64()?,
+            busy_buckets: Vec::restore(r)?,
+            active_by_class: Vec::restore(r)?,
+            active_total: r.get_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

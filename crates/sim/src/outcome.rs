@@ -77,6 +77,26 @@ impl Residency {
     }
 }
 
+impl sleepscale_journal::Snapshot for Residency {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_f64(self.serving);
+        w.put_f64(self.waking);
+        w.put_f64(self.active_idle);
+        self.states.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<Residency, sleepscale_journal::CodecError> {
+        Ok(Residency {
+            serving: r.get_f64()?,
+            waking: r.get_f64()?,
+            active_idle: r.get_f64()?,
+            states: Vec::restore(r)?,
+        })
+    }
+}
+
 /// The result of a batch policy evaluation ([`crate::simulate`]):
 /// the joint power/QoS characterization the policy manager ranks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

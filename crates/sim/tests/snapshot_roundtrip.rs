@@ -1,0 +1,82 @@
+//! Serde round-trip properties for the [`EnergyLedger`] snapshot
+//! (PR 8): a ledger built from an arbitrary mix of plain and
+//! class-tagged segments must re-serialize byte-for-byte after
+//! restore, carry its per-class attribution across exactly, and turn
+//! truncated snapshot bytes into a typed error rather than a panic.
+
+use proptest::prelude::*;
+use sleepscale_journal::{ByteReader, ByteWriter, Snapshot};
+use sleepscale_power::Watts;
+use sleepscale_sim::{ClassId, EnergyLedger};
+use std::ops::Range;
+
+fn snapshot_bytes(ledger: &EnergyLedger) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    ledger.snapshot(&mut w);
+    w.into_bytes()
+}
+
+/// A (start offset, duration, watts, class) segment tuple; class 0
+/// means an untagged idle/overhead segment, 1.. are tagged active.
+type SegmentStrategy = (Range<f64>, Range<f64>, Range<f64>, Range<u16>);
+
+fn segment_strategy() -> proptest::collection::VecStrategy<SegmentStrategy> {
+    proptest::collection::vec((0.0f64..500.0, 0.01f64..30.0, 1.0f64..250.0, 0u16..4), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// snapshot → restore → snapshot is byte-equal, and the restored
+    /// ledger's totals and per-class split agree to the bit.
+    #[test]
+    fn energy_ledger_round_trip_is_byte_equal(
+        segments in segment_strategy(),
+        bucket_width in 1.0f64..600.0,
+    ) {
+        let mut ledger = EnergyLedger::new(bucket_width);
+        for &(start, duration, watts, class) in &segments {
+            let (end, watts) = (start + duration, Watts::new(watts));
+            if class == 0 {
+                ledger.add_segment(start, end, watts);
+            } else {
+                ledger.add_active_segment(start, end, watts, ClassId(class - 1));
+            }
+        }
+        let bytes = snapshot_bytes(&ledger);
+        let restored = EnergyLedger::restore(&mut ByteReader::new(&bytes))
+            .expect("snapshot bytes decode");
+        prop_assert_eq!(&bytes, &snapshot_bytes(&restored));
+        prop_assert_eq!(
+            restored.total_energy().as_joules().to_bits(),
+            ledger.total_energy().as_joules().to_bits()
+        );
+        prop_assert_eq!(
+            restored.active_energy().as_joules().to_bits(),
+            ledger.active_energy().as_joules().to_bits()
+        );
+        prop_assert_eq!(restored.bucket_count(), ledger.bucket_count());
+        for class in 0..3 {
+            prop_assert_eq!(
+                restored.class_active_energy(ClassId(class)).as_joules().to_bits(),
+                ledger.class_active_energy(ClassId(class)).as_joules().to_bits()
+            );
+        }
+    }
+
+    /// Truncating the snapshot at ANY byte is a typed [`CodecError`] —
+    /// a half-written ledger never decodes and never panics.
+    #[test]
+    fn truncated_ledger_snapshot_is_an_error_not_a_panic(
+        segments in segment_strategy(),
+        cut in 0usize..100_000,
+    ) {
+        let mut ledger = EnergyLedger::new(60.0);
+        for &(start, duration, watts, class) in &segments {
+            ledger.add_active_segment(start, start + duration, Watts::new(watts), ClassId(class));
+        }
+        let bytes = snapshot_bytes(&ledger);
+        let cut = cut % bytes.len();
+        prop_assert!(EnergyLedger::restore(&mut ByteReader::new(&bytes[..cut])).is_err());
+    }
+}

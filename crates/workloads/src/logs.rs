@@ -248,6 +248,34 @@ impl JobLog {
     }
 }
 
+impl sleepscale_journal::Snapshot for JobLog {
+    fn snapshot(&self, w: &mut sleepscale_journal::ByteWriter) {
+        w.put_usize(self.capacity);
+        self.interarrivals.snapshot(w);
+        self.sizes.snapshot(w);
+        self.classes.snapshot(w);
+        self.last_arrival.snapshot(w);
+    }
+
+    fn restore(
+        r: &mut sleepscale_journal::ByteReader<'_>,
+    ) -> Result<JobLog, sleepscale_journal::CodecError> {
+        let capacity = r.get_usize()?.max(1);
+        let interarrivals = VecDeque::restore(r)?;
+        let sizes: VecDeque<f64> = VecDeque::restore(r)?;
+        let classes = VecDeque::restore(r)?;
+        if interarrivals.len() != sizes.len()
+            || classes.len() != sizes.len()
+            || sizes.len() > capacity
+        {
+            return Err(sleepscale_journal::CodecError::Invalid(
+                "job log columns disagree in length".into(),
+            ));
+        }
+        Ok(JobLog { capacity, interarrivals, sizes, classes, last_arrival: Option::restore(r)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
