@@ -1,0 +1,284 @@
+//! Autoscale gate: proves the fleet control plane earns its keep —
+//! class-aware routing plus the closed-loop autoscaler beats the best
+//! *class-blind fixed* fleet on total energy while every traffic class
+//! still meets its own p95 budget — and that autoscaled runs keep the
+//! engine's determinism and crash-recovery contracts.
+//!
+//! ```sh
+//! cargo run --release -p sleepscale-bench --bin autoscale
+//! cargo run --release -p sleepscale-bench --bin autoscale -- --quick
+//! ```
+//!
+//! Checks (each must hold or the bin exits non-zero):
+//!
+//! 1. **Energy vs best fixed fleet** — the `autoscale-day` scenario
+//!    (class-affinity routing + autoscaler) must burn strictly less
+//!    total energy than the best QoS-feasible class-blind
+//!    join-shortest-backlog fixed fleet evaluated over the *same*
+//!    materialized inputs, while parking real server-time and meeting
+//!    every class budget itself. Full mode sweeps fixed sizes
+//!    {100 %, 75 %, 50 %} of the fleet (undersized fleets must either
+//!    lose on QoS or the autoscaler must undercut them); quick mode
+//!    compares at full size only (its truncated window is all trough,
+//!    where a right-sized *small* fixed fleet is trivially optimal —
+//!    the size sweep needs the day's peak to be meaningful).
+//! 2. **Thread invariance** — the autoscaled `ClusterReport` is
+//!    byte-identical across worker thread counts.
+//! 3. **Shard invariance** — an autoscaled `SplitUniform` variant is
+//!    byte-identical across shard counts.
+//! 4. **Kill/resume** — an autoscaled checkpointed run killed at an
+//!    epoch boundary resumes byte-identical to the uninterrupted run
+//!    (the controller's state rides the PR-8 journal).
+//!
+//! Results land in `results/autoscale.csv` and
+//! `results/bench_autoscale.json`.
+
+use sleepscale_bench::{require_io, write_csv, write_json, JsonValue};
+use sleepscale_journal::KillPlan;
+use sleepscale_scenario::catalog;
+use sleepscale_scenario::prelude::*;
+use std::path::PathBuf;
+
+fn journal_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sleepscale-autoscale-gate-{}-{tag}.ssj", std::process::id()));
+    p
+}
+
+fn validate(scenario: Scenario) -> Result<ScenarioRunner, String> {
+    let name = scenario.name.clone();
+    ScenarioRunner::new(scenario).map_err(|e| format!("{name}: invalid: {e}"))
+}
+
+/// The class-blind control arm at a fraction of the autoscaled fleet:
+/// same groups, counts scaled (each keeps at least one server),
+/// join-shortest-backlog, no autoscaler.
+fn fixed_baseline(base: &Scenario, fraction: f64) -> Scenario {
+    let mut scenario = base.clone();
+    scenario.name = format!("{}-fixed-{:.0}pct", base.name, fraction * 100.0);
+    scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+    scenario.autoscaler = None;
+    for group in &mut scenario.fleet {
+        group.count = ((group.count as f64 * fraction).round() as usize).max(1);
+    }
+    scenario
+}
+
+struct EnergyOutcome {
+    autoscaled_energy: f64,
+    best_fixed_energy: f64,
+    best_fixed_label: String,
+    parked_server_seconds: f64,
+}
+
+/// Check 1: the headline claim. Everything runs over one set of
+/// materialized inputs (same jobs, same trace), so the comparison is a
+/// pure engine/control-plane comparison, not a replay-noise lottery.
+fn check_energy(quick: bool) -> Result<(String, EnergyOutcome), String> {
+    let scenario = if quick { catalog::autoscale_day().quick() } else { catalog::autoscale_day() };
+    let runner = validate(scenario)?;
+    let (spec, trace, jobs) = runner.inputs().map_err(|e| format!("inputs: {e}"))?;
+    let autoscaled = runner
+        .run_with_inputs(&spec, &trace, &jobs)
+        .map_err(|e| format!("autoscale-day: run failed: {e}"))?;
+    if !autoscaled.qos_ok() {
+        return Err(format!(
+            "autoscaled run missed a budget: {:?}",
+            autoscaled.classes().iter().map(|c| (&c.name, c.qos_ok)).collect::<Vec<_>>()
+        ));
+    }
+    if autoscaled.parked_server_seconds() <= 0.0 {
+        return Err("autoscaler never parked a server over the day".into());
+    }
+
+    let fractions: &[f64] = if quick { &[1.0] } else { &[1.0, 0.75, 0.5] };
+    let mut feasible = 0usize;
+    let mut best: Option<(f64, String)> = None;
+    for &fraction in fractions {
+        let baseline = fixed_baseline(runner.scenario(), fraction);
+        let name = baseline.name.clone();
+        let report = validate(baseline)?
+            .run_with_inputs(&spec, &trace, &jobs)
+            .map_err(|e| format!("{name}: run failed: {e}"))?;
+        if !report.qos_ok() {
+            continue;
+        }
+        feasible += 1;
+        if best.as_ref().is_none_or(|(e, _)| report.energy_joules() < *e) {
+            best = Some((report.energy_joules(), name));
+        }
+    }
+    let Some((best_energy, best_label)) = best else {
+        return Err("no class-blind fixed baseline met QoS — nothing to beat".into());
+    };
+    if autoscaled.energy_joules() >= best_energy {
+        return Err(format!(
+            "autoscaled {:.0} J did not beat best class-blind fixed fleet {best_label} at \
+             {best_energy:.0} J",
+            autoscaled.energy_joules()
+        ));
+    }
+    let saved = 100.0 * (1.0 - autoscaled.energy_joules() / best_energy);
+    Ok((
+        format!(
+            "{:.0} J vs {best_energy:.0} J ({best_label}): {saved:.1}% saved, {:.0} server-s \
+             parked, {feasible}/{} baselines QoS-feasible",
+            autoscaled.energy_joules(),
+            autoscaled.parked_server_seconds(),
+            fractions.len()
+        ),
+        EnergyOutcome {
+            autoscaled_energy: autoscaled.energy_joules(),
+            best_fixed_energy: best_energy,
+            best_fixed_label: best_label,
+            parked_server_seconds: autoscaled.parked_server_seconds(),
+        },
+    ))
+}
+
+/// Check 2: worker-thread count cannot perturb an autoscaled report —
+/// the control tick reads loads and sketches in slot/shard order.
+fn check_thread_invariance() -> Result<String, String> {
+    let base = catalog::autoscale_day().quick();
+    let mut serial = base.clone();
+    serial.threads = 1;
+    let reference = validate(serial)?.run().map_err(|e| format!("run: {e}"))?;
+    for threads in [2, 5] {
+        let mut scenario = base.clone();
+        scenario.threads = threads;
+        let report = validate(scenario)?.run().map_err(|e| format!("run: {e}"))?;
+        if report.cluster_report() != reference.cluster_report() {
+            return Err(format!("autoscaled ClusterReport diverged at {threads} threads"));
+        }
+    }
+    Ok(format!(
+        "trace {:?}, {:.0} server-s parked, byte-stable across 1/2/5 worker threads",
+        reference.fleet_size_trace(),
+        reference.parked_server_seconds()
+    ))
+}
+
+/// Check 3: shard count cannot perturb an autoscaled report either —
+/// autoscaled sharded runs route lanes over the live active set.
+fn check_shard_invariance() -> Result<String, String> {
+    let mut base = catalog::autoscale_day().quick();
+    base.name = "autoscale-day-split".into();
+    base.dispatcher = DispatcherSpec::SplitUniform { seed: 17 };
+    let reference = validate(base.clone())?.run().map_err(|e| format!("run: {e}"))?;
+    if reference.parked_server_seconds() <= 0.0 {
+        return Err("split-uniform autoscaled variant never parked".into());
+    }
+    for shards in [2, 3] {
+        let mut scenario = base.clone();
+        scenario.shards = shards;
+        let report = validate(scenario)?.run().map_err(|e| format!("run: {e}"))?;
+        if report.cluster_report() != reference.cluster_report() {
+            return Err(format!("autoscaled ClusterReport diverged at {shards} shards"));
+        }
+    }
+    Ok(format!(
+        "{:.0} server-s parked, byte-stable across 1/2/3 shards",
+        reference.parked_server_seconds()
+    ))
+}
+
+/// Check 4: the controller's snapshot rides the journal — a run killed
+/// at an epoch boundary resumes to the uninterrupted bytes.
+fn check_resume() -> Result<String, String> {
+    let scenario = catalog::autoscale_day().quick();
+    let n_epochs = scenario.load.minutes().div_ceil(scenario.epoch_minutes);
+    let runner = validate(scenario)?;
+    let reference = runner.run().map_err(|e| format!("run: {e}"))?;
+    let path = journal_path("resume");
+    for k in [0, n_epochs / 2, n_epochs.saturating_sub(2)] {
+        let _ = std::fs::remove_file(&path);
+        match runner.run_checkpointed(&path, KillPlan::after_epoch(k)) {
+            Ok(None) => {}
+            Ok(Some(_)) => return Err(format!("kill at epoch {k} did not abort the run")),
+            Err(e) => return Err(format!("checkpointed run failed at epoch {k}: {e}")),
+        }
+        let resumed = runner.resume(&path).map_err(|e| format!("resume at epoch {k}: {e}"))?;
+        if resumed != reference || format!("{resumed:?}") != format!("{reference:?}") {
+            return Err(format!("resume after kill at epoch {k} diverged"));
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    Ok(format!("kill/resume byte-identical at 3 boundaries over {n_epochs} epochs"))
+}
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("== autoscale gate{} ==", if quick { " (quick)" } else { "" });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut failed = false;
+    let mut record = |check: &str, outcome: Result<String, String>| {
+        let ok = outcome.is_ok();
+        let detail = match outcome {
+            Ok(d) => d,
+            Err(e) => e,
+        };
+        println!("{} {:<22} {}", if ok { "PASS" } else { "FAIL" }, check, detail);
+        rows.push(vec![check.into(), (ok as u8).to_string(), detail]);
+        failed |= !ok;
+    };
+
+    let energy = match check_energy(quick) {
+        Ok((detail, outcome)) => {
+            record("energy-vs-best-fixed", Ok(detail));
+            Some(outcome)
+        }
+        Err(e) => {
+            record("energy-vs-best-fixed", Err(e));
+            None
+        }
+    };
+    record("thread-invariance", check_thread_invariance());
+    record("shard-invariance", check_shard_invariance());
+    record("kill-resume", check_resume());
+
+    let path = require_io(
+        "writing autoscale.csv",
+        write_csv("autoscale", &["check", "ok", "detail"], &rows),
+    );
+    println!("wrote {}", path.display());
+    let path = require_io(
+        "writing bench_autoscale.json",
+        write_json(
+            "bench_autoscale",
+            &[
+                ("gate", JsonValue::Str("autoscale".into())),
+                ("quick", JsonValue::Bool(quick)),
+                (
+                    "autoscaled_energy_joules",
+                    JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.autoscaled_energy)),
+                ),
+                (
+                    "best_fixed_energy_joules",
+                    JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.best_fixed_energy)),
+                ),
+                (
+                    "best_fixed_label",
+                    JsonValue::Str(
+                        energy.as_ref().map_or(String::new(), |e| e.best_fixed_label.clone()),
+                    ),
+                ),
+                (
+                    "parked_server_seconds",
+                    JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.parked_server_seconds)),
+                ),
+                ("hardware_threads", JsonValue::Int(cores as u64)),
+                ("ok", JsonValue::Bool(!failed)),
+            ],
+        ),
+    );
+    println!("wrote {}", path.display());
+
+    if failed {
+        eprintln!("AUTOSCALE GATE FAILED");
+        std::process::exit(1);
+    }
+    println!("autoscale gate: all checks passed — OK");
+    Ok(())
+}

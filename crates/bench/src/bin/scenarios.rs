@@ -8,13 +8,14 @@
 //! cargo run --release -p sleepscale-bench --bin scenarios
 //! cargo run --release -p sleepscale-bench --bin scenarios -- --quick
 //! cargo run --release -p sleepscale-bench --bin scenarios -- --list
-//! cargo run --release -p sleepscale-bench --bin scenarios -- --only dns-mail-tagged-mix
+//! cargo run --release -p sleepscale-bench --bin scenarios -- --only dns-day-single,fleet-64-tuned
 //! ```
 //!
 //! `--quick` runs every scenario in its reduced form (truncated
 //! horizon, quarter-size groups) — the CI smoke gate. `--list` prints
-//! the catalog without running anything; `--only <name>` (repeatable)
-//! restricts the run to the named scenarios. Exits non-zero if any
+//! the catalog without running anything; `--only <names>` (repeatable,
+//! each occurrence a comma-separated list) restricts the run to the
+//! named scenarios. Exits non-zero if any
 //! scenario fails validation, errors mid-run, or finishes
 //! QoS-infeasible — including any *per-class* p95 budget violation —
 //! or if `--only` names an unknown scenario.
@@ -40,11 +41,16 @@ fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
+    // `--only` is repeatable and each occurrence takes a
+    // comma-separated list: `--only a,b --only c`.
     let only: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(_, a)| *a == "--only")
-        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+        .filter_map(|(i, _)| args.get(i + 1))
+        .flat_map(|names| names.split(','))
+        .map(str::trim)
+        .filter(|name| !name.is_empty())
         .collect();
 
     let mut scenarios = catalog::catalog();

@@ -1,4 +1,4 @@
-use crate::dispatch::{DispatchIndex, Dispatcher};
+use crate::dispatch::{ActiveSet, DispatchIndex, Dispatcher};
 use crate::report::{ClusterReport, ServerSummary};
 use serde::{Deserialize, Serialize};
 use sleepscale::{
@@ -6,8 +6,9 @@ use sleepscale::{
     RuntimeConfig, SleepScaleStrategy, Strategy, StrategySpec, WarmStartStats,
     DEFAULT_CACHE_CAPACITY,
 };
+use sleepscale_autoscale::{AutoscaleController, AutoscalerSpec, GroupLoad};
 use sleepscale_dist::{QuantileSketch, ScalarSummary, StreamingSummary};
-use sleepscale_power::{ep, Policy, PowerSample};
+use sleepscale_power::{ep, Policy, PowerSample, SleepProgram, SleepStage};
 use sleepscale_sim::{Job, JobCursor, JobRecord, JobStream, OnlineSim, SimEnv, StreamSplit};
 use sleepscale_workloads::UtilizationTrace;
 use std::collections::HashSet;
@@ -309,6 +310,7 @@ pub struct Cluster {
     caches: Vec<CharacterizationCache>,
     threads: usize,
     last_warm: WarmStartStats,
+    autoscaler: Option<AutoscalerSpec>,
 }
 
 impl Cluster {
@@ -329,7 +331,13 @@ impl Cluster {
             .iter()
             .map(|g| CharacterizationCache::new(Cluster::cache_capacity(g.count)))
             .collect();
-        Cluster { config, caches, threads: 0, last_warm: WarmStartStats::default() }
+        Cluster {
+            config,
+            caches,
+            threads: 0,
+            last_warm: WarmStartStats::default(),
+            autoscaler: None,
+        }
     }
 
     /// The shared cache capacity for an `n`-server group: large enough
@@ -351,6 +359,26 @@ impl Cluster {
     /// that byte-reproducibility is no longer guaranteed.
     pub fn with_threads(mut self, threads: usize) -> Cluster {
         self.threads = threads;
+        self
+    }
+
+    /// Arms the closed-loop autoscaler: at every epoch boundary a
+    /// fleet-wide controller compares each group's realized utilization
+    /// (dispatched work plus backlog overhang, over the *active*
+    /// servers) against the spec's hysteresis band, parks trailing
+    /// drained servers of over-provisioned groups in the spec's deep
+    /// C-state (drained, excluded from dispatch, idling on the parked
+    /// ladder), and wakes them — paying the modeled wake latency at
+    /// active power — when load returns or any guarded class's p95
+    /// drifts past its budget. Every decision is a pure function of
+    /// epoch-boundary state, so autoscaled runs keep the engine's
+    /// byte-determinism across worker and shard counts.
+    ///
+    /// With `None` (the default) the engine takes the exact code paths
+    /// it always has: existing runs are byte-identical to a build
+    /// without this feature.
+    pub fn with_autoscaler(mut self, spec: AutoscalerSpec) -> Cluster {
+        self.autoscaler = Some(spec);
         self
     }
 
@@ -585,6 +613,51 @@ impl Cluster {
             // a central run over the same split report identically.
             Routing::Sharded { split, .. } => format!("split-uniform({})", split.seed()),
         };
+
+        // Autoscaling plumbing: group geometry, the controller, and the
+        // sleep program parked servers idle on. Active servers are
+        // always a *prefix* of each group's slot range (the controller
+        // parks from the tail and wakes the lowest parked slot), so the
+        // active set is two small vectors rebuilt only on transitions.
+        // When the autoscaler is off every vector stays untouched and
+        // dispatch takes the exact pre-autoscaler code paths.
+        let group_sizes: Vec<usize> = self.config.groups().iter().map(|g| g.count).collect();
+        let group_starts: Vec<usize> = group_sizes
+            .iter()
+            .scan(0usize, |at, &size| {
+                let start = *at;
+                *at += size;
+                Some(start)
+            })
+            .collect();
+        let mut controller = match &self.autoscaler {
+            Some(spec) => {
+                spec.validate().map_err(|reason| CoreError::InvalidConfig { reason })?;
+                if spec.wake_latency_seconds >= epoch_seconds {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "autoscaler wake latency {}s must be shorter than the {}s epoch",
+                            spec.wake_latency_seconds, epoch_seconds
+                        ),
+                    });
+                }
+                Some(AutoscaleController::new(spec.clone(), group_sizes.clone()))
+            }
+            None => None,
+        };
+        let park_program = match &self.autoscaler {
+            Some(spec) => Some(SleepProgram::immediate(
+                SleepStage::new(spec.park_state, 0.0, spec.wake_latency_seconds).map_err(|e| {
+                    CoreError::InvalidConfig { reason: format!("autoscaler park state: {e}") }
+                })?,
+            )),
+            None => None,
+        };
+        let autoscaled = controller.is_some();
+        let mut active_slots: Vec<usize> = (0..n).collect();
+        let mut active_groups: Vec<(usize, usize)> =
+            group_starts.iter().zip(&group_sizes).map(|(&start, &count)| (start, count)).collect();
+
         let mut state = match routing {
             // Central: one sequential dispatch loop over the whole
             // fleet — a borrowed cursor consumes arrivals in time
@@ -619,7 +692,14 @@ impl Cluster {
                 // index indirection (the concurrent loop's dominant
                 // cache miss). Memory doubles the stream (24 B/job)
                 // for the run's duration.
-                let orders: Vec<Vec<Job>> = if threads <= 1 {
+                // Autoscaled sharded runs always take the serial
+                // segment path below: each job's lane is drawn over the
+                // epoch's *active* count and mapped through the active
+                // set, which cannot be pre-split before the controller
+                // has run. The job→server map stays a pure function of
+                // (seed, sequence, active set), so the bytes remain
+                // shard- and thread-count invariant.
+                let orders: Vec<Vec<Job>> = if threads <= 1 || autoscaled {
                     Vec::new()
                 } else {
                     let mut orders: Vec<Vec<Job>> = vec![Vec::new(); n_shards];
@@ -738,6 +818,24 @@ impl Cluster {
                     }
                 }
             }
+            if let Some(ctrl) = controller.as_mut() {
+                *ctrl = AutoscaleController::restore_state(
+                    self.autoscaler.clone().expect("controller implies a spec"),
+                    group_sizes.clone(),
+                    &mut r,
+                )?;
+                rebuild_active(ctrl.active(), &group_starts, &mut active_slots, &mut active_groups);
+                // Parked slots are routing-invisible: their restored
+                // free time is finite (the boundary they were parked
+                // at), but the rebuilt index must never route to them.
+                if let DispatchState::Central { index, .. } = &mut state {
+                    for (g, &m) in ctrl.active().iter().enumerate() {
+                        for i in group_starts[g] + m..group_starts[g] + group_sizes[g] {
+                            index.set_unavailable(i);
+                        }
+                    }
+                }
+            }
             if !r.is_empty() {
                 return Err(CodecError::Invalid(format!(
                     "{} trailing bytes after fleet snapshot",
@@ -800,8 +898,12 @@ impl Cluster {
                 // backlog ordering) and each dispatch re-keys exactly
                 // the routed server.
                 DispatchState::Central { dispatcher, cursor, index, sketch, class_sketches } => {
+                    let active = autoscaled.then(|| ActiveSet::new(&active_slots, &active_groups));
                     while let Some(job) = cursor.next_before(epoch_end) {
-                        let target = dispatcher.route(&job, index);
+                        let target = match &active {
+                            Some(set) => dispatcher.route_active(&job, index, set),
+                            None => dispatcher.route(&job, index),
+                        };
                         if target >= n {
                             return Err(CoreError::InvalidConfig {
                                 reason: format!(
@@ -826,7 +928,7 @@ impl Cluster {
                 DispatchState::Sharded { split, chunk, cursor, orders, scratch, states } => {
                     let ctx = EpochCtx { split: *split, n_servers: n, epoch_end, tagged };
                     let chunk = *chunk;
-                    if threads <= 1 {
+                    if threads <= 1 || autoscaled {
                         // Serial: bucket the epoch into bounded
                         // segments of per-shard scratch, then dispatch
                         // shard by shard within each segment. Shard-
@@ -841,19 +943,28 @@ impl Cluster {
                         // streams are identical), and shard sketches
                         // see the same multiset of responses as exact
                         // commutative u64 bucket adds.
+                        // Autoscaled: the lane is drawn over the active
+                        // count and mapped through the active set — the
+                        // seeded hash spreads each epoch's jobs across
+                        // exactly the awake servers, and the map stays
+                        // independent of shard and thread counts.
+                        let slot_of = |job: &Job| match autoscaled {
+                            true => active_slots[split.lane_of(job, active_slots.len())],
+                            false => split.lane_of(job, n),
+                        };
                         let batch = cursor.take_before(epoch_end);
                         for segment in batch.chunks(SHARD_SEGMENT) {
                             for lane in scratch.iter_mut() {
                                 lane.clear();
                             }
                             for job in segment {
-                                scratch[split.lane_of(job, n) / chunk].push(*job);
+                                scratch[slot_of(job) / chunk].push(*job);
                             }
                             for (s, lane) in scratch.iter().enumerate() {
                                 let shard = &mut states[s];
                                 let shard_slots = &mut slots[s * chunk..n.min((s + 1) * chunk)];
                                 for job in lane {
-                                    let target = split.lane_of(job, n) - s * chunk;
+                                    let target = slot_of(job) - s * chunk;
                                     dispatch_one(
                                         &mut shard_slots[target],
                                         job,
@@ -910,6 +1021,109 @@ impl Cluster {
             };
             par_each(slots.iter_mut().collect(), threads, &close)?;
 
+            // Autoscaler control tick: observe the epoch that just
+            // closed, re-plan the active prefixes, and apply the
+            // transitions — all before the snapshot sink, so a resumed
+            // run restarts from the post-transition fleet. The last
+            // boundary only records (a transition there could never
+            // serve a job, it would only smear parked energy past the
+            // trace end).
+            if let Some(ctrl) = controller.as_mut() {
+                // Per-group realized load, summed in slot order: the
+                // dispatched work plus the committed-work overhang past
+                // the boundary. Parked slots contribute zero on both
+                // axes, so the sums range over the active prefixes.
+                let mut loads = vec![GroupLoad::default(); group_sizes.len()];
+                for slot in slots.iter() {
+                    let load = &mut loads[slot.group];
+                    load.busy_seconds += slot.epoch_work;
+                    load.backlog_seconds += (slot.sim.state().free_time() - epoch_end).max(0.0);
+                }
+                // QoS pressure reads the run-so-far per-class p95s —
+                // the same sketches the report quotes, merged in shard
+                // order when sharded (exact bucket adds, so the merged
+                // value is shard-count invariant).
+                let qos = if ctrl.spec().class_p95_guards_seconds.is_empty() {
+                    false
+                } else {
+                    let p95s: Vec<f64> = match &state {
+                        DispatchState::Central { class_sketches, .. } => {
+                            class_sketches.iter().map(QuantileSketch::p95).collect()
+                        }
+                        DispatchState::Sharded { states, .. } => {
+                            let mut merged: Vec<QuantileSketch> = Vec::new();
+                            for shard in states {
+                                for (c, s) in shard.class_sketches.iter().enumerate() {
+                                    if c >= merged.len() {
+                                        merged.resize_with(c + 1, QuantileSketch::new);
+                                    }
+                                    merged[c].merge(s);
+                                }
+                            }
+                            merged.iter().map(QuantileSketch::p95).collect()
+                        }
+                    };
+                    ctrl.spec().qos_pressure(&p95s)
+                };
+                let before: Vec<usize> = ctrl.active().to_vec();
+                ctrl.plan_epoch(&loads, epoch_seconds, qos);
+                if k + 1 < n_epochs {
+                    let program = park_program.as_ref().expect("autoscaled runs build one");
+                    let mut central_index = match &mut state {
+                        DispatchState::Central { index, .. } => Some(index),
+                        DispatchState::Sharded { .. } => None,
+                    };
+                    for g in 0..group_sizes.len() {
+                        let start = group_starts[g];
+                        let (old, target) = (before[g], ctrl.active()[g]);
+                        if target < old {
+                            // Park from the tail, drained servers only:
+                            // stop at the first slot still carrying
+                            // work past the boundary and settle the
+                            // difference back into the controller.
+                            let mut achieved = old;
+                            for i in (target..old).rev() {
+                                let slot = &mut slots[start + i];
+                                if slot.sim.state().free_time() > epoch_end {
+                                    break;
+                                }
+                                let freq = slot.policy.as_ref().expect("epoch began").frequency();
+                                slot.sim.park(epoch_end, program.clone(), freq);
+                                if let Some(index) = central_index.as_deref_mut() {
+                                    index.set_unavailable(start + i);
+                                }
+                                achieved = i;
+                            }
+                            if achieved != target {
+                                ctrl.settle_active(g, achieved);
+                            }
+                        } else if target > old {
+                            // Wake the lowest parked slots: charge the
+                            // parked gap under the parked ladder and
+                            // the wake-up latency at active power, then
+                            // hand the slot back to its policy.
+                            let power = self.config.runtime_for(g).env().power();
+                            for i in old..target {
+                                let slot = &mut slots[start + i];
+                                let policy = slot.policy.as_ref().expect("epoch began");
+                                let freq = policy.frequency();
+                                let next_idle = (policy.program().clone(), freq);
+                                slot.sim.wake(epoch_end, power.active_power(freq), next_idle);
+                                if let Some(index) = central_index.as_deref_mut() {
+                                    index.update(start + i, slot.sim.state().free_time());
+                                }
+                            }
+                        }
+                    }
+                    rebuild_active(
+                        ctrl.active(),
+                        &group_starts,
+                        &mut active_slots,
+                        &mut active_groups,
+                    );
+                }
+            }
+
             if let Some(sink) = sink.as_deref_mut() {
                 use sleepscale_journal::{ByteWriter, Snapshot};
                 let mut w = ByteWriter::new();
@@ -955,6 +1169,9 @@ impl Cluster {
                             shard.class_sketches.snapshot(&mut w);
                         }
                     }
+                }
+                if let Some(ctrl) = &controller {
+                    ctrl.snapshot_state(&mut w);
                 }
                 if !sink(k, w.as_bytes())? {
                     return Ok(None);
@@ -1083,18 +1300,38 @@ impl Cluster {
             .map(|(scalar, sketch)| StreamingSummary::from_parts(scalar, sketch))
             .collect();
         let group_names = self.config.groups().iter().map(|g| g.name.clone()).collect();
-        Ok(Some(
-            ClusterReport::new(
-                dispatcher_name,
-                group_names,
-                summaries,
-                fleet_responses,
-                class_responses,
-                horizon,
-                self.config.runtime_for(0).mean_service(),
-            )
-            .with_energy_split(class_active, fleet_samples, group_samples),
-        ))
+        let report = ClusterReport::new(
+            dispatcher_name,
+            group_names,
+            summaries,
+            fleet_responses,
+            class_responses,
+            horizon,
+            self.config.runtime_for(0).mean_service(),
+        )
+        .with_energy_split(class_active, fleet_samples, group_samples);
+        Ok(Some(match &controller {
+            Some(ctrl) => report
+                .with_autoscale(ctrl.parked_server_seconds(), ctrl.fleet_size_trace().to_vec()),
+            None => report,
+        }))
+    }
+}
+
+/// Rebuilds the engine's active-set vectors from the controller's
+/// per-group active-prefix lengths: the sorted active slot list and, per
+/// group, its `(start, active_count)` prefix.
+fn rebuild_active(
+    active: &[usize],
+    group_starts: &[usize],
+    active_slots: &mut Vec<usize>,
+    active_groups: &mut Vec<(usize, usize)>,
+) {
+    active_slots.clear();
+    active_groups.clear();
+    for (g, &m) in active.iter().enumerate() {
+        active_groups.push((group_starts[g], m));
+        active_slots.extend(group_starts[g]..group_starts[g] + m);
     }
 }
 
@@ -1797,6 +2034,150 @@ mod tests {
                 .unwrap_err();
             assert!(err.to_string().contains("shards"), "{err}");
         }
+    }
+
+    /// Off-peak, the autoscaler parks real capacity and the report
+    /// carries the evidence: positive parked server-seconds, a fleet
+    /// trace that dips below the configured size, every job still
+    /// served, and strictly less total energy than the identical
+    /// fixed fleet.
+    #[test]
+    fn autoscaler_parks_off_peak_and_saves_energy() {
+        let (config, trace, jobs) = setup_constant(6, 0.10, 60, 62);
+        let fixed = run_with(&mut JoinShortestBacklog::new(), &config, &trace, &jobs);
+        let mut cluster = Cluster::new(config.clone())
+            .with_autoscaler(sleepscale_autoscale::AutoscalerSpec::new());
+        let scaled = cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap();
+        assert_eq!(scaled.total_jobs(), jobs.len(), "autoscaling must not drop jobs");
+        assert!(scaled.parked_server_seconds() > 0.0, "a 10% fleet should park");
+        assert_eq!(scaled.fleet_size_trace().len(), 12, "one entry per epoch");
+        assert_eq!(scaled.fleet_size_trace()[0], 6, "the fleet boots fully active");
+        assert!(scaled.fleet_size_trace().iter().any(|&m| m < 6), "the trace should dip");
+        assert!(
+            scaled.total_energy_joules() < fixed.total_energy_joules(),
+            "parked capacity must save energy: {} vs {}",
+            scaled.total_energy_joules(),
+            fixed.total_energy_joules()
+        );
+        assert_eq!(fixed.parked_server_seconds(), 0.0);
+        assert!(fixed.fleet_size_trace().is_empty());
+    }
+
+    /// Autoscaled runs keep the engine's byte-determinism: worker
+    /// thread counts cannot leak into the report, under central and
+    /// sharded routing alike, and sharded runs stay shard-count
+    /// invariant (the serial segment path draws each lane over the
+    /// epoch's active set).
+    #[test]
+    fn autoscaled_runs_are_thread_and_shard_invariant() {
+        let (config, trace, jobs) = setup_constant(5, 0.12, 30, 63);
+        let spec = sleepscale_autoscale::AutoscalerSpec::new();
+        let central = |threads: usize| {
+            let mut cluster =
+                Cluster::new(config.clone()).with_threads(threads).with_autoscaler(spec.clone());
+            cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap()
+        };
+        let reference = central(1);
+        assert!(reference.parked_server_seconds() > 0.0, "the run should actually scale");
+        for threads in [2usize, 5] {
+            assert_eq!(central(threads), reference, "threads={threads} diverged");
+        }
+        let sharded = |shards: usize, threads: usize| {
+            let mut cluster =
+                Cluster::new(config.clone()).with_threads(threads).with_autoscaler(spec.clone());
+            cluster.run_sharded(&trace, &jobs, StreamSplit::new(7), shards).unwrap()
+        };
+        let split_reference = sharded(1, 1);
+        assert!(split_reference.parked_server_seconds() > 0.0);
+        for (shards, threads) in [(2usize, 1usize), (3, 4), (5, 2)] {
+            assert_eq!(
+                sharded(shards, threads),
+                split_reference,
+                "shards={shards} threads={threads} diverged"
+            );
+        }
+        // The central engine over a SplitUniform dispatcher still
+        // matches the sharded engine when both are autoscaled.
+        let mut cluster = Cluster::new(config.clone()).with_autoscaler(spec.clone());
+        let central_split = cluster.run(&trace, &jobs, &mut crate::SplitUniform::new(7)).unwrap();
+        assert_eq!(central_split, split_reference, "central split-uniform diverged");
+    }
+
+    /// Kill-at-every-epoch × resume reproduces the uninterrupted
+    /// autoscaled run: the controller state (active prefixes, parked
+    /// seconds, trace) rides the snapshot and parked slots stay
+    /// routing-invisible after the index rebuild.
+    #[test]
+    fn autoscaled_kill_and_resume_reproduces_uninterrupted_run() {
+        let (config, trace, jobs) = setup_constant(4, 0.12, 30, 64);
+        let spec = sleepscale_autoscale::AutoscalerSpec::new();
+        let mut reference_cluster = Cluster::new(config.clone()).with_autoscaler(spec.clone());
+        let reference =
+            reference_cluster.run(&trace, &jobs, &mut JoinShortestBacklog::new()).unwrap();
+        assert!(reference.parked_server_seconds() > 0.0, "the run should actually scale");
+        for kill_at in 0..5 {
+            let mut snapshot: Option<Vec<u8>> = None;
+            let mut sink = |epoch: usize, bytes: &[u8]| {
+                if epoch == kill_at {
+                    snapshot = Some(bytes.to_vec());
+                    Ok(false)
+                } else {
+                    Ok(true)
+                }
+            };
+            let mut cluster = Cluster::new(config.clone()).with_autoscaler(spec.clone());
+            let killed = cluster
+                .run_checkpointed(
+                    &trace,
+                    &jobs,
+                    &mut JoinShortestBacklog::new(),
+                    None,
+                    Some(&mut sink),
+                )
+                .unwrap();
+            assert!(killed.is_none());
+            let snapshot = snapshot.unwrap();
+            let mut resumed_cluster = Cluster::new(config.clone()).with_autoscaler(spec.clone());
+            let resumed = resumed_cluster
+                .run_checkpointed(
+                    &trace,
+                    &jobs,
+                    &mut JoinShortestBacklog::new(),
+                    Some(&snapshot),
+                    None,
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(resumed, reference, "kill at {kill_at} diverged");
+        }
+    }
+
+    /// An autoscaler snapshot and a plain snapshot are mutually
+    /// unreadable — resuming across the configuration mismatch fails
+    /// loudly instead of misreading bytes.
+    #[test]
+    fn autoscaler_snapshot_configuration_mismatch_is_rejected() {
+        let (config, trace, jobs) = setup_constant(3, 0.12, 15, 65);
+        let spec = sleepscale_autoscale::AutoscalerSpec::new();
+        let mut snapshot: Option<Vec<u8>> = None;
+        let mut sink = |epoch: usize, bytes: &[u8]| {
+            if epoch == 1 {
+                snapshot = Some(bytes.to_vec());
+                Ok(false)
+            } else {
+                Ok(true)
+            }
+        };
+        Cluster::new(config.clone())
+            .with_autoscaler(spec.clone())
+            .run_checkpointed(&trace, &jobs, &mut JoinShortestBacklog::new(), None, Some(&mut sink))
+            .unwrap();
+        let snapshot = snapshot.unwrap();
+        // Autoscaled snapshot into a plain cluster: trailing bytes.
+        let err = Cluster::new(config.clone())
+            .run_checkpointed(&trace, &jobs, &mut JoinShortestBacklog::new(), Some(&snapshot), None)
+            .unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 
     /// The homogeneous constructor reproduces the default strategy

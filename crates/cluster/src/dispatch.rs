@@ -1,6 +1,6 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sleepscale_sim::{Job, StreamSplit};
+use sleepscale_sim::{ClassId, Job, StreamSplit};
 
 /// An incrementally maintained routing index over the fleet: each
 /// server's `free_time` (the instant its committed work drains) in a
@@ -128,6 +128,148 @@ impl DispatchIndex {
         }
         Some(k - self.size)
     }
+
+    /// Marks server `i` unavailable for routing: its leaf becomes `+∞`,
+    /// exactly like a padding leaf, so no query ever returns it. The
+    /// autoscaler parks drained servers this way; [`DispatchIndex::update`]
+    /// with a finite free time makes the server routable again.
+    pub fn set_unavailable(&mut self, i: usize) {
+        assert!(i < self.n, "server {i} out of range for {} servers", self.n);
+        let mut k = self.size + i;
+        self.tree[k] = f64::INFINITY;
+        k /= 2;
+        while k >= 1 {
+            self.tree[k] = self.tree[2 * k].min(self.tree[2 * k + 1]);
+            k /= 2;
+        }
+    }
+
+    /// Whether server `i` is routable (not marked unavailable).
+    pub fn is_available(&self, i: usize) -> bool {
+        self.tree[self.size + i].is_finite()
+    }
+
+    /// The lowest-indexed server in `[lo, hi)` with `free_time < bound`
+    /// (the range-restricted form of [`DispatchIndex::first_free_below`]
+    /// that class-affinity routing runs per preferred group), if any.
+    pub fn first_free_below_in(&self, lo: usize, hi: usize, bound: f64) -> Option<usize> {
+        self.descend_first_in(1, 0, self.size, lo, hi.min(self.n), &|v| v < bound)
+    }
+
+    /// The lowest-indexed server in `[lo, hi)` whose `free_time` is
+    /// minimal (ties to the lowest index), or `None` when the range is
+    /// empty or entirely unavailable.
+    pub fn min_free_server_in(&self, lo: usize, hi: usize) -> Option<usize> {
+        let (v, i) = self.min_in(1, 0, self.size, lo, hi.min(self.n));
+        v.is_finite().then_some(i)
+    }
+
+    /// Leftmost leaf in `[lo, hi)` satisfying `sat`, recursing only into
+    /// subtrees that overlap the range and whose minimum satisfies it —
+    /// O(log N) like the unrestricted descent.
+    #[allow(clippy::too_many_arguments)]
+    fn descend_first_in(
+        &self,
+        k: usize,
+        node_lo: usize,
+        node_hi: usize,
+        lo: usize,
+        hi: usize,
+        sat: &impl Fn(f64) -> bool,
+    ) -> Option<usize> {
+        if node_hi <= lo || hi <= node_lo || !sat(self.tree[k]) {
+            return None;
+        }
+        if k >= self.size {
+            return Some(k - self.size);
+        }
+        let mid = (node_lo + node_hi) / 2;
+        self.descend_first_in(2 * k, node_lo, mid, lo, hi, sat)
+            .or_else(|| self.descend_first_in(2 * k + 1, mid, node_hi, lo, hi, sat))
+    }
+
+    /// `(min free_time, leftmost index)` over leaves in `[lo, hi)`;
+    /// `(+∞, lo)` for an empty intersection.
+    fn min_in(
+        &self,
+        k: usize,
+        node_lo: usize,
+        node_hi: usize,
+        lo: usize,
+        hi: usize,
+    ) -> (f64, usize) {
+        if node_hi <= lo || hi <= node_lo {
+            return (f64::INFINITY, lo);
+        }
+        if lo <= node_lo && node_hi <= hi {
+            // Whole node in range: descend to its leftmost minimal leaf.
+            let mut j = k;
+            while j < self.size {
+                j = if self.tree[2 * j] <= self.tree[2 * j + 1] { 2 * j } else { 2 * j + 1 };
+            }
+            return (self.tree[k], j - self.size);
+        }
+        let mid = (node_lo + node_hi) / 2;
+        let left = self.min_in(2 * k, node_lo, mid, lo, hi);
+        let right = self.min_in(2 * k + 1, mid, node_hi, lo, hi);
+        // `<=` keeps the leftmost index on ties.
+        if left.0 <= right.0 {
+            left
+        } else {
+            right
+        }
+    }
+}
+
+/// The routable subset of the fleet while the autoscaler has servers
+/// parked: a sorted list of active slot indices plus, per group, the
+/// active-prefix length (the controller always parks from each group's
+/// tail, so a group's active servers are a contiguous prefix of its
+/// slot range).
+///
+/// The cluster engine only hands dispatchers an `ActiveSet` when an
+/// autoscaler is configured; otherwise they see the plain
+/// [`Dispatcher::route`] path, byte-for-byte as before.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveSet<'a> {
+    slots: &'a [usize],
+    /// Per group: `(first slot, active count)` — the active prefix.
+    groups: &'a [(usize, usize)],
+}
+
+impl<'a> ActiveSet<'a> {
+    /// A view over `slots` (ascending active slot indices) and the
+    /// per-group active prefixes they were built from.
+    pub fn new(slots: &'a [usize], groups: &'a [(usize, usize)]) -> ActiveSet<'a> {
+        ActiveSet { slots, groups }
+    }
+
+    /// Number of active servers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no server is active (the engine never lets this happen —
+    /// the controller keeps a minimum active floor per group).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The `i`-th active server's slot index.
+    pub fn slot(&self, i: usize) -> usize {
+        self.slots[i]
+    }
+
+    /// Group `g`'s active slot range `[start, start + active)`.
+    pub fn group_range(&self, g: usize) -> std::ops::Range<usize> {
+        let (start, active) = self.groups[g];
+        start..start + active
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
 }
 
 /// Routes each arriving job to one of the fleet's servers, observing
@@ -140,6 +282,18 @@ pub trait Dispatcher: std::fmt::Debug {
     /// `< index.n_servers()`; the cluster engine rejects out-of-range
     /// routes as a dispatcher bug rather than clamping them.
     fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize;
+
+    /// Picks the destination server for `job` while the autoscaler has
+    /// part of the fleet parked: only servers in `active` may be
+    /// returned. The default delegates to [`Dispatcher::route`], which
+    /// is correct for index-reading dispatchers (parked leaves sit at
+    /// `+∞`, so backlog and threshold queries never select them);
+    /// dispatchers that enumerate servers positionally (round-robin,
+    /// random, seeded-hash) override this to draw from the active set.
+    fn route_active(&mut self, job: &Job, index: &DispatchIndex, active: &ActiveSet<'_>) -> usize {
+        let _ = active;
+        self.route(job, index)
+    }
 
     /// Serializes this dispatcher's mutable routing state for
     /// checkpointing. Stateless dispatchers (shortest-backlog, packing,
@@ -191,6 +345,17 @@ impl Dispatcher for RoundRobin {
         i
     }
 
+    fn route_active(
+        &mut self,
+        _job: &Job,
+        _index: &DispatchIndex,
+        active: &ActiveSet<'_>,
+    ) -> usize {
+        let i = active.slot(self.next % active.len());
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+
     fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
         w.put_usize(self.next);
     }
@@ -224,6 +389,15 @@ impl Dispatcher for RandomUniform {
 
     fn route(&mut self, _job: &Job, index: &DispatchIndex) -> usize {
         self.rng.gen_range(0..index.n_servers())
+    }
+
+    fn route_active(
+        &mut self,
+        _job: &Job,
+        _index: &DispatchIndex,
+        active: &ActiveSet<'_>,
+    ) -> usize {
+        active.slot(self.rng.gen_range(0..active.len()))
     }
 
     fn snapshot_state(&self, w: &mut sleepscale_journal::ByteWriter) {
@@ -325,6 +499,129 @@ impl Dispatcher for SplitUniform {
 
     fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize {
         self.split.lane_of(job, index.n_servers())
+    }
+
+    fn route_active(&mut self, job: &Job, _index: &DispatchIndex, active: &ActiveSet<'_>) -> usize {
+        // Still a pure function of (seed, sequence, active set): the
+        // hash picks a lane among the active servers, then maps through
+        // the active list — the sharded engine reproduces this exactly.
+        active.slot(self.split.lane_of(job, active.len()))
+    }
+}
+
+/// Class-aware routing: each job class has a preferred [`ServerGroup`]
+/// (interactive classes to fast groups, batch to efficient ones); a job
+/// joins the shortest backlog *within its preferred group* while that
+/// group has a server under the spill threshold, spills to the
+/// lowest-indexed under-threshold server anywhere in the fleet when the
+/// preferred group saturates, and falls back to the fleet-wide shortest
+/// backlog when every server is saturated. All three steps tie-break
+/// toward the lowest server index (the property suite pins the whole
+/// decision against a naive linear scan). O(G log N) per job.
+///
+/// [`ServerGroup`]: crate::ServerGroup
+#[derive(Debug, Clone)]
+pub struct ClassAffinity {
+    /// Per group: `(first slot, slot count)` in fleet slot order.
+    groups: Vec<(usize, usize)>,
+    /// Class `c` prefers group `class_groups[min(c, len - 1)]`.
+    class_groups: Vec<usize>,
+    threshold_seconds: f64,
+}
+
+impl ClassAffinity {
+    /// A class-affinity router over a fleet whose groups have
+    /// `group_sizes` servers (in fleet slot order). `class_groups[c]`
+    /// is class `c`'s preferred group; classes beyond the table reuse
+    /// its last entry. `threshold_seconds` is the per-server backlog
+    /// above which a group counts as saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet or class table, or a class mapped to a
+    /// group that does not exist.
+    pub fn new(
+        group_sizes: &[usize],
+        class_groups: Vec<usize>,
+        threshold_seconds: f64,
+    ) -> ClassAffinity {
+        assert!(!group_sizes.is_empty(), "class affinity needs at least one group");
+        assert!(!class_groups.is_empty(), "class affinity needs at least one class mapping");
+        assert!(
+            class_groups.iter().all(|&g| g < group_sizes.len()),
+            "class mapped to a group beyond the fleet's {} groups",
+            group_sizes.len()
+        );
+        let mut groups = Vec::with_capacity(group_sizes.len());
+        let mut start = 0;
+        for &count in group_sizes {
+            groups.push((start, count));
+            start += count;
+        }
+        ClassAffinity { groups, class_groups, threshold_seconds: threshold_seconds.max(0.0) }
+    }
+
+    /// Class `c`'s preferred group.
+    pub fn preferred_group(&self, class: ClassId) -> usize {
+        let c = (class.0 as usize).min(self.class_groups.len() - 1);
+        self.class_groups[c]
+    }
+
+    /// The shared decision over an arbitrary per-group range view —
+    /// `route` hands it the configured full ranges, `route_active` the
+    /// autoscaler's active prefixes.
+    fn pick(
+        &self,
+        job: &Job,
+        index: &DispatchIndex,
+        range_of: impl Fn(usize) -> (usize, usize),
+    ) -> usize {
+        let g = self.preferred_group(job.class());
+        let bound = job.arrival + self.threshold_seconds;
+        let (start, len) = range_of(g);
+        if let Some(i) = index.first_free_below_in(start, start + len, bound) {
+            return i;
+        }
+        // Preferred group saturated: spill to the lowest-indexed
+        // under-threshold server anywhere (groups scan in ascending
+        // slot order, so the first hit is the fleet-wide lowest index).
+        for other in 0..self.groups.len() {
+            let (start, len) = range_of(other);
+            if let Some(i) = index.first_free_below_in(start, start + len, bound) {
+                return i;
+            }
+        }
+        // Everything saturated: fleet-wide shortest backlog, lowest
+        // index on ties (ranges ascend, so strictly-less keeps the
+        // leftmost of equals).
+        let mut best: Option<(f64, usize)> = None;
+        for g in 0..self.groups.len() {
+            let (start, len) = range_of(g);
+            if let Some(i) = index.min_free_server_in(start, start + len) {
+                let backlog = index.backlog(i, job.arrival);
+                if best.is_none_or(|(b, _)| backlog < b) {
+                    best = Some((backlog, i));
+                }
+            }
+        }
+        best.expect("class affinity requires a non-empty active fleet").1
+    }
+}
+
+impl Dispatcher for ClassAffinity {
+    fn name(&self) -> String {
+        format!("class-affinity({}g,{}s)", self.groups.len(), self.threshold_seconds)
+    }
+
+    fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize {
+        self.pick(job, index, |g| self.groups[g])
+    }
+
+    fn route_active(&mut self, job: &Job, index: &DispatchIndex, active: &ActiveSet<'_>) -> usize {
+        self.pick(job, index, |g| {
+            let r = active.group_range(g);
+            (r.start, r.end - r.start)
+        })
     }
 }
 
@@ -442,6 +739,115 @@ mod tests {
         assert_eq!(idx.min_free_server(), 0);
         assert_eq!(idx.first_free_at_most(1e12), Some(0));
         assert_eq!(idx.shortest_backlog_server(0.0), 0);
+    }
+
+    #[test]
+    fn unavailable_servers_never_route() {
+        let mut idx = index(&[5.0, 1.0, 3.0, 2.0]);
+        idx.set_unavailable(1);
+        assert!(!idx.is_available(1));
+        assert!(idx.is_available(0));
+        assert_eq!(idx.min_free_server(), 3);
+        assert_eq!(idx.first_free_below(10.0), Some(0));
+        assert_eq!(idx.shortest_backlog_server(2.5), 3);
+        // Re-keying with a finite time makes the server routable again.
+        idx.update(1, 0.0);
+        assert!(idx.is_available(1));
+        assert_eq!(idx.min_free_server(), 1);
+    }
+
+    #[test]
+    fn range_queries_match_linear_scans() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for &n in &[1usize, 2, 5, 8, 13] {
+            let mut idx = DispatchIndex::new(n);
+            let mut free = vec![0.0f64; n];
+            for step in 0..300 {
+                let i = rng.gen_range(0..n);
+                free[i] = rng.gen_range(0.0..8.0);
+                idx.update(i, free[i]);
+                if rng.gen_range(0..4) == 0 {
+                    free[i] = f64::INFINITY;
+                    idx.set_unavailable(i);
+                }
+                let lo = rng.gen_range(0..n);
+                let hi = rng.gen_range(lo..n + 1);
+                let bound = rng.gen_range(0.0..9.0);
+                let linear_below = (lo..hi).find(|&j| free[j] < bound);
+                assert_eq!(
+                    idx.first_free_below_in(lo, hi, bound),
+                    linear_below,
+                    "step {step} n={n} lo={lo} hi={hi} bound={bound} free={free:?}"
+                );
+                let linear_min = (lo..hi)
+                    .filter(|&j| free[j].is_finite())
+                    .min_by(|&a, &b| free[a].partial_cmp(&free[b]).unwrap());
+                assert_eq!(
+                    idx.min_free_server_in(lo, hi),
+                    linear_min,
+                    "step {step} n={n} lo={lo} hi={hi} free={free:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_affinity_prefers_then_spills() {
+        // Two groups of 2: class 0 -> group 0, class 1 -> group 1.
+        let mut d = ClassAffinity::new(&[2, 2], vec![0, 1], 1.0);
+        let tagged = |class: u16, arrival: f64| Job {
+            id: sleepscale_sim::pack_id(0, ClassId(class)),
+            arrival,
+            size: 0.1,
+        };
+        // Preferred group has headroom: lowest under-threshold index wins.
+        assert_eq!(d.route(&tagged(0, 0.0), &index(&[0.2, 0.0, 0.0, 0.0])), 0);
+        assert_eq!(d.route(&tagged(1, 0.0), &index(&[0.0, 0.0, 0.2, 0.0])), 2);
+        // Preferred group saturated: spill to the lowest-indexed
+        // under-threshold server fleet-wide.
+        assert_eq!(d.route(&tagged(1, 0.0), &index(&[0.3, 0.0, 2.0, 1.5])), 0);
+        // Everything saturated: fleet-wide shortest backlog.
+        assert_eq!(d.route(&tagged(0, 0.0), &index(&[3.0, 2.0, 1.5, 2.5])), 2);
+        // Classes beyond the table reuse its last entry.
+        assert_eq!(d.route(&tagged(9, 0.0), &index(&[0.0, 0.0, 0.0, 0.0])), 2);
+    }
+
+    #[test]
+    fn class_affinity_route_active_uses_group_prefixes() {
+        let mut d = ClassAffinity::new(&[2, 2], vec![0, 1], 1.0);
+        // Group 1's second server (slot 3) is parked: its active prefix
+        // is just slot 2, so a saturated slot 2 spills to group 0 even
+        // though slot 3 looks idle in the full-range view.
+        let mut idx = index(&[0.5, 0.0, 2.0, 0.0]);
+        idx.set_unavailable(3);
+        let slots = [0usize, 1, 2];
+        let groups = [(0usize, 2usize), (2, 1)];
+        let active = ActiveSet::new(&slots, &groups);
+        let j = Job { id: sleepscale_sim::pack_id(0, ClassId(1)), arrival: 0.0, size: 0.1 };
+        assert_eq!(d.route_active(&j, &idx, &active), 0);
+    }
+
+    #[test]
+    fn positional_dispatchers_draw_from_the_active_set() {
+        let mut idx = index(&[0.0, 0.0, 0.0, 0.0]);
+        idx.set_unavailable(2);
+        let slots = [0usize, 1, 3];
+        let groups = [(0usize, 4usize)];
+        let active = ActiveSet::new(&slots, &groups);
+        let j = job(0.0);
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|_| rr.route_active(&j, &idx, &active)).collect();
+        assert_eq!(picks, vec![0, 1, 3, 0, 1, 3]);
+        let mut rnd = RandomUniform::new(5);
+        for _ in 0..64 {
+            assert!(slots.contains(&rnd.route_active(&j, &idx, &active)));
+        }
+        let mut split = SplitUniform::new(9);
+        for seq in 0..64u64 {
+            let j = Job { id: seq, arrival: 0.0, size: 0.1 };
+            let pick = split.route_active(&j, &idx, &active);
+            assert_eq!(pick, slots[split.split().lane_of(&j, slots.len())]);
+        }
     }
 
     #[test]

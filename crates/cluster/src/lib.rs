@@ -71,7 +71,7 @@ mod report;
 
 pub use cluster::{Cluster, ClusterConfig, ServerGroup};
 pub use dispatch::{
-    DispatchIndex, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin,
-    SplitUniform,
+    ActiveSet, ClassAffinity, DispatchIndex, Dispatcher, JoinShortestBacklog, PackFirstFit,
+    RandomUniform, RoundRobin, SplitUniform,
 };
 pub use report::{ClusterReport, GroupSummary, ServerSummary};

@@ -78,6 +78,8 @@ pub struct ClusterReport {
     class_active_energy: Vec<f64>,
     power_samples: Vec<PowerSample>,
     group_power_samples: Vec<Vec<PowerSample>>,
+    parked_server_seconds: f64,
+    fleet_size_trace: Vec<usize>,
 }
 
 impl ClusterReport {
@@ -101,7 +103,21 @@ impl ClusterReport {
             class_active_energy: Vec::new(),
             power_samples: Vec::new(),
             group_power_samples: Vec::new(),
+            parked_server_seconds: 0.0,
+            fleet_size_trace: Vec::new(),
         }
+    }
+
+    /// Attaches the autoscaler's run aggregates: accumulated parked
+    /// `server × seconds` and the fleet-wide active count per epoch.
+    pub(crate) fn with_autoscale(
+        mut self,
+        parked_server_seconds: f64,
+        fleet_size_trace: Vec<usize>,
+    ) -> ClusterReport {
+        self.parked_server_seconds = parked_server_seconds;
+        self.fleet_size_trace = fleet_size_trace;
+        self
     }
 
     /// Attaches the fleet's exact energy split: per-class active energy
@@ -268,6 +284,19 @@ impl ClusterReport {
     /// The run's horizon, seconds.
     pub fn horizon_seconds(&self) -> f64 {
         self.horizon_seconds
+    }
+
+    /// Accumulated parked capacity over the run: `server × seconds`
+    /// spent parked by the autoscaler (0 for runs without one).
+    pub fn parked_server_seconds(&self) -> f64 {
+        self.parked_server_seconds
+    }
+
+    /// The autoscaler's fleet-size trace: the fleet-wide active server
+    /// count during each epoch, in epoch order (empty for runs without
+    /// an autoscaler).
+    pub fn fleet_size_trace(&self) -> &[usize] {
+        &self.fleet_size_trace
     }
 
     /// Jain's fairness index of per-server job counts (1 = perfectly

@@ -6,6 +6,7 @@
 
 use crate::scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, WorkloadSource};
 use sleepscale::{QosConstraint, StrategySpec};
+use sleepscale_autoscale::AutoscalerSpec;
 use sleepscale_cluster::ServerGroup;
 use sleepscale_power::{presets, FrequencyScaling};
 use sleepscale_sim::SimEnv;
@@ -300,6 +301,51 @@ pub fn resume_tagged() -> Scenario {
     scenario
 }
 
+/// The autoscaling control plane's diurnal day: two tagged classes on
+/// a two-tier fleet — interactive on fast Xeons, batch on efficient
+/// Atoms — behind class-affinity routing, with the closed-loop
+/// autoscaler parking each tier's trailing servers through the
+/// overnight trough and waking them (guarded by each class's own p95
+/// budget) as the day ramps toward its peak.
+pub fn autoscale_day() -> Scenario {
+    let mut scenario = Scenario::new(
+        "autoscale-day",
+        WorkloadSource::Tagged(TrafficModel {
+            classes: vec![
+                TrafficClass::new("interactive", WorkloadSpec::dns(), 2.0).with_p95_budget(8.0),
+                TrafficClass::new("batch", WorkloadSpec::mail(), 1.0).with_p95_budget(60.0),
+            ],
+        }),
+        LoadSchedule::EmailStoreDay { seed: 7, start_minute: 120, end_minute: 1200 },
+    );
+    scenario.fleet = vec![
+        ServerGroup::new("interactive", 8, StrategySpec::sleepscale()),
+        ServerGroup {
+            env: SimEnv::new(presets::atom(), FrequencyScaling::CpuBound),
+            ..ServerGroup::new("batch", 4, StrategySpec::sleepscale())
+        },
+    ];
+    scenario.dispatcher =
+        DispatcherSpec::ClassAffinity { class_groups: vec![0, 1], spill_threshold_seconds: 0.1 };
+    scenario.autoscaler = Some(AutoscalerSpec::new().with_class_guards(vec![1.5, 5.5]));
+    scenario.eval_jobs = 300;
+    scenario.seed = 37;
+    scenario
+}
+
+/// [`autoscale_day`]'s class-blind control arm: the same tagged day on
+/// the same two-tier fleet, but behind join-shortest-backlog with the
+/// fleet fixed at full size — the baseline family the `autoscale` gate
+/// must beat on total energy at equal per-class QoS (the gate also
+/// shrinks this fleet to smaller fixed sizes over the same inputs).
+pub fn autoscale_day_fixed() -> Scenario {
+    let mut scenario = autoscale_day();
+    scenario.name = "autoscale-day-fixed".into();
+    scenario.dispatcher = DispatcherSpec::JoinShortestBacklog;
+    scenario.autoscaler = None;
+    scenario
+}
+
 /// Every bundled scenario, in catalog order.
 pub fn catalog() -> Vec<Scenario> {
     vec![
@@ -316,6 +362,8 @@ pub fn catalog() -> Vec<Scenario> {
         resume_single(),
         resume_fleet_sharded(),
         resume_tagged(),
+        autoscale_day(),
+        autoscale_day_fixed(),
     ]
 }
 
@@ -398,6 +446,22 @@ mod tests {
         // The preserved recipe is untouched.
         assert_eq!(fleet64().qos_slack, 3.0);
         assert_eq!(fleet64().fleet[0].over_provisioning, 0.0);
+    }
+
+    /// The autoscale family's acceptance shape: the autoscaled day
+    /// parks real server-time through the overnight trough (its quick
+    /// form *is* the trough) while every class meets its budget; the
+    /// fixed control arm shares the fleet shape but never parks.
+    #[test]
+    fn autoscale_day_quick_parks_and_meets_budgets() {
+        let report = ScenarioRunner::new(autoscale_day().quick()).unwrap().run().unwrap();
+        assert!(report.parked_server_seconds() > 0.0, "the overnight trough should park");
+        assert!(!report.fleet_size_trace().is_empty());
+        assert!(report.qos_ok(), "{:?}", report.classes());
+        let fixed = ScenarioRunner::new(autoscale_day_fixed().quick()).unwrap().run().unwrap();
+        assert_eq!(fixed.parked_server_seconds(), 0.0);
+        assert!(fixed.fleet_size_trace().is_empty());
+        assert_eq!(fixed.groups().len(), report.groups().len());
     }
 
     #[test]

@@ -77,14 +77,15 @@ pub use runner::{
     Backend, ClassReport, GroupReport, ScenarioReport, ScenarioRunner, JOURNAL_SCHEMA_VERSION,
 };
 pub use scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, WorkloadSource};
+pub use sleepscale_autoscale::AutoscalerSpec;
 
 /// Convenient glob-import surface (includes the upstream types a
 /// scenario is declared with).
 pub mod prelude {
     pub use crate::catalog;
     pub use crate::{
-        Backend, ClassReport, DispatcherSpec, GroupReport, LoadSchedule, MixComponent, Scenario,
-        ScenarioReport, ScenarioRunner, WorkloadSource,
+        AutoscalerSpec, Backend, ClassReport, DispatcherSpec, GroupReport, LoadSchedule,
+        MixComponent, Scenario, ScenarioReport, ScenarioRunner, WorkloadSource,
     };
     pub use sleepscale::{CandidateSpec, PredictorSpec, QosConstraint, SearchMode, StrategySpec};
     pub use sleepscale_cluster::ServerGroup;

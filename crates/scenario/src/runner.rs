@@ -17,7 +17,7 @@ use std::path::Path;
 /// from) journal headers. Bump whenever any `Snapshot` layout anywhere
 /// in the engine changes — a resume across versions is rejected with a
 /// typed error, never guessed at.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+pub const JOURNAL_SCHEMA_VERSION: u32 = 2;
 
 /// Which engine a scenario ran on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -264,6 +264,18 @@ impl ScenarioReport {
         self.groups.iter().all(|g| g.qos_ok) && self.classes.iter().all(|c| c.qos_ok)
     }
 
+    /// Server-seconds spent parked by the autoscaler (0.0 for
+    /// fixed-fleet scenarios and the single-server backends).
+    pub fn parked_server_seconds(&self) -> f64 {
+        self.cluster.as_ref().map_or(0.0, |c| c.parked_server_seconds())
+    }
+
+    /// Active-fleet-size trace, one entry per epoch (empty unless an
+    /// autoscaled cluster scenario ran).
+    pub fn fleet_size_trace(&self) -> &[usize] {
+        self.cluster.as_ref().map_or(&[][..], |c| c.fleet_size_trace())
+    }
+
     /// Characterization-cache counters summed over the fleet.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache
@@ -379,6 +391,21 @@ impl ScenarioRunner {
                 return Err(CoreError::InvalidConfig {
                     reason: format!(
                         "scenario '{}': sharding needs a multi-server fleet",
+                        scenario.name
+                    ),
+                });
+            }
+        }
+        scenario.dispatcher.validate(&scenario.fleet)?;
+        if let Some(spec) = &scenario.autoscaler {
+            spec.validate().map_err(|reason| CoreError::InvalidConfig {
+                reason: format!("scenario '{}': {reason}", scenario.name),
+            })?;
+            if scenario.total_servers() == 1 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "scenario '{}': autoscaling needs a multi-server fleet (there is \
+                         nothing to park on one server)",
                         scenario.name
                     ),
                 });
@@ -749,6 +776,9 @@ impl ScenarioRunner {
     ) -> Result<Option<ScenarioReport>, CoreError> {
         let config = ClusterConfig::new(base, self.scenario.fleet.clone())?;
         let mut cluster = Cluster::new(config).with_threads(self.scenario.threads);
+        if let Some(spec) = &self.scenario.autoscaler {
+            cluster = cluster.with_autoscaler(spec.clone());
+        }
         // Sharded scenarios take the concurrent engine; validation
         // guarantees the dispatcher is shardable. Byte-identical to the
         // central path for every shard count, so `shards` is a pure
@@ -763,7 +793,7 @@ impl ScenarioRunner {
                 sink,
             )?,
             _ => {
-                let mut dispatcher = self.scenario.dispatcher.build();
+                let mut dispatcher = self.scenario.dispatcher.build(&self.scenario.fleet);
                 cluster.run_checkpointed(trace, jobs, dispatcher.as_mut(), resume_from, sink)?
             }
         };
@@ -927,6 +957,65 @@ mod tests {
         let mut bad_window = small_single();
         bad_window.load = LoadSchedule::EmailStoreDay { seed: 1, start_minute: 9, end_minute: 9 };
         assert!(ScenarioRunner::new(bad_window).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_affinity_and_autoscaler_shapes() {
+        use crate::AutoscalerSpec;
+
+        let mut empty_table = small_fleet();
+        empty_table.dispatcher =
+            DispatcherSpec::ClassAffinity { class_groups: vec![], spill_threshold_seconds: 1.0 };
+        let err = ScenarioRunner::new(empty_table).unwrap_err().to_string();
+        assert!(err.contains("class→group"), "{err}");
+
+        let mut out_of_range = small_fleet();
+        out_of_range.dispatcher = DispatcherSpec::ClassAffinity {
+            class_groups: vec![0, 7],
+            spill_threshold_seconds: 1.0,
+        };
+        let err = ScenarioRunner::new(out_of_range).unwrap_err().to_string();
+        assert!(err.contains("group 7"), "{err}");
+
+        let mut bad_threshold = small_fleet();
+        bad_threshold.dispatcher = DispatcherSpec::ClassAffinity {
+            class_groups: vec![0],
+            spill_threshold_seconds: f64::NAN,
+        };
+        assert!(ScenarioRunner::new(bad_threshold).is_err());
+
+        let mut single_autoscaled = small_single();
+        single_autoscaled.autoscaler = Some(AutoscalerSpec::new());
+        let err = ScenarioRunner::new(single_autoscaled).unwrap_err().to_string();
+        assert!(err.contains("multi-server"), "{err}");
+
+        let mut bad_band = small_fleet();
+        bad_band.autoscaler = Some(AutoscalerSpec { park_below: 0.9, ..AutoscalerSpec::new() });
+        let err = ScenarioRunner::new(bad_band).unwrap_err().to_string();
+        assert!(err.contains("park_below"), "{err}");
+    }
+
+    /// An autoscaled fleet scenario runs end to end through the
+    /// declarative surface: the report carries parked server-seconds
+    /// and a per-epoch fleet-size trace, and an identical scenario
+    /// with `autoscaler: None` carries neither.
+    #[test]
+    fn autoscaled_scenario_reports_parking_telemetry() {
+        use crate::AutoscalerSpec;
+        let mut scenario = small_fleet();
+        scenario.load = LoadSchedule::Constant { rho: 0.08, minutes: 30 };
+        scenario.autoscaler = Some(AutoscalerSpec::new());
+        let report = ScenarioRunner::new(scenario.clone()).unwrap().run().unwrap();
+        assert_eq!(report.backend(), Backend::Cluster);
+        assert!(report.parked_server_seconds() > 0.0);
+        assert_eq!(report.fleet_size_trace().len(), 6);
+        assert_eq!(report.fleet_size_trace()[0], 4, "epoch 0 starts at full size");
+        assert!(report.fleet_size_trace().iter().any(|&m| m < 4), "the lull should park");
+
+        scenario.autoscaler = None;
+        let fixed = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        assert_eq!(fixed.parked_server_seconds(), 0.0);
+        assert!(fixed.fleet_size_trace().is_empty());
     }
 
     /// The tentpole's scenario-level parity: a single-class tagged

@@ -1,8 +1,9 @@
 use serde::{Deserialize, Serialize};
 use sleepscale::{CoreError, StrategySpec};
+use sleepscale_autoscale::AutoscalerSpec;
 use sleepscale_cluster::{
-    Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin, ServerGroup,
-    SplitUniform,
+    ClassAffinity, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin,
+    ServerGroup, SplitUniform,
 };
 use sleepscale_traffic::{TrafficError, TrafficModel};
 use sleepscale_workloads::{traces, UtilizationTrace, WorkloadSpec};
@@ -307,11 +308,29 @@ pub enum DispatcherSpec {
         /// Split seed.
         seed: u64,
     },
+    /// Class-aware routing over a grouped fleet: each traffic class is
+    /// steered to a preferred [`ServerGroup`] (`class_groups[c]` is
+    /// class `c`'s group index; classes beyond the table reuse its last
+    /// entry), choosing the lowest-indexed server there whose backlog
+    /// is under the spill threshold. A saturated group spills to the
+    /// lowest-indexed under-threshold server fleet-wide, and a
+    /// saturated fleet falls back to shortest-backlog. Requires a
+    /// multi-server fleet; pairs naturally with
+    /// [`Scenario::autoscaler`], whose active prefixes it routes over.
+    ClassAffinity {
+        /// Preferred group per class tag, indexed by
+        /// [`ClassId`](sleepscale_sim::ClassId).
+        class_groups: Vec<usize>,
+        /// Per-server backlog threshold before a class spills out of
+        /// its preferred group, seconds.
+        spill_threshold_seconds: f64,
+    },
 }
 
 impl DispatcherSpec {
-    /// Lowers the spec into a live dispatcher.
-    pub fn build(&self) -> Box<dyn Dispatcher> {
+    /// Lowers the spec into a live dispatcher over `fleet`'s group
+    /// shape (only [`DispatcherSpec::ClassAffinity`] reads it).
+    pub fn build(&self, fleet: &[ServerGroup]) -> Box<dyn Dispatcher> {
         match self {
             DispatcherSpec::RoundRobin => Box::new(RoundRobin::new()),
             DispatcherSpec::RandomUniform { seed } => Box::new(RandomUniform::new(*seed)),
@@ -320,7 +339,47 @@ impl DispatcherSpec {
                 Box::new(PackFirstFit::new(*backlog_seconds))
             }
             DispatcherSpec::SplitUniform { seed } => Box::new(SplitUniform::new(*seed)),
+            DispatcherSpec::ClassAffinity { class_groups, spill_threshold_seconds } => {
+                let sizes: Vec<usize> = fleet.iter().map(|g| g.count).collect();
+                Box::new(ClassAffinity::new(&sizes, class_groups.clone(), *spill_threshold_seconds))
+            }
         }
+    }
+
+    /// Shape-checks the spec against the fleet it will route for
+    /// (runner validation calls this before anything runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a [`ClassAffinity`]
+    /// spec with an empty class table, an out-of-range group index, or
+    /// a non-finite threshold.
+    pub fn validate(&self, fleet: &[ServerGroup]) -> Result<(), CoreError> {
+        if let DispatcherSpec::ClassAffinity { class_groups, spill_threshold_seconds } = self {
+            if class_groups.is_empty() {
+                return Err(CoreError::InvalidConfig {
+                    reason: "class-affinity dispatch needs at least one class→group entry".into(),
+                });
+            }
+            if let Some(&bad) = class_groups.iter().find(|&&g| g >= fleet.len()) {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "class-affinity routes a class to group {bad} but the fleet has only {} \
+                         groups",
+                        fleet.len()
+                    ),
+                });
+            }
+            if !spill_threshold_seconds.is_finite() || *spill_threshold_seconds < 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "class-affinity spill threshold {spill_threshold_seconds}s must be finite \
+                         and >= 0"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The split seed when this spec is shardable (seeded-hash
@@ -355,6 +414,11 @@ pub struct Scenario {
     pub fleet: Vec<ServerGroup>,
     /// How arrivals are split across the fleet.
     pub dispatcher: DispatcherSpec,
+    /// Closed-loop fleet autoscaler: when set, the cluster engine
+    /// parks trailing servers of each group off-peak and wakes them
+    /// (with modeled wake latency) as load or QoS pressure returns.
+    /// `None` leaves every run byte-identical to a fixed fleet.
+    pub autoscaler: Option<AutoscalerSpec>,
     /// Shards for the concurrent fleet engine (1 = the central
     /// dispatch loop). More than one shard requires a
     /// [`DispatcherSpec::SplitUniform`] dispatcher and a multi-server
@@ -391,6 +455,7 @@ impl Scenario {
             arrival_scale: 1.0,
             fleet: vec![ServerGroup::new("server", 1, StrategySpec::sleepscale())],
             dispatcher: DispatcherSpec::JoinShortestBacklog,
+            autoscaler: None,
             shards: 1,
             epoch_minutes: 5,
             eval_jobs: 800,

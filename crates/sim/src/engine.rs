@@ -3,7 +3,7 @@ use crate::job::{Job, JobRecord, JobStream};
 use crate::ledger::EnergyLedger;
 use crate::outcome::{EpochOutcome, Residency, SimOutcome};
 use sleepscale_dist::SummaryStats;
-use sleepscale_power::{Frequency, Policy, SleepProgram, SystemState};
+use sleepscale_power::{Frequency, Policy, SleepProgram, SystemState, Watts};
 
 /// The server's condition carried between epochs: when its committed work
 /// finishes and which sleep program/frequency governs the idle interval
@@ -195,6 +195,67 @@ impl OnlineSim {
             service,
             wake,
         }
+    }
+
+    /// Parks a drained server at `now`: the idle interval accumulated
+    /// since the queue emptied is integrated under the program that was
+    /// walking it, and `program` (typically a single immediate deep
+    /// stage) takes over from `now` with the idle clock re-based there.
+    /// Until [`OnlineSim::wake`] is called, any further idle time is
+    /// charged at the parked program's ladder.
+    ///
+    /// The caller must only park a drained server (`now` at or past the
+    /// carried free time); parking a busy server would rewrite history.
+    pub fn park(&mut self, now: f64, program: SleepProgram, freq: Frequency) {
+        assert!(now >= self.state.free_time, "park requires a drained server");
+        let gap_start = self.state.free_time;
+        let installed = self.state.idle.take();
+        let (walking, idle_freq) = match &installed {
+            Some((p, fr)) => (p.clone(), *fr),
+            None => (SleepProgram::never_sleep(), Frequency::MAX),
+        };
+        self.emit_idle(gap_start, now - gap_start, &walking, idle_freq);
+        self.state.free_time = now;
+        self.state.idle = Some((program, freq));
+    }
+
+    /// Wakes a parked server at `now`: charges the parked interval under
+    /// the parked program, counts the wake transition from its deepest
+    /// stage, charges the wake-up latency at `active_watts`, and leaves
+    /// the server free at `now + wake_latency` with `next_idle` (the
+    /// resuming policy's program) installed for subsequent idle gaps.
+    /// Returns the wake latency paid.
+    pub fn wake(
+        &mut self,
+        now: f64,
+        active_watts: Watts,
+        next_idle: (SleepProgram, Frequency),
+    ) -> f64 {
+        assert!(now >= self.state.free_time, "wake requires a parked (drained) server");
+        let gap_start = self.state.free_time;
+        let gap = now - gap_start;
+        let installed = self.state.idle.take();
+        let (program, idle_freq) = match &installed {
+            Some((p, fr)) => (p.clone(), *fr),
+            None => (SleepProgram::never_sleep(), Frequency::MAX),
+        };
+        self.emit_idle(gap_start, gap, &program, idle_freq);
+        let wake = match program.stage_at(gap) {
+            Some(stage) => {
+                let state = stage.state();
+                self.count_wake(state);
+                stage.wake_latency()
+            }
+            None => {
+                self.wakes_without_sleep += 1;
+                0.0
+            }
+        };
+        self.ledger.add_segment(now, now + wake, active_watts);
+        self.residency.add_waking(wake);
+        self.state.free_time = now + wake;
+        self.state.idle = Some(next_idle);
+        wake
     }
 
     /// Integrates the idle interval `[gap_start, gap_start + gap)` across

@@ -18,11 +18,14 @@
 //! * [`sleepscale`] — the policy manager, runtime, and baseline strategies.
 //! * [`sleepscale_cluster`] — multi-server scale-out behind pluggable
 //!   dispatchers (paper §7 future work), with heterogeneous server groups.
+//! * [`sleepscale_autoscale`] — the fleet control plane: the closed-loop
+//!   autoscaler's control law, spec, and snapshotable controller state.
 //! * [`sleepscale_scenario`] — the unified declarative Scenario API: one
 //!   entry point over the runtime, analytic, and cluster backends.
 
 pub use sleepscale;
 pub use sleepscale_analytic;
+pub use sleepscale_autoscale;
 pub use sleepscale_cluster;
 pub use sleepscale_dist;
 pub use sleepscale_power;
@@ -37,6 +40,7 @@ pub mod prelude {
     pub use sleepscale::prelude::*;
     pub use sleepscale_analytic as analytic;
     pub use sleepscale_analytic::{AnalyticOutcome, MG1Sleep, MM1Sleep, PolicyAnalyzer};
+    pub use sleepscale_autoscale as autoscale;
     pub use sleepscale_cluster as cluster;
     pub use sleepscale_cluster::{ClusterConfig, ClusterReport, GroupSummary, ServerGroup};
     pub use sleepscale_dist::prelude::*;

@@ -342,6 +342,75 @@ fn sharded_tagged_fleet_matches_central_bytes() {
     }
 }
 
+/// PR-9 tentpole: an *autoscaled* class-affinity scenario is thread-count
+/// invariant — the controller's park/wake decisions are pure functions
+/// of epoch-boundary state, so the fleet-size trace, parked
+/// server-seconds, and every report byte must match the serial run for
+/// every worker count.
+#[test]
+fn autoscaled_scenario_is_thread_count_invariant() {
+    let mut scenario = sleepscale_repro::sleepscale_scenario::catalog::autoscale_day().quick();
+    scenario.seed = 88;
+    let run_pinned = |threads: usize| {
+        let mut pinned = scenario.clone();
+        pinned.threads = threads;
+        ScenarioRunner::new(pinned).unwrap().run().unwrap()
+    };
+    let reference = run_pinned(1);
+    assert!(reference.parked_server_seconds() > 0.0, "invariance run never parked a server");
+    assert!(!reference.fleet_size_trace().is_empty());
+    for threads in [2, 3, 8] {
+        let run = run_pinned(threads);
+        assert_eq!(
+            run.cluster_report(),
+            reference.cluster_report(),
+            "threads={threads} diverged from the serial autoscaled fleet"
+        );
+        assert_eq!(
+            run.fleet_size_trace(),
+            reference.fleet_size_trace(),
+            "threads={threads} changed the fleet-size trace"
+        );
+        assert_eq!(
+            run.parked_server_seconds().to_bits(),
+            reference.parked_server_seconds().to_bits(),
+            "threads={threads} changed parked-server-seconds bytes"
+        );
+    }
+}
+
+/// An autoscaled fleet behind the sharded `SplitUniform` engine is
+/// invariant across the shard-count × worker-count grid: shards see the
+/// same `ActiveSet` because the controller runs on merged
+/// epoch-boundary state, before the next epoch's split.
+#[test]
+fn autoscaled_sharded_fleet_matches_central_bytes() {
+    let mut scenario = sleepscale_repro::sleepscale_scenario::catalog::autoscale_day().quick();
+    scenario.name = "autoscale-shard-invariance".into();
+    scenario.dispatcher = DispatcherSpec::SplitUniform { seed: 17 };
+    let run_pinned = |shards: usize, threads: usize| {
+        let mut pinned = scenario.clone();
+        pinned.shards = shards;
+        pinned.threads = threads;
+        ScenarioRunner::new(pinned).unwrap().run().unwrap()
+    };
+    let reference = run_pinned(1, 1);
+    assert!(reference.parked_server_seconds() > 0.0, "invariance run never parked a server");
+    for (shards, threads) in [(2, 1), (3, 2), (4, 5)] {
+        let run = run_pinned(shards, threads);
+        assert_eq!(
+            run.cluster_report(),
+            reference.cluster_report(),
+            "shards={shards} threads={threads} diverged from the central autoscaled engine"
+        );
+        assert_eq!(
+            run.fleet_size_trace(),
+            reference.fleet_size_trace(),
+            "shards={shards} threads={threads} changed the fleet-size trace"
+        );
+    }
+}
+
 /// The full runtime loop is a pure function of (trace, jobs, config,
 /// seed): repeated runs produce byte-identical `RunReport`s, including
 /// every epoch's selection metadata.

@@ -203,6 +203,97 @@ proptest! {
         prop_assert_eq!(index.free_times(), &free[..]);
     }
 
+    /// Class-affinity routing (preferred group, spill-over, saturated
+    /// fallback, every tie-break) agrees with a naive linear scan of
+    /// the same law — over arbitrary grouped fleets, class tables,
+    /// thresholds, interleavings, *and* arbitrary autoscaler active
+    /// prefixes (the `route_active` view the control plane dispatches
+    /// through).
+    #[test]
+    fn class_affinity_matches_linear_scan(
+        n_groups in 1_usize..4,
+        sizes_seed in 0_u64..10_000,
+        table_len in 1_usize..5,
+        threshold in 0.05_f64..3.0,
+        seed in 0_u64..10_000,
+    ) {
+        use rand::Rng;
+        use sleepscale_repro::sleepscale_cluster::{ActiveSet, ClassAffinity, DispatchIndex, Dispatcher};
+        use sleepscale_repro::sleepscale_sim::pack_id;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ sizes_seed);
+        let group_sizes: Vec<usize> = (0..n_groups).map(|_| rng.gen_range(1..6)).collect();
+        let class_groups: Vec<usize> =
+            (0..table_len).map(|_| rng.gen_range(0..n_groups)).collect();
+        let starts: Vec<usize> =
+            group_sizes.iter().scan(0, |s, &c| { let v = *s; *s += c; Some(v) }).collect();
+        let n: usize = group_sizes.iter().sum();
+
+        // The O(N) reference over an explicit per-group active view:
+        // stage 1 first under-threshold server in the preferred group,
+        // stage 2 first under-threshold server anywhere (ascending slot
+        // order), stage 3 first minimum of clamped backlog.
+        let reference = |free: &[f64], active: &[usize], class: usize, now: f64| -> usize {
+            let g = class_groups[class.min(class_groups.len() - 1)];
+            let bound = now + threshold;
+            let range = |g: usize| starts[g]..starts[g] + active[g];
+            if let Some(i) = range(g).find(|&i| free[i] < bound) {
+                return i;
+            }
+            if let Some(i) = (0..n_groups).flat_map(range).find(|&i| free[i] < bound) {
+                return i;
+            }
+            (0..n_groups)
+                .flat_map(range)
+                .map(|i| (i, (free[i] - now).max(0.0)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("backlogs are finite"))
+                .map(|(i, _)| i)
+                .expect("at least one active server")
+        };
+
+        let mut dispatcher = ClassAffinity::new(&group_sizes, class_groups.clone(), threshold);
+        let mut index = DispatchIndex::new(n);
+        let mut free = vec![0.0_f64; n];
+        let mut active: Vec<usize> = group_sizes.clone();
+        let mut now = 0.0;
+        for step in 0..300 {
+            now += rng.gen_range(0.0..0.4);
+            // Re-draw the active prefixes occasionally, as the
+            // autoscaler does at epoch boundaries.
+            if step % 25 == 0 {
+                for (g, m) in active.iter_mut().enumerate() {
+                    *m = rng.gen_range(1..group_sizes[g] + 1);
+                }
+            }
+            let class = rng.gen_range(0_u64..6);
+            let job = sleepscale_repro::sleepscale_sim::Job {
+                id: pack_id(step as u64, sleepscale_repro::sleepscale_sim::ClassId(class as u16)),
+                arrival: now,
+                size: 0.1,
+            };
+            let full = active.iter().zip(&group_sizes).all(|(m, s)| m == s);
+            let target = if full {
+                dispatcher.route(&job, &index)
+            } else {
+                let slots: Vec<usize> = (0..n_groups)
+                    .flat_map(|g| starts[g]..starts[g] + active[g])
+                    .collect();
+                let groups: Vec<(usize, usize)> =
+                    (0..n_groups).map(|g| (starts[g], active[g])).collect();
+                let set = ActiveSet::new(&slots, &groups);
+                dispatcher.route_active(&job, &index, &set)
+            };
+            prop_assert_eq!(
+                target,
+                reference(&free, &active, class as usize, now),
+                "step {} class {} now {} active {:?}",
+                step, class, now, &active
+            );
+            free[target] = free[target].max(now) + rng.gen_range(0.0..1.5);
+            index.update(target, free[target]);
+        }
+    }
+
     /// Log replay hits any requested utilization target.
     #[test]
     fn job_log_replay_matches_target(
