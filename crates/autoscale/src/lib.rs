@@ -162,6 +162,39 @@ pub struct GroupLoad {
     pub backlog_seconds: f64,
 }
 
+/// Which branch of the control law a tick took for a group — the
+/// triggering reason telemetry attaches to park/wake events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleReason {
+    /// Active-set utilization fell below `park_below`.
+    LowUtilization {
+        /// The realized active-set utilization that tripped the branch.
+        utilization: f64,
+    },
+    /// Active-set utilization exceeded `wake_above`.
+    HighUtilization {
+        /// The realized active-set utilization that tripped the branch.
+        utilization: f64,
+    },
+    /// The per-class p95 guard forced the group to full size.
+    QosPressure,
+}
+
+/// One group's outcome from a control tick: the active count before
+/// and after, and which branch of the law produced it (`None` = the
+/// hold branch inside the hysteresis band).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupDecision {
+    /// The group index.
+    pub group: usize,
+    /// Active count entering the tick.
+    pub from: usize,
+    /// Planned active count leaving the tick.
+    pub to: usize,
+    /// The branch taken (`None` for the in-band hold).
+    pub reason: Option<ScaleReason>,
+}
+
 /// The closed-loop controller: owns the per-group active counts and the
 /// parked-time bookkeeping, and advances one tick per epoch boundary.
 #[derive(Debug, Clone, PartialEq)]
@@ -233,7 +266,16 @@ impl AutoscaleController {
     /// Every branch is a pure function of the inputs — no clocks, no
     /// randomness — which is what keeps autoscaled runs byte-identical
     /// across worker and shard counts.
-    pub fn plan_epoch(&mut self, loads: &[GroupLoad], epoch_seconds: f64, qos_pressure: bool) {
+    ///
+    /// Returns one [`GroupDecision`] per group recording the branch
+    /// taken, so callers can attribute the resulting park/wake
+    /// transitions without re-deriving the law.
+    pub fn plan_epoch(
+        &mut self,
+        loads: &[GroupLoad],
+        epoch_seconds: f64,
+        qos_pressure: bool,
+    ) -> Vec<GroupDecision> {
         assert_eq!(loads.len(), self.group_sizes.len(), "one load entry per group");
         assert!(epoch_seconds > 0.0, "epochs have positive length");
         // Account the epoch that just closed before re-planning.
@@ -241,24 +283,40 @@ impl AutoscaleController {
         let total: usize = self.group_sizes.iter().sum();
         self.parked_seconds += (total - self.active_total()) as f64 * epoch_seconds;
 
+        let mut decisions = Vec::with_capacity(loads.len());
         for (g, load) in loads.iter().enumerate() {
             let m = self.active[g];
             let size = self.group_sizes[g];
             let floor = self.floor(g);
             if qos_pressure {
                 self.active[g] = size;
+                decisions.push(GroupDecision {
+                    group: g,
+                    from: m,
+                    to: size,
+                    reason: Some(ScaleReason::QosPressure),
+                });
                 continue;
             }
             let u = (load.busy_seconds + load.backlog_seconds) / (m as f64 * epoch_seconds);
             let need = (u * m as f64 / self.spec.target_utilization).ceil() as usize;
-            self.active[g] = if u > self.spec.wake_above {
-                need.clamp((m + 1).min(size), size)
+            let (to, reason) = if u > self.spec.wake_above {
+                (
+                    need.clamp((m + 1).min(size), size),
+                    Some(ScaleReason::HighUtilization { utilization: u }),
+                )
             } else if u < self.spec.park_below {
-                need.max(floor).max(m.saturating_sub(self.spec.park_step)).min(m)
+                (
+                    need.max(floor).max(m.saturating_sub(self.spec.park_step)).min(m),
+                    Some(ScaleReason::LowUtilization { utilization: u }),
+                )
             } else {
-                m
+                (m, None)
             };
+            self.active[g] = to;
+            decisions.push(GroupDecision { group: g, from: m, to, reason });
         }
+        decisions
     }
 
     /// Overrides group `g`'s planned active count with what the engine

@@ -33,7 +33,7 @@
 //! Results land in `results/autoscale.csv` and
 //! `results/bench_autoscale.json`.
 
-use sleepscale_bench::{require_io, write_csv, write_json, JsonValue};
+use sleepscale_bench::{require_io, write_csv, GateSummary, JsonValue};
 use sleepscale_journal::KillPlan;
 use sleepscale_scenario::catalog;
 use sleepscale_scenario::prelude::*;
@@ -208,8 +208,8 @@ fn check_resume() -> Result<String, String> {
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
+    let mut summary = GateSummary::start("autoscale", quick);
     println!("== autoscale gate{} ==", if quick { " (quick)" } else { "" });
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut failed = false;
@@ -243,37 +243,23 @@ fn main() -> std::io::Result<()> {
         write_csv("autoscale", &["check", "ok", "detail"], &rows),
     );
     println!("wrote {}", path.display());
-    let path = require_io(
-        "writing bench_autoscale.json",
-        write_json(
-            "bench_autoscale",
-            &[
-                ("gate", JsonValue::Str("autoscale".into())),
-                ("quick", JsonValue::Bool(quick)),
-                (
-                    "autoscaled_energy_joules",
-                    JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.autoscaled_energy)),
-                ),
-                (
-                    "best_fixed_energy_joules",
-                    JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.best_fixed_energy)),
-                ),
-                (
-                    "best_fixed_label",
-                    JsonValue::Str(
-                        energy.as_ref().map_or(String::new(), |e| e.best_fixed_label.clone()),
-                    ),
-                ),
-                (
-                    "parked_server_seconds",
-                    JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.parked_server_seconds)),
-                ),
-                ("hardware_threads", JsonValue::Int(cores as u64)),
-                ("ok", JsonValue::Bool(!failed)),
-            ],
-        ),
+    summary.field(
+        "autoscaled_energy_joules",
+        JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.autoscaled_energy)),
     );
-    println!("wrote {}", path.display());
+    summary.field(
+        "best_fixed_energy_joules",
+        JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.best_fixed_energy)),
+    );
+    summary.field(
+        "best_fixed_label",
+        JsonValue::Str(energy.as_ref().map_or(String::new(), |e| e.best_fixed_label.clone())),
+    );
+    summary.field(
+        "parked_server_seconds",
+        JsonValue::Num(energy.as_ref().map_or(f64::NAN, |e| e.parked_server_seconds)),
+    );
+    summary.finish(!failed, 0);
 
     if failed {
         eprintln!("AUTOSCALE GATE FAILED");

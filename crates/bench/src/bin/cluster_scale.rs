@@ -183,7 +183,7 @@ fn run_scale_out(
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
+    let mut summary = sleepscale_bench::GateSummary::start("cluster_scale", quick);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut scenario = catalog::fleet64();
     if quick {
@@ -315,30 +315,33 @@ fn main() -> std::io::Result<()> {
         &rows,
     )?;
     println!("wrote {}", path.display());
-    if json {
+
+    // The overhaul has two independent wins: the O(log N) dispatch +
+    // streaming statistics (expressed on any machine) and the parallel
+    // epoch-control fan-out (needs hardware threads — the owner sweeps
+    // are the serial engine's dominant cost and they parallelize across
+    // cores). The 4x bar therefore arms where the parallel phases can
+    // run; a single-core container can only express the serial-dispatch
+    // win and is held to 1.3x (measured ~1.5x, with margin for
+    // shared-machine timing noise).
+    let bar = if cores >= 4 { 4.0 } else { 1.3 };
+    let ok = parity_errors.is_empty() && (quick || speedup >= bar);
+    {
         use sleepscale_bench::JsonValue;
-        let path = sleepscale_bench::write_json(
-            "bench_cluster_scale",
-            &[
-                ("gate", JsonValue::Str("cluster_scale".into())),
-                ("quick", JsonValue::Bool(quick)),
-                ("n_servers", JsonValue::Int(n_servers as u64)),
-                ("minutes", JsonValue::Int(minutes as u64)),
-                ("jobs", JsonValue::Int(scale_out.total_jobs as u64)),
-                (
-                    "serial_jobs_per_sec",
-                    JsonValue::Num(serial.total_jobs as f64 / (serial.wall_ms / 1e3)),
-                ),
-                (
-                    "jobs_per_sec",
-                    JsonValue::Num(scale_out.total_jobs as f64 / (scale_out.wall_ms / 1e3)),
-                ),
-                ("speedup", JsonValue::Num(speedup)),
-                ("hardware_threads", JsonValue::Int(cores as u64)),
-                ("parity_ok", JsonValue::Bool(parity_errors.is_empty())),
-            ],
-        )?;
-        println!("wrote {}", path.display());
+        summary.field("n_servers", JsonValue::Int(n_servers as u64));
+        summary.field("minutes", JsonValue::Int(minutes as u64));
+        summary.field(
+            "serial_jobs_per_sec",
+            JsonValue::Num(serial.total_jobs as f64 / (serial.wall_ms / 1e3)),
+        );
+        summary.field(
+            "scale_out_jobs_per_sec",
+            JsonValue::Num(scale_out.total_jobs as f64 / (scale_out.wall_ms / 1e3)),
+        );
+        summary.field("speedup", JsonValue::Num(speedup));
+        summary.field("parity_ok", JsonValue::Bool(parity_errors.is_empty()));
+        // Four timed passes (two per engine) over the same stream.
+        summary.finish(ok, 4 * scale_out.total_jobs as u64);
     }
 
     if !parity_errors.is_empty() {
@@ -351,15 +354,6 @@ fn main() -> std::io::Result<()> {
         println!("(quick mode: speedup bar not enforced)");
         return Ok(());
     }
-    // The overhaul has two independent wins: the O(log N) dispatch +
-    // streaming statistics (expressed on any machine) and the parallel
-    // epoch-control fan-out (needs hardware threads — the owner sweeps
-    // are the serial engine's dominant cost and they parallelize across
-    // cores). The 4x bar therefore arms where the parallel phases can
-    // run; a single-core container can only express the serial-dispatch
-    // win and is held to 1.3x (measured ~1.5x, with margin for
-    // shared-machine timing noise).
-    let bar = if cores >= 4 { 4.0 } else { 1.3 };
     if speedup < bar {
         eprintln!(
             "ACCEPTANCE FAILED: need >={bar}x over the serial engine on {cores} hardware \

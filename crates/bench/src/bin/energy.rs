@@ -38,8 +38,8 @@
 //!    time-blind work-share formula overbills it and quietly
 //!    subsidizes the steady class.
 //!
-//! Results land in `results/energy.csv`; `--json` additionally writes
-//! the machine-readable summary `results/bench_energy.json`.
+//! Results land in `results/energy.csv` and the machine-readable
+//! summary `results/bench_energy.json`.
 
 use sleepscale_scenario::catalog;
 use sleepscale_scenario::prelude::*;
@@ -281,7 +281,7 @@ fn check_divergence(quick: bool) -> Result<String, String> {
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
+    let mut summary = sleepscale_bench::GateSummary::start("energy", quick);
     println!("== energy gate{} ==", if quick { " (quick)" } else { "" });
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -309,25 +309,10 @@ fn main() -> std::io::Result<()> {
         sleepscale_bench::write_csv("energy", &["check", "ok", "detail"], &rows),
     );
     println!("\nwrote {}", path.display());
-    if json {
-        let passed = rows.iter().filter(|r| r[1] == "1").count();
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let path = sleepscale_bench::require_io(
-            "writing bench_energy.json",
-            sleepscale_bench::write_json(
-                "bench_energy",
-                &[
-                    ("gate", sleepscale_bench::JsonValue::Str("energy".into())),
-                    ("quick", sleepscale_bench::JsonValue::Bool(quick)),
-                    ("checks_total", sleepscale_bench::JsonValue::Int(rows.len() as u64)),
-                    ("checks_passed", sleepscale_bench::JsonValue::Int(passed as u64)),
-                    ("hardware_threads", sleepscale_bench::JsonValue::Int(cores as u64)),
-                    ("ok", sleepscale_bench::JsonValue::Bool(!failed)),
-                ],
-            ),
-        );
-        println!("wrote {}", path.display());
-    }
+    let passed = rows.iter().filter(|r| r[1] == "1").count();
+    summary.field("checks_total", sleepscale_bench::JsonValue::Int(rows.len() as u64));
+    summary.field("checks_passed", sleepscale_bench::JsonValue::Int(passed as u64));
+    summary.finish(!failed, 0);
     if failed {
         eprintln!("ENERGY GATE FAILED");
         std::process::exit(1);

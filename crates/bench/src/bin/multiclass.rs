@@ -21,8 +21,8 @@
 //! 4. **Flash crowd** — the `flash-crowd-day` catalog scenario stays
 //!    per-class QoS-feasible *through* its 3× burst window.
 //!
-//! Results land in `results/multiclass.csv`; `--json` additionally
-//! writes the machine-readable summary `results/bench_multiclass.json`.
+//! Results land in `results/multiclass.csv` and the machine-readable
+//! summary `results/bench_multiclass.json`.
 
 use sleepscale_scenario::catalog;
 use sleepscale_scenario::prelude::*;
@@ -154,7 +154,7 @@ fn check_flash_crowd(quick: bool) -> Result<String, String> {
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
+    let mut summary = sleepscale_bench::GateSummary::start("multiclass", quick);
     println!("== multiclass gate{} ==", if quick { " (quick)" } else { "" });
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -187,25 +187,10 @@ fn main() -> std::io::Result<()> {
         sleepscale_bench::write_csv("multiclass", &["check", "ok", "detail"], &rows),
     );
     println!("\nwrote {}", path.display());
-    if json {
-        let passed = rows.iter().filter(|r| r[1] == "1").count();
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let path = sleepscale_bench::require_io(
-            "writing bench_multiclass.json",
-            sleepscale_bench::write_json(
-                "bench_multiclass",
-                &[
-                    ("gate", sleepscale_bench::JsonValue::Str("multiclass".into())),
-                    ("quick", sleepscale_bench::JsonValue::Bool(quick)),
-                    ("checks_total", sleepscale_bench::JsonValue::Int(rows.len() as u64)),
-                    ("checks_passed", sleepscale_bench::JsonValue::Int(passed as u64)),
-                    ("hardware_threads", sleepscale_bench::JsonValue::Int(cores as u64)),
-                    ("ok", sleepscale_bench::JsonValue::Bool(!failed)),
-                ],
-            ),
-        );
-        println!("wrote {}", path.display());
-    }
+    let passed = rows.iter().filter(|r| r[1] == "1").count();
+    summary.field("checks_total", sleepscale_bench::JsonValue::Int(rows.len() as u64));
+    summary.field("checks_passed", sleepscale_bench::JsonValue::Int(passed as u64));
+    summary.finish(!failed, 0);
     if failed {
         eprintln!("MULTICLASS GATE FAILED");
         std::process::exit(1);

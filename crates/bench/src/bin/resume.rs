@@ -24,7 +24,7 @@
 //! Writes `results/bench_resume.json`; exits non-zero on any failure.
 
 use sleepscale::CoreError;
-use sleepscale_bench::{require_io, write_json, JsonValue};
+use sleepscale_bench::{GateSummary, JsonValue};
 use sleepscale_journal::{fault, Journal, JournalMeta, KillPlan};
 use sleepscale_scenario::{catalog, Scenario, ScenarioRunner};
 use std::path::PathBuf;
@@ -160,6 +160,7 @@ fn check_mismatches() -> Vec<String> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let mut summary = GateSummary::start("resume", quick);
     println!("== checkpoint/resume gate{} ==", if quick { " (quick)" } else { "" });
 
     let scenarios =
@@ -206,22 +207,11 @@ fn main() {
     failures.extend(mismatch_failures);
 
     let ok = failures.is_empty();
-    let path = require_io(
-        "writing bench_resume.json",
-        write_json(
-            "bench_resume",
-            &[
-                ("gate", JsonValue::Str("resume".into())),
-                ("quick", JsonValue::Bool(quick)),
-                ("scenarios", JsonValue::Int(n_scenarios as u64)),
-                ("kill_points", JsonValue::Int(kill_points as u64)),
-                ("corrupted_tail_recoveries", JsonValue::Int(corrupted as u64)),
-                ("mismatches_typed", JsonValue::Bool(mismatches_ok)),
-                ("ok", JsonValue::Bool(ok)),
-            ],
-        ),
-    );
-    println!("wrote {}", path.display());
+    summary.field("scenarios", JsonValue::Int(n_scenarios as u64));
+    summary.field("kill_points", JsonValue::Int(kill_points as u64));
+    summary.field("corrupted_tail_recoveries", JsonValue::Int(corrupted as u64));
+    summary.field("mismatches_typed", JsonValue::Bool(mismatches_ok));
+    summary.finish(ok, 0);
 
     if !ok {
         for failure in &failures {

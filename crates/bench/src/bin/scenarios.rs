@@ -86,11 +86,13 @@ fn main() -> std::io::Result<()> {
         if quick { " (quick)" } else { "" }
     );
     println!(
-        "{:<24} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "{:<24} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}",
         "scenario",
         "backend",
         "servers",
         "jobs",
+        "wall(ms)",
+        "jobs/s",
         "mu*E[R]",
         "p95(ms)",
         "W",
@@ -120,14 +122,18 @@ fn main() -> std::io::Result<()> {
             }
         };
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let jobs_per_sec = report.total_jobs() as f64 / (wall_ms / 1e3).max(1e-12);
         let cache = report.cache_stats();
         let warm = report.warm_start_stats();
         println!(
-            "{:<24} {:>8} {:>7} {:>9} {:>9.2} {:>9.1} {:>9.0} {:>6.0}% {:>5.0}% {:>6}",
+            "{:<24} {:>8} {:>7} {:>9} {:>9.0} {:>9.0} {:>9.2} {:>9.1} {:>9.0} {:>6.0}% {:>5.0}% \
+             {:>6}",
             report.scenario(),
             report.backend().label(),
             runner.scenario().total_servers(),
             report.total_jobs(),
+            wall_ms,
+            jobs_per_sec,
             report.normalized_mean_response(),
             report.p95_response_seconds() * 1e3,
             report.avg_power_watts(),
@@ -209,6 +215,7 @@ fn main() -> std::io::Result<()> {
             runner.scenario().total_servers().to_string(),
             report.total_jobs().to_string(),
             format!("{:.1}", wall_ms),
+            format!("{jobs_per_sec:.0}"),
             format!("{:.4}", report.normalized_mean_response()),
             format!("{:.4}", report.p95_response_seconds() * 1e3),
             format!("{:.2}", report.avg_power_watts()),
@@ -235,6 +242,7 @@ fn main() -> std::io::Result<()> {
                 "servers",
                 "jobs",
                 "wall_ms",
+                "jobs_per_sec",
                 "norm_response",
                 "p95_ms",
                 "fleet_w",

@@ -18,13 +18,13 @@
 //!
 //! Run with `cargo run --release -p sleepscale-bench --bin shard_scale`
 //! (`--quick` for parity-only on the reduced fleet). Emits
-//! `results/shard_scale.csv` and — always, `--json` or not — the
-//! machine-readable `results/bench_shard_scale.json`; exits non-zero on
-//! any parity break or a missed throughput bar.
+//! `results/shard_scale.csv` and the machine-readable
+//! `results/bench_shard_scale.json`; exits non-zero on any parity
+//! break or a missed throughput bar.
 
 use rand::SeedableRng;
 use sleepscale::{QosConstraint, RuntimeConfig, StrategySpec};
-use sleepscale_bench::{require_io, write_csv, write_json, JsonValue};
+use sleepscale_bench::{require_io, write_csv, GateSummary, JsonValue};
 use sleepscale_cluster::{Cluster, ClusterConfig, ClusterReport, ServerGroup, SplitUniform};
 use sleepscale_scenario::{catalog, DispatcherSpec, ScenarioRunner};
 use sleepscale_sim::StreamSplit;
@@ -159,6 +159,7 @@ fn mega(n_servers: usize, cores: usize) -> (usize, f64, f64) {
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let mut summary = GateSummary::start("shard_scale", quick);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let shard_counts = [1usize, 2, 4, 7];
@@ -223,31 +224,18 @@ fn main() -> std::io::Result<()> {
     println!("wrote {}", path.display());
 
     let throughput_ok = quick || mega_jobs_per_sec >= bar;
-    let path = require_io(
-        "writing bench_shard_scale.json",
-        write_json(
-            "bench_shard_scale",
-            &[
-                ("gate", JsonValue::Str("shard_scale".into())),
-                ("quick", JsonValue::Bool(quick)),
-                ("parity_n_servers", JsonValue::Int(n_servers as u64)),
-                (
-                    "parity_shard_counts",
-                    JsonValue::Str(
-                        shard_counts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
-                    ),
-                ),
-                ("parity_ok", JsonValue::Bool(parity_ok)),
-                ("mega_servers", JsonValue::Int(if quick { 0 } else { mega_servers as u64 })),
-                ("mega_jobs", JsonValue::Int(mega_jobs as u64)),
-                ("jobs_per_sec", JsonValue::Num(mega_jobs_per_sec)),
-                ("bar_jobs_per_sec", JsonValue::Num(if quick { 0.0 } else { bar })),
-                ("hardware_threads", JsonValue::Int(cores as u64)),
-                ("ok", JsonValue::Bool(parity_ok && throughput_ok)),
-            ],
-        ),
+    summary.field("parity_n_servers", JsonValue::Int(n_servers as u64));
+    summary.field(
+        "parity_shard_counts",
+        JsonValue::Str(shard_counts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",")),
     );
-    println!("wrote {}", path.display());
+    summary.field("parity_ok", JsonValue::Bool(parity_ok));
+    summary.field("mega_servers", JsonValue::Int(if quick { 0 } else { mega_servers as u64 }));
+    summary.field("mega_jobs", JsonValue::Int(mega_jobs as u64));
+    summary.field("mega_jobs_per_sec", JsonValue::Num(mega_jobs_per_sec));
+    summary.field("bar_jobs_per_sec", JsonValue::Num(if quick { 0.0 } else { bar }));
+    let total_jobs = (parity_jobs * (shard_counts.len() + 1) + mega_jobs) as u64;
+    summary.finish(parity_ok && throughput_ok, total_jobs);
 
     if !parity_ok {
         eprintln!("PARITY FAILED: sharded reports diverged from the central SplitUniform engine");

@@ -9,13 +9,15 @@
 //! `ScenarioRunner` against one shared set of materialized inputs.
 //!
 //! Run with `cargo run --release -p sleepscale-bench --bin sweep_speedup`
-//! (`--quick` for a shorter window). Emits a comparison table to stdout
-//! and `results/sweep_speedup.csv`, and exits non-zero if the overhaul
-//! misses its acceptance bars: ≥3× fewer simulate calls per epoch and
-//! selected policies within 1% average power of the exhaustive
-//! baseline.
+//! (`--quick` for a shorter window). Emits a comparison table to stdout,
+//! `results/sweep_speedup.csv`, and the machine-readable
+//! `results/bench_sweep_speedup.json`, and exits non-zero if the
+//! overhaul misses its acceptance bars: ≥3× fewer simulate calls per
+//! epoch and selected policies within 1% average power of the
+//! exhaustive baseline.
 
 use sleepscale::{CandidateSpec, PredictorSpec, RunReport, SearchMode, StrategySpec};
+use sleepscale_bench::{GateSummary, JsonValue};
 use sleepscale_scenario::{LoadSchedule, Scenario, ScenarioRunner, WorkloadSource};
 use std::time::Instant;
 
@@ -43,7 +45,7 @@ fn scenario(minutes: usize, eval_jobs: usize, strategy: StrategySpec) -> Scenari
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
+    let mut summary = GateSummary::start("sweep_speedup", quick);
     // ≥24 epochs of 5 minutes (the acceptance window) — the default is
     // a 6-hour window (72 epochs) so steady-state reuse dominates.
     let minutes = if quick { 120 } else { 360 };
@@ -131,32 +133,21 @@ fn main() -> std::io::Result<()> {
         &rows,
     )?;
     println!("wrote {}", path.display());
-    if json {
-        use sleepscale_bench::JsonValue;
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let path = sleepscale_bench::write_json(
-            "bench_sweep_speedup",
-            &[
-                ("gate", JsonValue::Str("sweep_speedup".into())),
-                ("quick", JsonValue::Bool(quick)),
-                ("epochs", JsonValue::Int(epochs as u64)),
-                ("simulate_call_reduction", JsonValue::Num(call_ratio)),
-                ("speedup", JsonValue::Num(wall_ratio)),
-                ("power_delta_pct", JsonValue::Num(power_gap * 100.0)),
-                ("hardware_threads", JsonValue::Int(cores as u64)),
-            ],
-        )?;
-        println!("wrote {}", path.display());
-    }
+
+    // Quick mode is a smoke test; the acceptance bars are defined on
+    // the full 72-epoch window where steady-state reuse dominates the
+    // warm-up transient.
+    let ok = quick || (call_ratio >= 3.0 && power_gap.abs() <= 0.01);
+    summary.field("epochs", JsonValue::Int(epochs as u64));
+    summary.field("simulate_call_reduction", JsonValue::Num(call_ratio));
+    summary.field("speedup", JsonValue::Num(wall_ratio));
+    summary.field("power_delta_pct", JsonValue::Num(power_gap * 100.0));
+    summary.finish(ok, 2 * jobs.len() as u64);
 
     if quick {
-        // Quick mode is a smoke test; the acceptance bars are defined
-        // on the full 72-epoch window where steady-state reuse
-        // dominates the warm-up transient.
         println!("(quick mode: acceptance not enforced)");
         return Ok(());
     }
-    let ok = call_ratio >= 3.0 && power_gap.abs() <= 0.01;
     if !ok {
         eprintln!(
             "ACCEPTANCE FAILED: need >=3x call reduction (got {call_ratio:.1}x) and |power delta| \

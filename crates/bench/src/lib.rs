@@ -238,6 +238,66 @@ pub fn write_json(name: &str, fields: &[(&str, JsonValue)]) -> std::io::Result<P
     Ok(path)
 }
 
+/// One machine-readable summary per gate bin, written unconditionally.
+///
+/// Every gate (`sweep_speedup`, `cluster_scale`, `energy`, `multiclass`,
+/// `shard_scale`, `resume`, `autoscale`, `obs`) wraps its run in a
+/// `GateSummary`: `start` stamps the wall clock and hardware-thread
+/// count, gate-specific scalars accumulate via [`GateSummary::field`],
+/// and [`GateSummary::finish`] always writes
+/// `results/bench_<gate>.json` with `hardware_threads`, `wall_seconds`,
+/// `jobs`, `jobs_per_sec`, and `ok` — no `--json` flag required — so CI
+/// archives one uniform artifact set per run.
+#[derive(Debug)]
+pub struct GateSummary {
+    gate: &'static str,
+    quick: bool,
+    started: std::time::Instant,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl GateSummary {
+    /// Starts the wall clock for gate `gate` (`quick` records whether
+    /// the run used the reduced smoke configuration).
+    pub fn start(gate: &'static str, quick: bool) -> GateSummary {
+        GateSummary { gate, quick, started: std::time::Instant::now(), fields: Vec::new() }
+    }
+
+    /// Appends a gate-specific field (rendered between the common
+    /// prefix and the trailing `ok`).
+    pub fn field(&mut self, key: impl Into<String>, value: JsonValue) {
+        self.fields.push((key.into(), value));
+    }
+
+    /// Stops the clock and writes `results/bench_<gate>.json`; `jobs`
+    /// is the simulated-job count the throughput figure divides by
+    /// (pass 0 when the gate has no natural job count). Exits the
+    /// process with a diagnostic if the results directory is unusable.
+    pub fn finish(self, ok: bool, jobs: u64) -> PathBuf {
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut fields: Vec<(&str, JsonValue)> = vec![
+            ("gate", JsonValue::Str(self.gate.into())),
+            ("quick", JsonValue::Bool(self.quick)),
+            ("hardware_threads", JsonValue::Int(cores as u64)),
+            ("wall_seconds", JsonValue::Num(wall_seconds)),
+            ("jobs", JsonValue::Int(jobs)),
+            ("jobs_per_sec", JsonValue::Num(jobs as f64 / wall_seconds.max(1e-12))),
+        ];
+        for (key, value) in &self.fields {
+            fields.push((key.as_str(), value.clone()));
+        }
+        fields.push(("ok", JsonValue::Bool(ok)));
+        let name = format!("bench_{}", self.gate);
+        require_io(
+            "writing the gate summary",
+            write_json(&name, &fields).inspect(|p| {
+                println!("wrote {}", p.display());
+            }),
+        )
+    }
+}
+
 /// Unwraps a gate bin's result-file write, degrading gracefully when
 /// the output location is unusable (read-only `results/`, bad
 /// `SLEEPSCALE_RESULTS_DIR`, full disk): one diagnostic line on stderr

@@ -1,15 +1,18 @@
-use crate::dispatch::{ActiveSet, DispatchIndex, Dispatcher};
+use crate::dispatch::{ActiveSet, DispatchIndex, Dispatcher, RouteDecision};
 use crate::report::{ClusterReport, ServerSummary};
 use serde::{Deserialize, Serialize};
 use sleepscale::{
     CacheStats, CharacterizationCache, CharacterizationKey, CoreError, QosConstraint,
-    RuntimeConfig, SleepScaleStrategy, Strategy, StrategySpec, WarmStartStats,
+    RuntimeConfig, Selection, SleepScaleStrategy, Strategy, StrategySpec, WarmStartStats,
     DEFAULT_CACHE_CAPACITY,
 };
-use sleepscale_autoscale::{AutoscaleController, AutoscalerSpec, GroupLoad};
+use sleepscale_autoscale::{AutoscaleController, AutoscalerSpec, GroupLoad, ScaleReason};
 use sleepscale_dist::{QuantileSketch, ScalarSummary, StreamingSummary};
 use sleepscale_power::{ep, Policy, PowerSample, SleepProgram, SleepStage};
 use sleepscale_sim::{Job, JobCursor, JobRecord, JobStream, OnlineSim, SimEnv, StreamSplit};
+use sleepscale_telemetry::{
+    metrics, MetricsRegistry, ScaleCause, TelemetryReport, TelemetrySpec, TraceEvent,
+};
 use sleepscale_workloads::UtilizationTrace;
 use std::collections::HashSet;
 
@@ -211,6 +214,20 @@ impl SlotStrategy {
             SlotStrategy::Plain(s) => s.wants_epoch_records(),
         }
     }
+
+    fn last_prediction(&self) -> f64 {
+        match self {
+            SlotStrategy::Managed(s) => s.last_prediction(),
+            SlotStrategy::Plain(s) => s.last_prediction(),
+        }
+    }
+
+    fn last_selection(&self) -> Option<&Selection> {
+        match self {
+            SlotStrategy::Managed(s) => s.last_selection(),
+            SlotStrategy::Plain(s) => s.last_selection(),
+        }
+    }
 }
 
 struct ServerSlot {
@@ -238,6 +255,12 @@ struct ServerSlot {
     /// Per-class scalar slices, indexed by `ClassId`; grown on demand
     /// and only touched for genuinely tagged streams.
     class_stats: Vec<ScalarSummary>,
+    /// Characterization cache hit/miss counts, tallied per slot in the
+    /// parallel `begin` phase (telemetry-metrics runs only) and summed
+    /// in slot order at the merge — so the merged counters are worker-
+    /// and shard-count invariant like everything else in the report.
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// Jobs per locality segment in the serial sharded loop (~24 MB of
@@ -311,6 +334,8 @@ pub struct Cluster {
     threads: usize,
     last_warm: WarmStartStats,
     autoscaler: Option<AutoscalerSpec>,
+    telemetry: Option<TelemetrySpec>,
+    last_telemetry: Option<TelemetryReport>,
 }
 
 impl Cluster {
@@ -337,6 +362,8 @@ impl Cluster {
             threads: 0,
             last_warm: WarmStartStats::default(),
             autoscaler: None,
+            telemetry: None,
+            last_telemetry: None,
         }
     }
 
@@ -380,6 +407,34 @@ impl Cluster {
     pub fn with_autoscaler(mut self, spec: AutoscalerSpec) -> Cluster {
         self.autoscaler = Some(spec);
         self
+    }
+
+    /// Arms the telemetry layer for subsequent runs: with
+    /// `spec.trace_events` each server records its structured trace
+    /// (C-state/idle residency, wakes, per-epoch policy decisions) into
+    /// a per-slot buffer, and the engine appends fleet-level events
+    /// (dispatch spills, autoscaler park/wake with the triggering
+    /// reason); with `spec.metrics` the engine tallies the monotonic
+    /// counter registry. Both are merged at the run's serial slot-order
+    /// merge point, so the collected telemetry is byte-identical across
+    /// worker and shard counts. Collect with
+    /// [`Cluster::take_telemetry`] after the run.
+    ///
+    /// Telemetry never flows through [`ClusterReport`]; an unarmed
+    /// cluster takes the exact pre-telemetry code paths (each emit site
+    /// is one `Option` check inside the per-server simulator).
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Cluster {
+        self.telemetry = Some(spec);
+        self
+    }
+
+    /// Takes the telemetry collected by the most recent run (events in
+    /// slot order, fleet-level events appended in simulation-time
+    /// order; counters in first-registered order). `None` when the
+    /// cluster was not armed with [`Cluster::with_telemetry`] or no run
+    /// has completed since.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        self.last_telemetry.take()
     }
 
     /// The fleet configuration this cluster was built from.
@@ -450,6 +505,8 @@ impl Cluster {
                     wants_records,
                     responses: ScalarSummary::new(),
                     class_stats: Vec::new(),
+                    cache_hits: 0,
+                    cache_misses: 0,
                 });
             }
         }
@@ -598,6 +655,32 @@ impl Cluster {
         let mut slots = self.build_slots();
         let n = slots.len();
         let threads = self.worker_count(n);
+        // Telemetry arming. Events accumulate in per-slot buffers (the
+        // only parallel phases touch disjoint slots, so no sink is ever
+        // called from concurrent code) and merge at the serial
+        // slot-order merge point below; fleet-level events (dispatch
+        // spills, autoscaler transitions) append after in simulation-
+        // time order. Unarmed runs take the pre-telemetry code paths.
+        let trace_on = self.telemetry.is_some_and(|t| t.trace_events);
+        let metrics_on = self.telemetry.is_some_and(|t| t.metrics);
+        self.last_telemetry = None;
+        if (trace_on || metrics_on) && (resume_from.is_some() || sink.is_some()) {
+            return Err(CoreError::InvalidConfig {
+                reason: "telemetry composes with neither checkpoint sinks nor resume — run \
+                         without telemetry or without checkpointing"
+                    .into(),
+            });
+        }
+        if trace_on {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                slot.sim.enable_trace(i as u32);
+            }
+        }
+        let mut fleet_events: Vec<TraceEvent> = Vec::new();
+        let mut spill_count: u64 = 0;
+        let mut fallback_count: u64 = 0;
+        let mut park_count: u64 = 0;
+        let mut scale_wake_count: u64 = 0;
         let total_minutes = trace.len();
         let epoch_minutes = self.config.epoch_minutes();
         let n_epochs = total_minutes.div_ceil(epoch_minutes);
@@ -876,7 +959,48 @@ impl Cluster {
             // hold every key this epoch needs (pure hits/cold starts —
             // no inserts, hence schedule-independent).
             let begin = |slot: &mut ServerSlot| -> Result<(), CoreError> {
+                let prev_freq = slot.policy.as_ref().map(|p| p.frequency().get());
                 slot.policy = Some(slot.strategy.begin_epoch(k)?);
+                if trace_on || metrics_on {
+                    // Managed strategies expose their selection; a
+                    // `None` selection (fixed policies, race-to-halt)
+                    // is neither a cache hit nor a miss.
+                    let selection = slot.strategy.last_selection();
+                    let cache_hit = selection.is_some_and(|s| s.evaluated == 0);
+                    if metrics_on && selection.is_some() {
+                        if cache_hit {
+                            slot.cache_hits += 1;
+                        } else {
+                            slot.cache_misses += 1;
+                        }
+                    }
+                    if trace_on {
+                        let evaluated = selection.map_or(0, |s| s.evaluated) as u32;
+                        let policy = slot.policy.as_ref().expect("just assigned");
+                        let freq = policy.frequency().get();
+                        let program = policy.program().label();
+                        let server = slot.sim.trace_server().expect("trace_on enabled every slot");
+                        slot.sim.trace_push(TraceEvent::EpochDecision {
+                            server,
+                            epoch: k as u32,
+                            predicted_rho: slot.strategy.last_prediction(),
+                            frequency: freq,
+                            program,
+                            evaluated,
+                            cache_hit,
+                        });
+                        if let Some(prev) = prev_freq {
+                            if prev != freq {
+                                slot.sim.trace_push(TraceEvent::FrequencyChange {
+                                    server,
+                                    epoch: k as u32,
+                                    from: prev,
+                                    to: freq,
+                                });
+                            }
+                        }
+                    }
+                }
                 slot.epoch_records.clear();
                 slot.epoch_work = 0.0;
                 Ok(())
@@ -913,6 +1037,38 @@ impl Cluster {
                                     job.id
                                 ),
                             });
+                        }
+                        if trace_on || metrics_on {
+                            // Spill/fallback classification of the route
+                            // just taken — only preference-aware
+                            // dispatchers report anything but Preferred.
+                            let (fallback, preferred_group) = match dispatcher.last_route() {
+                                RouteDecision::Preferred => (None, 0),
+                                RouteDecision::Spill { preferred_group } => {
+                                    (Some(false), preferred_group)
+                                }
+                                RouteDecision::Fallback { preferred_group } => {
+                                    (Some(true), preferred_group)
+                                }
+                            };
+                            if let Some(fallback) = fallback {
+                                if metrics_on {
+                                    if fallback {
+                                        fallback_count += 1;
+                                    } else {
+                                        spill_count += 1;
+                                    }
+                                }
+                                if trace_on {
+                                    fleet_events.push(TraceEvent::DispatchSpill {
+                                        job: job.id,
+                                        class: job.class().0,
+                                        preferred_group,
+                                        target_server: target as u32,
+                                        fallback,
+                                    });
+                                }
+                            }
                         }
                         let slot = &mut slots[target];
                         dispatch_one(slot, &job, epoch_end, tagged, sketch, class_sketches);
@@ -1066,7 +1222,7 @@ impl Cluster {
                     ctrl.spec().qos_pressure(&p95s)
                 };
                 let before: Vec<usize> = ctrl.active().to_vec();
-                ctrl.plan_epoch(&loads, epoch_seconds, qos);
+                let decisions = ctrl.plan_epoch(&loads, epoch_seconds, qos);
                 if k + 1 < n_epochs {
                     let program = park_program.as_ref().expect("autoscaled runs build one");
                     let mut central_index = match &mut state {
@@ -1092,6 +1248,16 @@ impl Cluster {
                                 if let Some(index) = central_index.as_deref_mut() {
                                     index.set_unavailable(start + i);
                                 }
+                                if metrics_on {
+                                    park_count += 1;
+                                }
+                                if trace_on {
+                                    fleet_events.push(TraceEvent::Park {
+                                        server: (start + i) as u32,
+                                        at: epoch_end,
+                                        cause: scale_cause(decisions[g].reason),
+                                    });
+                                }
                                 achieved = i;
                             }
                             if achieved != target {
@@ -1111,6 +1277,16 @@ impl Cluster {
                                 slot.sim.wake(epoch_end, power.active_power(freq), next_idle);
                                 if let Some(index) = central_index.as_deref_mut() {
                                     index.update(start + i, slot.sim.state().free_time());
+                                }
+                                if metrics_on {
+                                    scale_wake_count += 1;
+                                }
+                                if trace_on {
+                                    fleet_events.push(TraceEvent::Unpark {
+                                        server: (start + i) as u32,
+                                        at: epoch_end,
+                                        cause: scale_cause(decisions[g].reason),
+                                    });
                                 }
                             }
                         }
@@ -1200,6 +1376,15 @@ impl Cluster {
         let mut group_busy: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
         let mut group_energy: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
         let mut bucket_width = 0.0;
+        // Telemetry accumulators, folded in the same fixed slot order
+        // as everything else in this loop.
+        let mut merged_events: Vec<TraceEvent> = Vec::new();
+        let mut jobs_total: u64 = 0;
+        let mut class_counts: Vec<u64> = Vec::new();
+        let mut cache_hits: u64 = 0;
+        let mut cache_misses: u64 = 0;
+        let mut wake_transitions: u64 = 0;
+        let mut wakes_without_sleep_total: u64 = 0;
         for (i, slot) in slots.into_iter().enumerate() {
             self.last_warm.merge(slot.strategy.warm_start_stats());
             fleet_scalar.merge(&slot.responses);
@@ -1212,7 +1397,24 @@ impl Cluster {
             let jobs_done = slot.all_jobs;
             let mean_response =
                 if jobs_done == 0 { 0.0 } else { slot.response_sum / jobs_done as f64 };
-            let (ledger, ..) = slot.sim.finish(horizon);
+            let (ledger, _residency, wakes_from, wakes_without_sleep, mut slot_events) =
+                slot.sim.finish_traced(horizon);
+            if trace_on {
+                merged_events.append(&mut slot_events);
+            }
+            if metrics_on {
+                jobs_total += jobs_done as u64;
+                for (c, s) in slot.class_stats.iter().enumerate() {
+                    if c >= class_counts.len() {
+                        class_counts.resize(c + 1, 0);
+                    }
+                    class_counts[c] += s.count();
+                }
+                cache_hits += slot.cache_hits;
+                cache_misses += slot.cache_misses;
+                wake_transitions += wakes_from.iter().map(|&(_, count)| count).sum::<u64>();
+                wakes_without_sleep_total += wakes_without_sleep;
+            }
             bucket_width = ledger.bucket_width();
             for (c, &e) in ledger.active_energy_by_class().iter().enumerate() {
                 if c >= class_active.len() {
@@ -1299,6 +1501,26 @@ impl Cluster {
             .zip(class_sketches)
             .map(|(scalar, sketch)| StreamingSummary::from_parts(scalar, sketch))
             .collect();
+        if trace_on || metrics_on {
+            let mut registry = MetricsRegistry::new();
+            if metrics_on {
+                registry.add(metrics::JOBS_TOTAL, jobs_total);
+                for (c, &count) in class_counts.iter().enumerate() {
+                    registry.add(&metrics::jobs_class(c as u16), count);
+                }
+                registry.add(metrics::DISPATCH_SPILLS, spill_count);
+                registry.add(metrics::DISPATCH_FALLBACKS, fallback_count);
+                registry.add(metrics::CACHE_HITS, cache_hits);
+                registry.add(metrics::CACHE_MISSES, cache_misses);
+                registry.add(metrics::WAKE_TRANSITIONS, wake_transitions);
+                registry.add(metrics::WAKES_WITHOUT_SLEEP, wakes_without_sleep_total);
+                registry.add(metrics::AUTOSCALER_PARKS, park_count);
+                registry.add(metrics::AUTOSCALER_WAKES, scale_wake_count);
+            }
+            merged_events.extend(fleet_events);
+            self.last_telemetry =
+                Some(TelemetryReport { events: merged_events, metrics: registry });
+        }
         let group_names = self.config.groups().iter().map(|g| g.name.clone()).collect();
         let report = ClusterReport::new(
             dispatcher_name,
@@ -1315,6 +1537,22 @@ impl Cluster {
                 .with_autoscale(ctrl.parked_server_seconds(), ctrl.fleet_size_trace().to_vec()),
             None => report,
         }))
+    }
+}
+
+/// Maps an autoscaler plan reason onto the telemetry event vocabulary.
+/// Applied transitions always carry a reason (an in-band hold never
+/// transitions); `None` only appears on holds, so the fallback arm is
+/// unreachable from the emit sites.
+fn scale_cause(reason: Option<ScaleReason>) -> ScaleCause {
+    match reason {
+        Some(ScaleReason::LowUtilization { utilization }) => {
+            ScaleCause::LowUtilization { utilization }
+        }
+        Some(ScaleReason::HighUtilization { utilization }) => {
+            ScaleCause::HighUtilization { utilization }
+        }
+        Some(ScaleReason::QosPressure) | None => ScaleCause::QosPressure,
     }
 }
 

@@ -272,11 +272,41 @@ impl<'a> ActiveSet<'a> {
     }
 }
 
+/// How the most recent route related to the job's preferred placement —
+/// the telemetry-facing classification of a dispatch decision. Only
+/// routing policies with a notion of preference (today: class affinity)
+/// ever report anything but `Preferred`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteDecision {
+    /// The job landed where its routing policy preferred it.
+    #[default]
+    Preferred,
+    /// The preferred group was saturated; the job spilled to an
+    /// under-threshold server elsewhere in the fleet.
+    Spill {
+        /// The group the job's class preferred.
+        preferred_group: u32,
+    },
+    /// Every server was saturated; the job fell back to the fleet-wide
+    /// shortest backlog.
+    Fallback {
+        /// The group the job's class preferred.
+        preferred_group: u32,
+    },
+}
+
 /// Routes each arriving job to one of the fleet's servers, observing
 /// only the [`DispatchIndex`].
 pub trait Dispatcher: std::fmt::Debug {
     /// Display name for reports.
     fn name(&self) -> String;
+
+    /// Classifies the most recent [`Dispatcher::route`] /
+    /// [`Dispatcher::route_active`] call. Dispatchers without a
+    /// preference structure keep the default (always `Preferred`).
+    fn last_route(&self) -> RouteDecision {
+        RouteDecision::Preferred
+    }
 
     /// Picks the destination server for `job`. Must return an index
     /// `< index.n_servers()`; the cluster engine rejects out-of-range
@@ -527,6 +557,7 @@ pub struct ClassAffinity {
     /// Class `c` prefers group `class_groups[min(c, len - 1)]`.
     class_groups: Vec<usize>,
     threshold_seconds: f64,
+    last: RouteDecision,
 }
 
 impl ClassAffinity {
@@ -558,7 +589,12 @@ impl ClassAffinity {
             groups.push((start, count));
             start += count;
         }
-        ClassAffinity { groups, class_groups, threshold_seconds: threshold_seconds.max(0.0) }
+        ClassAffinity {
+            groups,
+            class_groups,
+            threshold_seconds: threshold_seconds.max(0.0),
+            last: RouteDecision::Preferred,
+        }
     }
 
     /// Class `c`'s preferred group.
@@ -575,12 +611,12 @@ impl ClassAffinity {
         job: &Job,
         index: &DispatchIndex,
         range_of: impl Fn(usize) -> (usize, usize),
-    ) -> usize {
+    ) -> (usize, RouteDecision) {
         let g = self.preferred_group(job.class());
         let bound = job.arrival + self.threshold_seconds;
         let (start, len) = range_of(g);
         if let Some(i) = index.first_free_below_in(start, start + len, bound) {
-            return i;
+            return (i, RouteDecision::Preferred);
         }
         // Preferred group saturated: spill to the lowest-indexed
         // under-threshold server anywhere (groups scan in ascending
@@ -588,7 +624,7 @@ impl ClassAffinity {
         for other in 0..self.groups.len() {
             let (start, len) = range_of(other);
             if let Some(i) = index.first_free_below_in(start, start + len, bound) {
-                return i;
+                return (i, RouteDecision::Spill { preferred_group: g as u32 });
             }
         }
         // Everything saturated: fleet-wide shortest backlog, lowest
@@ -604,7 +640,8 @@ impl ClassAffinity {
                 }
             }
         }
-        best.expect("class affinity requires a non-empty active fleet").1
+        let i = best.expect("class affinity requires a non-empty active fleet").1;
+        (i, RouteDecision::Fallback { preferred_group: g as u32 })
     }
 }
 
@@ -613,15 +650,23 @@ impl Dispatcher for ClassAffinity {
         format!("class-affinity({}g,{}s)", self.groups.len(), self.threshold_seconds)
     }
 
+    fn last_route(&self) -> RouteDecision {
+        self.last
+    }
+
     fn route(&mut self, job: &Job, index: &DispatchIndex) -> usize {
-        self.pick(job, index, |g| self.groups[g])
+        let (i, decision) = self.pick(job, index, |g| self.groups[g]);
+        self.last = decision;
+        i
     }
 
     fn route_active(&mut self, job: &Job, index: &DispatchIndex, active: &ActiveSet<'_>) -> usize {
-        self.pick(job, index, |g| {
+        let (i, decision) = self.pick(job, index, |g| {
             let r = active.group_range(g);
             (r.start, r.end - r.start)
-        })
+        });
+        self.last = decision;
+        i
     }
 }
 

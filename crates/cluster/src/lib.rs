@@ -72,6 +72,6 @@ mod report;
 pub use cluster::{Cluster, ClusterConfig, ServerGroup};
 pub use dispatch::{
     ActiveSet, ClassAffinity, DispatchIndex, Dispatcher, JoinShortestBacklog, PackFirstFit,
-    RandomUniform, RoundRobin, SplitUniform,
+    RandomUniform, RoundRobin, RouteDecision, SplitUniform,
 };
 pub use report::{ClusterReport, GroupSummary, ServerSummary};

@@ -76,7 +76,9 @@ pub use manager::{
 };
 pub use qos::QosConstraint;
 pub use report::{EpochReport, RunReport};
-pub use runtime::{run, run_resumable, CheckpointSink, RuntimeConfig, RuntimeConfigBuilder};
+pub use runtime::{
+    run, run_resumable, run_traced, CheckpointSink, RuntimeConfig, RuntimeConfigBuilder,
+};
 pub use spec::{CandidateSpec, PredictorSpec, StrategySpec};
 pub use strategies::{FixedPolicyStrategy, RaceToHaltStrategy, SleepScaleStrategy, Strategy};
 

@@ -5,6 +5,7 @@ use crate::strategies::Strategy;
 use serde::{Deserialize, Serialize};
 use sleepscale_dist::{StreamingSummary, SummaryStats};
 use sleepscale_sim::{JobRecord, JobStream, OnlineSim, SimEnv};
+use sleepscale_telemetry::TraceEvent;
 use sleepscale_workloads::UtilizationTrace;
 
 /// Runtime parameters: the paper's `T` (epoch length), the evaluation-log
@@ -232,7 +233,46 @@ pub fn run_resumable(
     env: &SimEnv,
     config: &RuntimeConfig,
     resume_from: Option<&[u8]>,
+    sink: Option<CheckpointSink<'_>>,
+) -> Result<Option<RunReport>, CoreError> {
+    run_inner(trace, jobs, strategy, env, config, resume_from, sink, None)
+}
+
+/// [`run`] with structured event tracing: returns the report plus the
+/// server's deterministic [`TraceEvent`] stream (C-state residency
+/// segments, wakes, per-epoch policy decisions, frequency changes),
+/// attributed to slot 0.
+///
+/// Tracing composes with neither resume nor checkpoint sinks — the
+/// trace buffer is not part of the snapshot state — so this is the
+/// plain uninterrupted loop.
+///
+/// # Errors
+///
+/// Propagates strategy errors ([`CoreError`]).
+pub fn run_traced(
+    trace: &UtilizationTrace,
+    jobs: &JobStream,
+    strategy: &mut dyn Strategy,
+    env: &SimEnv,
+    config: &RuntimeConfig,
+) -> Result<(RunReport, Vec<TraceEvent>), CoreError> {
+    let mut events = Vec::new();
+    let report = run_inner(trace, jobs, strategy, env, config, None, None, Some(&mut events))?
+        .expect("run without a checkpoint sink always completes");
+    Ok((report, events))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_inner(
+    trace: &UtilizationTrace,
+    jobs: &JobStream,
+    strategy: &mut dyn Strategy,
+    env: &SimEnv,
+    config: &RuntimeConfig,
+    resume_from: Option<&[u8]>,
     mut sink: Option<CheckpointSink<'_>>,
+    trace_out: Option<&mut Vec<TraceEvent>>,
 ) -> Result<Option<RunReport>, CoreError> {
     use sleepscale_journal::{ByteReader, ByteWriter, CodecError, Snapshot};
 
@@ -242,6 +282,10 @@ pub fn run_resumable(
     let n_epochs = total_minutes.div_ceil(t_minutes);
 
     let mut online = OnlineSim::new(env.clone(), epoch_seconds);
+    if trace_out.is_some() {
+        online.enable_trace(0);
+    }
+    let mut prev_freq: Option<f64> = None;
     let mut epochs = Vec::with_capacity(n_epochs);
     let mut responses: Vec<f64> = Vec::new();
     // Per-class accounting only switches on for genuinely multi-class
@@ -281,6 +325,29 @@ pub fn run_resumable(
 
     for k in start_epoch..n_epochs {
         let policy = strategy.begin_epoch(k)?;
+        if online.trace_enabled() {
+            let freq = policy.frequency().get();
+            online.trace_push(TraceEvent::EpochDecision {
+                server: 0,
+                epoch: k as u32,
+                predicted_rho: strategy.last_prediction(),
+                frequency: freq,
+                program: policy.program().label(),
+                evaluated: strategy.last_selection().map_or(0, |s| s.evaluated) as u32,
+                cache_hit: strategy.last_selection().is_some_and(|s| s.evaluated == 0),
+            });
+            if let Some(prev) = prev_freq {
+                if prev != freq {
+                    online.trace_push(TraceEvent::FrequencyChange {
+                        server: 0,
+                        epoch: k as u32,
+                        from: prev,
+                        to: freq,
+                    });
+                }
+            }
+            prev_freq = Some(freq);
+        }
         let start_minute = k * t_minutes;
         let end_minute = (start_minute + t_minutes).min(total_minutes);
         let epoch_end = (start_minute + t_minutes) as f64 * 60.0;
@@ -346,7 +413,10 @@ pub fn run_resumable(
     // Close the trace and distribute per-epoch power from the ledger.
     let trace_end = total_minutes as f64 * 60.0;
     let horizon = trace_end.max(online.state().free_time());
-    let (ledger, _residency, wakes_from, _) = online.finish(horizon);
+    let (ledger, _residency, wakes_from, _, events) = online.finish_traced(horizon);
+    if let Some(out) = trace_out {
+        *out = events;
+    }
     for (k, e) in epochs.iter_mut().enumerate() {
         e.power_watts = ledger.bucket_power(k).as_watts();
     }

@@ -78,6 +78,7 @@ pub use runner::{
 };
 pub use scenario::{DispatcherSpec, LoadSchedule, MixComponent, Scenario, WorkloadSource};
 pub use sleepscale_autoscale::AutoscalerSpec;
+pub use sleepscale_telemetry::{TelemetryReport, TelemetrySpec};
 
 /// Convenient glob-import surface (includes the upstream types a
 /// scenario is declared with).
@@ -85,7 +86,8 @@ pub mod prelude {
     pub use crate::catalog;
     pub use crate::{
         AutoscalerSpec, Backend, ClassReport, DispatcherSpec, GroupReport, LoadSchedule,
-        MixComponent, Scenario, ScenarioReport, ScenarioRunner, WorkloadSource,
+        MixComponent, Scenario, ScenarioReport, ScenarioRunner, TelemetryReport, TelemetrySpec,
+        WorkloadSource,
     };
     pub use sleepscale::{CandidateSpec, PredictorSpec, QosConstraint, SearchMode, StrategySpec};
     pub use sleepscale_cluster::ServerGroup;

@@ -7,6 +7,7 @@ use sleepscale_dist::StreamingSummary;
 use sleepscale_journal::{fnv1a64, Journal, JournalMeta, KillPlan};
 use sleepscale_power::{ep, EnergyProportionality, PowerSample};
 use sleepscale_sim::{JobStream, StreamSplit};
+use sleepscale_telemetry::{metrics, MetricsRegistry, TelemetryReport, TraceEvent};
 use sleepscale_traffic::replay_traffic;
 use sleepscale_workloads::{
     replay_trace, ReplayConfig, UtilizationTrace, WorkloadDistributions, WorkloadSpec,
@@ -143,6 +144,7 @@ pub struct ScenarioReport {
     horizon_seconds: f64,
     cache: CacheStats,
     warm: WarmStartStats,
+    telemetry: Option<TelemetryReport>,
 }
 
 impl ScenarioReport {
@@ -284,6 +286,24 @@ impl ScenarioReport {
     /// Warm-start counters summed over the fleet.
     pub fn warm_start_stats(&self) -> WarmStartStats {
         self.warm
+    }
+
+    /// The run's structured telemetry — the merged trace-event stream
+    /// and the monotonic counter registry — when the scenario armed
+    /// [`Scenario::telemetry`](crate::Scenario). Events are merged in
+    /// slot order (fleet-level events appended in simulation-time
+    /// order), so the stream is byte-identical across worker and shard
+    /// counts.
+    pub fn telemetry(&self) -> Option<&TelemetryReport> {
+        self.telemetry.as_ref()
+    }
+
+    /// This report with telemetry stripped — everything a
+    /// `telemetry: None` run of the same scenario would produce, byte
+    /// for byte (the `obs` gate pins exactly that equality).
+    pub fn without_telemetry(mut self) -> ScenarioReport {
+        self.telemetry = None;
+        self
     }
 }
 
@@ -584,6 +604,19 @@ impl ScenarioRunner {
         resume: Option<Vec<u8>>,
         kill: KillPlan,
     ) -> Result<Option<ScenarioReport>, CoreError> {
+        // Telemetry buffers are not part of the snapshot schema, so a
+        // resumed run could never reconstruct the pre-kill event
+        // stream; reject the combination up front instead of silently
+        // dropping events.
+        if self.scenario.telemetry.is_some() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "scenario '{}': telemetry composes with neither checkpointing nor resume — \
+                     drop `telemetry` or run without a journal",
+                    self.scenario.name
+                ),
+            });
+        }
         let (spec, trace, jobs) = self.inputs()?;
         let base = self.base_runtime(&spec)?;
         let mut sink = |epoch: usize, payload: &[u8]| -> Result<bool, CoreError> {
@@ -693,40 +726,92 @@ impl ScenarioRunner {
             Backend::SingleServer
         };
         // Keep the concrete strategy type when the spec is managed so
-        // cache/warm telemetry survives into the report.
+        // cache/warm telemetry survives into the report. Telemetry-armed
+        // runs take the traced entry point (drive_checkpointed rejects
+        // the telemetry+journal combination before reaching here).
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let traced = self.scenario.telemetry.is_some();
         let (report, cache, warm) = match group.strategy.build_managed(base) {
             Some(mut managed) => {
-                let Some(report) = sleepscale::run_resumable(
-                    trace,
-                    jobs,
-                    &mut managed,
-                    base.env(),
-                    base,
-                    resume_from,
-                    sink,
-                )?
-                else {
-                    return Ok(None);
+                let report = if traced {
+                    let (report, ev) =
+                        sleepscale::run_traced(trace, jobs, &mut managed, base.env(), base)?;
+                    events = ev;
+                    report
+                } else {
+                    let Some(report) = sleepscale::run_resumable(
+                        trace,
+                        jobs,
+                        &mut managed,
+                        base.env(),
+                        base,
+                        resume_from,
+                        sink,
+                    )?
+                    else {
+                        return Ok(None);
+                    };
+                    report
                 };
                 (report, managed.cache_stats().unwrap_or_default(), managed.warm_start_stats())
             }
             None => {
                 let mut strategy = group.strategy.build(base);
-                let Some(report) = sleepscale::run_resumable(
-                    trace,
-                    jobs,
-                    strategy.as_mut(),
-                    base.env(),
-                    base,
-                    resume_from,
-                    sink,
-                )?
-                else {
-                    return Ok(None);
+                let report = if traced {
+                    let (report, ev) =
+                        sleepscale::run_traced(trace, jobs, strategy.as_mut(), base.env(), base)?;
+                    events = ev;
+                    report
+                } else {
+                    let Some(report) = sleepscale::run_resumable(
+                        trace,
+                        jobs,
+                        strategy.as_mut(),
+                        base.env(),
+                        base,
+                        resume_from,
+                        sink,
+                    )?
+                    else {
+                        return Ok(None);
+                    };
+                    report
                 };
                 (report, CacheStats::default(), WarmStartStats::default())
             }
         };
+        let telemetry = self.scenario.telemetry.map(|tspec| {
+            let mut registry = MetricsRegistry::new();
+            if tspec.metrics {
+                registry.add(metrics::JOBS_TOTAL, report.total_jobs() as u64);
+                for (c, slice) in report.class_responses().iter().enumerate() {
+                    registry.add(&metrics::jobs_class(c as u16), slice.count());
+                }
+                // Single-server counters derive from the trace itself:
+                // a decision with `evaluated == 0` and no hit flag is a
+                // fixed/unmanaged policy, neither hit nor miss.
+                let (mut hits, mut misses, mut wakes, mut dry) = (0u64, 0u64, 0u64, 0u64);
+                for event in &events {
+                    match event {
+                        TraceEvent::EpochDecision { cache_hit: true, .. } => hits += 1,
+                        TraceEvent::EpochDecision { evaluated, .. } if *evaluated > 0 => {
+                            misses += 1;
+                        }
+                        TraceEvent::Wake { from: Some(_), .. } => wakes += 1,
+                        TraceEvent::Wake { from: None, .. } => dry += 1,
+                        _ => {}
+                    }
+                }
+                registry.add(metrics::CACHE_HITS, hits);
+                registry.add(metrics::CACHE_MISSES, misses);
+                registry.add(metrics::WAKE_TRANSITIONS, wakes);
+                registry.add(metrics::WAKES_WITHOUT_SLEEP, dry);
+            }
+            TelemetryReport {
+                events: if tspec.trace_events { std::mem::take(&mut events) } else { Vec::new() },
+                metrics: registry,
+            }
+        });
         let norm = report.normalized_mean_response();
         let budget = group.qos.normalized_mean_budget();
         let group_report = GroupReport {
@@ -760,6 +845,7 @@ impl ScenarioRunner {
             horizon_seconds: report.horizon_seconds(),
             cache,
             warm,
+            telemetry,
             run: Some(report),
             cluster: None,
         }))
@@ -778,6 +864,9 @@ impl ScenarioRunner {
         let mut cluster = Cluster::new(config).with_threads(self.scenario.threads);
         if let Some(spec) = &self.scenario.autoscaler {
             cluster = cluster.with_autoscaler(spec.clone());
+        }
+        if let Some(tspec) = self.scenario.telemetry {
+            cluster = cluster.with_telemetry(tspec);
         }
         // Sharded scenarios take the concurrent engine; validation
         // guarantees the dispatcher is shardable. Byte-identical to the
@@ -842,6 +931,7 @@ impl ScenarioRunner {
             horizon_seconds: report.horizon_seconds(),
             cache: cluster.characterization_stats(),
             warm: cluster.warm_start_stats(),
+            telemetry: cluster.take_telemetry(),
             run: None,
             cluster: Some(report),
         }))

@@ -5,6 +5,7 @@ use sleepscale_cluster::{
     ClassAffinity, Dispatcher, JoinShortestBacklog, PackFirstFit, RandomUniform, RoundRobin,
     ServerGroup, SplitUniform,
 };
+use sleepscale_telemetry::TelemetrySpec;
 use sleepscale_traffic::{TrafficError, TrafficModel};
 use sleepscale_workloads::{traces, UtilizationTrace, WorkloadSpec};
 
@@ -419,6 +420,16 @@ pub struct Scenario {
     /// (with modeled wake latency) as load or QoS pressure returns.
     /// `None` leaves every run byte-identical to a fixed fleet.
     pub autoscaler: Option<AutoscalerSpec>,
+    /// Structured telemetry: when set, the run records the trace-event
+    /// stream (C-state/idle residency, wakes, per-epoch policy
+    /// decisions, dispatch spills, autoscaler transitions) and/or the
+    /// monotonic counter registry onto
+    /// [`ScenarioReport::telemetry`](crate::ScenarioReport), merged in
+    /// slot order so the collected telemetry is byte-identical across
+    /// worker and shard counts. `None` (the default) takes the exact
+    /// pre-telemetry code paths — reports are byte-identical to a
+    /// build without the layer.
+    pub telemetry: Option<TelemetrySpec>,
     /// Shards for the concurrent fleet engine (1 = the central
     /// dispatch loop). More than one shard requires a
     /// [`DispatcherSpec::SplitUniform`] dispatcher and a multi-server
@@ -456,6 +467,7 @@ impl Scenario {
             fleet: vec![ServerGroup::new("server", 1, StrategySpec::sleepscale())],
             dispatcher: DispatcherSpec::JoinShortestBacklog,
             autoscaler: None,
+            telemetry: None,
             shards: 1,
             epoch_minutes: 5,
             eval_jobs: 800,

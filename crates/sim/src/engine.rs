@@ -4,6 +4,7 @@ use crate::ledger::EnergyLedger;
 use crate::outcome::{EpochOutcome, Residency, SimOutcome};
 use sleepscale_dist::SummaryStats;
 use sleepscale_power::{Frequency, Policy, SleepProgram, SystemState, Watts};
+use sleepscale_telemetry::{TraceBuffer, TraceEvent};
 
 /// The server's condition carried between epochs: when its committed work
 /// finishes and which sleep program/frequency governs the idle interval
@@ -75,6 +76,9 @@ pub struct OnlineSim {
     wakes_from: Vec<(SystemState, u64)>,
     wakes_without_sleep: u64,
     jobs_done: usize,
+    // `None` (the default) keeps every code path byte-identical to the
+    // untraced engine: each emit site pays exactly one `Option` check.
+    trace: Option<TraceBuffer>,
 }
 
 impl OnlineSim {
@@ -94,7 +98,22 @@ impl OnlineSim {
             wakes_from: Vec::new(),
             wakes_without_sleep: 0,
             jobs_done: 0,
+            trace: None,
         }
+    }
+
+    /// Turns on structured event tracing, attributing events to slot
+    /// `server`. Events accumulate in an internal [`TraceBuffer`] and
+    /// come back from [`OnlineSim::finish_traced`]; the buffer is not
+    /// part of the checkpoint state (checkpointed runs reject
+    /// telemetry upstream).
+    pub fn enable_trace(&mut self, server: u32) {
+        self.trace = Some(TraceBuffer::new(server));
+    }
+
+    /// Whether event tracing is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Simulates one epoch's arrivals under `policy`.
@@ -151,18 +170,31 @@ impl OnlineSim {
                 None => (policy.program(), f),
             };
             self.emit_idle(gap_start, gap, program, idle_freq);
-            match program.stage_at(gap) {
+            let woke_from = match program.stage_at(gap) {
                 Some(stage) => {
                     wake = stage.wake_latency();
                     let state = stage.state();
                     self.count_wake(state);
+                    Some(state)
                 }
-                None => self.wakes_without_sleep += 1,
-            }
+                None => {
+                    self.wakes_without_sleep += 1;
+                    None
+                }
+            };
             self.state.idle = installed;
             // Wake-up runs at the *new* policy's active power.
             self.ledger.add_segment(job.arrival, job.arrival + wake, active_watts);
             self.residency.add_waking(wake);
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(TraceEvent::Wake {
+                    server: buf.server(),
+                    at: job.arrival,
+                    from: woke_from,
+                    latency: wake,
+                    watts: active_watts.as_watts(),
+                });
+            }
             job.arrival + wake
         } else {
             self.state.free_time
@@ -240,19 +272,28 @@ impl OnlineSim {
             None => (SleepProgram::never_sleep(), Frequency::MAX),
         };
         self.emit_idle(gap_start, gap, &program, idle_freq);
-        let wake = match program.stage_at(gap) {
+        let (wake, woke_from) = match program.stage_at(gap) {
             Some(stage) => {
                 let state = stage.state();
                 self.count_wake(state);
-                stage.wake_latency()
+                (stage.wake_latency(), Some(state))
             }
             None => {
                 self.wakes_without_sleep += 1;
-                0.0
+                (0.0, None)
             }
         };
         self.ledger.add_segment(now, now + wake, active_watts);
         self.residency.add_waking(wake);
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(TraceEvent::Wake {
+                server: buf.server(),
+                at: now,
+                from: woke_from,
+                latency: wake,
+                watts: active_watts.as_watts(),
+            });
+        }
         self.state.free_time = now + wake;
         self.state.idle = Some(next_idle);
         wake
@@ -277,6 +318,14 @@ impl OnlineSim {
             let watts = self.env.power().active_power(idle_freq);
             self.ledger.add_segment(gap_start, gap_start + first_tau, watts);
             self.residency.add_active_idle(first_tau);
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(TraceEvent::ActiveIdle {
+                    server: buf.server(),
+                    start: gap_start,
+                    seconds: first_tau,
+                    watts: watts.as_watts(),
+                });
+            }
         }
         for (i, stage) in stages.iter().enumerate() {
             let begin = stage.enter_after();
@@ -287,6 +336,15 @@ impl OnlineSim {
             let watts = self.env.power().power(stage.state(), idle_freq);
             self.ledger.add_segment(gap_start + begin, gap_start + end, watts);
             self.residency.add_state(stage.state(), end - begin);
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(TraceEvent::CState {
+                    server: buf.server(),
+                    start: gap_start + begin,
+                    seconds: end - begin,
+                    state: stage.state(),
+                    watts: watts.as_watts(),
+                });
+            }
         }
     }
 
@@ -303,10 +361,18 @@ impl OnlineSim {
     /// overall outcome. Response statistics are not kept by the online
     /// engine (each epoch already returned its records); pass them in via
     /// [`simulate`] for batch use.
-    pub fn finish(
+    pub fn finish(self, horizon: f64) -> (EnergyLedger, Residency, Vec<(SystemState, u64)>, u64) {
+        let (ledger, residency, wakes_from, wakes_without_sleep, _) = self.finish_traced(horizon);
+        (ledger, residency, wakes_from, wakes_without_sleep)
+    }
+
+    /// [`OnlineSim::finish`] plus the traced event stream (empty when
+    /// tracing was never enabled).
+    #[allow(clippy::type_complexity)]
+    pub fn finish_traced(
         mut self,
         horizon: f64,
-    ) -> (EnergyLedger, Residency, Vec<(SystemState, u64)>, u64) {
+    ) -> (EnergyLedger, Residency, Vec<(SystemState, u64)>, u64, Vec<TraceEvent>) {
         let end = horizon.max(self.state.free_time);
         if end > self.state.free_time {
             let (program, freq) = match &self.state.idle {
@@ -316,7 +382,22 @@ impl OnlineSim {
             let gap_start = self.state.free_time;
             self.emit_idle(gap_start, end - gap_start, &program, freq);
         }
-        (self.ledger, self.residency, self.wakes_from, self.wakes_without_sleep)
+        let events = self.trace.take().map(TraceBuffer::into_events).unwrap_or_default();
+        (self.ledger, self.residency, self.wakes_from, self.wakes_without_sleep, events)
+    }
+
+    /// Pushes an externally produced event (an epoch decision, a
+    /// frequency change) into this server's trace, in program order
+    /// with the engine's own events. No-op when tracing is off.
+    pub fn trace_push(&mut self, event: TraceEvent) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(event);
+        }
+    }
+
+    /// The traced slot index, if tracing is on.
+    pub fn trace_server(&self) -> Option<u32> {
+        self.trace.as_ref().map(TraceBuffer::server)
     }
 
     /// The server's carry state (free time and pending idle program).
@@ -370,6 +451,7 @@ impl OnlineSim {
             wakes_from: Vec::restore(r)?,
             wakes_without_sleep: r.get_u64()?,
             jobs_done: r.get_usize()?,
+            trace: None,
         })
     }
 }

@@ -1,0 +1,1060 @@
+//! Deterministic telemetry for SleepScale runs: structured trace
+//! events, pluggable sinks, and a worker-invariant metrics registry.
+//!
+//! Every run of the simulator — single server or 100k-server sharded
+//! fleet — is a deterministic function of its inputs, and PR 10 makes
+//! its *internals* observable under the same contract. A
+//! [`TraceEvent`] records one simulation fact (a C-state residency
+//! segment, a wake transition, an epoch policy decision, a dispatch
+//! spill, an autoscaler park/wake) derived **only from simulation
+//! state** — never wall-clock time or thread identity — so a trace is
+//! byte-identical across worker and shard counts, and doubles as a
+//! correctness oracle: replaying the trace reproduces the engine's
+//! `Residency` accounting bit for bit and its `EnergyLedger` idle-side
+//! energy to floating-point round-off.
+//!
+//! The pieces:
+//!
+//! * [`TraceEvent`] + [`ScaleCause`] — the event schema, with a
+//!   hand-rolled JSONL round-trip ([`TraceEvent::to_json_line`] /
+//!   [`TraceEvent::from_json_line`]) and a lossy human-oriented CSV
+//!   rendering (the offline `serde` stand-in is marker-only, so the
+//!   wire format lives here).
+//! * [`TraceBuffer`] — the per-server accumulation vehicle. Engines
+//!   buffer events per slot and merge in slot order at the end of the
+//!   run; sinks are never called from parallel code.
+//! * [`TraceSink`] — terminal consumers: [`NullSink`] (the default:
+//!   no allocation, no work), [`MemorySink`] (with reconciliation
+//!   helpers), and a buffered [`FileSink`] (JSONL or CSV).
+//! * [`MetricsRegistry`] — named monotonic counters merged in
+//!   slot/shard order, so values are worker- and shard-count
+//!   invariant.
+//! * [`TelemetrySpec`] / [`TelemetryReport`] — the declarative knob a
+//!   `Scenario` carries and the collected result a `ScenarioReport`
+//!   surfaces.
+//!
+//! The zero-overhead contract: a run with telemetry disabled takes
+//! exactly the pre-PR-10 code paths — per emit site the only added
+//! work is one `Option` check — and produces byte-identical reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use sleepscale_power::SystemState;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Why the autoscaler changed (or pinned) a group's active count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScaleCause {
+    /// Utilization fell below the park threshold.
+    LowUtilization {
+        /// The group utilization that triggered the decision.
+        utilization: f64,
+    },
+    /// Utilization rose above the wake threshold.
+    HighUtilization {
+        /// The group utilization that triggered the decision.
+        utilization: f64,
+    },
+    /// A QoS miss in the previous epoch forced the group to full size.
+    QosPressure,
+}
+
+impl ScaleCause {
+    fn tag(&self) -> &'static str {
+        match self {
+            ScaleCause::LowUtilization { .. } => "low_utilization",
+            ScaleCause::HighUtilization { .. } => "high_utilization",
+            ScaleCause::QosPressure => "qos_pressure",
+        }
+    }
+
+    /// Human-readable rendering, e.g. `"low_utilization (u=0.12)"`.
+    pub fn describe(&self) -> String {
+        match self {
+            ScaleCause::LowUtilization { utilization } => {
+                format!("low_utilization (u={utilization:.3})")
+            }
+            ScaleCause::HighUtilization { utilization } => {
+                format!("high_utilization (u={utilization:.3})")
+            }
+            ScaleCause::QosPressure => "qos_pressure".into(),
+        }
+    }
+}
+
+/// One structured simulation fact. Every field derives from simulation
+/// state (times are simulation seconds, servers are fleet-order slot
+/// indices), which is what makes traces a determinism surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The server occupied a sleep-ladder C-state for `seconds`
+    /// starting at `start`, drawing `watts`.
+    CState {
+        /// Fleet-order slot index (0 for single-server runs).
+        server: u32,
+        /// Segment start, simulation seconds.
+        start: f64,
+        /// Segment length, seconds.
+        seconds: f64,
+        /// The occupied system state.
+        state: SystemState,
+        /// Power drawn during the segment, watts.
+        watts: f64,
+    },
+    /// Pre-`τ₁` idle charged at active power (the appendix's `P_0`
+    /// term): the server is idle but has not yet entered the ladder.
+    ActiveIdle {
+        /// Fleet-order slot index.
+        server: u32,
+        /// Segment start, simulation seconds.
+        start: f64,
+        /// Segment length, seconds.
+        seconds: f64,
+        /// Power drawn during the segment, watts.
+        watts: f64,
+    },
+    /// A wake transition: an arrival (or autoscaler unpark) caught the
+    /// server in `from` and paid `latency` seconds at `watts`.
+    Wake {
+        /// Fleet-order slot index.
+        server: u32,
+        /// When the wake began, simulation seconds.
+        at: f64,
+        /// The sleep state the server woke from (`None` = still in
+        /// pre-`τ₁` active idle, no latency paid).
+        from: Option<SystemState>,
+        /// Wake latency paid, seconds.
+        latency: f64,
+        /// Power drawn during the wake, watts.
+        watts: f64,
+    },
+    /// An epoch-boundary policy decision: the strategy chose
+    /// `(frequency, program)` for `epoch` from `predicted_rho`.
+    EpochDecision {
+        /// Fleet-order slot index.
+        server: u32,
+        /// Epoch index, from 0.
+        epoch: u32,
+        /// The predictor's load estimate the selection keyed on.
+        predicted_rho: f64,
+        /// The chosen normalized frequency.
+        frequency: f64,
+        /// The chosen sleep program's label.
+        program: String,
+        /// Candidate policies evaluated (0 = characterization-cache
+        /// hit).
+        evaluated: u32,
+        /// Whether the decision came from the characterization cache.
+        cache_hit: bool,
+    },
+    /// The chosen frequency changed between consecutive epochs.
+    FrequencyChange {
+        /// Fleet-order slot index.
+        server: u32,
+        /// The epoch whose decision changed the frequency.
+        epoch: u32,
+        /// The previous epoch's frequency.
+        from: f64,
+        /// The new frequency.
+        to: f64,
+    },
+    /// Class-affinity dispatch could not place a job on its preferred
+    /// group and spilled fleet-wide (or fell back to minimum backlog).
+    DispatchSpill {
+        /// The job's id.
+        job: u64,
+        /// The job's traffic class.
+        class: u16,
+        /// The class's preferred group index.
+        preferred_group: u32,
+        /// The slot the job actually landed on.
+        target_server: u32,
+        /// True if even the spill found no idle server and the job
+        /// fell back to the minimum-backlog slot.
+        fallback: bool,
+    },
+    /// The autoscaler parked a drained server.
+    Park {
+        /// Fleet-order slot index.
+        server: u32,
+        /// Park instant (the epoch boundary), simulation seconds.
+        at: f64,
+        /// Why the controller shrank the group.
+        cause: ScaleCause,
+    },
+    /// The autoscaler returned a parked server to service.
+    Unpark {
+        /// Fleet-order slot index.
+        server: u32,
+        /// Wake instant (the epoch boundary), simulation seconds.
+        at: f64,
+        /// Why the controller grew the group.
+        cause: ScaleCause,
+    },
+}
+
+/// Escapes a string for a JSON value position.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Reverses [`escape_json`].
+fn unescape_json(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Formats an `f64` deterministically for a JSON value position:
+/// shortest round-trip form (`Debug`), `null` if non-finite.
+fn fmt_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_field_f64(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, ",\"{key}\":");
+    fmt_f64(v, out);
+}
+
+fn push_field_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn push_field_str(out: &mut String, key: &str, v: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    escape_json(v, out);
+    out.push('"');
+}
+
+fn push_field_bool(out: &mut String, key: &str, v: bool) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+/// Resolves a paper-style label (`"C6S3"`, `"C0(i)S0(i)"`, …) back to
+/// its [`SystemState`]. Covers all six legal Table-3 pairs.
+fn state_from_label(label: &str) -> Option<SystemState> {
+    let mut all = vec![SystemState::C0A_S0A];
+    all.extend(SystemState::LOW_POWER_LADDER);
+    all.into_iter().find(|s| s.label() == label)
+}
+
+impl TraceEvent {
+    /// The event's type tag, as written in the JSONL `event` field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::CState { .. } => "cstate",
+            TraceEvent::ActiveIdle { .. } => "active_idle",
+            TraceEvent::Wake { .. } => "wake",
+            TraceEvent::EpochDecision { .. } => "epoch_decision",
+            TraceEvent::FrequencyChange { .. } => "freq_change",
+            TraceEvent::DispatchSpill { .. } => "dispatch_spill",
+            TraceEvent::Park { .. } => "park",
+            TraceEvent::Unpark { .. } => "unpark",
+        }
+    }
+
+    /// The slot index the event concerns (`None` for dispatch events,
+    /// which belong to the fleet rather than one server).
+    pub fn server(&self) -> Option<u32> {
+        match self {
+            TraceEvent::CState { server, .. }
+            | TraceEvent::ActiveIdle { server, .. }
+            | TraceEvent::Wake { server, .. }
+            | TraceEvent::EpochDecision { server, .. }
+            | TraceEvent::FrequencyChange { server, .. }
+            | TraceEvent::Park { server, .. }
+            | TraceEvent::Unpark { server, .. } => Some(*server),
+            TraceEvent::DispatchSpill { .. } => None,
+        }
+    }
+
+    /// Serializes the event as one flat JSON object (no trailing
+    /// newline). The writer is a pure function of the event, so equal
+    /// traces serialize to equal bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"event\":\"{}\"", self.tag());
+        match self {
+            TraceEvent::CState { server, start, seconds, state, watts } => {
+                push_field_u64(&mut out, "server", u64::from(*server));
+                push_field_f64(&mut out, "start", *start);
+                push_field_f64(&mut out, "seconds", *seconds);
+                push_field_str(&mut out, "state", &state.label());
+                push_field_f64(&mut out, "watts", *watts);
+            }
+            TraceEvent::ActiveIdle { server, start, seconds, watts } => {
+                push_field_u64(&mut out, "server", u64::from(*server));
+                push_field_f64(&mut out, "start", *start);
+                push_field_f64(&mut out, "seconds", *seconds);
+                push_field_f64(&mut out, "watts", *watts);
+            }
+            TraceEvent::Wake { server, at, from, latency, watts } => {
+                push_field_u64(&mut out, "server", u64::from(*server));
+                push_field_f64(&mut out, "at", *at);
+                if let Some(state) = from {
+                    push_field_str(&mut out, "from", &state.label());
+                }
+                push_field_f64(&mut out, "latency", *latency);
+                push_field_f64(&mut out, "watts", *watts);
+            }
+            TraceEvent::EpochDecision {
+                server,
+                epoch,
+                predicted_rho,
+                frequency,
+                program,
+                evaluated,
+                cache_hit,
+            } => {
+                push_field_u64(&mut out, "server", u64::from(*server));
+                push_field_u64(&mut out, "epoch", u64::from(*epoch));
+                push_field_f64(&mut out, "predicted_rho", *predicted_rho);
+                push_field_f64(&mut out, "frequency", *frequency);
+                push_field_str(&mut out, "program", program);
+                push_field_u64(&mut out, "evaluated", u64::from(*evaluated));
+                push_field_bool(&mut out, "cache_hit", *cache_hit);
+            }
+            TraceEvent::FrequencyChange { server, epoch, from, to } => {
+                push_field_u64(&mut out, "server", u64::from(*server));
+                push_field_u64(&mut out, "epoch", u64::from(*epoch));
+                push_field_f64(&mut out, "from", *from);
+                push_field_f64(&mut out, "to", *to);
+            }
+            TraceEvent::DispatchSpill { job, class, preferred_group, target_server, fallback } => {
+                push_field_u64(&mut out, "job", *job);
+                push_field_u64(&mut out, "class", u64::from(*class));
+                push_field_u64(&mut out, "preferred_group", u64::from(*preferred_group));
+                push_field_u64(&mut out, "target_server", u64::from(*target_server));
+                push_field_bool(&mut out, "fallback", *fallback);
+            }
+            TraceEvent::Park { server, at, cause } | TraceEvent::Unpark { server, at, cause } => {
+                push_field_u64(&mut out, "server", u64::from(*server));
+                push_field_f64(&mut out, "at", *at);
+                push_field_str(&mut out, "cause", cause.tag());
+                match cause {
+                    ScaleCause::LowUtilization { utilization }
+                    | ScaleCause::HighUtilization { utilization } => {
+                        push_field_f64(&mut out, "utilization", *utilization);
+                    }
+                    ScaleCause::QosPressure => {}
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one [`TraceEvent::to_json_line`] line back into an
+    /// event. Returns `None` for malformed or unknown lines.
+    pub fn from_json_line(line: &str) -> Option<TraceEvent> {
+        let tag = json_str(line, "event")?;
+        let server = || json_u64(line, "server").map(|v| v as u32);
+        match tag.as_str() {
+            "cstate" => Some(TraceEvent::CState {
+                server: server()?,
+                start: json_f64(line, "start")?,
+                seconds: json_f64(line, "seconds")?,
+                state: state_from_label(&json_str(line, "state")?)?,
+                watts: json_f64(line, "watts")?,
+            }),
+            "active_idle" => Some(TraceEvent::ActiveIdle {
+                server: server()?,
+                start: json_f64(line, "start")?,
+                seconds: json_f64(line, "seconds")?,
+                watts: json_f64(line, "watts")?,
+            }),
+            "wake" => Some(TraceEvent::Wake {
+                server: server()?,
+                at: json_f64(line, "at")?,
+                from: match json_str(line, "from") {
+                    Some(label) => Some(state_from_label(&label)?),
+                    None => None,
+                },
+                latency: json_f64(line, "latency")?,
+                watts: json_f64(line, "watts")?,
+            }),
+            "epoch_decision" => Some(TraceEvent::EpochDecision {
+                server: server()?,
+                epoch: json_u64(line, "epoch")? as u32,
+                predicted_rho: json_f64(line, "predicted_rho")?,
+                frequency: json_f64(line, "frequency")?,
+                program: json_str(line, "program")?,
+                evaluated: json_u64(line, "evaluated")? as u32,
+                cache_hit: json_bool(line, "cache_hit")?,
+            }),
+            "freq_change" => Some(TraceEvent::FrequencyChange {
+                server: server()?,
+                epoch: json_u64(line, "epoch")? as u32,
+                from: json_f64(line, "from")?,
+                to: json_f64(line, "to")?,
+            }),
+            "dispatch_spill" => Some(TraceEvent::DispatchSpill {
+                job: json_u64(line, "job")?,
+                class: json_u64(line, "class")? as u16,
+                preferred_group: json_u64(line, "preferred_group")? as u32,
+                target_server: json_u64(line, "target_server")? as u32,
+                fallback: json_bool(line, "fallback")?,
+            }),
+            "park" | "unpark" => {
+                let cause = match json_str(line, "cause")?.as_str() {
+                    "low_utilization" => {
+                        ScaleCause::LowUtilization { utilization: json_f64(line, "utilization")? }
+                    }
+                    "high_utilization" => {
+                        ScaleCause::HighUtilization { utilization: json_f64(line, "utilization")? }
+                    }
+                    "qos_pressure" => ScaleCause::QosPressure,
+                    _ => return None,
+                };
+                let (server, at) = (server()?, json_f64(line, "at")?);
+                Some(if tag == "park" {
+                    TraceEvent::Park { server, at, cause }
+                } else {
+                    TraceEvent::Unpark { server, at, cause }
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The fixed CSV header matching [`TraceEvent::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "event,server,t,seconds,state,watts,detail"
+    }
+
+    /// A lossy human-oriented CSV rendering (JSONL is the round-trip
+    /// format; use this for spreadsheet digestion).
+    pub fn to_csv_row(&self) -> String {
+        match self {
+            TraceEvent::CState { server, start, seconds, state, watts } => {
+                format!("cstate,{server},{start:?},{seconds:?},{},{watts:?},", state.label())
+            }
+            TraceEvent::ActiveIdle { server, start, seconds, watts } => {
+                format!("active_idle,{server},{start:?},{seconds:?},,{watts:?},")
+            }
+            TraceEvent::Wake { server, at, from, latency, watts } => format!(
+                "wake,{server},{at:?},{latency:?},{},{watts:?},",
+                from.map(|s| s.label()).unwrap_or_default()
+            ),
+            TraceEvent::EpochDecision {
+                server,
+                epoch,
+                predicted_rho,
+                frequency,
+                program,
+                evaluated,
+                cache_hit,
+            } => format!(
+                "epoch_decision,{server},{epoch},,,,f={frequency:?} program={} \
+                 rho={predicted_rho:?} evaluated={evaluated} cache_hit={cache_hit}",
+                program.replace(',', ";")
+            ),
+            TraceEvent::FrequencyChange { server, epoch, from, to } => {
+                format!("freq_change,{server},{epoch},,,,{from:?}->{to:?}")
+            }
+            TraceEvent::DispatchSpill { job, class, preferred_group, target_server, fallback } => {
+                format!(
+                    "dispatch_spill,,,,,,job={job} class={class} preferred={preferred_group} \
+                     target={target_server} fallback={fallback}"
+                )
+            }
+            TraceEvent::Park { server, at, cause } => {
+                format!("park,{server},{at:?},,,,{}", cause.describe())
+            }
+            TraceEvent::Unpark { server, at, cause } => {
+                format!("unpark,{server},{at:?},,,,{}", cause.describe())
+            }
+        }
+    }
+}
+
+/// Locates the raw value substring for `key` in a flat JSON object
+/// line, respecting string quoting.
+fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let mut search = 0;
+    while let Some(rel) = line[search..].find(&pat) {
+        let pos = search + rel;
+        // A real key is preceded by `{` or `,`; anything else is a
+        // match inside a string value.
+        let prev = line[..pos].chars().next_back();
+        if !matches!(prev, Some('{') | Some(',')) {
+            search = pos + pat.len();
+            continue;
+        }
+        let rest = &line[pos + pat.len()..];
+        if let Some(stripped) = rest.strip_prefix('"') {
+            // String value: scan to the closing unescaped quote.
+            let mut escaped = false;
+            for (i, c) in stripped.char_indices() {
+                match c {
+                    '\\' if !escaped => escaped = true,
+                    '"' if !escaped => return Some(&stripped[..i]),
+                    _ => escaped = false,
+                }
+            }
+            return None;
+        }
+        let end = rest.find([',', '}'])?;
+        return Some(&rest[..end]);
+    }
+    None
+}
+
+fn json_str(line: &str, key: &str) -> Option<String> {
+    unescape_json(json_raw(line, key)?)
+}
+
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_bool(line: &str, key: &str) -> Option<bool> {
+    json_raw(line, key)?.parse().ok()
+}
+
+/// Serializes events as JSONL (one [`TraceEvent::to_json_line`] per
+/// line, trailing newline included when non-empty).
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace back into events, skipping blank lines.
+/// Returns `None` if any non-blank line fails to parse.
+pub fn events_from_jsonl(text: &str) -> Option<Vec<TraceEvent>> {
+    text.lines().filter(|l| !l.trim().is_empty()).map(TraceEvent::from_json_line).collect()
+}
+
+/// A per-server event accumulator. Engines keep one per slot, push
+/// into it from whatever thread owns the slot, and merge buffers in
+/// fleet slot order when the run closes — the trace's determinism
+/// comes from this structural ordering, not from sink locking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBuffer {
+    server: u32,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer for slot `server`.
+    pub fn new(server: u32) -> TraceBuffer {
+        TraceBuffer { server, events: Vec::new() }
+    }
+
+    /// The slot this buffer records for.
+    pub fn server(&self) -> u32 {
+        self.server
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The events recorded so far, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the buffer, yielding its events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+/// A terminal consumer of an ordered event stream. Sinks receive the
+/// already-merged deterministic stream; they are never called from
+/// parallel code.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink encountered.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The default sink: discards everything, allocates nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Collects events in memory and offers the reconciliation views the
+/// `obs` gate and the property suite pin against engine accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The collected events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, yielding its events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Per-C-state residency seconds, accumulated find-or-push in
+    /// first-entered order — the *same* fold the engine's `Residency`
+    /// performs, so on a single-server trace the result equals
+    /// `Residency::states()` bit for bit.
+    pub fn state_residency(&self) -> Vec<(SystemState, f64)> {
+        let mut states: Vec<(SystemState, f64)> = Vec::new();
+        for event in &self.events {
+            if let TraceEvent::CState { state, seconds, .. } = event {
+                if let Some(entry) = states.iter_mut().find(|(s, _)| s == state) {
+                    entry.1 += seconds;
+                } else {
+                    states.push((*state, *seconds));
+                }
+            }
+        }
+        states
+    }
+
+    /// Total pre-`τ₁` active-idle seconds (sequential sum, matching
+    /// the engine's accumulation order on a single-server trace).
+    pub fn active_idle_seconds(&self) -> f64 {
+        // fold from +0.0, not `.sum()`: the std sum folds from -0.0,
+        // which would break bit-parity with the engine's accumulator
+        // on traces with no such segments.
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ActiveIdle { seconds, .. } => Some(*seconds),
+                _ => None,
+            })
+            .fold(0.0, |acc, s| acc + s)
+    }
+
+    /// Total wake-latency seconds.
+    pub fn waking_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Wake { latency, .. } => Some(*latency),
+                _ => None,
+            })
+            .fold(0.0, |acc, s| acc + s)
+    }
+
+    /// Idle-side energy implied by the trace, joules: every C-state,
+    /// active-idle, and wake segment at its recorded power. Matches
+    /// the engine ledger's `idle_energy()` (total minus class-tagged
+    /// active energy) to floating-point round-off.
+    pub fn idle_energy_joules(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::CState { seconds, watts, .. }
+                | TraceEvent::ActiveIdle { seconds, watts, .. } => seconds * watts,
+                TraceEvent::Wake { latency, watts, .. } => latency * watts,
+                _ => 0.0,
+            })
+            .fold(0.0, |acc, j| acc + j)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// On-disk trace format for [`FileSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line; round-trips via
+    /// [`events_from_jsonl`].
+    Jsonl,
+    /// Fixed-column CSV with a header row; lossy, human-oriented.
+    Csv,
+}
+
+/// A buffered file sink writing JSONL or CSV.
+#[derive(Debug)]
+pub struct FileSink {
+    out: BufWriter<File>,
+    format: TraceFormat,
+    error: Option<io::Error>,
+}
+
+impl FileSink {
+    /// Creates (truncating) `path` and, for CSV, writes the header
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created
+    /// or the header written.
+    pub fn create(path: impl AsRef<Path>, format: TraceFormat) -> io::Result<FileSink> {
+        let mut out = BufWriter::new(File::create(path)?);
+        if format == TraceFormat::Csv {
+            writeln!(out, "{}", TraceEvent::csv_header())?;
+        }
+        Ok(FileSink { out, format, error: None })
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl TraceSink for FileSink {
+    fn record(&mut self, event: &TraceEvent) {
+        let line = match self.format {
+            TraceFormat::Jsonl => event.to_json_line(),
+            TraceFormat::Csv => event.to_csv_row(),
+        };
+        self.write_line(&line);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// Canonical counter names the engines register, so consumers match
+/// on constants rather than retyping strings.
+pub mod metrics {
+    /// Jobs completed across the fleet.
+    pub const JOBS_TOTAL: &str = "jobs_total";
+    /// Class-affinity jobs placed off their preferred group.
+    pub const DISPATCH_SPILLS: &str = "dispatch_spills";
+    /// Spills that found no idle server and fell back to minimum
+    /// backlog.
+    pub const DISPATCH_FALLBACKS: &str = "dispatch_fallbacks";
+    /// Epoch decisions answered by the characterization cache.
+    pub const CACHE_HITS: &str = "cache_hits";
+    /// Epoch decisions that ran a candidate sweep.
+    pub const CACHE_MISSES: &str = "cache_misses";
+    /// Wake transitions out of a sleep-ladder state.
+    pub const WAKE_TRANSITIONS: &str = "wake_transitions";
+    /// Arrivals that caught the server in pre-`τ₁` active idle.
+    pub const WAKES_WITHOUT_SLEEP: &str = "wakes_without_sleep";
+    /// Servers the autoscaler parked.
+    pub const AUTOSCALER_PARKS: &str = "autoscaler_parks";
+    /// Parked servers the autoscaler returned to service.
+    pub const AUTOSCALER_WAKES: &str = "autoscaler_wakes";
+
+    /// The per-class job counter name for `class`.
+    pub fn jobs_class(class: u16) -> String {
+        format!("jobs_class{class}")
+    }
+}
+
+/// Named monotonic counters in insertion order. Engines build one per
+/// slot (or derive it from already-merged state) and fold registries
+/// together in fleet slot order, which makes every value worker- and
+/// shard-count invariant.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to `name`, creating the counter at the end of the
+    /// insertion order if new.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(entry) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += delta;
+        } else {
+            self.counters.push((name.to_string(), delta));
+        }
+    }
+
+    /// The counter's value (0 if never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// All counters in insertion order.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// Folds `other` into `self`, preserving `self`'s insertion order
+    /// for shared names.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            self.add(name, *value);
+        }
+    }
+
+    /// True when no counter was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// The declarative telemetry request a `Scenario` carries: which
+/// surfaces to collect. `None` on the scenario means the engines take
+/// the untouched zero-overhead paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Collect the structured [`TraceEvent`] stream.
+    pub trace_events: bool,
+    /// Build the [`MetricsRegistry`].
+    pub metrics: bool,
+}
+
+impl TelemetrySpec {
+    /// Everything on: events and metrics.
+    pub fn full() -> TelemetrySpec {
+        TelemetrySpec { trace_events: true, metrics: true }
+    }
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> TelemetrySpec {
+        TelemetrySpec::full()
+    }
+}
+
+/// What a telemetry-enabled run collected: the merged deterministic
+/// event stream plus the counter registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// The merged event stream: per-server events in fleet slot
+    /// order, then fleet-level events in simulation order.
+    pub events: Vec<TraceEvent>,
+    /// Monotonic counters, worker- and shard-count invariant.
+    pub metrics: MetricsRegistry,
+}
+
+impl TelemetryReport {
+    /// Serializes the event stream as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        events_to_jsonl(&self.events)
+    }
+
+    /// The autoscaler park/unpark events, in simulation order.
+    pub fn scale_events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Park { .. } | TraceEvent::Unpark { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::ActiveIdle { server: 0, start: 0.0, seconds: 0.5, watts: 250.0 },
+            TraceEvent::CState {
+                server: 0,
+                start: 0.5,
+                seconds: 9.5,
+                state: SystemState::C6_S3,
+                watts: 28.1,
+            },
+            TraceEvent::Wake {
+                server: 0,
+                at: 10.0,
+                from: Some(SystemState::C6_S3),
+                latency: 1.0,
+                watts: 250.0,
+            },
+            TraceEvent::Wake { server: 1, at: 12.0, from: None, latency: 0.0, watts: 250.0 },
+            TraceEvent::EpochDecision {
+                server: 1,
+                epoch: 3,
+                predicted_rho: 0.25,
+                frequency: 0.6,
+                program: "C6S3@0s, \"deep\"".into(),
+                evaluated: 55,
+                cache_hit: false,
+            },
+            TraceEvent::FrequencyChange { server: 1, epoch: 3, from: 1.0, to: 0.6 },
+            TraceEvent::DispatchSpill {
+                job: 42,
+                class: 1,
+                preferred_group: 0,
+                target_server: 9,
+                fallback: true,
+            },
+            TraceEvent::Park {
+                server: 7,
+                at: 3600.0,
+                cause: ScaleCause::LowUtilization { utilization: 0.12 },
+            },
+            TraceEvent::Unpark { server: 7, at: 7200.0, cause: ScaleCause::QosPressure },
+        ]
+    }
+
+    /// Every variant survives the JSONL round trip exactly.
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample_events();
+        let text = events_to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = events_from_jsonl(&text).expect("trace parses");
+        assert_eq!(back, events);
+    }
+
+    /// The writer is deterministic: equal events, equal bytes.
+    #[test]
+    fn writer_is_deterministic() {
+        let a = events_to_jsonl(&sample_events());
+        let b = events_to_jsonl(&sample_events());
+        assert_eq!(a, b);
+    }
+
+    /// String values containing quotes, backslashes, and the `"key":`
+    /// pattern itself do not confuse the flat parser.
+    #[test]
+    fn parser_respects_string_quoting() {
+        let tricky = TraceEvent::EpochDecision {
+            server: 0,
+            epoch: 0,
+            predicted_rho: 0.5,
+            frequency: 1.0,
+            program: "evil \"frequency\": \\ ,}".into(),
+            evaluated: 1,
+            cache_hit: true,
+        };
+        let line = tricky.to_json_line();
+        assert_eq!(TraceEvent::from_json_line(&line), Some(tricky));
+    }
+
+    /// MemorySink residency folds in first-entered order like the
+    /// engine's `Residency`.
+    #[test]
+    fn memory_sink_residency_order() {
+        let mut sink = MemorySink::new();
+        for (state, seconds) in
+            [(SystemState::C1_S0I, 2.0), (SystemState::C6_S3, 5.0), (SystemState::C1_S0I, 3.0)]
+        {
+            sink.record(&TraceEvent::CState { server: 0, start: 0.0, seconds, state, watts: 1.0 });
+        }
+        assert_eq!(
+            sink.state_residency(),
+            vec![(SystemState::C1_S0I, 5.0), (SystemState::C6_S3, 5.0)]
+        );
+        assert!((sink.idle_energy_joules() - 10.0).abs() < 1e-12);
+    }
+
+    /// Registry merge is order-preserving and additive.
+    #[test]
+    fn registry_merges() {
+        let mut a = MetricsRegistry::new();
+        a.add(metrics::JOBS_TOTAL, 3);
+        a.add(metrics::CACHE_HITS, 1);
+        let mut b = MetricsRegistry::new();
+        b.add(metrics::CACHE_HITS, 2);
+        b.add(metrics::DISPATCH_SPILLS, 7);
+        a.merge(&b);
+        assert_eq!(a.get(metrics::JOBS_TOTAL), 3);
+        assert_eq!(a.get(metrics::CACHE_HITS), 3);
+        assert_eq!(a.get(metrics::DISPATCH_SPILLS), 7);
+        assert_eq!(a.counters()[0].0, metrics::JOBS_TOTAL);
+        assert_eq!(a.get("never"), 0);
+    }
+
+    /// CSV rows match the fixed header's column count.
+    #[test]
+    fn csv_shape() {
+        let cols = TraceEvent::csv_header().split(',').count();
+        for event in sample_events() {
+            // The free-form detail column is sanitized to stay
+            // comma-free, so plain splitting recovers the columns.
+            assert_eq!(event.to_csv_row().split(',').count(), cols, "{event:?}");
+        }
+    }
+
+    /// File sink round trip through a temp file.
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sleepscale_telemetry_test_trace.jsonl");
+        let events = sample_events();
+        let mut sink = FileSink::create(&path, TraceFormat::Jsonl).unwrap();
+        for e in &events {
+            sink.record(e);
+        }
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(events_from_jsonl(&text).unwrap(), events);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,8 +12,11 @@ use sleepscale_repro::sleepscale_scenario::catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The catalog pair: identical traffic, fleet shapes, and seeds —
-    // only the dispatcher and the autoscaler differ.
-    let autoscaled = catalog::autoscale_day();
+    // only the dispatcher and the autoscaler differ. Telemetry is armed
+    // on the autoscaled run so the controller's park/wake decisions come
+    // back as structured events rather than a bare fleet-size curve.
+    let mut autoscaled = catalog::autoscale_day();
+    autoscaled.telemetry = Some(TelemetrySpec::full());
     let fixed = catalog::autoscale_day_fixed();
     let epoch_minutes = autoscaled.epoch_minutes;
     let start_minute = 120_usize; // the catalog day opens at 2 AM
@@ -65,5 +68,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nthe controller dipped to {min_active} active servers at the trough and \
          restored all {total_servers} for the afternoon peak"
     );
+
+    // The same decisions as structured telemetry (PR 10): every park and
+    // wake the controller issued, with the control-law reading that
+    // triggered it. The hours line up with the fleet-size dips above.
+    let telemetry = auto_report.telemetry().expect("telemetry was armed on the autoscaled run");
+    println!("\nautoscaler event log ({} park/wake events):", telemetry.scale_events().count());
+    println!("{:>6} {:>7} {:>7}  reason", "hour", "action", "server");
+    for event in telemetry.scale_events() {
+        let (at, action, server, cause) = match event {
+            TraceEvent::Park { server, at, cause } => (at, "park", server, cause),
+            TraceEvent::Unpark { server, at, cause } => (at, "wake", server, cause),
+            _ => unreachable!("scale_events yields only park/unpark"),
+        };
+        let hour = (start_minute as f64 + at / 60.0) / 60.0;
+        println!("{hour:>6.1} {action:>7} {server:>7}  {}", cause.describe());
+    }
     Ok(())
 }

@@ -20,6 +20,8 @@
 //!   dispatchers (paper §7 future work), with heterogeneous server groups.
 //! * [`sleepscale_autoscale`] — the fleet control plane: the closed-loop
 //!   autoscaler's control law, spec, and snapshotable controller state.
+//! * [`sleepscale_telemetry`] — deterministic structured event tracing,
+//!   trace sinks, and the worker-invariant metrics registry.
 //! * [`sleepscale_scenario`] — the unified declarative Scenario API: one
 //!   entry point over the runtime, analytic, and cluster backends.
 
@@ -32,6 +34,7 @@ pub use sleepscale_power;
 pub use sleepscale_predict;
 pub use sleepscale_scenario;
 pub use sleepscale_sim;
+pub use sleepscale_telemetry;
 pub use sleepscale_traffic;
 pub use sleepscale_workloads;
 
@@ -48,6 +51,11 @@ pub mod prelude {
     pub use sleepscale_predict::prelude::*;
     pub use sleepscale_scenario::prelude::*;
     pub use sleepscale_sim::prelude::*;
+    pub use sleepscale_telemetry as telemetry;
+    pub use sleepscale_telemetry::{
+        MemorySink, MetricsRegistry, ScaleCause, TelemetryReport, TelemetrySpec, TraceEvent,
+        TraceSink,
+    };
     pub use sleepscale_traffic::prelude::*;
     pub use sleepscale_workloads::prelude::*;
 }

@@ -411,6 +411,43 @@ fn autoscaled_sharded_fleet_matches_central_bytes() {
     }
 }
 
+/// PR-10 tentpole: the merged telemetry trace is invariant across the
+/// worker-count × shard-count grid. Events are buffered per slot and
+/// merged at the serial epoch boundary in slot (then shard) order, so
+/// the JSONL rendering of the stream — and the metrics registry folded
+/// from it — must be byte-identical for every grid cell.
+#[test]
+fn telemetry_trace_is_worker_and_shard_count_invariant() {
+    let mut scenario = sleepscale_repro::sleepscale_scenario::catalog::autoscale_day().quick();
+    scenario.name = "telemetry-grid-invariance".into();
+    scenario.dispatcher = DispatcherSpec::SplitUniform { seed: 17 };
+    scenario.telemetry = Some(TelemetrySpec::full());
+    let run_pinned = |shards: usize, threads: usize| {
+        let mut pinned = scenario.clone();
+        pinned.shards = shards;
+        pinned.threads = threads;
+        ScenarioRunner::new(pinned).unwrap().run().unwrap()
+    };
+    let reference = run_pinned(1, 1);
+    let reference_telemetry = reference.telemetry().expect("telemetry was armed");
+    assert!(!reference_telemetry.events.is_empty(), "invariance run produced no events");
+    assert!(!reference_telemetry.metrics.counters().is_empty());
+    let reference_jsonl = reference_telemetry.to_jsonl();
+    for (shards, threads) in [(1, 2), (1, 5), (2, 1), (3, 2), (4, 5)] {
+        let run = run_pinned(shards, threads);
+        let telemetry = run.telemetry().expect("telemetry was armed");
+        assert_eq!(
+            telemetry.to_jsonl(),
+            reference_jsonl,
+            "shards={shards} threads={threads} changed trace bytes"
+        );
+        assert_eq!(
+            telemetry.metrics, reference_telemetry.metrics,
+            "shards={shards} threads={threads} changed the metrics registry"
+        );
+    }
+}
+
 /// The full runtime loop is a pure function of (trace, jobs, config,
 /// seed): repeated runs produce byte-identical `RunReport`s, including
 /// every epoch's selection metadata.

@@ -294,6 +294,80 @@ proptest! {
         }
     }
 
+    /// PR-10: the telemetry event stream is a lossless account of the
+    /// engine's time and energy. For arbitrary single-server runs, the
+    /// per-C-state residency folded from a `MemorySink` reproduces the
+    /// engine's `Residency` table bit-for-bit (states in the same
+    /// first-entered order), wake counts match, and the idle energy
+    /// integrated from `CState` segments reconciles with the
+    /// `EnergyLedger`'s idle line item.
+    #[test]
+    fn trace_residency_reconciles_with_energy_ledger(
+        rho in 0.05_f64..0.6,
+        state_idx in 0_usize..5,
+        seed in 0_u64..10_000,
+    ) {
+        use sleepscale_repro::sleepscale_sim::OnlineSim;
+
+        let mean_service = 0.194;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let jobs = generator::generate_poisson_exp(2_000, rho, mean_service, &mut rng).unwrap();
+        let state = SystemState::LOW_POWER_LADDER[state_idx];
+        let policy = Policy::new(
+            Frequency::new((rho + 0.3).min(1.0)).unwrap(),
+            SleepProgram::immediate(presets::immediate_stage(state)),
+        );
+        let env = SimEnv::xeon_cpu_bound();
+        let mut sim = OnlineSim::new(env, 300.0);
+        sim.enable_trace(0);
+        let horizon = jobs.last_arrival() + 60.0;
+        sim.run_epoch(jobs.jobs(), &policy, horizon);
+        let (ledger, residency, wakes_from, wakes_without_sleep, events) =
+            sim.finish_traced(horizon);
+
+        let mut sink = MemorySink::new();
+        for event in &events {
+            sink.record(event);
+        }
+
+        // Bitwise per-state residency, including discovery order.
+        let traced: Vec<(SystemState, u64)> =
+            sink.state_residency().iter().map(|(s, t)| (*s, t.to_bits())).collect();
+        let engine: Vec<(SystemState, u64)> =
+            residency.states().iter().map(|(s, t)| (*s, t.to_bits())).collect();
+        prop_assert_eq!(traced, engine, "per-state residency diverged from the engine");
+        prop_assert_eq!(
+            sink.active_idle_seconds().to_bits(),
+            residency.active_idle().to_bits(),
+            "active-idle bytes diverged"
+        );
+        prop_assert_eq!(
+            sink.waking_seconds().to_bits(),
+            residency.waking().to_bits(),
+            "wake-latency bytes diverged"
+        );
+
+        // Wake counts: one `Wake { from: Some(_) }` per sleep-state exit,
+        // one `Wake { from: None }` per pre-tau wake.
+        let wake_events = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Wake { from: Some(_), .. }))
+            .count() as u64;
+        prop_assert_eq!(wake_events, wakes_from.iter().map(|(_, n)| n).sum::<u64>());
+        let shallow_wakes = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Wake { from: None, .. }))
+            .count() as u64;
+        prop_assert_eq!(shallow_wakes, wakes_without_sleep);
+
+        // Idle energy integrates from the trace to the ledger's line item.
+        let ledger_idle = ledger.idle_energy().as_joules();
+        prop_assert!(
+            (sink.idle_energy_joules() - ledger_idle).abs() <= 1e-9 * ledger_idle.max(1.0),
+            "trace idle {} J vs ledger {} J", sink.idle_energy_joules(), ledger_idle
+        );
+    }
+
     /// Log replay hits any requested utilization target.
     #[test]
     fn job_log_replay_matches_target(
